@@ -1,0 +1,75 @@
+// Ablation A2: strength of the branch-and-bound lower bound. Runs the exact
+// solver with three admissible bound modes on growing random instances and
+// reports nodes and wall time. Shape check: all modes agree on the optimum;
+// kFull explores orders of magnitude fewer nodes than kNone as N grows.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/generator.hpp"
+#include "tam/exact_solver.hpp"
+#include "wrapper/test_time_table.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Ablation A2", "branch-and-bound lower-bound strength, widths 8/8/8/8");
+  Table out({"N", "T_opt", "nodes_none", "ms_none", "nodes_load", "ms_load",
+             "nodes_full", "ms_full"});
+  // Four equal-width buses make load balancing genuinely hard: without the
+  // remaining-work bound the search must enumerate deep into every near-tie.
+  for (int n : {10, 14, 18, 22, 26}) {
+    Rng rng(static_cast<std::uint64_t>(n) * 104729);
+    SocGeneratorOptions gen;
+    gen.num_cores = n;
+    gen.place = false;
+    const Soc soc = generate_soc(gen, rng);
+    const TestTimeTable table(soc, 8);
+    const TamProblem problem = make_tam_problem(soc, table, {8, 8, 8, 8});
+
+    Cycles makespans[3];
+    bool proved[3];
+    std::string nodes[3];
+    double ms[3];
+    const BoundMode modes[3] = {BoundMode::kNone, BoundMode::kLoadOnly,
+                                BoundMode::kFull};
+    for (int m = 0; m < 3; ++m) {
+      ExactSolverOptions options;
+      options.bound_mode = modes[m];
+      options.max_nodes = 5'000'000;  // keep capped modes from running for minutes
+      benchutil::Stopwatch sw;
+      const auto result = solve_exact(problem, options);
+      ms[m] = sw.ms();
+      makespans[m] = result.feasible ? result.assignment.makespan : -1;
+      proved[m] = result.proved_optimal;
+      nodes[m] = std::to_string(result.nodes) + (proved[m] ? "" : "+(cap)");
+    }
+    // Any mode that finished must agree with every other finished mode.
+    for (int m = 0; m < 3; ++m) {
+      if (proved[m] && proved[2] && makespans[m] != makespans[2]) {
+        std::printf("BOUND MODES DISAGREE at N=%d — bug!\n", n);
+        return 1;
+      }
+    }
+    out.row()
+        .add(n)
+        .add(makespans[2])
+        .add(nodes[0])
+        .add(ms[0], 2)
+        .add(nodes[1])
+        .add(ms[1], 2)
+        .add(nodes[2])
+        .add(ms[2], 2);
+  }
+  std::cout << out.to_ascii();
+  std::printf(
+      "\nfinding: the remaining-work/largest-item bounds dominate at small-\n"
+      "to-mid N (order-of-magnitude node reductions vs load-only pruning);\n"
+      "at larger N with four identical buses the per-candidate load check\n"
+      "plus bus-symmetry canonicalization carry most of the pruning and the\n"
+      "bound modes converge (all hit the node cap together).\n\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#pragma once
+
+// Shared helpers for the table-reproduction harness binaries.
+
+#include <chrono>
+#include <string>
+
+namespace soctest::benchutil {
+
+/// Wall-clock stopwatch in milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline std::string header(const std::string& id, const std::string& what) {
+  return "==== " + id + ": " + what + " ====\n";
+}
+
+}  // namespace soctest::benchutil

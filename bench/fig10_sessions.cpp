@@ -1,0 +1,65 @@
+// Figure 10 (extension): session-based (BIST-style) scheduling versus
+// TAM-bus scheduling across the power budget sweep — what does dedicated
+// TAM hardware buy over the older session model? In a session schedule all
+// members start together and wait for the slowest; a TAM bus streams cores
+// back to back. Shape check: at loose budgets sessions exploit unlimited
+// concurrency (no bus count limit) and can win; as the budget tightens the
+// session model degrades toward Σ t_i while the 2-bus TAM holds its
+// balanced makespan until serialization forces it up too.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sched/sessions.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/power.hpp"
+#include "tam/tam_problem.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Figure 10", "session-based vs TAM-bus scheduling, soc1, width 16");
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  // Sessions: every core wrapped at width 16 (cores in a session each own a
+  // 16-bit interface — BIST-style, no shared transport). TAM: two 16-bit
+  // buses (32 wires total transport).
+  const auto times = session_times(soc, table, 16);
+  const auto powers = session_powers(soc);
+  const TamProblem bus_base = make_tam_problem(soc, table, {16, 16});
+
+  Table out({"P_max[mW]", "T_sessions", "num_sessions", "T_tam_2bus",
+             "sessions/tam"});
+  for (int p_max = 3400; p_max >= 1200; p_max -= 200) {
+    out.row().add(p_max);
+    if (!overbudget_cores(soc, p_max).empty()) {
+      out.add("-").add("-").add("-").add("-");
+      continue;
+    }
+    const auto sessions =
+        schedule_sessions_exact(times, powers, static_cast<double>(p_max));
+    const TamProblem bus_problem = make_tam_problem(
+        soc, table, {16, 16}, nullptr, -1, static_cast<double>(p_max));
+    const auto bus = solve_exact(bus_problem);
+    if (!sessions.feasible || !bus.feasible) {
+      out.add("-").add("-").add("-").add("-");
+      continue;
+    }
+    out.add(sessions.schedule.total_time)
+        .add(sessions.schedule.sessions.size())
+        .add(bus.assignment.makespan)
+        .add(static_cast<double>(sessions.schedule.total_time) /
+                 static_cast<double>(bus.assignment.makespan),
+             3);
+  }
+  std::cout << out.to_ascii();
+  std::printf(
+      "\n(sessions assume every concurrent core gets its own 16-bit\n"
+      "interface — more pins, no transport sharing; the TAM column shares\n"
+      "32 wires total. The crossover quantifies the TAM's pin efficiency.)\n\n");
+  return 0;
+}

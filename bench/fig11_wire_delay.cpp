@@ -1,0 +1,53 @@
+// Figure 11 (extension): cycle counts are not wall-clock time once wire
+// delay throttles each bus's scan clock. For each width configuration the
+// plain cycle-optimal assignment and the lexicographic (wire-minimal)
+// assignment tie in cycles by construction — but their achievable clock
+// periods differ. Shape check: lex never pays cycles, usually wins
+// wall-clock; the advantage grows with the wire-delay coefficient.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/timing.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Figure 11", "wire-delay-aware wall-clock test time: plain vs lex, soc1");
+  const Soc soc = builtin_soc1();
+  const BusPlan plan = plan_buses(soc, 3);
+  const LayoutConstraints layout(plan, soc.num_cores(), -1);
+  const TestTimeTable table(soc, 16);
+  const TamProblem problem = make_tam_problem(soc, table, {16, 16, 16}, &layout);
+  const auto plain = solve_exact(problem);
+  const auto lex = solve_exact_lex(problem);
+  std::printf("cycles (both): %lld; stub wire plain %lld vs lex %lld\n\n",
+              static_cast<long long>(plain.assignment.makespan),
+              layout.assignment_wirelength(plain.assignment.core_to_bus),
+              layout.assignment_wirelength(lex.assignment.core_to_bus));
+
+  Table out({"per_cell_ns", "T_plain[us]", "T_lex[us]", "lex_saves%"});
+  for (double per_cell : {0.0, 0.02, 0.05, 0.08, 0.12, 0.2, 0.4}) {
+    TamClockModel model;
+    model.per_cell_ns = per_cell;
+    const double t_plain = wall_clock_test_time_ns(
+        problem, plan, plain.assignment.core_to_bus, model);
+    const double t_lex =
+        wall_clock_test_time_ns(problem, plan, lex.assignment.core_to_bus, model);
+    out.row()
+        .add(per_cell, 2)
+        .add(t_plain / 1000.0, 1)
+        .add(t_lex / 1000.0, 1)
+        .add(100.0 * (1.0 - t_lex / t_plain), 2);
+  }
+  std::cout << out.to_ascii();
+  std::printf(
+      "\n(at per_cell_ns = 0 the designs tie exactly; growing wire delay\n"
+      "monetizes the lexicographic optimizer's shorter stubs)\n\n");
+  return 0;
+}

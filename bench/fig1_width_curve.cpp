@@ -1,0 +1,38 @@
+// Figure 1: optimal system test time vs total TAM width W, one series per
+// bus count B (the paper's test-time/width trade-off curves). Shape check:
+// every series is non-increasing in W with diminishing returns; for small W
+// fewer buses win (wider pipes), for large W more buses win (parallelism);
+// curves flatten once every core sits at its Pareto-minimal time.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/width_partition.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Figure 1", "optimal test time vs total width W (series per B), soc1");
+  const Soc soc = builtin_soc1();
+  Table out({"W", "B=1", "B=2", "B=3", "B=4"});
+  for (int total_width = 8; total_width <= 64; total_width += 4) {
+    out.row().add(total_width);
+    for (int num_buses = 1; num_buses <= 4; ++num_buses) {
+      if (total_width < num_buses) {
+        out.add("-");
+        continue;
+      }
+      const TestTimeTable table(soc, total_width - (num_buses - 1));
+      const auto result = optimize_widths(soc, table, num_buses, total_width);
+      out.add(result.feasible ? std::to_string(result.assignment.makespan)
+                              : std::string("-"));
+    }
+  }
+  std::cout << out.to_ascii();
+  std::cout << "\nCSV series for plotting:\n" << out.to_csv() << "\n";
+  return 0;
+}

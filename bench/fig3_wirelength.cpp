@@ -1,0 +1,58 @@
+// Figure 3: test-time vs TAM wiring trade-off. Sweeping the stub-wiring
+// budget L_max traces the Pareto frontier between system test time and the
+// routing cost of connecting cores to bus trunks. Shape check: as the
+// budget tightens, wirelength falls and test time rises; the frontier is a
+// monotone staircase; beyond the unconstrained optimum's wirelength the
+// budget is slack and the curve is flat.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Figure 3", "test time vs stub wirelength frontier, soc1, widths 16/16/16");
+  const Soc soc = builtin_soc1();
+  const std::vector<int> widths{16, 16, 16};
+  const TestTimeTable table(soc, 16);
+  const BusPlan plan = plan_buses(soc, 3);
+  const LayoutConstraints layout(plan, soc.num_cores(), -1);
+
+  // Minimum possible wirelength: every core on its nearest trunk.
+  long long min_wire = 0;
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    int best = -1;
+    for (std::size_t j = 0; j < 3; ++j) {
+      const int d = layout.distance(i, j);
+      if (d >= 0 && (best < 0 || d < best)) best = d;
+    }
+    min_wire += best;
+  }
+  std::printf("minimum achievable stub wirelength: %lld grid edges\n\n",
+              min_wire);
+
+  Table out({"L_max", "T_opt", "wirelength", "status"});
+  for (long long budget = min_wire + 60; budget >= min_wire - 10; budget -= 5) {
+    const TamProblem problem =
+        make_tam_problem(soc, table, widths, &layout, budget);
+    const auto result = solve_exact(problem);
+    out.row().add(budget);
+    if (!result.feasible) {
+      out.add("-").add("-").add("INFEASIBLE");
+      continue;
+    }
+    out.add(result.assignment.makespan)
+        .add(layout.assignment_wirelength(result.assignment.core_to_bus))
+        .add("optimal");
+  }
+  std::cout << out.to_ascii();
+  std::cout << "\nCSV series for plotting:\n" << out.to_csv() << "\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Figure 5 (extension): wiring quality of the chosen architecture. For each
+// width configuration on soc1, (a) the plain exact optimum is compared to
+// the lexicographic optimum (same test time, minimum stub wirelength), and
+// (b) both assignments' stubs are detail-routed, reporting wirelength and
+// channel overflow with and without congestion awareness. Shape check: lex
+// never worsens test time, strictly reduces abstract wirelength whenever
+// the optimum has slack, and the routed/abstract lengths track each other;
+// congestion-aware routing trades a few extra grid edges for fewer
+// overflowing channel cells.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "layout/stub_router.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Figure 5", "lexicographic wire minimization + detailed stub routing, soc1");
+  const Soc soc = builtin_soc1();
+  const BusPlan plan = plan_buses(soc, 3);
+  const LayoutConstraints layout(plan, soc.num_cores(), -1);
+
+  Table out({"widths", "T_opt", "wire_plain", "wire_lex", "saved%",
+             "routed_lex", "overflow_sp", "overflow_ca"});
+  const std::vector<std::vector<int>> configs{
+      {8, 8, 8}, {16, 8, 8}, {16, 16, 8}, {16, 16, 16}, {24, 16, 8}, {32, 16, 16}};
+  for (const auto& widths : configs) {
+    const int max_width = *std::max_element(widths.begin(), widths.end());
+    const TestTimeTable table(soc, max_width);
+    const TamProblem problem = make_tam_problem(soc, table, widths, &layout);
+    const auto plain = solve_exact(problem);
+    const auto lex = solve_exact_lex(problem);
+    if (!plain.feasible || !lex.feasible) continue;
+    const long long wire_plain =
+        layout.assignment_wirelength(plain.assignment.core_to_bus);
+    const long long wire_lex =
+        layout.assignment_wirelength(lex.assignment.core_to_bus);
+    if (lex.assignment.makespan != plain.assignment.makespan) {
+      std::printf("LEX CHANGED THE MAKESPAN — bug!\n");
+      return 1;
+    }
+    StubRouterOptions shortest;
+    shortest.congestion_aware = false;
+    const auto routed_sp = route_stubs(soc, plan, lex.assignment.core_to_bus, shortest);
+    const auto routed_ca = route_stubs(soc, plan, lex.assignment.core_to_bus);
+    std::string label;
+    for (std::size_t j = 0; j < widths.size(); ++j) {
+      label += (j ? "/" : "") + std::to_string(widths[j]);
+    }
+    out.row()
+        .add(label)
+        .add(plain.assignment.makespan)
+        .add(wire_plain)
+        .add(wire_lex)
+        .add(wire_plain > 0
+                 ? 100.0 * (1.0 - static_cast<double>(wire_lex) /
+                                      static_cast<double>(wire_plain))
+                 : 0.0,
+             1)
+        .add(routed_ca.total_length)
+        .add(routed_sp.overflow_cells)
+        .add(routed_ca.overflow_cells);
+  }
+  std::cout << out.to_ascii();
+  std::cout << "\n(wire_* = abstract detour sums; routed_lex = detail-routed "
+               "stub edges;\n overflow_* = channel cells above capacity 3, "
+               "shortest-path vs congestion-aware)\n\n";
+
+  // Channel-capacity sweep at the 16/16/16 configuration: how tight can the
+  // channels get before detailed routing overflows, and how much does
+  // congestion awareness buy?
+  {
+    const TestTimeTable table(soc, 16);
+    const TamProblem problem =
+        make_tam_problem(soc, table, {16, 16, 16}, &layout);
+    const auto lex = solve_exact_lex(problem);
+    Table sweep({"cell_capacity", "overflow_shortest", "overflow_congestion",
+                 "len_shortest", "len_congestion"});
+    for (int capacity : {4, 3, 2, 1}) {
+      StubRouterOptions sp;
+      sp.congestion_aware = false;
+      sp.cell_capacity = capacity;
+      StubRouterOptions ca;
+      ca.cell_capacity = capacity;
+      const auto routed_sp = route_stubs(soc, plan, lex.assignment.core_to_bus, sp);
+      const auto routed_ca = route_stubs(soc, plan, lex.assignment.core_to_bus, ca);
+      sweep.row()
+          .add(capacity)
+          .add(routed_sp.overflow_cells)
+          .add(routed_ca.overflow_cells)
+          .add(routed_sp.total_length)
+          .add(routed_ca.total_length);
+    }
+    std::cout << "channel capacity sweep (widths 16/16/16):\n"
+              << sweep.to_ascii() << "\n";
+  }
+  return 0;
+}

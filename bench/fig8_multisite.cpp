@@ -1,0 +1,48 @@
+// Figure 8 (extension, after the multisite ATE-resource line): test
+// throughput versus site count for a fixed tester channel budget. More
+// sites test more chips at once but starve each chip of TAM width. Shape
+// check: per-chip test time is non-increasing in per-site width; the
+// throughput curve rises while the SOC's test time is width-saturated and
+// peaks at an interior site count.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/multisite.hpp"
+
+using namespace soctest;
+
+namespace {
+
+void sweep(const Soc& soc, int channels) {
+  std::printf("-- %s on a %d-channel tester --\n", soc.name().c_str(), channels);
+  MultisiteOptions options;
+  options.num_buses = 2;
+  options.max_sites = 12;
+  Table out({"sites", "width/site", "T_chip", "kchips_per_Mcycle"});
+  for (const auto& point : multisite_sweep(soc, channels, options)) {
+    out.row().add(point.sites).add(point.width_per_site);
+    if (!point.feasible) {
+      out.add("-").add("-");
+      continue;
+    }
+    out.add(point.test_time).add(point.throughput_kchips, 1);
+  }
+  std::cout << out.to_ascii();
+  const auto best = best_multisite(soc, channels, options);
+  std::printf("best: %d sites x %d wires -> %.1f kchips/Mcycle\n\n",
+              best.sites, best.width_per_site, best.throughput_kchips);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << benchutil::header(
+      "Figure 8", "multisite throughput vs site count (B=2 per chip)");
+  sweep(builtin_soc2(), 64);
+  sweep(builtin_soc1(), 64);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Google-benchmark microbenchmarks for the hot kernels: wrapper design,
+// test-time table construction, maze routing, simplex, and the TAM solvers.
+
+#include <benchmark/benchmark.h>
+
+#include "soc/builtin.hpp"
+#include "soc/generator.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
+#include "tam/ilp_solver.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+namespace {
+
+void BM_WrapperDesign(benchmark::State& state) {
+  const Soc soc = builtin_soc1();
+  const auto idx = *soc.find_core("s38417");
+  const int w = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design_wrapper(soc.core(idx), w));
+  }
+}
+BENCHMARK(BM_WrapperDesign)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TestTimeTable(benchmark::State& state) {
+  const Soc soc = builtin_soc1();
+  const int max_width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TestTimeTable table(soc, max_width);
+    benchmark::DoNotOptimize(table.time(0, max_width));
+  }
+}
+BENCHMARK(BM_TestTimeTable)->Arg(16)->Arg(64);
+
+void BM_BusPlanning(benchmark::State& state) {
+  const Soc soc = builtin_soc1();
+  const int buses = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_buses(soc, buses));
+  }
+}
+BENCHMARK(BM_BusPlanning)->Arg(2)->Arg(4);
+
+// TamProblem is self-contained (matrices are copied in), so the SOC and
+// table can be temporaries.
+TamProblem sized_problem(int n) {
+  Rng rng(static_cast<std::uint64_t>(n));
+  SocGeneratorOptions gen;
+  gen.num_cores = n;
+  gen.place = false;
+  const Soc soc = generate_soc(gen, rng);
+  const TestTimeTable table(soc, 16);
+  return make_tam_problem(soc, table, {16, 8, 8});
+}
+
+void BM_ExactSolver(benchmark::State& state) {
+  const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_exact(problem));
+  }
+}
+BENCHMARK(BM_ExactSolver)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GreedyLpt(benchmark::State& state) {
+  const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_greedy_lpt(problem));
+  }
+}
+BENCHMARK(BM_GreedyLpt)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IlpSolver(benchmark::State& state) {
+  const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_ilp(problem));
+  }
+}
+BENCHMARK(BM_IlpSolver)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,47 @@
+// Table 1: per-core test time t_i(w) as a function of TAM width, for the
+// representative SOC. This regenerates the core test-time data the DAC 2000
+// formulation consumes (derived there from scan-chain reconfiguration; here
+// from wrapper design). Shape check: staircase, non-increasing, with
+// diminishing returns past each core's Pareto widths.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "wrapper/test_time_table.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Table 1", "core test time t_i(w) [cycles] vs TAM width, soc1");
+  const Soc soc = builtin_soc1();
+  const int widths[] = {1, 2, 4, 8, 16, 24, 32, 48, 64};
+  const TestTimeTable table(soc, 64);
+
+  std::vector<std::string> cols{"core", "patterns", "scanFF"};
+  for (int w : widths) cols.push_back("w=" + std::to_string(w));
+  cols.push_back("pareto");
+  Table out(cols);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    const Core& c = soc.core(i);
+    out.row().add(c.name).add(c.num_patterns).add(c.total_scan_flops());
+    for (int w : widths) out.add(table.time(i, w));
+    out.add(table.pareto_widths(i).size());
+  }
+  std::cout << out.to_ascii();
+
+  Cycles serial = 0, wide = 0;
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    serial += table.time(i, 1);
+    wide += table.time(i, 64);
+  }
+  std::printf(
+      "\ntotal serial load: w=1 -> %lld cycles, w=64 -> %lld cycles "
+      "(%.1fx reduction)\n\n",
+      static_cast<long long>(serial), static_cast<long long>(wide),
+      static_cast<double>(serial) / static_cast<double>(wide));
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Table 2: optimal system test time for the unconstrained architecture
+// design problem across bus counts B and total TAM width W, comparing the
+// exact solver (the paper's ILP-grade optimum) against the greedy LPT and
+// simulated-annealing baselines. Shape check: more width/buses help; the
+// exact optimum lower-bounds every heuristic; heuristic gaps are small but
+// nonzero somewhere.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/width_partition.hpp"
+
+using namespace soctest;
+
+namespace {
+
+void run_soc(const Soc& soc) {
+  std::printf("-- %s (%zu cores) --\n", soc.name().c_str(), soc.num_cores());
+  Table out({"B", "W", "widths", "T_exact", "T_greedy", "T_sa", "greedy/opt",
+             "sa/opt", "partitions", "nodes"});
+  for (int num_buses : {2, 3, 4}) {
+    for (int total_width : {16, 24, 32, 48, 64}) {
+      const TestTimeTable table(soc, total_width - (num_buses - 1));
+      const auto exact = optimize_widths(soc, table, num_buses, total_width);
+      WidthPartitionOptions greedy_options;
+      greedy_options.solver = InnerSolver::kGreedy;
+      const auto greedy = optimize_widths(soc, table, num_buses, total_width,
+                                          nullptr, -1, -1.0, greedy_options);
+      WidthPartitionOptions sa_options;
+      sa_options.solver = InnerSolver::kSa;
+      const auto sa = optimize_widths(soc, table, num_buses, total_width,
+                                      nullptr, -1, -1.0, sa_options);
+      std::string widths;
+      for (std::size_t j = 0; j < exact.bus_widths.size(); ++j) {
+        widths += (j ? "/" : "") + std::to_string(exact.bus_widths[j]);
+      }
+      out.row()
+          .add(num_buses)
+          .add(total_width)
+          .add(widths)
+          .add(exact.assignment.makespan)
+          .add(greedy.assignment.makespan)
+          .add(sa.assignment.makespan)
+          .add(static_cast<double>(greedy.assignment.makespan) /
+                   static_cast<double>(exact.assignment.makespan),
+               3)
+          .add(static_cast<double>(sa.assignment.makespan) /
+                   static_cast<double>(exact.assignment.makespan),
+               3)
+          .add(exact.partitions_tried)
+          .add(exact.total_nodes);
+    }
+  }
+  std::cout << out.to_ascii() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << benchutil::header(
+      "Table 2", "unconstrained architecture optimization: exact vs baselines");
+  run_soc(builtin_soc1());
+  run_soc(builtin_soc2());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table 3: effect of the place-and-route constraints on the optimal test
+// time (the paper's first headline). Two forms are swept on soc1's
+// floorplan: (a) forbidden pairs via the detour-distance limit d_max, and
+// (b) the total stub-wiring budget L_max. Shape check: tightening either
+// constraint monotonically raises the optimal test time until the instance
+// becomes infeasible; wirelength falls as the budget tightens.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Table 3", "place-and-route constrained optimization, soc1, widths 16/16/16");
+  const Soc soc = builtin_soc1();
+  const std::vector<int> widths{16, 16, 16};
+  const TestTimeTable table(soc, 16);
+  const BusPlan plan = plan_buses(soc, 3);
+  std::printf("bus trunk wirelength: %lld grid edges\n\n",
+              plan.total_trunk_length());
+
+  std::cout << "(a) detour-distance limit d_max (forbidden pairs)\n";
+  Table ta({"d_max", "forbidden_pairs", "T_opt", "stub_wirelength", "status"});
+  for (int d_max : {-1, 40, 30, 25, 20, 15, 12, 10, 8, 6, 4, 2}) {
+    const LayoutConstraints layout(plan, soc.num_cores(), d_max);
+    int forbidden = 0;
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        if (!layout.allowed(i, j)) ++forbidden;
+      }
+    }
+    ta.row().add(d_max < 0 ? std::string("inf") : std::to_string(d_max));
+    ta.add(forbidden);
+    if (!layout.all_cores_connectable()) {
+      ta.add("-").add("-").add("INFEASIBLE (core unconnectable)");
+      continue;
+    }
+    const TamProblem problem = make_tam_problem(soc, table, widths, &layout);
+    const auto result = solve_exact(problem);
+    if (!result.feasible) {
+      ta.add("-").add("-").add("INFEASIBLE");
+      continue;
+    }
+    ta.add(result.assignment.makespan)
+        .add(layout.assignment_wirelength(result.assignment.core_to_bus))
+        .add("optimal");
+  }
+  std::cout << ta.to_ascii() << "\n";
+
+  std::cout << "(b) total stub-wiring budget L_max (d_max = inf)\n";
+  const LayoutConstraints loose(plan, soc.num_cores(), -1);
+  // Establish the unconstrained optimum's wirelength as the sweep anchor.
+  const TamProblem free_problem = make_tam_problem(soc, table, widths, &loose);
+  const auto free_result = solve_exact(free_problem);
+  const long long free_wire =
+      loose.assignment_wirelength(free_result.assignment.core_to_bus);
+  Table tb({"L_max", "T_opt", "stub_wirelength", "status"});
+  for (double factor : {2.0, 1.0, 0.8, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1}) {
+    const long long budget =
+        static_cast<long long>(static_cast<double>(free_wire) * factor);
+    const TamProblem problem =
+        make_tam_problem(soc, table, widths, &loose, budget);
+    const auto result = solve_exact(problem);
+    tb.row().add(budget);
+    if (!result.feasible) {
+      tb.add("-").add("-").add("INFEASIBLE");
+      continue;
+    }
+    tb.add(result.assignment.makespan)
+        .add(loose.assignment_wirelength(result.assignment.core_to_bus))
+        .add("optimal");
+  }
+  std::cout << tb.to_ascii() << "\n";
+  return 0;
+}

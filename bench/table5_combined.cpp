@@ -1,0 +1,57 @@
+// Table 5: the paper's headline — architecture optimization under
+// place-and-route AND power constraints simultaneously. A (d_max, P_max)
+// grid on soc1. Shape check: the combined optimum dominates both
+// single-constraint optima; corners of the grid go infeasible first (tight
+// layout pins cores to specific buses while tight power forces co-location,
+// and the two can contradict).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Table 5", "combined layout+power constraints, soc1, widths 16/16/16");
+  const Soc soc = builtin_soc1();
+  const std::vector<int> widths{16, 16, 16};
+  const TestTimeTable table(soc, 16);
+  const BusPlan plan = plan_buses(soc, 3);
+
+  const std::vector<int> d_sweep{-1, 30, 20, 15, 10};
+  const std::vector<double> p_sweep{-1, 2500, 2000, 1600, 1300};
+
+  std::vector<std::string> cols{"d_max \\ P_max"};
+  for (double p : p_sweep) {
+    cols.push_back(p < 0 ? "inf" : std::to_string(static_cast<int>(p)));
+  }
+  Table out(cols);
+  for (int d_max : d_sweep) {
+    out.row().add(d_max < 0 ? std::string("inf") : std::to_string(d_max));
+    const LayoutConstraints layout(plan, soc.num_cores(), d_max);
+    for (double p_max : p_sweep) {
+      if (!layout.all_cores_connectable()) {
+        out.add("INFEAS");
+        continue;
+      }
+      try {
+        const TamProblem problem =
+            make_tam_problem(soc, table, widths, &layout, -1, p_max);
+        const auto result = solve_exact(problem);
+        out.add(result.feasible ? std::to_string(result.assignment.makespan)
+                                : std::string("INFEAS"));
+      } catch (const std::runtime_error&) {
+        out.add("INFEAS");
+      }
+    }
+  }
+  std::cout << out.to_ascii();
+  std::cout << "\n(entries: optimal system test time in cycles)\n\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Table 7 (extension, after the multisite test-resource line): effect of
+// the ATE vector-memory depth limit. Each TAM channel stores one vector row
+// per test cycle, so a bus's total test length is capped by the tester
+// memory. Shape check: above the unconstrained optimum the limit is slack;
+// between the optimum and the minimum feasible per-bus load it forces
+// re-balancing (and can interact with the width split); below that the SOC
+// cannot be tested on that tester. Wider total TAM width buys back depth.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/width_partition.hpp"
+
+// Against the makespan objective alone the depth limit is exactly a
+// feasibility cap (min feasible depth == T_opt); its genuine trade-off
+// appears against a second objective — section (c) minimizes stub
+// wirelength subject to the depth cap.
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Table 7", "ATE vector-memory depth limit, soc1, B=3 width search W=48");
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 46);
+
+  const auto free_opt = optimize_widths(soc, table, 3, 48);
+  std::printf("unconstrained optimum: %lld cycles (widths",
+              static_cast<long long>(free_opt.assignment.makespan));
+  for (int w : free_opt.bus_widths) std::printf(" %d", w);
+  std::printf(")\n\n");
+
+  Table out({"depth_limit", "T_opt", "widths", "status"});
+  const Cycles base = free_opt.assignment.makespan;
+  for (double factor : {4.0, 2.0, 1.5, 1.2, 1.1, 1.0, 0.95, 0.9, 0.85, 0.8}) {
+    const auto depth = static_cast<Cycles>(static_cast<double>(base) * factor);
+    out.row().add(depth);
+    WidthPartitionOptions options;
+    options.bus_depth_limit = depth;
+    const auto r = optimize_widths(soc, table, 3, 48, nullptr, -1, -1.0, options);
+    if (!r.feasible) {
+      out.add("-").add("-").add("INFEASIBLE (tester too shallow)");
+      continue;
+    }
+    std::string widths;
+    for (std::size_t j = 0; j < r.bus_widths.size(); ++j) {
+      widths += (j ? "/" : "") + std::to_string(r.bus_widths[j]);
+    }
+    out.add(r.assignment.makespan).add(widths).add("optimal");
+  }
+  std::cout << out.to_ascii();
+
+  // Depth vs total width: a shallower tester can be compensated with more
+  // TAM wires (each channel then holds fewer cycles).
+  std::cout << "\nminimum feasible depth vs total width W (B=3):\n";
+  Table sweep({"W", "T_opt(W)", "min_feasible_depth"});
+  for (int total : {24, 32, 48, 64}) {
+    const TestTimeTable wide_table(soc, total - 2);
+    const auto opt = optimize_widths(soc, wide_table, 3, total);
+    // The optimum *is* the minimum feasible depth: depth < T is infeasible,
+    // depth = T is feasible by the optimal assignment itself.
+    sweep.row().add(total).add(opt.assignment.makespan).add(opt.assignment.makespan);
+  }
+  std::cout << sweep.to_ascii() << "\n";
+
+  // (c) Tester depth vs TAM wiring: with a deeper tester the optimizer may
+  // pick slower-but-local assignments, shrinking stub wiring. Minimize wire
+  // subject to makespan <= depth (widths 16/16/16).
+  std::cout << "(c) minimum stub wirelength subject to the depth cap:\n";
+  const BusPlan plan = plan_buses(soc, 3);
+  const LayoutConstraints layout(plan, soc.num_cores(), -1);
+  const TestTimeTable table3(soc, 16);
+  const TamProblem problem = make_tam_problem(soc, table3, {16, 16, 16}, &layout);
+  const auto opt = solve_exact(problem);
+  Table wires({"depth_cap", "min_wire", "realized_T"});
+  for (double factor : {1.0, 1.1, 1.25, 1.5, 2.0, 3.0}) {
+    const auto cap = static_cast<Cycles>(
+        static_cast<double>(opt.assignment.makespan) * factor);
+    const auto r = solve_exact_min_wire(problem, cap);
+    if (!r.feasible) continue;
+    wires.row()
+        .add(cap)
+        .add(layout.assignment_wirelength(r.assignment.core_to_bus))
+        .add(r.assignment.makespan);
+  }
+  std::cout << wires.to_ascii() << "\n";
+  return 0;
+}

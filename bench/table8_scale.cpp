@@ -1,0 +1,78 @@
+// Table 8 (extension): end-to-end scaling on the larger built-in SOCs
+// (soc3: 14 cores, soc4: 20 cores incl. soft cores). For fixed widths, the
+// exact solver's proof cost vs the heuristics; for width search, exhaustive
+// enumeration vs the alternating co-optimizer. Shape check: exact stays
+// interactive at 20 cores for fixed widths; the width-search partition
+// count, not the assignment solve, is what explodes — which is where the
+// alternating heuristic earns its keep.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
+#include "tam/width_dp.hpp"
+#include "tam/width_partition.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header("Table 8", "scaling on soc3 (14) and soc4 (20)");
+  std::cout << "(a) fixed widths 24/16/8: exact vs heuristics\n";
+  Table fixed({"soc", "T_exact", "ms", "nodes", "T_greedy", "greedy/opt",
+               "T_sa", "sa/opt"});
+  for (const Soc& soc : {builtin_soc3(), builtin_soc4()}) {
+    const TestTimeTable table(soc, 24);
+    const TamProblem problem = make_tam_problem(soc, table, {24, 16, 8});
+    benchutil::Stopwatch sw;
+    const auto exact = solve_exact(problem);
+    const double ms = sw.ms();
+    const auto greedy = solve_greedy_lpt(problem);
+    const auto sa = solve_sa(problem);
+    fixed.row()
+        .add(soc.name())
+        .add(exact.assignment.makespan)
+        .add(ms, 1)
+        .add(exact.nodes)
+        .add(greedy.assignment.makespan)
+        .add(static_cast<double>(greedy.assignment.makespan) /
+                 static_cast<double>(exact.assignment.makespan),
+             3)
+        .add(sa.assignment.makespan)
+        .add(static_cast<double>(sa.assignment.makespan) /
+                 static_cast<double>(exact.assignment.makespan),
+             3);
+  }
+  std::cout << fixed.to_ascii() << "\n";
+
+  std::cout << "(b) width search, B=3: exhaustive vs alternating\n";
+  Table search({"soc", "W", "T_exhaustive", "ms_exh", "T_alternating",
+                "ms_alt", "gap%"});
+  for (const Soc& soc : {builtin_soc3(), builtin_soc4()}) {
+    for (int total : {32, 64}) {
+      const TestTimeTable table(soc, total - 2);
+      benchutil::Stopwatch sw_exh;
+      const auto exhaustive = optimize_widths(soc, table, 3, total);
+      const double ms_exh = sw_exh.ms();
+      benchutil::Stopwatch sw_alt;
+      const auto alternating = optimize_alternating(soc, table, 3, total);
+      const double ms_alt = sw_alt.ms();
+      search.row()
+          .add(soc.name())
+          .add(total)
+          .add(exhaustive.assignment.makespan)
+          .add(ms_exh, 1)
+          .add(alternating.assignment.makespan)
+          .add(ms_alt, 1)
+          .add(100.0 * (static_cast<double>(alternating.assignment.makespan) /
+                            static_cast<double>(exhaustive.assignment.makespan) -
+                        1.0),
+               1);
+    }
+  }
+  std::cout << search.to_ascii() << "\n";
+  return 0;
+}

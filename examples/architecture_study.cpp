@@ -1,0 +1,119 @@
+// Architecture study: the full decision space a test architect faces for
+// one SOC, in a single run — bus vs daisy-chain style, width scaling,
+// multisite throughput, power strategy comparison (pairwise / busmax /
+// idle insertion / preemption) — plus SVG and JSON artifacts.
+//
+//   $ ./build/examples/architecture_study [output_dir]
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "layout/stub_router.hpp"
+#include "report/design_report.hpp"
+#include "report/svg.hpp"
+#include "sched/gantt.hpp"
+#include "sched/power_sched.hpp"
+#include "sched/preemptive.hpp"
+#include "soc/builtin.hpp"
+#include "tam/architect.hpp"
+#include "tam/daisychain.hpp"
+#include "tam/multisite.hpp"
+
+using namespace soctest;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const Soc soc = builtin_soc1();
+  std::printf("=== architecture study: %s ===\n\n", soc.name().c_str());
+
+  // 1. Architecture style: bus vs daisy-chain at the same widths.
+  std::printf("1) TAM style (widths 16/16):\n");
+  const TestTimeTable table(soc, 16);
+  const TamProblem bus_problem = make_tam_problem(soc, table, {16, 16});
+  const auto bus = solve_exact(bus_problem);
+  const DaisychainProblem rail_problem =
+      make_daisychain_problem(soc, table, {16, 16});
+  const auto rail = solve_daisychain_exact(rail_problem);
+  std::printf("   multiplexed bus: %lld cycles\n",
+              static_cast<long long>(bus.assignment.makespan));
+  std::printf("   daisy-chain:     %lld cycles (+%lld bypass overhead)\n\n",
+              static_cast<long long>(rail.assignment.makespan),
+              static_cast<long long>(rail.assignment.makespan -
+                                     bus.assignment.makespan));
+
+  // 2. Width scaling: how much TAM is worth buying.
+  std::printf("2) width scaling (2 buses, exact width split):\n");
+  for (int total : {16, 32, 48, 64}) {
+    DesignRequest request;
+    request.num_buses = 2;
+    request.total_width = total;
+    const auto result = design_architecture(soc, request);
+    std::printf("   W=%2d -> %6lld cycles (widths %d/%d)\n", total,
+                static_cast<long long>(result.assignment.makespan),
+                result.bus_widths[0], result.bus_widths[1]);
+  }
+  std::printf("\n");
+
+  // 3. Power strategies at a 1800 mW budget.
+  std::printf("3) power strategy comparison (1800 mW, widths 16/16):\n");
+  {
+    const TamProblem pairwise =
+        make_tam_problem(soc, table, {16, 16}, nullptr, -1, 1800.0);
+    const auto pairwise_result = solve_exact(pairwise);
+    std::printf("   pairwise serialization: %lld cycles\n",
+                static_cast<long long>(pairwise_result.assignment.makespan));
+    const TamProblem busmax =
+        make_tam_problem(soc, table, {16, 16}, nullptr, -1, 1800.0,
+                         PowerConstraintMode::kBusMaxSum);
+    const auto busmax_result = solve_exact(busmax);
+    std::printf("   bus-max-sum:            %lld cycles (sound for any B)\n",
+                static_cast<long long>(busmax_result.assignment.makespan));
+    PowerScheduleOptions idle_options;
+    idle_options.p_max_mw = 1800.0;
+    const auto idle = build_power_aware_schedule(
+        bus_problem, soc, bus.assignment.core_to_bus, idle_options);
+    std::printf("   idle insertion:         %lld cycles\n",
+                static_cast<long long>(idle.schedule.makespan));
+    const auto preemptive = build_preemptive_schedule(
+        bus_problem, soc, bus.assignment.core_to_bus, 1800.0);
+    std::printf("   preemptive LRPT:        %lld cycles (%d preemptions)\n\n",
+                static_cast<long long>(preemptive.schedule.makespan),
+                preemptive.preemptions);
+    std::cout << render_preemptive_gantt(soc, preemptive.schedule) << "\n";
+  }
+
+  // 4. Multisite: how to load a 64-channel tester.
+  std::printf("4) multisite on a 64-channel tester:\n");
+  MultisiteOptions ms;
+  ms.num_buses = 2;
+  ms.max_sites = 8;
+  const auto best = best_multisite(soc, 64, ms);
+  std::printf("   best: %d sites x %d wires -> %.1f kchips/Mcycle\n\n",
+              best.sites, best.width_per_site, best.throughput_kchips);
+
+  // 5. Artifacts: SVG floorplan + JSON report of the recommended design.
+  DesignRequest final_request;
+  final_request.bus_widths = {16, 16};
+  final_request.use_layout = true;
+  final_request.p_max_mw = 1800.0;
+  const auto final_design = design_architecture(soc, final_request);
+  const StubRoutes stubs = route_stubs(soc, *final_design.bus_plan,
+                                       final_design.assignment.core_to_bus);
+  const std::string svg =
+      render_floorplan_svg(soc, &*final_design.bus_plan, &stubs);
+  std::ofstream(out_dir + "/floorplan.svg") << svg;
+  const TamProblem final_problem = make_tam_problem(
+      soc, table, final_request.bus_widths, nullptr, -1, 1800.0);
+  const TestSchedule schedule =
+      build_schedule(final_problem, final_design.assignment.core_to_bus);
+  std::ofstream(out_dir + "/design.json")
+      << design_report_json(soc, final_request, final_design, &schedule);
+  std::printf("5) wrote %s/floorplan.svg and %s/design.json\n\n",
+              out_dir.c_str(), out_dir.c_str());
+
+  std::cout << "power profile of the recommended design:\n"
+            << render_power_profile(soc, schedule, 1800.0) << "\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Quickstart: design a test access architecture for the built-in
+// representative SOC and print the resulting assignment and schedule.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the minimal public API path: Soc -> DesignRequest ->
+// design_architecture -> describe_design / render_gantt.
+
+#include <iostream>
+
+#include "sched/gantt.hpp"
+#include "sched/schedule.hpp"
+#include "soc/builtin.hpp"
+#include "tam/architect.hpp"
+
+using namespace soctest;
+
+int main() {
+  // 1. Get an SOC. Build your own with Soc::add_core, read one from a .soc
+  //    file with read_soc_file, or start from the bundled benchmarks.
+  const Soc soc = builtin_soc1();
+  std::cout << "SOC '" << soc.name() << "' with " << soc.num_cores()
+            << " cores, total test power " << soc.total_test_power()
+            << " mW\n\n";
+
+  // 2. Describe the architecture you want: here, let the optimizer split a
+  //    total of 32 TAM wires across 2 test buses (exact width search).
+  DesignRequest request;
+  request.num_buses = 2;
+  request.total_width = 32;
+
+  // 3. Optimize. The result carries the chosen widths, the optimal core
+  //    assignment, and proof status.
+  const DesignResult result = design_architecture(soc, request);
+  std::cout << describe_design(soc, request, result);
+
+  // 4. Realize the schedule and draw it.
+  const TestTimeTable table(soc, request.total_width);
+  const TamProblem problem =
+      make_tam_problem(soc, table, result.bus_widths);
+  const TestSchedule schedule =
+      build_schedule(problem, result.assignment.core_to_bus);
+  std::cout << "\n" << render_gantt(soc, schedule);
+  return 0;
+}

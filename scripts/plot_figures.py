@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the figure benches.
+
+The fig* bench binaries print a "CSV series for plotting:" block after their
+ASCII tables. Pipe a bench's output into this script (or pass a file) to get
+a PNG per figure. Requires matplotlib; the repo itself never depends on it.
+
+  ./build/bench/fig1_width_curve | scripts/plot_figures.py -o fig1.png
+  scripts/plot_figures.py bench_output.txt -o figures/
+"""
+
+import argparse
+import sys
+
+
+def extract_csv_blocks(lines):
+    """Yields (title, rows) for each CSV block in bench output."""
+    title = "figure"
+    block = []
+    in_csv = False
+    for line in lines:
+        line = line.rstrip("\n")
+        if line.startswith("==== "):
+            title = line.strip("= ").strip()
+        if in_csv:
+            if "," in line:
+                block.append(line.split(","))
+                continue
+            if block:
+                yield title, block
+            block, in_csv = [], False
+        if line.startswith("CSV series for plotting"):
+            in_csv = True
+    if block:
+        yield title, block
+
+
+def plot_block(title, rows, path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    header, data = rows[0], rows[1:]
+    xs, series = [], {name: [] for name in header[1:]}
+    for row in data:
+        try:
+            x = float(row[0])
+        except ValueError:
+            continue
+        xs.append(x)
+        for name, cell in zip(header[1:], row[1:]):
+            try:
+                series[name].append(float(cell))
+            except ValueError:
+                series[name].append(None)
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for name, ys in series.items():
+        pts = [(x, y) for x, y in zip(xs, ys) if y is not None]
+        if pts:
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o",
+                    markersize=3, label=name)
+    ax.set_xlabel(header[0])
+    ax.set_title(title, fontsize=10)
+    ax.grid(True, alpha=0.3)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("input", nargs="?", help="bench output file (default stdin)")
+    parser.add_argument("-o", "--output", default="figure.png",
+                        help="output PNG, or a directory for multiple blocks")
+    args = parser.parse_args()
+    lines = open(args.input).readlines() if args.input else sys.stdin.readlines()
+    blocks = list(extract_csv_blocks(lines))
+    if not blocks:
+        sys.exit("no CSV blocks found (run a fig* bench)")
+    import os
+
+    if os.path.isdir(args.output):
+        for k, (title, rows) in enumerate(blocks):
+            plot_block(title, rows, os.path.join(args.output, f"fig_{k}.png"))
+    else:
+        plot_block(*blocks[0], args.output)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+#include "cli/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace soctest {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument(msg + "\n" + cli_usage());
+}
+
+int to_int(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) fail(flag + ": trailing characters in '" + value + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(flag + ": expected an integer, got '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail(flag + ": value out of range");
+  }
+}
+
+double to_double(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) fail(flag + ": trailing characters in '" + value + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(flag + ": expected a number, got '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail(flag + ": value out of range");
+  }
+}
+
+std::vector<int> to_int_list(const std::string& value, const std::string& flag) {
+  std::vector<int> out;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) fail(flag + ": empty element in list");
+    out.push_back(to_int(item, flag));
+  }
+  if (out.empty()) fail(flag + ": empty list");
+  return out;
+}
+
+}  // namespace
+
+CliOptions parse_cli(const std::vector<std::string>& args) {
+  CliOptions options;
+  std::size_t i = 0;
+  auto value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) fail(flag + " requires a value");
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--soc") {
+      options.soc = value(arg);
+    } else if (arg == "--widths") {
+      options.widths = to_int_list(value(arg), arg);
+      for (int w : options.widths) {
+        if (w < 1) fail("--widths: widths must be positive");
+      }
+    } else if (arg == "--buses") {
+      options.buses = to_int(value(arg), arg);
+      if (options.buses < 1) fail("--buses must be positive");
+    } else if (arg == "--width") {
+      options.total_width = to_int(value(arg), arg);
+      if (options.total_width < 1) fail("--width must be positive");
+    } else if (arg == "--dmax") {
+      options.d_max = to_int(value(arg), arg);
+    } else if (arg == "--wire-budget") {
+      options.wire_budget = to_int(value(arg), arg);
+    } else if (arg == "--pmax") {
+      options.p_max = to_double(value(arg), arg);
+    } else if (arg == "--ate-depth") {
+      options.ate_depth = to_int(value(arg), arg);
+      if (options.ate_depth < 1) fail("--ate-depth must be positive");
+    } else if (arg == "--solver") {
+      const std::string name = value(arg);
+      if (name == "exact") {
+        options.solver = InnerSolver::kExact;
+      } else if (name == "ilp") {
+        options.solver = InnerSolver::kIlp;
+      } else if (name == "greedy") {
+        options.solver = InnerSolver::kGreedy;
+      } else if (name == "sa") {
+        options.solver = InnerSolver::kSa;
+      } else {
+        fail("--solver: unknown solver '" + name + "'");
+      }
+    } else if (arg == "--power-mode") {
+      const std::string name = value(arg);
+      if (name == "pairwise") {
+        options.power_mode = PowerConstraintMode::kPairwiseSerialization;
+      } else if (name == "busmax") {
+        options.power_mode = PowerConstraintMode::kBusMaxSum;
+      } else {
+        fail("--power-mode: expected pairwise or busmax, got '" + name + "'");
+      }
+    } else if (arg == "--gantt") {
+      options.gantt = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--svg") {
+      options.svg_path = value(arg);
+    } else if (arg == "--idle-insertion") {
+      options.idle_insertion = true;
+    } else {
+      fail("unknown argument '" + arg + "'");
+    }
+  }
+  if (options.widths.empty() && options.total_width < options.buses) {
+    fail("--width must be at least --buses (one wire per bus)");
+  }
+  return options;
+}
+
+std::string cli_usage() {
+  return R"(usage: soctest [options]
+
+SOC selection:
+  --soc <name|path>     built-in soc1/soc2/soc3 or a .soc file (default soc1)
+
+Architecture:
+  --widths w1,w2,...    explicit bus widths (skips the width search)
+  --buses B             number of test buses for the width search (default 2)
+  --width W             total TAM width to distribute (default 32)
+
+Constraints:
+  --dmax D              max core-to-trunk detour distance (needs placement)
+  --wire-budget L       total stub wiring budget (needs placement)
+  --pmax P              test power ceiling in mW
+  --power-mode M        pairwise (DAC 2000 serialization, exact for B=2) or
+                        busmax (bus-max-sum, sound for any B); default pairwise
+  --ate-depth D         ATE vector-memory depth per TAM channel (cycles)
+
+Solving:
+  --solver S            exact | ilp | greedy | sa (default exact)
+  --idle-insertion      meet --pmax by delaying test starts instead of
+                        co-assigning conflicting cores
+  --gantt               draw the schedule
+  --json                emit a machine-readable JSON design report
+  --svg FILE            write an SVG floorplan (cores, trunks, stubs);
+                        requires a placed SOC
+  --help                this text
+)";
+}
+
+}  // namespace soctest

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tam/width_partition.hpp"
+
+namespace soctest {
+
+/// Parsed command line of the `soctest` tool.
+struct CliOptions {
+  bool help = false;
+  /// Path to a .soc file, or one of the built-in names soc1/soc2/soc3.
+  std::string soc = "soc1";
+  /// Explicit widths (--widths 16,8,8); overrides buses/width search.
+  std::vector<int> widths;
+  int buses = 2;
+  int total_width = 32;
+  int d_max = -1;
+  long long wire_budget = -1;
+  double p_max = -1.0;
+  long long ate_depth = -1;
+  InnerSolver solver = InnerSolver::kExact;
+  PowerConstraintMode power_mode = PowerConstraintMode::kPairwiseSerialization;
+  bool gantt = false;
+  bool idle_insertion = false;
+  /// Emit a machine-readable JSON design report instead of the text report.
+  bool json = false;
+  /// When non-empty, write an SVG floorplan (die, cores, trunks, stubs) to
+  /// this path. Requires a placed SOC.
+  std::string svg_path;  ///< schedule-level power handling instead of
+                                ///< pairwise serialization
+};
+
+/// Parses argv-style arguments (without argv[0]). Throws
+/// std::invalid_argument with a user-facing message on malformed input.
+CliOptions parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+std::string cli_usage();
+
+}  // namespace soctest

@@ -1,0 +1,136 @@
+#include "cli/run.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include <fstream>
+
+#include "layout/stub_router.hpp"
+#include "report/design_report.hpp"
+#include "report/svg.hpp"
+#include "sched/gantt.hpp"
+#include "sched/power_profile.hpp"
+#include "sched/power_sched.hpp"
+#include "sched/schedule.hpp"
+#include "soc/builtin.hpp"
+#include "soc/soc_format.hpp"
+#include "tam/architect.hpp"
+
+namespace soctest {
+
+namespace {
+
+Soc load_soc(const std::string& name) {
+  if (name == "soc1") return builtin_soc1();
+  if (name == "soc2") return builtin_soc2();
+  if (name == "soc3") return builtin_soc3();
+  if (name == "soc4") return builtin_soc4();
+  return read_soc_file(name);
+}
+
+}  // namespace
+
+CliResult run_cli(const CliOptions& options) {
+  CliResult result;
+  std::ostringstream out;
+  if (options.help) {
+    result.output = cli_usage();
+    return result;
+  }
+  try {
+    const Soc soc = load_soc(options.soc);
+
+    DesignRequest request;
+    request.bus_widths = options.widths;
+    request.num_buses = options.buses;
+    request.total_width = options.total_width;
+    request.d_max = options.d_max;
+    request.wire_budget = options.wire_budget;
+    request.solver = options.solver;
+    // With idle insertion, power is handled at the schedule level, so the
+    // assignment itself is solved unconstrained in power.
+    if (!options.idle_insertion) request.p_max_mw = options.p_max;
+    request.power_mode = options.power_mode;
+    request.ate_depth_limit = options.ate_depth;
+
+    const DesignResult design = design_architecture(soc, request);
+    if (!options.json) out << describe_design(soc, request, design);
+    if (!design.feasible) {
+      if (options.json) out << design_report_json(soc, request, design) << "\n";
+      result.exit_code = 1;
+      result.output = out.str();
+      return result;
+    }
+
+    // Realize the schedule.
+    const int max_width = *std::max_element(design.bus_widths.begin(),
+                                            design.bus_widths.end());
+    const TestTimeTable table(soc, max_width);
+    const TamProblem problem = make_tam_problem(
+        soc, table, design.bus_widths, nullptr, -1,
+        options.idle_insertion ? -1.0 : options.p_max, options.power_mode);
+    TestSchedule schedule;
+    if (options.idle_insertion && options.p_max >= 0) {
+      PowerScheduleOptions sched_options;
+      sched_options.p_max_mw = options.p_max;
+      const PowerScheduleResult ps = build_power_aware_schedule(
+          problem, soc, design.assignment.core_to_bus, sched_options);
+      if (!ps.feasible) {
+        out << "idle-insertion scheduling failed: " << ps.error << "\n";
+        result.exit_code = 1;
+        result.output = out.str();
+        return result;
+      }
+      schedule = ps.schedule;
+      if (!options.json) {
+        out << "idle-insertion schedule: makespan " << schedule.makespan
+            << " cycles (" << ps.idle_inserted << " idle bus-cycles inserted)\n";
+      }
+    } else {
+      schedule = build_schedule(problem, design.assignment.core_to_bus);
+    }
+    if (options.p_max >= 0 && !options.json) {
+      const double peak = compute_power_profile(soc, schedule).peak();
+      out << "schedule peak power: " << peak << " mW (budget " << options.p_max
+          << " mW) -> "
+          << (check_power(soc, schedule, options.p_max).empty() ? "OK"
+                                                                : "VIOLATION")
+          << "\n";
+    }
+    if (options.json) {
+      out << design_report_json(soc, request, design, &schedule) << "\n";
+    }
+    if (options.gantt) out << "\n" << render_gantt(soc, schedule);
+    if (!options.svg_path.empty()) {
+      if (!soc.has_placement()) {
+        out << "error: --svg requires a placed SOC\n";
+        result.exit_code = 2;
+        result.output = out.str();
+        return result;
+      }
+      std::optional<BusPlan> plan;
+      std::optional<StubRoutes> stubs;
+      if (design.bus_plan) {
+        plan = design.bus_plan;
+        stubs = route_stubs(soc, *plan, design.assignment.core_to_bus);
+      }
+      std::ofstream svg_file(options.svg_path);
+      if (!svg_file) {
+        out << "error: cannot write " << options.svg_path << "\n";
+        result.exit_code = 2;
+        result.output = out.str();
+        return result;
+      }
+      svg_file << render_floorplan_svg(soc, plan ? &*plan : nullptr,
+                                       stubs ? &*stubs : nullptr);
+      if (!options.json) out << "wrote " << options.svg_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    result.exit_code = 2;
+  }
+  result.output = out.str();
+  return result;
+}
+
+}  // namespace soctest

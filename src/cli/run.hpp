@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "cli/options.hpp"
+
+namespace soctest {
+
+/// Executes a parsed command line and returns (exit_code, full stdout text).
+/// Separated from main() so the driver is unit-testable.
+struct CliResult {
+  int exit_code = 0;
+  std::string output;
+};
+
+CliResult run_cli(const CliOptions& options);
+
+}  // namespace soctest

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace soctest {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// All stochastic components of the library (instance generation, simulated
+/// annealing, placement) take an explicit Rng so that every experiment is
+/// reproducible from a seed. The engine is self-contained to guarantee
+/// identical streams across standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random index into a container of the given size.
+  /// Requires size > 0.
+  std::size_t index(std::size_t size);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace soctest

@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace soctest {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  assert(!rows_.empty());
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(double value, int precision) {
+  char buf[64];
+  if (precision < 0) {
+    std::snprintf(buf, sizeof buf, "%g", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  }
+  return add(std::string(buf));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << cell << std::string(width[c] - cell.size(), ' ');
+      out << (c + 1 == header_.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c], '-') << (c + 1 == header_.size() ? "\n" : "  ");
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      assert(cells[c].find(',') == std::string::npos);
+      out << cells[c] << (c + 1 == cells.size() ? "" : ",");
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+}  // namespace soctest

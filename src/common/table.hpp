@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace soctest {
+
+/// Minimal column-aligned table builder used by the benchmark harness and
+/// examples to print paper-style tables. Cells are strings; numeric helpers
+/// format with fixed precision. Output styles: aligned ASCII and CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+
+  Table& add(std::string cell);
+  /// Any integer type.
+  template <typename T>
+    requires std::is_integral_v<T>
+  Table& add(T value) {
+    return add(std::to_string(value));
+  }
+  /// Fixed-precision double; precision<0 chooses %g.
+  Table& add(double value, int precision = 2);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Column-aligned ASCII rendering with a header separator line.
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (no quoting beyond commas -> cells must not contain
+  /// commas; asserts in debug builds).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace soctest

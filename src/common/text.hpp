@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soctest {
+
+/// Splits on any run of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view line);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// ceil(a / b) for positive integers.
+constexpr long long ceil_div(long long a, long long b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace soctest

@@ -1,0 +1,181 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <queue>
+
+namespace soctest {
+
+namespace {
+
+struct Node {
+  double lp_bound;                 // LP relaxation objective (lower bound)
+  std::vector<double> lower;       // per-variable bound overrides
+  std::vector<double> upper;
+  std::vector<double> x;           // LP solution at this node
+  bool operator<(const Node& other) const {
+    return lp_bound > other.lp_bound;  // min-heap on bound via priority_queue
+  }
+};
+
+/// Most fractional integer variable, or -1 if the solution is integral.
+int pick_branch_variable(const LinearProgram& lp, const std::vector<double>& x,
+                         double tol) {
+  int best = -1;
+  double best_frac_dist = tol;
+  for (int i = 0; i < lp.num_variables(); ++i) {
+    if (lp.variable(i).kind == VarKind::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(i)];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);  // distance to integrality
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
+  MipResult result;
+  LinearProgram work = lp;  // bounds are mutated per node, then restored
+
+  auto solve_node = [&](const std::vector<double>& lower,
+                        const std::vector<double>& upper) -> LpResult {
+    for (int i = 0; i < work.num_variables(); ++i) {
+      work.set_bounds(i, lower[static_cast<std::size_t>(i)],
+                      upper[static_cast<std::size_t>(i)]);
+    }
+    return solve_lp(work, options.simplex);
+  };
+
+  std::vector<double> root_lower, root_upper;
+  for (int i = 0; i < lp.num_variables(); ++i) {
+    root_lower.push_back(lp.variable(i).lower);
+    root_upper.push_back(lp.variable(i).upper);
+  }
+
+  const LpResult root = solve_node(root_lower, root_upper);
+  ++result.nodes_explored;
+  if (root.status == LpStatus::kInfeasible) {
+    result.status = MipStatus::kInfeasible;
+    return result;
+  }
+  if (root.status == LpStatus::kUnbounded) {
+    result.status = MipStatus::kUnbounded;
+    return result;
+  }
+  if (root.status == LpStatus::kIterationLimit) {
+    result.status = MipStatus::kNodeLimit;
+    return result;
+  }
+
+  std::priority_queue<Node> open;
+  open.push(Node{root.objective, root_lower, root_upper, root.x});
+
+  bool have_incumbent = false;
+  double incumbent_obj = 0.0;
+  std::vector<double> incumbent_x;
+  result.best_bound = root.objective;
+
+  if (options.root_rounding) {
+    // Nearest-integer rounding of the root relaxation as a warm incumbent.
+    std::vector<double> rounded = root.x;
+    for (int i = 0; i < lp.num_variables(); ++i) {
+      if (lp.variable(i).kind != VarKind::kContinuous) {
+        rounded[static_cast<std::size_t>(i)] =
+            std::round(rounded[static_cast<std::size_t>(i)]);
+      }
+    }
+    // Re-optimize the continuous variables with integers fixed, so mixed
+    // models (e.g. a makespan variable) get a consistent completion.
+    std::vector<double> lower = root_lower;
+    std::vector<double> upper = root_upper;
+    bool in_bounds = true;
+    for (int i = 0; i < lp.num_variables() && in_bounds; ++i) {
+      if (lp.variable(i).kind == VarKind::kContinuous) continue;
+      const double v = rounded[static_cast<std::size_t>(i)];
+      if (v < lower[static_cast<std::size_t>(i)] - 1e-9 ||
+          v > upper[static_cast<std::size_t>(i)] + 1e-9) {
+        in_bounds = false;
+        break;
+      }
+      lower[static_cast<std::size_t>(i)] = v;
+      upper[static_cast<std::size_t>(i)] = v;
+    }
+    if (in_bounds) {
+      const LpResult completed = solve_node(lower, upper);
+      ++result.nodes_explored;
+      if (completed.status == LpStatus::kOptimal &&
+          lp.is_feasible(completed.x, options.integrality_tolerance)) {
+        have_incumbent = true;
+        incumbent_obj = completed.objective;
+        incumbent_x = completed.x;
+      }
+    }
+  }
+
+  while (!open.empty()) {
+    if (result.nodes_explored >= options.max_nodes) {
+      result.status = have_incumbent ? MipStatus::kNodeLimit : MipStatus::kNodeLimit;
+      if (have_incumbent) {
+        result.objective = incumbent_obj;
+        result.x = std::move(incumbent_x);
+      }
+      result.best_bound = open.top().lp_bound;
+      return result;
+    }
+    Node node = open.top();
+    open.pop();
+    result.best_bound = node.lp_bound;
+    if (have_incumbent && node.lp_bound >= incumbent_obj - options.absolute_gap) {
+      break;  // best-first: all remaining nodes are at least as bad
+    }
+    const int branch_var =
+        pick_branch_variable(lp, node.x, options.integrality_tolerance);
+    if (branch_var < 0) {
+      // Integral solution.
+      if (!have_incumbent || node.lp_bound < incumbent_obj) {
+        have_incumbent = true;
+        incumbent_obj = node.lp_bound;
+        incumbent_x = node.x;
+      }
+      continue;
+    }
+    const double v = node.x[static_cast<std::size_t>(branch_var)];
+    // Down branch: x <= floor(v); up branch: x >= ceil(v).
+    for (int dir = 0; dir < 2; ++dir) {
+      std::vector<double> lower = node.lower;
+      std::vector<double> upper = node.upper;
+      if (dir == 0) {
+        upper[static_cast<std::size_t>(branch_var)] = std::floor(v);
+      } else {
+        lower[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+      }
+      if (lower[static_cast<std::size_t>(branch_var)] >
+          upper[static_cast<std::size_t>(branch_var)] + 1e-9) {
+        continue;
+      }
+      const LpResult child = solve_node(lower, upper);
+      ++result.nodes_explored;
+      if (child.status != LpStatus::kOptimal) continue;  // infeasible/limit: prune
+      if (have_incumbent && child.objective >= incumbent_obj - options.absolute_gap) {
+        continue;
+      }
+      open.push(Node{child.objective, std::move(lower), std::move(upper), child.x});
+    }
+  }
+
+  if (have_incumbent) {
+    result.status = MipStatus::kOptimal;
+    result.objective = incumbent_obj;
+    result.x = std::move(incumbent_x);
+    result.best_bound = incumbent_obj;
+  } else {
+    result.status = MipStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace soctest

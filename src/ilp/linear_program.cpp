@@ -1,0 +1,115 @@
+#include "ilp/linear_program.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace soctest {
+
+int LinearProgram::add_variable(std::string name, double lower, double upper,
+                                VarKind kind, double objective) {
+  if (kind == VarKind::kBinary) {
+    lower = std::max(lower, 0.0);
+    upper = std::min(upper, 1.0);
+  }
+  if (lower > upper + 1e-12) {
+    throw std::invalid_argument("variable " + name + " has inverted bounds");
+  }
+  vars_.push_back(Variable{std::move(name), lower, upper, kind, objective});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int LinearProgram::add_binary(std::string name, double objective) {
+  return add_variable(std::move(name), 0.0, 1.0, VarKind::kBinary, objective);
+}
+
+int LinearProgram::add_row(std::string name,
+                           std::vector<std::pair<int, double>> coeffs,
+                           RowSense sense, double rhs) {
+  for (const auto& [var, coeff] : coeffs) {
+    (void)coeff;
+    if (var < 0 || var >= num_variables()) {
+      throw std::out_of_range("row " + name + " references unknown variable");
+    }
+  }
+  rows_.push_back(Row{std::move(name), std::move(coeffs), sense, rhs});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void LinearProgram::set_objective(int var, double coeff) {
+  vars_.at(static_cast<std::size_t>(var)).objective = coeff;
+}
+
+void LinearProgram::set_bounds(int var, double lower, double upper) {
+  if (lower > upper + 1e-9) {
+    throw std::invalid_argument("set_bounds: inverted interval");
+  }
+  auto& v = vars_.at(static_cast<std::size_t>(var));
+  v.lower = lower;
+  v.upper = upper;
+}
+
+double LinearProgram::objective_value(const std::vector<double>& x) const {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < vars_.size(); ++i) obj += vars_[i].objective * x.at(i);
+  return obj;
+}
+
+bool LinearProgram::is_feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (x[i] < vars_[i].lower - tol || x[i] > vars_[i].upper + tol) return false;
+    if (vars_[i].kind != VarKind::kContinuous &&
+        std::abs(x[i] - std::round(x[i])) > tol) {
+      return false;
+    }
+  }
+  for (const auto& row : rows_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : row.coeffs) {
+      lhs += coeff * x[static_cast<std::size_t>(var)];
+    }
+    switch (row.sense) {
+      case RowSense::kLe:
+        if (lhs > row.rhs + tol) return false;
+        break;
+      case RowSense::kGe:
+        if (lhs < row.rhs - tol) return false;
+        break;
+      case RowSense::kEq:
+        if (std::abs(lhs - row.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string LinearProgram::to_string() const {
+  std::ostringstream out;
+  out << "minimize";
+  for (const auto& v : vars_) {
+    if (v.objective != 0.0) out << " + " << v.objective << " " << v.name;
+  }
+  out << "\nsubject to\n";
+  for (const auto& row : rows_) {
+    out << "  " << row.name << ":";
+    for (const auto& [var, coeff] : row.coeffs) {
+      out << " + " << coeff << " " << vars_[static_cast<std::size_t>(var)].name;
+    }
+    switch (row.sense) {
+      case RowSense::kLe: out << " <= "; break;
+      case RowSense::kGe: out << " >= "; break;
+      case RowSense::kEq: out << " = "; break;
+    }
+    out << row.rhs << "\n";
+  }
+  out << "bounds\n";
+  for (const auto& v : vars_) {
+    out << "  " << v.lower << " <= " << v.name << " <= " << v.upper;
+    if (v.kind != VarKind::kContinuous) out << " integer";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace soctest

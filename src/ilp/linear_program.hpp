@@ -1,0 +1,77 @@
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+/// Row sense of a linear constraint.
+enum class RowSense { kLe, kGe, kEq };
+
+/// Variable domain kind. Binary is integer with bounds clamped to [0,1].
+enum class VarKind { kContinuous, kInteger, kBinary };
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A mixed-integer linear program in "minimize" orientation:
+///   min  c^T x
+///   s.t. a_r^T x  (<= | = | >=)  b_r   for each row r
+///        lo_i <= x_i <= up_i
+///        x_i integral for integer/binary variables.
+///
+/// Dense enough for the TAM formulations in this repo (tens to a few hundred
+/// variables); rows store sparse coefficient lists.
+class LinearProgram {
+ public:
+  struct Variable {
+    std::string name;
+    double lower = 0.0;
+    double upper = kInf;
+    VarKind kind = VarKind::kContinuous;
+    double objective = 0.0;
+  };
+
+  struct Row {
+    std::string name;
+    std::vector<std::pair<int, double>> coeffs;  // (variable index, coefficient)
+    RowSense sense = RowSense::kLe;
+    double rhs = 0.0;
+  };
+
+  /// Adds a variable; returns its index.
+  int add_variable(std::string name, double lower, double upper,
+                   VarKind kind = VarKind::kContinuous, double objective = 0.0);
+  int add_binary(std::string name, double objective = 0.0);
+
+  /// Adds a constraint row; returns its index. Coefficients for out-of-range
+  /// variable indices throw.
+  int add_row(std::string name, std::vector<std::pair<int, double>> coeffs,
+              RowSense sense, double rhs);
+
+  void set_objective(int var, double coeff);
+
+  int num_variables() const { return static_cast<int>(vars_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const Variable& variable(int i) const { return vars_.at(static_cast<std::size_t>(i)); }
+  const Row& row(int r) const { return rows_.at(static_cast<std::size_t>(r)); }
+
+  /// Tightens a variable's bounds (used by branch & bound). Throws if the
+  /// resulting interval is inverted beyond tolerance.
+  void set_bounds(int var, double lower, double upper);
+
+  /// Objective value of a given assignment.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// True if `x` satisfies all rows and bounds within `tol`.
+  bool is_feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+  /// Human-readable dump (LP-format-ish) for debugging.
+  std::string to_string() const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace soctest

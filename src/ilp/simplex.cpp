@@ -1,0 +1,291 @@
+#include "ilp/simplex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace soctest {
+
+namespace {
+
+/// Dense two-phase tableau. Column layout:
+///   [0, n)           shifted structural variables y_i = x_i - lo_i >= 0
+///   [n, n+m)         one slack/surplus column per row (surplus has -1)
+///   [n+m, n+m+a)     artificial columns (phase 1 only)
+/// plus the rhs held separately. Two cost rows are maintained and updated by
+/// the same row operations as the body: phase-1 (sum of artificials) and
+/// phase-2 (original objective on y).
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, const SimplexOptions& options)
+      : lp_(lp), opt_(options) {}
+
+  LpResult solve() {
+    build();
+    LpResult result;
+    // Phase 1: drive artificials to zero.
+    if (num_artificial_ > 0) {
+      const int it1 = iterate(/*phase1=*/true);
+      if (it1 < 0) return iteration_limit_result();
+      result.iterations += it1;
+      if (phase1_objective() > 1e-7) {
+        result.status = LpStatus::kInfeasible;
+        return result;
+      }
+      pivot_out_basic_artificials();
+    }
+    // Phase 2: minimize the true objective.
+    const int it2 = iterate(/*phase1=*/false);
+    result.iterations += it2 < 0 ? opt_.max_iterations : it2;
+    if (it2 < 0) return iteration_limit_result();
+    if (unbounded_) {
+      result.status = LpStatus::kUnbounded;
+      return result;
+    }
+    result.status = LpStatus::kOptimal;
+    result.x = extract_solution();
+    result.objective = lp_.objective_value(result.x);
+    return result;
+  }
+
+ private:
+  void build() {
+    n_ = lp_.num_variables();
+    shift_.resize(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      const auto& v = lp_.variable(i);
+      if (!std::isfinite(v.lower)) {
+        throw std::invalid_argument(
+            "simplex requires finite lower bounds (variable " + v.name + ")");
+      }
+      shift_[static_cast<std::size_t>(i)] = v.lower;
+    }
+
+    // Row list: model rows plus a `y_i <= up_i - lo_i` row per finite upper
+    // bound. Each entry: dense coefficient vector over y, sense, rhs.
+    struct RawRow {
+      std::vector<double> a;
+      RowSense sense;
+      double rhs;
+    };
+    std::vector<RawRow> raw;
+    for (int r = 0; r < lp_.num_rows(); ++r) {
+      const auto& row = lp_.row(r);
+      RawRow rr{std::vector<double>(static_cast<std::size_t>(n_), 0.0),
+                row.sense, row.rhs};
+      for (const auto& [var, coeff] : row.coeffs) {
+        rr.a[static_cast<std::size_t>(var)] += coeff;
+        rr.rhs -= coeff * shift_[static_cast<std::size_t>(var)];
+      }
+      raw.push_back(std::move(rr));
+    }
+    for (int i = 0; i < n_; ++i) {
+      const auto& v = lp_.variable(i);
+      if (std::isfinite(v.upper)) {
+        RawRow rr{std::vector<double>(static_cast<std::size_t>(n_), 0.0),
+                  RowSense::kLe, v.upper - v.lower};
+        rr.a[static_cast<std::size_t>(i)] = 1.0;
+        raw.push_back(std::move(rr));
+      }
+    }
+    m_ = static_cast<int>(raw.size());
+
+    // Normalize rhs >= 0.
+    for (auto& rr : raw) {
+      if (rr.rhs < 0) {
+        for (auto& c : rr.a) c = -c;
+        rr.rhs = -rr.rhs;
+        rr.sense = rr.sense == RowSense::kLe   ? RowSense::kGe
+                   : rr.sense == RowSense::kGe ? RowSense::kLe
+                                               : RowSense::kEq;
+      }
+    }
+    num_artificial_ = 0;
+    for (const auto& rr : raw) {
+      if (rr.sense != RowSense::kLe) ++num_artificial_;
+    }
+    cols_ = n_ + m_ + num_artificial_;
+    body_.assign(static_cast<std::size_t>(m_),
+                 std::vector<double>(static_cast<std::size_t>(cols_), 0.0));
+    rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    is_artificial_.assign(static_cast<std::size_t>(cols_), false);
+
+    int next_art = n_ + m_;
+    for (int r = 0; r < m_; ++r) {
+      auto& row = body_[static_cast<std::size_t>(r)];
+      const auto& rr = raw[static_cast<std::size_t>(r)];
+      for (int i = 0; i < n_; ++i) row[static_cast<std::size_t>(i)] = rr.a[static_cast<std::size_t>(i)];
+      rhs_[static_cast<std::size_t>(r)] = rr.rhs;
+      const int slack = n_ + r;
+      switch (rr.sense) {
+        case RowSense::kLe:
+          row[static_cast<std::size_t>(slack)] = 1.0;
+          basis_[static_cast<std::size_t>(r)] = slack;
+          break;
+        case RowSense::kGe:
+          row[static_cast<std::size_t>(slack)] = -1.0;
+          row[static_cast<std::size_t>(next_art)] = 1.0;
+          is_artificial_[static_cast<std::size_t>(next_art)] = true;
+          basis_[static_cast<std::size_t>(r)] = next_art++;
+          break;
+        case RowSense::kEq:
+          row[static_cast<std::size_t>(next_art)] = 1.0;
+          is_artificial_[static_cast<std::size_t>(next_art)] = true;
+          basis_[static_cast<std::size_t>(r)] = next_art++;
+          break;
+      }
+    }
+
+    // Cost rows. Phase 2 costs: original objective on y (constant term from
+    // the shift is re-added in objective_value()). Phase 1: sum of artificials.
+    cost2_.assign(static_cast<std::size_t>(cols_), 0.0);
+    for (int i = 0; i < n_; ++i) {
+      cost2_[static_cast<std::size_t>(i)] = lp_.variable(i).objective;
+    }
+    cost2_rhs_ = 0.0;
+    cost1_.assign(static_cast<std::size_t>(cols_), 0.0);
+    cost1_rhs_ = 0.0;
+    for (int c = n_ + m_; c < cols_; ++c) cost1_[static_cast<std::size_t>(c)] = 1.0;
+    // Price out the initial basis from both cost rows so reduced costs of
+    // basic columns are zero.
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      price_out(cost1_, cost1_rhs_, r, b);
+      price_out(cost2_, cost2_rhs_, r, b);
+    }
+  }
+
+  void price_out(std::vector<double>& cost, double& cost_rhs, int r, int col) {
+    const double factor = cost[static_cast<std::size_t>(col)];
+    if (factor == 0.0) return;
+    const auto& row = body_[static_cast<std::size_t>(r)];
+    for (int c = 0; c < cols_; ++c) cost[static_cast<std::size_t>(c)] -= factor * row[static_cast<std::size_t>(c)];
+    cost_rhs -= factor * rhs_[static_cast<std::size_t>(r)];
+  }
+
+  double phase1_objective() const { return -cost1_rhs_; }
+
+  /// Runs Bland-rule simplex on the given phase's cost row. Returns iteration
+  /// count, or -1 on iteration limit. Sets unbounded_ in phase 2.
+  int iterate(bool phase1) {
+    unbounded_ = false;
+    std::vector<double>& cost = phase1 ? cost1_ : cost2_;
+    int iters = 0;
+    while (true) {
+      if (iters >= opt_.max_iterations) return -1;
+      // Bland: entering = smallest-index column with negative reduced cost.
+      int enter = -1;
+      for (int c = 0; c < cols_; ++c) {
+        if (!phase1 && is_artificial_[static_cast<std::size_t>(c)]) continue;
+        if (cost[static_cast<std::size_t>(c)] < -opt_.tolerance) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter < 0) return iters;  // optimal for this phase
+      // Ratio test; Bland tie-break on smallest basis index.
+      int leave = -1;
+      double best_ratio = 0.0;
+      for (int r = 0; r < m_; ++r) {
+        const double a = body_[static_cast<std::size_t>(r)][static_cast<std::size_t>(enter)];
+        if (a > opt_.tolerance) {
+          const double ratio = rhs_[static_cast<std::size_t>(r)] / a;
+          if (leave < 0 || ratio < best_ratio - opt_.tolerance ||
+              (ratio < best_ratio + opt_.tolerance &&
+               basis_[static_cast<std::size_t>(r)] < basis_[static_cast<std::size_t>(leave)])) {
+            leave = r;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leave < 0) {
+        if (phase1) {
+          // Phase-1 objective is bounded below by 0; cannot be unbounded.
+          throw std::logic_error("phase 1 simplex reported unbounded");
+        }
+        unbounded_ = true;
+        return iters;
+      }
+      pivot(leave, enter);
+      ++iters;
+    }
+  }
+
+  void pivot(int r, int enter) {
+    auto& prow = body_[static_cast<std::size_t>(r)];
+    const double p = prow[static_cast<std::size_t>(enter)];
+    for (auto& v : prow) v /= p;
+    rhs_[static_cast<std::size_t>(r)] /= p;
+    for (int rr = 0; rr < m_; ++rr) {
+      if (rr == r) continue;
+      auto& row = body_[static_cast<std::size_t>(rr)];
+      const double f = row[static_cast<std::size_t>(enter)];
+      if (f == 0.0) continue;
+      for (int c = 0; c < cols_; ++c) row[static_cast<std::size_t>(c)] -= f * prow[static_cast<std::size_t>(c)];
+      rhs_[static_cast<std::size_t>(rr)] -= f * rhs_[static_cast<std::size_t>(r)];
+    }
+    for (auto* cost : {&cost1_, &cost2_}) {
+      const double f = (*cost)[static_cast<std::size_t>(enter)];
+      if (f == 0.0) continue;
+      for (int c = 0; c < cols_; ++c) (*cost)[static_cast<std::size_t>(c)] -= f * prow[static_cast<std::size_t>(c)];
+      (cost == &cost1_ ? cost1_rhs_ : cost2_rhs_) -= f * rhs_[static_cast<std::size_t>(r)];
+    }
+    basis_[static_cast<std::size_t>(r)] = enter;
+  }
+
+  /// After phase 1, swap any artificial still basic (at level 0) for a
+  /// non-artificial column when the row allows it. Rows that are entirely
+  /// zero over non-artificial columns are redundant and remain inert.
+  void pivot_out_basic_artificials() {
+    for (int r = 0; r < m_; ++r) {
+      if (!is_artificial_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])]) continue;
+      const auto& row = body_[static_cast<std::size_t>(r)];
+      for (int c = 0; c < n_ + m_; ++c) {
+        if (std::abs(row[static_cast<std::size_t>(c)]) > 1e-7) {
+          pivot(r, c);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<double> extract_solution() const {
+    std::vector<double> y(static_cast<std::size_t>(n_), 0.0);
+    for (int r = 0; r < m_; ++r) {
+      const int b = basis_[static_cast<std::size_t>(r)];
+      if (b < n_) y[static_cast<std::size_t>(b)] = rhs_[static_cast<std::size_t>(r)];
+    }
+    std::vector<double> x(static_cast<std::size_t>(n_), 0.0);
+    for (int i = 0; i < n_; ++i) {
+      x[static_cast<std::size_t>(i)] = y[static_cast<std::size_t>(i)] + shift_[static_cast<std::size_t>(i)];
+    }
+    return x;
+  }
+
+  LpResult iteration_limit_result() const {
+    LpResult r;
+    r.status = LpStatus::kIterationLimit;
+    return r;
+  }
+
+  const LinearProgram& lp_;
+  const SimplexOptions& opt_;
+  int n_ = 0, m_ = 0, cols_ = 0, num_artificial_ = 0;
+  std::vector<std::vector<double>> body_;
+  std::vector<double> rhs_;
+  std::vector<int> basis_;
+  std::vector<bool> is_artificial_;
+  std::vector<double> cost1_, cost2_;
+  double cost1_rhs_ = 0.0, cost2_rhs_ = 0.0;
+  std::vector<double> shift_;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
+  Tableau tableau(lp, options);
+  return tableau.solve();
+}
+
+}  // namespace soctest

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "ilp/linear_program.hpp"
+
+namespace soctest {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;     ///< valid when status == kOptimal
+  std::vector<double> x;      ///< primal solution (original variable space)
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  double tolerance = 1e-9;
+};
+
+/// Solves the LP relaxation of `lp` (integrality ignored) with a two-phase
+/// dense-tableau simplex using Bland's anti-cycling rule.
+///
+/// Requirements: every variable must have a finite lower bound (all models in
+/// this repo use lower bound 0). Finite upper bounds are handled as rows.
+LpResult solve_lp(const LinearProgram& lp, const SimplexOptions& options = {});
+
+}  // namespace soctest

@@ -1,0 +1,81 @@
+#include "layout/bus_planner.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+
+namespace {
+
+/// Picks a free cell on the given vertical die edge (x fixed), nearest to the
+/// preferred y. Throws if the whole edge column is blocked.
+Point edge_pin(const DieGrid& grid, int x, int preferred_y) {
+  for (int delta = 0; delta < grid.height(); ++delta) {
+    for (int sign : {+1, -1}) {
+      const int y = preferred_y + sign * delta;
+      if (y < 0 || y >= grid.height()) continue;
+      const Point p{x, y};
+      if (!grid.blocked(p)) return p;
+      if (delta == 0) break;  // same cell for both signs
+    }
+  }
+  throw std::runtime_error("die edge column fully blocked; cannot place bus pin");
+}
+
+}  // namespace
+
+long long BusPlan::total_trunk_length() const {
+  long long total = 0;
+  for (const auto& b : buses) total += b.trunk.length();
+  return total;
+}
+
+BusPlan plan_buses(const Soc& soc, int num_buses,
+                   const BusPlannerOptions& options) {
+  if (num_buses <= 0) throw std::invalid_argument("num_buses must be positive");
+  if (!soc.has_placement()) {
+    throw std::invalid_argument("bus planning requires a placed SOC");
+  }
+  const DieGrid grid(soc);
+  const GridRouter router(grid);
+  std::vector<double> congestion(static_cast<std::size_t>(grid.num_cells()), 0.0);
+
+  BusPlan plan;
+  for (int j = 0; j < num_buses; ++j) {
+    // Evenly spaced preferred heights: bus j at (j+1)/(B+1) of die height.
+    const int preferred_y = (j + 1) * grid.height() / (num_buses + 1);
+    const Point from = edge_pin(grid, 0, preferred_y);
+    const Point to = edge_pin(grid, grid.width() - 1, preferred_y);
+    auto trunk = router.route_weighted(from, to, congestion);
+    if (!trunk) {
+      throw std::runtime_error("bus " + std::to_string(j) +
+                               " cannot be routed across the die");
+    }
+    for (const Point& p : trunk->cells) {
+      congestion[grid.index(p)] += options.congestion_penalty;
+    }
+    PlannedBus bus;
+    bus.index = j;
+    bus.trunk = std::move(*trunk);
+
+    // Detour distance from each core: multi-source BFS from the trunk cells,
+    // then the minimum over the core's perimeter access points (+1 edge to
+    // step from the access point next to the core onto the wiring).
+    const auto dist = router.distance_map(bus.trunk.cells);
+    bus.core_distance.resize(soc.num_cores(), -1);
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      const auto access = grid.perimeter_access(
+          soc.placement(i).origin, soc.core(i).width, soc.core(i).height);
+      int best = -1;
+      for (const Point& p : access) {
+        const int d = dist[grid.index(p)];
+        if (d >= 0 && (best < 0 || d < best)) best = d;
+      }
+      bus.core_distance[i] = best;
+    }
+    plan.buses.push_back(std::move(bus));
+  }
+  return plan;
+}
+
+}  // namespace soctest

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "layout/grid.hpp"
+#include "layout/router.hpp"
+
+namespace soctest {
+
+/// A planned test bus: its routed trunk across the die and the detour
+/// distance from every core to the trunk.
+struct PlannedBus {
+  int index = 0;
+  RoutePath trunk;
+  /// d_ij for this bus: shortest obstacle-avoiding distance (grid edges)
+  /// from core i's nearest access point to the trunk; -1 if unreachable.
+  std::vector<int> core_distance;
+};
+
+struct BusPlan {
+  std::vector<PlannedBus> buses;
+  /// Convenience view: distance(core, bus); -1 when unreachable.
+  int distance(std::size_t core, std::size_t bus) const {
+    return buses.at(bus).core_distance.at(core);
+  }
+  std::size_t num_buses() const { return buses.size(); }
+  /// Total trunk wirelength over all buses (grid edges).
+  long long total_trunk_length() const;
+};
+
+struct BusPlannerOptions {
+  /// Congestion penalty added to a cell's step cost for each trunk already
+  /// occupying it; spreads trunks across distinct channels.
+  double congestion_penalty = 2.0;
+};
+
+/// Routes `num_buses` TAM trunks across a placed SOC, left edge to right
+/// edge at evenly spaced heights, each avoiding core macros and (softly)
+/// earlier trunks; then computes every core's detour distance to each trunk.
+/// Throws std::runtime_error if a trunk cannot be routed at all.
+BusPlan plan_buses(const Soc& soc, int num_buses,
+                   const BusPlannerOptions& options = {});
+
+}  // namespace soctest

@@ -1,0 +1,64 @@
+#include "layout/constraints.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+
+LayoutConstraints::LayoutConstraints(const BusPlan& plan, std::size_t num_cores,
+                                     int d_max)
+    : num_cores_(num_cores), num_buses_(plan.num_buses()), d_max_(d_max) {
+  distance_.assign(num_cores_, std::vector<int>(num_buses_, -1));
+  for (std::size_t i = 0; i < num_cores_; ++i) {
+    for (std::size_t j = 0; j < num_buses_; ++j) {
+      distance_[i][j] = plan.distance(i, j);
+    }
+  }
+}
+
+bool LayoutConstraints::allowed(std::size_t core, std::size_t bus) const {
+  const int d = distance_.at(core).at(bus);
+  if (d < 0) return false;
+  return d_max_ < 0 || d <= d_max_;
+}
+
+int LayoutConstraints::distance(std::size_t core, std::size_t bus) const {
+  return distance_.at(core).at(bus);
+}
+
+bool LayoutConstraints::all_cores_connectable() const {
+  return disconnected_cores().empty();
+}
+
+std::vector<std::size_t> LayoutConstraints::disconnected_cores() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < num_cores_; ++i) {
+    bool any = false;
+    for (std::size_t j = 0; j < num_buses_ && !any; ++j) any = allowed(i, j);
+    if (!any) out.push_back(i);
+  }
+  return out;
+}
+
+long long LayoutConstraints::assignment_wirelength(
+    const std::vector<int>& assignment) const {
+  if (assignment.size() != num_cores_) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  long long total = 0;
+  for (std::size_t i = 0; i < num_cores_; ++i) {
+    const int j = assignment[i];
+    if (j < 0 || static_cast<std::size_t>(j) >= num_buses_) {
+      throw std::invalid_argument("assignment references unknown bus");
+    }
+    const int d = distance_[i][static_cast<std::size_t>(j)];
+    if (d < 0) {
+      throw std::invalid_argument("core " + std::to_string(i) +
+                                  " unreachable from its assigned bus");
+    }
+    total += d;
+  }
+  return total;
+}
+
+}  // namespace soctest

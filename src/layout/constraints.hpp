@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "layout/bus_planner.hpp"
+
+namespace soctest {
+
+/// The place-and-route constraint artifacts consumed by the TAM optimizer,
+/// extracted from a bus plan:
+///  * `allowed(i, j)` — core i may be assigned to bus j only if its detour
+///    distance d_ij is defined and at most d_max (forbidden-pair form);
+///  * `distance(i, j)` — the stub wirelength cost of the assignment,
+///    usable in a total-wiring-budget constraint (Σ d_ij x_ij <= L_max).
+class LayoutConstraints {
+ public:
+  /// d_max < 0 means "no distance limit" (all reachable pairs allowed).
+  LayoutConstraints(const BusPlan& plan, std::size_t num_cores, int d_max);
+
+  std::size_t num_cores() const { return num_cores_; }
+  std::size_t num_buses() const { return num_buses_; }
+  int d_max() const { return d_max_; }
+
+  bool allowed(std::size_t core, std::size_t bus) const;
+  /// Detour distance; -1 when unreachable.
+  int distance(std::size_t core, std::size_t bus) const;
+
+  /// True if every core has at least one allowed bus.
+  bool all_cores_connectable() const;
+
+  /// Cores with no allowed bus (diagnostics for infeasible d_max).
+  std::vector<std::size_t> disconnected_cores() const;
+
+  /// Total stub wirelength of an assignment (core -> bus); counts -1
+  /// distances as infeasible and throws.
+  long long assignment_wirelength(const std::vector<int>& assignment) const;
+
+ private:
+  std::size_t num_cores_;
+  std::size_t num_buses_;
+  int d_max_;
+  std::vector<std::vector<int>> distance_;  // [core][bus]
+};
+
+}  // namespace soctest

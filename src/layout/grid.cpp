@@ -1,0 +1,78 @@
+#include "layout/grid.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace soctest {
+
+DieGrid::DieGrid(int width, int height) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("die grid dimensions must be positive");
+  }
+  blocked_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0);
+}
+
+DieGrid::DieGrid(const Soc& soc) : DieGrid(soc.die_width(), soc.die_height()) {
+  if (!soc.has_placement()) {
+    throw std::invalid_argument("DieGrid requires a placed SOC");
+  }
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    const auto& c = soc.core(i);
+    const auto& o = soc.placement(i).origin;
+    for (int y = o.y; y < o.y + c.height; ++y) {
+      for (int x = o.x; x < o.x + c.width; ++x) {
+        set_blocked(Point{x, y}, true);
+      }
+    }
+  }
+}
+
+void DieGrid::neighbors(Point p, std::vector<Point>& out) const {
+  out.clear();
+  const Point candidates[4] = {
+      {p.x + 1, p.y}, {p.x - 1, p.y}, {p.x, p.y + 1}, {p.x, p.y - 1}};
+  for (const auto& q : candidates) {
+    if (in_bounds(q) && !blocked(q)) out.push_back(q);
+  }
+}
+
+std::vector<Point> DieGrid::perimeter_access(Point origin, int w, int h) const {
+  std::vector<Point> out;
+  auto consider = [&](Point p) {
+    if (in_bounds(p) && !blocked(p)) out.push_back(p);
+  };
+  for (int x = origin.x; x < origin.x + w; ++x) {
+    consider(Point{x, origin.y - 1});
+    consider(Point{x, origin.y + h});
+  }
+  for (int y = origin.y; y < origin.y + h; ++y) {
+    consider(Point{origin.x - 1, y});
+    consider(Point{origin.x + w, y});
+  }
+  return out;
+}
+
+std::string DieGrid::render(
+    const std::vector<std::pair<Point, char>>& overlay) const {
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), '.'));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      if (blocked(Point{x, y})) {
+        canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = '#';
+      }
+    }
+  }
+  for (const auto& [p, ch] : overlay) {
+    if (in_bounds(p)) {
+      canvas[static_cast<std::size_t>(p.y)][static_cast<std::size_t>(p.x)] = ch;
+    }
+  }
+  std::ostringstream out;
+  // Render with y increasing upward (row 0 at the bottom), like a floorplan.
+  for (int y = height_ - 1; y >= 0; --y) out << canvas[static_cast<std::size_t>(y)] << "\n";
+  return out.str();
+}
+
+}  // namespace soctest

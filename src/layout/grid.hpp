@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Routing grid over the die. Cells covered by placed cores are blocked for
+/// wiring (hard macros); the channels between cores are routable. This is the
+/// abstraction the place-and-route constraints of the DAC 2000 formulation
+/// are extracted from.
+class DieGrid {
+ public:
+  DieGrid(int width, int height);
+
+  /// Builds the grid from a placed SOC: every cell covered by a core's
+  /// footprint is blocked. Throws if the SOC has no placement.
+  explicit DieGrid(const Soc& soc);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int num_cells() const { return width_ * height_; }
+
+  bool in_bounds(Point p) const {
+    return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+  }
+  bool blocked(Point p) const { return blocked_[index(p)]; }
+  void set_blocked(Point p, bool value) { blocked_[index(p)] = value; }
+
+  /// Linear cell index (row-major).
+  std::size_t index(Point p) const {
+    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(p.x);
+  }
+  Point point(std::size_t index) const {
+    return Point{static_cast<int>(index % static_cast<std::size_t>(width_)),
+                 static_cast<int>(index / static_cast<std::size_t>(width_))};
+  }
+
+  /// Up-to-4 unblocked in-bounds neighbors of p.
+  void neighbors(Point p, std::vector<Point>& out) const;
+
+  /// Free (unblocked, in-bounds) cells adjacent to the perimeter of the
+  /// rectangle [origin, origin+size) — the access points of a placed core.
+  std::vector<Point> perimeter_access(Point origin, int w, int h) const;
+
+  /// ASCII rendering: '#' blocked, '.' free, plus optional overlay marks.
+  std::string render(const std::vector<std::pair<Point, char>>& overlay = {}) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<char> blocked_;  // char avoids vector<bool> aliasing pitfalls
+};
+
+}  // namespace soctest

@@ -1,0 +1,179 @@
+#include "layout/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace soctest {
+
+namespace {
+
+constexpr std::size_t kNoPrev = static_cast<std::size_t>(-1);
+
+RoutePath backtrack(const DieGrid& grid, const std::vector<std::size_t>& prev,
+                    Point from, Point to) {
+  RoutePath path;
+  std::size_t cur = grid.index(to);
+  while (true) {
+    path.cells.push_back(grid.point(cur));
+    if (grid.point(cur) == from) break;
+    cur = prev[cur];
+  }
+  std::reverse(path.cells.begin(), path.cells.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<RoutePath> GridRouter::route(Point from, Point to) const {
+  if (!grid_.in_bounds(from) || !grid_.in_bounds(to)) {
+    throw std::invalid_argument("route endpoints out of bounds");
+  }
+  if (grid_.blocked(from) || grid_.blocked(to)) return std::nullopt;
+  std::vector<std::size_t> prev(static_cast<std::size_t>(grid_.num_cells()), kNoPrev);
+  std::vector<char> seen(static_cast<std::size_t>(grid_.num_cells()), 0);
+  std::queue<Point> frontier;
+  frontier.push(from);
+  seen[grid_.index(from)] = 1;
+  std::vector<Point> nbrs;
+  while (!frontier.empty()) {
+    const Point p = frontier.front();
+    frontier.pop();
+    if (p == to) return backtrack(grid_, prev, from, to);
+    grid_.neighbors(p, nbrs);
+    for (const Point& q : nbrs) {
+      if (!seen[grid_.index(q)]) {
+        seen[grid_.index(q)] = 1;
+        prev[grid_.index(q)] = grid_.index(p);
+        frontier.push(q);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RoutePath> GridRouter::route_weighted(
+    Point from, Point to, const std::vector<double>& extra_cost) const {
+  if (extra_cost.size() != static_cast<std::size_t>(grid_.num_cells())) {
+    throw std::invalid_argument("extra_cost size mismatch");
+  }
+  if (!grid_.in_bounds(from) || !grid_.in_bounds(to)) {
+    throw std::invalid_argument("route endpoints out of bounds");
+  }
+  if (grid_.blocked(from) || grid_.blocked(to)) return std::nullopt;
+  const auto n = static_cast<std::size_t>(grid_.num_cells());
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> prev(n, kNoPrev);
+  using Entry = std::pair<double, std::size_t>;  // (distance, cell)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[grid_.index(from)] = 0.0;
+  heap.push({0.0, grid_.index(from)});
+  std::vector<Point> nbrs;
+  while (!heap.empty()) {
+    const auto [d, cell] = heap.top();
+    heap.pop();
+    if (d > dist[cell]) continue;  // stale entry
+    const Point p = grid_.point(cell);
+    if (p == to) return backtrack(grid_, prev, from, to);
+    grid_.neighbors(p, nbrs);
+    for (const Point& q : nbrs) {
+      const std::size_t qi = grid_.index(q);
+      const double nd = d + 1.0 + extra_cost[qi];
+      if (nd < dist[qi]) {
+        dist[qi] = nd;
+        prev[qi] = cell;
+        heap.push({nd, qi});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RoutePath> GridRouter::route_weighted_multi(
+    const std::vector<Point>& sources, const std::vector<Point>& targets,
+    const std::vector<double>& extra_cost) const {
+  if (extra_cost.size() != static_cast<std::size_t>(grid_.num_cells())) {
+    throw std::invalid_argument("extra_cost size mismatch");
+  }
+  const auto n = static_cast<std::size_t>(grid_.num_cells());
+  std::vector<char> is_target(n, 0);
+  bool any_target = false;
+  for (const Point& t : targets) {
+    if (grid_.in_bounds(t) && !grid_.blocked(t)) {
+      is_target[grid_.index(t)] = 1;
+      any_target = true;
+    }
+  }
+  if (!any_target) return std::nullopt;
+
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> prev(n, kNoPrev);
+  std::vector<char> is_source(n, 0);
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (const Point& s : sources) {
+    if (!grid_.in_bounds(s) || grid_.blocked(s)) continue;
+    if (dist[grid_.index(s)] > 0.0) {
+      dist[grid_.index(s)] = 0.0;
+      is_source[grid_.index(s)] = 1;
+      heap.push({0.0, grid_.index(s)});
+    }
+  }
+  std::vector<Point> nbrs;
+  while (!heap.empty()) {
+    const auto [d, cell] = heap.top();
+    heap.pop();
+    if (d > dist[cell]) continue;
+    if (is_target[cell]) {
+      // Backtrack to whichever source started this label.
+      RoutePath path;
+      std::size_t cur = cell;
+      while (true) {
+        path.cells.push_back(grid_.point(cur));
+        if (is_source[cur] && dist[cur] == 0.0) break;
+        cur = prev[cur];
+      }
+      std::reverse(path.cells.begin(), path.cells.end());
+      return path;
+    }
+    grid_.neighbors(grid_.point(cell), nbrs);
+    for (const Point& q : nbrs) {
+      const std::size_t qi = grid_.index(q);
+      const double nd = d + 1.0 + extra_cost[qi];
+      if (nd < dist[qi]) {
+        dist[qi] = nd;
+        prev[qi] = cell;
+        heap.push({nd, qi});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<int> GridRouter::distance_map(const std::vector<Point>& sources) const {
+  std::vector<int> dist(static_cast<std::size_t>(grid_.num_cells()), -1);
+  std::queue<Point> frontier;
+  for (const Point& s : sources) {
+    if (!grid_.in_bounds(s) || grid_.blocked(s)) continue;
+    if (dist[grid_.index(s)] == 0) continue;
+    dist[grid_.index(s)] = 0;
+    frontier.push(s);
+  }
+  std::vector<Point> nbrs;
+  while (!frontier.empty()) {
+    const Point p = frontier.front();
+    frontier.pop();
+    grid_.neighbors(p, nbrs);
+    for (const Point& q : nbrs) {
+      if (dist[grid_.index(q)] < 0) {
+        dist[grid_.index(q)] = dist[grid_.index(p)] + 1;
+        frontier.push(q);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace soctest

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "layout/grid.hpp"
+
+namespace soctest {
+
+/// A routed path: contiguous sequence of free grid cells.
+struct RoutePath {
+  std::vector<Point> cells;
+  /// Wirelength in grid edges (cells.size() - 1; 0 for a single cell).
+  int length() const {
+    return cells.empty() ? 0 : static_cast<int>(cells.size()) - 1;
+  }
+};
+
+/// Obstacle-aware maze router on a DieGrid. Stateless; all methods are pure
+/// queries against the grid passed at construction.
+class GridRouter {
+ public:
+  explicit GridRouter(const DieGrid& grid) : grid_(grid) {}
+
+  /// Unit-cost shortest path (BFS / Lee router). Endpoints must be free
+  /// cells. Returns nullopt when no route exists.
+  std::optional<RoutePath> route(Point from, Point to) const;
+
+  /// Weighted shortest path (Dijkstra): each step into a cell costs
+  /// 1 + extra_cost[cell]. Used for congestion-aware trunk routing.
+  /// extra_cost must have grid.num_cells() entries, all >= 0.
+  std::optional<RoutePath> route_weighted(
+      Point from, Point to, const std::vector<double>& extra_cost) const;
+
+  /// Multi-source BFS: distance (grid edges) from the nearest source cell to
+  /// every free cell; -1 for unreachable or blocked cells. Blocked sources
+  /// are ignored.
+  std::vector<int> distance_map(const std::vector<Point>& sources) const;
+
+  /// Cheapest path from ANY source to ANY target under the weighted cost
+  /// model of route_weighted (entering a cell costs 1 + extra_cost[cell];
+  /// source cells are free). Blocked sources/targets are ignored; returns
+  /// nullopt when no pair is connected. The returned path starts at a source
+  /// and ends at a target; a source that IS a target yields a 1-cell path.
+  std::optional<RoutePath> route_weighted_multi(
+      const std::vector<Point>& sources, const std::vector<Point>& targets,
+      const std::vector<double>& extra_cost) const;
+
+ private:
+  const DieGrid& grid_;
+};
+
+}  // namespace soctest

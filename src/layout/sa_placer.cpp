@@ -1,0 +1,103 @@
+#include "layout/sa_placer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace soctest {
+
+namespace {
+
+long long core_traffic(const Core& c) {
+  return c.total_scan_flops() + c.num_inputs + c.num_outputs + 2 * c.num_bidirs;
+}
+
+long long core_cost(const Soc& soc, std::size_t i, Point origin) {
+  const auto& c = soc.core(i);
+  // Manhattan distance from the core center to the die center, x2 grid for
+  // exact integer halves.
+  const long long cx = 2LL * origin.x + c.width;
+  const long long cy = 2LL * origin.y + c.height;
+  const long long dx = std::llabs(cx - soc.die_width());
+  const long long dy = std::llabs(cy - soc.die_height());
+  return (dx + dy) * core_traffic(c);
+}
+
+bool legal(const Soc& soc, std::size_t i, Point origin, int margin,
+           const std::vector<Placement>& placements) {
+  const auto& c = soc.core(i);
+  if (origin.x < margin || origin.y < margin ||
+      origin.x + c.width + margin > soc.die_width() ||
+      origin.y + c.height + margin > soc.die_height()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < soc.num_cores(); ++k) {
+    if (k == i) continue;
+    const auto& o = placements[k].origin;
+    const auto& d = soc.core(k);
+    // Expand the other core by the margin so a channel survives between them.
+    const bool overlap_x = origin.x < o.x + d.width + margin &&
+                           o.x < origin.x + c.width + margin;
+    const bool overlap_y = origin.y < o.y + d.height + margin &&
+                           o.y < origin.y + c.height + margin;
+    if (overlap_x && overlap_y) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+long long placement_cost(const Soc& soc) {
+  if (!soc.has_placement()) {
+    throw std::invalid_argument("placement_cost requires a placed SOC");
+  }
+  long long total = 0;
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    total += core_cost(soc, i, soc.placement(i).origin);
+  }
+  return total;
+}
+
+void sa_place(Soc& soc, const SaPlacerOptions& options, Rng& rng) {
+  if (!soc.has_placement()) {
+    throw std::invalid_argument("sa_place refines an existing placement");
+  }
+  std::vector<Placement> placements;
+  placements.reserve(soc.num_cores());
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    placements.push_back(soc.placement(i));
+  }
+  // The seed placement may sit tighter than the requested margin; keep it —
+  // only *new* positions are margin-checked, so cost never regresses below
+  // a legal state.
+  long long cost = placement_cost(soc);
+  std::vector<Placement> best = placements;
+  long long best_cost = cost;
+  double temperature = options.initial_temperature;
+  for (int it = 0; it < options.iterations; ++it) {
+    const std::size_t i = rng.index(soc.num_cores());
+    const auto& c = soc.core(i);
+    const int max_x = soc.die_width() - c.width - options.margin;
+    const int max_y = soc.die_height() - c.height - options.margin;
+    if (max_x < options.margin || max_y < options.margin) continue;
+    const Point candidate{
+        static_cast<int>(rng.uniform_int(options.margin, max_x)),
+        static_cast<int>(rng.uniform_int(options.margin, max_y))};
+    if (!legal(soc, i, candidate, options.margin, placements)) continue;
+    const long long delta =
+        core_cost(soc, i, candidate) - core_cost(soc, i, placements[i].origin);
+    if (delta <= 0 ||
+        rng.uniform01() < std::exp(-static_cast<double>(delta) / temperature)) {
+      placements[i].origin = candidate;
+      cost += delta;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = placements;
+      }
+    }
+    temperature *= options.cooling;
+  }
+  soc.set_placements(std::move(best));
+}
+
+}  // namespace soctest

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+struct SaPlacerOptions {
+  /// Minimum free-cell margin kept around every core (routing channel).
+  int margin = 1;
+  int iterations = 20000;
+  double initial_temperature = 50.0;
+  double cooling = 0.9995;
+};
+
+/// Simulated-annealing macro placer. Objective: total Manhattan distance
+/// from each core's center to the die center, weighted by the core's TAM
+/// traffic (scan volume) — a proxy for TAM stub wirelength with trunks
+/// crossing mid-die. Moves translate one core to a random legal position;
+/// positions violating bounds, overlap, or the margin are rejected outright,
+/// so the placement stays legal at every step.
+///
+/// The SOC must already have a legal placement (e.g. from shelf_place);
+/// the placer refines it in place.
+void sa_place(Soc& soc, const SaPlacerOptions& options, Rng& rng);
+
+/// The placer's objective for a given placement (exposed for tests/benches).
+long long placement_cost(const Soc& soc);
+
+}  // namespace soctest

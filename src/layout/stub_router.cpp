@@ -1,0 +1,80 @@
+#include "layout/stub_router.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "layout/router.hpp"
+
+namespace soctest {
+
+StubRoutes route_stubs(const Soc& soc, const BusPlan& plan,
+                       const std::vector<int>& assignment,
+                       const StubRouterOptions& options) {
+  if (!soc.has_placement()) {
+    throw std::invalid_argument("stub routing requires a placed SOC");
+  }
+  if (assignment.size() != soc.num_cores()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  for (int bus : assignment) {
+    if (bus < 0 || static_cast<std::size_t>(bus) >= plan.num_buses()) {
+      throw std::invalid_argument("core assigned to unknown bus");
+    }
+  }
+  const DieGrid grid(soc);
+  const GridRouter router(grid);
+  const auto n_cells = static_cast<std::size_t>(grid.num_cells());
+
+  // Wire usage per channel cell; trunks claim their cells first.
+  std::vector<double> usage(n_cells, 0.0);
+  for (const auto& bus : plan.buses) {
+    for (const auto& p : bus.trunk.cells) usage[grid.index(p)] += 1.0;
+  }
+
+  // Long stubs first: they have the fewest routing choices.
+  std::vector<std::size_t> order(soc.num_cores());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const int da = plan.distance(a, static_cast<std::size_t>(assignment.at(a)));
+    const int db = plan.distance(b, static_cast<std::size_t>(assignment.at(b)));
+    return da > db;
+  });
+
+  StubRoutes result;
+  result.stubs.resize(soc.num_cores());
+  std::vector<double> zero(n_cells, 0.0);
+  std::vector<double> weighted(n_cells, 0.0);
+  for (std::size_t i : order) {
+    const int bus_idx = assignment[i];
+    const auto& trunk = plan.buses[static_cast<std::size_t>(bus_idx)].trunk;
+    const auto access = grid.perimeter_access(
+        soc.placement(i).origin, soc.core(i).width, soc.core(i).height);
+    if (access.empty()) {
+      throw std::runtime_error("core " + soc.core(i).name +
+                               " is walled in; no access points");
+    }
+    if (options.congestion_aware) {
+      for (std::size_t c = 0; c < n_cells; ++c) {
+        weighted[c] = options.congestion_penalty * usage[c];
+      }
+    }
+    const auto path = router.route_weighted_multi(
+        access, trunk.cells, options.congestion_aware ? weighted : zero);
+    if (!path) {
+      throw std::runtime_error("core " + soc.core(i).name +
+                               " cannot reach bus " + std::to_string(bus_idx));
+    }
+    for (const Point& p : path->cells) usage[grid.index(p)] += 1.0;
+    result.total_length += path->length();
+    result.stubs[i] = *path;
+  }
+
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    if (usage[c] > options.cell_capacity + 1e-9) ++result.overflow_cells;
+  }
+  return result;
+}
+
+}  // namespace soctest

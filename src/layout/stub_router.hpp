@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "layout/bus_planner.hpp"
+
+namespace soctest {
+
+/// A fully routed TAM: the bus trunks plus, for every core, the stub wire
+/// connecting the core's wrapper to its assigned bus trunk.
+struct StubRoutes {
+  /// stub[i] = path for core i from a perimeter access cell to a trunk cell
+  /// of its assigned bus. Empty path when the core touches the trunk
+  /// directly (distance 0).
+  std::vector<RoutePath> stubs;
+  long long total_length = 0;  ///< grid edges over all stubs
+  /// Channel cells whose usage exceeds the per-cell capacity (trunks count
+  /// toward usage too). Overflow means the abstract detour distances were
+  /// optimistic and detailed routing would need another layer/track.
+  int overflow_cells = 0;
+};
+
+struct StubRouterOptions {
+  /// How many wires a channel cell can carry before it overflows.
+  int cell_capacity = 3;
+  /// When true, stubs are routed one at a time with a congestion-aware
+  /// router (cost 1 + penalty * usage), trading a little wirelength for
+  /// fewer overflows. When false, every stub takes its shortest path.
+  bool congestion_aware = true;
+  double congestion_penalty = 1.5;
+};
+
+/// Routes every core's stub to its assigned trunk, obstacle-aware. Cores are
+/// processed in decreasing detour distance (long, constrained stubs claim
+/// channels first). Throws std::invalid_argument on malformed assignments
+/// and std::runtime_error if a core cannot reach its trunk at all.
+StubRoutes route_stubs(const Soc& soc, const BusPlan& plan,
+                       const std::vector<int>& assignment,
+                       const StubRouterOptions& options = {});
+
+}  // namespace soctest

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "tam/architect.hpp"
+
+namespace soctest {
+
+/// Machine-readable JSON report of a completed architecture design:
+/// the SOC summary, the request's constraints, the chosen widths, the
+/// per-bus core assignment with test times, and (optionally) the realized
+/// schedule with per-test intervals. Consumed by downstream scripts that
+/// plot or diff architectures.
+std::string design_report_json(const Soc& soc, const DesignRequest& request,
+                               const DesignResult& result,
+                               const TestSchedule* schedule = nullptr);
+
+}  // namespace soctest

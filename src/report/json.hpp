@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace soctest {
+
+/// Minimal streaming JSON writer (no dependencies): nested objects/arrays,
+/// string escaping, numbers, booleans. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("soc1");
+///   w.key("widths").begin_array().value(16).value(8).end_array();
+///   w.end_object();
+///   std::string text = w.str();
+///
+/// The writer tracks nesting and comma placement; mismatched begin/end or
+/// writing a value where a key is required throws std::logic_error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text);
+  JsonWriter& value(long long number);
+  JsonWriter& value(int number);
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(double number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Finished document; throws if containers are still open.
+  std::string str() const;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void before_value();
+  void emit_string(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool pending_key_ = false;
+};
+
+/// Validating JSON parser (structure only; values are not materialized).
+/// Returns an empty string when `text` is a single well-formed JSON value,
+/// else a description of the first error with its offset.
+std::string json_check(std::string_view text);
+
+}  // namespace soctest

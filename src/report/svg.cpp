@@ -1,0 +1,136 @@
+#include "report/svg.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace soctest {
+
+namespace {
+
+const char* kBusColors[] = {"#d33", "#36c", "#2a2", "#c80", "#93c", "#099"};
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Grid (x, y) with y up -> SVG pixel coordinates with y down.
+struct Mapper {
+  int die_height;
+  int cell_px;
+  double x(double gx) const { return gx * cell_px; }
+  double y(double gy) const { return (die_height - gy) * cell_px; }
+};
+
+void draw_path(std::ostringstream& svg, const RoutePath& path,
+               const Mapper& map, const char* color, double width_px) {
+  if (path.cells.empty()) return;
+  svg << "<polyline fill=\"none\" stroke=\"" << color << "\" stroke-width=\""
+      << width_px << "\" points=\"";
+  for (const auto& p : path.cells) {
+    svg << map.x(p.x + 0.5) << "," << map.y(p.y + 0.5) << " ";
+  }
+  svg << "\"/>\n";
+}
+
+}  // namespace
+
+std::string render_floorplan_svg(const Soc& soc, const BusPlan* plan,
+                                 const StubRoutes* stubs,
+                                 const SvgOptions& options) {
+  if (!soc.has_placement()) {
+    throw std::invalid_argument("SVG rendering requires a placed SOC");
+  }
+  const Mapper map{soc.die_height(), options.cell_px};
+  const int width_px = soc.die_width() * options.cell_px;
+  const int height_px = soc.die_height() * options.cell_px;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px
+      << "\" height=\"" << height_px << "\" viewBox=\"0 0 " << width_px << " "
+      << height_px << "\">\n";
+  svg << "<rect x=\"0\" y=\"0\" width=\"" << width_px << "\" height=\""
+      << height_px << "\" fill=\"#fafafa\" stroke=\"#333\"/>\n";
+
+  // Core macros.
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    const Core& c = soc.core(i);
+    const auto& o = soc.placement(i).origin;
+    svg << "<rect x=\"" << map.x(o.x) << "\" y=\"" << map.y(o.y + c.height)
+        << "\" width=\"" << c.width * options.cell_px << "\" height=\""
+        << c.height * options.cell_px
+        << "\" fill=\"#dde6f0\" stroke=\"#667\"/>\n";
+    if (options.label_cores) {
+      svg << "<text x=\"" << map.x(o.x + c.width / 2.0) << "\" y=\""
+          << map.y(o.y + c.height / 2.0)
+          << "\" font-size=\"" << options.cell_px
+          << "\" text-anchor=\"middle\" dominant-baseline=\"middle\">"
+          << escape_xml(c.name) << "</text>\n";
+    }
+  }
+
+  if (plan != nullptr) {
+    for (const auto& bus : plan->buses) {
+      const char* color =
+          kBusColors[static_cast<std::size_t>(bus.index) % std::size(kBusColors)];
+      draw_path(svg, bus.trunk, map, color, options.cell_px * 0.5);
+    }
+  }
+  if (stubs != nullptr) {
+    for (const auto& stub : stubs->stubs) {
+      draw_path(svg, stub, map, "#888", options.cell_px * 0.25);
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string xml_check(const std::string& text) {
+  std::vector<std::string> stack;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& what) {
+    return what + " at offset " + std::to_string(pos);
+  };
+  while (pos < text.size()) {
+    const std::size_t open = text.find('<', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('>', open);
+    if (close == std::string::npos) {
+      pos = open;
+      return fail("unterminated tag");
+    }
+    std::string tag = text.substr(open + 1, close - open - 1);
+    pos = close + 1;
+    if (tag.empty()) return fail("empty tag");
+    if (tag[0] == '?' || tag[0] == '!') continue;  // declaration/comment
+    // Quotes inside the tag must balance.
+    int quotes = 0;
+    for (char c : tag) {
+      if (c == '"') ++quotes;
+    }
+    if (quotes % 2 != 0) return fail("unbalanced attribute quotes");
+    if (tag[0] == '/') {
+      const std::string name = tag.substr(1);
+      if (stack.empty() || stack.back() != name) return fail("mismatched </" + name + ">");
+      stack.pop_back();
+    } else if (tag.back() == '/') {
+      // self-closing
+    } else {
+      const std::size_t space = tag.find_first_of(" \t\n");
+      stack.push_back(space == std::string::npos ? tag : tag.substr(0, space));
+    }
+  }
+  if (!stack.empty()) return "unclosed element <" + stack.back() + ">";
+  return {};
+}
+
+}  // namespace soctest

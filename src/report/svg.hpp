@@ -1,0 +1,29 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "layout/bus_planner.hpp"
+#include "layout/stub_router.hpp"
+
+namespace soctest {
+
+struct SvgOptions {
+  int cell_px = 10;          ///< pixels per grid cell
+  bool label_cores = true;   ///< draw core names
+};
+
+/// Renders the placed SOC as a standalone SVG document: die outline, core
+/// macros (labelled), optional bus trunks (one color per bus), and optional
+/// detail-routed stubs. Pure string generation, no dependencies; the
+/// output passes the repo's XML well-formedness checks and loads in any
+/// browser.
+std::string render_floorplan_svg(const Soc& soc, const BusPlan* plan = nullptr,
+                                 const StubRoutes* stubs = nullptr,
+                                 const SvgOptions& options = {});
+
+/// Minimal XML structural check used by the tests: tags balance, attributes
+/// are quoted. Empty string when OK, else the first error.
+std::string xml_check(const std::string& text);
+
+}  // namespace soctest

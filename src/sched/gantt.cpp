@@ -1,0 +1,87 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sched/power_profile.hpp"
+
+namespace soctest {
+
+std::string render_gantt(const Soc& soc, const TestSchedule& schedule,
+                         int width_chars) {
+  std::ostringstream out;
+  if (schedule.makespan <= 0 || schedule.tests.empty()) {
+    return "(empty schedule)\n";
+  }
+  int max_bus = 0;
+  for (const auto& t : schedule.tests) max_bus = std::max(max_bus, t.bus);
+  const double scale =
+      static_cast<double>(width_chars) / static_cast<double>(schedule.makespan);
+  for (int j = 0; j <= max_bus; ++j) {
+    std::string lane(static_cast<std::size_t>(width_chars), ' ');
+    for (const auto& t : schedule.bus_tests(j)) {
+      const auto from = static_cast<std::size_t>(
+          static_cast<double>(t.start) * scale);
+      auto to = static_cast<std::size_t>(static_cast<double>(t.end) * scale);
+      to = std::min(to, static_cast<std::size_t>(width_chars));
+      const char mark = soc.core(t.core).name.empty()
+                            ? '?'
+                            : soc.core(t.core).name[0];
+      for (std::size_t c = from; c < to; ++c) lane[c] = mark;
+      if (from < lane.size()) lane[from] = '|';
+    }
+    out << "bus " << j << " [" << lane << "]\n";
+  }
+  out << "0" << std::string(static_cast<std::size_t>(std::max(0, width_chars - 2)), ' ')
+      << schedule.makespan << " cycles\n";
+  return out.str();
+}
+
+std::string render_power_profile(const Soc& soc, const TestSchedule& schedule,
+                                 double p_max_mw, int width_chars,
+                                 int height_rows) {
+  if (schedule.makespan <= 0 || schedule.tests.empty()) {
+    return "(empty schedule)\n";
+  }
+  const PowerProfile profile = compute_power_profile(soc, schedule);
+  const double top = std::max(profile.peak(), p_max_mw) * 1.05;
+  if (top <= 0) return "(zero power)\n";
+
+  // Sample the profile per column.
+  std::vector<double> column(static_cast<std::size_t>(width_chars), 0.0);
+  for (int c = 0; c < width_chars; ++c) {
+    const auto t = static_cast<Cycles>(static_cast<double>(schedule.makespan) *
+                                       c / width_chars);
+    column[static_cast<std::size_t>(c)] = profile.at(t);
+  }
+  const int budget_row =
+      p_max_mw >= 0
+          ? static_cast<int>(std::lround(p_max_mw / top * height_rows))
+          : -1;
+  std::ostringstream out;
+  for (int row = height_rows; row >= 1; --row) {
+    const double threshold = top * row / height_rows;
+    char label[16];
+    std::snprintf(label, sizeof label, "%6.0f |", threshold);
+    out << label;
+    for (int c = 0; c < width_chars; ++c) {
+      const bool filled = column[static_cast<std::size_t>(c)] >= threshold - 1e-9;
+      if (filled) {
+        out << '#';
+      } else if (row == budget_row) {
+        out << '-';
+      } else {
+        out << ' ';
+      }
+    }
+    out << (row == budget_row ? "  <- budget" : "") << "\n";
+  }
+  out << "  [mW] +" << std::string(static_cast<std::size_t>(width_chars), '-')
+      << "\n        0" << std::string(static_cast<std::size_t>(std::max(0, width_chars - 10)), ' ')
+      << schedule.makespan << " cycles\n";
+  return out.str();
+}
+
+}  // namespace soctest

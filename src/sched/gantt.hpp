@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Renders a schedule as an ASCII Gantt chart, one row per bus, time scaled
+/// to `width_chars` columns. Each test session is drawn with the first
+/// letter of its core's name; boundaries with '|'.
+std::string render_gantt(const Soc& soc, const TestSchedule& schedule,
+                         int width_chars = 72);
+
+/// Renders the schedule's instantaneous power profile as an ASCII area
+/// chart (`height_rows` rows tall, `width_chars` wide), with the optional
+/// budget line drawn as '-'. Useful in examples and CLI output.
+std::string render_power_profile(const Soc& soc, const TestSchedule& schedule,
+                                 double p_max_mw = -1.0, int width_chars = 72,
+                                 int height_rows = 10);
+
+}  // namespace soctest

@@ -1,0 +1,67 @@
+#include "sched/power_profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace soctest {
+
+double PowerProfile::peak() const {
+  double p = 0.0;
+  for (double v : power_mw) p = std::max(p, v);
+  return p;
+}
+
+double PowerProfile::at(Cycles t) const {
+  if (time.empty() || t < time.front()) return 0.0;
+  // Last step whose start is <= t.
+  auto it = std::upper_bound(time.begin(), time.end(), t);
+  const auto idx = static_cast<std::size_t>(it - time.begin()) - 1;
+  return power_mw[idx];
+}
+
+double PowerProfile::energy() const {
+  double e = 0.0;
+  for (std::size_t k = 0; k + 1 < time.size(); ++k) {
+    e += power_mw[k] * static_cast<double>(time[k + 1] - time[k]);
+  }
+  return e;
+}
+
+PowerProfile compute_power_profile(const Soc& soc,
+                                   const TestSchedule& schedule) {
+  // Sweep: +power at start, -power at end.
+  std::map<Cycles, double> delta;
+  for (const auto& t : schedule.tests) {
+    if (t.end <= t.start) continue;
+    delta[t.start] += soc.core(t.core).test_power_mw;
+    delta[t.end] -= soc.core(t.core).test_power_mw;
+  }
+  PowerProfile profile;
+  double level = 0.0;
+  for (const auto& [when, d] : delta) {
+    level += d;
+    // Clamp tiny negative float residue at the tail.
+    if (level < 0 && level > -1e-9) level = 0;
+    profile.time.push_back(when);
+    profile.power_mw.push_back(level);
+  }
+  return profile;
+}
+
+std::string check_power(const Soc& soc, const TestSchedule& schedule,
+                        double p_max_mw) {
+  if (p_max_mw < 0) return {};
+  const PowerProfile profile = compute_power_profile(soc, schedule);
+  for (std::size_t k = 0; k < profile.power_mw.size(); ++k) {
+    if (profile.power_mw[k] > p_max_mw + 1e-9) {
+      std::ostringstream err;
+      err << "power " << profile.power_mw[k] << " mW exceeds budget "
+          << p_max_mw << " mW at cycle " << profile.time[k];
+      return err.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace soctest

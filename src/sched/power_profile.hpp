@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Instantaneous test power as a right-continuous step function of time:
+/// power(t) = power_mw[k] for time[k] <= t < time[k+1]. The last step runs
+/// to the schedule makespan at power 0 (or the residual tail).
+struct PowerProfile {
+  std::vector<Cycles> time;      ///< step start times, strictly increasing
+  std::vector<double> power_mw;  ///< power during [time[k], time[k+1])
+
+  double peak() const;
+  /// Power at an arbitrary instant (0 outside the schedule span).
+  double at(Cycles t) const;
+  /// Energy in mW-cycles over the whole schedule.
+  double energy() const;
+};
+
+/// Computes the profile of a schedule given per-core test powers. A core
+/// dissipates its test power over its whole [start, end) session.
+PowerProfile compute_power_profile(const Soc& soc, const TestSchedule& schedule);
+
+/// Empty string if the schedule's instantaneous power never exceeds
+/// p_max_mw, else a description of the first violation interval.
+std::string check_power(const Soc& soc, const TestSchedule& schedule,
+                        double p_max_mw);
+
+}  // namespace soctest

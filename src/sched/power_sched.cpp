@@ -1,0 +1,232 @@
+#include "sched/power_sched.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace soctest {
+
+namespace {
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+}  // namespace
+
+PowerScheduleResult build_power_aware_schedule(
+    const TamProblem& problem, const Soc& soc,
+    const std::vector<int>& core_to_bus, const PowerScheduleOptions& options) {
+  PowerScheduleResult result;
+  if (core_to_bus.size() != problem.num_cores() ||
+      soc.num_cores() != problem.num_cores()) {
+    result.error = "assignment/SOC size mismatch";
+    return result;
+  }
+  for (const auto& [a, b] : options.precedences) {
+    if (a >= problem.num_cores() || b >= problem.num_cores() || a == b) {
+      result.error = "invalid precedence edge";
+      return result;
+    }
+  }
+  for (const auto& [a, b] : options.mutex_pairs) {
+    if (a >= problem.num_cores() || b >= problem.num_cores() || a == b) {
+      result.error = "invalid mutex pair";
+      return result;
+    }
+  }
+  if (options.p_max_mw >= 0) {
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      if (soc.core(i).test_power_mw > options.p_max_mw) {
+        result.error = "core " + soc.core(i).name + " alone exceeds the budget";
+        return result;
+      }
+    }
+  }
+
+  // Per-bus queues, longest test first (stable across runs).
+  const std::size_t num_buses = problem.num_buses();
+  std::vector<std::vector<std::size_t>> queue(num_buses);
+  for (std::size_t i = 0; i < problem.num_cores(); ++i) {
+    queue[static_cast<std::size_t>(core_to_bus[i])].push_back(i);
+  }
+  for (std::size_t j = 0; j < num_buses; ++j) {
+    std::sort(queue[j].begin(), queue[j].end(),
+              [&](std::size_t a, std::size_t b) {
+                const Cycles ta = problem.time[a][j];
+                const Cycles tb = problem.time[b][j];
+                return ta != tb ? ta > tb : a < b;
+              });
+  }
+  std::vector<std::size_t> next_in_queue(num_buses, 0);
+  std::vector<Cycles> remaining_work(num_buses, 0);
+  for (std::size_t j = 0; j < num_buses; ++j) {
+    for (std::size_t core : queue[j]) remaining_work[j] += problem.time[core][j];
+  }
+
+  std::vector<Cycles> busy_until(num_buses, 0);      // bus free time
+  std::vector<Cycles> core_end(problem.num_cores(), kNever);
+  std::vector<char> core_done(problem.num_cores(), 0);
+  double power_in_use = 0.0;
+  Cycles now = 0;
+  std::size_t scheduled = 0;
+  Cycles busy_total = 0;
+
+  // Active set: (end_time, core) of currently running tests.
+  std::multimap<Cycles, std::size_t> running;
+
+  auto predecessors_done = [&](std::size_t core) {
+    for (const auto& [a, b] : options.precedences) {
+      if (b == core && !core_done[a]) return false;
+    }
+    return true;
+  };
+  std::vector<char> core_running(problem.num_cores(), 0);
+  auto mutex_free = [&](std::size_t core) {
+    for (const auto& [a, b] : options.mutex_pairs) {
+      if (a == core && core_running[b]) return false;
+      if (b == core && core_running[a]) return false;
+    }
+    return true;
+  };
+
+  while (scheduled < problem.num_cores() || !running.empty()) {
+    // Retire tests finishing at `now`.
+    while (!running.empty() && running.begin()->first <= now) {
+      const auto [end, core] = *running.begin();
+      running.erase(running.begin());
+      core_done[core] = 1;
+      core_running[core] = 0;
+      power_in_use -= soc.core(core).test_power_mw;
+      if (power_in_use < 0 && power_in_use > -1e-9) power_in_use = 0;
+      (void)end;
+    }
+    // Start everything startable at `now`. Priority: largest remaining bus
+    // workload first (classic makespan heuristic under resource ceilings).
+    bool started = true;
+    while (started) {
+      started = false;
+      int best_bus = -1;
+      for (std::size_t j = 0; j < num_buses; ++j) {
+        if (next_in_queue[j] >= queue[j].size()) continue;
+        if (busy_until[j] > now) continue;
+        const std::size_t core = queue[j][next_in_queue[j]];
+        if (!predecessors_done(core)) continue;
+        if (!mutex_free(core)) continue;
+        if (options.p_max_mw >= 0 &&
+            power_in_use + soc.core(core).test_power_mw >
+                options.p_max_mw + 1e-9) {
+          continue;
+        }
+        if (best_bus < 0 ||
+            remaining_work[j] > remaining_work[static_cast<std::size_t>(best_bus)]) {
+          best_bus = static_cast<int>(j);
+        }
+      }
+      if (best_bus >= 0) {
+        const auto j = static_cast<std::size_t>(best_bus);
+        const std::size_t core = queue[j][next_in_queue[j]++];
+        const Cycles duration = problem.time[core][j];
+        result.schedule.tests.push_back(
+            ScheduledTest{core, best_bus, now, now + duration});
+        busy_until[j] = now + duration;
+        busy_total += duration;
+        remaining_work[j] -= duration;
+        core_end[core] = now + duration;
+        power_in_use += soc.core(core).test_power_mw;
+        core_running[core] = 1;
+        running.emplace(now + duration, core);
+        ++scheduled;
+        started = true;
+      }
+    }
+    if (scheduled == problem.num_cores() && running.empty()) break;
+    // Advance time to the next interesting event: a completion, or a bus
+    // becoming free.
+    Cycles next_event = kNever;
+    if (!running.empty()) next_event = running.begin()->first;
+    for (std::size_t j = 0; j < num_buses; ++j) {
+      if (next_in_queue[j] < queue[j].size() && busy_until[j] > now) {
+        next_event = std::min(next_event, busy_until[j]);
+      }
+    }
+    if (next_event == kNever || next_event <= now) {
+      // Nothing running and nothing startable: power and mutex blocks both
+      // clear when nothing runs, so this is a precedence cycle/deadlock.
+      result.error = "precedence deadlock: no startable core at cycle " +
+                     std::to_string(now);
+      result.schedule = TestSchedule{};
+      return result;
+    }
+    now = next_event;
+  }
+
+  for (const auto& t : result.schedule.tests) {
+    result.schedule.makespan = std::max(result.schedule.makespan, t.end);
+  }
+  std::sort(result.schedule.tests.begin(), result.schedule.tests.end(),
+            [](const ScheduledTest& a, const ScheduledTest& b) {
+              return a.bus != b.bus ? a.bus < b.bus : a.start < b.start;
+            });
+  result.idle_inserted =
+      static_cast<Cycles>(num_buses) * result.schedule.makespan - busy_total;
+  result.feasible = true;
+  return result;
+}
+
+std::string check_schedule_with_gaps(
+    const TamProblem& problem, const std::vector<int>& core_to_bus,
+    const TestSchedule& schedule,
+    const std::vector<std::pair<std::size_t, std::size_t>>& precedences,
+    const std::vector<std::pair<std::size_t, std::size_t>>& mutex_pairs) {
+  std::ostringstream err;
+  if (schedule.tests.size() != problem.num_cores()) {
+    err << "schedule covers " << schedule.tests.size() << " of "
+        << problem.num_cores() << " cores; ";
+  }
+  std::vector<int> seen(problem.num_cores(), 0);
+  std::vector<Cycles> start(problem.num_cores(), 0), end(problem.num_cores(), 0);
+  for (const auto& t : schedule.tests) {
+    if (t.core >= problem.num_cores()) {
+      err << "unknown core; ";
+      continue;
+    }
+    ++seen[t.core];
+    start[t.core] = t.start;
+    end[t.core] = t.end;
+    if (t.bus != core_to_bus.at(t.core)) {
+      err << "core " << t.core << " on wrong bus; ";
+    }
+    if (t.start < 0) err << "core " << t.core << " starts before 0; ";
+    const Cycles expect = problem.time[t.core][static_cast<std::size_t>(t.bus)];
+    if (t.end - t.start != expect) {
+      err << "core " << t.core << " has wrong duration; ";
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] != 1) err << "core " << i << " appears " << seen[i] << " times; ";
+  }
+  for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+    const auto on_bus = schedule.bus_tests(static_cast<int>(j));
+    for (std::size_t k = 1; k < on_bus.size(); ++k) {
+      if (on_bus[k].start < on_bus[k - 1].end) {
+        err << "bus " << j << " sessions overlap; ";
+        break;
+      }
+    }
+  }
+  for (const auto& [a, b] : precedences) {
+    if (a < seen.size() && b < seen.size() && seen[a] == 1 && seen[b] == 1 &&
+        start[b] < end[a]) {
+      err << "precedence " << a << " -> " << b << " violated; ";
+    }
+  }
+  for (const auto& [a, b] : mutex_pairs) {
+    if (a < seen.size() && b < seen.size() && seen[a] == 1 && seen[b] == 1 &&
+        start[a] < end[b] && start[b] < end[a]) {
+      err << "mutex pair " << a << "/" << b << " overlaps; ";
+    }
+  }
+  return err.str();
+}
+
+}  // namespace soctest

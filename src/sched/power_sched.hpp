@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Options for the idle-insertion power-aware scheduler.
+struct PowerScheduleOptions {
+  /// Instantaneous power ceiling in mW; < 0 disables (plain back-to-back).
+  double p_max_mw = -1.0;
+  /// Precedence constraints: (a, b) means core b may not start before core
+  /// a's test completes (cross-bus allowed).
+  std::vector<std::pair<std::size_t, std::size_t>> precedences;
+  /// Mutual-exclusion constraints: (a, b) means the two cores may never be
+  /// under test simultaneously — e.g. they share a BIST engine, a test
+  /// clock, or an analog supply. Order-free (unlike precedences).
+  std::vector<std::pair<std::size_t, std::size_t>> mutex_pairs;
+};
+
+/// Result of power-aware scheduling.
+struct PowerScheduleResult {
+  bool feasible = false;
+  /// Human-readable reason when infeasible (power deadlock, precedence
+  /// cycle, core alone over budget).
+  std::string error;
+  TestSchedule schedule;
+  Cycles idle_inserted = 0;  ///< total bus-cycles of inserted idle time
+};
+
+/// Event-driven list scheduler that realizes a TAM assignment while keeping
+/// the *instantaneous* power at or below p_max_mw by delaying test starts
+/// (idle insertion) instead of re-assigning cores. This is the
+/// schedule-level alternative to the DAC 2000 pairwise serialization
+/// constraint: the assignment (and hence TAM wiring) is untouched; only
+/// start times move.
+///
+/// Per-bus core order defaults to longest-test-first; the scheduler then
+/// greedily starts, at every event time, the ready core with the largest
+/// remaining bus workload that fits in the power headroom and whose
+/// predecessors are done. Deterministic.
+PowerScheduleResult build_power_aware_schedule(
+    const TamProblem& problem, const Soc& soc,
+    const std::vector<int>& core_to_bus,
+    const PowerScheduleOptions& options = {});
+
+/// Schedule validity for schedules that may contain idle gaps: per-bus
+/// sessions must not overlap and must follow the assignment and durations;
+/// precedence edges must be honored. Empty string if valid.
+std::string check_schedule_with_gaps(
+    const TamProblem& problem, const std::vector<int>& core_to_bus,
+    const TestSchedule& schedule,
+    const std::vector<std::pair<std::size_t, std::size_t>>& precedences = {},
+    const std::vector<std::pair<std::size_t, std::size_t>>& mutex_pairs = {});
+
+}  // namespace soctest

@@ -1,0 +1,233 @@
+#include "sched/preemptive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace soctest {
+
+std::vector<TestSegment> PreemptiveSchedule::bus_segments(int bus) const {
+  std::vector<TestSegment> out;
+  for (const auto& s : segments) {
+    if (s.bus == bus) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const TestSegment& a, const TestSegment& b) {
+    return a.start < b.start;
+  });
+  return out;
+}
+
+Cycles PreemptiveSchedule::core_total(std::size_t core) const {
+  Cycles total = 0;
+  for (const auto& s : segments) {
+    if (s.core == core) total += s.end - s.start;
+  }
+  return total;
+}
+
+PreemptiveResult build_preemptive_schedule(const TamProblem& problem,
+                                           const Soc& soc,
+                                           const std::vector<int>& core_to_bus,
+                                           double p_max_mw) {
+  PreemptiveResult result;
+  if (core_to_bus.size() != problem.num_cores() ||
+      soc.num_cores() != problem.num_cores()) {
+    result.error = "assignment/SOC size mismatch";
+    return result;
+  }
+  if (p_max_mw >= 0) {
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      if (soc.core(i).test_power_mw > p_max_mw) {
+        result.error = "core " + soc.core(i).name + " alone exceeds the budget";
+        return result;
+      }
+    }
+  }
+  const std::size_t num_buses = problem.num_buses();
+  std::vector<Cycles> remaining(problem.num_cores());
+  std::vector<std::vector<std::size_t>> bus_cores(num_buses);
+  for (std::size_t i = 0; i < problem.num_cores(); ++i) {
+    const auto j = static_cast<std::size_t>(core_to_bus[i]);
+    remaining[i] = problem.time[i][j];
+    bus_cores[j].push_back(i);
+  }
+
+  Cycles now = 0;
+  std::vector<TestSegment> raw;
+  // Sticky policy: a bus keeps its running core while that core still fits,
+  // so preemption happens only when the power budget forces a swap. Pure
+  // LRPT would churn segments without improving the makespan.
+  std::vector<long long> current(num_buses, -1);
+  auto any_remaining = [&] {
+    for (Cycles r : remaining) {
+      if (r > 0) return true;
+    }
+    return false;
+  };
+  while (any_remaining()) {
+    // Select at most one unfinished core per bus, LRPT-first, power-checked.
+    // Buses are visited in order of their best candidate's remaining work.
+    struct Choice {
+      std::size_t bus;
+      std::size_t core;
+      Cycles remaining;
+    };
+    std::vector<Choice> selected;
+    double power = 0.0;
+    std::vector<std::pair<Cycles, std::size_t>> bus_order;  // (-best remaining, bus)
+    for (std::size_t j = 0; j < num_buses; ++j) {
+      Cycles best = 0;
+      for (std::size_t core : bus_cores[j]) best = std::max(best, remaining[core]);
+      if (best > 0) bus_order.emplace_back(-best, j);
+    }
+    std::sort(bus_order.begin(), bus_order.end());
+    for (const auto& [neg, j] : bus_order) {
+      (void)neg;
+      // Candidates on this bus, most remaining first.
+      std::vector<std::size_t> candidates;
+      for (std::size_t core : bus_cores[j]) {
+        if (remaining[core] > 0) candidates.push_back(core);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [&](std::size_t a, std::size_t b) {
+                  // The bus's incumbent core first, then LRPT.
+                  const bool a_cur = current[j] == static_cast<long long>(a);
+                  const bool b_cur = current[j] == static_cast<long long>(b);
+                  if (a_cur != b_cur) return a_cur;
+                  return remaining[a] != remaining[b] ? remaining[a] > remaining[b]
+                                                      : a < b;
+                });
+      for (std::size_t core : candidates) {
+        if (p_max_mw >= 0 &&
+            power + soc.core(core).test_power_mw > p_max_mw + 1e-9) {
+          continue;
+        }
+        selected.push_back(Choice{j, core, remaining[core]});
+        power += soc.core(core).test_power_mw;
+        break;
+      }
+    }
+    if (selected.empty()) {
+      // Cannot happen: every single core fits the budget.
+      result.error = "scheduler stalled at cycle " + std::to_string(now);
+      return result;
+    }
+    // Run the selection until the earliest completion among it.
+    Cycles delta = std::numeric_limits<Cycles>::max();
+    for (const auto& choice : selected) delta = std::min(delta, choice.remaining);
+    for (auto& cur : current) cur = -1;
+    for (const auto& choice : selected) {
+      raw.push_back(TestSegment{choice.core, static_cast<int>(choice.bus), now,
+                                now + delta});
+      remaining[choice.core] -= delta;
+      if (remaining[choice.core] > 0) {
+        current[choice.bus] = static_cast<long long>(choice.core);
+      }
+    }
+    now += delta;
+  }
+
+  // Merge back-to-back segments of the same core on the same bus.
+  std::sort(raw.begin(), raw.end(), [](const TestSegment& a, const TestSegment& b) {
+    return a.bus != b.bus ? a.bus < b.bus : a.start < b.start;
+  });
+  for (const auto& s : raw) {
+    auto& segments = result.schedule.segments;
+    if (!segments.empty() && segments.back().bus == s.bus &&
+        segments.back().core == s.core && segments.back().end == s.start) {
+      segments.back().end = s.end;
+    } else {
+      segments.push_back(s);
+    }
+    result.schedule.makespan = std::max(result.schedule.makespan, s.end);
+  }
+  std::map<std::size_t, int> per_core;
+  for (const auto& s : result.schedule.segments) ++per_core[s.core];
+  for (const auto& [core, count] : per_core) {
+    (void)core;
+    result.preemptions += count - 1;
+  }
+  result.feasible = true;
+  return result;
+}
+
+std::string render_preemptive_gantt(const Soc& soc,
+                                    const PreemptiveSchedule& schedule,
+                                    int width_chars) {
+  if (schedule.makespan <= 0 || schedule.segments.empty()) {
+    return "(empty schedule)\n";
+  }
+  int max_bus = 0;
+  for (const auto& s : schedule.segments) max_bus = std::max(max_bus, s.bus);
+  const double scale =
+      static_cast<double>(width_chars) / static_cast<double>(schedule.makespan);
+  std::ostringstream out;
+  for (int j = 0; j <= max_bus; ++j) {
+    std::string lane(static_cast<std::size_t>(width_chars), ' ');
+    for (const auto& s : schedule.bus_segments(j)) {
+      const auto from = static_cast<std::size_t>(static_cast<double>(s.start) * scale);
+      auto to = static_cast<std::size_t>(static_cast<double>(s.end) * scale);
+      to = std::min(to, static_cast<std::size_t>(width_chars));
+      const char mark =
+          soc.core(s.core).name.empty() ? '?' : soc.core(s.core).name[0];
+      for (std::size_t c = from; c < to; ++c) lane[c] = mark;
+      if (from < lane.size()) lane[from] = '|';
+    }
+    out << "bus " << j << " [" << lane << "]\n";
+  }
+  out << "0" << std::string(static_cast<std::size_t>(std::max(0, width_chars - 2)), ' ')
+      << schedule.makespan << " cycles\n";
+  return out.str();
+}
+
+std::string check_preemptive_schedule(const TamProblem& problem,
+                                      const Soc& soc,
+                                      const std::vector<int>& core_to_bus,
+                                      const PreemptiveSchedule& schedule,
+                                      double p_max_mw) {
+  std::ostringstream err;
+  for (std::size_t i = 0; i < problem.num_cores(); ++i) {
+    const auto j = static_cast<std::size_t>(core_to_bus.at(i));
+    if (schedule.core_total(i) != problem.time[i][j]) {
+      err << "core " << i << " scheduled " << schedule.core_total(i)
+          << " of " << problem.time[i][j] << " cycles; ";
+    }
+  }
+  for (const auto& s : schedule.segments) {
+    if (s.core >= problem.num_cores()) {
+      err << "unknown core; ";
+      continue;
+    }
+    if (s.bus != core_to_bus[s.core]) err << "segment on wrong bus; ";
+    if (s.end <= s.start) err << "empty/negative segment; ";
+  }
+  for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+    const auto on_bus = schedule.bus_segments(static_cast<int>(j));
+    for (std::size_t k = 1; k < on_bus.size(); ++k) {
+      if (on_bus[k].start < on_bus[k - 1].end) {
+        err << "bus " << j << " segments overlap; ";
+        break;
+      }
+    }
+  }
+  if (p_max_mw >= 0) {
+    // Sweep the power profile over segment boundaries.
+    std::map<Cycles, double> delta;
+    for (const auto& s : schedule.segments) {
+      delta[s.start] += soc.core(s.core).test_power_mw;
+      delta[s.end] -= soc.core(s.core).test_power_mw;
+    }
+    double level = 0.0;
+    for (const auto& [when, d] : delta) {
+      level += d;
+      if (level > p_max_mw + 1e-9) {
+        err << "power " << level << " exceeds budget at cycle " << when << "; ";
+        break;
+      }
+    }
+  }
+  return err.str();
+}
+
+}  // namespace soctest

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// One contiguous slice of a (possibly preempted) core test.
+struct TestSegment {
+  std::size_t core = 0;
+  int bus = 0;
+  Cycles start = 0;
+  Cycles end = 0;  ///< exclusive
+};
+
+/// A preemptive test schedule: a core's test may be split into several
+/// segments on its bus (pattern-boundary preemption: scan state is held in
+/// the wrapper, so a test can pause and resume at no cycle cost — the model
+/// used by the preemptive SOC test scheduling literature).
+struct PreemptiveSchedule {
+  std::vector<TestSegment> segments;  ///< sorted by (bus, start)
+  Cycles makespan = 0;
+
+  std::vector<TestSegment> bus_segments(int bus) const;
+  /// Total scheduled cycles of one core.
+  Cycles core_total(std::size_t core) const;
+};
+
+struct PreemptiveResult {
+  bool feasible = false;
+  std::string error;
+  PreemptiveSchedule schedule;
+  int preemptions = 0;  ///< segments beyond one per core
+};
+
+/// Power-aware preemptive scheduler: at every event instant, runs on each
+/// bus the unfinished core with the most remaining work whose power fits
+/// under the budget (LRPT rule; cores pause mid-test and resume later,
+/// unlike the non-preemptive idle-insertion scheduler). Preemption relaxes
+/// the problem, and the greedy typically — though, both schedulers being
+/// heuristics, not provably always — produces shorter schedules than idle
+/// insertion at tight budgets (quantified in bench/fig9_preemption).
+PreemptiveResult build_preemptive_schedule(const TamProblem& problem,
+                                           const Soc& soc,
+                                           const std::vector<int>& core_to_bus,
+                                           double p_max_mw);
+
+/// Renders a preemptive schedule as an ASCII Gantt chart (one row per bus;
+/// each segment drawn with the first letter of its core's name, '|' at
+/// segment starts — resumed fragments of a core reuse its letter).
+std::string render_preemptive_gantt(const Soc& soc,
+                                    const PreemptiveSchedule& schedule,
+                                    int width_chars = 72);
+
+/// Validates a preemptive schedule: per-core totals match the time matrix,
+/// per-bus segments never overlap, power stays under the budget. Empty
+/// string when valid.
+std::string check_preemptive_schedule(const TamProblem& problem,
+                                      const Soc& soc,
+                                      const std::vector<int>& core_to_bus,
+                                      const PreemptiveSchedule& schedule,
+                                      double p_max_mw);
+
+}  // namespace soctest

@@ -1,0 +1,156 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "sched/power_profile.hpp"
+
+namespace soctest {
+
+std::vector<ScheduledTest> TestSchedule::bus_tests(int bus) const {
+  std::vector<ScheduledTest> out;
+  for (const auto& t : tests) {
+    if (t.bus == bus) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScheduledTest& a, const ScheduledTest& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+std::string TestSchedule::validate(const TamProblem& problem,
+                                   const std::vector<int>& core_to_bus) const {
+  std::ostringstream err;
+  if (tests.size() != problem.num_cores()) {
+    err << "schedule covers " << tests.size() << " of " << problem.num_cores()
+        << " cores; ";
+  }
+  std::vector<int> seen(problem.num_cores(), 0);
+  for (const auto& t : tests) {
+    if (t.core >= problem.num_cores()) {
+      err << "unknown core in schedule; ";
+      continue;
+    }
+    ++seen[t.core];
+    if (t.bus != core_to_bus.at(t.core)) {
+      err << "core " << t.core << " scheduled on wrong bus; ";
+    }
+    const Cycles expect = problem.time[t.core][static_cast<std::size_t>(t.bus)];
+    if (t.end - t.start != expect) {
+      err << "core " << t.core << " duration " << (t.end - t.start)
+          << " != test time " << expect << "; ";
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] != 1) err << "core " << i << " appears " << seen[i] << " times; ";
+  }
+  for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+    const auto on_bus = bus_tests(static_cast<int>(j));
+    Cycles cursor = 0;
+    for (const auto& t : on_bus) {
+      if (t.start != cursor) {
+        err << "bus " << j << " has a gap/overlap at " << t.start << "; ";
+        break;
+      }
+      cursor = t.end;
+    }
+  }
+  return err.str();
+}
+
+TestSchedule build_schedule(const TamProblem& problem,
+                            const std::vector<int>& core_to_bus,
+                            const std::vector<std::vector<std::size_t>>& orders) {
+  if (core_to_bus.size() != problem.num_cores()) {
+    throw std::invalid_argument("assignment size mismatch");
+  }
+  TestSchedule schedule;
+  for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+    std::vector<std::size_t> cores;
+    if (!orders.empty()) {
+      cores = orders.at(j);
+      for (std::size_t core : cores) {
+        if (core_to_bus.at(core) != static_cast<int>(j)) {
+          throw std::invalid_argument("explicit order contradicts assignment");
+        }
+      }
+      std::size_t expected = 0;
+      for (std::size_t i = 0; i < problem.num_cores(); ++i) {
+        if (core_to_bus[i] == static_cast<int>(j)) ++expected;
+      }
+      if (cores.size() != expected) {
+        throw std::invalid_argument("explicit order misses cores of bus " +
+                                    std::to_string(j));
+      }
+    } else {
+      for (std::size_t i = 0; i < problem.num_cores(); ++i) {
+        if (core_to_bus[i] == static_cast<int>(j)) cores.push_back(i);
+      }
+      std::sort(cores.begin(), cores.end(), [&](std::size_t a, std::size_t b) {
+        return problem.time[a][j] > problem.time[b][j];
+      });
+    }
+    Cycles cursor = 0;
+    for (std::size_t core : cores) {
+      const Cycles duration = problem.time[core][j];
+      schedule.tests.push_back(
+          ScheduledTest{core, static_cast<int>(j), cursor, cursor + duration});
+      cursor += duration;
+    }
+    schedule.makespan = std::max(schedule.makespan, cursor);
+  }
+  std::sort(schedule.tests.begin(), schedule.tests.end(),
+            [](const ScheduledTest& a, const ScheduledTest& b) {
+              return a.bus != b.bus ? a.bus < b.bus : a.start < b.start;
+            });
+  return schedule;
+}
+
+TestSchedule minimize_peak_order(const TamProblem& problem, const Soc& soc,
+                                 const std::vector<int>& core_to_bus, Rng& rng,
+                                 int iterations) {
+  // Current per-bus orders, seeded with the default (longest first).
+  std::vector<std::vector<std::size_t>> orders(problem.num_buses());
+  {
+    const TestSchedule seed = build_schedule(problem, core_to_bus);
+    for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+      for (const auto& t : seed.bus_tests(static_cast<int>(j))) {
+        orders[j].push_back(t.core);
+      }
+    }
+  }
+  auto peak_of = [&](const std::vector<std::vector<std::size_t>>& o) {
+    const TestSchedule s = build_schedule(problem, core_to_bus, o);
+    return compute_power_profile(soc, s).peak();
+  };
+  double best_peak = peak_of(orders);
+  auto best_orders = orders;
+  for (int it = 0; it < iterations; ++it) {
+    // Swap two tests on a random bus with >= 2 tests.
+    std::vector<std::size_t> eligible;
+    for (std::size_t j = 0; j < orders.size(); ++j) {
+      if (orders[j].size() >= 2) eligible.push_back(j);
+    }
+    if (eligible.empty()) break;
+    const std::size_t j = eligible[rng.index(eligible.size())];
+    auto candidate = orders;
+    const std::size_t a = rng.index(candidate[j].size());
+    std::size_t b = rng.index(candidate[j].size());
+    if (a == b) b = (b + 1) % candidate[j].size();
+    std::swap(candidate[j][a], candidate[j][b]);
+    const double peak = peak_of(candidate);
+    if (peak <= best_peak) {  // accept sideways moves to escape plateaus
+      if (peak < best_peak) {
+        best_peak = peak;
+        best_orders = candidate;
+      }
+      orders = std::move(candidate);
+    }
+  }
+  return build_schedule(problem, core_to_bus, best_orders);
+}
+
+}  // namespace soctest

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tam/tam_problem.hpp"
+
+namespace soctest {
+
+/// One core's test session on its bus.
+struct ScheduledTest {
+  std::size_t core = 0;
+  int bus = 0;
+  Cycles start = 0;
+  Cycles end = 0;  ///< exclusive
+};
+
+/// A concrete test schedule realizing a TAM assignment: cores on each bus
+/// run back-to-back (no idle insertion); buses run in parallel from time 0.
+struct TestSchedule {
+  std::vector<ScheduledTest> tests;  ///< sorted by (bus, start)
+  Cycles makespan = 0;
+
+  /// Tests on a given bus, in execution order.
+  std::vector<ScheduledTest> bus_tests(int bus) const;
+
+  /// Sanity: per-bus tests are contiguous from 0, durations match the
+  /// problem's time matrix, each core appears once. Empty string if valid.
+  std::string validate(const TamProblem& problem,
+                       const std::vector<int>& core_to_bus) const;
+};
+
+/// Builds the schedule for an assignment. `orders`, when non-empty, gives an
+/// explicit per-bus core order (orders[j] = cores of bus j in run order);
+/// otherwise each bus runs its cores in decreasing test-time order.
+TestSchedule build_schedule(const TamProblem& problem,
+                            const std::vector<int>& core_to_bus,
+                            const std::vector<std::vector<std::size_t>>& orders = {});
+
+/// Searches per-bus orderings (random restarts + pairwise swaps) for a
+/// schedule whose *instantaneous* peak power is minimal. Used to quantify
+/// how pessimistic the paper's pairwise co-assignment constraint is compared
+/// to what the realized schedule actually draws (ablation A3).
+TestSchedule minimize_peak_order(const TamProblem& problem, const Soc& soc,
+                                 const std::vector<int>& core_to_bus, Rng& rng,
+                                 int iterations = 2000);
+
+}  // namespace soctest

@@ -1,0 +1,207 @@
+#include "sched/sessions.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace soctest {
+
+namespace {
+
+struct Search {
+  const std::vector<Cycles>& times;    // sorted descending (via order)
+  const std::vector<double>& powers;
+  const std::vector<std::size_t>& order;
+  double p_max;
+  long long max_nodes;
+
+  std::vector<double> session_power;
+  std::vector<int> core_session;  // index into order -> session
+  Cycles cost = 0;                // Σ opener times of opened sessions
+  Cycles best = std::numeric_limits<Cycles>::max();
+  std::vector<int> best_core_session;
+  long long nodes = 0;
+  bool aborted = false;
+
+  Search(const std::vector<Cycles>& t, const std::vector<double>& p,
+         const std::vector<std::size_t>& o, double budget, long long cap)
+      : times(t), powers(p), order(o), p_max(budget), max_nodes(cap),
+        core_session(o.size(), -1) {}
+
+  void dfs(std::size_t k) {
+    if (aborted) return;
+    ++nodes;
+    if (max_nodes >= 0 && nodes > max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (cost >= best) return;
+    if (k == order.size()) {
+      best = cost;
+      best_core_session = core_session;
+      return;
+    }
+    const std::size_t core = order[k];
+    // Join an existing session with power headroom. Because cores arrive in
+    // decreasing-time order, joining never changes a session's duration.
+    for (std::size_t s = 0; s < session_power.size(); ++s) {
+      if (session_power[s] + powers[core] > p_max + 1e-9) continue;
+      session_power[s] += powers[core];
+      core_session[k] = static_cast<int>(s);
+      dfs(k + 1);
+      core_session[k] = -1;
+      session_power[s] -= powers[core];
+      if (aborted) return;
+    }
+    // Open a new session (canonical: always the next index).
+    session_power.push_back(powers[core]);
+    cost += times[core];
+    core_session[k] = static_cast<int>(session_power.size()) - 1;
+    dfs(k + 1);
+    core_session[k] = -1;
+    cost -= times[core];
+    session_power.pop_back();
+  }
+};
+
+SessionResult assemble(const std::vector<std::size_t>& order,
+                       const std::vector<int>& core_session, Cycles total,
+                       long long nodes, bool proved) {
+  SessionResult result;
+  result.nodes = nodes;
+  if (core_session.empty()) return result;
+  int num_sessions = 0;
+  for (int s : core_session) num_sessions = std::max(num_sessions, s + 1);
+  result.schedule.sessions.resize(static_cast<std::size_t>(num_sessions));
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    result.schedule.sessions[static_cast<std::size_t>(core_session[k])]
+        .push_back(order[k]);
+  }
+  result.schedule.total_time = total;
+  result.feasible = true;
+  result.proved_optimal = proved;
+  return result;
+}
+
+}  // namespace
+
+std::string check_sessions(const std::vector<Cycles>& times,
+                           const std::vector<double>& powers, double p_max_mw,
+                           const SessionSchedule& schedule) {
+  std::ostringstream err;
+  std::vector<int> seen(times.size(), 0);
+  Cycles total = 0;
+  for (const auto& session : schedule.sessions) {
+    if (session.empty()) {
+      err << "empty session; ";
+      continue;
+    }
+    Cycles session_max = 0;
+    double session_power = 0;
+    for (std::size_t core : session) {
+      if (core >= times.size()) {
+        err << "unknown core; ";
+        continue;
+      }
+      ++seen[core];
+      session_max = std::max(session_max, times[core]);
+      session_power += powers[core];
+    }
+    if (p_max_mw >= 0 && session_power > p_max_mw + 1e-9) {
+      err << "session power " << session_power << " over budget; ";
+    }
+    total += session_max;
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] != 1) err << "core " << i << " appears " << seen[i] << " times; ";
+  }
+  if (total != schedule.total_time) {
+    err << "total " << schedule.total_time << " != recomputed " << total << "; ";
+  }
+  return err.str();
+}
+
+SessionResult schedule_sessions_exact(const std::vector<Cycles>& times,
+                                      const std::vector<double>& powers,
+                                      double p_max_mw, long long max_nodes) {
+  SessionResult failure;
+  if (times.size() != powers.size()) return failure;
+  if (p_max_mw >= 0) {
+    for (double p : powers) {
+      if (p > p_max_mw) return failure;  // untestable core
+    }
+  }
+  const double budget =
+      p_max_mw >= 0 ? p_max_mw : std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> order(times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return times[a] != times[b] ? times[a] > times[b] : a < b;
+  });
+  Search search(times, powers, order, budget, max_nodes);
+  search.dfs(0);
+  if (search.best_core_session.empty()) return failure;
+  return assemble(order, search.best_core_session, search.best, search.nodes,
+                  !search.aborted);
+}
+
+SessionResult schedule_sessions_greedy(const std::vector<Cycles>& times,
+                                       const std::vector<double>& powers,
+                                       double p_max_mw) {
+  SessionResult failure;
+  if (times.size() != powers.size()) return failure;
+  if (p_max_mw >= 0) {
+    for (double p : powers) {
+      if (p > p_max_mw) return failure;
+    }
+  }
+  const double budget =
+      p_max_mw >= 0 ? p_max_mw : std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> order(times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return times[a] != times[b] ? times[a] > times[b] : a < b;
+  });
+  std::vector<int> core_session(order.size(), -1);
+  std::vector<double> session_power;
+  Cycles total = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t core = order[k];
+    bool placed = false;
+    for (std::size_t s = 0; s < session_power.size() && !placed; ++s) {
+      if (session_power[s] + powers[core] <= budget + 1e-9) {
+        session_power[s] += powers[core];
+        core_session[k] = static_cast<int>(s);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      session_power.push_back(powers[core]);
+      total += times[core];
+      core_session[k] = static_cast<int>(session_power.size()) - 1;
+    }
+  }
+  auto result = assemble(order, core_session, total,
+                         static_cast<long long>(order.size()), false);
+  return result;
+}
+
+std::vector<Cycles> session_times(const Soc& soc, const TestTimeTable& table,
+                                  int width) {
+  std::vector<Cycles> times;
+  times.reserve(soc.num_cores());
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    times.push_back(table.time(i, width));
+  }
+  return times;
+}
+
+std::vector<double> session_powers(const Soc& soc) {
+  std::vector<double> powers;
+  powers.reserve(soc.num_cores());
+  for (const auto& c : soc.cores()) powers.push_back(c.test_power_mw);
+  return powers;
+}
+
+}  // namespace soctest

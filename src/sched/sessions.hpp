@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "soc/soc.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+
+/// The classic session-based (BIST-style) test scheduling model that
+/// predates TAM-based scheduling: cores are partitioned into test
+/// *sessions*; all cores of a session start together and the session lasts
+/// as long as its slowest member; sessions run back to back. Power
+/// constraint: the cores of a session draw power simultaneously, so each
+/// session's power sum must fit the budget.
+///
+///   minimize   Σ_s max_{i∈s} t_i     s.t.  Σ_{i∈s} P_i <= P_max  ∀s
+///
+/// Unlike the TAM model there is no bus resource: parallelism is bounded
+/// only by power. Comparing the two quantifies what dedicated TAM hardware
+/// buys (bench fig10).
+struct SessionSchedule {
+  /// sessions[s] = cores tested concurrently in session s (in order).
+  std::vector<std::vector<std::size_t>> sessions;
+  Cycles total_time = 0;
+};
+
+struct SessionResult {
+  bool feasible = false;
+  bool proved_optimal = false;
+  SessionSchedule schedule;
+  long long nodes = 0;
+};
+
+/// Validates a session schedule: every core exactly once, per-session
+/// power within budget, total time = Σ session maxima. Empty if OK.
+std::string check_sessions(const std::vector<Cycles>& times,
+                           const std::vector<double>& powers, double p_max_mw,
+                           const SessionSchedule& schedule);
+
+/// Exact branch & bound: cores sorted by decreasing time; each core joins
+/// an existing session (if power fits) or opens a new one. Admissible
+/// bound: opened sessions' maxima are fixed (times sorted descending), so
+/// the current sum plus 0 for the rest lower-bounds the objective.
+SessionResult schedule_sessions_exact(const std::vector<Cycles>& times,
+                                      const std::vector<double>& powers,
+                                      double p_max_mw,
+                                      long long max_nodes = -1);
+
+/// Greedy first-fit-decreasing baseline.
+SessionResult schedule_sessions_greedy(const std::vector<Cycles>& times,
+                                       const std::vector<double>& powers,
+                                       double p_max_mw);
+
+/// Convenience: per-core times from a SOC at a given wrapper width.
+std::vector<Cycles> session_times(const Soc& soc, const TestTimeTable& table,
+                                  int width);
+std::vector<double> session_powers(const Soc& soc);
+
+}  // namespace soctest

@@ -1,0 +1,142 @@
+#include "soc/builtin.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "soc/generator.hpp"
+
+namespace soctest {
+
+namespace {
+
+Core make_core(std::string name, int inputs, int outputs, int patterns,
+               double power_mw, int width, int height,
+               std::vector<int> chains = {}) {
+  Core c;
+  c.name = std::move(name);
+  c.num_inputs = inputs;
+  c.num_outputs = outputs;
+  c.num_patterns = patterns;
+  c.test_power_mw = power_mw;
+  c.width = width;
+  c.height = height;
+  c.scan_chain_lengths = std::move(chains);
+  return c;
+}
+
+/// n chains totalling `flops`, lengths as balanced as integers allow.
+std::vector<int> balanced_chains(int n, int flops) {
+  std::vector<int> chains(n, flops / n);
+  for (int i = 0; i < flops % n; ++i) ++chains[i];
+  return chains;
+}
+
+void check(const Soc& soc) {
+  const std::string err = soc.validate();
+  if (!err.empty()) throw std::logic_error("builtin SOC invalid: " + err);
+}
+
+}  // namespace
+
+Soc builtin_soc1() {
+  Soc soc("soc1", 64, 64);
+  soc.add_core(make_core("c6288", 32, 32, 12, 660.0, 6, 6));
+  soc.add_core(make_core("c7552", 207, 108, 73, 602.0, 8, 8));
+  soc.add_core(make_core("s838", 34, 1, 75, 823.0, 5, 5, balanced_chains(1, 32)));
+  soc.add_core(make_core("s9234", 36, 39, 105, 275.0, 8, 8, balanced_chains(4, 228)));
+  soc.add_core(make_core("s38584", 38, 304, 110, 690.0, 12, 12, balanced_chains(32, 1426)));
+  soc.add_core(make_core("s13207", 62, 152, 234, 354.0, 10, 10, balanced_chains(16, 669)));
+  soc.add_core(make_core("s15850", 77, 150, 95, 530.0, 10, 10, balanced_chains(16, 534)));
+  soc.add_core(make_core("s5378", 35, 49, 97, 753.0, 7, 7, balanced_chains(4, 179)));
+  soc.add_core(make_core("s35932", 35, 320, 12, 641.0, 12, 12, balanced_chains(32, 1728)));
+  soc.add_core(make_core("s38417", 28, 106, 68, 1144.0, 12, 12, balanced_chains(32, 1636)));
+  soc.set_placements({
+      Placement{{2, 2}},    // c6288
+      Placement{{12, 2}},   // c7552
+      Placement{{35, 2}},   // s838
+      Placement{{44, 2}},   // s9234
+      Placement{{30, 14}},  // s38584
+      Placement{{2, 14}},   // s13207
+      Placement{{16, 14}},  // s15850
+      Placement{{24, 2}},   // s5378
+      Placement{{2, 30}},   // s35932
+      Placement{{18, 30}},  // s38417
+  });
+  check(soc);
+  return soc;
+}
+
+Soc builtin_soc2() {
+  Soc soc("soc2", 40, 40);
+  soc.add_core(make_core("c880", 60, 26, 59, 340.0, 4, 4));
+  soc.add_core(make_core("c2670", 233, 140, 107, 410.0, 6, 6));
+  soc.add_core(make_core("s953", 16, 23, 76, 285.0, 4, 4, balanced_chains(1, 29)));
+  soc.add_core(make_core("s1196", 14, 14, 113, 305.0, 4, 4, balanced_chains(1, 18)));
+  soc.add_core(make_core("s5378", 35, 49, 97, 753.0, 7, 7, balanced_chains(4, 179)));
+  soc.add_core(make_core("s838", 34, 1, 75, 823.0, 5, 5, balanced_chains(1, 32)));
+  soc.set_placements({
+      Placement{{2, 2}},    // c880
+      Placement{{10, 2}},   // c2670
+      Placement{{20, 2}},   // s953
+      Placement{{28, 2}},   // s1196
+      Placement{{2, 12}},   // s5378
+      Placement{{14, 12}},  // s838
+  });
+  check(soc);
+  return soc;
+}
+
+Soc builtin_soc3() {
+  Soc soc("soc3", 1, 1);
+  soc.add_core(make_core("cpu0", 28, 106, 68, 1144.0, 12, 12, balanced_chains(32, 1636)));
+  soc.add_core(make_core("cpu1", 28, 106, 68, 1098.0, 12, 12, balanced_chains(32, 1636)));
+  soc.add_core(make_core("dsp0", 38, 304, 110, 690.0, 12, 12, balanced_chains(32, 1426)));
+  soc.add_core(make_core("dsp1", 38, 304, 110, 705.0, 12, 12, balanced_chains(32, 1426)));
+  soc.add_core(make_core("mem0", 35, 320, 12, 641.0, 12, 12, balanced_chains(32, 1728)));
+  soc.add_core(make_core("ctl0", 62, 152, 234, 354.0, 10, 10, balanced_chains(16, 669)));
+  soc.add_core(make_core("ctl1", 77, 150, 95, 530.0, 10, 10, balanced_chains(16, 534)));
+  soc.add_core(make_core("io0", 35, 49, 97, 753.0, 7, 7, balanced_chains(4, 179)));
+  soc.add_core(make_core("io1", 36, 39, 105, 275.0, 8, 8, balanced_chains(4, 228)));
+  soc.add_core(make_core("glue0", 34, 1, 75, 823.0, 5, 5, balanced_chains(1, 32)));
+  soc.add_core(make_core("glue1", 16, 23, 76, 285.0, 4, 4, balanced_chains(1, 29)));
+  soc.add_core(make_core("comb0", 207, 108, 73, 602.0, 8, 8));
+  soc.add_core(make_core("comb1", 32, 32, 12, 660.0, 6, 6));
+  soc.add_core(make_core("comb2", 233, 140, 107, 410.0, 6, 6));
+  shelf_place(soc, 2);
+  check(soc);
+  return soc;
+}
+
+Soc builtin_soc4() {
+  Soc soc("soc4", 1, 1);
+  soc.add_core(make_core("cpu0", 28, 106, 68, 1144.0, 12, 12, balanced_chains(32, 1636)));
+  soc.add_core(make_core("cpu1", 28, 106, 68, 1098.0, 12, 12, balanced_chains(32, 1636)));
+  soc.add_core(make_core("dsp0", 38, 304, 110, 690.0, 12, 12, balanced_chains(32, 1426)));
+  soc.add_core(make_core("dsp1", 38, 304, 110, 705.0, 12, 12, balanced_chains(32, 1426)));
+  soc.add_core(make_core("mem0", 35, 320, 12, 641.0, 12, 12, balanced_chains(32, 1728)));
+  soc.add_core(make_core("mem1", 35, 320, 12, 655.0, 12, 12, balanced_chains(32, 1728)));
+  soc.add_core(make_core("ctl0", 62, 152, 234, 354.0, 10, 10, balanced_chains(16, 669)));
+  soc.add_core(make_core("ctl1", 77, 150, 95, 530.0, 10, 10, balanced_chains(16, 534)));
+  soc.add_core(make_core("ctl2", 62, 152, 234, 349.0, 10, 10, balanced_chains(16, 669)));
+  soc.add_core(make_core("io0", 35, 49, 97, 753.0, 7, 7, balanced_chains(4, 179)));
+  soc.add_core(make_core("io1", 36, 39, 105, 275.0, 8, 8, balanced_chains(4, 228)));
+  soc.add_core(make_core("io2", 35, 49, 97, 748.0, 7, 7, balanced_chains(4, 179)));
+  soc.add_core(make_core("glue0", 34, 1, 75, 823.0, 5, 5, balanced_chains(1, 32)));
+  soc.add_core(make_core("glue1", 16, 23, 76, 285.0, 4, 4, balanced_chains(1, 29)));
+  soc.add_core(make_core("comb0", 207, 108, 73, 602.0, 8, 8));
+  soc.add_core(make_core("comb1", 32, 32, 12, 660.0, 6, 6));
+  soc.add_core(make_core("comb2", 233, 140, 107, 410.0, 6, 6));
+  soc.add_core(make_core("comb3", 60, 26, 59, 340.0, 4, 4));
+  // Two soft cores: flops delivered unstitched.
+  Core soft0 = make_core("soft0", 40, 44, 120, 512.0, 9, 9);
+  soft0.soft_scan_flops = 880;
+  soc.add_core(std::move(soft0));
+  Core soft1 = make_core("soft1", 24, 30, 85, 433.0, 8, 8);
+  soft1.soft_scan_flops = 512;
+  soc.add_core(std::move(soft1));
+  shelf_place(soc, 2);
+  check(soc);
+  return soc;
+}
+
+}  // namespace soctest

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// The representative 10-core SOC used throughout the experiments: an
+/// ISCAS-85/89 mix in the style of the academic SOC evaluated by the
+/// DAC 2000 paper (and later standardized as the d695 class in the ITC'02
+/// SOC benchmarks). Terminal, scan, and pattern counts are representative
+/// published figures; power values follow the figures used in the
+/// power-constrained SOC test scheduling literature. Placed on a 64x64
+/// floorplan grid with routing channels.
+Soc builtin_soc1();
+
+/// A smaller 6-core SOC (ISCAS mix) for quick experiments and as a second
+/// evaluation point. Placed on a 40x40 grid.
+Soc builtin_soc2();
+
+/// A larger 14-core SOC: the soc1 core mix with duplicated CPU/DSP-class
+/// cores, in the spirit of the bigger ITC'02 system chips. Shelf-placed
+/// with 2-cell routing channels. Stresses the solvers' scaling.
+Soc builtin_soc3();
+
+/// A 20-core SOC: soc3's mix plus a second memory/IO cluster and two soft
+/// cores (unstitched flops). The largest built-in instance; used by the
+/// scaling benches. Shelf-placed.
+Soc builtin_soc4();
+
+}  // namespace soctest

@@ -1,0 +1,45 @@
+#include "soc/core.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace soctest {
+
+int Core::total_scan_flops() const {
+  return soft_scan_flops +
+         std::accumulate(scan_chain_lengths.begin(), scan_chain_lengths.end(), 0);
+}
+
+int Core::scan_in_elements() const {
+  return total_scan_flops() + num_inputs + num_bidirs;
+}
+
+int Core::scan_out_elements() const {
+  return total_scan_flops() + num_outputs + num_bidirs;
+}
+
+std::string Core::validate() const {
+  std::ostringstream err;
+  if (name.empty()) err << "core has empty name; ";
+  if (num_inputs < 0 || num_outputs < 0 || num_bidirs < 0)
+    err << name << ": negative terminal count; ";
+  if (num_patterns < 0) err << name << ": negative pattern count; ";
+  if (num_patterns == 0) err << name << ": no test patterns; ";
+  if (test_power_mw < 0) err << name << ": negative test power; ";
+  if (width <= 0 || height <= 0) err << name << ": non-positive footprint; ";
+  for (int len : scan_chain_lengths) {
+    if (len <= 0) {
+      err << name << ": non-positive scan chain length; ";
+      break;
+    }
+  }
+  if (soft_scan_flops < 0) err << name << ": negative soft scan flop count; ";
+  if (soft_scan_flops > 0 && !scan_chain_lengths.empty()) {
+    err << name << ": soft scan flops combined with fixed scan chains; ";
+  }
+  if (num_inputs + num_bidirs + total_scan_flops() == 0)
+    err << name << ": core has no scannable input-side elements; ";
+  return err.str();
+}
+
+}  // namespace soctest

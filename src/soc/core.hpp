@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace soctest {
+
+/// An embedded core delivered with its test set, as modeled by the DAC 2000
+/// TAM-design formulation: functional terminal counts, internal scan
+/// structure, pattern count, and the physical attributes (footprint, test
+/// power) consumed by the place-and-route and power constraints.
+struct Core {
+  std::string name;
+
+  // Functional terminals wrapped by the test wrapper (P1500-style).
+  int num_inputs = 0;   ///< functional input terminals
+  int num_outputs = 0;  ///< functional output terminals
+  int num_bidirs = 0;   ///< bidirectional terminals (count as input and output)
+
+  /// Lengths of the core-internal scan chains. Empty for combinational cores.
+  /// Internal chains are fixed by the core provider and cannot be split when
+  /// forming wrapper chains.
+  std::vector<int> scan_chain_lengths;
+
+  /// Soft cores expose their flip-flops before scan stitching: the wrapper
+  /// designer may form internal chains freely (Aerts & Marinissen-style scan
+  /// chain design). When soft_scan_flops > 0, scan_chain_lengths must be
+  /// empty and the flops are distributed as unit items.
+  int soft_scan_flops = 0;
+
+  /// Number of test patterns in the core's test set.
+  int num_patterns = 0;
+
+  /// Peak power dissipated while this core is under test, in milliwatts.
+  /// Used by the power constraint: concurrently tested cores must sum below
+  /// the system test power budget.
+  double test_power_mw = 0.0;
+
+  /// Physical footprint in floorplan grid units (rectangular macro).
+  int width = 1;
+  int height = 1;
+
+  int total_scan_flops() const;
+
+  /// Total scan elements on the input side: internal flops + input wrapper
+  /// cells (bidirs included).
+  int scan_in_elements() const;
+
+  /// Total scan elements on the output side: internal flops + output wrapper
+  /// cells (bidirs included).
+  int scan_out_elements() const;
+
+  /// Validates invariants (non-negative counts, positive footprint, chains
+  /// have positive length). Returns an error message, empty if valid.
+  std::string validate() const;
+};
+
+}  // namespace soctest

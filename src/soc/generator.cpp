@@ -1,0 +1,92 @@
+#include "soc/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace soctest {
+
+Soc generate_soc(const SocGeneratorOptions& options, Rng& rng) {
+  if (options.num_cores <= 0) {
+    throw std::invalid_argument("num_cores must be positive");
+  }
+  Soc soc("random", 1, 1);
+  for (int i = 0; i < options.num_cores; ++i) {
+    Core core;
+    core.name = "core" + std::to_string(i);
+    core.num_inputs = static_cast<int>(
+        rng.uniform_int(options.min_inputs, options.max_inputs));
+    core.num_outputs = static_cast<int>(
+        rng.uniform_int(options.min_outputs, options.max_outputs));
+    core.num_patterns = static_cast<int>(
+        rng.uniform_int(options.min_patterns, options.max_patterns));
+    core.test_power_mw = rng.uniform(options.min_power_mw, options.max_power_mw);
+    if (!rng.bernoulli(options.combinational_fraction)) {
+      const int chains = static_cast<int>(
+          rng.uniform_int(options.min_chains, options.max_chains));
+      if (rng.bernoulli(options.soft_core_fraction)) {
+        int flops = 0;
+        for (int c = 0; c < chains; ++c) {
+          flops += static_cast<int>(rng.uniform_int(
+              options.min_chain_length, options.max_chain_length));
+        }
+        core.soft_scan_flops = flops;
+      } else {
+        for (int c = 0; c < chains; ++c) {
+          core.scan_chain_lengths.push_back(static_cast<int>(rng.uniform_int(
+              options.min_chain_length, options.max_chain_length)));
+        }
+      }
+    }
+    // Footprint grows with the core's scan volume so big cores block more of
+    // the die, as in a real floorplan.
+    const int volume = core.total_scan_flops() + core.num_inputs + core.num_outputs;
+    const int side = std::max(3, static_cast<int>(std::lround(std::sqrt(volume / 12.0))));
+    core.width = side;
+    core.height = std::max(3, side + static_cast<int>(rng.uniform_int(-1, 1)));
+    soc.add_core(std::move(core));
+  }
+  if (options.place) shelf_place(soc, options.channel);
+  const std::string err = soc.validate();
+  if (!err.empty()) throw std::logic_error("generator produced invalid SOC: " + err);
+  return soc;
+}
+
+void shelf_place(Soc& soc, int channel) {
+  const std::size_t n = soc.num_cores();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return soc.core(a).height > soc.core(b).height;
+  });
+
+  // Target a roughly square die: shelf width ~ sqrt(total area) * 1.4.
+  long long total_area = 0;
+  for (const auto& c : soc.cores()) {
+    total_area += static_cast<long long>(c.width + channel) * (c.height + channel);
+  }
+  const int max_row_width =
+      std::max(static_cast<int>(std::lround(std::sqrt(static_cast<double>(total_area)) * 1.4)),
+               soc.core(order[0]).width + 2 * channel);
+
+  std::vector<Placement> placements(n);
+  int x = channel, y = channel, row_height = 0, die_w = 0;
+  for (std::size_t idx : order) {
+    const Core& c = soc.core(idx);
+    if (x + c.width + channel > max_row_width && x > channel) {
+      x = channel;
+      y += row_height + channel;
+      row_height = 0;
+    }
+    placements[idx] = Placement{{x, y}};
+    x += c.width + channel;
+    row_height = std::max(row_height, c.height);
+    die_w = std::max(die_w, x);
+  }
+  const int die_h = y + row_height + channel;
+  soc.set_die(die_w + channel, die_h);
+  soc.set_placements(std::move(placements));
+}
+
+}  // namespace soctest

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Parameters for random SOC instance generation. Defaults give instances in
+/// the size class of the paper's representative SOC (ISCAS-85/89 mix).
+struct SocGeneratorOptions {
+  int num_cores = 10;
+  /// Fraction of cores that are combinational (no internal scan chains).
+  double combinational_fraction = 0.2;
+  /// Fraction of the *sequential* cores that are soft (flops delivered
+  /// unstitched; the wrapper designer forms the chains).
+  double soft_core_fraction = 0.0;
+  int min_inputs = 10, max_inputs = 240;
+  int min_outputs = 1, max_outputs = 320;
+  int min_chains = 1, max_chains = 32;
+  int min_chain_length = 8, max_chain_length = 60;
+  int min_patterns = 10, max_patterns = 240;
+  double min_power_mw = 200.0, max_power_mw = 1200.0;
+  /// When true, cores are placed with a shelf packer and the die is sized to
+  /// fit with routing channels.
+  bool place = true;
+  /// Free grid units left between shelf-packed cores for routing.
+  int channel = 2;
+};
+
+/// Generates a random, valid SOC instance. With options.place, all cores are
+/// placed without overlap and the die is sized to enclose them.
+Soc generate_soc(const SocGeneratorOptions& options, Rng& rng);
+
+/// Shelf-packs the SOC's cores (sorted by decreasing height) into rows and
+/// assigns placements; resizes the die to fit. Deterministic.
+void shelf_place(Soc& soc, int channel);
+
+}  // namespace soctest

@@ -1,0 +1,90 @@
+#include "soc/soc.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace soctest {
+
+int manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+Soc::Soc(std::string name, int die_width, int die_height)
+    : name_(std::move(name)), die_width_(die_width), die_height_(die_height) {}
+
+void Soc::set_die(int width, int height) {
+  die_width_ = width;
+  die_height_ = height;
+}
+
+std::size_t Soc::add_core(Core core) {
+  if (!placements_.empty()) {
+    throw std::logic_error("cannot add cores after placements are set");
+  }
+  cores_.push_back(std::move(core));
+  return cores_.size() - 1;
+}
+
+std::optional<std::size_t> Soc::find_core(const std::string& name) const {
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    if (cores_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+void Soc::set_placements(std::vector<Placement> placements) {
+  if (placements.size() != cores_.size()) {
+    throw std::invalid_argument("placement count does not match core count");
+  }
+  placements_ = std::move(placements);
+}
+
+double Soc::total_test_power() const {
+  double total = 0.0;
+  for (const auto& c : cores_) total += c.test_power_mw;
+  return total;
+}
+
+std::string Soc::validate() const {
+  std::ostringstream err;
+  if (die_width_ <= 0 || die_height_ <= 0) err << "non-positive die size; ";
+  if (cores_.empty()) err << "SOC has no cores; ";
+  for (const auto& c : cores_) err << c.validate();
+  // Duplicate names break the text format round trip.
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    for (std::size_t j = i + 1; j < cores_.size(); ++j) {
+      if (cores_[i].name == cores_[j].name) {
+        err << "duplicate core name " << cores_[i].name << "; ";
+      }
+    }
+  }
+  if (!placements_.empty()) {
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      const auto& p = placements_[i].origin;
+      const auto& c = cores_[i];
+      if (p.x < 0 || p.y < 0 || p.x + c.width > die_width_ ||
+          p.y + c.height > die_height_) {
+        err << c.name << ": placed outside die; ";
+      }
+    }
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+      for (std::size_t j = i + 1; j < cores_.size(); ++j) {
+        const auto& a = placements_[i].origin;
+        const auto& b = placements_[j].origin;
+        const bool overlap_x = a.x < b.x + cores_[j].width &&
+                               b.x < a.x + cores_[i].width;
+        const bool overlap_y = a.y < b.y + cores_[j].height &&
+                               b.y < a.y + cores_[i].height;
+        if (overlap_x && overlap_y) {
+          err << "cores " << cores_[i].name << " and " << cores_[j].name
+              << " overlap; ";
+        }
+      }
+    }
+  }
+  return err.str();
+}
+
+}  // namespace soctest

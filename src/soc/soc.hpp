@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "soc/core.hpp"
+
+namespace soctest {
+
+/// Grid coordinate on the die (floorplan units).
+struct Point {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance between two points.
+int manhattan(const Point& a, const Point& b);
+
+/// Placement of one core: lower-left corner of its rectangular footprint.
+struct Placement {
+  Point origin;
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+/// A system-on-chip: the set of embedded cores plus die geometry and an
+/// optional placement. This is the primary input to the TAM architecture
+/// optimizer; the placement feeds the place-and-route constraint extraction.
+class Soc {
+ public:
+  Soc() = default;
+  Soc(std::string name, int die_width, int die_height);
+
+  const std::string& name() const { return name_; }
+  int die_width() const { return die_width_; }
+  int die_height() const { return die_height_; }
+  void set_die(int width, int height);
+
+  std::size_t num_cores() const { return cores_.size(); }
+  const Core& core(std::size_t i) const { return cores_.at(i); }
+  Core& mutable_core(std::size_t i) { return cores_.at(i); }
+  const std::vector<Core>& cores() const { return cores_; }
+
+  /// Appends a core; returns its index.
+  std::size_t add_core(Core core);
+
+  /// Index of the core with the given name, if present.
+  std::optional<std::size_t> find_core(const std::string& name) const;
+
+  bool has_placement() const { return !placements_.empty(); }
+  const Placement& placement(std::size_t i) const { return placements_.at(i); }
+  /// Sets placements for all cores at once (size must equal num_cores()).
+  void set_placements(std::vector<Placement> placements);
+
+  /// Sum of core test powers — an upper bound on any instantaneous power.
+  double total_test_power() const;
+
+  /// Validates all cores, die geometry, and (when present) that placements
+  /// are inside the die and pairwise non-overlapping. Empty string if valid.
+  std::string validate() const;
+
+ private:
+  std::string name_;
+  int die_width_ = 0;
+  int die_height_ = 0;
+  std::vector<Core> cores_;
+  std::vector<Placement> placements_;  // empty or one per core
+};
+
+}  // namespace soctest

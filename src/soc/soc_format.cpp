@@ -1,0 +1,187 @@
+#include "soc/soc_format.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/text.hpp"
+
+namespace soctest {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw std::runtime_error("soc format error at line " +
+                           std::to_string(line_no) + ": " + msg);
+}
+
+int parse_int(const std::string& tok, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size()) fail(line_no, "trailing characters in integer '" + tok + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, "expected integer, got '" + tok + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, "integer out of range: '" + tok + "'");
+  }
+}
+
+double parse_double(const std::string& tok, int line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size()) fail(line_no, "trailing characters in number '" + tok + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line_no, "expected number, got '" + tok + "'");
+  } catch (const std::out_of_range&) {
+    fail(line_no, "number out of range: '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+Soc read_soc(std::istream& in) {
+  Soc soc;
+  bool saw_soc = false;
+  bool saw_end = false;
+  std::map<std::string, Placement> placements;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto toks = split_ws(line);
+    if (toks.empty()) continue;
+    if (saw_end) fail(line_no, "content after 'end'");
+    const std::string& kw = toks[0];
+    if (kw == "soc") {
+      if (saw_soc) fail(line_no, "duplicate 'soc' line");
+      if (toks.size() != 4) fail(line_no, "expected: soc <name> <w> <h>");
+      soc = Soc(toks[1], parse_int(toks[2], line_no), parse_int(toks[3], line_no));
+      saw_soc = true;
+    } else if (kw == "core") {
+      if (!saw_soc) fail(line_no, "'core' before 'soc'");
+      Core core;
+      if (toks.size() < 2) fail(line_no, "core line missing name");
+      core.name = toks[1];
+      std::size_t i = 2;
+      while (i < toks.size()) {
+        const std::string& key = toks[i];
+        auto need = [&](std::size_t n) {
+          if (i + n >= toks.size())
+            fail(line_no, "core attribute '" + key + "' missing value");
+        };
+        if (key == "inputs") {
+          need(1); core.num_inputs = parse_int(toks[i + 1], line_no); i += 2;
+        } else if (key == "outputs") {
+          need(1); core.num_outputs = parse_int(toks[i + 1], line_no); i += 2;
+        } else if (key == "bidirs") {
+          need(1); core.num_bidirs = parse_int(toks[i + 1], line_no); i += 2;
+        } else if (key == "patterns") {
+          need(1); core.num_patterns = parse_int(toks[i + 1], line_no); i += 2;
+        } else if (key == "power") {
+          need(1); core.test_power_mw = parse_double(toks[i + 1], line_no); i += 2;
+        } else if (key == "size") {
+          need(2);
+          core.width = parse_int(toks[i + 1], line_no);
+          core.height = parse_int(toks[i + 2], line_no);
+          i += 3;
+        } else {
+          fail(line_no, "unknown core attribute '" + key + "'");
+        }
+      }
+      soc.add_core(std::move(core));
+    } else if (kw == "scan") {
+      if (toks.size() < 3) fail(line_no, "expected: scan <core> <len>...");
+      const auto idx = soc.find_core(toks[1]);
+      if (!idx) fail(line_no, "scan line for unknown core '" + toks[1] + "'");
+      std::vector<int> lengths;
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        lengths.push_back(parse_int(toks[i], line_no));
+      }
+      soc.mutable_core(*idx).scan_chain_lengths = std::move(lengths);
+    } else if (kw == "softscan") {
+      if (toks.size() != 3) fail(line_no, "expected: softscan <core> <flops>");
+      const auto idx = soc.find_core(toks[1]);
+      if (!idx) fail(line_no, "softscan line for unknown core '" + toks[1] + "'");
+      soc.mutable_core(*idx).soft_scan_flops = parse_int(toks[2], line_no);
+    } else if (kw == "place") {
+      if (toks.size() != 4) fail(line_no, "expected: place <core> <x> <y>");
+      if (!soc.find_core(toks[1]))
+        fail(line_no, "place line for unknown core '" + toks[1] + "'");
+      placements[toks[1]] = Placement{
+          {parse_int(toks[2], line_no), parse_int(toks[3], line_no)}};
+    } else if (kw == "end") {
+      saw_end = true;
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+  }
+  if (!saw_soc) fail(line_no, "missing 'soc' header line");
+  if (!saw_end) fail(line_no, "missing 'end' line");
+  if (!placements.empty()) {
+    if (placements.size() != soc.num_cores()) {
+      fail(line_no, "placement lines must cover all cores or none");
+    }
+    std::vector<Placement> ordered(soc.num_cores());
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      ordered[i] = placements.at(soc.core(i).name);
+    }
+    soc.set_placements(std::move(ordered));
+  }
+  const std::string err = soc.validate();
+  if (!err.empty()) throw std::runtime_error("invalid SOC: " + err);
+  return soc;
+}
+
+Soc read_soc_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_soc(in);
+}
+
+Soc read_soc_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SOC file: " + path);
+  return read_soc(in);
+}
+
+std::string write_soc(const Soc& soc) {
+  std::ostringstream out;
+  out << "soc " << soc.name() << " " << soc.die_width() << " "
+      << soc.die_height() << "\n";
+  for (const auto& c : soc.cores()) {
+    out << "core " << c.name << " inputs " << c.num_inputs << " outputs "
+        << c.num_outputs << " bidirs " << c.num_bidirs << " patterns "
+        << c.num_patterns << " power " << c.test_power_mw << " size "
+        << c.width << " " << c.height << "\n";
+    if (!c.scan_chain_lengths.empty()) {
+      out << "scan " << c.name;
+      for (int len : c.scan_chain_lengths) out << " " << len;
+      out << "\n";
+    }
+    if (c.soft_scan_flops > 0) {
+      out << "softscan " << c.name << " " << c.soft_scan_flops << "\n";
+    }
+  }
+  if (soc.has_placement()) {
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      out << "place " << soc.core(i).name << " " << soc.placement(i).origin.x
+          << " " << soc.placement(i).origin.y << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+void write_soc_file(const Soc& soc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write SOC file: " + path);
+  out << write_soc(soc);
+}
+
+}  // namespace soctest

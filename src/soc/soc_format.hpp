@@ -1,0 +1,32 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Line-oriented text format for SOC descriptions (ITC'02-flavored).
+///
+/// ```
+/// # comment
+/// soc <name> <die_width> <die_height>
+/// core <name> inputs <n> outputs <n> bidirs <n> patterns <n> power <mw> size <w> <h>
+/// scan <core_name> <len1> <len2> ...
+/// softscan <core_name> <flops>
+/// place <core_name> <x> <y>
+/// end
+/// ```
+///
+/// `scan` and `place` lines refer to previously declared cores. `place` lines
+/// are all-or-nothing: either every core is placed or none is. Parsing errors
+/// throw std::runtime_error with a line number.
+Soc read_soc(std::istream& in);
+Soc read_soc_string(const std::string& text);
+Soc read_soc_file(const std::string& path);
+
+std::string write_soc(const Soc& soc);
+void write_soc_file(const Soc& soc, const std::string& path);
+
+}  // namespace soctest

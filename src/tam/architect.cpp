@@ -1,0 +1,139 @@
+#include "tam/architect.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "tam/heuristics.hpp"
+#include "tam/ilp_solver.hpp"
+
+namespace soctest {
+
+DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
+  const std::string soc_err = soc.validate();
+  if (!soc_err.empty()) throw std::invalid_argument("invalid SOC: " + soc_err);
+
+  const bool needs_layout =
+      request.use_layout || request.d_max >= 0 || request.wire_budget >= 0;
+  const int num_buses = request.bus_widths.empty()
+                            ? request.num_buses
+                            : static_cast<int>(request.bus_widths.size());
+
+  std::optional<BusPlan> plan;
+  std::optional<LayoutConstraints> layout;
+  if (needs_layout) {
+    if (!soc.has_placement()) {
+      throw std::invalid_argument(
+          "layout constraints requested but the SOC has no placement");
+    }
+    plan = plan_buses(soc, num_buses);
+    layout.emplace(*plan, soc.num_cores(), request.d_max);
+  }
+
+  const int max_width = request.bus_widths.empty()
+                            ? request.total_width - (num_buses - 1)
+                            : *std::max_element(request.bus_widths.begin(),
+                                                request.bus_widths.end());
+  const TestTimeTable table(soc, std::max(1, max_width));
+
+  DesignResult result;
+  if (request.bus_widths.empty()) {
+    WidthPartitionOptions options;
+    options.solver = request.solver;
+    options.max_nodes_per_solve = request.max_nodes;
+    options.power_mode = request.power_mode;
+    options.bus_depth_limit = request.ate_depth_limit;
+    const ArchitectureResult arch = optimize_widths(
+        soc, table, num_buses, request.total_width,
+        layout ? &*layout : nullptr, request.wire_budget, request.p_max_mw,
+        options);
+    result.feasible = arch.feasible;
+    result.proved_optimal = arch.proved_optimal;
+    result.bus_widths = arch.bus_widths;
+    result.assignment = arch.assignment;
+    result.partitions_tried = arch.partitions_tried;
+    result.total_nodes = arch.total_nodes;
+  } else {
+    const TamProblem problem =
+        make_tam_problem(soc, table, request.bus_widths,
+                         layout ? &*layout : nullptr, request.wire_budget,
+                         request.p_max_mw, request.power_mode,
+                         request.ate_depth_limit);
+    TamSolveResult solved;
+    switch (request.solver) {
+      case InnerSolver::kExact: {
+        ExactSolverOptions options;
+        options.max_nodes = request.max_nodes;
+        solved = solve_exact(problem, options);
+        break;
+      }
+      case InnerSolver::kIlp:
+        solved = solve_ilp(problem);
+        break;
+      case InnerSolver::kGreedy:
+        solved = solve_greedy_lpt(problem);
+        break;
+      case InnerSolver::kSa:
+        solved = solve_sa(problem);
+        break;
+    }
+    result.feasible = solved.feasible;
+    result.proved_optimal = solved.proved_optimal;
+    result.bus_widths = request.bus_widths;
+    result.assignment = solved.assignment;
+    result.partitions_tried = 1;
+    result.total_nodes = solved.nodes;
+  }
+
+  result.bus_plan = std::move(plan);
+  if (result.feasible && layout) {
+    result.stub_wirelength =
+        layout->assignment_wirelength(result.assignment.core_to_bus);
+  }
+  return result;
+}
+
+std::string describe_design(const Soc& soc, const DesignRequest& request,
+                            const DesignResult& result) {
+  std::ostringstream out;
+  out << "SOC " << soc.name() << ": " << soc.num_cores() << " cores\n";
+  out << "constraints:";
+  if (request.d_max >= 0) out << " d_max=" << request.d_max;
+  if (request.wire_budget >= 0) out << " wire_budget=" << request.wire_budget;
+  if (request.p_max_mw >= 0) out << " p_max=" << request.p_max_mw << "mW";
+  if (request.d_max < 0 && request.wire_budget < 0 && request.p_max_mw < 0) {
+    out << " none";
+  }
+  out << "\n";
+  if (!result.feasible) {
+    out << "NO FEASIBLE ARCHITECTURE FOUND\n";
+    return out.str();
+  }
+  out << "system test time: " << result.assignment.makespan << " cycles"
+      << (result.proved_optimal ? " (optimal)" : " (heuristic)") << "\n";
+  for (std::size_t j = 0; j < result.bus_widths.size(); ++j) {
+    out << "  bus " << j << " (width " << result.bus_widths[j] << "):";
+    Cycles load = 0;
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      if (result.assignment.core_to_bus[i] == static_cast<int>(j)) {
+        out << " " << soc.core(i).name;
+      }
+    }
+    // Report the bus load via a second pass with the test time table.
+    const TestTimeTable table(soc, result.bus_widths[j]);
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      if (result.assignment.core_to_bus[i] == static_cast<int>(j)) {
+        load += table.time(i, result.bus_widths[j]);
+      }
+    }
+    out << "  [load " << load << "]\n";
+  }
+  if (result.bus_plan) {
+    out << "trunk wirelength: " << result.bus_plan->total_trunk_length()
+        << ", stub wirelength: " << result.stub_wirelength << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace soctest

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "layout/bus_planner.hpp"
+#include "layout/constraints.hpp"
+#include "tam/width_partition.hpp"
+
+namespace soctest {
+
+/// One-call facade over the whole flow: wrapper test-time modeling, bus
+/// trunk planning, constraint extraction, and constrained architecture
+/// optimization. This is the public API the examples exercise.
+struct DesignRequest {
+  /// Explicit bus widths; when empty, `num_buses`/`total_width` drive a
+  /// width-partition search instead.
+  std::vector<int> bus_widths;
+  int num_buses = 2;
+  int total_width = 32;
+
+  /// Place-and-route constraint: maximum core-to-trunk detour distance in
+  /// grid edges; -1 disables (assignments unrestricted by layout). Requires
+  /// the SOC to be placed.
+  int d_max = -1;
+  /// Total stub wiring budget (grid edges); -1 disables.
+  long long wire_budget = -1;
+  /// Enables layout-based wire costs / routing even when d_max and
+  /// wire_budget are off (so the report can show wirelength).
+  bool use_layout = false;
+
+  /// Test power ceiling in mW; -1 disables the power constraint.
+  double p_max_mw = -1.0;
+  /// How p_max_mw is encoded: the paper's pairwise serialization (exact for
+  /// B=2) or the bus-max-sum extension (sound for any B).
+  PowerConstraintMode power_mode = PowerConstraintMode::kPairwiseSerialization;
+
+  /// ATE vector-memory depth per TAM channel (cycles); -1 disables. Caps
+  /// every bus's total test length.
+  Cycles ate_depth_limit = -1;
+
+  InnerSolver solver = InnerSolver::kExact;
+  long long max_nodes = -1;
+};
+
+struct DesignResult {
+  bool feasible = false;
+  bool proved_optimal = false;
+  std::vector<int> bus_widths;
+  TamAssignment assignment;
+  /// Planned bus routes when layout was used.
+  std::optional<BusPlan> bus_plan;
+  /// Total stub wirelength of the chosen assignment (layout runs only).
+  long long stub_wirelength = 0;
+  long long partitions_tried = 0;
+  long long total_nodes = 0;
+};
+
+/// Runs the full TAM architecture design flow on `soc`.
+/// Throws std::runtime_error for structurally infeasible constraint sets
+/// (unconnectable core, over-budget core power).
+DesignResult design_architecture(const Soc& soc, const DesignRequest& request);
+
+/// Multi-line human-readable report of a design (architecture, per-bus core
+/// lists with test times, wirelength, constraint recap).
+std::string describe_design(const Soc& soc, const DesignRequest& request,
+                            const DesignResult& result);
+
+}  // namespace soctest

@@ -1,0 +1,239 @@
+#include "tam/daisychain.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace soctest {
+
+namespace {
+
+constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max();
+
+/// Incremental per-rail state: the rail-aware load is
+///   sum_time + (count - 1) * sum_p1
+/// where sum_p1 = Σ (p_i + 1) over the rail's cores.
+struct RailState {
+  Cycles sum_time = 0;
+  Cycles sum_p1 = 0;
+  int count = 0;
+  Cycles load() const {
+    return count == 0 ? 0 : sum_time + static_cast<Cycles>(count - 1) * sum_p1;
+  }
+};
+
+struct Search {
+  const DaisychainProblem& problem;
+  std::vector<std::size_t> order;  // cores, largest min-time first
+  std::vector<RailState> rails;
+  std::vector<int> core_rail;
+  std::vector<Cycles> suffix_min;
+  std::vector<int> rail_class;
+  long long nodes = 0;
+  long long max_nodes;
+  bool aborted = false;
+  Cycles best = kInfCycles;
+  std::vector<int> best_core_rail;
+
+  Search(const DaisychainProblem& p, long long cap)
+      : problem(p),
+        rails(p.num_rails()),
+        core_rail(p.num_cores(), -1),
+        max_nodes(cap) {
+    order.resize(p.num_cores());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    auto min_time = [&](std::size_t i) {
+      Cycles m = kInfCycles;
+      for (std::size_t r = 0; r < p.num_rails(); ++r) {
+        m = std::min(m, p.time[i][r]);
+      }
+      return m;
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return min_time(a) > min_time(b);
+    });
+    suffix_min.assign(order.size() + 1, 0);
+    for (std::size_t k = order.size(); k-- > 0;) {
+      suffix_min[k] = suffix_min[k + 1] + min_time(order[k]);
+    }
+    rail_class.assign(p.num_rails(), -1);
+    int next = 0;
+    for (std::size_t r = 0; r < p.num_rails(); ++r) {
+      if (rail_class[r] >= 0) continue;
+      rail_class[r] = next;
+      for (std::size_t r2 = r + 1; r2 < p.num_rails(); ++r2) {
+        if (rail_class[r2] >= 0) continue;
+        bool same = true;
+        for (std::size_t i = 0; i < p.num_cores(); ++i) {
+          if (p.time[i][r] != p.time[i][r2]) {
+            same = false;
+            break;
+          }
+        }
+        if (same) rail_class[r2] = next;
+      }
+      ++next;
+    }
+  }
+
+  Cycles bound(std::size_t k) const {
+    Cycles max_load = 0, total = 0;
+    for (const auto& rail : rails) {
+      max_load = std::max(max_load, rail.load());
+      total += rail.load();
+    }
+    const auto b = static_cast<Cycles>(problem.num_rails());
+    // Bypass overhead only grows; the work-spread bound on base times is
+    // admissible.
+    const Cycles spread = (total + suffix_min[k] + b - 1) / b;
+    return std::max(max_load, spread);
+  }
+
+  void dfs(std::size_t k) {
+    if (aborted) return;
+    ++nodes;
+    if (max_nodes >= 0 && nodes > max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (k == order.size()) {
+      Cycles max_load = 0;
+      for (const auto& rail : rails) max_load = std::max(max_load, rail.load());
+      if (max_load < best) {
+        best = max_load;
+        best_core_rail = core_rail;
+      }
+      return;
+    }
+    if (bound(k) >= best) return;
+    const std::size_t core = order[k];
+    std::vector<char> class_used(problem.num_rails(), 0);
+    // Try rails in increasing resulting-load order.
+    std::vector<std::size_t> candidates;
+    for (std::size_t r = 0; r < problem.num_rails(); ++r) {
+      if (rails[r].count == 0) {
+        const auto cls = static_cast<std::size_t>(rail_class[r]);
+        if (class_used[cls]) continue;
+        class_used[cls] = 1;
+      }
+      candidates.push_back(r);
+    }
+    auto load_after = [&](std::size_t r) {
+      RailState s = rails[r];
+      s.sum_time += problem.time[core][r];
+      s.sum_p1 += problem.patterns[core] + 1;
+      ++s.count;
+      return s.load();
+    };
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) {
+                return load_after(a) < load_after(b);
+              });
+    for (std::size_t r : candidates) {
+      if (load_after(r) >= best) continue;
+      const RailState saved = rails[r];
+      rails[r].sum_time += problem.time[core][r];
+      rails[r].sum_p1 += problem.patterns[core] + 1;
+      ++rails[r].count;
+      core_rail[core] = static_cast<int>(r);
+      dfs(k + 1);
+      core_rail[core] = -1;
+      rails[r] = saved;
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+Cycles DaisychainProblem::makespan(const std::vector<int>& core_to_rail) const {
+  std::vector<RailState> rails(num_rails());
+  for (std::size_t i = 0; i < num_cores(); ++i) {
+    const auto r = static_cast<std::size_t>(core_to_rail.at(i));
+    rails.at(r).sum_time += time[i][r];
+    rails.at(r).sum_p1 += patterns[i] + 1;
+    ++rails.at(r).count;
+  }
+  Cycles max_load = 0;
+  for (const auto& rail : rails) max_load = std::max(max_load, rail.load());
+  return max_load;
+}
+
+DaisychainProblem make_daisychain_problem(const Soc& soc,
+                                          const TestTimeTable& table,
+                                          std::vector<int> rail_widths) {
+  if (rail_widths.empty()) throw std::invalid_argument("no rails");
+  for (int w : rail_widths) {
+    if (w < 1 || w > table.max_width()) {
+      throw std::invalid_argument("rail width outside table range");
+    }
+  }
+  DaisychainProblem problem;
+  problem.rail_widths = std::move(rail_widths);
+  const std::size_t n = soc.num_cores();
+  const std::size_t b = problem.rail_widths.size();
+  problem.time.assign(n, std::vector<Cycles>(b, 0));
+  problem.patterns.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    problem.patterns[i] = soc.core(i).num_patterns;
+    for (std::size_t r = 0; r < b; ++r) {
+      problem.time[i][r] = table.time(i, problem.rail_widths[r]);
+    }
+  }
+  return problem;
+}
+
+TamSolveResult solve_daisychain_exact(const DaisychainProblem& problem,
+                                      long long max_nodes) {
+  Search search(problem, max_nodes);
+  search.dfs(0);
+  TamSolveResult result;
+  result.nodes = search.nodes;
+  if (search.best_core_rail.empty()) {
+    result.proved_optimal = !search.aborted;
+    return result;
+  }
+  result.feasible = true;
+  result.proved_optimal = !search.aborted;
+  result.assignment.core_to_bus = search.best_core_rail;
+  result.assignment.makespan = problem.makespan(search.best_core_rail);
+  return result;
+}
+
+TamSolveResult solve_daisychain_greedy(const DaisychainProblem& problem) {
+  std::vector<std::size_t> order(problem.num_cores());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return problem.time[a][0] > problem.time[b][0];
+  });
+  std::vector<RailState> rails(problem.num_rails());
+  std::vector<int> core_rail(problem.num_cores(), -1);
+  for (std::size_t core : order) {
+    std::size_t best_rail = 0;
+    Cycles best_load = kInfCycles;
+    for (std::size_t r = 0; r < problem.num_rails(); ++r) {
+      RailState s = rails[r];
+      s.sum_time += problem.time[core][r];
+      s.sum_p1 += problem.patterns[core] + 1;
+      ++s.count;
+      if (s.load() < best_load) {
+        best_load = s.load();
+        best_rail = r;
+      }
+    }
+    rails[best_rail].sum_time += problem.time[core][best_rail];
+    rails[best_rail].sum_p1 += problem.patterns[core] + 1;
+    ++rails[best_rail].count;
+    core_rail[core] = static_cast<int>(best_rail);
+  }
+  TamSolveResult result;
+  result.feasible = true;
+  result.proved_optimal = false;
+  result.assignment.core_to_bus = core_rail;
+  result.assignment.makespan = problem.makespan(core_rail);
+  result.nodes = static_cast<long long>(problem.num_cores());
+  return result;
+}
+
+}  // namespace soctest

@@ -1,0 +1,48 @@
+#pragma once
+
+#include "soc/soc.hpp"
+#include "tam/exact_solver.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+
+/// The rival TAM style to the paper's multiplexed test bus: a daisy-chain
+/// (TestRail). Cores on a rail are serially concatenated; while core i is
+/// tested, every other wrapper on the rail sits in 1-bit bypass, so each
+/// scan operation is lengthened by one cycle per bypassed wrapper. With
+/// m_r cores on rail r, core i's test inflates by (p_i + 1) bypass-laden
+/// shifts:
+///
+///   load(r) = Σ_{i∈r} t_i(w_r)  +  (m_r - 1) · Σ_{i∈r} (p_i + 1)
+///
+/// The optimization problem is the same partition of cores, but the
+/// objective couples a core's cost to how many neighbours share its rail —
+/// which is exactly why the paper's bus architecture wins on SOCs with
+/// many patterns.
+struct DaisychainProblem {
+  std::vector<int> rail_widths;
+  std::vector<std::vector<Cycles>> time;  ///< [core][rail]: t_i(w_r)
+  std::vector<Cycles> patterns;           ///< p_i per core
+
+  std::size_t num_cores() const { return time.size(); }
+  std::size_t num_rails() const { return rail_widths.size(); }
+
+  /// Rail-aware makespan of an assignment.
+  Cycles makespan(const std::vector<int>& core_to_rail) const;
+};
+
+/// Builds the problem from a SOC and its test time table.
+DaisychainProblem make_daisychain_problem(const Soc& soc,
+                                          const TestTimeTable& table,
+                                          std::vector<int> rail_widths);
+
+/// Exact branch & bound over the rail partition (rails with equal widths
+/// are canonicalized). Returns the optimal rail assignment.
+TamSolveResult solve_daisychain_exact(const DaisychainProblem& problem,
+                                      long long max_nodes = -1);
+
+/// Greedy baseline: biggest core first onto the rail with the smallest
+/// resulting rail-aware load.
+TamSolveResult solve_daisychain_greedy(const DaisychainProblem& problem);
+
+}  // namespace soctest

@@ -1,0 +1,396 @@
+#include "tam/exact_solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace soctest {
+
+namespace {
+
+constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max();
+
+/// A unit of assignment: either a single unconstrained core or a contracted
+/// power co-assignment group.
+struct Item {
+  std::vector<std::size_t> cores;
+  std::vector<Cycles> time;       // per bus; kInfCycles when not allowed
+  std::vector<long long> wire;    // per bus
+  Cycles min_time = 0;            // over allowed buses
+  long long min_wire = 0;         // over allowed buses
+  double max_power = 0.0;         // max member power (bus-max-sum constraint)
+};
+
+struct Search {
+  const TamProblem& problem;
+  const ExactSolverOptions& options;
+  std::vector<Item> items;
+  std::vector<int> bus_class;          // symmetry equivalence class per bus
+  std::vector<Cycles> load;            // current per-bus load
+  std::vector<int> item_bus;           // current assignment (item -> bus)
+  std::vector<Cycles> suffix_min_sum;  // Σ min_time over items [k..)
+  std::vector<long long> suffix_min_wire;
+  long long wire_used = 0;
+  long long nodes = 0;
+  bool aborted = false;
+  // Bus-max-sum power constraint state.
+  std::vector<double> bus_max_power;
+  double power_sum = 0.0;
+
+  bool power_constrained() const { return problem.bus_power_budget >= 0; }
+
+  /// Increase of Σ_j max power if `item` joins bus j.
+  double power_delta(std::size_t j, const Item& item) const {
+    return std::max(bus_max_power[j], item.max_power) - bus_max_power[j];
+  }
+
+  bool power_ok(std::size_t j, const Item& item) const {
+    return !power_constrained() ||
+           power_sum + power_delta(j, item) <= problem.bus_power_budget + 1e-9;
+  }
+
+  Cycles best = kInfCycles;
+  std::vector<int> best_item_bus;
+
+  explicit Search(const TamProblem& p, const ExactSolverOptions& o)
+      : problem(p), options(o) {}
+
+  void build_items() {
+    const std::size_t n = problem.num_cores();
+    const std::size_t b = problem.num_buses();
+    std::vector<char> grouped(n, 0);
+    auto make_item = [&](std::vector<std::size_t> cores) {
+      Item item;
+      item.cores = std::move(cores);
+      item.time.assign(b, 0);
+      item.wire.assign(b, 0);
+      for (std::size_t j = 0; j < b; ++j) {
+        bool ok = true;
+        for (std::size_t core : item.cores) {
+          if (!problem.allowed[core][j]) {
+            ok = false;
+            break;
+          }
+          item.time[j] += problem.time[core][j];
+          if (!problem.wire_cost.empty()) {
+            item.wire[j] += problem.wire_cost[core][j];
+          }
+        }
+        if (!ok) item.time[j] = kInfCycles;
+      }
+      item.min_time = kInfCycles;
+      item.min_wire = std::numeric_limits<long long>::max();
+      for (std::size_t j = 0; j < b; ++j) {
+        if (item.time[j] == kInfCycles) continue;
+        item.min_time = std::min(item.min_time, item.time[j]);
+        item.min_wire = std::min(item.min_wire, item.wire[j]);
+      }
+      if (!problem.core_power_mw.empty()) {
+        for (std::size_t core : item.cores) {
+          item.max_power = std::max(item.max_power, problem.core_power_mw[core]);
+        }
+      }
+      return item;
+    };
+    for (const auto& group : problem.co_groups) {
+      for (std::size_t core : group) grouped[core] = 1;
+      items.push_back(make_item(group));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!grouped[i]) items.push_back(make_item({i}));
+    }
+    // Big items first: decisions with the largest impact near the root.
+    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b2) {
+      return a.min_time > b2.min_time;
+    });
+
+    suffix_min_sum.assign(items.size() + 1, 0);
+    suffix_min_wire.assign(items.size() + 1, 0);
+    for (std::size_t k = items.size(); k-- > 0;) {
+      suffix_min_sum[k] = suffix_min_sum[k + 1] +
+                          (items[k].min_time == kInfCycles ? 0 : items[k].min_time);
+      suffix_min_wire[k] =
+          suffix_min_wire[k + 1] +
+          (items[k].min_wire == std::numeric_limits<long long>::max()
+               ? 0
+               : items[k].min_wire);
+    }
+  }
+
+  void build_bus_classes() {
+    const std::size_t b = problem.num_buses();
+    bus_class.assign(b, -1);
+    int next_class = 0;
+    for (std::size_t j = 0; j < b; ++j) {
+      if (bus_class[j] >= 0) continue;
+      bus_class[j] = next_class;
+      for (std::size_t j2 = j + 1; j2 < b; ++j2) {
+        if (bus_class[j2] >= 0) continue;
+        bool same = true;
+        for (const auto& item : items) {
+          if (item.time[j] != item.time[j2] || item.wire[j] != item.wire[j2]) {
+            same = false;
+            break;
+          }
+        }
+        if (same) bus_class[j2] = next_class;
+      }
+      ++next_class;
+    }
+  }
+
+  /// Lower bound on the final makespan from a partial assignment of the
+  /// first `k` items. Strength depends on options.bound_mode (ablation A2).
+  Cycles bound(std::size_t k) const {
+    if (options.bound_mode == BoundMode::kNone) return 0;
+    Cycles max_load = 0;
+    Cycles total_load = 0;
+    for (Cycles l : load) {
+      max_load = std::max(max_load, l);
+      total_load += l;
+    }
+    if (options.bound_mode == BoundMode::kLoadOnly) return max_load;
+    const auto b = static_cast<Cycles>(problem.num_buses());
+    const Cycles spread = (total_load + suffix_min_sum[k] + b - 1) / b;
+    Cycles item_min = 0;
+    if (k < items.size() && items[k].min_time != kInfCycles) {
+      item_min = items[k].min_time;  // items sorted desc: first is largest
+    }
+    return std::max({max_load, spread, item_min});
+  }
+
+  // Secondary-objective search: minimize total wire cost subject to
+  // makespan <= makespan_cap (used by solve_exact_min_wire / lex).
+  Cycles makespan_cap = kInfCycles;
+  long long best_wire = std::numeric_limits<long long>::max();
+
+  void dfs_wire(std::size_t k) {
+    if (aborted) return;
+    ++nodes;
+    if (options.max_nodes >= 0 && nodes > options.max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (k == items.size()) {
+      if (wire_used < best_wire) {
+        best_wire = wire_used;
+        best_item_bus = item_bus;
+      }
+      return;
+    }
+    if (wire_used + suffix_min_wire[k] >= best_wire) return;
+    if (problem.wire_budget >= 0 &&
+        wire_used + suffix_min_wire[k] > problem.wire_budget) {
+      return;
+    }
+    const Item& item = items[k];
+    std::vector<std::size_t> candidates;
+    std::vector<char> class_used(static_cast<std::size_t>(problem.num_buses()), 0);
+    for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+      if (item.time[j] == kInfCycles) continue;
+      if (load[j] + item.time[j] > makespan_cap) continue;
+      if (load[j] == 0) {
+        const auto cls = static_cast<std::size_t>(bus_class[j]);
+        if (class_used[cls]) continue;
+        class_used[cls] = 1;
+      }
+      candidates.push_back(j);
+    }
+    // Cheapest wire first: reach low-cost incumbents early.
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b2) {
+                return item.wire[a] < item.wire[b2];
+              });
+    for (std::size_t j : candidates) {
+      if (wire_used + item.wire[j] + suffix_min_wire[k + 1] >= best_wire) {
+        continue;
+      }
+      if (problem.wire_budget >= 0 &&
+          wire_used + item.wire[j] + suffix_min_wire[k + 1] >
+              problem.wire_budget) {
+        continue;
+      }
+      if (!power_ok(j, item)) continue;
+      const double saved_max = power_constrained() ? bus_max_power[j] : 0.0;
+      const double saved_sum = power_sum;
+      if (power_constrained()) {
+        power_sum += power_delta(j, item);
+        bus_max_power[j] = std::max(bus_max_power[j], item.max_power);
+      }
+      load[j] += item.time[j];
+      wire_used += item.wire[j];
+      item_bus[k] = static_cast<int>(j);
+      dfs_wire(k + 1);
+      item_bus[k] = -1;
+      wire_used -= item.wire[j];
+      load[j] -= item.time[j];
+      if (power_constrained()) {
+        bus_max_power[j] = saved_max;
+        power_sum = saved_sum;
+      }
+      if (aborted) return;
+    }
+  }
+
+  void dfs(std::size_t k) {
+    if (aborted) return;
+    ++nodes;
+    if (options.max_nodes >= 0 && nodes > options.max_nodes) {
+      aborted = true;
+      return;
+    }
+    if (k == items.size()) {
+      Cycles max_load = 0;
+      for (Cycles l : load) max_load = std::max(max_load, l);
+      if (max_load < best) {
+        best = max_load;
+        best_item_bus = item_bus;
+      }
+      return;
+    }
+    if (bound(k) >= best) return;
+    if (problem.wire_budget >= 0 &&
+        wire_used + suffix_min_wire[k] > problem.wire_budget) {
+      return;
+    }
+    const Item& item = items[k];
+    // Candidate buses ordered by resulting load (fail-fast toward good
+    // incumbents); symmetry: at most one empty bus per equivalence class.
+    std::vector<std::size_t> candidates;
+    std::vector<char> class_used(static_cast<std::size_t>(problem.num_buses()), 0);
+    for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+      if (item.time[j] == kInfCycles) continue;
+      if (load[j] == 0) {
+        const auto cls = static_cast<std::size_t>(bus_class[j]);
+        if (class_used[cls]) continue;
+        class_used[cls] = 1;
+      }
+      candidates.push_back(j);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b2) {
+                return load[a] + item.time[a] < load[b2] + item.time[b2];
+              });
+    for (std::size_t j : candidates) {
+      if (load[j] + item.time[j] >= best) continue;
+      if (problem.wire_budget >= 0 &&
+          wire_used + item.wire[j] + suffix_min_wire[k + 1] >
+              problem.wire_budget) {
+        continue;
+      }
+      if (!power_ok(j, item)) continue;
+      const double saved_max = power_constrained() ? bus_max_power[j] : 0.0;
+      const double saved_sum = power_sum;
+      if (power_constrained()) {
+        power_sum += power_delta(j, item);
+        bus_max_power[j] = std::max(bus_max_power[j], item.max_power);
+      }
+      load[j] += item.time[j];
+      wire_used += item.wire[j];
+      item_bus[k] = static_cast<int>(j);
+      dfs(k + 1);
+      item_bus[k] = -1;
+      wire_used -= item.wire[j];
+      load[j] -= item.time[j];
+      if (power_constrained()) {
+        bus_max_power[j] = saved_max;
+        power_sum = saved_sum;
+      }
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+TamSolveResult solve_exact_min_wire(const TamProblem& problem,
+                                    Cycles makespan_cap,
+                                    const ExactSolverOptions& options) {
+  if (problem.wire_cost.empty()) {
+    throw std::invalid_argument("solve_exact_min_wire needs wire costs");
+  }
+  TamSolveResult result;
+  Search search(problem, options);
+  search.build_items();
+  search.build_bus_classes();
+  search.load.assign(problem.num_buses(), 0);
+  search.bus_max_power.assign(problem.num_buses(), 0.0);
+  search.item_bus.assign(search.items.size(), -1);
+  search.makespan_cap = makespan_cap;
+  if (problem.bus_depth_limit >= 0) {
+    search.makespan_cap = std::min(search.makespan_cap, problem.bus_depth_limit);
+  }
+  search.dfs_wire(0);
+
+  result.nodes = search.nodes;
+  if (search.best_item_bus.empty()) {
+    result.feasible = false;
+    result.proved_optimal = !search.aborted;
+    return result;
+  }
+  result.feasible = true;
+  result.proved_optimal = !search.aborted;
+  result.assignment.core_to_bus.assign(problem.num_cores(), -1);
+  for (std::size_t k = 0; k < search.items.size(); ++k) {
+    for (std::size_t core : search.items[k].cores) {
+      result.assignment.core_to_bus[core] = search.best_item_bus[k];
+    }
+  }
+  result.assignment.makespan = problem.makespan(result.assignment.core_to_bus);
+  return result;
+}
+
+TamSolveResult solve_exact_lex(const TamProblem& problem,
+                               const ExactSolverOptions& options) {
+  const TamSolveResult primary = solve_exact(problem, options);
+  if (!primary.feasible || problem.wire_cost.empty()) return primary;
+  TamSolveResult secondary =
+      solve_exact_min_wire(problem, primary.assignment.makespan, options);
+  if (!secondary.feasible) return primary;  // node cap hit before any leaf
+  secondary.nodes += primary.nodes;
+  secondary.proved_optimal =
+      primary.proved_optimal && secondary.proved_optimal;
+  return secondary;
+}
+
+TamSolveResult solve_exact(const TamProblem& problem,
+                           const ExactSolverOptions& options) {
+  TamSolveResult result;
+  Search search(problem, options);
+  search.build_items();
+  search.build_bus_classes();
+  search.load.assign(problem.num_buses(), 0);
+  search.bus_max_power.assign(problem.num_buses(), 0.0);
+  search.item_bus.assign(search.items.size(), -1);
+  if (options.initial_upper_bound >= 0) {
+    // Warm start: anything >= this bound is pruned; +1 keeps equal-cost
+    // solutions reachable so a feasible assignment is still produced.
+    search.best = options.initial_upper_bound + 1;
+  }
+  if (problem.bus_depth_limit >= 0) {
+    // The ATE depth limit caps every bus load, hence the makespan.
+    search.best = std::min(search.best, problem.bus_depth_limit + 1);
+  }
+  search.dfs(0);
+
+  result.nodes = search.nodes;
+  if (search.best_item_bus.empty()) {
+    // Either truly infeasible or the node budget expired before any leaf.
+    result.feasible = false;
+    result.proved_optimal = !search.aborted;
+    return result;
+  }
+  result.feasible = true;
+  result.proved_optimal = !search.aborted;
+  result.assignment.core_to_bus.assign(problem.num_cores(), -1);
+  for (std::size_t k = 0; k < search.items.size(); ++k) {
+    for (std::size_t core : search.items[k].cores) {
+      result.assignment.core_to_bus[core] = search.best_item_bus[k];
+    }
+  }
+  result.assignment.makespan = problem.makespan(result.assignment.core_to_bus);
+  return result;
+}
+
+}  // namespace soctest

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "tam/tam_problem.hpp"
+
+namespace soctest {
+
+/// Result of any TAM assignment solver.
+struct TamSolveResult {
+  bool feasible = false;
+  /// True when the result is provably optimal (exact solvers within limits).
+  bool proved_optimal = false;
+  TamAssignment assignment;
+  long long nodes = 0;  ///< search nodes / LP nodes / SA moves, solver-defined
+};
+
+/// Lower-bound strength used for pruning (ablation A2). All modes are
+/// admissible; stronger modes prune more nodes at slightly higher cost.
+enum class BoundMode {
+  kNone,      ///< prune only on completed bus loads (pure enumeration)
+  kLoadOnly,  ///< current max bus load
+  kFull,      ///< max load + remaining-work spread + largest-remaining-item
+};
+
+struct ExactSolverOptions {
+  /// Search-node budget; < 0 means unlimited. When exhausted, the best
+  /// incumbent found so far is returned with proved_optimal = false.
+  long long max_nodes = -1;
+  /// Optional warm-start upper bound (exclusive pruning threshold); < 0 if
+  /// none. A known heuristic makespan tightens pruning substantially.
+  Cycles initial_upper_bound = -1;
+  BoundMode bound_mode = BoundMode::kFull;
+};
+
+/// Exact branch-and-bound solver for the constrained TAM assignment problem.
+///
+/// Co-assignment groups are contracted into super-items (per-bus time = sum
+/// of member times; allowed = intersection; wire cost = sum). Items are
+/// assigned in decreasing-load order; the bound combines the current maximum
+/// bus load, the total-remaining-work bound, and the per-item minimum-time
+/// bound, plus wiring-budget feasibility. Buses that are indistinguishable
+/// (identical time/allowed/cost columns) are canonicalized: an item may enter
+/// at most one of the currently-empty equivalent buses.
+TamSolveResult solve_exact(const TamProblem& problem,
+                           const ExactSolverOptions& options = {});
+
+/// Minimizes total stub wirelength subject to makespan <= makespan_cap (and
+/// all the problem's own constraints). Requires problem.wire_cost to be
+/// populated; the resulting TamAssignment's makespan is the realized one,
+/// not the cap. Returns infeasible when no assignment meets the cap.
+TamSolveResult solve_exact_min_wire(const TamProblem& problem,
+                                    Cycles makespan_cap,
+                                    const ExactSolverOptions& options = {});
+
+/// Lexicographic bi-objective solve: first the optimal makespan T*, then
+/// the minimum-wirelength assignment among those achieving T*. This is the
+/// natural refinement of the DAC 2000 objective once layout costs exist:
+/// between equally fast architectures, prefer the one that routes shorter.
+TamSolveResult solve_exact_lex(const TamProblem& problem,
+                               const ExactSolverOptions& options = {});
+
+}  // namespace soctest

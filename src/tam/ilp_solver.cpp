@@ -1,0 +1,116 @@
+#include "tam/ilp_solver.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace soctest {
+
+LinearProgram build_tam_ilp(const TamProblem& problem) {
+  LinearProgram lp;
+  const std::size_t n = problem.num_cores();
+  const std::size_t b = problem.num_buses();
+  auto xvar = [&](std::size_t i, std::size_t j) {
+    return static_cast<int>(i * b + j);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      const int var = lp.add_binary("x_" + std::to_string(i) + "_" + std::to_string(j));
+      if (!problem.allowed[i][j]) lp.set_bounds(var, 0.0, 0.0);
+    }
+  }
+  // The ATE depth limit caps every bus load; since load_j <= T in every
+  // feasible solution, bounding T enforces it.
+  const double t_upper = problem.bus_depth_limit >= 0
+                             ? static_cast<double>(problem.bus_depth_limit)
+                             : kInf;
+  const int tvar = lp.add_variable("T", 0.0, t_upper, VarKind::kContinuous, 1.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (std::size_t j = 0; j < b; ++j) coeffs.emplace_back(xvar(i, j), 1.0);
+    lp.add_row("assign_" + std::to_string(i), std::move(coeffs), RowSense::kEq, 1.0);
+  }
+  for (std::size_t j = 0; j < b; ++j) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (std::size_t i = 0; i < n; ++i) {
+      coeffs.emplace_back(xvar(i, j), static_cast<double>(problem.time[i][j]));
+    }
+    coeffs.emplace_back(tvar, -1.0);
+    lp.add_row("load_" + std::to_string(j), std::move(coeffs), RowSense::kLe, 0.0);
+  }
+  for (const auto& group : problem.co_groups) {
+    for (std::size_t m = 1; m < group.size(); ++m) {
+      for (std::size_t j = 0; j < b; ++j) {
+        lp.add_row("cogroup_" + std::to_string(group[0]) + "_" +
+                       std::to_string(group[m]) + "_" + std::to_string(j),
+                   {{xvar(group[0], j), 1.0}, {xvar(group[m], j), -1.0}},
+                   RowSense::kEq, 0.0);
+      }
+    }
+  }
+  if (problem.bus_power_budget >= 0 && !problem.core_power_mw.empty()) {
+    // Linearized bus-max-sum power constraint: continuous m_j >= P_i x_ij
+    // for every assignable pair, and Σ_j m_j <= budget.
+    std::vector<int> mvar(b, -1);
+    std::vector<std::pair<int, double>> sum_row;
+    for (std::size_t j = 0; j < b; ++j) {
+      mvar[j] = lp.add_variable("m_" + std::to_string(j), 0.0,
+                                problem.bus_power_budget, VarKind::kContinuous);
+      sum_row.emplace_back(mvar[j], 1.0);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (problem.core_power_mw[i] <= 0) continue;
+      for (std::size_t j = 0; j < b; ++j) {
+        if (!problem.allowed[i][j]) continue;
+        lp.add_row("busmax_" + std::to_string(i) + "_" + std::to_string(j),
+                   {{mvar[j], 1.0}, {xvar(i, j), -problem.core_power_mw[i]}},
+                   RowSense::kGe, 0.0);
+      }
+    }
+    lp.add_row("power_sum", std::move(sum_row), RowSense::kLe,
+               problem.bus_power_budget);
+  }
+  if (problem.wire_budget >= 0 && !problem.wire_cost.empty()) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < b; ++j) {
+        if (problem.wire_cost[i][j] != 0) {
+          coeffs.emplace_back(xvar(i, j),
+                              static_cast<double>(problem.wire_cost[i][j]));
+        }
+      }
+    }
+    lp.add_row("wire_budget", std::move(coeffs), RowSense::kLe,
+               static_cast<double>(problem.wire_budget));
+  }
+  return lp;
+}
+
+TamSolveResult solve_ilp(const TamProblem& problem, const MipOptions& options) {
+  const LinearProgram lp = build_tam_ilp(problem);
+  const MipResult mip = solve_mip(lp, options);
+  TamSolveResult result;
+  result.nodes = mip.nodes_explored;
+  if (mip.status == MipStatus::kInfeasible || mip.x.empty()) {
+    result.feasible = false;
+    result.proved_optimal = mip.status == MipStatus::kInfeasible;
+    return result;
+  }
+  const std::size_t n = problem.num_cores();
+  const std::size_t b = problem.num_buses();
+  result.assignment.core_to_bus.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      if (mip.x[i * b + j] > 0.5) {
+        result.assignment.core_to_bus[i] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  result.assignment.makespan = problem.makespan(result.assignment.core_to_bus);
+  result.feasible = problem.check_assignment(result.assignment.core_to_bus).empty();
+  result.proved_optimal = mip.status == MipStatus::kOptimal && result.feasible;
+  return result;
+}
+
+}  // namespace soctest

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/linear_program.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+
+namespace soctest {
+
+/// Builds the 0/1 ILP of the DAC 2000 formulation:
+///
+///   minimize   T
+///   subject to Σ_j x_ij = 1                         (each core on one bus)
+///              Σ_i t_ij x_ij - T <= 0               (bus load below makespan)
+///              x_ij = 0 for forbidden (i,j)         (place-and-route)
+///              x_ij - x_kj = 0 per co-group, per j  (power serialization)
+///              Σ_ij d_ij x_ij <= L_max              (wiring budget, optional)
+///              x_ij ∈ {0,1},  T >= 0
+///
+/// Forbidden variables are fixed to 0 via bounds rather than omitted so
+/// variable indices stay the dense i*B+j layout (T is the last variable).
+LinearProgram build_tam_ilp(const TamProblem& problem);
+
+/// Solves the problem through the ILP model and the in-repo branch & bound —
+/// the same method the paper used (ILP via lpsolve). Mirrors solve_exact's
+/// result contract; cross-checked against solve_exact in the test suite.
+TamSolveResult solve_ilp(const TamProblem& problem,
+                         const MipOptions& options = {});
+
+}  // namespace soctest

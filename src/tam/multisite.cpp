@@ -1,0 +1,54 @@
+#include "tam/multisite.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+
+std::vector<MultisitePoint> multisite_sweep(const Soc& soc, int ate_channels,
+                                            const MultisiteOptions& options) {
+  if (ate_channels < options.num_buses) {
+    throw std::invalid_argument("tester narrower than one chip's TAM");
+  }
+  std::vector<MultisitePoint> curve;
+  for (int sites = 1; sites <= options.max_sites; ++sites) {
+    MultisitePoint point;
+    point.sites = sites;
+    point.width_per_site = ate_channels / sites;
+    if (point.width_per_site < options.num_buses) {
+      curve.push_back(point);  // infeasible: can't give each bus a wire
+      continue;
+    }
+    const TestTimeTable table(
+        soc, point.width_per_site - (options.num_buses - 1));
+    WidthPartitionOptions wp;
+    wp.solver = options.solver;
+    const ArchitectureResult result = optimize_widths(
+        soc, table, options.num_buses, point.width_per_site, nullptr, -1,
+        -1.0, wp);
+    if (!result.feasible) {
+      curve.push_back(point);
+      continue;
+    }
+    point.feasible = true;
+    point.test_time = result.assignment.makespan;
+    point.throughput_kchips =
+        1e6 * static_cast<double>(sites) /
+        static_cast<double>(result.assignment.makespan);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+MultisitePoint best_multisite(const Soc& soc, int ate_channels,
+                              const MultisiteOptions& options) {
+  MultisitePoint best;
+  for (const auto& point : multisite_sweep(soc, ate_channels, options)) {
+    if (point.feasible &&
+        (!best.feasible || point.throughput_kchips > best.throughput_kchips)) {
+      best = point;
+    }
+  }
+  return best;
+}
+
+}  // namespace soctest

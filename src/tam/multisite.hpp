@@ -1,0 +1,36 @@
+#pragma once
+
+#include "tam/width_partition.hpp"
+
+namespace soctest {
+
+/// Multi-site testing (after the ATE-resource optimization line): a tester
+/// with `ate_channels` TAM channels can test S identical chips (sites)
+/// concurrently, giving each site floor(ate_channels / S) wires. More sites
+/// raise parallelism but starve each chip of width, lengthening its test —
+/// the throughput curve has an interior optimum.
+struct MultisitePoint {
+  int sites = 0;
+  int width_per_site = 0;
+  bool feasible = false;
+  Cycles test_time = 0;          ///< optimal per-chip test time at that width
+  double throughput_kchips = 0;  ///< chips per mega-cycle: 1e6 * S / T
+};
+
+struct MultisiteOptions {
+  int num_buses = 2;
+  int max_sites = 16;
+  InnerSolver solver = InnerSolver::kExact;
+};
+
+/// Evaluates every site count 1..max_sites (skipping widths too narrow for
+/// one wire per bus) and returns the full curve.
+std::vector<MultisitePoint> multisite_sweep(const Soc& soc, int ate_channels,
+                                            const MultisiteOptions& options = {});
+
+/// The throughput-optimal point of the sweep; feasible == false when no
+/// site count fits.
+MultisitePoint best_multisite(const Soc& soc, int ate_channels,
+                              const MultisiteOptions& options = {});
+
+}  // namespace soctest

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Disjoint-set union over core indices; used to merge power-conflicting
+/// cores into co-assignment groups.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n);
+  std::size_t find(std::size_t x);
+  /// Returns true if the two sets were distinct and are now merged.
+  bool unite(std::size_t a, std::size_t b);
+  /// Groups with at least `min_size` members, each sorted ascending.
+  std::vector<std::vector<std::size_t>> groups(std::size_t min_size = 1);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> rank_;
+};
+
+/// Pairs (i, k), i < k, whose combined test power exceeds `p_max_mw`. Such
+/// cores must not be tested concurrently, i.e. must share a test bus.
+std::vector<std::pair<std::size_t, std::size_t>> power_conflict_pairs(
+    const Soc& soc, double p_max_mw);
+
+/// Co-assignment groups induced by the conflict pairs (transitive closure);
+/// only groups of size >= 2 are returned. p_max_mw < 0 yields no groups.
+std::vector<std::vector<std::size_t>> power_co_groups(const Soc& soc,
+                                                      double p_max_mw);
+
+/// Cores whose own test power already exceeds the budget — the instance is
+/// untestable under that budget regardless of architecture.
+std::vector<std::size_t> overbudget_cores(const Soc& soc, double p_max_mw);
+
+}  // namespace soctest

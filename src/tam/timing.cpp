@@ -1,0 +1,50 @@
+#include "tam/timing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace soctest {
+
+std::vector<double> bus_clock_periods_ns(const BusPlan& plan,
+                                         const std::vector<int>& assignment,
+                                         const TamClockModel& model) {
+  std::vector<int> max_stub(plan.num_buses(), 0);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int bus = assignment[i];
+    if (bus < 0 || static_cast<std::size_t>(bus) >= plan.num_buses()) {
+      throw std::invalid_argument("assignment references unknown bus");
+    }
+    const int d = plan.distance(i, static_cast<std::size_t>(bus));
+    if (d < 0) {
+      throw std::invalid_argument("core " + std::to_string(i) +
+                                  " unreachable from its bus");
+    }
+    max_stub[static_cast<std::size_t>(bus)] =
+        std::max(max_stub[static_cast<std::size_t>(bus)], d);
+  }
+  std::vector<double> periods(plan.num_buses(), model.base_period_ns);
+  for (std::size_t j = 0; j < plan.num_buses(); ++j) {
+    const int critical = plan.buses[j].trunk.length() + max_stub[j];
+    periods[j] += model.per_cell_ns * critical;
+  }
+  return periods;
+}
+
+double wall_clock_test_time_ns(const TamProblem& problem, const BusPlan& plan,
+                               const std::vector<int>& assignment,
+                               const TamClockModel& model) {
+  const auto periods = bus_clock_periods_ns(plan, assignment, model);
+  std::vector<Cycles> load(problem.num_buses(), 0);
+  for (std::size_t i = 0; i < problem.num_cores(); ++i) {
+    const auto j = static_cast<std::size_t>(assignment[i]);
+    load[j] += problem.time[i][j];
+  }
+  double worst = 0.0;
+  for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+    worst = std::max(worst, static_cast<double>(load[j]) * periods[j]);
+  }
+  return worst;
+}
+
+}  // namespace soctest

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "layout/bus_planner.hpp"
+#include "tam/tam_problem.hpp"
+
+namespace soctest {
+
+/// First-order wire-delay model for TAM clocking: a bus's scan clock must
+/// accommodate its longest wire path, so the achievable period grows with
+/// the trunk length plus the longest stub hanging off it. The cycle counts
+/// the optimizer minimizes are therefore not the whole story — a
+/// cycle-optimal but wire-sloppy assignment can lose wall-clock time to a
+/// lexicographic (wire-minimal) one.
+struct TamClockModel {
+  double base_period_ns = 10.0;  ///< 100 MHz floor (pads, wrapper logic)
+  double per_cell_ns = 0.08;     ///< added per grid cell of critical wire
+};
+
+/// Achievable clock period of each bus under `assignment`:
+///   period_j = base + per_cell * (trunk_length_j + max stub distance of
+///              the cores assigned to bus j).
+/// Unreachable stubs (distance < 0) throw.
+std::vector<double> bus_clock_periods_ns(const BusPlan& plan,
+                                         const std::vector<int>& assignment,
+                                         const TamClockModel& model = {});
+
+/// Wall-clock system test time: max_j load_j(cycles) * period_j(ns).
+double wall_clock_test_time_ns(const TamProblem& problem, const BusPlan& plan,
+                               const std::vector<int>& assignment,
+                               const TamClockModel& model = {});
+
+}  // namespace soctest

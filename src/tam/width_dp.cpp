@@ -1,0 +1,146 @@
+#include "tam/width_dp.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "tam/heuristics.hpp"
+
+namespace soctest {
+
+namespace {
+
+constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max();
+
+}  // namespace
+
+WidthAllocation allocate_widths_dp(const TestTimeTable& table,
+                                   const std::vector<int>& core_to_bus,
+                                   int num_buses, int total_width,
+                                   Cycles bus_depth_limit) {
+  if (num_buses <= 0 || total_width < num_buses) {
+    throw std::invalid_argument("need at least one wire per bus");
+  }
+  if (total_width - num_buses + 1 > table.max_width()) {
+    throw std::invalid_argument("test time table narrower than total width");
+  }
+  for (int bus : core_to_bus) {
+    if (bus < 0 || bus >= num_buses) {
+      throw std::invalid_argument("assignment references unknown bus");
+    }
+  }
+  const auto b = static_cast<std::size_t>(num_buses);
+  const auto w_total = static_cast<std::size_t>(total_width);
+
+  // Per-bus load curves: load[j][w-1] = Σ_{i on j} time(i, w); loads above
+  // the ATE depth limit are treated as unusable widths.
+  std::vector<std::vector<Cycles>> load(
+      b, std::vector<Cycles>(w_total, 0));
+  for (std::size_t i = 0; i < core_to_bus.size(); ++i) {
+    const auto j = static_cast<std::size_t>(core_to_bus[i]);
+    for (std::size_t w = 1; w <= w_total; ++w) {
+      auto& cell = load[j][w - 1];
+      if (cell == kInfCycles) continue;
+      // Widths beyond the table only arise in DP states that cannot be part
+      // of a complete allocation (every other bus still needs a wire);
+      // clamping to the table edge over-estimates their load (monotone
+      // curves), which is sound.
+      const int wq = std::min(static_cast<int>(w), table.max_width());
+      cell += table.time(i, wq);
+    }
+  }
+  if (bus_depth_limit >= 0) {
+    for (auto& curve : load) {
+      for (auto& cell : curve) {
+        if (cell > bus_depth_limit) cell = kInfCycles;
+      }
+    }
+  }
+
+  // dp[j][w] = minimal makespan of buses 0..j using exactly w wires.
+  // choice[j][w] = width given to bus j in that optimum.
+  std::vector<std::vector<Cycles>> dp(b, std::vector<Cycles>(w_total + 1, kInfCycles));
+  std::vector<std::vector<int>> choice(b, std::vector<int>(w_total + 1, 0));
+  for (std::size_t w = 1; w <= w_total; ++w) {
+    dp[0][w] = load[0][w - 1];
+    choice[0][w] = static_cast<int>(w);
+  }
+  for (std::size_t j = 1; j < b; ++j) {
+    for (std::size_t w = j + 1; w <= w_total; ++w) {
+      for (std::size_t wj = 1; wj <= w - j; ++wj) {  // leave >=1 per earlier bus
+        const Cycles mine = load[j][wj - 1];
+        const Cycles prev = dp[j - 1][w - wj];
+        if (mine == kInfCycles || prev == kInfCycles) continue;
+        const Cycles value = std::max(mine, prev);
+        if (value < dp[j][w]) {
+          dp[j][w] = value;
+          choice[j][w] = static_cast<int>(wj);
+        }
+      }
+    }
+  }
+
+  WidthAllocation result;
+  if (dp[b - 1][w_total] == kInfCycles) return result;  // infeasible
+  result.feasible = true;
+  result.makespan = dp[b - 1][w_total];
+  result.bus_widths.assign(b, 0);
+  std::size_t remaining = w_total;
+  for (std::size_t j = b; j-- > 0;) {
+    const int wj = choice[j][remaining];
+    result.bus_widths[j] = wj;
+    remaining -= static_cast<std::size_t>(wj);
+  }
+  return result;
+}
+
+ArchitectureResult optimize_alternating(const Soc& soc,
+                                        const TestTimeTable& table,
+                                        int num_buses, int total_width,
+                                        const AlternatingOptions& options) {
+  if (num_buses <= 0 || total_width < num_buses) {
+    throw std::invalid_argument("need at least one wire per bus");
+  }
+  ArchitectureResult best;
+  // Equal split seed (remainder to the first buses).
+  std::vector<int> widths(static_cast<std::size_t>(num_buses),
+                          total_width / num_buses);
+  for (int r = 0; r < total_width % num_buses; ++r) {
+    ++widths[static_cast<std::size_t>(r)];
+  }
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    ++best.partitions_tried;
+    const TamProblem problem = make_tam_problem(soc, table, widths);
+    TamSolveResult solved;
+    if (options.exact_assignment) {
+      ExactSolverOptions exact;
+      exact.max_nodes = options.max_nodes_per_solve;
+      solved = solve_exact(problem, exact);
+    } else {
+      solved = solve_greedy_lpt(problem);
+    }
+    best.total_nodes += solved.nodes;
+    if (!solved.feasible) break;
+    if (!best.feasible || solved.assignment.makespan < best.assignment.makespan) {
+      best.feasible = true;
+      best.bus_widths = widths;
+      best.assignment = solved.assignment;
+    }
+    // Re-allocate widths optimally for this assignment.
+    const WidthAllocation allocation = allocate_widths_dp(
+        table, solved.assignment.core_to_bus, num_buses, total_width);
+    if (!allocation.feasible) break;
+    if (allocation.makespan >= best.assignment.makespan &&
+        allocation.bus_widths == widths) {
+      break;  // fixed point
+    }
+    if (allocation.bus_widths == widths) break;  // no width change: converged
+    widths = allocation.bus_widths;
+  }
+  // The alternating scheme is a heuristic: it proves nothing.
+  best.proved_optimal = false;
+  return best;
+}
+
+}  // namespace soctest

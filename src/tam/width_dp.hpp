@@ -1,0 +1,46 @@
+#pragma once
+
+#include "tam/width_partition.hpp"
+
+namespace soctest {
+
+/// Result of width re-allocation for a fixed core-to-bus partition.
+struct WidthAllocation {
+  bool feasible = false;
+  std::vector<int> bus_widths;
+  Cycles makespan = 0;
+};
+
+/// Optimal distribution of `total_width` wires over the buses of a FIXED
+/// assignment, minimizing the makespan — solved exactly by dynamic
+/// programming over (bus prefix, wires spent), O(B * W^2) using the
+/// monotone per-bus load curves load_j(w) = Σ_{i on j} table.time(i, w).
+///
+/// `bus_depth_limit` (-1 = off) renders allocations whose bus load exceeds
+/// the ATE depth infeasible. The assignment's own validity (allowed pairs,
+/// co-groups, wiring) is width-independent and assumed.
+WidthAllocation allocate_widths_dp(const TestTimeTable& table,
+                                   const std::vector<int>& core_to_bus,
+                                   int num_buses, int total_width,
+                                   Cycles bus_depth_limit = -1);
+
+struct AlternatingOptions {
+  int max_rounds = 12;
+  /// Assignment solver used per round: true = exact branch & bound,
+  /// false = greedy LPT (for large instances).
+  bool exact_assignment = true;
+  long long max_nodes_per_solve = -1;
+};
+
+/// Alternating wrapper/TAM co-optimization heuristic: start from the equal
+/// width split, then repeat { solve the assignment for the current widths;
+/// re-allocate widths optimally for that assignment (DP) } until the
+/// makespan stops improving. Much cheaper than enumerating all width
+/// partitions (which is exponential in B for large W) and typically lands
+/// on or near the jointly optimal architecture.
+ArchitectureResult optimize_alternating(const Soc& soc,
+                                        const TestTimeTable& table,
+                                        int num_buses, int total_width,
+                                        const AlternatingOptions& options = {});
+
+}  // namespace soctest

@@ -1,0 +1,116 @@
+#include "tam/width_partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tam/heuristics.hpp"
+#include "tam/ilp_solver.hpp"
+
+namespace soctest {
+
+namespace {
+
+void enumerate(int remaining, int parts, int max_part, std::vector<int>& prefix,
+               std::vector<std::vector<int>>& out) {
+  if (parts == 1) {
+    if (remaining >= 1 && remaining <= max_part) {
+      prefix.push_back(remaining);
+      out.push_back(prefix);
+      prefix.pop_back();
+    }
+    return;
+  }
+  // Leave at least 1 per remaining part; keep non-increasing order.
+  for (int w = std::min(max_part, remaining - (parts - 1)); w >= 1; --w) {
+    // Remaining parts are each <= w, so they can absorb at most w*(parts-1).
+    if (remaining - w > w * (parts - 1)) break;
+    prefix.push_back(w);
+    enumerate(remaining - w, parts - 1, w, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+TamSolveResult run_inner(const TamProblem& problem,
+                         const WidthPartitionOptions& options,
+                         Cycles incumbent) {
+  switch (options.solver) {
+    case InnerSolver::kExact: {
+      ExactSolverOptions exact;
+      exact.max_nodes = options.max_nodes_per_solve;
+      exact.initial_upper_bound = incumbent;
+      return solve_exact(problem, exact);
+    }
+    case InnerSolver::kIlp:
+      return solve_ilp(problem);
+    case InnerSolver::kGreedy:
+      return solve_greedy_lpt(problem);
+    case InnerSolver::kSa:
+      return solve_sa(problem);
+  }
+  throw std::logic_error("unknown inner solver");
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> width_partitions(int total, int parts) {
+  std::vector<std::vector<int>> out;
+  if (total < parts || parts <= 0) return out;
+  std::vector<int> prefix;
+  enumerate(total, parts, total, prefix, out);
+  return out;
+}
+
+ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
+                                   int num_buses, int total_width,
+                                   const LayoutConstraints* layout,
+                                   long long wire_budget, double p_max_mw,
+                                   const WidthPartitionOptions& options) {
+  if (num_buses <= 0) throw std::invalid_argument("num_buses must be positive");
+  if (total_width < num_buses) {
+    throw std::invalid_argument("total width below one wire per bus");
+  }
+  ArchitectureResult best;
+  best.proved_optimal = true;
+  const bool permute = options.permute_widths || layout != nullptr;
+
+  for (const auto& partition : width_partitions(total_width, num_buses)) {
+    std::vector<int> widths = partition;
+    // next_permutation over the non-increasing vector enumerates each
+    // distinct arrangement exactly once starting from the sorted-ascending
+    // order.
+    std::sort(widths.begin(), widths.end());
+    do {
+      ++best.partitions_tried;
+      TamProblem problem;
+      try {
+        problem = make_tam_problem(soc, table, widths, layout, wire_budget,
+                                   p_max_mw, options.power_mode,
+                                   options.bus_depth_limit);
+      } catch (const std::runtime_error&) {
+        // This width vector cannot host some core under the ATE depth limit
+        // (narrow buses inflate test times); other partitions may still fit.
+        if (options.bus_depth_limit < 0) throw;
+        continue;
+      }
+      // Skip width vectors that provably cannot beat the incumbent.
+      if (best.feasible && problem.lower_bound() >= best.assignment.makespan) {
+        continue;
+      }
+      const Cycles incumbent = best.feasible ? best.assignment.makespan : -1;
+      const TamSolveResult result = run_inner(problem, options, incumbent);
+      best.total_nodes += result.nodes;
+      if (!result.proved_optimal) best.proved_optimal = false;
+      if (result.feasible &&
+          (!best.feasible || result.assignment.makespan < best.assignment.makespan)) {
+        best.feasible = true;
+        best.bus_widths = widths;
+        best.assignment = result.assignment;
+      }
+      if (!permute) break;
+    } while (permute && std::next_permutation(widths.begin(), widths.end()));
+  }
+  if (!best.feasible) best.proved_optimal = false;
+  return best;
+}
+
+}  // namespace soctest

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "layout/constraints.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+
+/// Which inner assignment solver the width-partition search runs per
+/// candidate width vector.
+enum class InnerSolver { kExact, kIlp, kGreedy, kSa };
+
+struct WidthPartitionOptions {
+  InnerSolver solver = InnerSolver::kExact;
+  /// Try every distinct permutation of each width multiset onto the buses.
+  /// Only meaningful when buses are distinguishable (layout constraints make
+  /// them so); forced on automatically in that case.
+  bool permute_widths = false;
+  /// Node budget passed to the exact inner solver; < 0 unlimited.
+  long long max_nodes_per_solve = -1;
+  /// How p_max_mw is encoded (pairwise serialization vs bus-max-sum).
+  PowerConstraintMode power_mode = PowerConstraintMode::kPairwiseSerialization;
+  /// ATE vector-memory depth limit per bus; -1 disables.
+  Cycles bus_depth_limit = -1;
+};
+
+/// The output of architecture-level optimization: the chosen bus widths and
+/// the core assignment achieving the best makespan.
+struct ArchitectureResult {
+  bool feasible = false;
+  bool proved_optimal = false;  ///< every partition solved to optimality
+  std::vector<int> bus_widths;
+  TamAssignment assignment;
+  long long partitions_tried = 0;
+  long long total_nodes = 0;
+};
+
+/// Enumerates all partitions of `total_width` into `num_buses` positive
+/// widths (non-increasing to kill bus symmetry; optionally permuted when
+/// buses are distinguishable) and solves the constrained assignment problem
+/// for each, returning the architecture with the minimum test time.
+///
+/// This is the "architecture design" layer of the paper: the ILP assigns
+/// cores for *given* bus widths; this search chooses the widths themselves.
+ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
+                                   int num_buses, int total_width,
+                                   const LayoutConstraints* layout = nullptr,
+                                   long long wire_budget = -1,
+                                   double p_max_mw = -1.0,
+                                   const WidthPartitionOptions& options = {});
+
+/// All partitions of `total` into exactly `parts` positive non-increasing
+/// integers (helper exposed for tests; count grows polynomially for fixed
+/// `parts`).
+std::vector<std::vector<int>> width_partitions(int total, int parts);
+
+}  // namespace soctest

@@ -1,0 +1,69 @@
+#include "wrapper/test_time_table.hpp"
+
+#include <stdexcept>
+
+namespace soctest {
+
+TestTimeTable::TestTimeTable(const Soc& soc, int max_width,
+                             PartitionHeuristic heuristic)
+    : max_width_(max_width) {
+  if (max_width < 1) throw std::invalid_argument("max_width must be >= 1");
+  raw_.resize(soc.num_cores());
+  times_.resize(soc.num_cores());
+  eff_width_.resize(soc.num_cores());
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    raw_[i].resize(static_cast<std::size_t>(max_width));
+    times_[i].resize(static_cast<std::size_t>(max_width));
+    eff_width_[i].resize(static_cast<std::size_t>(max_width));
+    for (int w = 1; w <= max_width; ++w) {
+      raw_[i][static_cast<std::size_t>(w - 1)] =
+          core_test_time(soc.core(i), w, heuristic);
+    }
+    times_[i][0] = raw_[i][0];
+    eff_width_[i][0] = 1;
+    for (int w = 2; w <= max_width; ++w) {
+      const auto idx = static_cast<std::size_t>(w - 1);
+      if (raw_[i][idx] < times_[i][idx - 1]) {
+        times_[i][idx] = raw_[i][idx];
+        eff_width_[i][idx] = w;
+      } else {
+        times_[i][idx] = times_[i][idx - 1];
+        eff_width_[i][idx] = eff_width_[i][idx - 1];
+      }
+    }
+  }
+}
+
+Cycles TestTimeTable::time(std::size_t core, int width) const {
+  if (width < 1 || width > max_width_)
+    throw std::out_of_range("width out of table range");
+  return times_.at(core)[static_cast<std::size_t>(width - 1)];
+}
+
+Cycles TestTimeTable::raw_time(std::size_t core, int width) const {
+  if (width < 1 || width > max_width_)
+    throw std::out_of_range("width out of table range");
+  return raw_.at(core)[static_cast<std::size_t>(width - 1)];
+}
+
+int TestTimeTable::effective_width(std::size_t core, int width) const {
+  if (width < 1 || width > max_width_)
+    throw std::out_of_range("width out of table range");
+  return eff_width_.at(core)[static_cast<std::size_t>(width - 1)];
+}
+
+std::vector<int> TestTimeTable::pareto_widths(std::size_t core) const {
+  std::vector<int> widths{1};
+  for (int w = 2; w <= max_width_; ++w) {
+    if (time(core, w) < time(core, w - 1)) widths.push_back(w);
+  }
+  return widths;
+}
+
+Cycles TestTimeTable::total_time(int width) const {
+  Cycles total = 0;
+  for (std::size_t i = 0; i < times_.size(); ++i) total += time(i, width);
+  return total;
+}
+
+}  // namespace soctest

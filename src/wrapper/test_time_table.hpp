@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "soc/soc.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace soctest {
+
+/// Precomputed per-core test times for every TAM width 1..max_width.
+///
+/// The architecture optimizer consults this table instead of re-running
+/// wrapper design. Times are the *monotone envelope* of the wrapper
+/// heuristic: a width-w TAM can always leave wires unused, so the effective
+/// test time at width w is min over w' <= w of the heuristic time — this also
+/// irons out any non-monotonicity of the packing heuristic.
+class TestTimeTable {
+ public:
+  /// Builds the table for every core of `soc`.
+  TestTimeTable(const Soc& soc, int max_width,
+                PartitionHeuristic heuristic =
+                    PartitionHeuristic::kBestFitDecreasing);
+
+  int max_width() const { return max_width_; }
+  std::size_t num_cores() const { return times_.size(); }
+
+  /// Effective (monotone) test time of core `i` at width `w` (1..max_width).
+  Cycles time(std::size_t core, int width) const;
+
+  /// Raw heuristic time before the monotone envelope.
+  Cycles raw_time(std::size_t core, int width) const;
+
+  /// Width actually used to achieve time(core, width) — the smallest
+  /// w' <= width attaining the envelope (Pareto-optimal width).
+  int effective_width(std::size_t core, int width) const;
+
+  /// Strictly improving widths of core `i`: w is Pareto-optimal iff
+  /// time(i, w) < time(i, w-1) (w=1 always included).
+  std::vector<int> pareto_widths(std::size_t core) const;
+
+  /// Sum over all cores of time(core, width) — total sequential test load if
+  /// every core used a width-`width` TAM. Used for lower bounds.
+  Cycles total_time(int width) const;
+
+ private:
+  int max_width_;
+  std::vector<std::vector<Cycles>> raw_;       // [core][width-1]
+  std::vector<std::vector<Cycles>> times_;     // monotone envelope
+  std::vector<std::vector<int>> eff_width_;    // argmin width
+};
+
+}  // namespace soctest

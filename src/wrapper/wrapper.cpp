@@ -1,0 +1,269 @@
+#include "wrapper/wrapper.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace soctest {
+
+int WrapperDesign::max_scan_in() const {
+  int m = 0;
+  for (const auto& c : chains) m = std::max(m, c.scan_in_length());
+  return m;
+}
+
+int WrapperDesign::max_scan_out() const {
+  int m = 0;
+  for (const auto& c : chains) m = std::max(m, c.scan_out_length());
+  return m;
+}
+
+namespace {
+
+/// Index of the chain that currently has the smallest value of `key`.
+template <typename Key>
+std::size_t argmin_chain(const std::vector<WrapperChain>& chains, Key key) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < chains.size(); ++i) {
+    if (key(chains[i]) < key(chains[best])) best = i;
+  }
+  return best;
+}
+
+/// Distributes `count` unit cells over chains, each time to the chain whose
+/// `length` is smallest; `bump` adds a cell to a chain. Equivalent to an
+/// optimal balanced fill because cells are unit items.
+template <typename Length, typename Bump>
+void distribute_cells(std::vector<WrapperChain>& chains, int count,
+                      Length length, Bump bump) {
+  // Greedy unit fill would be O(count * w); instead level-fill: raise the
+  // shortest chains up to the next-shortest, which is O(w log w + w) after
+  // sorting, and provably identical to the unit-at-a-time greedy.
+  const std::size_t w = chains.size();
+  std::vector<std::size_t> order(w);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return length(chains[a]) < length(chains[b]);
+  });
+  // Find the water level L and remainder r such that filling every chain to
+  // level L and giving r chains one extra consumes exactly `count` cells.
+  long long remaining = count;
+  std::size_t k = 1;  // number of chains at/below the current water level
+  long long level = length(chains[order[0]]);
+  while (k < w) {
+    const long long next = length(chains[order[k]]);
+    const long long capacity = static_cast<long long>(k) * (next - level);
+    if (capacity >= remaining) break;
+    remaining -= capacity;
+    level = next;
+    ++k;
+  }
+  const long long per_chain = remaining / static_cast<long long>(k);
+  long long extra = remaining % static_cast<long long>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const long long target = level + per_chain + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    const long long add = target - length(chains[order[i]]);
+    for (long long a = 0; a < add; ++a) bump(chains[order[i]]);
+  }
+}
+
+}  // namespace
+
+WrapperDesign design_wrapper(const Core& core, int w,
+                             PartitionHeuristic heuristic) {
+  if (w < 1) throw std::invalid_argument("TAM width must be >= 1");
+  WrapperDesign design;
+  design.tam_width = w;
+  design.chains.resize(static_cast<std::size_t>(w));
+
+  // Step 1: pack internal scan chains (unbreakable) into the w wrapper chains.
+  std::vector<int> order(core.scan_chain_lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  switch (heuristic) {
+    case PartitionHeuristic::kBestFitDecreasing:
+    case PartitionHeuristic::kLpt:
+      std::sort(order.begin(), order.end(), [&](int a, int b) {
+        return core.scan_chain_lengths[static_cast<std::size_t>(a)] >
+               core.scan_chain_lengths[static_cast<std::size_t>(b)];
+      });
+      for (int idx : order) {
+        auto& chain = design.chains[argmin_chain(
+            design.chains, [](const WrapperChain& c) { return c.internal_flops; })];
+        chain.internal_chains.push_back(idx);
+        chain.internal_flops += core.scan_chain_lengths[static_cast<std::size_t>(idx)];
+      }
+      break;
+    case PartitionHeuristic::kRoundRobin:
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        auto& chain = design.chains[i % static_cast<std::size_t>(w)];
+        chain.internal_chains.push_back(static_cast<int>(i));
+        chain.internal_flops += core.scan_chain_lengths[i];
+      }
+      break;
+  }
+
+  // Step 1b: soft cores' flops are stitched freely — distribute them as
+  // unit items to balance chain lengths (optimal for unit items).
+  if (core.soft_scan_flops > 0) {
+    distribute_cells(design.chains, core.soft_scan_flops,
+                     [](const WrapperChain& c) { return c.internal_flops; },
+                     [](WrapperChain& c) { ++c.internal_flops; });
+  }
+
+  // Step 2: distribute input wrapper cells to balance scan-in lengths, then
+  // output wrapper cells to balance scan-out lengths. Bidirectional terminals
+  // need a cell on both sides.
+  distribute_cells(design.chains, core.num_inputs + core.num_bidirs,
+                   [](const WrapperChain& c) { return c.scan_in_length(); },
+                   [](WrapperChain& c) { ++c.input_cells; });
+  distribute_cells(design.chains, core.num_outputs + core.num_bidirs,
+                   [](const WrapperChain& c) { return c.scan_out_length(); },
+                   [](WrapperChain& c) { ++c.output_cells; });
+  return design;
+}
+
+Cycles wrapper_test_time(const Core& core, const WrapperDesign& design) {
+  const Cycles si = design.max_scan_in();
+  const Cycles so = design.max_scan_out();
+  const Cycles p = core.num_patterns;
+  return p * (1 + std::max(si, so)) + std::min(si, so);
+}
+
+Cycles core_test_time(const Core& core, int w, PartitionHeuristic heuristic) {
+  return wrapper_test_time(core, design_wrapper(core, w, heuristic));
+}
+
+namespace {
+
+/// Branch & bound for multiway number partitioning: assign `lengths`
+/// (sorted descending) to `bins` minimizing the maximum bin sum.
+struct PartitionSearch {
+  const std::vector<int>& lengths;
+  std::vector<long long> suffix_total;
+  std::vector<long long> bins;
+  std::vector<int> assignment;      // item -> bin
+  std::vector<int> best_assignment;
+  long long best = std::numeric_limits<long long>::max();
+  long long nodes = 0;
+  long long max_nodes;
+
+  PartitionSearch(const std::vector<int>& lengths_sorted, int num_bins,
+                  long long node_cap)
+      : lengths(lengths_sorted),
+        bins(static_cast<std::size_t>(num_bins), 0),
+        assignment(lengths_sorted.size(), -1),
+        max_nodes(node_cap) {
+    suffix_total.assign(lengths.size() + 1, 0);
+    for (std::size_t k = lengths.size(); k-- > 0;) {
+      suffix_total[k] = suffix_total[k + 1] + lengths[k];
+    }
+  }
+
+  long long bound(std::size_t k) const {
+    long long max_bin = 0, total = 0;
+    for (long long b : bins) {
+      max_bin = std::max(max_bin, b);
+      total += b;
+    }
+    const auto w = static_cast<long long>(bins.size());
+    const long long spread = (total + suffix_total[k] + w - 1) / w;
+    const long long largest = k < lengths.size() ? lengths[k] : 0;
+    return std::max({max_bin, spread, largest});
+  }
+
+  void dfs(std::size_t k) {
+    if (++nodes > max_nodes) return;  // fall back to incumbent (== BFD seed)
+    if (k == lengths.size()) {
+      long long max_bin = 0;
+      for (long long b : bins) max_bin = std::max(max_bin, b);
+      if (max_bin < best) {
+        best = max_bin;
+        best_assignment = assignment;
+      }
+      return;
+    }
+    if (bound(k) >= best) return;
+    bool used_empty = false;
+    for (std::size_t j = 0; j < bins.size(); ++j) {
+      if (bins[j] == 0) {
+        if (used_empty) continue;  // empty bins are interchangeable
+        used_empty = true;
+      }
+      if (bins[j] + lengths[k] >= best) continue;
+      bins[j] += lengths[k];
+      assignment[k] = static_cast<int>(j);
+      dfs(k + 1);
+      assignment[k] = -1;
+      bins[j] -= lengths[k];
+      if (nodes > max_nodes) return;
+    }
+  }
+};
+
+}  // namespace
+
+WrapperDesign design_wrapper_exact(const Core& core, int w,
+                                   long long max_nodes) {
+  if (w < 1) throw std::invalid_argument("TAM width must be >= 1");
+  // Seed with BFD so the node cap degrades gracefully to the heuristic.
+  WrapperDesign design = design_wrapper(core, w);
+  if (core.scan_chain_lengths.size() <= 1) return design;  // nothing to split
+
+  std::vector<int> order(core.scan_chain_lengths.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return core.scan_chain_lengths[static_cast<std::size_t>(a)] >
+           core.scan_chain_lengths[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> sorted_lengths;
+  sorted_lengths.reserve(order.size());
+  for (int idx : order) {
+    sorted_lengths.push_back(core.scan_chain_lengths[static_cast<std::size_t>(idx)]);
+  }
+
+  PartitionSearch search(sorted_lengths, w, max_nodes);
+  // Warm start the bound from the BFD packing.
+  long long bfd_max = 0;
+  for (const auto& chain : design.chains) {
+    bfd_max = std::max(bfd_max, static_cast<long long>(chain.internal_flops));
+  }
+  search.best = bfd_max + 1;
+  search.dfs(0);
+  if (search.best_assignment.empty()) return design;  // BFD already optimal
+
+  // Rebuild the design from the exact partition.
+  WrapperDesign exact;
+  exact.tam_width = w;
+  exact.chains.resize(static_cast<std::size_t>(w));
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    auto& chain = exact.chains[static_cast<std::size_t>(search.best_assignment[k])];
+    chain.internal_chains.push_back(order[k]);
+    chain.internal_flops += sorted_lengths[k];
+  }
+  if (core.soft_scan_flops > 0) {
+    distribute_cells(exact.chains, core.soft_scan_flops,
+                     [](const WrapperChain& c) { return c.internal_flops; },
+                     [](WrapperChain& c) { ++c.internal_flops; });
+  }
+  distribute_cells(exact.chains, core.num_inputs + core.num_bidirs,
+                   [](const WrapperChain& c) { return c.scan_in_length(); },
+                   [](WrapperChain& c) { ++c.input_cells; });
+  distribute_cells(exact.chains, core.num_outputs + core.num_bidirs,
+                   [](const WrapperChain& c) { return c.scan_out_length(); },
+                   [](WrapperChain& c) { ++c.output_cells; });
+  return exact;
+}
+
+Cycles core_test_time_exact(const Core& core, int w) {
+  return wrapper_test_time(core, design_wrapper_exact(core, w));
+}
+
+long long core_test_data_volume(const Core& core) {
+  return static_cast<long long>(core.num_patterns) *
+         (static_cast<long long>(core.scan_in_elements()) +
+          static_cast<long long>(core.scan_out_elements()));
+}
+
+}  // namespace soctest

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/core.hpp"
+
+namespace soctest {
+
+/// Test application time in TAM clock cycles.
+using Cycles = std::int64_t;
+
+/// Which heuristic packs internal scan chains into wrapper chains.
+enum class PartitionHeuristic {
+  kBestFitDecreasing,  ///< sort chains desc, place each on currently-shortest wrapper chain
+  kLpt,                ///< identical to BFD for this objective, kept for ablation naming
+  kRoundRobin,         ///< naive: chain i -> wrapper chain i mod w (ablation baseline)
+};
+
+/// One wrapper scan chain: the internal scan chains routed through it plus
+/// the functional-terminal wrapper cells prepended/appended to it.
+struct WrapperChain {
+  std::vector<int> internal_chains;  ///< indices into Core::scan_chain_lengths
+  int internal_flops = 0;            ///< sum of those chain lengths
+  int input_cells = 0;               ///< input wrapper cells on this chain
+  int output_cells = 0;              ///< output wrapper cells on this chain
+
+  int scan_in_length() const { return internal_flops + input_cells; }
+  int scan_out_length() const { return internal_flops + output_cells; }
+};
+
+/// A complete wrapper design for one core at one TAM width.
+struct WrapperDesign {
+  int tam_width = 0;
+  std::vector<WrapperChain> chains;  ///< exactly tam_width chains (some may be empty)
+
+  /// Longest scan-in / scan-out chain — these set the per-pattern shift time.
+  int max_scan_in() const;
+  int max_scan_out() const;
+};
+
+/// Designs the core's test wrapper for a width-`w` TAM: partitions internal
+/// scan chains into `w` wrapper chains (unbreakable items), then distributes
+/// input and output wrapper cells to balance scan-in/scan-out lengths.
+/// Requires w >= 1.
+WrapperDesign design_wrapper(const Core& core, int w,
+                             PartitionHeuristic heuristic =
+                                 PartitionHeuristic::kBestFitDecreasing);
+
+/// Test application time of `design` for `core`'s pattern set:
+///   t = p * (1 + max(s_in, s_out)) + min(s_in, s_out)
+/// — the standard scan test time model (each pattern shifts in while the
+/// previous response shifts out; one capture cycle per pattern; a final
+/// shift-out of the last response overlapping nothing).
+Cycles wrapper_test_time(const Core& core, const WrapperDesign& design);
+
+/// Convenience: design the wrapper and return the test time at width w.
+/// NOTE: raw heuristic value; not guaranteed monotone in w. Architecture
+/// optimization uses TestTimeTable, which enforces the monotone envelope.
+Cycles core_test_time(const Core& core, int w,
+                      PartitionHeuristic heuristic =
+                          PartitionHeuristic::kBestFitDecreasing);
+
+/// EXACT wrapper-chain partitioning: minimizes the maximum internal chain
+/// length over all ways of packing the fixed internal chains into w wrapper
+/// chains (branch & bound; multiway number partitioning is NP-hard, so this
+/// is exponential in the chain count — use for ablation and for cores with
+/// up to ~20 chains). Wrapper cells are distributed as in design_wrapper.
+/// Soft flops are balanced exactly as usual.
+WrapperDesign design_wrapper_exact(const Core& core, int w,
+                                   long long max_nodes = 5'000'000);
+
+/// Test time using the exact partitioner (same caveats as above).
+Cycles core_test_time_exact(const Core& core, int w);
+
+/// Test data volume in bits: stimuli shifted in plus responses shifted out
+/// over the whole pattern set, TD = p * (s_in + s_out) with the *total*
+/// scan element counts (independent of TAM width — width trades time for
+/// channel count, not volume). Drives ATE vector-memory sizing.
+long long core_test_data_volume(const Core& core);
+
+}  // namespace soctest

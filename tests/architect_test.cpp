@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/architect.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(Architect, FixedWidthsUnconstrained) {
+  const Soc soc = builtin_soc1();
+  DesignRequest request;
+  request.bus_widths = {16, 16};
+  const auto result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proved_optimal);
+  EXPECT_EQ(result.bus_widths, (std::vector<int>{16, 16}));
+  EXPECT_FALSE(result.bus_plan.has_value());
+  EXPECT_EQ(result.partitions_tried, 1);
+}
+
+TEST(Architect, WidthSearchMode) {
+  const Soc soc = builtin_soc2();
+  DesignRequest request;
+  request.num_buses = 2;
+  request.total_width = 16;
+  const auto result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.bus_widths.size(), 2u);
+  EXPECT_EQ(result.bus_widths[0] + result.bus_widths[1], 16);
+  EXPECT_GT(result.partitions_tried, 1);
+}
+
+TEST(Architect, LayoutRunProducesPlanAndWirelength) {
+  const Soc soc = builtin_soc1();
+  DesignRequest request;
+  request.bus_widths = {16, 16};
+  request.d_max = 40;
+  const auto result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_TRUE(result.bus_plan.has_value());
+  EXPECT_EQ(result.bus_plan->num_buses(), 2u);
+  EXPECT_GT(result.stub_wirelength, 0);
+}
+
+TEST(Architect, LayoutConstraintCanOnlyHurt) {
+  const Soc soc = builtin_soc1();
+  DesignRequest free_request;
+  free_request.bus_widths = {16, 8};
+  DesignRequest tight_request = free_request;
+  tight_request.d_max = 25;
+  const auto free_result = design_architecture(soc, free_request);
+  const auto tight_result = design_architecture(soc, tight_request);
+  ASSERT_TRUE(free_result.feasible);
+  ASSERT_TRUE(tight_result.feasible);
+  EXPECT_GE(tight_result.assignment.makespan, free_result.assignment.makespan);
+}
+
+TEST(Architect, PowerConstraintCanOnlyHurt) {
+  const Soc soc = builtin_soc1();
+  DesignRequest free_request;
+  free_request.bus_widths = {16, 16};
+  DesignRequest power_request = free_request;
+  power_request.p_max_mw = 1500;
+  const auto free_result = design_architecture(soc, free_request);
+  const auto power_result = design_architecture(soc, power_request);
+  ASSERT_TRUE(free_result.feasible && power_result.feasible);
+  EXPECT_GE(power_result.assignment.makespan, free_result.assignment.makespan);
+}
+
+TEST(Architect, UnplacedSocRejectsLayoutRequests) {
+  Soc soc("u", 10, 10);
+  Core c;
+  c.name = "a";
+  c.num_inputs = 2;
+  c.num_outputs = 2;
+  c.num_patterns = 3;
+  c.test_power_mw = 10;
+  soc.add_core(c);
+  DesignRequest request;
+  request.bus_widths = {4};
+  request.d_max = 5;
+  EXPECT_THROW(design_architecture(soc, request), std::invalid_argument);
+}
+
+TEST(Architect, UnplacedSocFineWithoutLayout) {
+  Soc soc("u", 10, 10);
+  Core c;
+  c.name = "a";
+  c.num_inputs = 2;
+  c.num_outputs = 2;
+  c.num_patterns = 3;
+  c.test_power_mw = 10;
+  soc.add_core(c);
+  DesignRequest request;
+  request.bus_widths = {4};
+  const auto result = design_architecture(soc, request);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(Architect, InvalidSocRejected) {
+  Soc soc("empty", 10, 10);
+  DesignRequest request;
+  request.bus_widths = {4};
+  EXPECT_THROW(design_architecture(soc, request), std::invalid_argument);
+}
+
+TEST(Architect, OverbudgetPowerThrows) {
+  const Soc soc = builtin_soc1();  // s38417 draws 1144 mW
+  DesignRequest request;
+  request.bus_widths = {16, 16};
+  request.p_max_mw = 800;
+  EXPECT_THROW(design_architecture(soc, request), std::runtime_error);
+}
+
+TEST(Architect, HeuristicSolversWork) {
+  const Soc soc = builtin_soc1();
+  DesignRequest exact_request;
+  exact_request.bus_widths = {16, 16};
+  DesignRequest greedy_request = exact_request;
+  greedy_request.solver = InnerSolver::kGreedy;
+  DesignRequest sa_request = exact_request;
+  sa_request.solver = InnerSolver::kSa;
+  const auto exact = design_architecture(soc, exact_request);
+  const auto greedy = design_architecture(soc, greedy_request);
+  const auto sa = design_architecture(soc, sa_request);
+  ASSERT_TRUE(exact.feasible && greedy.feasible && sa.feasible);
+  EXPECT_GE(greedy.assignment.makespan, exact.assignment.makespan);
+  EXPECT_GE(sa.assignment.makespan, exact.assignment.makespan);
+}
+
+TEST(Architect, IlpSolverMatchesExact) {
+  const Soc soc = builtin_soc2();
+  DesignRequest exact_request;
+  exact_request.bus_widths = {8, 8};
+  DesignRequest ilp_request = exact_request;
+  ilp_request.solver = InnerSolver::kIlp;
+  const auto exact = design_architecture(soc, exact_request);
+  const auto ilp = design_architecture(soc, ilp_request);
+  ASSERT_TRUE(exact.feasible && ilp.feasible);
+  EXPECT_EQ(exact.assignment.makespan, ilp.assignment.makespan);
+}
+
+TEST(Architect, DescribeDesignMentionsKeyFacts) {
+  const Soc soc = builtin_soc2();
+  DesignRequest request;
+  request.bus_widths = {8, 8};
+  request.p_max_mw = 1400;
+  const auto result = design_architecture(soc, request);
+  const std::string report = describe_design(soc, request, result);
+  EXPECT_NE(report.find("soc2"), std::string::npos);
+  EXPECT_NE(report.find("system test time"), std::string::npos);
+  EXPECT_NE(report.find("p_max"), std::string::npos);
+  EXPECT_NE(report.find("bus 0"), std::string::npos);
+  EXPECT_NE(report.find("bus 1"), std::string::npos);
+}
+
+TEST(Architect, DescribeInfeasibleDesign) {
+  const Soc soc = builtin_soc2();
+  DesignRequest request;
+  request.bus_widths = {8, 8};
+  DesignResult result;  // default: infeasible
+  const std::string report = describe_design(soc, request, result);
+  EXPECT_NE(report.find("NO FEASIBLE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

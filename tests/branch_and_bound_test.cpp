@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "ilp/branch_and_bound.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(BranchAndBound, PureLpPassesThrough) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0, 4, VarKind::kContinuous, -1.0);
+  lp.add_row("r", {{x, 2.0}}, RowSense::kLe, 5.0);
+  const auto r = solve_mip(lp);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.5, 1e-7);
+}
+
+TEST(BranchAndBound, SimpleIntegerRounding) {
+  // min -x, x integer, 2x <= 5 -> x = 2 (LP gives 2.5).
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0, 10, VarKind::kInteger, -1.0);
+  lp.add_row("r", {{x, 2.0}}, RowSense::kLe, 5.0);
+  const auto r = solve_mip(lp);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-6);
+}
+
+TEST(BranchAndBound, KnapsackHandComputed) {
+  // max 10a + 13b + 7c, 3a + 4b + 2c <= 6, binary. Optimum: b + c = 20.
+  LinearProgram lp;
+  const int a = lp.add_binary("a", -10.0);
+  const int b = lp.add_binary("b", -13.0);
+  const int c = lp.add_binary("c", -7.0);
+  lp.add_row("cap", {{a, 3.0}, {b, 4.0}, {c, 2.0}}, RowSense::kLe, 6.0);
+  const auto r = solve_mip(lp);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(b)], 1.0, 1e-6);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(c)], 1.0, 1e-6);
+}
+
+TEST(BranchAndBound, InfeasibleIntegerProgram) {
+  // 2x = 3 has no integer solution even though the LP is feasible.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0, 10, VarKind::kInteger, 1.0);
+  lp.add_row("r", {{x, 2.0}}, RowSense::kEq, 3.0);
+  EXPECT_EQ(solve_mip(lp).status, MipStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, InfeasibleLpReported) {
+  LinearProgram lp;
+  const int x = lp.add_binary("x", 1.0);
+  lp.add_row("r", {{x, 1.0}}, RowSense::kGe, 2.0);
+  EXPECT_EQ(solve_mip(lp).status, MipStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, EqualityPartitionProblem) {
+  // Pick exactly 2 of 4 items minimizing cost.
+  LinearProgram lp;
+  const double costs[4] = {5, 2, 8, 3};
+  std::vector<std::pair<int, double>> sum;
+  for (int i = 0; i < 4; ++i) {
+    sum.emplace_back(lp.add_binary("x" + std::to_string(i), costs[i]), 1.0);
+  }
+  lp.add_row("pick2", std::move(sum), RowSense::kEq, 2.0);
+  const auto r = solve_mip(lp);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-6);  // items 1 and 3
+}
+
+TEST(BranchAndBound, RespectsFixedVariables) {
+  LinearProgram lp;
+  const int a = lp.add_binary("a", -5.0);
+  const int b = lp.add_binary("b", -3.0);
+  lp.set_bounds(a, 0.0, 0.0);  // forbid a
+  lp.add_row("one", {{a, 1.0}, {b, 1.0}}, RowSense::kLe, 1.0);
+  const auto r = solve_mip(lp);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(a)], 0.0, 1e-9);
+  EXPECT_NEAR(r.objective, -3.0, 1e-6);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // min y s.t. y >= 1.5 x, x binary forced to 1 -> y = 1.5.
+  LinearProgram lp;
+  const int x = lp.add_binary("x");
+  const int y = lp.add_variable("y", 0, kInf, VarKind::kContinuous, 1.0);
+  lp.add_row("force", {{x, 1.0}}, RowSense::kEq, 1.0);
+  lp.add_row("link", {{y, 1.0}, {x, -1.5}}, RowSense::kGe, 0.0);
+  const auto r = solve_mip(lp);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.5, 1e-6);
+}
+
+TEST(BranchAndBound, RootRoundingDoesNotChangeTheOptimum) {
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    LinearProgram lp;
+    const int n = 6;
+    for (int i = 0; i < n; ++i) {
+      lp.add_binary("x" + std::to_string(i),
+                    std::round(rng.uniform(-9.0, 9.0)));
+    }
+    std::vector<std::pair<int, double>> coeffs;
+    for (int i = 0; i < n; ++i) coeffs.emplace_back(i, std::round(rng.uniform(1.0, 5.0)));
+    lp.add_row("cap", std::move(coeffs), RowSense::kLe, 9.0);
+    MipOptions with;
+    MipOptions without;
+    without.root_rounding = false;
+    const auto a = solve_mip(lp, with);
+    const auto b = solve_mip(lp, without);
+    ASSERT_EQ(a.status, b.status);
+    if (a.status == MipStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(BranchAndBound, RootRoundingGivesImmediateIncumbentWhenLpIntegral) {
+  // Totally unimodular-ish instance whose LP optimum is already integral:
+  // rounding completes in one extra node and the search ends at once.
+  LinearProgram lp;
+  const int a = lp.add_binary("a", -3.0);
+  const int b = lp.add_binary("b", -2.0);
+  lp.add_row("one", {{a, 1.0}}, RowSense::kLe, 1.0);
+  lp.add_row("two", {{b, 1.0}}, RowSense::kLe, 1.0);
+  MipOptions options;
+  options.root_rounding = true;
+  const auto r = solve_mip(lp, options);
+  ASSERT_EQ(r.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -5.0, 1e-9);
+  EXPECT_LE(r.nodes_explored, 3);
+}
+
+/// Exhaustive cross-check on random binary programs with up to 2^10 points.
+class BnbRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbRandom, MatchesExhaustiveEnumeration) {
+  Rng rng(GetParam());
+  const int n = 8;
+  LinearProgram lp;
+  std::vector<double> obj;
+  for (int i = 0; i < n; ++i) {
+    obj.push_back(std::round(rng.uniform(-10.0, 10.0)));
+    lp.add_binary("x" + std::to_string(i), obj.back());
+  }
+  const int rows = 3;
+  std::vector<std::vector<double>> a(rows, std::vector<double>(n));
+  std::vector<double> rhs(rows);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int i = 0; i < n; ++i) {
+      a[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)] =
+          std::round(rng.uniform(-3.0, 5.0));
+      coeffs.emplace_back(i, a[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)]);
+    }
+    rhs[static_cast<std::size_t>(r)] = std::round(rng.uniform(2.0, 12.0));
+    lp.add_row("r" + std::to_string(r), std::move(coeffs), RowSense::kLe,
+               rhs[static_cast<std::size_t>(r)]);
+  }
+  // Exhaustive reference.
+  double best = 1e18;
+  bool feasible = false;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (int r = 0; r < rows && ok; ++r) {
+      double lhs = 0;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1 << i)) lhs += a[static_cast<std::size_t>(r)][static_cast<std::size_t>(i)];
+      }
+      ok = lhs <= rhs[static_cast<std::size_t>(r)] + 1e-9;
+    }
+    if (!ok) continue;
+    feasible = true;
+    double value = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) value += obj[static_cast<std::size_t>(i)];
+    }
+    best = std::min(best, value);
+  }
+  const auto result = solve_mip(lp);
+  if (!feasible) {
+    EXPECT_EQ(result.status, MipStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(result.status, MipStatus::kOptimal) << lp.to_string();
+    EXPECT_NEAR(result.objective, best, 1e-5);
+    EXPECT_TRUE(lp.is_feasible(result.x, 1e-6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbRandom, ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/bus_planner.hpp"
+#include "soc/builtin.hpp"
+#include "soc/generator.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(BusPlanner, RejectsBadInputs) {
+  const Soc soc = builtin_soc1();
+  EXPECT_THROW(plan_buses(soc, 0), std::invalid_argument);
+  Soc unplaced("u", 5, 5);
+  Core c;
+  c.name = "a";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  unplaced.add_core(c);
+  EXPECT_THROW(plan_buses(unplaced, 2), std::invalid_argument);
+}
+
+TEST(BusPlanner, TrunksSpanTheDie) {
+  const Soc soc = builtin_soc1();
+  const BusPlan plan = plan_buses(soc, 3);
+  ASSERT_EQ(plan.num_buses(), 3u);
+  for (const auto& bus : plan.buses) {
+    ASSERT_FALSE(bus.trunk.cells.empty());
+    EXPECT_EQ(bus.trunk.cells.front().x, 0);
+    EXPECT_EQ(bus.trunk.cells.back().x, soc.die_width() - 1);
+  }
+}
+
+TEST(BusPlanner, TrunksAvoidCores) {
+  const Soc soc = builtin_soc1();
+  const DieGrid grid(soc);
+  const BusPlan plan = plan_buses(soc, 4);
+  for (const auto& bus : plan.buses) {
+    for (const auto& p : bus.trunk.cells) {
+      EXPECT_FALSE(grid.blocked(p)) << "trunk crosses a core at (" << p.x
+                                    << "," << p.y << ")";
+    }
+  }
+}
+
+TEST(BusPlanner, EveryCoreReachesEveryTrunk) {
+  // soc1's channels are wide enough that all cores reach all buses.
+  const Soc soc = builtin_soc1();
+  const BusPlan plan = plan_buses(soc, 3);
+  for (std::size_t j = 0; j < plan.num_buses(); ++j) {
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      EXPECT_GE(plan.distance(i, j), 0) << "core " << i << " bus " << j;
+    }
+  }
+}
+
+TEST(BusPlanner, DistancesVaryAcrossBuses) {
+  // A core near the bottom should be closer to the lowest trunk.
+  const Soc soc = builtin_soc1();
+  const BusPlan plan = plan_buses(soc, 3);
+  const auto bottom_core = *soc.find_core("c6288");   // placed at y=2
+  const auto top_core = *soc.find_core("s35932");     // placed at y=30
+  EXPECT_LT(plan.distance(bottom_core, 0), plan.distance(bottom_core, 2));
+  EXPECT_GT(plan.distance(top_core, 0), plan.distance(top_core, 2));
+}
+
+TEST(BusPlanner, CongestionSpreadsTrunks) {
+  const Soc soc = builtin_soc1();
+  const BusPlan plan = plan_buses(soc, 3);
+  // No two trunks may be identical.
+  std::set<std::vector<int>> signatures;
+  for (const auto& bus : plan.buses) {
+    std::vector<int> sig;
+    for (const auto& p : bus.trunk.cells) {
+      sig.push_back(p.x * 1000 + p.y);
+    }
+    EXPECT_TRUE(signatures.insert(sig).second) << "duplicate trunk";
+  }
+}
+
+TEST(BusPlanner, TotalTrunkLengthAtLeastDieWidth) {
+  const Soc soc = builtin_soc2();
+  const BusPlan plan = plan_buses(soc, 2);
+  EXPECT_GE(plan.total_trunk_length(),
+            2LL * (soc.die_width() - 1));
+}
+
+TEST(BusPlanner, WorksOnGeneratedSocs) {
+  for (std::uint64_t seed : {7u, 21u, 63u}) {
+    Rng rng(seed);
+    const Soc soc = generate_soc(SocGeneratorOptions{}, rng);
+    const BusPlan plan = plan_buses(soc, 2);
+    EXPECT_EQ(plan.num_buses(), 2u);
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      // Shelf placement leaves channels; every core must reach some bus.
+      EXPECT_TRUE(plan.distance(i, 0) >= 0 || plan.distance(i, 1) >= 0);
+    }
+  }
+}
+
+TEST(BusPlanner, SingleBus) {
+  const Soc soc = builtin_soc2();
+  const BusPlan plan = plan_buses(soc, 1);
+  EXPECT_EQ(plan.num_buses(), 1u);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    EXPECT_GE(plan.distance(i, 0), 0);
+  }
+}
+
+}  // namespace
+}  // namespace soctest

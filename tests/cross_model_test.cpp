@@ -1,0 +1,115 @@
+// Cross-model properties tying the architecture/scheduling models together
+// on random SOCs: sessions vs TAM vs preemption all bound each other in
+// provable ways; multisite throughput is consistent with the width curve.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sched/power_sched.hpp"
+#include "sched/preemptive.hpp"
+#include "sched/sessions.hpp"
+#include "soc/generator.hpp"
+#include "tam/daisychain.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/multisite.hpp"
+
+namespace soctest {
+namespace {
+
+class CrossModel : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    SocGeneratorOptions gen;
+    gen.num_cores = 7;
+    gen.place = false;
+    gen.soft_core_fraction = 0.3;
+    soc_ = generate_soc(gen, rng);
+    table_.emplace(soc_, 16);
+  }
+  Soc soc_;
+  std::optional<TestTimeTable> table_;
+};
+
+TEST_P(CrossModel, SessionsLowerBoundedByLongestCore) {
+  const auto times = session_times(soc_, *table_, 16);
+  const auto powers = session_powers(soc_);
+  const Cycles longest = *std::max_element(times.begin(), times.end());
+  for (double budget : {-1.0, soc_.total_test_power(), soc_.total_test_power() / 2}) {
+    const auto r = schedule_sessions_exact(times, powers, budget);
+    if (!r.feasible) continue;
+    EXPECT_GE(r.schedule.total_time, longest);
+    EXPECT_EQ(check_sessions(times, powers, budget, r.schedule), "");
+  }
+}
+
+TEST_P(CrossModel, UnlimitedPowerSessionsBeatAnyTam) {
+  // With no power limit one session tests everything concurrently (each
+  // core on its own width-16 interface): time = longest core. No TAM
+  // sharing 2x16 wires can beat that.
+  const auto times = session_times(soc_, *table_, 16);
+  const auto powers = session_powers(soc_);
+  const auto sessions = schedule_sessions_exact(times, powers, -1);
+  ASSERT_TRUE(sessions.feasible);
+  const TamProblem bus = make_tam_problem(soc_, *table_, {16, 16});
+  const auto tam = solve_exact(bus);
+  ASSERT_TRUE(tam.feasible);
+  EXPECT_LE(sessions.schedule.total_time, tam.assignment.makespan);
+}
+
+TEST_P(CrossModel, DaisychainNeverBeatsBus) {
+  const std::vector<int> widths{16, 8};
+  const TamProblem bus = make_tam_problem(soc_, *table_, widths);
+  const DaisychainProblem rail = make_daisychain_problem(soc_, *table_, widths);
+  const auto bus_result = solve_exact(bus);
+  const auto rail_result = solve_daisychain_exact(rail);
+  ASSERT_TRUE(bus_result.feasible && rail_result.feasible);
+  EXPECT_GE(rail_result.assignment.makespan, bus_result.assignment.makespan);
+}
+
+TEST_P(CrossModel, PreemptiveBoundedByLoadAndByNonpreemptive) {
+  const TamProblem problem = make_tam_problem(soc_, *table_, {12, 12});
+  const auto solved = solve_exact(problem);
+  ASSERT_TRUE(solved.feasible);
+  double max_power = 0;
+  for (const auto& c : soc_.cores()) max_power = std::max(max_power, c.test_power_mw);
+  const double budget = max_power * 1.5;
+  const auto pre = build_preemptive_schedule(
+      problem, soc_, solved.assignment.core_to_bus, budget);
+  ASSERT_TRUE(pre.feasible);
+  EXPECT_GE(pre.schedule.makespan, solved.assignment.makespan);
+  EXPECT_EQ(check_preemptive_schedule(problem, soc_,
+                                      solved.assignment.core_to_bus,
+                                      pre.schedule, budget),
+            "");
+  // Without a budget, preemption collapses to the plain bus loads.
+  const auto free_pre = build_preemptive_schedule(
+      problem, soc_, solved.assignment.core_to_bus, -1);
+  ASSERT_TRUE(free_pre.feasible);
+  EXPECT_EQ(free_pre.schedule.makespan, solved.assignment.makespan);
+  EXPECT_EQ(free_pre.preemptions, 0);
+}
+
+TEST_P(CrossModel, MultisiteThroughputConsistentWithWidthCurve) {
+  Soc placed = soc_;  // multisite only needs test parameters
+  MultisiteOptions options;
+  options.num_buses = 2;
+  options.max_sites = 6;
+  const auto curve = multisite_sweep(placed, 48, options);
+  for (const auto& point : curve) {
+    if (!point.feasible) continue;
+    // Throughput is sites / T; verify against an independent width solve.
+    const TestTimeTable site_table(placed, point.width_per_site - 1);
+    const auto arch =
+        optimize_widths(placed, site_table, 2, point.width_per_site);
+    ASSERT_TRUE(arch.feasible);
+    EXPECT_EQ(point.test_time, arch.assignment.makespan)
+        << "sites " << point.sites;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossModel, ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace soctest

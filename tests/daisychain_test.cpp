@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "soc/builtin.hpp"
+#include "tam/daisychain.hpp"
+#include "tam/exact_solver.hpp"
+
+namespace soctest {
+namespace {
+
+DaisychainProblem tiny(std::vector<Cycles> times, std::vector<Cycles> patterns,
+                       std::size_t rails) {
+  DaisychainProblem p;
+  p.rail_widths.assign(rails, 8);
+  p.patterns = std::move(patterns);
+  for (Cycles t : times) {
+    p.time.push_back(std::vector<Cycles>(rails, t));
+  }
+  return p;
+}
+
+/// Exhaustive reference.
+Cycles brute_force(const DaisychainProblem& p) {
+  const std::size_t n = p.num_cores();
+  const std::size_t b = p.num_rails();
+  std::vector<int> assignment(n, 0);
+  Cycles best = -1;
+  while (true) {
+    const Cycles m = p.makespan(assignment);
+    if (best < 0 || m < best) best = m;
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (static_cast<std::size_t>(++assignment[pos]) < b) break;
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+TEST(Daisychain, MakespanIncludesBypassOverhead) {
+  // Two cores on one rail: load = t0 + t1 + 1*(p0+1 + p1+1).
+  DaisychainProblem p = tiny({100, 50}, {10, 5}, 1);
+  EXPECT_EQ(p.makespan({0, 0}), 100 + 50 + (11 + 6));
+  // Alone on a rail: no overhead.
+  DaisychainProblem q = tiny({100, 50}, {10, 5}, 2);
+  EXPECT_EQ(q.makespan({0, 1}), 100);
+}
+
+TEST(Daisychain, ThreeCoresScaleOverheadQuadratically) {
+  DaisychainProblem p = tiny({10, 10, 10}, {4, 4, 4}, 1);
+  // load = 30 + 2 * (5*3) = 60.
+  EXPECT_EQ(p.makespan({0, 0, 0}), 60);
+}
+
+TEST(Daisychain, ExactHandComputed) {
+  // Overheads make consolidation costly: 2 rails, cores {100,90,20,10},
+  // patterns all 9 (p+1 = 10).
+  DaisychainProblem p = tiny({100, 90, 20, 10}, {9, 9, 9, 9}, 2);
+  const auto r = solve_daisychain_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.assignment.makespan, brute_force(p));
+}
+
+TEST(Daisychain, ExactMatchesBruteForceRandomized) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 6, b = 2;
+    std::vector<Cycles> times, patterns;
+    for (std::size_t i = 0; i < n; ++i) {
+      times.push_back(rng.uniform_int(10, 400));
+      patterns.push_back(rng.uniform_int(1, 60));
+    }
+    const DaisychainProblem p = tiny(times, patterns, b);
+    const auto r = solve_daisychain_exact(p);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.assignment.makespan, brute_force(p)) << "seed " << seed;
+  }
+}
+
+TEST(Daisychain, GreedyNeverBeatsExact) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    std::vector<Cycles> times, patterns;
+    for (int i = 0; i < 9; ++i) {
+      times.push_back(rng.uniform_int(10, 500));
+      patterns.push_back(rng.uniform_int(1, 100));
+    }
+    const DaisychainProblem p = tiny(times, patterns, 3);
+    const auto exact = solve_daisychain_exact(p);
+    const auto greedy = solve_daisychain_greedy(p);
+    ASSERT_TRUE(exact.feasible && greedy.feasible);
+    EXPECT_GE(greedy.assignment.makespan, exact.assignment.makespan);
+  }
+}
+
+TEST(Daisychain, BusArchitectureDominatesOnPatternHeavySocs) {
+  // The paper's multiplexed bus avoids bypass overhead entirely, so at the
+  // same widths the bus optimum is never worse.
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  const std::vector<int> widths{16, 16};
+  const DaisychainProblem rail = make_daisychain_problem(soc, table, widths);
+  const TamProblem bus = make_tam_problem(soc, table, widths);
+  const auto rail_result = solve_daisychain_exact(rail);
+  const auto bus_result = solve_exact(bus);
+  ASSERT_TRUE(rail_result.feasible && bus_result.feasible);
+  EXPECT_GE(rail_result.assignment.makespan, bus_result.assignment.makespan);
+  // The gap is the total bypass overhead of the critical rail — nonzero
+  // whenever some rail carries more than one core.
+  EXPECT_GT(rail_result.assignment.makespan, bus_result.assignment.makespan);
+}
+
+TEST(Daisychain, NodeCapDegradesGracefully) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 8);
+  const DaisychainProblem p = make_daisychain_problem(soc, table, {8, 8, 8});
+  const auto r = solve_daisychain_exact(p, 5);
+  EXPECT_FALSE(r.proved_optimal);
+}
+
+TEST(Daisychain, MakeProblemRejectsBadWidths) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 8);
+  EXPECT_THROW(make_daisychain_problem(soc, table, {}), std::invalid_argument);
+  EXPECT_THROW(make_daisychain_problem(soc, table, {16}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(ExactSolver, TrivialSingleCore) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{50, 70}};
+  p.allowed = {{1, 1}};
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.assignment.makespan, 50);
+  EXPECT_EQ(r.assignment.core_to_bus[0], 0);
+}
+
+TEST(ExactSolver, BalancesTwoBuses) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{40, 40}, {40, 40}, {30, 30}, {30, 30}};
+  p.allowed.assign(4, {1, 1});
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 70);  // 40+30 on each bus
+}
+
+TEST(ExactSolver, RespectsForbiddenPairs) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 100}, {10, 100}};
+  p.allowed = {{0, 1}, {0, 1}};  // both forced onto the slow bus
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 200);
+  EXPECT_EQ(r.assignment.core_to_bus, (std::vector<int>{1, 1}));
+}
+
+TEST(ExactSolver, RespectsCoGroups) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{60, 60}, {60, 60}, {1, 1}};
+  p.allowed.assign(3, {1, 1});
+  p.co_groups = {{0, 1}};  // the two big cores must share a bus
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.core_to_bus[0], r.assignment.core_to_bus[1]);
+  EXPECT_EQ(r.assignment.makespan, 120);
+}
+
+TEST(ExactSolver, RespectsWireBudget) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 50}, {10, 50}};
+  p.allowed.assign(2, {1, 1});
+  p.wire_cost = {{9, 0}, {9, 0}};
+  p.wire_budget = 9;  // only one core may take the fast-but-expensive bus
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 50);
+  EXPECT_EQ(p.check_assignment(r.assignment.core_to_bus), "");
+}
+
+TEST(ExactSolver, InfeasibleWireBudget) {
+  TamProblem p;
+  p.bus_widths = {8};
+  p.time = {{10}};
+  p.allowed = {{1}};
+  p.wire_cost = {{5}};
+  p.wire_budget = 4;
+  const auto r = solve_exact(p);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);  // proven infeasible, not aborted
+}
+
+TEST(ExactSolver, InfeasibleCoGroupVsLayout) {
+  // Group members are allowed only on disjoint buses.
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 10}, {10, 10}};
+  p.allowed = {{1, 0}, {0, 1}};
+  p.co_groups = {{0, 1}};
+  EXPECT_FALSE(solve_exact(p).feasible);
+}
+
+TEST(ExactSolver, NodeLimitAborts) {
+  Rng rng(5);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 12;
+  options.num_buses = 4;
+  const TamProblem p = testutil::random_problem(rng, options);
+  ExactSolverOptions limited;
+  limited.max_nodes = 3;
+  const auto r = solve_exact(p, limited);
+  EXPECT_FALSE(r.proved_optimal);
+}
+
+TEST(ExactSolver, WarmStartFindsEqualOptimum) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{40, 40}, {30, 30}};
+  p.allowed.assign(2, {1, 1});
+  ExactSolverOptions options;
+  options.initial_upper_bound = 40;  // the true optimum
+  const auto r = solve_exact(p, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 40);
+}
+
+TEST(ExactSolver, SymmetricBusesDoNotExplode) {
+  // 16 identical cores on 4 identical buses: symmetry pruning keeps the node
+  // count manageable.
+  TamProblem p;
+  p.bus_widths.assign(4, 8);
+  p.time.assign(16, std::vector<Cycles>(4, 100));
+  p.allowed.assign(16, std::vector<char>(4, 1));
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 400);
+  EXPECT_LT(r.nodes, 2'000'000);
+}
+
+class ExactVsBrute : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBrute, Unconstrained) {
+  Rng rng(GetParam());
+  testutil::RandomProblemOptions options;
+  options.num_cores = 6;
+  options.num_buses = 3;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, testutil::brute_force_makespan(p));
+  EXPECT_EQ(p.check_assignment(r.assignment.core_to_bus), "");
+}
+
+TEST_P(ExactVsBrute, WithForbiddenPairs) {
+  Rng rng(GetParam() + 100);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 6;
+  options.num_buses = 3;
+  options.forbid_probability = 0.35;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const Cycles brute = testutil::brute_force_makespan(p);
+  const auto r = solve_exact(p);
+  if (brute < 0) {
+    EXPECT_FALSE(r.feasible);
+  } else {
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.assignment.makespan, brute);
+  }
+}
+
+TEST_P(ExactVsBrute, WithCoGroups) {
+  Rng rng(GetParam() + 200);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 6;
+  options.num_buses = 3;
+  options.num_co_pairs = 2;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const Cycles brute = testutil::brute_force_makespan(p);
+  const auto r = solve_exact(p);
+  ASSERT_EQ(r.feasible, brute >= 0);
+  if (brute >= 0) {
+    EXPECT_EQ(r.assignment.makespan, brute);
+  }
+}
+
+TEST_P(ExactVsBrute, WithWireBudget) {
+  Rng rng(GetParam() + 300);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 5;
+  options.num_buses = 3;
+  options.with_wire_budget = true;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const Cycles brute = testutil::brute_force_makespan(p);
+  const auto r = solve_exact(p);
+  ASSERT_EQ(r.feasible, brute >= 0);
+  if (brute >= 0) {
+    EXPECT_EQ(r.assignment.makespan, brute);
+    EXPECT_EQ(p.check_assignment(r.assignment.core_to_bus), "");
+  }
+}
+
+TEST_P(ExactVsBrute, EverythingAtOnce) {
+  Rng rng(GetParam() + 400);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 6;
+  options.num_buses = 2;
+  options.forbid_probability = 0.2;
+  options.num_co_pairs = 1;
+  options.with_wire_budget = true;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const Cycles brute = testutil::brute_force_makespan(p);
+  const auto r = solve_exact(p);
+  ASSERT_EQ(r.feasible, brute >= 0) << "seed " << GetParam();
+  if (brute >= 0) {
+    EXPECT_EQ(r.assignment.makespan, brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBrute,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(ExactSolver, Soc1UnconstrainedIsReasonable) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  const TamProblem p = make_tam_problem(soc, table, {16, 16});
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+  // Makespan at least half the total minimum load, at most the serial time.
+  EXPECT_GE(r.assignment.makespan, p.lower_bound());
+  EXPECT_LE(r.assignment.makespan, table.total_time(16));
+}
+
+}  // namespace
+}  // namespace soctest

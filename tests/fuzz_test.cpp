@@ -1,0 +1,103 @@
+// Robustness ("fuzz-ish") tests: the text parsers must never crash on
+// malformed input — only throw std::runtime_error (soc format) or report
+// an error string (json_check). Seeded random mutations of valid documents
+// plus pure-noise inputs.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "report/json.hpp"
+#include "soc/builtin.hpp"
+#include "soc/soc_format.hpp"
+
+namespace soctest {
+namespace {
+
+std::string mutate(const std::string& base, Rng& rng, int edits) {
+  std::string s = base;
+  for (int e = 0; e < edits && !s.empty(); ++e) {
+    const std::size_t pos = rng.index(s.size());
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // flip a character
+        s[pos] = static_cast<char>(rng.uniform_int(32, 126));
+        break;
+      case 1:  // delete a character
+        s.erase(pos, 1);
+        break;
+      case 2:  // duplicate a chunk
+        s.insert(pos, s.substr(pos, std::min<std::size_t>(8, s.size() - pos)));
+        break;
+      case 3:  // insert noise
+        s.insert(pos, std::string(1, static_cast<char>(rng.uniform_int(1, 126))));
+        break;
+    }
+  }
+  return s;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, SocParserNeverCrashes) {
+  Rng rng(GetParam());
+  const std::string base = write_soc(builtin_soc1());
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string text =
+        mutate(base, rng, static_cast<int>(rng.uniform_int(1, 30)));
+    try {
+      const Soc soc = read_soc_string(text);
+      // If it parsed, it must be semantically valid (the parser validates).
+      EXPECT_EQ(soc.validate(), "");
+    } catch (const std::runtime_error&) {
+      // expected for malformed input
+    } catch (const std::invalid_argument&) {
+      // bounds violations surfaced during construction are acceptable too
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, SocParserPureNoise) {
+  Rng rng(GetParam() + 5000);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string noise;
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 300));
+    for (std::size_t k = 0; k < len; ++k) {
+      noise += static_cast<char>(rng.uniform_int(1, 126));
+    }
+    try {
+      (void)read_soc_string(noise);
+    } catch (const std::exception&) {
+      // any std::exception is fine; crashes/UB are not
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, JsonCheckerNeverCrashes) {
+  Rng rng(GetParam() + 9000);
+  const std::string base =
+      R"({"name":"x","list":[1,2.5,-3e2,true,null],"nested":{"a":"b\nc"}})";
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string text =
+        mutate(base, rng, static_cast<int>(rng.uniform_int(1, 20)));
+    (void)json_check(text);  // must terminate without crashing
+  }
+  // Pathological inputs.
+  (void)json_check(std::string(1000, '['));
+  (void)json_check(std::string(1000, '{'));
+  (void)json_check("\"" + std::string(500, '\\'));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Fuzz, DeepJsonNestingTerminates) {
+  // 10k-deep nesting: the validator is recursive, so keep the depth below
+  // stack limits but large enough to prove linear behavior.
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "[";
+  for (int i = 0; i < 2000; ++i) deep += "]";
+  EXPECT_EQ(json_check(deep), "");
+  deep.pop_back();
+  EXPECT_NE(json_check(deep), "");
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "soc/generator.hpp"
+#include "soc/soc_format.hpp"
+
+namespace soctest {
+namespace {
+
+class GeneratorSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSeeds, ProducesValidPlacedSoc) {
+  Rng rng(GetParam());
+  SocGeneratorOptions options;
+  const Soc soc = generate_soc(options, rng);
+  EXPECT_EQ(soc.validate(), "");
+  EXPECT_EQ(soc.num_cores(), 10u);
+  EXPECT_TRUE(soc.has_placement());
+}
+
+TEST_P(GeneratorSeeds, RespectsParameterRanges) {
+  Rng rng(GetParam());
+  SocGeneratorOptions options;
+  options.num_cores = 6;
+  options.min_patterns = 20;
+  options.max_patterns = 30;
+  options.min_power_mw = 500;
+  options.max_power_mw = 600;
+  const Soc soc = generate_soc(options, rng);
+  for (const auto& c : soc.cores()) {
+    EXPECT_GE(c.num_patterns, 20);
+    EXPECT_LE(c.num_patterns, 30);
+    EXPECT_GE(c.test_power_mw, 500);
+    EXPECT_LT(c.test_power_mw, 600);
+  }
+}
+
+TEST_P(GeneratorSeeds, Deterministic) {
+  Rng rng1(GetParam()), rng2(GetParam());
+  SocGeneratorOptions options;
+  EXPECT_EQ(write_soc(generate_soc(options, rng1)),
+            write_soc(generate_soc(options, rng2)));
+}
+
+TEST_P(GeneratorSeeds, RoundTripsThroughTextFormat) {
+  Rng rng(GetParam());
+  const Soc soc = generate_soc(SocGeneratorOptions{}, rng);
+  const Soc parsed = read_soc_string(write_soc(soc));
+  EXPECT_EQ(write_soc(parsed), write_soc(soc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(Generator, AllCombinationalFraction) {
+  Rng rng(99);
+  SocGeneratorOptions options;
+  options.combinational_fraction = 1.0;
+  const Soc soc = generate_soc(options, rng);
+  for (const auto& c : soc.cores()) EXPECT_TRUE(c.scan_chain_lengths.empty());
+}
+
+TEST(Generator, NoCombinationalCores) {
+  Rng rng(99);
+  SocGeneratorOptions options;
+  options.combinational_fraction = 0.0;
+  const Soc soc = generate_soc(options, rng);
+  for (const auto& c : soc.cores()) EXPECT_FALSE(c.scan_chain_lengths.empty());
+}
+
+TEST(Generator, UnplacedWhenRequested) {
+  Rng rng(7);
+  SocGeneratorOptions options;
+  options.place = false;
+  EXPECT_FALSE(generate_soc(options, rng).has_placement());
+}
+
+TEST(Generator, RejectsNonPositiveCoreCount) {
+  Rng rng(1);
+  SocGeneratorOptions options;
+  options.num_cores = 0;
+  EXPECT_THROW(generate_soc(options, rng), std::invalid_argument);
+}
+
+TEST(Generator, LargeInstanceStillValid) {
+  Rng rng(123);
+  SocGeneratorOptions options;
+  options.num_cores = 40;
+  const Soc soc = generate_soc(options, rng);
+  EXPECT_EQ(soc.validate(), "");
+  EXPECT_EQ(soc.num_cores(), 40u);
+}
+
+TEST(ShelfPlace, KeepsChannelBetweenCores) {
+  Rng rng(5);
+  SocGeneratorOptions options;
+  options.num_cores = 12;
+  options.channel = 3;
+  const Soc soc = generate_soc(options, rng);
+  // Expand each core by channel/2 on each side: still no overlap because the
+  // packer reserved `channel` between footprints.
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    for (std::size_t j = i + 1; j < soc.num_cores(); ++j) {
+      const auto& a = soc.placement(i).origin;
+      const auto& b = soc.placement(j).origin;
+      const auto& ca = soc.core(i);
+      const auto& cb = soc.core(j);
+      const bool gap_x = a.x + ca.width + options.channel <= b.x ||
+                         b.x + cb.width + options.channel <= a.x;
+      const bool gap_y = a.y + ca.height + options.channel <= b.y ||
+                         b.y + cb.height + options.channel <= a.y;
+      EXPECT_TRUE(gap_x || gap_y)
+          << "cores " << i << " and " << j << " lack a routing channel";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,127 @@
+// Golden regression values: the whole model is deterministic, so key
+// numbers for the built-in SOCs are pinned here. Any change to the wrapper
+// formula, the packing heuristics, or the solvers that shifts these values
+// must be deliberate (and update this file + EXPERIMENTS.md together).
+
+#include <gtest/gtest.h>
+
+#include "sched/power_profile.hpp"
+#include "sched/schedule.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/width_partition.hpp"
+#include "wrapper/wrapper.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(Golden, Soc1CoreTestTimes) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 64);
+  struct Expect {
+    const char* core;
+    int width;
+    Cycles time;
+  };
+  // Values from EXPERIMENTS.md Table 1.
+  const Expect expectations[] = {
+      {"c7552", 1, 15292}, {"c7552", 8, 1985},  {"c7552", 64, 367},
+      {"s838", 1, 5058},   {"s838", 8, 2507},   {"s838", 64, 2507},
+      {"s38584", 1, 191874}, {"s38584", 8, 24163}, {"s38584", 64, 5105},
+      {"s38417", 1, 120188}, {"s38417", 32, 3860}, {"s38417", 64, 3656},
+      {"s13207", 16, 12448}, {"s35932", 2, 13182}, {"c6288", 4, 116},
+  };
+  for (const auto& e : expectations) {
+    const auto idx = *soc.find_core(e.core);
+    EXPECT_EQ(table.time(idx, e.width), e.time)
+        << e.core << " @ w=" << e.width;
+  }
+}
+
+TEST(Golden, Soc1SerialLoads) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 64);
+  EXPECT_EQ(table.total_time(1), 668787);
+  EXPECT_EQ(table.total_time(64), 36491);
+}
+
+TEST(Golden, Soc1UnconstrainedOptima) {
+  const Soc soc = builtin_soc1();
+  {
+    const TestTimeTable table(soc, 16);
+    const TamProblem p = make_tam_problem(soc, table, {16, 16});
+    EXPECT_EQ(solve_exact(p).assignment.makespan, 26179);
+  }
+  {
+    const TestTimeTable table(soc, 16);
+    const TamProblem p = make_tam_problem(soc, table, {16, 16, 16});
+    EXPECT_EQ(solve_exact(p).assignment.makespan, 17897);
+  }
+}
+
+TEST(Golden, Soc1WidthSearchOptima) {
+  const Soc soc = builtin_soc1();
+  struct Expect {
+    int buses;
+    int total;
+    Cycles time;
+  };
+  const Expect expectations[] = {
+      {2, 32, 25182}, {2, 64, 18570}, {3, 48, 16984}, {4, 64, 11119}};
+  for (const auto& e : expectations) {
+    const TestTimeTable table(soc, e.total - (e.buses - 1));
+    const auto r = optimize_widths(soc, table, e.buses, e.total);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.assignment.makespan, e.time)
+        << "B=" << e.buses << " W=" << e.total;
+  }
+}
+
+TEST(Golden, Soc1PowerConstrainedOptima) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  struct Expect {
+    double p_max;
+    Cycles time;
+  };
+  const Expect expectations[] = {{1800, 26828}, {1700, 29516}, {1600, 33735},
+                                 {1400, 52330}};
+  for (const auto& e : expectations) {
+    const TamProblem p =
+        make_tam_problem(soc, table, {16, 16}, nullptr, -1, e.p_max);
+    EXPECT_EQ(solve_exact(p).assignment.makespan, e.time) << e.p_max;
+  }
+}
+
+TEST(Golden, Soc2Optimum) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 23);
+  const auto r = optimize_widths(soc, table, 2, 24);
+  EXPECT_EQ(r.assignment.makespan, 6672);
+}
+
+TEST(Golden, Soc1SchedulePeak) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  const TamProblem p = make_tam_problem(soc, table, {16, 16});
+  const auto r = solve_exact(p);
+  const TestSchedule s = build_schedule(p, r.assignment.core_to_bus);
+  EXPECT_DOUBLE_EQ(compute_power_profile(soc, s).peak(), 1897.0);
+}
+
+TEST(Golden, TestDataVolumes) {
+  const Soc soc = builtin_soc1();
+  // s38417: p=68, si=1636+28, so=1636+106 -> 68*(1664+1742) = 231608.
+  const auto idx = *soc.find_core("s38417");
+  EXPECT_EQ(core_test_data_volume(soc.core(idx)), 68 * (1664 + 1742));
+  long long total = 0;
+  for (const auto& c : soc.cores()) total += core_test_data_volume(c);
+  EXPECT_GT(total, 0);
+  // Width independence: volume derives from patterns and scan counts only.
+  EXPECT_EQ(core_test_data_volume(soc.core(idx)),
+            68 * (soc.core(idx).scan_in_elements() +
+                  soc.core(idx).scan_out_elements()));
+}
+
+}  // namespace
+}  // namespace soctest

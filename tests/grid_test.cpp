@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "layout/grid.hpp"
+#include "soc/builtin.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(DieGrid, RejectsBadDimensions) {
+  EXPECT_THROW(DieGrid(0, 5), std::invalid_argument);
+  EXPECT_THROW(DieGrid(5, -1), std::invalid_argument);
+}
+
+TEST(DieGrid, StartsUnblocked) {
+  const DieGrid grid(4, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) EXPECT_FALSE(grid.blocked({x, y}));
+  }
+}
+
+TEST(DieGrid, IndexRoundTrip) {
+  const DieGrid grid(7, 5);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 7; ++x) {
+      EXPECT_EQ(grid.point(grid.index({x, y})), (Point{x, y}));
+    }
+  }
+}
+
+TEST(DieGrid, InBounds) {
+  const DieGrid grid(4, 4);
+  EXPECT_TRUE(grid.in_bounds({0, 0}));
+  EXPECT_TRUE(grid.in_bounds({3, 3}));
+  EXPECT_FALSE(grid.in_bounds({4, 0}));
+  EXPECT_FALSE(grid.in_bounds({0, -1}));
+}
+
+TEST(DieGrid, BlocksCoreFootprints) {
+  const Soc soc = builtin_soc1();
+  const DieGrid grid(soc);
+  long long blocked_cells = 0;
+  for (int y = 0; y < grid.height(); ++y) {
+    for (int x = 0; x < grid.width(); ++x) {
+      if (grid.blocked({x, y})) ++blocked_cells;
+    }
+  }
+  long long core_area = 0;
+  for (const auto& c : soc.cores()) core_area += static_cast<long long>(c.width) * c.height;
+  EXPECT_EQ(blocked_cells, core_area);
+  // Spot check: inside and outside the first core.
+  const auto& origin = soc.placement(0).origin;
+  EXPECT_TRUE(grid.blocked(origin));
+  EXPECT_FALSE(grid.blocked({origin.x - 1, origin.y - 1}));
+}
+
+TEST(DieGrid, RequiresPlacement) {
+  Soc soc("s", 5, 5);
+  Core c;
+  c.name = "a";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  c.width = c.height = 1;
+  soc.add_core(c);
+  EXPECT_THROW(DieGrid{soc}, std::invalid_argument);
+}
+
+TEST(DieGrid, NeighborsRespectBlockagesAndBounds) {
+  DieGrid grid(3, 3);
+  grid.set_blocked({1, 0}, true);
+  std::vector<Point> out;
+  grid.neighbors({0, 0}, out);
+  // (1,0) blocked, (-1,0) and (0,-1) out of bounds -> only (0,1).
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Point{0, 1}));
+}
+
+TEST(DieGrid, PerimeterAccessOfInteriorCore) {
+  DieGrid grid(6, 6);
+  // 2x2 core at (2,2); perimeter = 2*2 + 2*2 + ... = 8 cells (no corners).
+  for (int y = 2; y < 4; ++y) {
+    for (int x = 2; x < 4; ++x) grid.set_blocked({x, y}, true);
+  }
+  const auto access = grid.perimeter_access({2, 2}, 2, 2);
+  EXPECT_EQ(access.size(), 8u);
+  for (const auto& p : access) EXPECT_FALSE(grid.blocked(p));
+}
+
+TEST(DieGrid, PerimeterAccessClipsAtDieEdge) {
+  const DieGrid grid(6, 6);
+  // Core at the origin: bottom and left perimeter rows fall off the die.
+  const auto access = grid.perimeter_access({0, 0}, 2, 2);
+  EXPECT_EQ(access.size(), 4u);  // only top and right sides
+}
+
+TEST(DieGrid, RenderShowsBlockagesAndOverlay) {
+  DieGrid grid(3, 2);
+  grid.set_blocked({1, 1}, true);
+  const std::string art = grid.render({{Point{0, 0}, '*'}});
+  // Top row (y=1) printed first: ".#."; bottom row: "*..".
+  EXPECT_EQ(art, ".#.\n*..\n");
+}
+
+}  // namespace
+}  // namespace soctest

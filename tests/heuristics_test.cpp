@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(GreedyLpt, PerfectSplitOnEasyInstance) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{40, 40}, {40, 40}, {30, 30}, {30, 30}};
+  p.allowed.assign(4, {1, 1});
+  const auto r = solve_greedy_lpt(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 70);
+}
+
+TEST(GreedyLpt, NeverClaimsOptimality) {
+  TamProblem p;
+  p.bus_widths = {8};
+  p.time = {{10}};
+  p.allowed = {{1}};
+  EXPECT_FALSE(solve_greedy_lpt(p).proved_optimal);
+}
+
+TEST(GreedyLpt, RespectsForbiddenPairs) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 90}, {10, 90}, {10, 90}};
+  p.allowed = {{0, 1}, {0, 1}, {1, 1}};
+  const auto r = solve_greedy_lpt(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.core_to_bus[0], 1);
+  EXPECT_EQ(r.assignment.core_to_bus[1], 1);
+  EXPECT_EQ(p.check_assignment(r.assignment.core_to_bus), "");
+}
+
+TEST(GreedyLpt, RespectsCoGroups) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time.assign(4, std::vector<Cycles>(2, 25));
+  p.allowed.assign(4, std::vector<char>(2, 1));
+  p.co_groups = {{0, 1}, {2, 3}};
+  const auto r = solve_greedy_lpt(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.core_to_bus[0], r.assignment.core_to_bus[1]);
+  EXPECT_EQ(r.assignment.core_to_bus[2], r.assignment.core_to_bus[3]);
+  EXPECT_EQ(r.assignment.makespan, 50);
+}
+
+TEST(GreedyLpt, ReportsInfeasibleWhenBudgetBlown) {
+  TamProblem p;
+  p.bus_widths = {8};
+  p.time = {{10}, {10}};
+  p.allowed = {{1}, {1}};
+  p.wire_cost = {{5}, {5}};
+  p.wire_budget = 7;  // both cores must take the only bus: 10 > 7
+  const auto r = solve_greedy_lpt(p);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(GreedyLpt, UnassignableCoreReportedInfeasible) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 10}};
+  p.allowed = {{0, 0}};
+  EXPECT_FALSE(solve_greedy_lpt(p).feasible);
+}
+
+class HeuristicQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeuristicQuality, GreedyNeverBeatsExact) {
+  Rng rng(GetParam());
+  testutil::RandomProblemOptions options;
+  options.num_cores = 8;
+  options.num_buses = 3;
+  options.forbid_probability = 0.15;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto exact = solve_exact(p);
+  const auto greedy = solve_greedy_lpt(p);
+  if (greedy.feasible) {
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_GE(greedy.assignment.makespan, exact.assignment.makespan);
+  }
+}
+
+TEST_P(HeuristicQuality, SaNeverWorseThanGreedySeed) {
+  Rng rng(GetParam() + 50);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 9;
+  options.num_buses = 3;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto greedy = solve_greedy_lpt(p);
+  SaSolverOptions sa_options;
+  sa_options.iterations = 20000;
+  sa_options.seed = GetParam();
+  const auto sa = solve_sa(p, sa_options);
+  ASSERT_TRUE(greedy.feasible);
+  ASSERT_TRUE(sa.feasible);
+  EXPECT_LE(sa.assignment.makespan, greedy.assignment.makespan);
+}
+
+TEST_P(HeuristicQuality, SaNeverBeatsExact) {
+  Rng rng(GetParam() + 150);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 7;
+  options.num_buses = 3;
+  options.num_co_pairs = 1;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto exact = solve_exact(p);
+  SaSolverOptions sa_options;
+  sa_options.seed = GetParam();
+  const auto sa = solve_sa(p, sa_options);
+  if (sa.feasible) {
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_GE(sa.assignment.makespan, exact.assignment.makespan);
+    EXPECT_EQ(p.check_assignment(sa.assignment.core_to_bus), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicQuality,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(SaSolver, DeterministicForSeed) {
+  Rng rng(42);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 8;
+  options.num_buses = 3;
+  const TamProblem p = testutil::random_problem(rng, options);
+  SaSolverOptions sa_options;
+  sa_options.seed = 7;
+  const auto a = solve_sa(p, sa_options);
+  const auto b = solve_sa(p, sa_options);
+  EXPECT_EQ(a.assignment.core_to_bus, b.assignment.core_to_bus);
+}
+
+TEST(SaSolver, FindsOptimumOnSmallInstances) {
+  Rng rng(11);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 5;
+  options.num_buses = 2;
+  int optimal_hits = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const TamProblem p = testutil::random_problem(rng, options);
+    const Cycles brute = testutil::brute_force_makespan(p);
+    SaSolverOptions sa_options;
+    sa_options.seed = static_cast<std::uint64_t>(trial);
+    const auto sa = solve_sa(p, sa_options);
+    ASSERT_TRUE(sa.feasible);
+    if (sa.assignment.makespan == brute) ++optimal_hits;
+  }
+  EXPECT_GE(optimal_hits, 8);  // SA should nearly always nail 5-core instances
+}
+
+}  // namespace
+}  // namespace soctest

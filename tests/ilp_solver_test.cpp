@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/ilp_solver.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(TamIlpModel, VariableAndRowCounts) {
+  TamProblem p;
+  p.bus_widths = {8, 8, 8};
+  p.time.assign(4, std::vector<Cycles>(3, 10));
+  p.allowed.assign(4, std::vector<char>(3, 1));
+  const LinearProgram lp = build_tam_ilp(p);
+  EXPECT_EQ(lp.num_variables(), 4 * 3 + 1);      // x_ij + T
+  EXPECT_EQ(lp.num_rows(), 4 + 3);               // assignment + load rows
+}
+
+TEST(TamIlpModel, ForbiddenPairsFixedToZero) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 20}};
+  p.allowed = {{0, 1}};
+  const LinearProgram lp = build_tam_ilp(p);
+  EXPECT_DOUBLE_EQ(lp.variable(0).upper, 0.0);  // x_00 forbidden
+  EXPECT_DOUBLE_EQ(lp.variable(1).upper, 1.0);
+}
+
+TEST(TamIlpModel, CoGroupRowsPresent) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time.assign(3, std::vector<Cycles>(2, 10));
+  p.allowed.assign(3, std::vector<char>(2, 1));
+  p.co_groups = {{0, 2}};
+  const LinearProgram lp = build_tam_ilp(p);
+  EXPECT_EQ(lp.num_rows(), 3 + 2 + 2);  // assignment + load + 2 cogroup rows
+}
+
+TEST(TamIlpModel, WireBudgetRowPresent) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time.assign(2, std::vector<Cycles>(2, 10));
+  p.allowed.assign(2, std::vector<char>(2, 1));
+  p.wire_cost = {{1, 2}, {3, 4}};
+  p.wire_budget = 5;
+  const LinearProgram lp = build_tam_ilp(p);
+  EXPECT_EQ(lp.num_rows(), 2 + 2 + 1);
+}
+
+TEST(IlpSolver, TinyHandComputed) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{40, 40}, {30, 30}, {20, 20}};
+  p.allowed.assign(3, {1, 1});
+  const auto r = solve_ilp(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(r.assignment.makespan, 50);  // {40+? no: 40 | 30+20}
+}
+
+TEST(IlpSolver, DetectsInfeasibility) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 10}, {10, 10}};
+  p.allowed = {{1, 0}, {0, 1}};
+  p.co_groups = {{0, 1}};
+  const auto r = solve_ilp(p);
+  EXPECT_FALSE(r.feasible);
+}
+
+/// The headline cross-check: the ILP route (paper's method) and the
+/// combinatorial branch & bound must agree on the optimal makespan across
+/// every constraint combination.
+class IlpVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpVsExact, Unconstrained) {
+  Rng rng(GetParam());
+  testutil::RandomProblemOptions options;
+  options.num_cores = 5;
+  options.num_buses = 2;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto ilp = solve_ilp(p);
+  const auto exact = solve_exact(p);
+  ASSERT_TRUE(ilp.feasible);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_EQ(ilp.assignment.makespan, exact.assignment.makespan);
+}
+
+TEST_P(IlpVsExact, Constrained) {
+  Rng rng(GetParam() + 500);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 5;
+  options.num_buses = 2;
+  options.forbid_probability = 0.25;
+  options.num_co_pairs = 1;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto ilp = solve_ilp(p);
+  const auto exact = solve_exact(p);
+  ASSERT_EQ(ilp.feasible, exact.feasible) << "seed " << GetParam();
+  if (exact.feasible) {
+    EXPECT_EQ(ilp.assignment.makespan, exact.assignment.makespan);
+    EXPECT_EQ(p.check_assignment(ilp.assignment.core_to_bus), "");
+  }
+}
+
+TEST_P(IlpVsExact, WithWireBudget) {
+  Rng rng(GetParam() + 900);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 4;
+  options.num_buses = 2;
+  options.with_wire_budget = true;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto ilp = solve_ilp(p);
+  const auto exact = solve_exact(p);
+  ASSERT_EQ(ilp.feasible, exact.feasible);
+  if (exact.feasible) {
+    EXPECT_EQ(ilp.assignment.makespan, exact.assignment.makespan);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpVsExact,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(IlpSolver, Soc2EndToEnd) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 16);
+  const TamProblem p = make_tam_problem(soc, table, {16, 8});
+  const auto ilp = solve_ilp(p);
+  const auto exact = solve_exact(p);
+  ASSERT_TRUE(ilp.feasible);
+  EXPECT_TRUE(ilp.proved_optimal);
+  EXPECT_EQ(ilp.assignment.makespan, exact.assignment.makespan);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,181 @@
+// End-to-end flows: SOC -> placement -> bus routing -> constrained
+// architecture optimization -> schedule -> power/layout verification.
+
+#include <gtest/gtest.h>
+
+#include "layout/sa_placer.hpp"
+#include "sched/power_profile.hpp"
+#include "sched/schedule.hpp"
+#include "soc/builtin.hpp"
+#include "soc/generator.hpp"
+#include "tam/architect.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
+
+namespace soctest {
+namespace {
+
+class FullFlow : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FullFlow, RandomSocAllConstraints) {
+  Rng rng(GetParam());
+  SocGeneratorOptions gen;
+  gen.num_cores = 8;
+  Soc soc = generate_soc(gen, rng);
+  // Loosen the die and refine placement.
+  soc.set_die(soc.die_width() + 10, soc.die_height() + 10);
+  SaPlacerOptions placer;
+  placer.iterations = 3000;
+  sa_place(soc, placer, rng);
+  ASSERT_EQ(soc.validate(), "");
+
+  DesignRequest request;
+  request.bus_widths = {12, 8};
+  request.use_layout = true;
+  request.d_max = soc.die_width() + soc.die_height();  // generous
+  request.p_max_mw = soc.total_test_power();           // generous
+  const auto result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible) << "seed " << GetParam();
+  ASSERT_TRUE(result.bus_plan.has_value());
+
+  // Rebuild the problem to validate the schedule against it.
+  const TestTimeTable table(soc, 12);
+  const LayoutConstraints layout(*result.bus_plan, soc.num_cores(), request.d_max);
+  const TamProblem problem = make_tam_problem(
+      soc, table, request.bus_widths, &layout, -1, request.p_max_mw);
+  EXPECT_EQ(problem.check_assignment(result.assignment.core_to_bus), "");
+
+  const TestSchedule schedule =
+      build_schedule(problem, result.assignment.core_to_bus);
+  EXPECT_EQ(schedule.validate(problem, result.assignment.core_to_bus), "");
+  EXPECT_EQ(schedule.makespan, result.assignment.makespan);
+  // A generous budget must be met by construction.
+  EXPECT_EQ(check_power(soc, schedule, soc.total_test_power()), "");
+}
+
+TEST_P(FullFlow, ConstraintsOnlyEverIncreaseTestTime) {
+  Rng rng(GetParam() + 1000);
+  SocGeneratorOptions gen;
+  gen.num_cores = 7;
+  Soc soc = generate_soc(gen, rng);
+
+  DesignRequest free_request;
+  free_request.bus_widths = {10, 10};
+  const auto free_result = design_architecture(soc, free_request);
+  ASSERT_TRUE(free_result.feasible);
+
+  // Power-constrained at 150% of the largest core power.
+  double max_power = 0;
+  for (const auto& c : soc.cores()) max_power = std::max(max_power, c.test_power_mw);
+  DesignRequest power_request = free_request;
+  power_request.p_max_mw = max_power * 1.5;
+  const auto power_result = design_architecture(soc, power_request);
+  if (power_result.feasible) {
+    EXPECT_GE(power_result.assignment.makespan, free_result.assignment.makespan);
+  }
+
+  // Layout-constrained with a mid-range d_max.
+  DesignRequest layout_request = free_request;
+  layout_request.d_max = (soc.die_width() + soc.die_height()) / 4;
+  try {
+    const auto layout_result = design_architecture(soc, layout_request);
+    if (layout_result.feasible) {
+      EXPECT_GE(layout_result.assignment.makespan,
+                free_result.assignment.makespan);
+    }
+  } catch (const std::runtime_error&) {
+    // d_max too tight for some core: a legitimate infeasibility report.
+  }
+}
+
+TEST_P(FullFlow, PowerBudgetSweepIsMonotone) {
+  Rng rng(GetParam() + 2000);
+  SocGeneratorOptions gen;
+  gen.num_cores = 7;
+  const Soc soc = generate_soc(gen, rng);
+  double max_power = 0;
+  for (const auto& c : soc.cores()) max_power = std::max(max_power, c.test_power_mw);
+
+  Cycles prev = -1;
+  for (double factor : {1.1, 1.5, 2.0, 3.0}) {
+    DesignRequest request;
+    request.bus_widths = {10, 10};
+    request.p_max_mw = max_power * factor;
+    const auto result = design_architecture(soc, request);
+    ASSERT_TRUE(result.feasible);
+    if (prev >= 0) {
+      // Looser budgets can only help.
+      EXPECT_LE(result.assignment.makespan, prev) << "factor " << factor;
+    }
+    prev = result.assignment.makespan;
+  }
+}
+
+TEST_P(FullFlow, ScheduleOfPowerConstrainedDesignMeetsBudgetAfterReorder) {
+  Rng rng(GetParam() + 3000);
+  SocGeneratorOptions gen;
+  gen.num_cores = 6;
+  const Soc soc = generate_soc(gen, rng);
+  double max_pair = 0;
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    for (std::size_t k = i + 1; k < soc.num_cores(); ++k) {
+      max_pair = std::max(max_pair, soc.core(i).test_power_mw +
+                                        soc.core(k).test_power_mw);
+    }
+  }
+  // Any budget at or above the max pair sum disables conflicts entirely, so
+  // pick one slightly below to force at least one co-assignment.
+  const double budget = max_pair - 1.0;
+  const TestTimeTable table(soc, 8);
+  TamProblem problem;
+  try {
+    problem = make_tam_problem(soc, table, {8, 8}, nullptr, -1, budget);
+  } catch (const std::runtime_error&) {
+    return;  // a single core above budget: legitimately untestable
+  }
+  const auto result = solve_exact(problem);
+  ASSERT_TRUE(result.feasible);
+  const TestSchedule schedule =
+      build_schedule(problem, result.assignment.core_to_bus);
+  // The conservative pairwise constraint guarantees that the two heaviest
+  // cores are serialized; the realized peak must respect the budget for the
+  // *pair* constraint to be meaningful. With only 2 buses, any instant runs
+  // at most 2 cores, so the pairwise guarantee is exact here.
+  EXPECT_EQ(check_power(soc, schedule, budget), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullFlow, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Integration, Soc1HeadlineFlow) {
+  const Soc soc = builtin_soc1();
+  DesignRequest request;
+  request.bus_widths = {16, 16, 16};
+  request.d_max = 30;
+  request.p_max_mw = 1800;
+  const auto result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.proved_optimal);
+  const std::string report = describe_design(soc, request, result);
+  EXPECT_NE(report.find("optimal"), std::string::npos);
+}
+
+TEST(Integration, GreedyMatchesExactOftenOnSoc2) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 16);
+  int gaps = 0;
+  for (int w1 = 4; w1 <= 12; w1 += 2) {
+    const TamProblem p = make_tam_problem(soc, table, {w1, 16 - w1});
+    const auto exact = solve_exact(p);
+    const auto greedy = solve_greedy_lpt(p);
+    ASSERT_TRUE(exact.feasible && greedy.feasible);
+    EXPECT_GE(greedy.assignment.makespan, exact.assignment.makespan);
+    if (greedy.assignment.makespan > exact.assignment.makespan) ++gaps;
+  }
+  // LPT is good but the exact solver must win at least sometimes across
+  // sweeps on real SOCs... or tie everywhere; either way no crash. Just
+  // record that the comparison ran.
+  SUCCEED() << gaps << " width splits had a greedy/exact gap";
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "layout/constraints.hpp"
+#include "soc/builtin.hpp"
+
+namespace soctest {
+namespace {
+
+class LayoutConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    soc_ = builtin_soc1();
+    plan_ = plan_buses(soc_, 3);
+  }
+  Soc soc_;
+  BusPlan plan_;
+};
+
+TEST_F(LayoutConstraintsTest, UnlimitedAllowsAllReachable) {
+  const LayoutConstraints lc(plan_, soc_.num_cores(), -1);
+  for (std::size_t i = 0; i < soc_.num_cores(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(lc.allowed(i, j), lc.distance(i, j) >= 0);
+    }
+  }
+  EXPECT_TRUE(lc.all_cores_connectable());
+}
+
+TEST_F(LayoutConstraintsTest, TighterDmaxAllowsSubset) {
+  const LayoutConstraints loose(plan_, soc_.num_cores(), 30);
+  const LayoutConstraints tight(plan_, soc_.num_cores(), 8);
+  for (std::size_t i = 0; i < soc_.num_cores(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (tight.allowed(i, j)) EXPECT_TRUE(loose.allowed(i, j));
+    }
+  }
+}
+
+TEST_F(LayoutConstraintsTest, DmaxZeroKeepsOnlyAdjacentCores) {
+  const LayoutConstraints lc(plan_, soc_.num_cores(), 0);
+  for (std::size_t i = 0; i < soc_.num_cores(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(lc.allowed(i, j), lc.distance(i, j) == 0);
+    }
+  }
+}
+
+TEST_F(LayoutConstraintsTest, DisconnectedCoresReported) {
+  const LayoutConstraints lc(plan_, soc_.num_cores(), 0);
+  const auto disconnected = lc.disconnected_cores();
+  // With d_max = 0 only cores touching a trunk remain connectable; on soc1
+  // at least one core must be away from every trunk.
+  EXPECT_FALSE(lc.all_cores_connectable());
+  EXPECT_FALSE(disconnected.empty());
+}
+
+TEST_F(LayoutConstraintsTest, WirelengthSumsDistances) {
+  const LayoutConstraints lc(plan_, soc_.num_cores(), -1);
+  std::vector<int> assignment(soc_.num_cores(), 0);
+  long long expect = 0;
+  for (std::size_t i = 0; i < soc_.num_cores(); ++i) {
+    expect += lc.distance(i, 0);
+  }
+  EXPECT_EQ(lc.assignment_wirelength(assignment), expect);
+}
+
+TEST_F(LayoutConstraintsTest, WirelengthRejectsBadAssignments) {
+  const LayoutConstraints lc(plan_, soc_.num_cores(), -1);
+  EXPECT_THROW(lc.assignment_wirelength({}), std::invalid_argument);
+  std::vector<int> bad_bus(soc_.num_cores(), 7);
+  EXPECT_THROW(lc.assignment_wirelength(bad_bus), std::invalid_argument);
+}
+
+TEST_F(LayoutConstraintsTest, ChoosingNearestBusMinimizesWirelength) {
+  const LayoutConstraints lc(plan_, soc_.num_cores(), -1);
+  std::vector<int> nearest(soc_.num_cores(), 0);
+  for (std::size_t i = 0; i < soc_.num_cores(); ++i) {
+    for (std::size_t j = 1; j < 3; ++j) {
+      if (lc.distance(i, j) >= 0 &&
+          lc.distance(i, j) < lc.distance(i, static_cast<std::size_t>(nearest[i]))) {
+        nearest[i] = static_cast<int>(j);
+      }
+    }
+  }
+  const long long best = lc.assignment_wirelength(nearest);
+  std::vector<int> all_zero(soc_.num_cores(), 0);
+  EXPECT_LE(best, lc.assignment_wirelength(all_zero));
+}
+
+}  // namespace
+}  // namespace soctest

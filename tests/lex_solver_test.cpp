@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "tam/exact_solver.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+/// Brute-force reference for the lexicographic objective: among feasible
+/// assignments with makespan <= cap, the minimum total wire cost.
+long long brute_min_wire(const TamProblem& problem, Cycles cap) {
+  const std::size_t n = problem.num_cores();
+  const std::size_t b = problem.num_buses();
+  std::vector<int> assignment(n, 0);
+  long long best = -1;
+  while (true) {
+    if (problem.check_assignment(assignment).empty() &&
+        problem.makespan(assignment) <= cap) {
+      long long wire = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        wire += problem.wire_cost[i][static_cast<std::size_t>(assignment[i])];
+      }
+      if (best < 0 || wire < best) best = wire;
+    }
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (static_cast<std::size_t>(++assignment[pos]) < b) break;
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+long long wire_of(const TamProblem& problem, const std::vector<int>& assignment) {
+  long long wire = 0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    wire += problem.wire_cost[i][static_cast<std::size_t>(assignment[i])];
+  }
+  return wire;
+}
+
+TEST(LexSolver, RequiresWireCosts) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 10}};
+  p.allowed = {{1, 1}};
+  EXPECT_THROW(solve_exact_min_wire(p, 100), std::invalid_argument);
+  // lex falls back to the plain result without wire costs.
+  const auto r = solve_exact_lex(p);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST(LexSolver, PicksCheapWiringAmongTies) {
+  // Both buses give the same makespan; wiring should break the tie.
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 10}, {10, 10}};
+  p.allowed.assign(2, {1, 1});
+  p.wire_cost = {{5, 1}, {1, 5}};
+  const auto r = solve_exact_lex(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 10);
+  EXPECT_EQ(wire_of(p, r.assignment.core_to_bus), 2);  // 1 + 1
+}
+
+TEST(LexSolver, NeverTradesMakespanForWire) {
+  // Putting both cores on bus 0 would halve the wire but double the time.
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{100, 100}, {100, 100}};
+  p.allowed.assign(2, {1, 1});
+  p.wire_cost = {{0, 50}, {0, 50}};
+  const auto r = solve_exact_lex(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, 100);  // still parallel
+}
+
+TEST(MinWireSolver, RespectsCap) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{60, 60}, {50, 50}, {40, 40}};
+  p.allowed.assign(3, {1, 1});
+  p.wire_cost = {{0, 9}, {0, 9}, {0, 9}};
+  // Cap at the serial time: everything can go on cheap bus 0.
+  const auto loose = solve_exact_min_wire(p, 150);
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_EQ(wire_of(p, loose.assignment.core_to_bus), 0);
+  // Cap at the optimum (90): must split, paying some wire.
+  const auto tight = solve_exact_min_wire(p, 90);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_LE(tight.assignment.makespan, 90);
+  EXPECT_GT(wire_of(p, tight.assignment.core_to_bus), 0);
+  // Impossible cap.
+  EXPECT_FALSE(solve_exact_min_wire(p, 50).feasible);
+}
+
+class LexVsBrute : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LexVsBrute, MatchesExhaustiveLexOptimum) {
+  Rng rng(GetParam());
+  testutil::RandomProblemOptions options;
+  options.num_cores = 6;
+  options.num_buses = 3;
+  options.with_wire_budget = true;
+  TamProblem p = testutil::random_problem(rng, options);
+  p.wire_budget = -1;  // isolate the lex objective from the budget row
+  const Cycles best_makespan = testutil::brute_force_makespan(p);
+  ASSERT_GE(best_makespan, 0);
+  const long long best_wire = brute_min_wire(p, best_makespan);
+  const auto r = solve_exact_lex(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, best_makespan) << "seed " << GetParam();
+  EXPECT_EQ(wire_of(p, r.assignment.core_to_bus), best_wire)
+      << "seed " << GetParam();
+}
+
+TEST_P(LexVsBrute, WithCoGroupsAndForbiddenPairs) {
+  Rng rng(GetParam() + 777);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 5;
+  options.num_buses = 2;
+  options.forbid_probability = 0.2;
+  options.num_co_pairs = 1;
+  options.with_wire_budget = true;
+  TamProblem p = testutil::random_problem(rng, options);
+  p.wire_budget = -1;
+  const Cycles best_makespan = testutil::brute_force_makespan(p);
+  if (best_makespan < 0) {
+    EXPECT_FALSE(solve_exact_lex(p).feasible);
+    return;
+  }
+  const auto r = solve_exact_lex(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.assignment.makespan, best_makespan);
+  EXPECT_EQ(wire_of(p, r.assignment.core_to_bus),
+            brute_min_wire(p, best_makespan));
+  EXPECT_EQ(p.check_assignment(r.assignment.core_to_bus), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexVsBrute,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace soctest

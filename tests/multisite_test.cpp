@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/multisite.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(Multisite, RejectsTooNarrowTester) {
+  const Soc soc = builtin_soc2();
+  MultisiteOptions options;
+  options.num_buses = 4;
+  EXPECT_THROW(multisite_sweep(soc, 3, options), std::invalid_argument);
+}
+
+TEST(Multisite, CurveShape) {
+  const Soc soc = builtin_soc2();
+  MultisiteOptions options;
+  options.num_buses = 2;
+  options.max_sites = 10;
+  const auto curve = multisite_sweep(soc, 32, options);
+  ASSERT_EQ(curve.size(), 10u);
+  for (const auto& point : curve) {
+    if (point.width_per_site >= options.num_buses) {
+      EXPECT_TRUE(point.feasible) << "sites " << point.sites;
+      EXPECT_GT(point.test_time, 0);
+      EXPECT_NEAR(point.throughput_kchips,
+                  1e6 * point.sites / static_cast<double>(point.test_time),
+                  1e-9);
+    } else {
+      EXPECT_FALSE(point.feasible);
+    }
+  }
+  // Per-chip test time grows (weakly) as sites narrow the per-site width.
+  for (std::size_t k = 1; k < curve.size(); ++k) {
+    if (curve[k].feasible && curve[k - 1].feasible &&
+        curve[k].width_per_site < curve[k - 1].width_per_site) {
+      EXPECT_GE(curve[k].test_time, curve[k - 1].test_time)
+          << "sites " << curve[k].sites;
+    }
+  }
+}
+
+TEST(Multisite, BestDominatesCurve) {
+  const Soc soc = builtin_soc2();
+  MultisiteOptions options;
+  options.num_buses = 2;
+  options.max_sites = 8;
+  const auto best = best_multisite(soc, 32, options);
+  ASSERT_TRUE(best.feasible);
+  for (const auto& point : multisite_sweep(soc, 32, options)) {
+    if (point.feasible) {
+      EXPECT_GE(best.throughput_kchips, point.throughput_kchips);
+    }
+  }
+}
+
+TEST(Multisite, MoreSitesWinOnSaturatedSocs) {
+  // soc2 saturates at modest width, so splitting a 64-channel tester into
+  // many sites must beat a single site.
+  const Soc soc = builtin_soc2();
+  MultisiteOptions options;
+  options.num_buses = 2;
+  options.max_sites = 8;
+  const auto curve = multisite_sweep(soc, 64, options);
+  ASSERT_TRUE(curve.front().feasible);
+  const auto best = best_multisite(soc, 64, options);
+  EXPECT_GT(best.sites, 1);
+  EXPECT_GT(best.throughput_kchips, curve.front().throughput_kchips);
+}
+
+}  // namespace
+}  // namespace soctest

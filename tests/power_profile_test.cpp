@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sched/power_profile.hpp"
+#include "sched/schedule.hpp"
+#include "tam/exact_solver.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+Soc two_core_soc(double p0, double p1) {
+  Soc soc("p", 20, 20);
+  for (int i = 0; i < 2; ++i) {
+    Core c;
+    c.name = "c" + std::to_string(i);
+    c.num_inputs = 1;
+    c.num_outputs = 1;
+    c.num_patterns = 1;
+    c.test_power_mw = i == 0 ? p0 : p1;
+    soc.add_core(c);
+  }
+  return soc;
+}
+
+TEST(PowerProfile, OverlapAddsPower) {
+  const Soc soc = two_core_soc(100, 250);
+  TestSchedule s;
+  s.tests = {{0, 0, 0, 50}, {1, 1, 0, 30}};
+  s.makespan = 50;
+  const PowerProfile profile = compute_power_profile(soc, s);
+  EXPECT_DOUBLE_EQ(profile.peak(), 350.0);
+  EXPECT_DOUBLE_EQ(profile.at(0), 350.0);
+  EXPECT_DOUBLE_EQ(profile.at(29), 350.0);
+  EXPECT_DOUBLE_EQ(profile.at(30), 100.0);  // core 1 done at cycle 30
+  EXPECT_DOUBLE_EQ(profile.at(49), 100.0);
+  EXPECT_DOUBLE_EQ(profile.at(50), 0.0);
+  EXPECT_DOUBLE_EQ(profile.at(-1), 0.0);
+}
+
+TEST(PowerProfile, SequentialNoOverlap) {
+  const Soc soc = two_core_soc(100, 250);
+  TestSchedule s;
+  s.tests = {{0, 0, 0, 50}, {1, 0, 50, 80}};
+  s.makespan = 80;
+  const PowerProfile profile = compute_power_profile(soc, s);
+  EXPECT_DOUBLE_EQ(profile.peak(), 250.0);
+  EXPECT_DOUBLE_EQ(profile.at(49), 100.0);
+  EXPECT_DOUBLE_EQ(profile.at(50), 250.0);
+}
+
+TEST(PowerProfile, EnergyIsPowerTimesTime) {
+  const Soc soc = two_core_soc(100, 200);
+  TestSchedule s;
+  s.tests = {{0, 0, 0, 10}, {1, 1, 0, 5}};
+  s.makespan = 10;
+  const PowerProfile profile = compute_power_profile(soc, s);
+  EXPECT_DOUBLE_EQ(profile.energy(), 100 * 10 + 200 * 5);
+}
+
+TEST(PowerProfile, PeakNeverExceedsTotalPower) {
+  Rng rng(4);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 8;
+  options.num_buses = 3;
+  const TamProblem p = testutil::random_problem(rng, options);
+  Soc soc("x", 30, 30);
+  for (std::size_t i = 0; i < 8; ++i) {
+    Core c;
+    c.name = "c" + std::to_string(i);
+    c.num_inputs = 1;
+    c.num_outputs = 1;
+    c.num_patterns = 1;
+    c.test_power_mw = rng.uniform(50, 400);
+    soc.add_core(c);
+  }
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  const TestSchedule s = build_schedule(p, r.assignment.core_to_bus);
+  const PowerProfile profile = compute_power_profile(soc, s);
+  EXPECT_LE(profile.peak(), soc.total_test_power() + 1e-9);
+  EXPECT_GT(profile.peak(), 0.0);
+}
+
+TEST(CheckPower, PassesAndFails) {
+  const Soc soc = two_core_soc(100, 250);
+  TestSchedule s;
+  s.tests = {{0, 0, 0, 50}, {1, 1, 0, 30}};
+  s.makespan = 50;
+  EXPECT_EQ(check_power(soc, s, 400), "");
+  EXPECT_NE(check_power(soc, s, 300), "");
+  EXPECT_EQ(check_power(soc, s, -1), "");  // disabled budget always passes
+}
+
+TEST(CheckPower, SerializedScheduleMeetsTightBudget) {
+  const Soc soc = two_core_soc(300, 300);
+  TestSchedule s;
+  s.tests = {{0, 0, 0, 50}, {1, 0, 50, 100}};
+  s.makespan = 100;
+  EXPECT_EQ(check_power(soc, s, 300), "");
+}
+
+TEST(MinimizePeakOrder, NeverIncreasesPeak) {
+  Rng rng(9);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    testutil::RandomProblemOptions options;
+    options.num_cores = 8;
+    options.num_buses = 2;
+    Rng prng(seed);
+    const TamProblem p = testutil::random_problem(prng, options);
+    Soc soc("x", 30, 30);
+    for (std::size_t i = 0; i < 8; ++i) {
+      Core c;
+      c.name = "c" + std::to_string(i);
+      c.num_inputs = 1;
+      c.num_outputs = 1;
+      c.num_patterns = 1;
+      c.test_power_mw = prng.uniform(50, 500);
+      soc.add_core(c);
+    }
+    const auto r = solve_exact(p);
+    ASSERT_TRUE(r.feasible);
+    const TestSchedule base = build_schedule(p, r.assignment.core_to_bus);
+    const double base_peak = compute_power_profile(soc, base).peak();
+    const TestSchedule improved =
+        minimize_peak_order(p, soc, r.assignment.core_to_bus, rng, 500);
+    const double improved_peak = compute_power_profile(soc, improved).peak();
+    EXPECT_LE(improved_peak, base_peak + 1e-9) << "seed " << seed;
+    // The reordered schedule must stay valid and keep the same makespan.
+    EXPECT_EQ(improved.validate(p, r.assignment.core_to_bus), "");
+    EXPECT_EQ(improved.makespan, base.makespan);
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/power.hpp"
+
+namespace soctest {
+namespace {
+
+Soc power_soc(std::vector<double> powers) {
+  Soc soc("p", 50, 50);
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    Core c;
+    c.name = "c" + std::to_string(i);
+    c.num_inputs = 1;
+    c.num_outputs = 1;
+    c.num_patterns = 1;
+    c.test_power_mw = powers[i];
+    soc.add_core(c);
+  }
+  return soc;
+}
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(uf.find(i), i);
+  EXPECT_EQ(uf.groups(1).size(), 4u);
+  EXPECT_TRUE(uf.groups(2).empty());
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_EQ(uf.find(0), uf.find(2));
+  EXPECT_NE(uf.find(0), uf.find(3));
+  const auto groups = uf.groups(2);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(UnionFind, TransitiveClosure) {
+  UnionFind uf(6);
+  uf.unite(0, 5);
+  uf.unite(5, 3);
+  uf.unite(2, 4);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+  EXPECT_EQ(uf.find(2), uf.find(4));
+  EXPECT_NE(uf.find(0), uf.find(2));
+  EXPECT_EQ(uf.groups(2).size(), 2u);
+}
+
+TEST(PowerConflicts, NoBudgetNoPairs) {
+  const Soc soc = power_soc({100, 200, 300});
+  EXPECT_TRUE(power_conflict_pairs(soc, -1).empty());
+  EXPECT_TRUE(power_co_groups(soc, -1).empty());
+}
+
+TEST(PowerConflicts, PairsAboveBudget) {
+  const Soc soc = power_soc({100, 200, 300});
+  // Budget 450: 200+300=500 conflicts; 100+300=400 and 100+200=300 do not.
+  const auto pairs = power_conflict_pairs(soc, 450);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<std::size_t, std::size_t>{1, 2}));
+}
+
+TEST(PowerConflicts, LowBudgetConflictsEverything) {
+  const Soc soc = power_soc({100, 200, 300});
+  const auto pairs = power_conflict_pairs(soc, 250);
+  EXPECT_EQ(pairs.size(), 3u);
+  const auto groups = power_co_groups(soc, 250);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(PowerConflicts, GroupsAreTransitive) {
+  // 400+400 > 700 and 400+350 > 700, but 350+300 <= 700: chain still groups
+  // all three high cores through the shared member.
+  const Soc soc = power_soc({400, 400, 350, 100});
+  const auto groups = power_co_groups(soc, 700);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(PowerConflicts, OverbudgetCores) {
+  const Soc soc = power_soc({100, 900, 300});
+  const auto over = overbudget_cores(soc, 500);
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_EQ(over[0], 1u);
+  EXPECT_TRUE(overbudget_cores(soc, -1).empty());
+  EXPECT_TRUE(overbudget_cores(soc, 1000).empty());
+}
+
+TEST(PowerConflicts, BuiltinSocSweep) {
+  const Soc soc = builtin_soc1();
+  // Sweeping the budget down can only grow the conflict set.
+  std::size_t prev = 0;
+  for (double budget : {3000.0, 2000.0, 1500.0, 1200.0, 1000.0}) {
+    const auto pairs = power_conflict_pairs(soc, budget);
+    EXPECT_GE(pairs.size(), prev);
+    prev = pairs.size();
+  }
+  // At the total power, nothing conflicts.
+  EXPECT_TRUE(power_conflict_pairs(soc, soc.total_test_power()).empty());
+}
+
+}  // namespace
+}  // namespace soctest

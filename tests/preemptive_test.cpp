@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "sched/power_sched.hpp"
+#include "sched/preemptive.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+Soc make_power_soc(const std::vector<double>& powers) {
+  Soc soc("p", 40, 40);
+  for (std::size_t i = 0; i < powers.size(); ++i) {
+    Core c;
+    c.name = "c" + std::to_string(i);
+    c.num_inputs = 1;
+    c.num_outputs = 1;
+    c.num_patterns = 1;
+    c.test_power_mw = powers[i];
+    soc.add_core(c);
+  }
+  return soc;
+}
+
+TamProblem two_bus(const std::vector<Cycles>& times) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  for (Cycles t : times) {
+    p.time.push_back({t, t});
+    p.allowed.push_back({1, 1});
+  }
+  return p;
+}
+
+TEST(Preemptive, NoBudgetEqualsBusLoads) {
+  const TamProblem p = two_bus({50, 30, 20});
+  const Soc soc = make_power_soc({100, 100, 100});
+  const std::vector<int> assignment{0, 1, 1};
+  const auto r = build_preemptive_schedule(p, soc, assignment, -1);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.makespan, 50);
+  EXPECT_EQ(r.preemptions, 0);  // no budget, no reason to preempt
+  EXPECT_EQ(check_preemptive_schedule(p, soc, assignment, r.schedule, -1), "");
+}
+
+TEST(Preemptive, SplitsTestsToFillPowerHeadroom) {
+  // Two heavy cores on distinct buses cannot overlap (budget 500), but a
+  // light core can run alongside either. Preemption interleaves heavies
+  // and keeps the light one flexible.
+  const TamProblem p = two_bus({60, 60});
+  const Soc soc = make_power_soc({300, 300});
+  const std::vector<int> assignment{0, 1};
+  const auto r = build_preemptive_schedule(p, soc, assignment, 500);
+  ASSERT_TRUE(r.feasible);
+  // Serialization is unavoidable: total work 120 on a single power slot.
+  EXPECT_EQ(r.schedule.makespan, 120);
+  EXPECT_EQ(check_preemptive_schedule(p, soc, assignment, r.schedule, 500), "");
+}
+
+TEST(Preemptive, CoreTotalsConserved) {
+  Rng rng(11);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 7;
+  options.num_buses = 3;
+  const TamProblem p = testutil::random_problem(rng, options);
+  std::vector<double> powers;
+  for (int i = 0; i < 7; ++i) powers.push_back(rng.uniform(100, 400));
+  const Soc soc = make_power_soc(powers);
+  std::vector<int> assignment;
+  for (int i = 0; i < 7; ++i) assignment.push_back(static_cast<int>(rng.index(3)));
+  const auto r = build_preemptive_schedule(p, soc, assignment, 600);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(check_preemptive_schedule(p, soc, assignment, r.schedule, 600), "");
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(r.schedule.core_total(i),
+              p.time[i][static_cast<std::size_t>(assignment[i])]);
+  }
+}
+
+TEST(Preemptive, GanttRendersSegments) {
+  const TamProblem p = two_bus({60, 60});
+  const Soc soc = make_power_soc({300, 300});
+  const std::vector<int> assignment{0, 1};
+  const auto r = build_preemptive_schedule(p, soc, assignment, 500);
+  ASSERT_TRUE(r.feasible);
+  const std::string art = render_preemptive_gantt(soc, r.schedule, 40);
+  EXPECT_NE(art.find("bus 0"), std::string::npos);
+  EXPECT_NE(art.find("bus 1"), std::string::npos);
+  EXPECT_NE(art.find("cycles"), std::string::npos);
+  EXPECT_EQ(render_preemptive_gantt(soc, PreemptiveSchedule{}),
+            "(empty schedule)\n");
+}
+
+TEST(Preemptive, OverbudgetCoreRejected) {
+  const TamProblem p = two_bus({10});
+  const Soc soc = make_power_soc({900});
+  const auto r = build_preemptive_schedule(p, soc, {0}, 500);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.error.find("exceeds"), std::string::npos);
+}
+
+class PreemptiveSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreemptiveSweep, BudgetAlwaysRespectedAndBeatsOrTiesIdleInsertion) {
+  Rng rng(GetParam());
+  testutil::RandomProblemOptions options;
+  options.num_cores = 8;
+  options.num_buses = 3;
+  const TamProblem p = testutil::random_problem(rng, options);
+  std::vector<double> powers;
+  double max_power = 0;
+  for (int i = 0; i < 8; ++i) {
+    powers.push_back(rng.uniform(100, 500));
+    max_power = std::max(max_power, powers.back());
+  }
+  const Soc soc = make_power_soc(powers);
+  std::vector<int> assignment;
+  for (int i = 0; i < 8; ++i) assignment.push_back(static_cast<int>(rng.index(3)));
+  int preemptive_wins = 0, ties = 0, losses = 0;
+  for (double factor : {1.0, 1.4, 2.0}) {
+    const double budget = max_power * factor;
+    const auto pre = build_preemptive_schedule(p, soc, assignment, budget);
+    ASSERT_TRUE(pre.feasible) << budget;
+    EXPECT_EQ(check_preemptive_schedule(p, soc, assignment, pre.schedule, budget),
+              "");
+    PowerScheduleOptions np_options;
+    np_options.p_max_mw = budget;
+    const auto np = build_power_aware_schedule(p, soc, assignment, np_options);
+    ASSERT_TRUE(np.feasible);
+    if (pre.schedule.makespan < np.schedule.makespan) {
+      ++preemptive_wins;
+    } else if (pre.schedule.makespan == np.schedule.makespan) {
+      ++ties;
+    } else {
+      ++losses;
+    }
+    // Preemptive can never beat the per-bus load lower bound.
+    Cycles max_load = 0;
+    std::vector<Cycles> load(3, 0);
+    for (std::size_t i = 0; i < 8; ++i) {
+      load[static_cast<std::size_t>(assignment[i])] +=
+          p.time[i][static_cast<std::size_t>(assignment[i])];
+    }
+    for (Cycles l : load) max_load = std::max(max_load, l);
+    EXPECT_GE(pre.schedule.makespan, max_load);
+  }
+  // Both are greedy heuristics: preemption should rarely lose outright.
+  EXPECT_LE(losses, 1) << "wins " << preemptive_wins << " ties " << ties;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreemptiveSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace soctest

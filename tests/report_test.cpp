@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "report/design_report.hpp"
+#include "report/json.hpp"
+#include "sched/schedule.hpp"
+#include "soc/builtin.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value("text");
+  w.key("c").value(true);
+  w.key("d").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"text","c":true,"d":null})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("list").begin_array().value(1).value(2).begin_object().end_object().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,2,{}]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+  EXPECT_EQ(json_check(w.str()), "");
+}
+
+TEST(JsonWriter, DoubleFormattingAndNonFinite) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.5);
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[0.5,null]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("x"), std::logic_error);  // key inside array
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), std::logic_error);  // unclosed
+  }
+}
+
+TEST(JsonCheck, AcceptsValidDocuments) {
+  EXPECT_EQ(json_check(R"({"a": [1, 2.5, -3e2], "b": {"c": null}})"), "");
+  EXPECT_EQ(json_check("[]"), "");
+  EXPECT_EQ(json_check("\"str\\u00e9\""), "");
+  EXPECT_EQ(json_check("true"), "");
+  EXPECT_EQ(json_check("-12.5e-3"), "");
+}
+
+TEST(JsonCheck, RejectsMalformedDocuments) {
+  EXPECT_NE(json_check(""), "");
+  EXPECT_NE(json_check("{"), "");
+  EXPECT_NE(json_check("{\"a\":}"), "");
+  EXPECT_NE(json_check("[1,]"), "");
+  EXPECT_NE(json_check("{\"a\":1,}"), "");
+  EXPECT_NE(json_check("\"unterminated"), "");
+  EXPECT_NE(json_check("01"), "");  // leading zero... actually "0" then "1" trailing
+  EXPECT_NE(json_check("{} {}"), "");
+  EXPECT_NE(json_check("{'a':1}"), "");
+  EXPECT_NE(json_check("nul"), "");
+  EXPECT_NE(json_check("\"bad \\x escape\""), "");
+}
+
+TEST(DesignReport, FeasibleRunIsValidJsonWithKeyFacts) {
+  const Soc soc = builtin_soc1();
+  DesignRequest request;
+  request.bus_widths = {16, 16};
+  request.p_max_mw = 1800;
+  const DesignResult result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  const TestTimeTable table(soc, 16);
+  const TamProblem problem = make_tam_problem(soc, table, {16, 16}, nullptr,
+                                              -1, 1800.0);
+  const TestSchedule schedule =
+      build_schedule(problem, result.assignment.core_to_bus);
+  const std::string json =
+      design_report_json(soc, request, result, &schedule);
+  EXPECT_EQ(json_check(json), "") << json;
+  EXPECT_NE(json.find("\"soc\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_time_cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"p_max_mw\""), std::string::npos);
+  EXPECT_NE(json.find("\"schedule\""), std::string::npos);
+  EXPECT_NE(json.find("s38417"), std::string::npos);
+}
+
+TEST(DesignReport, InfeasibleRunIsShortButValid) {
+  const Soc soc = builtin_soc2();
+  DesignRequest request;
+  request.bus_widths = {8, 8};
+  DesignResult result;  // infeasible default
+  const std::string json = design_report_json(soc, request, result);
+  EXPECT_EQ(json_check(json), "");
+  EXPECT_NE(json.find("\"feasible\":false"), std::string::npos);
+  EXPECT_EQ(json.find("\"buses\""), std::string::npos);
+}
+
+TEST(DesignReport, LayoutRunIncludesWirelength) {
+  const Soc soc = builtin_soc1();
+  DesignRequest request;
+  request.bus_widths = {16, 16, 16};
+  request.d_max = 30;
+  const DesignResult result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  const std::string json = design_report_json(soc, request, result);
+  EXPECT_EQ(json_check(json), "");
+  EXPECT_NE(json.find("\"stub_wirelength\""), std::string::npos);
+  EXPECT_NE(json.find("\"d_max\":30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

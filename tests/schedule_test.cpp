@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "sched/gantt.hpp"
+#include "sched/schedule.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+TamProblem small_problem() {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{40, 40}, {30, 30}, {20, 20}, {10, 10}};
+  p.allowed.assign(4, {1, 1});
+  return p;
+}
+
+TEST(Schedule, BackToBackPerBus) {
+  const TamProblem p = small_problem();
+  const std::vector<int> assignment{0, 1, 0, 1};
+  const TestSchedule s = build_schedule(p, assignment);
+  EXPECT_EQ(s.validate(p, assignment), "");
+  EXPECT_EQ(s.makespan, 60);  // bus0: 40+20, bus1: 30+10
+  const auto bus0 = s.bus_tests(0);
+  ASSERT_EQ(bus0.size(), 2u);
+  EXPECT_EQ(bus0[0].start, 0);
+  EXPECT_EQ(bus0[0].end, 40);
+  EXPECT_EQ(bus0[1].start, 40);
+  EXPECT_EQ(bus0[1].end, 60);
+}
+
+TEST(Schedule, DefaultOrderIsLongestFirst) {
+  const TamProblem p = small_problem();
+  const std::vector<int> assignment{0, 0, 0, 0};
+  const TestSchedule s = build_schedule(p, assignment);
+  const auto tests = s.bus_tests(0);
+  ASSERT_EQ(tests.size(), 4u);
+  for (std::size_t k = 1; k < tests.size(); ++k) {
+    EXPECT_GE(tests[k - 1].end - tests[k - 1].start,
+              tests[k].end - tests[k].start);
+  }
+}
+
+TEST(Schedule, MakespanMatchesProblem) {
+  Rng rng(3);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 7;
+  options.num_buses = 3;
+  const TamProblem p = testutil::random_problem(rng, options);
+  const auto r = solve_exact(p);
+  ASSERT_TRUE(r.feasible);
+  const TestSchedule s = build_schedule(p, r.assignment.core_to_bus);
+  EXPECT_EQ(s.makespan, r.assignment.makespan);
+  EXPECT_EQ(s.validate(p, r.assignment.core_to_bus), "");
+}
+
+TEST(Schedule, ExplicitOrderRespected) {
+  const TamProblem p = small_problem();
+  const std::vector<int> assignment{0, 0, 0, 0};
+  const std::vector<std::vector<std::size_t>> orders{{3, 1, 0, 2}, {}};
+  const TestSchedule s = build_schedule(p, assignment, orders);
+  const auto tests = s.bus_tests(0);
+  ASSERT_EQ(tests.size(), 4u);
+  EXPECT_EQ(tests[0].core, 3u);
+  EXPECT_EQ(tests[1].core, 1u);
+  EXPECT_EQ(tests[2].core, 0u);
+  EXPECT_EQ(tests[3].core, 2u);
+  EXPECT_EQ(s.validate(p, assignment), "");
+}
+
+TEST(Schedule, ExplicitOrderContradictionsThrow) {
+  const TamProblem p = small_problem();
+  const std::vector<int> assignment{0, 0, 1, 1};
+  // Core 2 listed on bus 0 though assigned to bus 1.
+  EXPECT_THROW(build_schedule(p, assignment, {{0, 1, 2}, {3}}),
+               std::invalid_argument);
+  // Missing core 1 on bus 0.
+  EXPECT_THROW(build_schedule(p, assignment, {{0}, {2, 3}}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, AssignmentSizeMismatchThrows) {
+  const TamProblem p = small_problem();
+  EXPECT_THROW(build_schedule(p, {0, 1}), std::invalid_argument);
+}
+
+TEST(Schedule, ValidateCatchesTampering) {
+  const TamProblem p = small_problem();
+  const std::vector<int> assignment{0, 1, 0, 1};
+  TestSchedule s = build_schedule(p, assignment);
+  s.tests[0].end += 5;  // wrong duration
+  EXPECT_NE(s.validate(p, assignment), "");
+}
+
+TEST(Gantt, RendersOneRowPerBus) {
+  const TamProblem p = small_problem();
+  const Soc soc = builtin_soc2();  // only names are used; 4 cores needed
+  const std::vector<int> assignment{0, 1, 0, 1};
+  const TestSchedule s = build_schedule(p, assignment);
+  const std::string art = render_gantt(soc, s, 40);
+  EXPECT_NE(art.find("bus 0"), std::string::npos);
+  EXPECT_NE(art.find("bus 1"), std::string::npos);
+  EXPECT_NE(art.find("cycles"), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleHandled) {
+  const Soc soc = builtin_soc2();
+  EXPECT_EQ(render_gantt(soc, TestSchedule{}), "(empty schedule)\n");
+}
+
+TEST(PowerPlot, DrawsBudgetLineAndArea) {
+  const Soc soc = builtin_soc2();
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{40, 40}, {30, 30}, {20, 20}, {10, 10}};
+  p.allowed.assign(4, {1, 1});
+  const TestSchedule s = build_schedule(p, {0, 1, 0, 1});
+  const std::string art = render_power_profile(soc, s, 900.0, 40, 6);
+  EXPECT_NE(art.find("<- budget"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("[mW]"), std::string::npos);
+  EXPECT_NE(art.find("cycles"), std::string::npos);
+}
+
+TEST(PowerPlot, NoBudgetLineWhenUnbounded) {
+  const Soc soc = builtin_soc2();
+  TamProblem p;
+  p.bus_widths = {8};
+  p.time = {{40}};
+  p.allowed = {{1}};
+  const TestSchedule s = build_schedule(p, {0});
+  const std::string art = render_power_profile(soc, s, -1.0, 30, 5);
+  EXPECT_EQ(art.find("<- budget"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(PowerPlot, EmptyScheduleHandled) {
+  const Soc soc = builtin_soc2();
+  EXPECT_EQ(render_power_profile(soc, TestSchedule{}), "(empty schedule)\n");
+}
+
+}  // namespace
+}  // namespace soctest

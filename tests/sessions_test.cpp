@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/sessions.hpp"
+#include "soc/builtin.hpp"
+
+namespace soctest {
+namespace {
+
+/// Exhaustive reference over all set partitions (small N): minimal sum of
+/// session maxima under the per-session power budget.
+Cycles brute_force_sessions(const std::vector<Cycles>& times,
+                            const std::vector<double>& powers, double p_max) {
+  const std::size_t n = times.size();
+  std::vector<int> block(n, 0);
+  Cycles best = -1;
+  // Enumerate restricted growth strings (canonical set partitions).
+  std::function<void(std::size_t, int)> recurse = [&](std::size_t k, int max_block) {
+    if (k == n) {
+      std::vector<Cycles> session_max(static_cast<std::size_t>(max_block) + 1, 0);
+      std::vector<double> session_power(static_cast<std::size_t>(max_block) + 1, 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto b = static_cast<std::size_t>(block[i]);
+        session_max[b] = std::max(session_max[b], times[i]);
+        session_power[b] += powers[i];
+      }
+      Cycles total = 0;
+      for (std::size_t b = 0; b <= static_cast<std::size_t>(max_block); ++b) {
+        if (p_max >= 0 && session_power[b] > p_max + 1e-9) return;
+        total += session_max[b];
+      }
+      if (best < 0 || total < best) best = total;
+      return;
+    }
+    for (int b = 0; b <= max_block + 1; ++b) {
+      block[k] = b;
+      recurse(k + 1, std::max(max_block, b));
+    }
+  };
+  recurse(0, -1);
+  return best;
+}
+
+TEST(Sessions, NoBudgetOneSession) {
+  const auto r = schedule_sessions_exact({50, 30, 20}, {100, 100, 100}, -1);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.schedule.total_time, 50);  // all concurrent
+  EXPECT_EQ(r.schedule.sessions.size(), 1u);
+}
+
+TEST(Sessions, BudgetForcesSplit) {
+  // Budget 250: at most two 100 mW cores per session... 2*100+?=300>250,
+  // so sessions of <=2 cores.
+  const auto r = schedule_sessions_exact({50, 30, 20}, {100, 100, 100}, 250);
+  ASSERT_TRUE(r.feasible);
+  // Optimal: {50,30} (200mW) + {20} -> 70; or {50,20}+{30} -> 80. Best 70.
+  EXPECT_EQ(r.schedule.total_time, 70);
+  EXPECT_EQ(check_sessions({50, 30, 20}, {100, 100, 100}, 250, r.schedule), "");
+}
+
+TEST(Sessions, UntestableCoreInfeasible) {
+  EXPECT_FALSE(schedule_sessions_exact({10}, {900}, 500).feasible);
+  EXPECT_FALSE(schedule_sessions_greedy({10}, {900}, 500).feasible);
+}
+
+TEST(Sessions, GreedyNeverBeatsExact) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<Cycles> times;
+    std::vector<double> powers;
+    for (int i = 0; i < 9; ++i) {
+      times.push_back(rng.uniform_int(10, 300));
+      powers.push_back(rng.uniform(50, 400));
+    }
+    const double budget = rng.uniform(450, 900);
+    const auto exact = schedule_sessions_exact(times, powers, budget);
+    const auto greedy = schedule_sessions_greedy(times, powers, budget);
+    ASSERT_TRUE(exact.feasible && greedy.feasible);
+    EXPECT_GE(greedy.schedule.total_time, exact.schedule.total_time);
+    EXPECT_EQ(check_sessions(times, powers, budget, greedy.schedule), "");
+  }
+}
+
+TEST(Sessions, ExactMatchesBruteForce) {
+  Rng rng(7);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<Cycles> times;
+    std::vector<double> powers;
+    for (int i = 0; i < 7; ++i) {
+      times.push_back(rng.uniform_int(10, 200));
+      powers.push_back(rng.uniform(50, 400));
+    }
+    const double budget = rng.uniform(420, 800);
+    const auto exact = schedule_sessions_exact(times, powers, budget);
+    const Cycles brute = brute_force_sessions(times, powers, budget);
+    ASSERT_TRUE(exact.feasible);
+    EXPECT_EQ(exact.schedule.total_time, brute) << "trial " << trial;
+    EXPECT_EQ(check_sessions(times, powers, budget, exact.schedule), "");
+  }
+}
+
+TEST(Sessions, CheckCatchesViolations) {
+  SessionSchedule bad;
+  bad.sessions = {{0, 1}, {1}};  // core 1 twice, core 2 missing
+  bad.total_time = 0;
+  EXPECT_NE(check_sessions({10, 20, 30}, {1, 1, 1}, -1, bad), "");
+}
+
+TEST(Sessions, Soc1EndToEnd) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  const auto times = session_times(soc, table, 16);
+  const auto powers = session_powers(soc);
+  const auto r = schedule_sessions_exact(times, powers, 2000);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.proved_optimal);
+  EXPECT_EQ(check_sessions(times, powers, 2000, r.schedule), "");
+  // Tighter budgets cost time.
+  const auto tight = schedule_sessions_exact(times, powers, 1400);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_GE(tight.schedule.total_time, r.schedule.total_time);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ilp/simplex.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(Simplex, TrivialBoundsOnly) {
+  LinearProgram lp;
+  lp.add_variable("x", 2.0, 10.0, VarKind::kContinuous, 1.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVarMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative).
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0, kInf, VarKind::kContinuous, -3.0);
+  const int y = lp.add_variable("y", 0, kInf, VarKind::kContinuous, -5.0);
+  lp.add_row("r1", {{x, 1.0}}, RowSense::kLe, 4.0);
+  lp.add_row("r2", {{y, 2.0}}, RowSense::kLe, 12.0);
+  lp.add_row("r3", {{x, 3.0}, {y, 2.0}}, RowSense::kLe, 18.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -36.0, 1e-7);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + y = 5, x - y >= 1.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0, kInf, VarKind::kContinuous, 1.0);
+  const int y = lp.add_variable("y", 0, kInf, VarKind::kContinuous, 1.0);
+  lp.add_row("sum", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 5.0);
+  lp.add_row("gap", {{x, 1.0}, {y, -1.0}}, RowSense::kGe, 1.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualBinding) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> optimum at x=4-? actually x=4,y=0
+  // has cost 8; x=1,y=3 has cost 11; best is y=0, x=4 -> 8.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 1.0, kInf, VarKind::kContinuous, 2.0);
+  const int y = lp.add_variable("y", 0.0, kInf, VarKind::kContinuous, 3.0);
+  lp.add_row("cover", {{x, 1.0}, {y, 1.0}}, RowSense::kGe, 4.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 8.0, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, 1.0, VarKind::kContinuous, 1.0);
+  lp.add_row("impossible", {{x, 1.0}}, RowSense::kGe, 2.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsContradictoryEqualities) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, kInf, VarKind::kContinuous, 0.0);
+  const int y = lp.add_variable("y", 0.0, kInf, VarKind::kContinuous, 0.0);
+  lp.add_row("a", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 3.0);
+  lp.add_row("b", {{x, 1.0}, {y, 1.0}}, RowSense::kEq, 4.0);
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp;
+  lp.add_variable("x", 0.0, kInf, VarKind::kContinuous, -1.0);  // min -x
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RedundantRowsHandled) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, kInf, VarKind::kContinuous, 1.0);
+  lp.add_row("a", {{x, 1.0}}, RowSense::kEq, 2.0);
+  lp.add_row("b", {{x, 2.0}}, RowSense::kEq, 4.0);  // same hyperplane
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[static_cast<std::size_t>(x)], 2.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple constraints meeting at the same vertex: Bland's rule must not
+  // cycle.
+  LinearProgram lp;
+  const int x = lp.add_variable("x", 0.0, kInf, VarKind::kContinuous, -1.0);
+  const int y = lp.add_variable("y", 0.0, kInf, VarKind::kContinuous, -1.0);
+  lp.add_row("a", {{x, 1.0}, {y, 1.0}}, RowSense::kLe, 1.0);
+  lp.add_row("b", {{x, 1.0}}, RowSense::kLe, 1.0);
+  lp.add_row("c", {{y, 1.0}}, RowSense::kLe, 1.0);
+  lp.add_row("d", {{x, 2.0}, {y, 1.0}}, RowSense::kLe, 2.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -1.0, 1e-7);
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic example makes naive Dantzig-rule simplex cycle forever;
+  // Bland's rule must terminate at the optimum -1/20.
+  LinearProgram lp;
+  const int x1 = lp.add_variable("x1", 0, kInf, VarKind::kContinuous, -0.75);
+  const int x2 = lp.add_variable("x2", 0, kInf, VarKind::kContinuous, 150.0);
+  const int x3 = lp.add_variable("x3", 0, kInf, VarKind::kContinuous, -0.02);
+  const int x4 = lp.add_variable("x4", 0, kInf, VarKind::kContinuous, 6.0);
+  lp.add_row("r1", {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+             RowSense::kLe, 0.0);
+  lp.add_row("r2", {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+             RowSense::kLe, 0.0);
+  lp.add_row("r3", {{x3, 1.0}}, RowSense::kLe, 1.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-9);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  LinearProgram lp;
+  const int x = lp.add_variable("x", -5.0, 5.0, VarKind::kContinuous, 1.0);
+  const int y = lp.add_variable("y", -5.0, 5.0, VarKind::kContinuous, 1.0);
+  lp.add_row("a", {{x, 1.0}, {y, 1.0}}, RowSense::kGe, -4.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -4.0, 1e-7);
+}
+
+TEST(Simplex, InfiniteLowerBoundRejected) {
+  LinearProgram lp;
+  lp.add_variable("x", -kInf, 0.0, VarKind::kContinuous, 1.0);
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+}
+
+TEST(Simplex, SolutionSatisfiesModel) {
+  LinearProgram lp;
+  const int a = lp.add_variable("a", 0, 10, VarKind::kContinuous, 2.0);
+  const int b = lp.add_variable("b", 0, 10, VarKind::kContinuous, -1.0);
+  const int c = lp.add_variable("c", 1, 4, VarKind::kContinuous, 0.5);
+  lp.add_row("r1", {{a, 1.0}, {b, 2.0}, {c, -1.0}}, RowSense::kLe, 7.0);
+  lp.add_row("r2", {{a, 3.0}, {b, -1.0}}, RowSense::kGe, -2.0);
+  lp.add_row("r3", {{b, 1.0}, {c, 1.0}}, RowSense::kLe, 9.0);
+  const auto r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_TRUE(lp.is_feasible(r.x, 1e-6));
+}
+
+/// Property test: on random bounded LPs, the simplex optimum must be
+/// feasible and no random feasible sample may beat it.
+class SimplexRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandom, OptimumDominatesRandomFeasiblePoints) {
+  Rng rng(GetParam());
+  LinearProgram lp;
+  const int n = 3;
+  for (int i = 0; i < n; ++i) {
+    lp.add_variable("v" + std::to_string(i), 0.0, 10.0, VarKind::kContinuous,
+                    rng.uniform(-2.0, 2.0));
+  }
+  const int rows = 4;
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> coeffs;
+    for (int i = 0; i < n; ++i) coeffs.emplace_back(i, rng.uniform(-1.0, 2.0));
+    // RHS chosen so the origin-ish region stays feasible often.
+    lp.add_row("r" + std::to_string(r), std::move(coeffs), RowSense::kLe,
+               rng.uniform(5.0, 25.0));
+  }
+  const auto result = solve_lp(lp);
+  if (result.status != LpStatus::kOptimal) {
+    // Random rows can make the box infeasible only if some row forbids the
+    // whole box; accept but verify the claim with sampling.
+    ASSERT_EQ(result.status, LpStatus::kInfeasible);
+  }
+  int feasible_samples = 0;
+  for (int s = 0; s < 3000; ++s) {
+    std::vector<double> x;
+    for (int i = 0; i < n; ++i) x.push_back(rng.uniform(0.0, 10.0));
+    if (!lp.is_feasible(x, 1e-9)) continue;
+    ++feasible_samples;
+    ASSERT_EQ(result.status, LpStatus::kOptimal)
+        << "sampled a feasible point for an 'infeasible' LP";
+    EXPECT_GE(lp.objective_value(x), result.objective - 1e-6);
+  }
+  if (result.status == LpStatus::kOptimal) {
+    EXPECT_TRUE(lp.is_feasible(result.x, 1e-6));
+    (void)feasible_samples;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace soctest

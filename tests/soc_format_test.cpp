@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "soc/soc_format.hpp"
+
+namespace soctest {
+namespace {
+
+const char* kMinimal = R"(
+# a tiny SOC
+soc tiny 10 10
+core a inputs 3 outputs 2 bidirs 1 patterns 5 power 12.5 size 2 2
+core b inputs 1 outputs 1 bidirs 0 patterns 7 power 3 size 3 3
+scan b 4 4 5
+end
+)";
+
+TEST(SocFormat, ParsesMinimal) {
+  const Soc soc = read_soc_string(kMinimal);
+  EXPECT_EQ(soc.name(), "tiny");
+  EXPECT_EQ(soc.die_width(), 10);
+  ASSERT_EQ(soc.num_cores(), 2u);
+  EXPECT_EQ(soc.core(0).num_inputs, 3);
+  EXPECT_EQ(soc.core(0).num_bidirs, 1);
+  EXPECT_DOUBLE_EQ(soc.core(0).test_power_mw, 12.5);
+  EXPECT_EQ(soc.core(1).scan_chain_lengths, (std::vector<int>{4, 4, 5}));
+  EXPECT_FALSE(soc.has_placement());
+}
+
+TEST(SocFormat, ParsesPlacements) {
+  const std::string text =
+      "soc t 10 10\n"
+      "core a inputs 1 outputs 1 patterns 2 power 1 size 2 2\n"
+      "core b inputs 1 outputs 1 patterns 2 power 1 size 2 2\n"
+      "place a 0 0\nplace b 5 5\nend\n";
+  const Soc soc = read_soc_string(text);
+  ASSERT_TRUE(soc.has_placement());
+  EXPECT_EQ(soc.placement(0).origin, (Point{0, 0}));
+  EXPECT_EQ(soc.placement(1).origin, (Point{5, 5}));
+}
+
+TEST(SocFormat, RoundTripBuiltin1) {
+  const Soc original = builtin_soc1();
+  const Soc parsed = read_soc_string(write_soc(original));
+  ASSERT_EQ(parsed.num_cores(), original.num_cores());
+  EXPECT_EQ(parsed.name(), original.name());
+  EXPECT_EQ(parsed.die_width(), original.die_width());
+  for (std::size_t i = 0; i < original.num_cores(); ++i) {
+    EXPECT_EQ(parsed.core(i).name, original.core(i).name);
+    EXPECT_EQ(parsed.core(i).num_inputs, original.core(i).num_inputs);
+    EXPECT_EQ(parsed.core(i).num_outputs, original.core(i).num_outputs);
+    EXPECT_EQ(parsed.core(i).num_patterns, original.core(i).num_patterns);
+    EXPECT_EQ(parsed.core(i).scan_chain_lengths, original.core(i).scan_chain_lengths);
+    EXPECT_EQ(parsed.placement(i), original.placement(i));
+  }
+}
+
+TEST(SocFormat, RoundTripBuiltin2) {
+  const Soc original = builtin_soc2();
+  const Soc parsed = read_soc_string(write_soc(original));
+  EXPECT_EQ(parsed.num_cores(), original.num_cores());
+  EXPECT_EQ(write_soc(parsed), write_soc(original));
+}
+
+TEST(SocFormatErrors, MissingSocHeader) {
+  EXPECT_THROW(read_soc_string("core a inputs 1\nend\n"), std::runtime_error);
+}
+
+TEST(SocFormatErrors, MissingEnd) {
+  EXPECT_THROW(read_soc_string("soc t 5 5\n"
+                               "core a inputs 1 outputs 1 patterns 1 power 1 size 1 1\n"),
+               std::runtime_error);
+}
+
+TEST(SocFormatErrors, DuplicateSocLine) {
+  EXPECT_THROW(read_soc_string("soc a 5 5\nsoc b 5 5\nend\n"), std::runtime_error);
+}
+
+TEST(SocFormatErrors, UnknownKeyword) {
+  EXPECT_THROW(read_soc_string("soc t 5 5\nfrobnicate\nend\n"), std::runtime_error);
+}
+
+TEST(SocFormatErrors, UnknownCoreAttribute) {
+  EXPECT_THROW(read_soc_string("soc t 5 5\ncore a wobble 3\nend\n"),
+               std::runtime_error);
+}
+
+TEST(SocFormatErrors, BadInteger) {
+  EXPECT_THROW(read_soc_string("soc t 5 x\nend\n"), std::runtime_error);
+}
+
+TEST(SocFormatErrors, TrailingGarbageInInteger) {
+  EXPECT_THROW(read_soc_string("soc t 5 5z\nend\n"), std::runtime_error);
+}
+
+TEST(SocFormatErrors, ScanForUnknownCore) {
+  EXPECT_THROW(read_soc_string("soc t 5 5\nscan ghost 3\nend\n"),
+               std::runtime_error);
+}
+
+TEST(SocFormatErrors, PlaceForUnknownCore) {
+  EXPECT_THROW(read_soc_string("soc t 5 5\nplace ghost 0 0\nend\n"),
+               std::runtime_error);
+}
+
+TEST(SocFormatErrors, PartialPlacementRejected) {
+  const std::string text =
+      "soc t 10 10\n"
+      "core a inputs 1 outputs 1 patterns 2 power 1 size 2 2\n"
+      "core b inputs 1 outputs 1 patterns 2 power 1 size 2 2\n"
+      "place a 0 0\nend\n";
+  EXPECT_THROW(read_soc_string(text), std::runtime_error);
+}
+
+TEST(SocFormatErrors, ContentAfterEnd) {
+  EXPECT_THROW(read_soc_string("soc t 5 5\n"
+                               "core a inputs 1 outputs 1 patterns 1 power 1 size 1 1\n"
+                               "end\ncore b inputs 1\n"),
+               std::runtime_error);
+}
+
+TEST(SocFormatErrors, InvalidSocRejected) {
+  // Overlapping placement parses but fails semantic validation.
+  const std::string text =
+      "soc t 10 10\n"
+      "core a inputs 1 outputs 1 patterns 2 power 1 size 3 3\n"
+      "core b inputs 1 outputs 1 patterns 2 power 1 size 3 3\n"
+      "place a 0 0\nplace b 1 1\nend\n";
+  EXPECT_THROW(read_soc_string(text), std::runtime_error);
+}
+
+TEST(SocFormatErrors, MissingFileThrows) {
+  EXPECT_THROW(read_soc_file("/nonexistent/path.soc"), std::runtime_error);
+}
+
+TEST(SocFormat, SoftScanRoundTrips) {
+  const std::string text =
+      "soc t 10 10\n"
+      "core a inputs 4 outputs 4 patterns 5 power 10 size 2 2\n"
+      "softscan a 128\n"
+      "end\n";
+  const Soc soc = read_soc_string(text);
+  EXPECT_EQ(soc.core(0).soft_scan_flops, 128);
+  EXPECT_EQ(soc.core(0).total_scan_flops(), 128);
+  const Soc again = read_soc_string(write_soc(soc));
+  EXPECT_EQ(again.core(0).soft_scan_flops, 128);
+}
+
+TEST(SocFormatErrors, SoftScanUnknownCore) {
+  EXPECT_THROW(read_soc_string("soc t 5 5\nsoftscan ghost 8\nend\n"),
+               std::runtime_error);
+}
+
+TEST(SocFormat, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header comment\n\n"
+      "soc t 5 5   # trailing comment\n"
+      "core a inputs 1 outputs 1 patterns 1 power 1 size 1 1\n"
+      "\n# another\nend\n";
+  EXPECT_EQ(read_soc_string(text).num_cores(), 1u);
+}
+
+}  // namespace
+}  // namespace soctest

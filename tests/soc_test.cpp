@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+namespace {
+
+Core valid_core() {
+  Core c;
+  c.name = "c";
+  c.num_inputs = 4;
+  c.num_outputs = 3;
+  c.num_patterns = 10;
+  c.test_power_mw = 100;
+  c.width = 2;
+  c.height = 2;
+  return c;
+}
+
+TEST(Core, ScanElementCounts) {
+  Core c = valid_core();
+  c.num_bidirs = 2;
+  c.scan_chain_lengths = {5, 7};
+  EXPECT_EQ(c.total_scan_flops(), 12);
+  EXPECT_EQ(c.scan_in_elements(), 12 + 4 + 2);
+  EXPECT_EQ(c.scan_out_elements(), 12 + 3 + 2);
+}
+
+TEST(Core, ValidateAcceptsGoodCore) { EXPECT_EQ(valid_core().validate(), ""); }
+
+TEST(Core, ValidateRejectsEmptyName) {
+  Core c = valid_core();
+  c.name = "";
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Core, ValidateRejectsZeroPatterns) {
+  Core c = valid_core();
+  c.num_patterns = 0;
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Core, ValidateRejectsNegativePower) {
+  Core c = valid_core();
+  c.test_power_mw = -1;
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Core, ValidateRejectsBadChain) {
+  Core c = valid_core();
+  c.scan_chain_lengths = {4, 0};
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Core, ValidateRejectsNoScannableInputs) {
+  Core c = valid_core();
+  c.num_inputs = 0;
+  c.num_bidirs = 0;
+  c.scan_chain_lengths.clear();
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Core, ValidateRejectsNonPositiveFootprint) {
+  Core c = valid_core();
+  c.width = 0;
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Point, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {1, 1}), 7);
+  EXPECT_EQ(manhattan({2, 2}, {2, 2}), 0);
+}
+
+TEST(Soc, AddAndFindCore) {
+  Soc soc("s", 10, 10);
+  Core c = valid_core();
+  c.name = "alpha";
+  const auto idx = soc.add_core(c);
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(soc.find_core("alpha"), std::optional<std::size_t>{0});
+  EXPECT_FALSE(soc.find_core("beta").has_value());
+}
+
+TEST(Soc, TotalTestPower) {
+  Soc soc("s", 10, 10);
+  Core a = valid_core();
+  a.name = "a";
+  a.test_power_mw = 100;
+  Core b = valid_core();
+  b.name = "b";
+  b.test_power_mw = 250;
+  soc.add_core(a);
+  soc.add_core(b);
+  EXPECT_DOUBLE_EQ(soc.total_test_power(), 350.0);
+}
+
+TEST(Soc, ValidateRejectsEmptySoc) {
+  Soc soc("s", 10, 10);
+  EXPECT_NE(soc.validate(), "");
+}
+
+TEST(Soc, ValidateRejectsDuplicateNames) {
+  Soc soc("s", 10, 10);
+  soc.add_core(valid_core());
+  soc.add_core(valid_core());
+  EXPECT_NE(soc.validate().find("duplicate"), std::string::npos);
+}
+
+TEST(Soc, ValidateRejectsPlacementOutsideDie) {
+  Soc soc("s", 5, 5);
+  soc.add_core(valid_core());
+  soc.set_placements({Placement{{4, 4}}});  // 2x2 core at (4,4) on 5x5 die
+  EXPECT_NE(soc.validate().find("outside"), std::string::npos);
+}
+
+TEST(Soc, ValidateRejectsOverlaps) {
+  Soc soc("s", 10, 10);
+  Core a = valid_core();
+  a.name = "a";
+  Core b = valid_core();
+  b.name = "b";
+  soc.add_core(a);
+  soc.add_core(b);
+  soc.set_placements({Placement{{1, 1}}, Placement{{2, 2}}});
+  EXPECT_NE(soc.validate().find("overlap"), std::string::npos);
+}
+
+TEST(Soc, ValidateAcceptsTouchingCores) {
+  Soc soc("s", 10, 10);
+  Core a = valid_core();
+  a.name = "a";
+  Core b = valid_core();
+  b.name = "b";
+  soc.add_core(a);
+  soc.add_core(b);
+  soc.set_placements({Placement{{0, 0}}, Placement{{2, 0}}});
+  EXPECT_EQ(soc.validate(), "");
+}
+
+TEST(Soc, SetPlacementsSizeMismatchThrows) {
+  Soc soc("s", 10, 10);
+  soc.add_core(valid_core());
+  EXPECT_THROW(soc.set_placements({}), std::invalid_argument);
+}
+
+TEST(Soc, AddCoreAfterPlacementThrows) {
+  Soc soc("s", 10, 10);
+  soc.add_core(valid_core());
+  soc.set_placements({Placement{{0, 0}}});
+  EXPECT_THROW(soc.add_core(valid_core()), std::logic_error);
+}
+
+TEST(BuiltinSoc, Soc1IsValidAndPlaced) {
+  const Soc soc = builtin_soc1();
+  EXPECT_EQ(soc.validate(), "");
+  EXPECT_EQ(soc.num_cores(), 10u);
+  EXPECT_TRUE(soc.has_placement());
+  EXPECT_EQ(soc.name(), "soc1");
+}
+
+TEST(BuiltinSoc, Soc2IsValidAndPlaced) {
+  const Soc soc = builtin_soc2();
+  EXPECT_EQ(soc.validate(), "");
+  EXPECT_EQ(soc.num_cores(), 6u);
+  EXPECT_TRUE(soc.has_placement());
+}
+
+TEST(BuiltinSoc, Soc1HasExpectedCores) {
+  const Soc soc = builtin_soc1();
+  EXPECT_TRUE(soc.find_core("s38417").has_value());
+  EXPECT_TRUE(soc.find_core("c6288").has_value());
+  const auto s38417 = *soc.find_core("s38417");
+  EXPECT_EQ(soc.core(s38417).total_scan_flops(), 1636);
+  EXPECT_EQ(soc.core(s38417).scan_chain_lengths.size(), 32u);
+}
+
+TEST(BuiltinSoc, Soc3IsValidAndPlaced) {
+  const Soc soc = builtin_soc3();
+  EXPECT_EQ(soc.validate(), "");
+  EXPECT_EQ(soc.num_cores(), 14u);
+  EXPECT_TRUE(soc.has_placement());
+  // Duplicated CPU cores share structure but not power.
+  const auto cpu0 = *soc.find_core("cpu0");
+  const auto cpu1 = *soc.find_core("cpu1");
+  EXPECT_EQ(soc.core(cpu0).total_scan_flops(), soc.core(cpu1).total_scan_flops());
+  EXPECT_NE(soc.core(cpu0).test_power_mw, soc.core(cpu1).test_power_mw);
+}
+
+TEST(BuiltinSoc, Soc4IsValidWithSoftCores) {
+  const Soc soc = builtin_soc4();
+  EXPECT_EQ(soc.validate(), "");
+  EXPECT_EQ(soc.num_cores(), 20u);
+  EXPECT_TRUE(soc.has_placement());
+  const auto soft0 = *soc.find_core("soft0");
+  EXPECT_EQ(soc.core(soft0).soft_scan_flops, 880);
+  EXPECT_TRUE(soc.core(soft0).scan_chain_lengths.empty());
+}
+
+TEST(BuiltinSoc, Soc1PowerValuesPositive) {
+  const Soc soc = builtin_soc1();
+  for (const auto& c : soc.cores()) EXPECT_GT(c.test_power_mw, 0.0);
+}
+
+}  // namespace
+}  // namespace soctest

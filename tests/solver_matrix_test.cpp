@@ -1,0 +1,110 @@
+// Cross-solver consistency matrix: for random instances under every
+// combination of constraint families, all four solvers must agree on
+// feasibility semantics — exact == ILP optimum, heuristics never better,
+// every returned assignment passes check_assignment.
+
+#include <gtest/gtest.h>
+
+#include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
+#include "tam/ilp_solver.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+struct ConstraintConfig {
+  const char* name;
+  bool forbid;
+  bool co_pairs;
+  bool wire;
+  bool bus_power;
+  bool depth;
+};
+
+constexpr ConstraintConfig kConfigs[] = {
+    {"none", false, false, false, false, false},
+    {"forbid", true, false, false, false, false},
+    {"cogroups", false, true, false, false, false},
+    {"wire", false, false, true, false, false},
+    {"buspower", false, false, false, true, false},
+    {"depth", false, false, false, false, true},
+    {"forbid_cogroups", true, true, false, false, false},
+    {"forbid_wire", true, false, true, false, false},
+    {"cogroups_wire", false, true, true, false, false},
+    {"buspower_depth", false, false, false, true, true},
+    {"forbid_buspower", true, false, false, true, false},
+    {"all_compatible", true, true, true, false, true},
+};
+
+class SolverMatrix
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(SolverMatrix, AllSolversConsistent) {
+  const auto [seed, config_idx] = GetParam();
+  const ConstraintConfig& config = kConfigs[config_idx];
+  Rng rng(seed * 131 + static_cast<std::uint64_t>(config_idx));
+  testutil::RandomProblemOptions options;
+  options.num_cores = 5;
+  options.num_buses = 2;
+  options.forbid_probability = config.forbid ? 0.25 : 0.0;
+  options.num_co_pairs = config.co_pairs ? 1 : 0;
+  options.with_wire_budget = config.wire;
+  options.with_bus_power = config.bus_power;
+  TamProblem p = testutil::random_problem(rng, options);
+  if (config.depth) {
+    // A cap that bites occasionally: optimum (unconstrained by depth) plus
+    // a small random slack.
+    TamProblem free_p = p;
+    free_p.bus_depth_limit = -1;
+    const auto free_r = solve_exact(free_p);
+    if (!free_r.feasible) return;  // other constraints already kill it
+    p.bus_depth_limit =
+        free_r.assignment.makespan + rng.uniform_int(0, 100);
+  }
+
+  const Cycles brute = testutil::brute_force_makespan(p);
+  const auto exact = solve_exact(p);
+  const auto ilp = solve_ilp(p);
+  const auto greedy = solve_greedy_lpt(p);
+  SaSolverOptions sa_options;
+  sa_options.seed = seed;
+  sa_options.iterations = 10000;
+  const auto sa = solve_sa(p, sa_options);
+
+  // Exact and ILP agree with the exhaustive reference.
+  ASSERT_EQ(exact.feasible, brute >= 0)
+      << config.name << " seed " << seed;
+  ASSERT_EQ(ilp.feasible, brute >= 0) << config.name << " seed " << seed;
+  if (brute < 0) {
+    EXPECT_FALSE(greedy.feasible) << config.name;
+    EXPECT_FALSE(sa.feasible) << config.name;
+    return;
+  }
+  EXPECT_EQ(exact.assignment.makespan, brute) << config.name << " seed " << seed;
+  EXPECT_EQ(ilp.assignment.makespan, brute) << config.name << " seed " << seed;
+  EXPECT_EQ(p.check_assignment(exact.assignment.core_to_bus), "");
+  EXPECT_EQ(p.check_assignment(ilp.assignment.core_to_bus), "");
+
+  // Heuristics: never better than the optimum, and valid when feasible.
+  if (greedy.feasible) {
+    EXPECT_GE(greedy.assignment.makespan, brute) << config.name;
+    EXPECT_EQ(p.check_assignment(greedy.assignment.core_to_bus), "");
+  }
+  if (sa.feasible) {
+    EXPECT_GE(sa.assignment.makespan, brute) << config.name;
+    EXPECT_EQ(p.check_assignment(sa.assignment.core_to_bus), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SolverMatrix,
+    ::testing::Combine(::testing::Range<std::uint64_t>(0, 6),
+                       ::testing::Range(0, static_cast<int>(std::size(kConfigs)))),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, int>>& info) {
+      return std::string(kConfigs[std::get<1>(info.param)].name) + "_seed" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/stub_router.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+
+namespace soctest {
+namespace {
+
+class StubRouterSoc1 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    soc_ = builtin_soc1();
+    plan_ = plan_buses(soc_, 3);
+    // A realistic assignment: the layout-free optimum.
+    const TestTimeTable table(soc_, 16);
+    const TamProblem problem = make_tam_problem(soc_, table, {16, 16, 16});
+    assignment_ = solve_exact(problem).assignment.core_to_bus;
+  }
+  Soc soc_;
+  BusPlan plan_;
+  std::vector<int> assignment_;
+};
+
+TEST_F(StubRouterSoc1, EveryStubConnectsCoreToItsTrunk) {
+  const StubRoutes routes = route_stubs(soc_, plan_, assignment_);
+  const DieGrid grid(soc_);
+  for (std::size_t i = 0; i < soc_.num_cores(); ++i) {
+    const auto& stub = routes.stubs[i];
+    ASSERT_FALSE(stub.cells.empty()) << "core " << i;
+    // Starts at an access cell of the core.
+    const auto access = grid.perimeter_access(
+        soc_.placement(i).origin, soc_.core(i).width, soc_.core(i).height);
+    EXPECT_NE(std::find(access.begin(), access.end(), stub.cells.front()),
+              access.end())
+        << "core " << i << " stub does not start at its perimeter";
+    // Ends on the assigned trunk.
+    const auto& trunk =
+        plan_.buses[static_cast<std::size_t>(assignment_[i])].trunk.cells;
+    EXPECT_NE(std::find(trunk.begin(), trunk.end(), stub.cells.back()),
+              trunk.end())
+        << "core " << i << " stub does not end on its trunk";
+    // Obstacle-free and contiguous.
+    for (std::size_t k = 0; k < stub.cells.size(); ++k) {
+      EXPECT_FALSE(grid.blocked(stub.cells[k]));
+      if (k > 0) EXPECT_EQ(manhattan(stub.cells[k - 1], stub.cells[k]), 1);
+    }
+  }
+}
+
+TEST_F(StubRouterSoc1, ShortestModeMatchesPlanDistances) {
+  StubRouterOptions options;
+  options.congestion_aware = false;
+  const StubRoutes routes = route_stubs(soc_, plan_, assignment_, options);
+  long long expect = 0;
+  for (std::size_t i = 0; i < soc_.num_cores(); ++i) {
+    // plan distance counts edges from access cell to trunk; the path has the
+    // same cells, i.e. length == distance (a 1-cell path = distance 0).
+    EXPECT_EQ(routes.stubs[i].length(),
+              plan_.distance(i, static_cast<std::size_t>(assignment_[i])))
+        << "core " << i;
+    expect += plan_.distance(i, static_cast<std::size_t>(assignment_[i]));
+  }
+  EXPECT_EQ(routes.total_length, expect);
+}
+
+TEST_F(StubRouterSoc1, CongestionAwareNeverShorterThanShortest) {
+  StubRouterOptions shortest;
+  shortest.congestion_aware = false;
+  const auto a = route_stubs(soc_, plan_, assignment_, shortest);
+  const auto b = route_stubs(soc_, plan_, assignment_);
+  EXPECT_GE(b.total_length, a.total_length);
+  // ...and never more congested.
+  EXPECT_LE(b.overflow_cells, a.overflow_cells);
+}
+
+TEST_F(StubRouterSoc1, CapacityOneFlagsSharedChannels) {
+  StubRouterOptions tight;
+  tight.cell_capacity = 1;
+  const auto routes = route_stubs(soc_, plan_, assignment_, tight);
+  // Trunk cells alone hold 1 wire; any stub joining a trunk pushes a cell to
+  // 2 -> with 10 stubs there must be overflow at capacity 1.
+  EXPECT_GT(routes.overflow_cells, 0);
+}
+
+TEST_F(StubRouterSoc1, RejectsMalformedAssignments) {
+  EXPECT_THROW(route_stubs(soc_, plan_, {}), std::invalid_argument);
+  std::vector<int> bad(soc_.num_cores(), 99);
+  EXPECT_THROW(route_stubs(soc_, plan_, bad), std::invalid_argument);
+}
+
+TEST(StubRouter, RequiresPlacement) {
+  Soc soc("u", 5, 5);
+  Core c;
+  c.name = "a";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  soc.add_core(c);
+  BusPlan plan;
+  EXPECT_THROW(route_stubs(soc, plan, {0}), std::invalid_argument);
+}
+
+TEST(StubRouter, WorksOnSoc2TwoBuses) {
+  const Soc soc = builtin_soc2();
+  const BusPlan plan = plan_buses(soc, 2);
+  std::vector<int> nearest(soc.num_cores(), 0);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    if (plan.distance(i, 1) >= 0 &&
+        (plan.distance(i, 0) < 0 || plan.distance(i, 1) < plan.distance(i, 0))) {
+      nearest[i] = 1;
+    }
+  }
+  const auto routes = route_stubs(soc, plan, nearest);
+  EXPECT_EQ(routes.stubs.size(), soc.num_cores());
+  EXPECT_GE(routes.total_length, 0);
+}
+
+}  // namespace
+}  // namespace soctest

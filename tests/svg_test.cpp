@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "layout/stub_router.hpp"
+#include "report/svg.hpp"
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(XmlCheck, AcceptsWellFormed) {
+  EXPECT_EQ(xml_check("<a><b x=\"1\"/><c>text</c></a>"), "");
+  EXPECT_EQ(xml_check("<?xml version=\"1.0\"?><r/>"), "");
+  EXPECT_EQ(xml_check("<!-- comment --><r></r>"), "");
+}
+
+TEST(XmlCheck, RejectsMalformed) {
+  EXPECT_NE(xml_check("<a><b></a></b>"), "");   // crossed tags
+  EXPECT_NE(xml_check("<a>"), "");              // unclosed
+  EXPECT_NE(xml_check("<a x=\"1></a>"), "");    // unbalanced quotes... note '>' inside quote
+  EXPECT_NE(xml_check("<a"), "");               // unterminated
+}
+
+TEST(Svg, RequiresPlacement) {
+  Soc soc("u", 5, 5);
+  Core c;
+  c.name = "a";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  soc.add_core(c);
+  EXPECT_THROW(render_floorplan_svg(soc), std::invalid_argument);
+}
+
+TEST(Svg, FloorplanOnlyIsWellFormed) {
+  const Soc soc = builtin_soc1();
+  const std::string svg = render_floorplan_svg(soc);
+  EXPECT_EQ(xml_check(svg), "");
+  // One rect per core plus the die outline.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_EQ(rects, soc.num_cores() + 1);
+  EXPECT_NE(svg.find("s38417"), std::string::npos);
+}
+
+TEST(Svg, WithTrunksAndStubs) {
+  const Soc soc = builtin_soc1();
+  const BusPlan plan = plan_buses(soc, 3);
+  const TestTimeTable table(soc, 16);
+  const TamProblem problem = make_tam_problem(soc, table, {16, 16, 16});
+  const auto solved = solve_exact(problem);
+  const StubRoutes stubs =
+      route_stubs(soc, plan, solved.assignment.core_to_bus);
+  const std::string svg = render_floorplan_svg(soc, &plan, &stubs);
+  EXPECT_EQ(xml_check(svg), "");
+  // One polyline per trunk plus one per non-empty stub.
+  std::size_t polylines = 0, pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++polylines;
+    ++pos;
+  }
+  std::size_t expected = plan.num_buses();
+  for (const auto& stub : stubs.stubs) {
+    if (!stub.cells.empty()) ++expected;
+  }
+  EXPECT_EQ(polylines, expected);
+}
+
+TEST(Svg, EscapesCoreNames) {
+  Soc soc("x", 12, 12);
+  Core c;
+  c.name = "a<b>&c";
+  c.num_inputs = 1;
+  c.num_outputs = 1;
+  c.num_patterns = 1;
+  c.width = c.height = 2;
+  soc.add_core(c);
+  soc.set_placements({Placement{{1, 1}}});
+  const std::string svg = render_floorplan_svg(soc);
+  EXPECT_EQ(xml_check(svg), "");
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace soctest

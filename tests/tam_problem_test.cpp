@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/tam_problem.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+class TamProblemBuilt : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    soc_ = builtin_soc1();
+    table_.emplace(soc_, 32);
+  }
+  Soc soc_;
+  std::optional<TestTimeTable> table_;
+};
+
+TEST_F(TamProblemBuilt, UnconstrainedShapes) {
+  const TamProblem p = make_tam_problem(soc_, *table_, {16, 8, 8});
+  EXPECT_EQ(p.num_cores(), 10u);
+  EXPECT_EQ(p.num_buses(), 3u);
+  EXPECT_EQ(p.validate(), "");
+  EXPECT_TRUE(p.co_groups.empty());
+  EXPECT_TRUE(p.wire_cost.empty());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.time[i][0], table_->time(i, 16));
+    EXPECT_EQ(p.time[i][1], table_->time(i, 8));
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_TRUE(p.allowed[i][j]);
+  }
+}
+
+TEST_F(TamProblemBuilt, WidthOutsideTableThrows) {
+  EXPECT_THROW(make_tam_problem(soc_, *table_, {64, 8}), std::invalid_argument);
+  EXPECT_THROW(make_tam_problem(soc_, *table_, {0, 8}), std::invalid_argument);
+  EXPECT_THROW(make_tam_problem(soc_, *table_, {}), std::invalid_argument);
+}
+
+TEST_F(TamProblemBuilt, PowerBudgetCreatesGroups) {
+  // 1200 mW: s38417 (1144) conflicts with almost everything.
+  const TamProblem p = make_tam_problem(soc_, *table_, {8, 8}, nullptr, -1, 1500);
+  EXPECT_FALSE(p.co_groups.empty());
+}
+
+TEST_F(TamProblemBuilt, OverbudgetCoreThrows) {
+  // s38417 needs 1144 mW.
+  EXPECT_THROW(make_tam_problem(soc_, *table_, {8, 8}, nullptr, -1, 1000),
+               std::runtime_error);
+}
+
+TEST_F(TamProblemBuilt, LayoutConstraintsFlowThrough) {
+  const BusPlan plan = plan_buses(soc_, 2);
+  const LayoutConstraints layout(plan, soc_.num_cores(), -1);
+  const TamProblem p =
+      make_tam_problem(soc_, *table_, {16, 16}, &layout, 100);
+  EXPECT_FALSE(p.wire_cost.empty());
+  EXPECT_EQ(p.wire_budget, 100);
+  for (std::size_t i = 0; i < p.num_cores(); ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(static_cast<bool>(p.allowed[i][j]), layout.allowed(i, j));
+      if (layout.distance(i, j) >= 0) {
+        EXPECT_EQ(p.wire_cost[i][j], layout.distance(i, j));
+      }
+    }
+  }
+}
+
+TEST_F(TamProblemBuilt, UnconnectableCoreThrows) {
+  const BusPlan plan = plan_buses(soc_, 2);
+  const LayoutConstraints layout(plan, soc_.num_cores(), 0);
+  EXPECT_THROW(make_tam_problem(soc_, *table_, {16, 16}, &layout),
+               std::runtime_error);
+}
+
+TEST(TamProblem, MakespanComputation) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 20}, {30, 5}, {7, 7}};
+  p.allowed = {{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_EQ(p.makespan({0, 1, 0}), 17);  // bus0: 10+7, bus1: 5
+  EXPECT_EQ(p.makespan({0, 0, 0}), 47);
+  EXPECT_EQ(p.makespan({1, 1, 1}), 32);
+}
+
+TEST(TamProblem, CheckAssignmentViolations) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 20}, {30, 5}};
+  p.allowed = {{1, 0}, {1, 1}};
+  p.co_groups = {{0, 1}};
+  EXPECT_NE(p.check_assignment({0}), "");            // size mismatch
+  EXPECT_NE(p.check_assignment({0, 2}), "");         // unknown bus
+  EXPECT_NE(p.check_assignment({1, 1}), "");         // forbidden pair
+  EXPECT_NE(p.check_assignment({0, 1}), "");         // split co-group
+  EXPECT_EQ(p.check_assignment({0, 0}), "");
+}
+
+TEST(TamProblem, CheckAssignmentWireBudget) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 20}, {30, 5}};
+  p.allowed = {{1, 1}, {1, 1}};
+  p.wire_cost = {{5, 1}, {4, 9}};
+  p.wire_budget = 6;
+  EXPECT_EQ(p.check_assignment({1, 0}), "");   // 1 + 4 = 5 <= 6
+  EXPECT_NE(p.check_assignment({0, 1}), "");   // 5 + 9 = 14 > 6
+}
+
+TEST(TamProblem, ValidateCatchesShapeErrors) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{10, 20}, {30, 5}};
+  p.allowed = {{1, 1}};  // wrong row count
+  EXPECT_NE(p.validate(), "");
+  p.allowed = {{1, 1}, {1, 1}};
+  EXPECT_EQ(p.validate(), "");
+  p.co_groups = {{0}, {1}};
+  EXPECT_NE(p.validate(), "");  // group of size < 2
+  p.co_groups = {{0, 1}, {1, 0}};
+  EXPECT_NE(p.validate(), "");  // core in two groups
+}
+
+TEST(TamProblem, LowerBoundNeverExceedsOptimum) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    testutil::RandomProblemOptions options;
+    options.num_cores = 5;
+    options.num_buses = 2;
+    options.forbid_probability = 0.2;
+    const TamProblem p = testutil::random_problem(rng, options);
+    const Cycles brute = testutil::brute_force_makespan(p);
+    if (brute < 0) continue;
+    EXPECT_LE(p.lower_bound(), brute);
+  }
+}
+
+TEST(TamProblem, LowerBoundTightForSymmetricSingleCore) {
+  TamProblem p;
+  p.bus_widths = {8, 8};
+  p.time = {{100, 100}};
+  p.allowed = {{1, 1}};
+  EXPECT_EQ(p.lower_bound(), 100);
+  EXPECT_EQ(testutil::brute_force_makespan(p), 100);
+}
+
+}  // namespace
+}  // namespace soctest

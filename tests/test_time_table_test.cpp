@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+namespace {
+
+TEST(TestTimeTable, RejectsBadWidth) {
+  const Soc soc = builtin_soc2();
+  EXPECT_THROW(TestTimeTable(soc, 0), std::invalid_argument);
+  const TestTimeTable table(soc, 8);
+  EXPECT_THROW(table.time(0, 0), std::out_of_range);
+  EXPECT_THROW(table.time(0, 9), std::out_of_range);
+}
+
+TEST(TestTimeTable, MonotoneNonIncreasing) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 64);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    for (int w = 2; w <= 64; ++w) {
+      EXPECT_LE(table.time(i, w), table.time(i, w - 1))
+          << "core " << i << " width " << w;
+    }
+  }
+}
+
+TEST(TestTimeTable, EnvelopeNeverAboveRaw) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 48);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    for (int w = 1; w <= 48; ++w) {
+      EXPECT_LE(table.time(i, w), table.raw_time(i, w));
+    }
+  }
+}
+
+TEST(TestTimeTable, EffectiveWidthAchievesEnvelope) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 48);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    for (int w = 1; w <= 48; ++w) {
+      const int ew = table.effective_width(i, w);
+      EXPECT_LE(ew, w);
+      EXPECT_GE(ew, 1);
+      EXPECT_EQ(table.raw_time(i, ew), table.time(i, w));
+    }
+  }
+}
+
+TEST(TestTimeTable, ParetoWidthsStrictlyImprove) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 64);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    const auto widths = table.pareto_widths(i);
+    ASSERT_FALSE(widths.empty());
+    EXPECT_EQ(widths.front(), 1);
+    for (std::size_t k = 1; k < widths.size(); ++k) {
+      EXPECT_LT(table.time(i, widths[k]), table.time(i, widths[k - 1]));
+    }
+  }
+}
+
+TEST(TestTimeTable, TotalTimeIsSum) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 16);
+  Cycles sum = 0;
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) sum += table.time(i, 16);
+  EXPECT_EQ(table.total_time(16), sum);
+}
+
+TEST(TestTimeTable, WidthOneMatchesSerialFormula) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 4);
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    const Core& c = soc.core(i);
+    const Cycles si = c.scan_in_elements();
+    const Cycles so = c.scan_out_elements();
+    const Cycles expect =
+        c.num_patterns * (1 + std::max(si, so)) + std::min(si, so);
+    EXPECT_EQ(table.time(i, 1), expect) << c.name;
+  }
+}
+
+TEST(TestTimeTable, BigCoresBenefitFromWidth) {
+  // s38417 (32 scan chains) must speed up dramatically from w=1 to w=32.
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 32);
+  const auto idx = *soc.find_core("s38417");
+  EXPECT_LT(table.time(idx, 32) * 10, table.time(idx, 1));
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,118 @@
+#pragma once
+
+// Shared helpers for the TAM solver test suites: a brute-force reference
+// solver and a random constrained-problem generator.
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tam/tam_problem.hpp"
+
+namespace soctest::testutil {
+
+/// Exhaustive reference: tries every core->bus assignment (B^N); returns the
+/// optimal makespan, or -1 when no feasible assignment exists. Keep N and B
+/// tiny.
+inline Cycles brute_force_makespan(const TamProblem& problem) {
+  const std::size_t n = problem.num_cores();
+  const std::size_t b = problem.num_buses();
+  std::vector<int> assignment(n, 0);
+  Cycles best = -1;
+  while (true) {
+    if (problem.check_assignment(assignment).empty()) {
+      const Cycles m = problem.makespan(assignment);
+      if (best < 0 || m < best) best = m;
+    }
+    // Odometer increment.
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (static_cast<std::size_t>(++assignment[pos]) < b) break;
+      assignment[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return best;
+}
+
+struct RandomProblemOptions {
+  std::size_t num_cores = 6;
+  std::size_t num_buses = 3;
+  Cycles min_time = 10, max_time = 500;
+  /// Probability that a (core, bus) pair is forbidden.
+  double forbid_probability = 0.0;
+  /// Number of co-assignment groups of size 2 to inject (disjoint).
+  int num_co_pairs = 0;
+  /// When true, attach random wire costs and a budget at ~60% of the max.
+  bool with_wire_budget = false;
+  /// When true, every bus column is identical (tests bus-symmetry pruning).
+  bool identical_buses = false;
+  /// When true, attach random core powers and a bus-max-sum budget that is
+  /// tight enough to bite but never below the largest single power.
+  bool with_bus_power = false;
+};
+
+inline TamProblem random_problem(Rng& rng, const RandomProblemOptions& options) {
+  TamProblem problem;
+  const std::size_t n = options.num_cores;
+  const std::size_t b = options.num_buses;
+  problem.bus_widths.assign(b, 8);
+  problem.time.assign(n, std::vector<Cycles>(b, 0));
+  problem.allowed.assign(n, std::vector<char>(b, 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Cycles base = rng.uniform_int(options.min_time, options.max_time);
+    for (std::size_t j = 0; j < b; ++j) {
+      problem.time[i][j] = options.identical_buses
+                               ? base
+                               : rng.uniform_int(options.min_time, options.max_time);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < b; ++j) {
+      if (rng.bernoulli(options.forbid_probability)) problem.allowed[i][j] = 0;
+    }
+    // Keep at least one allowed bus per core so instances stay feasible
+    // unless wire budgets say otherwise.
+    bool any = false;
+    for (std::size_t j = 0; j < b; ++j) any = any || problem.allowed[i][j];
+    if (!any) problem.allowed[i][rng.index(b)] = 1;
+  }
+  std::vector<std::size_t> cores(n);
+  for (std::size_t i = 0; i < n; ++i) cores[i] = i;
+  rng.shuffle(cores);
+  for (int g = 0; g < options.num_co_pairs && 2 * (g + 1) <= static_cast<int>(n); ++g) {
+    std::vector<std::size_t> group{cores[static_cast<std::size_t>(2 * g)],
+                                   cores[static_cast<std::size_t>(2 * g + 1)]};
+    std::sort(group.begin(), group.end());
+    problem.co_groups.push_back(std::move(group));
+  }
+  if (options.with_bus_power) {
+    double max_power = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      problem.core_power_mw.push_back(rng.uniform(100.0, 500.0));
+      max_power = std::max(max_power, problem.core_power_mw.back());
+    }
+    // Between "one bus worth" and "every bus maxed": guaranteed feasible
+    // (all cores on one bus) yet usually binding.
+    problem.bus_power_budget =
+        max_power * (1.0 + rng.uniform(0.2, 0.8) * static_cast<double>(b - 1));
+  }
+  if (options.with_wire_budget) {
+    problem.wire_cost.assign(n, std::vector<long long>(b, 0));
+    long long max_total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      long long worst = 0;
+      for (std::size_t j = 0; j < b; ++j) {
+        problem.wire_cost[i][j] =
+            options.identical_buses ? 3 : rng.uniform_int(0, 20);
+        worst = std::max(worst, problem.wire_cost[i][j]);
+      }
+      max_total += worst;
+    }
+    problem.wire_budget = (max_total * 3) / 5;
+  }
+  return problem;
+}
+
+}  // namespace soctest::testutil

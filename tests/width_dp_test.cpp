@@ -1,0 +1,168 @@
+// Tests for the DP width allocator and the alternating co-optimization
+// heuristic.
+
+#include <gtest/gtest.h>
+
+#include "soc/builtin.hpp"
+#include "tam/width_dp.hpp"
+#include "tam/width_partition.hpp"
+
+namespace soctest {
+namespace {
+
+/// Brute-force reference: enumerate all width partitions (ordered, since
+/// the assignment fixes which bus is which) and take the best makespan.
+WidthAllocation brute_force_widths(const TestTimeTable& table,
+                                   const std::vector<int>& core_to_bus,
+                                   int num_buses, int total_width,
+                                   Cycles depth = -1) {
+  WidthAllocation best;
+  std::vector<int> widths(static_cast<std::size_t>(num_buses), 1);
+  auto evaluate = [&](const std::vector<int>& w) {
+    Cycles makespan = 0;
+    std::vector<Cycles> load(static_cast<std::size_t>(num_buses), 0);
+    for (std::size_t i = 0; i < core_to_bus.size(); ++i) {
+      const auto j = static_cast<std::size_t>(core_to_bus[i]);
+      load[j] += table.time(i, w[j]);
+    }
+    for (Cycles l : load) {
+      if (depth >= 0 && l > depth) return static_cast<Cycles>(-1);
+      makespan = std::max(makespan, l);
+    }
+    return makespan;
+  };
+  // Odometer over widths summing to total_width.
+  std::function<void(std::size_t, int)> recurse = [&](std::size_t j, int left) {
+    if (j + 1 == widths.size()) {
+      if (left < 1 || left > table.max_width()) return;
+      widths[j] = left;
+      const Cycles m = evaluate(widths);
+      if (m >= 0 && (!best.feasible || m < best.makespan)) {
+        best.feasible = true;
+        best.makespan = m;
+        best.bus_widths = widths;
+      }
+      return;
+    }
+    for (int w = 1; w <= std::min(left - static_cast<int>(widths.size() - j - 1),
+                                  table.max_width());
+         ++w) {
+      widths[j] = w;
+      recurse(j + 1, left - w);
+    }
+  };
+  recurse(0, total_width);
+  return best;
+}
+
+TEST(WidthDp, RejectsBadArguments) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 8);
+  EXPECT_THROW(allocate_widths_dp(table, {0}, 0, 4), std::invalid_argument);
+  EXPECT_THROW(allocate_widths_dp(table, {0}, 2, 1), std::invalid_argument);
+  EXPECT_THROW(allocate_widths_dp(table, {5}, 2, 8), std::invalid_argument);
+  EXPECT_THROW(allocate_widths_dp(table, {0}, 1, 40), std::invalid_argument);
+}
+
+TEST(WidthDp, SingleBusGetsEverything) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 16);
+  std::vector<int> assignment(soc.num_cores(), 0);
+  const auto r = allocate_widths_dp(table, assignment, 1, 16);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.bus_widths, (std::vector<int>{16}));
+  EXPECT_EQ(r.makespan, table.total_time(16));
+}
+
+TEST(WidthDp, MatchesBruteForce) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 14);
+  // Several assignments, several totals.
+  const std::vector<std::vector<int>> assignments{
+      {0, 1, 0, 1, 0, 1}, {0, 0, 0, 1, 1, 1}, {1, 0, 1, 0, 0, 0}};
+  for (const auto& assignment : assignments) {
+    for (int total : {6, 10, 14}) {
+      const auto dp = allocate_widths_dp(table, assignment, 2, total);
+      const auto brute = brute_force_widths(table, assignment, 2, total);
+      ASSERT_EQ(dp.feasible, brute.feasible);
+      EXPECT_EQ(dp.makespan, brute.makespan)
+          << "total " << total;
+      int sum = 0;
+      for (int w : dp.bus_widths) {
+        EXPECT_GE(w, 1);
+        sum += w;
+      }
+      EXPECT_EQ(sum, total);
+    }
+  }
+}
+
+TEST(WidthDp, MatchesBruteForceThreeBuses) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 10);
+  const std::vector<int> assignment{0, 1, 2, 0, 1, 2};
+  for (int total : {6, 9, 12}) {
+    const auto dp = allocate_widths_dp(table, assignment, 3, total);
+    const auto brute = brute_force_widths(table, assignment, 3, total);
+    ASSERT_EQ(dp.feasible, brute.feasible) << total;
+    if (brute.feasible) EXPECT_EQ(dp.makespan, brute.makespan) << total;
+  }
+}
+
+TEST(WidthDp, DepthLimitRendersInfeasible) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 8);
+  const std::vector<int> assignment(soc.num_cores(), 0);  // all on bus 0
+  const auto free_alloc = allocate_widths_dp(table, assignment, 1, 8);
+  ASSERT_TRUE(free_alloc.feasible);
+  const auto capped = allocate_widths_dp(table, assignment, 1, 8,
+                                         free_alloc.makespan - 1);
+  EXPECT_FALSE(capped.feasible);
+  const auto slack = allocate_widths_dp(table, assignment, 1, 8,
+                                        free_alloc.makespan);
+  EXPECT_TRUE(slack.feasible);
+}
+
+TEST(Alternating, NeverBeatsExhaustiveSearch) {
+  const Soc soc = builtin_soc2();
+  for (int total : {12, 16, 24}) {
+    const TestTimeTable table(soc, total - 1);
+    const auto exhaustive = optimize_widths(soc, table, 2, total);
+    const auto alternating = optimize_alternating(soc, table, 2, total);
+    ASSERT_TRUE(exhaustive.feasible && alternating.feasible) << total;
+    EXPECT_GE(alternating.assignment.makespan, exhaustive.assignment.makespan);
+    // ...and should land close (within 10%) on these instances.
+    EXPECT_LE(static_cast<double>(alternating.assignment.makespan),
+              1.10 * static_cast<double>(exhaustive.assignment.makespan))
+        << total;
+  }
+}
+
+TEST(Alternating, ImprovesOnEqualSplitSeed) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 47);
+  const auto alternating = optimize_alternating(soc, table, 2, 48);
+  ASSERT_TRUE(alternating.feasible);
+  // Compare to solving the assignment at the fixed equal split.
+  const TamProblem equal = make_tam_problem(soc, table, {24, 24});
+  const auto equal_solved = solve_exact(equal);
+  ASSERT_TRUE(equal_solved.feasible);
+  EXPECT_LE(alternating.assignment.makespan, equal_solved.assignment.makespan);
+}
+
+TEST(Alternating, GreedyInnerModeWorks) {
+  const Soc soc = builtin_soc3();
+  const TestTimeTable table(soc, 61);
+  AlternatingOptions options;
+  options.exact_assignment = false;
+  const auto r = optimize_alternating(soc, table, 4, 64, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.bus_widths.size(), 4u);
+  int sum = 0;
+  for (int w : r.bus_widths) sum += w;
+  EXPECT_EQ(sum, 64);
+  EXPECT_FALSE(r.proved_optimal);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,27 @@
+// soctest: command-line front end for the TAM architecture designer.
+//
+//   $ soctest --soc soc1 --buses 3 --width 48 --pmax 1800 --gantt
+//   $ soctest --soc my_chip.soc --widths 16,8 --dmax 20
+//
+// See --help for the full flag reference.
+
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "cli/run.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const soctest::CliOptions options = soctest::parse_cli(args);
+    const soctest::CliResult result = soctest::run_cli(options);
+    std::fputs(result.output.c_str(), stdout);
+    return result.exit_code;
+  } catch (const std::invalid_argument& e) {
+    std::fputs(e.what(), stderr);
+    std::fputs("\n", stderr);
+    return 2;
+  }
+}
