@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_wrapper_partition.dir/abl1_wrapper_partition.cpp.o"
+  "CMakeFiles/abl1_wrapper_partition.dir/abl1_wrapper_partition.cpp.o.d"
+  "abl1_wrapper_partition"
+  "abl1_wrapper_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_wrapper_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

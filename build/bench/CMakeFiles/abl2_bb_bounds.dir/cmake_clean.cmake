@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_bb_bounds.dir/abl2_bb_bounds.cpp.o"
+  "CMakeFiles/abl2_bb_bounds.dir/abl2_bb_bounds.cpp.o.d"
+  "abl2_bb_bounds"
+  "abl2_bb_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_bb_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

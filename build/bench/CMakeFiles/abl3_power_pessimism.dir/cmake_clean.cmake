@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_power_pessimism.dir/abl3_power_pessimism.cpp.o"
+  "CMakeFiles/abl3_power_pessimism.dir/abl3_power_pessimism.cpp.o.d"
+  "abl3_power_pessimism"
+  "abl3_power_pessimism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_power_pessimism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_alternating.dir/abl4_alternating.cpp.o"
+  "CMakeFiles/abl4_alternating.dir/abl4_alternating.cpp.o.d"
+  "abl4_alternating"
+  "abl4_alternating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_alternating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

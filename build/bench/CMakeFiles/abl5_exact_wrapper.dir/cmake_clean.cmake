@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_exact_wrapper.dir/abl5_exact_wrapper.cpp.o"
+  "CMakeFiles/abl5_exact_wrapper.dir/abl5_exact_wrapper.cpp.o.d"
+  "abl5_exact_wrapper"
+  "abl5_exact_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_exact_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

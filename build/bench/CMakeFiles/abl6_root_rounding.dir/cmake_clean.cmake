@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl6_root_rounding.dir/abl6_root_rounding.cpp.o"
+  "CMakeFiles/abl6_root_rounding.dir/abl6_root_rounding.cpp.o.d"
+  "abl6_root_rounding"
+  "abl6_root_rounding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl6_root_rounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sessions.dir/fig10_sessions.cpp.o"
+  "CMakeFiles/fig10_sessions.dir/fig10_sessions.cpp.o.d"
+  "fig10_sessions"
+  "fig10_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

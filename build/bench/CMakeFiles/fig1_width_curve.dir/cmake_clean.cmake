@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_width_curve.dir/fig1_width_curve.cpp.o"
+  "CMakeFiles/fig1_width_curve.dir/fig1_width_curve.cpp.o.d"
+  "fig1_width_curve"
+  "fig1_width_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_width_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

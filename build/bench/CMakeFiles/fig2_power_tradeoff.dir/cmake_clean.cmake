@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_power_tradeoff.dir/fig2_power_tradeoff.cpp.o"
+  "CMakeFiles/fig2_power_tradeoff.dir/fig2_power_tradeoff.cpp.o.d"
+  "fig2_power_tradeoff"
+  "fig2_power_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_power_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

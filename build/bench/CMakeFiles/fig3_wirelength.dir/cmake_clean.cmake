@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wirelength.dir/fig3_wirelength.cpp.o"
+  "CMakeFiles/fig3_wirelength.dir/fig3_wirelength.cpp.o.d"
+  "fig3_wirelength"
+  "fig3_wirelength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wirelength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_idle_insertion.dir/fig4_idle_insertion.cpp.o"
+  "CMakeFiles/fig4_idle_insertion.dir/fig4_idle_insertion.cpp.o.d"
+  "fig4_idle_insertion"
+  "fig4_idle_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_idle_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

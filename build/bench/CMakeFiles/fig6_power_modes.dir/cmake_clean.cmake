@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_power_modes.dir/fig6_power_modes.cpp.o"
+  "CMakeFiles/fig6_power_modes.dir/fig6_power_modes.cpp.o.d"
+  "fig6_power_modes"
+  "fig6_power_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_power_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

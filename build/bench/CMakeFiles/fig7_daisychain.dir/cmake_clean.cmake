@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_daisychain.dir/fig7_daisychain.cpp.o"
+  "CMakeFiles/fig7_daisychain.dir/fig7_daisychain.cpp.o.d"
+  "fig7_daisychain"
+  "fig7_daisychain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_daisychain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_multisite.dir/fig8_multisite.cpp.o"
+  "CMakeFiles/fig8_multisite.dir/fig8_multisite.cpp.o.d"
+  "fig8_multisite"
+  "fig8_multisite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_multisite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_preemption.dir/fig9_preemption.cpp.o"
+  "CMakeFiles/fig9_preemption.dir/fig9_preemption.cpp.o.d"
+  "fig9_preemption"
+  "fig9_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

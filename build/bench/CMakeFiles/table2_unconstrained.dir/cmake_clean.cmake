@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_unconstrained.dir/table2_unconstrained.cpp.o"
+  "CMakeFiles/table2_unconstrained.dir/table2_unconstrained.cpp.o.d"
+  "table2_unconstrained"
+  "table2_unconstrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_unconstrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_layout.cpp" "bench/CMakeFiles/table3_layout.dir/table3_layout.cpp.o" "gcc" "bench/CMakeFiles/table3_layout.dir/table3_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/soctest_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tam/CMakeFiles/soctest_tam.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/soctest_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/soctest_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/soctest_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/soctest_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soctest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_layout.dir/table3_layout.cpp.o"
+  "CMakeFiles/table3_layout.dir/table3_layout.cpp.o.d"
+  "table3_layout"
+  "table3_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

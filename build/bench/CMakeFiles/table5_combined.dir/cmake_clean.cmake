@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_combined.dir/table5_combined.cpp.o"
+  "CMakeFiles/table5_combined.dir/table5_combined.cpp.o.d"
+  "table5_combined"
+  "table5_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

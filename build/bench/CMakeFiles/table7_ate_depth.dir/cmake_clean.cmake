@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ate_depth.dir/table7_ate_depth.cpp.o"
+  "CMakeFiles/table7_ate_depth.dir/table7_ate_depth.cpp.o.d"
+  "table7_ate_depth"
+  "table7_ate_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ate_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

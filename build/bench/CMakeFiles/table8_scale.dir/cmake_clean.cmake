@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_scale.dir/table8_scale.cpp.o"
+  "CMakeFiles/table8_scale.dir/table8_scale.cpp.o.d"
+  "table8_scale"
+  "table8_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_aware.dir/layout_aware.cpp.o"
+  "CMakeFiles/layout_aware.dir/layout_aware.cpp.o.d"
+  "layout_aware"
+  "layout_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

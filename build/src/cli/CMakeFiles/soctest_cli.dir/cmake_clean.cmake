@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_cli.dir/options.cpp.o"
+  "CMakeFiles/soctest_cli.dir/options.cpp.o.d"
+  "CMakeFiles/soctest_cli.dir/run.cpp.o"
+  "CMakeFiles/soctest_cli.dir/run.cpp.o.d"
+  "libsoctest_cli.a"
+  "libsoctest_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

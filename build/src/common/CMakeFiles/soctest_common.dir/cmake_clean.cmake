@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_common.dir/rng.cpp.o"
+  "CMakeFiles/soctest_common.dir/rng.cpp.o.d"
+  "CMakeFiles/soctest_common.dir/table.cpp.o"
+  "CMakeFiles/soctest_common.dir/table.cpp.o.d"
+  "CMakeFiles/soctest_common.dir/text.cpp.o"
+  "CMakeFiles/soctest_common.dir/text.cpp.o.d"
+  "libsoctest_common.a"
+  "libsoctest_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/soctest_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/soctest_ilp.dir/linear_program.cpp.o"
+  "CMakeFiles/soctest_ilp.dir/linear_program.cpp.o.d"
+  "CMakeFiles/soctest_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/soctest_ilp.dir/simplex.cpp.o.d"
+  "libsoctest_ilp.a"
+  "libsoctest_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

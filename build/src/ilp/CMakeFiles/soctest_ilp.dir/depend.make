@@ -1,0 +1,2 @@
+# Empty dependencies file for soctest_ilp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/bus_planner.cpp" "src/layout/CMakeFiles/soctest_layout.dir/bus_planner.cpp.o" "gcc" "src/layout/CMakeFiles/soctest_layout.dir/bus_planner.cpp.o.d"
+  "/root/repo/src/layout/constraints.cpp" "src/layout/CMakeFiles/soctest_layout.dir/constraints.cpp.o" "gcc" "src/layout/CMakeFiles/soctest_layout.dir/constraints.cpp.o.d"
+  "/root/repo/src/layout/grid.cpp" "src/layout/CMakeFiles/soctest_layout.dir/grid.cpp.o" "gcc" "src/layout/CMakeFiles/soctest_layout.dir/grid.cpp.o.d"
+  "/root/repo/src/layout/router.cpp" "src/layout/CMakeFiles/soctest_layout.dir/router.cpp.o" "gcc" "src/layout/CMakeFiles/soctest_layout.dir/router.cpp.o.d"
+  "/root/repo/src/layout/sa_placer.cpp" "src/layout/CMakeFiles/soctest_layout.dir/sa_placer.cpp.o" "gcc" "src/layout/CMakeFiles/soctest_layout.dir/sa_placer.cpp.o.d"
+  "/root/repo/src/layout/stub_router.cpp" "src/layout/CMakeFiles/soctest_layout.dir/stub_router.cpp.o" "gcc" "src/layout/CMakeFiles/soctest_layout.dir/stub_router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/soctest_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soctest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

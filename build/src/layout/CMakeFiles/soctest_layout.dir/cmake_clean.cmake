@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_layout.dir/bus_planner.cpp.o"
+  "CMakeFiles/soctest_layout.dir/bus_planner.cpp.o.d"
+  "CMakeFiles/soctest_layout.dir/constraints.cpp.o"
+  "CMakeFiles/soctest_layout.dir/constraints.cpp.o.d"
+  "CMakeFiles/soctest_layout.dir/grid.cpp.o"
+  "CMakeFiles/soctest_layout.dir/grid.cpp.o.d"
+  "CMakeFiles/soctest_layout.dir/router.cpp.o"
+  "CMakeFiles/soctest_layout.dir/router.cpp.o.d"
+  "CMakeFiles/soctest_layout.dir/sa_placer.cpp.o"
+  "CMakeFiles/soctest_layout.dir/sa_placer.cpp.o.d"
+  "CMakeFiles/soctest_layout.dir/stub_router.cpp.o"
+  "CMakeFiles/soctest_layout.dir/stub_router.cpp.o.d"
+  "libsoctest_layout.a"
+  "libsoctest_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_report.dir/design_report.cpp.o"
+  "CMakeFiles/soctest_report.dir/design_report.cpp.o.d"
+  "CMakeFiles/soctest_report.dir/json.cpp.o"
+  "CMakeFiles/soctest_report.dir/json.cpp.o.d"
+  "CMakeFiles/soctest_report.dir/svg.cpp.o"
+  "CMakeFiles/soctest_report.dir/svg.cpp.o.d"
+  "libsoctest_report.a"
+  "libsoctest_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_sched.dir/gantt.cpp.o"
+  "CMakeFiles/soctest_sched.dir/gantt.cpp.o.d"
+  "CMakeFiles/soctest_sched.dir/power_profile.cpp.o"
+  "CMakeFiles/soctest_sched.dir/power_profile.cpp.o.d"
+  "CMakeFiles/soctest_sched.dir/power_sched.cpp.o"
+  "CMakeFiles/soctest_sched.dir/power_sched.cpp.o.d"
+  "CMakeFiles/soctest_sched.dir/preemptive.cpp.o"
+  "CMakeFiles/soctest_sched.dir/preemptive.cpp.o.d"
+  "CMakeFiles/soctest_sched.dir/schedule.cpp.o"
+  "CMakeFiles/soctest_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/soctest_sched.dir/sessions.cpp.o"
+  "CMakeFiles/soctest_sched.dir/sessions.cpp.o.d"
+  "libsoctest_sched.a"
+  "libsoctest_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

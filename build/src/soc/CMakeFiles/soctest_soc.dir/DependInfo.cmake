@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/builtin.cpp" "src/soc/CMakeFiles/soctest_soc.dir/builtin.cpp.o" "gcc" "src/soc/CMakeFiles/soctest_soc.dir/builtin.cpp.o.d"
+  "/root/repo/src/soc/core.cpp" "src/soc/CMakeFiles/soctest_soc.dir/core.cpp.o" "gcc" "src/soc/CMakeFiles/soctest_soc.dir/core.cpp.o.d"
+  "/root/repo/src/soc/generator.cpp" "src/soc/CMakeFiles/soctest_soc.dir/generator.cpp.o" "gcc" "src/soc/CMakeFiles/soctest_soc.dir/generator.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/soctest_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/soctest_soc.dir/soc.cpp.o.d"
+  "/root/repo/src/soc/soc_format.cpp" "src/soc/CMakeFiles/soctest_soc.dir/soc_format.cpp.o" "gcc" "src/soc/CMakeFiles/soctest_soc.dir/soc_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/soctest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

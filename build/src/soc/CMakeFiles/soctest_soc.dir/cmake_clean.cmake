@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_soc.dir/builtin.cpp.o"
+  "CMakeFiles/soctest_soc.dir/builtin.cpp.o.d"
+  "CMakeFiles/soctest_soc.dir/core.cpp.o"
+  "CMakeFiles/soctest_soc.dir/core.cpp.o.d"
+  "CMakeFiles/soctest_soc.dir/generator.cpp.o"
+  "CMakeFiles/soctest_soc.dir/generator.cpp.o.d"
+  "CMakeFiles/soctest_soc.dir/soc.cpp.o"
+  "CMakeFiles/soctest_soc.dir/soc.cpp.o.d"
+  "CMakeFiles/soctest_soc.dir/soc_format.cpp.o"
+  "CMakeFiles/soctest_soc.dir/soc_format.cpp.o.d"
+  "libsoctest_soc.a"
+  "libsoctest_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tam/architect.cpp" "src/tam/CMakeFiles/soctest_tam.dir/architect.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/architect.cpp.o.d"
+  "/root/repo/src/tam/daisychain.cpp" "src/tam/CMakeFiles/soctest_tam.dir/daisychain.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/daisychain.cpp.o.d"
+  "/root/repo/src/tam/exact_solver.cpp" "src/tam/CMakeFiles/soctest_tam.dir/exact_solver.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/exact_solver.cpp.o.d"
+  "/root/repo/src/tam/heuristics.cpp" "src/tam/CMakeFiles/soctest_tam.dir/heuristics.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/heuristics.cpp.o.d"
+  "/root/repo/src/tam/ilp_solver.cpp" "src/tam/CMakeFiles/soctest_tam.dir/ilp_solver.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/ilp_solver.cpp.o.d"
+  "/root/repo/src/tam/multisite.cpp" "src/tam/CMakeFiles/soctest_tam.dir/multisite.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/multisite.cpp.o.d"
+  "/root/repo/src/tam/power.cpp" "src/tam/CMakeFiles/soctest_tam.dir/power.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/power.cpp.o.d"
+  "/root/repo/src/tam/tam_problem.cpp" "src/tam/CMakeFiles/soctest_tam.dir/tam_problem.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/tam_problem.cpp.o.d"
+  "/root/repo/src/tam/timing.cpp" "src/tam/CMakeFiles/soctest_tam.dir/timing.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/timing.cpp.o.d"
+  "/root/repo/src/tam/width_dp.cpp" "src/tam/CMakeFiles/soctest_tam.dir/width_dp.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/width_dp.cpp.o.d"
+  "/root/repo/src/tam/width_partition.cpp" "src/tam/CMakeFiles/soctest_tam.dir/width_partition.cpp.o" "gcc" "src/tam/CMakeFiles/soctest_tam.dir/width_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wrapper/CMakeFiles/soctest_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/soctest_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/soctest_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/soctest_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soctest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

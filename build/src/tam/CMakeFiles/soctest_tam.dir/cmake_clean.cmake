@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_tam.dir/architect.cpp.o"
+  "CMakeFiles/soctest_tam.dir/architect.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/daisychain.cpp.o"
+  "CMakeFiles/soctest_tam.dir/daisychain.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/exact_solver.cpp.o"
+  "CMakeFiles/soctest_tam.dir/exact_solver.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/heuristics.cpp.o"
+  "CMakeFiles/soctest_tam.dir/heuristics.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/ilp_solver.cpp.o"
+  "CMakeFiles/soctest_tam.dir/ilp_solver.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/multisite.cpp.o"
+  "CMakeFiles/soctest_tam.dir/multisite.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/power.cpp.o"
+  "CMakeFiles/soctest_tam.dir/power.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/tam_problem.cpp.o"
+  "CMakeFiles/soctest_tam.dir/tam_problem.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/timing.cpp.o"
+  "CMakeFiles/soctest_tam.dir/timing.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/width_dp.cpp.o"
+  "CMakeFiles/soctest_tam.dir/width_dp.cpp.o.d"
+  "CMakeFiles/soctest_tam.dir/width_partition.cpp.o"
+  "CMakeFiles/soctest_tam.dir/width_partition.cpp.o.d"
+  "libsoctest_tam.a"
+  "libsoctest_tam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_tam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

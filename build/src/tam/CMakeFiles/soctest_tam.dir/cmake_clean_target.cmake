@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoctest_tam.a"
+)

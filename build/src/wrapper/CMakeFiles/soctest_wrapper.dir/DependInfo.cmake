@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wrapper/test_time_table.cpp" "src/wrapper/CMakeFiles/soctest_wrapper.dir/test_time_table.cpp.o" "gcc" "src/wrapper/CMakeFiles/soctest_wrapper.dir/test_time_table.cpp.o.d"
+  "/root/repo/src/wrapper/wrapper.cpp" "src/wrapper/CMakeFiles/soctest_wrapper.dir/wrapper.cpp.o" "gcc" "src/wrapper/CMakeFiles/soctest_wrapper.dir/wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/soctest_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soctest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_wrapper.dir/test_time_table.cpp.o"
+  "CMakeFiles/soctest_wrapper.dir/test_time_table.cpp.o.d"
+  "CMakeFiles/soctest_wrapper.dir/wrapper.cpp.o"
+  "CMakeFiles/soctest_wrapper.dir/wrapper.cpp.o.d"
+  "libsoctest_wrapper.a"
+  "libsoctest_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_planner_test.dir/bus_planner_test.cpp.o"
+  "CMakeFiles/bus_planner_test.dir/bus_planner_test.cpp.o.d"
+  "bus_planner_test"
+  "bus_planner_test.pdb"
+  "bus_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daisychain_test.dir/daisychain_test.cpp.o"
+  "CMakeFiles/daisychain_test.dir/daisychain_test.cpp.o.d"
+  "daisychain_test"
+  "daisychain_test.pdb"
+  "daisychain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daisychain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

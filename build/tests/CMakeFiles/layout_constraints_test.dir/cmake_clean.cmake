@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_constraints_test.dir/layout_constraints_test.cpp.o"
+  "CMakeFiles/layout_constraints_test.dir/layout_constraints_test.cpp.o.d"
+  "layout_constraints_test"
+  "layout_constraints_test.pdb"
+  "layout_constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lex_solver_test.dir/lex_solver_test.cpp.o"
+  "CMakeFiles/lex_solver_test.dir/lex_solver_test.cpp.o.d"
+  "lex_solver_test"
+  "lex_solver_test.pdb"
+  "lex_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lex_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisite_test.dir/multisite_test.cpp.o"
+  "CMakeFiles/multisite_test.dir/multisite_test.cpp.o.d"
+  "multisite_test"
+  "multisite_test.pdb"
+  "multisite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

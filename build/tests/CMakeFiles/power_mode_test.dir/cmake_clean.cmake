@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_mode_test.dir/power_mode_test.cpp.o"
+  "CMakeFiles/power_mode_test.dir/power_mode_test.cpp.o.d"
+  "power_mode_test"
+  "power_mode_test.pdb"
+  "power_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

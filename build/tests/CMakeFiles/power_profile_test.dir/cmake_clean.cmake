@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_profile_test.dir/power_profile_test.cpp.o"
+  "CMakeFiles/power_profile_test.dir/power_profile_test.cpp.o.d"
+  "power_profile_test"
+  "power_profile_test.pdb"
+  "power_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_sched_test.dir/power_sched_test.cpp.o"
+  "CMakeFiles/power_sched_test.dir/power_sched_test.cpp.o.d"
+  "power_sched_test"
+  "power_sched_test.pdb"
+  "power_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/preemptive_test.cpp" "tests/CMakeFiles/preemptive_test.dir/preemptive_test.cpp.o" "gcc" "tests/CMakeFiles/preemptive_test.dir/preemptive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/soctest_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/soctest_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/soctest_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tam/CMakeFiles/soctest_tam.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/soctest_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/soctest_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/soctest_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/soctest_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/soctest_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

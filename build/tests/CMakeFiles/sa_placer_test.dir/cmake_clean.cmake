@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_placer_test.dir/sa_placer_test.cpp.o"
+  "CMakeFiles/sa_placer_test.dir/sa_placer_test.cpp.o.d"
+  "sa_placer_test"
+  "sa_placer_test.pdb"
+  "sa_placer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_placer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_format_test.dir/soc_format_test.cpp.o"
+  "CMakeFiles/soc_format_test.dir/soc_format_test.cpp.o.d"
+  "soc_format_test"
+  "soc_format_test.pdb"
+  "soc_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

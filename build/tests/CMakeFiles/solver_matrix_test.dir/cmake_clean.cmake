@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_matrix_test.dir/solver_matrix_test.cpp.o"
+  "CMakeFiles/solver_matrix_test.dir/solver_matrix_test.cpp.o.d"
+  "solver_matrix_test"
+  "solver_matrix_test.pdb"
+  "solver_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stub_router_test.dir/stub_router_test.cpp.o"
+  "CMakeFiles/stub_router_test.dir/stub_router_test.cpp.o.d"
+  "stub_router_test"
+  "stub_router_test.pdb"
+  "stub_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stub_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tam_problem_test.dir/tam_problem_test.cpp.o"
+  "CMakeFiles/tam_problem_test.dir/tam_problem_test.cpp.o.d"
+  "tam_problem_test"
+  "tam_problem_test.pdb"
+  "tam_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tam_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

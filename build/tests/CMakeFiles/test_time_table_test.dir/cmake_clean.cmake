@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_table_test.dir/test_time_table_test.cpp.o"
+  "CMakeFiles/test_time_table_test.dir/test_time_table_test.cpp.o.d"
+  "test_time_table_test"
+  "test_time_table_test.pdb"
+  "test_time_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

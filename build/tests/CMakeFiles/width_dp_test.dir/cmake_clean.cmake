@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_dp_test.dir/width_dp_test.cpp.o"
+  "CMakeFiles/width_dp_test.dir/width_dp_test.cpp.o.d"
+  "width_dp_test"
+  "width_dp_test.pdb"
+  "width_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

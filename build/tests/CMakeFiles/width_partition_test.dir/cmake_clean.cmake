@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/width_partition_test.dir/width_partition_test.cpp.o"
+  "CMakeFiles/width_partition_test.dir/width_partition_test.cpp.o.d"
+  "width_partition_test"
+  "width_partition_test.pdb"
+  "width_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/width_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soctest_tool.dir/soctest_cli.cpp.o"
+  "CMakeFiles/soctest_tool.dir/soctest_cli.cpp.o.d"
+  "soctest"
+  "soctest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soctest_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
