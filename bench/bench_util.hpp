@@ -1,9 +1,22 @@
 #pragma once
 
-// Shared helpers for the table-reproduction harness binaries.
+// Shared helpers for the table-reproduction harness binaries: wall-clock
+// timing, a threaded sweep runner (each grid cell of a table bench runs as a
+// thread-pool task), and a machine-readable JSON log merged into
+// BENCH_solvers.json / BENCH_micro.json for cross-PR perf comparisons.
 
 #include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 
 namespace soctest::benchutil {
 
@@ -24,5 +37,128 @@ class Stopwatch {
 inline std::string header(const std::string& id, const std::string& what) {
   return "==== " + id + ": " + what + " ====\n";
 }
+
+/// Worker threads for bench sweeps: SOCTEST_BENCH_THREADS overrides,
+/// otherwise the library-wide default (SOCTEST_THREADS / hardware).
+inline int sweep_threads() {
+  if (const char* env = std::getenv("SOCTEST_BENCH_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return default_thread_count();
+}
+
+/// Runs every cell of a parameter sweep as a thread-pool task and waits for
+/// all of them. Cells must write into their own preallocated output slots so
+/// table ordering stays deterministic regardless of completion order. With
+/// one worker (or one cell) the pool is skipped entirely, keeping per-cell
+/// wall-clock timings contention-free on serial runs.
+inline void run_cells(std::vector<std::function<void()>> cells,
+                      int threads = 0) {
+  threads = threads >= 1 ? threads : sweep_threads();
+  if (threads <= 1 || cells.size() <= 1) {
+    for (auto& cell : cells) cell();
+    return;
+  }
+  ThreadPool pool(static_cast<std::size_t>(threads));
+  run_tasks(pool, std::move(cells));
+}
+
+/// One JSON object, insertion-ordered. Values are pre-formatted; set()
+/// overloads handle quoting.
+class JsonRecord {
+ public:
+  JsonRecord& set(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped.push_back('\\');
+      escaped.push_back(c);
+    }
+    fields_.emplace_back(key, "\"" + escaped + "\"");
+    return *this;
+  }
+  JsonRecord& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  JsonRecord& set(const std::string& key, double value, int decimals = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRecord& set(const std::string& key, long long value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonRecord& set(const std::string& key, int value) {
+    return set(key, static_cast<long long>(value));
+  }
+  JsonRecord& set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  std::string to_json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + fields_[i].first + "\":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Accumulates the records of one bench binary and merges them into a shared
+/// JSON file. The file is an array with one record object per line; on
+/// write, lines tagged with this bench's name are replaced and every other
+/// bench's records are preserved, so the table benches can co-own
+/// BENCH_solvers.json.
+class JsonLog {
+ public:
+  explicit JsonLog(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Creates the next record, pre-tagged with the bench name. Call from the
+  /// setup (serial) phase and fill the reference inside sweep cells: deque
+  /// references stay stable, and record order follows creation order.
+  JsonRecord& record() {
+    records_.emplace_back();
+    records_.back().set("bench", bench_);
+    return records_.back();
+  }
+
+  void write(const std::string& path) const {
+    const std::string tag = "\"bench\":\"" + bench_ + "\"";
+    std::vector<std::string> lines;
+    {
+      std::ifstream in(path);
+      std::string line;
+      while (std::getline(in, line)) {
+        // Keep other benches' record lines; drop array brackets, our own
+        // stale records, and blank lines.
+        const auto start = line.find('{');
+        if (start == std::string::npos) continue;
+        if (line.find(tag) != std::string::npos) continue;
+        auto end = line.rfind('}');
+        if (end == std::string::npos || end < start) continue;
+        lines.push_back(line.substr(start, end - start + 1));
+      }
+    }
+    for (const auto& record : records_) lines.push_back(record.to_json());
+    std::ofstream out(path);
+    out << "[\n";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      out << lines[i] << (i + 1 < lines.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+  }
+
+ private:
+  std::string bench_;
+  std::deque<JsonRecord> records_;
+};
 
 }  // namespace soctest::benchutil

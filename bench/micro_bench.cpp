@@ -1,13 +1,21 @@
 // Google-benchmark microbenchmarks for the hot kernels: wrapper design,
 // test-time table construction, maze routing, simplex, and the TAM solvers.
+// Results default to machine-readable JSON in BENCH_micro.json (pass your
+// own --benchmark_out=... to override).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ilp/simplex.hpp"
 #include "soc/builtin.hpp"
 #include "soc/generator.hpp"
 #include "tam/exact_solver.hpp"
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
+#include "tam/portfolio.hpp"
 #include "wrapper/test_time_table.hpp"
 
 namespace soctest {
@@ -54,6 +62,31 @@ TamProblem sized_problem(int n) {
   return make_tam_problem(soc, table, {16, 8, 8});
 }
 
+// The admissible lower bound evaluated at every B&B node — the single
+// hottest scalar kernel of the exact solver.
+void BM_LowerBound(benchmark::State& state) {
+  const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(problem.lower_bound());
+  }
+}
+BENCHMARK(BM_LowerBound)->Arg(8)->Arg(16)->Arg(32);
+
+// Per-iteration cost of the dense-tableau simplex on the TAM ILP
+// relaxation; items/iteration puts a number on one pivot.
+void BM_SimplexIteration(benchmark::State& state) {
+  const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
+  const LinearProgram lp = build_tam_ilp(problem);
+  long long iterations = 0;
+  for (auto _ : state) {
+    const LpResult result = solve_lp(lp);
+    benchmark::DoNotOptimize(result.objective);
+    iterations += result.iterations;
+  }
+  state.SetItemsProcessed(iterations);
+}
+BENCHMARK(BM_SimplexIteration)->Arg(6)->Arg(10)->Arg(14);
+
 void BM_ExactSolver(benchmark::State& state) {
   const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -61,6 +94,16 @@ void BM_ExactSolver(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExactSolver)->Arg(8)->Arg(12)->Arg(16);
+
+// Warm-started portfolio on the same instances as BM_ExactSolver — the
+// JSON diff of the two is the warm-start speedup at micro scale.
+void BM_PortfolioSolver(benchmark::State& state) {
+  const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_portfolio(problem));
+  }
+}
+BENCHMARK(BM_PortfolioSolver)->Arg(8)->Arg(12)->Arg(16);
 
 void BM_GreedyLpt(benchmark::State& state) {
   const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
@@ -80,3 +123,27 @@ BENCHMARK(BM_IlpSolver)->Arg(6)->Arg(8);
 
 }  // namespace
 }  // namespace soctest
+
+// Custom main (instead of benchmark_main) so results land in
+// BENCH_micro.json by default; explicit --benchmark_out flags win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

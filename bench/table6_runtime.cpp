@@ -3,9 +3,15 @@
 // SOCs). Shape check: exact/ILP grow super-polynomially but stay fast at
 // paper-scale (N ~ 10); greedy/SA stay near-constant; all heuristic
 // makespans are bounded below by the exact optimum.
+//
+// Each N-cell runs as a thread-pool task (SOCTEST_BENCH_THREADS workers),
+// and every cell additionally races the portfolio against the cold exact
+// solve so the warm-start speedup lands in BENCH_solvers.json.
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
@@ -13,58 +19,174 @@
 #include "tam/exact_solver.hpp"
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
+#include "tam/portfolio.hpp"
 #include "wrapper/test_time_table.hpp"
 
 using namespace soctest;
 
+namespace {
+
+struct Cell {
+  int n = 0;
+  Cycles t_exact = 0;
+  double ms_exact = 0.0;
+  long long nodes = 0;
+  bool ilp_run = false;
+  Cycles t_ilp = 0;
+  double ms_ilp = 0.0;
+  long long ilp_nodes = 0;
+  Cycles t_greedy = 0;
+  double ms_greedy = 0.0;
+  Cycles t_sa = 0;
+  double ms_sa = 0.0;
+  // Portfolio race against the cold exact solve (same cell, so both sides
+  // see the same scheduling environment and the ratio stays honest).
+  Cycles t_portfolio = 0;
+  double ms_portfolio = 0.0;
+  long long portfolio_nodes = 0;
+  std::string winner;
+  bool match = false;  ///< portfolio returned the cold-exact assignment
+  // Root-splitting parallel exact search (threads = 8).
+  double ms_mt = 0.0;
+  long long mt_nodes = 0;
+  bool mt_match = false;
+};
+
+}  // namespace
+
 int main() {
   std::cout << benchutil::header(
       "Table 6", "solver runtime scaling on random SOCs, widths 16/8/8");
+  const std::vector<int> sizes = {6, 10, 14, 18, 22, 26, 30};
+  std::vector<Cell> cells(sizes.size());
+  benchutil::JsonLog log("table6_runtime");
+
+  std::vector<std::function<void()>> tasks;
+  std::vector<benchutil::JsonRecord*> records;
+  for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
+    records.push_back(&log.record());
+    tasks.push_back([idx, &sizes, &cells, &records] {
+      const int n = sizes[idx];
+      Cell& cell = cells[idx];
+      cell.n = n;
+      Rng rng(static_cast<std::uint64_t>(n) * 7919);
+      SocGeneratorOptions gen;
+      gen.num_cores = n;
+      gen.place = false;
+      const Soc soc = generate_soc(gen, rng);
+      const TestTimeTable table(soc, 16);
+      const TamProblem problem = make_tam_problem(soc, table, {16, 8, 8});
+
+      benchutil::Stopwatch sw_exact;
+      const auto exact = solve_exact(problem);
+      cell.ms_exact = sw_exact.ms();
+      cell.t_exact = exact.assignment.makespan;
+      cell.nodes = exact.nodes;
+
+      // The LP-based branch & bound is the paper's actual method; cap it on
+      // larger instances where the weak makespan relaxation explodes.
+      cell.ilp_run = n <= 14;
+      if (cell.ilp_run) {
+        MipOptions mip;
+        mip.max_nodes = 200000;
+        benchutil::Stopwatch sw_ilp;
+        const auto ilp = solve_ilp(problem, mip);
+        cell.ms_ilp = sw_ilp.ms();
+        cell.t_ilp = ilp.assignment.makespan;
+        cell.ilp_nodes = ilp.nodes;
+      }
+
+      benchutil::Stopwatch sw_greedy;
+      const auto greedy = solve_greedy_lpt(problem);
+      cell.ms_greedy = sw_greedy.ms();
+      cell.t_greedy = greedy.assignment.makespan;
+
+      benchutil::Stopwatch sw_sa;
+      const auto sa = solve_sa(problem);
+      cell.ms_sa = sw_sa.ms();
+      cell.t_sa = sa.assignment.makespan;
+
+      benchutil::Stopwatch sw_port;
+      const auto portfolio = solve_portfolio(problem);
+      cell.ms_portfolio = sw_port.ms();
+      cell.t_portfolio = portfolio.best.assignment.makespan;
+      cell.portfolio_nodes = portfolio.exact_nodes;
+      cell.winner = portfolio.winner;
+      cell.match = portfolio.best.assignment.core_to_bus ==
+                   exact.assignment.core_to_bus;
+
+      ExactSolverOptions mt_options;
+      mt_options.threads = 8;
+      benchutil::Stopwatch sw_mt;
+      const auto mt = solve_exact(problem, mt_options);
+      cell.ms_mt = sw_mt.ms();
+      cell.mt_nodes = mt.nodes;
+      cell.mt_match =
+          mt.assignment.core_to_bus == exact.assignment.core_to_bus;
+
+      const double speedup =
+          cell.ms_portfolio > 0.0 ? cell.ms_exact / cell.ms_portfolio : 0.0;
+      records[idx]
+          ->set("cell", "N=" + std::to_string(n))
+          .set("T_opt", static_cast<long long>(cell.t_exact))
+          .set("ms_exact_cold", cell.ms_exact)
+          .set("nodes_cold", cell.nodes)
+          .set("ms_portfolio", cell.ms_portfolio)
+          .set("nodes_portfolio", cell.portfolio_nodes)
+          .set("speedup_warm", speedup)
+          .set("winner", cell.winner)
+          .set("assignment_match", cell.match)
+          .set("threads_mt", 8)
+          .set("hardware_threads",
+               static_cast<long long>(default_thread_count()))
+          .set("ms_exact_mt", cell.ms_mt)
+          .set("nodes_mt", cell.mt_nodes)
+          .set("speedup_mt", cell.ms_mt > 0.0 ? cell.ms_exact / cell.ms_mt : 0.0)
+          .set("assignment_match_mt", cell.mt_match)
+          .set("ms_greedy", cell.ms_greedy)
+          .set("ms_sa", cell.ms_sa);
+    });
+  }
+  benchutil::run_cells(std::move(tasks));
+
   Table out({"N", "T_exact", "ms_exact", "nodes", "T_ilp", "ms_ilp",
              "ilp_nodes", "T_greedy", "ms_greedy", "T_sa", "ms_sa"});
-  for (int n : {6, 10, 14, 18, 22, 26}) {
-    Rng rng(static_cast<std::uint64_t>(n) * 7919);
-    SocGeneratorOptions gen;
-    gen.num_cores = n;
-    gen.place = false;
-    const Soc soc = generate_soc(gen, rng);
-    const TestTimeTable table(soc, 16);
-    const TamProblem problem = make_tam_problem(soc, table, {16, 8, 8});
-
-    benchutil::Stopwatch sw_exact;
-    const auto exact = solve_exact(problem);
-    const double ms_exact = sw_exact.ms();
-
-    // The LP-based branch & bound is the paper's actual method; cap it on
-    // larger instances where the weak makespan relaxation explodes.
-    MipOptions mip;
-    mip.max_nodes = 200000;
-    benchutil::Stopwatch sw_ilp;
-    const auto ilp = n <= 14 ? solve_ilp(problem, mip) : TamSolveResult{};
-    const double ms_ilp = sw_ilp.ms();
-
-    benchutil::Stopwatch sw_greedy;
-    const auto greedy = solve_greedy_lpt(problem);
-    const double ms_greedy = sw_greedy.ms();
-
-    benchutil::Stopwatch sw_sa;
-    const auto sa = solve_sa(problem);
-    const double ms_sa = sw_sa.ms();
-
+  for (const Cell& cell : cells) {
     out.row()
-        .add(n)
-        .add(exact.assignment.makespan)
-        .add(ms_exact, 2)
-        .add(exact.nodes)
-        .add(n <= 14 ? std::to_string(ilp.assignment.makespan) : std::string("-"))
-        .add(n <= 14 ? ms_ilp : 0.0, 2)
-        .add(n <= 14 ? std::to_string(ilp.nodes) : std::string("-"))
-        .add(greedy.assignment.makespan)
-        .add(ms_greedy, 3)
-        .add(sa.assignment.makespan)
-        .add(ms_sa, 2);
+        .add(cell.n)
+        .add(cell.t_exact)
+        .add(cell.ms_exact, 2)
+        .add(cell.nodes)
+        .add(cell.ilp_run ? std::to_string(cell.t_ilp) : std::string("-"))
+        .add(cell.ilp_run ? cell.ms_ilp : 0.0, 2)
+        .add(cell.ilp_run ? std::to_string(cell.ilp_nodes) : std::string("-"))
+        .add(cell.t_greedy)
+        .add(cell.ms_greedy, 3)
+        .add(cell.t_sa)
+        .add(cell.ms_sa, 2);
   }
   std::cout << out.to_ascii();
   std::cout << "\n(T in cycles; ms wall-clock; '-' = ILP skipped beyond N=14)\n\n";
+
+  Table race({"N", "ms_cold", "nodes_cold", "ms_portfolio", "speedup_warm",
+              "ms_mt8", "speedup_mt", "winner", "same_assign"});
+  for (const Cell& cell : cells) {
+    race.row()
+        .add(cell.n)
+        .add(cell.ms_exact, 2)
+        .add(cell.nodes)
+        .add(cell.ms_portfolio, 2)
+        .add(cell.ms_portfolio > 0.0 ? cell.ms_exact / cell.ms_portfolio : 0.0,
+             2)
+        .add(cell.ms_mt, 2)
+        .add(cell.ms_mt > 0.0 ? cell.ms_exact / cell.ms_mt : 0.0, 2)
+        .add(cell.winner)
+        .add(cell.match && cell.mt_match ? "yes" : "NO");
+  }
+  std::cout << "portfolio race and 8-thread root splitting vs cold exact\n"
+            << race.to_ascii() << "\n";
+
+  log.write("BENCH_solvers.json");
+  std::cout << "wrote BENCH_solvers.json\n";
   return 0;
 }

@@ -5,74 +5,218 @@
 // interactive at 20 cores for fixed widths; the width-search partition
 // count, not the assignment solve, is what explodes — which is where the
 // alternating heuristic earns its keep.
+//
+// Every grid cell (one SOC for part a, one SOC x width for part b) runs as
+// a thread-pool task, and part (a) additionally records the cold-exact vs
+// portfolio wall-clock into BENCH_solvers.json.
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "soc/builtin.hpp"
 #include "tam/exact_solver.hpp"
 #include "tam/heuristics.hpp"
+#include "tam/portfolio.hpp"
 #include "tam/width_dp.hpp"
 #include "tam/width_partition.hpp"
+#include "wrapper/test_time_table.hpp"
 
 using namespace soctest;
 
+namespace {
+
+struct FixedCell {
+  std::string soc;
+  Cycles t_exact = 0;
+  double ms = 0.0;
+  long long nodes = 0;
+  Cycles t_greedy = 0;
+  Cycles t_sa = 0;
+  double ms_portfolio = 0.0;
+  long long portfolio_nodes = 0;
+  std::string winner;
+  bool match = false;
+};
+
+struct SearchCell {
+  std::string soc;
+  int total = 0;
+  Cycles t_exh = 0;
+  double ms_exh = 0.0;
+  Cycles t_alt = 0;
+  double ms_alt = 0.0;
+};
+
+}  // namespace
+
 int main() {
   std::cout << benchutil::header("Table 8", "scaling on soc3 (14) and soc4 (20)");
+  const std::vector<Soc> socs = {builtin_soc3(), builtin_soc4()};
+  const std::vector<int> totals = {32, 64};
+
+  std::vector<FixedCell> fixed_cells(socs.size());
+  std::vector<SearchCell> search_cells(socs.size() * totals.size());
+  benchutil::JsonLog log("table8_scale");
+
+  std::vector<std::function<void()>> tasks;
+  std::vector<benchutil::JsonRecord*> records;
+  for (std::size_t s = 0; s < socs.size(); ++s) {
+    records.push_back(&log.record());
+    const std::size_t rec = records.size() - 1;
+    tasks.push_back([s, rec, &socs, &fixed_cells, &records] {
+      const Soc& soc = socs[s];
+      FixedCell& cell = fixed_cells[s];
+      cell.soc = soc.name();
+      const TestTimeTable table(soc, 24);
+      const TamProblem problem = make_tam_problem(soc, table, {24, 16, 8});
+
+      benchutil::Stopwatch sw;
+      const auto exact = solve_exact(problem);
+      cell.ms = sw.ms();
+      cell.t_exact = exact.assignment.makespan;
+      cell.nodes = exact.nodes;
+      cell.t_greedy = solve_greedy_lpt(problem).assignment.makespan;
+      cell.t_sa = solve_sa(problem).assignment.makespan;
+
+      benchutil::Stopwatch sw_port;
+      const auto portfolio = solve_portfolio(problem);
+      cell.ms_portfolio = sw_port.ms();
+      cell.portfolio_nodes = portfolio.exact_nodes;
+      cell.winner = portfolio.winner;
+      cell.match = portfolio.best.assignment.core_to_bus ==
+                   exact.assignment.core_to_bus;
+
+      records[rec]
+          ->set("cell", cell.soc + " fixed 24/16/8")
+          .set("T_opt", static_cast<long long>(cell.t_exact))
+          .set("ms_exact_cold", cell.ms)
+          .set("nodes_cold", cell.nodes)
+          .set("ms_portfolio", cell.ms_portfolio)
+          .set("nodes_portfolio", cell.portfolio_nodes)
+          .set("speedup_warm",
+               cell.ms_portfolio > 0.0 ? cell.ms / cell.ms_portfolio : 0.0)
+          .set("winner", cell.winner)
+          .set("assignment_match", cell.match);
+    });
+  }
+  for (std::size_t s = 0; s < socs.size(); ++s) {
+    for (std::size_t t = 0; t < totals.size(); ++t) {
+      records.push_back(&log.record());
+      const std::size_t rec = records.size() - 1;
+      const std::size_t slot = s * totals.size() + t;
+      tasks.push_back([s, t, slot, rec, &socs, &totals, &search_cells,
+                       &records] {
+        const Soc& soc = socs[s];
+        const int total = totals[t];
+        SearchCell& cell = search_cells[slot];
+        cell.soc = soc.name();
+        cell.total = total;
+        const TestTimeTable table(soc, total - 2);
+        benchutil::Stopwatch sw_exh;
+        const auto exhaustive = optimize_widths(soc, table, 3, total);
+        cell.ms_exh = sw_exh.ms();
+        cell.t_exh = exhaustive.assignment.makespan;
+        benchutil::Stopwatch sw_alt;
+        const auto alternating = optimize_alternating(soc, table, 3, total);
+        cell.ms_alt = sw_alt.ms();
+        cell.t_alt = alternating.assignment.makespan;
+
+        records[rec]
+            ->set("cell",
+                  cell.soc + " width-search W=" + std::to_string(total))
+            .set("T_exhaustive", static_cast<long long>(cell.t_exh))
+            .set("ms_exhaustive", cell.ms_exh)
+            .set("T_alternating", static_cast<long long>(cell.t_alt))
+            .set("ms_alternating", cell.ms_alt);
+      });
+    }
+  }
+  benchutil::run_cells(std::move(tasks));
+
+  // Sweep-level satellite measurement: every grid cell above re-derives a
+  // full TestTimeTable; the (SOC, max_width) memo makes all but the first
+  // derivation per key a lookup. Time the sweep's table-acquisition phase
+  // both ways (5 passes over the part-(b) grid, serial, cache starting
+  // cold) — this is the wall-clock the threaded sweep runner saves per run.
+  {
+    const int reps = 5;
+    Cycles sink = 0;
+    benchutil::Stopwatch sw_fresh;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const Soc& soc : socs) {
+        for (int total : totals) {
+          const TestTimeTable fresh(soc, total - 2);
+          sink += fresh.time(0, total - 2);
+        }
+      }
+    }
+    const double ms_fresh = sw_fresh.ms();
+    benchutil::Stopwatch sw_cached;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (const Soc& soc : socs) {
+        for (int total : totals) {
+          sink += cached_test_time_table(soc, total - 2).time(0, total - 2);
+        }
+      }
+    }
+    const double ms_cached = sw_cached.ms();
+    log.record()
+        .set("cell", "table_cache_sweep")
+        .set("passes", reps)
+        .set("ms_fresh", ms_fresh)
+        .set("ms_cached", ms_cached)
+        .set("speedup_cache", ms_cached > 0.0 ? ms_fresh / ms_cached : 0.0)
+        .set("checksum", static_cast<long long>(sink));
+    std::cout << "table-acquisition sweep (" << reps << " passes): fresh "
+              << ms_fresh << " ms, cached " << ms_cached << " ms\n\n";
+  }
+
   std::cout << "(a) fixed widths 24/16/8: exact vs heuristics\n";
   Table fixed({"soc", "T_exact", "ms", "nodes", "T_greedy", "greedy/opt",
-               "T_sa", "sa/opt"});
-  for (const Soc& soc : {builtin_soc3(), builtin_soc4()}) {
-    const TestTimeTable table(soc, 24);
-    const TamProblem problem = make_tam_problem(soc, table, {24, 16, 8});
-    benchutil::Stopwatch sw;
-    const auto exact = solve_exact(problem);
-    const double ms = sw.ms();
-    const auto greedy = solve_greedy_lpt(problem);
-    const auto sa = solve_sa(problem);
+               "T_sa", "sa/opt", "ms_port", "winner"});
+  for (const FixedCell& cell : fixed_cells) {
     fixed.row()
-        .add(soc.name())
-        .add(exact.assignment.makespan)
-        .add(ms, 1)
-        .add(exact.nodes)
-        .add(greedy.assignment.makespan)
-        .add(static_cast<double>(greedy.assignment.makespan) /
-                 static_cast<double>(exact.assignment.makespan),
+        .add(cell.soc)
+        .add(cell.t_exact)
+        .add(cell.ms, 1)
+        .add(cell.nodes)
+        .add(cell.t_greedy)
+        .add(static_cast<double>(cell.t_greedy) /
+                 static_cast<double>(cell.t_exact),
              3)
-        .add(sa.assignment.makespan)
-        .add(static_cast<double>(sa.assignment.makespan) /
-                 static_cast<double>(exact.assignment.makespan),
-             3);
+        .add(cell.t_sa)
+        .add(static_cast<double>(cell.t_sa) /
+                 static_cast<double>(cell.t_exact),
+             3)
+        .add(cell.ms_portfolio, 1)
+        .add(cell.winner);
   }
   std::cout << fixed.to_ascii() << "\n";
 
   std::cout << "(b) width search, B=3: exhaustive vs alternating\n";
   Table search({"soc", "W", "T_exhaustive", "ms_exh", "T_alternating",
                 "ms_alt", "gap%"});
-  for (const Soc& soc : {builtin_soc3(), builtin_soc4()}) {
-    for (int total : {32, 64}) {
-      const TestTimeTable table(soc, total - 2);
-      benchutil::Stopwatch sw_exh;
-      const auto exhaustive = optimize_widths(soc, table, 3, total);
-      const double ms_exh = sw_exh.ms();
-      benchutil::Stopwatch sw_alt;
-      const auto alternating = optimize_alternating(soc, table, 3, total);
-      const double ms_alt = sw_alt.ms();
-      search.row()
-          .add(soc.name())
-          .add(total)
-          .add(exhaustive.assignment.makespan)
-          .add(ms_exh, 1)
-          .add(alternating.assignment.makespan)
-          .add(ms_alt, 1)
-          .add(100.0 * (static_cast<double>(alternating.assignment.makespan) /
-                            static_cast<double>(exhaustive.assignment.makespan) -
-                        1.0),
-               1);
-    }
+  for (const SearchCell& cell : search_cells) {
+    search.row()
+        .add(cell.soc)
+        .add(cell.total)
+        .add(cell.t_exh)
+        .add(cell.ms_exh, 1)
+        .add(cell.t_alt)
+        .add(cell.ms_alt, 1)
+        .add(100.0 * (static_cast<double>(cell.t_alt) /
+                          static_cast<double>(cell.t_exh) -
+                      1.0),
+             1);
   }
   std::cout << search.to_ascii() << "\n";
+
+  log.write("BENCH_solvers.json");
+  std::cout << "wrote BENCH_solvers.json\n";
   return 0;
 }

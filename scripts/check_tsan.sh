@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive test suites under ThreadSanitizer and runs
+# the ctest targets labeled `tsan` (parallel exact solver, portfolio racing,
+# thread pool, shared-incumbent MIP). Opt-in: not part of the default build
+# because TSan roughly 10x-es runtime.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DSOCTEST_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j \
+  --target parallel_test exact_solver_test heuristics_test architect_test \
+           branch_and_bound_test
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"

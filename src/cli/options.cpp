@@ -94,9 +94,14 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         options.solver = InnerSolver::kGreedy;
       } else if (name == "sa") {
         options.solver = InnerSolver::kSa;
+      } else if (name == "portfolio") {
+        options.solver = InnerSolver::kPortfolio;
       } else {
         fail("--solver: unknown solver '" + name + "'");
       }
+    } else if (arg == "--threads") {
+      options.threads = to_int(value(arg), arg);
+      if (options.threads < 0) fail("--threads must be >= 0 (0 = auto)");
     } else if (arg == "--power-mode") {
       const std::string name = value(arg);
       if (name == "pairwise") {
@@ -144,7 +149,12 @@ Constraints:
   --ate-depth D         ATE vector-memory depth per TAM channel (cycles)
 
 Solving:
-  --solver S            exact | ilp | greedy | sa (default exact)
+  --solver S            exact | ilp | greedy | sa | portfolio (default exact);
+                        portfolio races greedy/SA/exact concurrently and
+                        returns the first proven-optimal (or best) result
+  --threads N           worker threads for the exact solver's parallel search
+                        and the portfolio race; 1 = serial (default), 0 = auto
+                        (hardware concurrency, SOCTEST_THREADS override)
   --idle-insertion      meet --pmax by delaying test starts instead of
                         co-assigning conflicting cores
   --gantt               draw the schedule

@@ -23,6 +23,9 @@ struct CliOptions {
   long long ate_depth = -1;
   InnerSolver solver = InnerSolver::kExact;
   PowerConstraintMode power_mode = PowerConstraintMode::kPairwiseSerialization;
+  /// Worker threads for the exact solver / portfolio race (--threads).
+  /// 1 = serial; 0 = auto (hardware concurrency, SOCTEST_THREADS override).
+  int threads = 1;
   bool gantt = false;
   bool idle_insertion = false;
   /// Emit a machine-readable JSON design report instead of the text report.

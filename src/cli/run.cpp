@@ -47,6 +47,7 @@ CliResult run_cli(const CliOptions& options) {
     request.d_max = options.d_max;
     request.wire_budget = options.wire_budget;
     request.solver = options.solver;
+    request.threads = options.threads;
     // With idle insertion, power is handled at the schedule level, so the
     // assignment itself is solved unconstrained in power.
     if (!options.idle_insertion) request.p_max_mw = options.p_max;
@@ -65,7 +66,7 @@ CliResult run_cli(const CliOptions& options) {
     // Realize the schedule.
     const int max_width = *std::max_element(design.bus_widths.begin(),
                                             design.bus_widths.end());
-    const TestTimeTable table(soc, max_width);
+    const TestTimeTable& table = cached_test_time_table(soc, max_width);
     const TamProblem problem = make_tam_problem(
         soc, table, design.bus_widths, nullptr, -1,
         options.idle_insertion ? -1.0 : options.p_max, options.power_mode);

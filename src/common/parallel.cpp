@@ -1,0 +1,26 @@
+#include "common/parallel.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace soctest {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("SOCTEST_THREADS")) {
+    try {
+      const int n = std::stoi(env);
+      if (n >= 1) return n;
+    } catch (...) {
+      // Malformed value: fall through to hardware detection.
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int resolve_thread_count(int requested) {
+  return requested >= 1 ? requested : default_thread_count();
+}
+
+}  // namespace soctest

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <atomic>
+
+namespace soctest {
+
+/// Cooperative cancellation flag shared between a controller and one or more
+/// workers. Workers poll `cancelled()` at convenient points (search nodes,
+/// annealing iterations) and unwind; the controller calls `cancel()` once.
+/// All operations are lock-free and safe to call from any thread.
+class CancellationToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Worker count for parallel components when the caller passes 0 ("auto"):
+/// the SOCTEST_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+int default_thread_count();
+
+/// Resolves a user-facing thread-count option: values >= 1 pass through,
+/// 0 (or negative) means default_thread_count().
+int resolve_thread_count(int requested);
+
+}  // namespace soctest

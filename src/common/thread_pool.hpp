@@ -1,0 +1,72 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace soctest {
+
+/// Fixed-size thread pool for CPU-bound solver and benchmark work.
+///
+/// Tasks are run FIFO by `num_threads` workers created in the constructor.
+/// `post` enqueues fire-and-forget work; `submit` additionally returns a
+/// future for the task's result (exceptions thrown by the task surface
+/// through the future). `wait_all` blocks until every task enqueued so far
+/// has finished — the pool stays usable afterwards. The destructor drains
+/// outstanding tasks before joining, so a pool can be scoped tightly around
+/// one parallel region.
+///
+/// Tasks must not block on other tasks queued in the *same* pool (classic
+/// pool deadlock); nested parallelism should use its own pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task`. The task must not throw (an escaping exception
+  /// terminates the process, as with any thread).
+  void post(std::function<void()> task);
+
+  /// Enqueues `task` and returns a future for its result.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(task));
+    std::future<R> future = packaged->get_future();
+    post([packaged]() { (*packaged)(); });
+    return future;
+  }
+
+  /// Blocks until all tasks posted so far have completed.
+  void wait_all();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience: runs every task on `pool` and waits for all of them.
+void run_tasks(ThreadPool& pool, std::vector<std::function<void()>> tasks);
+
+}  // namespace soctest

@@ -1,6 +1,7 @@
 #include "ilp/branch_and_bound.hpp"
 
 #include <cmath>
+#include <limits>
 #include <queue>
 
 namespace soctest {
@@ -78,6 +79,29 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
   double incumbent_obj = 0.0;
   std::vector<double> incumbent_x;
   result.best_bound = root.objective;
+  // True when a node was pruned purely by the racing shared incumbent: the
+  // search is then truncated, not proven infeasible.
+  bool shared_pruned = false;
+
+  // Upper bound for pruning: the tighter of our own incumbent and the racing
+  // shared one. Returns +inf when neither exists yet.
+  auto pruning_bound = [&]() -> double {
+    double bound = std::numeric_limits<double>::infinity();
+    if (have_incumbent) bound = incumbent_obj;
+    if (options.shared_incumbent) {
+      bound = std::min(
+          bound, options.shared_incumbent->load(std::memory_order_relaxed));
+    }
+    return bound;
+  };
+  auto publish_incumbent = [&](double objective) {
+    if (!options.shared_incumbent) return;
+    double cur = options.shared_incumbent->load(std::memory_order_relaxed);
+    while (objective < cur &&
+           !options.shared_incumbent->compare_exchange_weak(
+               cur, objective, std::memory_order_relaxed)) {
+    }
+  };
 
   if (options.root_rounding) {
     // Nearest-integer rounding of the root relaxation as a warm incumbent.
@@ -112,13 +136,15 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
         have_incumbent = true;
         incumbent_obj = completed.objective;
         incumbent_x = completed.x;
+        publish_incumbent(incumbent_obj);
       }
     }
   }
 
   while (!open.empty()) {
-    if (result.nodes_explored >= options.max_nodes) {
-      result.status = have_incumbent ? MipStatus::kNodeLimit : MipStatus::kNodeLimit;
+    const bool cancelled = options.cancel && options.cancel->cancelled();
+    if (cancelled || result.nodes_explored >= options.max_nodes) {
+      result.status = MipStatus::kNodeLimit;
       if (have_incumbent) {
         result.objective = incumbent_obj;
         result.x = std::move(incumbent_x);
@@ -129,8 +155,11 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
     Node node = open.top();
     open.pop();
     result.best_bound = node.lp_bound;
-    if (have_incumbent && node.lp_bound >= incumbent_obj - options.absolute_gap) {
-      break;  // best-first: all remaining nodes are at least as bad
+    const double prune_at = pruning_bound();
+    if (node.lp_bound >= prune_at - options.absolute_gap) {
+      // Best-first: all remaining nodes are at least as bad.
+      if (!have_incumbent) shared_pruned = true;
+      break;
     }
     const int branch_var =
         pick_branch_variable(lp, node.x, options.integrality_tolerance);
@@ -140,6 +169,7 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
         have_incumbent = true;
         incumbent_obj = node.lp_bound;
         incumbent_x = node.x;
+        publish_incumbent(incumbent_obj);
       }
       continue;
     }
@@ -160,7 +190,8 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
       const LpResult child = solve_node(lower, upper);
       ++result.nodes_explored;
       if (child.status != LpStatus::kOptimal) continue;  // infeasible/limit: prune
-      if (have_incumbent && child.objective >= incumbent_obj - options.absolute_gap) {
+      if (child.objective >= pruning_bound() - options.absolute_gap) {
+        if (!have_incumbent) shared_pruned = true;
         continue;
       }
       open.push(Node{child.objective, std::move(lower), std::move(upper), child.x});
@@ -173,7 +204,10 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
     result.x = std::move(incumbent_x);
     result.best_bound = incumbent_obj;
   } else {
-    result.status = MipStatus::kInfeasible;
+    // Without an incumbent of our own, pruning by the racing shared bound
+    // only shows someone else's solution is at least as good — it does not
+    // prove infeasibility.
+    result.status = shared_pruned ? MipStatus::kNodeLimit : MipStatus::kInfeasible;
   }
   return result;
 }

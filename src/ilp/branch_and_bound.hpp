@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "ilp/linear_program.hpp"
 #include "ilp/simplex.hpp"
 
@@ -31,6 +33,16 @@ struct MipOptions {
   /// reaches an equal incumbent within a node or two anyway.
   bool root_rounding = false;
   SimplexOptions simplex;
+  /// Optional cooperative cancellation (portfolio racing). When the token
+  /// fires mid-search the solver returns kNodeLimit with its incumbent.
+  const CancellationToken* cancel = nullptr;
+  /// Optional racing incumbent shared with concurrent solvers (minimization
+  /// objective value). The solver prunes nodes against min(own incumbent,
+  /// shared value) and publishes its own improvements back with a CAS-min,
+  /// so a bound found by any racer prunes all of them. When pruning by the
+  /// shared value leaves the solver without an incumbent of its own, it
+  /// reports kNodeLimit (the instance is not proven infeasible).
+  std::atomic<double>* shared_incumbent = nullptr;
 };
 
 /// Branch & bound over the integer variables of `lp`, using the simplex LP

@@ -7,6 +7,7 @@
 
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
+#include "tam/portfolio.hpp"
 
 namespace soctest {
 
@@ -35,13 +36,14 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
                             ? request.total_width - (num_buses - 1)
                             : *std::max_element(request.bus_widths.begin(),
                                                 request.bus_widths.end());
-  const TestTimeTable table(soc, std::max(1, max_width));
+  const TestTimeTable& table = cached_test_time_table(soc, std::max(1, max_width));
 
   DesignResult result;
   if (request.bus_widths.empty()) {
     WidthPartitionOptions options;
     options.solver = request.solver;
     options.max_nodes_per_solve = request.max_nodes;
+    options.threads = request.threads;
     options.power_mode = request.power_mode;
     options.bus_depth_limit = request.ate_depth_limit;
     const ArchitectureResult arch = optimize_widths(
@@ -65,6 +67,7 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
       case InnerSolver::kExact: {
         ExactSolverOptions options;
         options.max_nodes = request.max_nodes;
+        options.threads = request.threads;
         solved = solve_exact(problem, options);
         break;
       }
@@ -77,6 +80,13 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
       case InnerSolver::kSa:
         solved = solve_sa(problem);
         break;
+      case InnerSolver::kPortfolio: {
+        PortfolioOptions options;
+        options.max_nodes = request.max_nodes;
+        options.threads = request.threads;
+        solved = solve_portfolio(problem, options).best;
+        break;
+      }
     }
     result.feasible = solved.feasible;
     result.proved_optimal = solved.proved_optimal;
@@ -121,7 +131,7 @@ std::string describe_design(const Soc& soc, const DesignRequest& request,
       }
     }
     // Report the bus load via a second pass with the test time table.
-    const TestTimeTable table(soc, result.bus_widths[j]);
+    const TestTimeTable& table = cached_test_time_table(soc, result.bus_widths[j]);
     for (std::size_t i = 0; i < soc.num_cores(); ++i) {
       if (result.assignment.core_to_bus[i] == static_cast<int>(j)) {
         load += table.time(i, result.bus_widths[j]);

@@ -41,6 +41,11 @@ struct DesignRequest {
 
   InnerSolver solver = InnerSolver::kExact;
   long long max_nodes = -1;
+  /// Worker threads for the exact solver's root-splitting search and the
+  /// portfolio race. 1 = serial, 0 = auto (default_thread_count()). Any
+  /// value yields identical results for solves that complete (the exact
+  /// solver's determinism guarantee).
+  int threads = 1;
 };
 
 struct DesignResult {

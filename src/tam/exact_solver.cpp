@@ -1,9 +1,13 @@
 #include "tam/exact_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
 
 namespace soctest {
 
@@ -22,6 +26,18 @@ struct Item {
   double max_power = 0.0;         // max member power (bus-max-sum constraint)
 };
 
+/// State shared by the subtree searches of one parallel solve: the incumbent
+/// makespan (read every node for pruning — a bound found in one subtree
+/// prunes all others), the global node budget, and the abort flag.
+struct SharedSearchState {
+  std::atomic<Cycles> best{kInfCycles};
+  std::atomic<long long> nodes{0};
+  std::atomic<bool> aborted{false};
+  std::mutex mu;
+  Cycles best_value = kInfCycles;     // guarded by mu
+  std::vector<int> best_item_bus;     // guarded by mu
+};
+
 struct Search {
   const TamProblem& problem;
   const ExactSolverOptions& options;
@@ -37,6 +53,16 @@ struct Search {
   // Bus-max-sum power constraint state.
   std::vector<double> bus_max_power;
   double power_sum = 0.0;
+
+  // Parallel / cooperative-cancellation hooks. When `shared` is set this
+  // Search explores one root subtree: incumbent reads/updates and the node
+  // budget go through the shared state instead of the local fields.
+  SharedSearchState* shared = nullptr;
+  const CancellationToken* cancel = nullptr;
+  // Witness mode: unwind as soon as one incumbent is recorded (used to
+  // re-derive the deterministic optimal assignment after a parallel proof).
+  bool stop_on_first_incumbent = false;
+  bool stop_now = false;
 
   bool power_constrained() const { return problem.bus_power_budget >= 0; }
 
@@ -55,6 +81,48 @@ struct Search {
 
   explicit Search(const TamProblem& p, const ExactSolverOptions& o)
       : problem(p), options(o) {}
+
+  /// Incumbent used for pruning: the racing shared bound in parallel mode.
+  Cycles current_best() const {
+    return shared ? shared->best.load(std::memory_order_relaxed) : best;
+  }
+
+  /// Per-node bookkeeping: node counting, the node budget (global in
+  /// parallel mode), and cancellation. Returns false when the search must
+  /// unwind.
+  bool enter_node() {
+    ++nodes;
+    if (shared) {
+      const long long total =
+          shared->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.max_nodes >= 0 && total > options.max_nodes) {
+        shared->aborted.store(true, std::memory_order_relaxed);
+        aborted = true;
+        return false;
+      }
+      if (shared->aborted.load(std::memory_order_relaxed)) {
+        aborted = true;
+        return false;
+      }
+    } else if (options.max_nodes >= 0 && nodes > options.max_nodes) {
+      aborted = true;
+      return false;
+    }
+    if (cancel && cancel->cancelled()) {
+      aborted = true;
+      if (shared) shared->aborted.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  void setup(std::size_t num_buses) {
+    load.assign(num_buses, 0);
+    bus_max_power.assign(num_buses, 0.0);
+    item_bus.assign(items.size(), -1);
+    wire_used = 0;
+    power_sum = 0.0;
+  }
 
   void build_items() {
     const std::size_t n = problem.num_cores();
@@ -160,6 +228,75 @@ struct Search {
     return std::max({max_load, spread, item_min});
   }
 
+  /// Candidate buses for item `k` in the makespan search: allowed buses,
+  /// at most one empty bus per symmetry class, ordered by resulting load.
+  /// A pure function of the current partial assignment, so the serial DFS,
+  /// the root-prefix enumeration, and the subtree searches all branch
+  /// identically.
+  std::vector<std::size_t> makespan_candidates(std::size_t k) const {
+    const Item& item = items[k];
+    std::vector<std::size_t> candidates;
+    std::vector<char> class_used(static_cast<std::size_t>(problem.num_buses()), 0);
+    for (std::size_t j = 0; j < problem.num_buses(); ++j) {
+      if (item.time[j] == kInfCycles) continue;
+      if (load[j] == 0) {
+        const auto cls = static_cast<std::size_t>(bus_class[j]);
+        if (class_used[cls]) continue;
+        class_used[cls] = 1;
+      }
+      candidates.push_back(j);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b2) {
+                return load[a] + item.time[a] < load[b2] + item.time[b2];
+              });
+    return candidates;
+  }
+
+  /// Applies one assignment step without the save/restore bookkeeping (used
+  /// to replay a root prefix into a fresh Search).
+  void apply_assignment(std::size_t k, std::size_t j) {
+    const Item& item = items[k];
+    if (power_constrained()) {
+      power_sum += power_delta(j, item);
+      bus_max_power[j] = std::max(bus_max_power[j], item.max_power);
+    }
+    load[j] += item.time[j];
+    wire_used += item.wire[j];
+    item_bus[k] = static_cast<int>(j);
+  }
+
+  void replay_prefix(const std::vector<int>& prefix) {
+    for (std::size_t k = 0; k < prefix.size(); ++k) {
+      apply_assignment(k, static_cast<std::size_t>(prefix[k]));
+    }
+  }
+
+  void record_leaf(Cycles max_load) {
+    if (shared) {
+      Cycles cur = shared->best.load(std::memory_order_relaxed);
+      bool improved = false;
+      while (max_load < cur) {
+        if (shared->best.compare_exchange_weak(cur, max_load,
+                                               std::memory_order_relaxed)) {
+          improved = true;
+          break;
+        }
+      }
+      if (improved) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        if (max_load < shared->best_value) {
+          shared->best_value = max_load;
+          shared->best_item_bus = item_bus;
+        }
+      }
+    } else if (max_load < best) {
+      best = max_load;
+      best_item_bus = item_bus;
+      if (stop_on_first_incumbent) stop_now = true;
+    }
+  }
+
   // Secondary-objective search: minimize total wire cost subject to
   // makespan <= makespan_cap (used by solve_exact_min_wire / lex).
   Cycles makespan_cap = kInfCycles;
@@ -167,11 +304,7 @@ struct Search {
 
   void dfs_wire(std::size_t k) {
     if (aborted) return;
-    ++nodes;
-    if (options.max_nodes >= 0 && nodes > options.max_nodes) {
-      aborted = true;
-      return;
-    }
+    if (!enter_node()) return;
     if (k == items.size()) {
       if (wire_used < best_wire) {
         best_wire = wire_used;
@@ -234,22 +367,15 @@ struct Search {
   }
 
   void dfs(std::size_t k) {
-    if (aborted) return;
-    ++nodes;
-    if (options.max_nodes >= 0 && nodes > options.max_nodes) {
-      aborted = true;
-      return;
-    }
+    if (aborted || stop_now) return;
+    if (!enter_node()) return;
     if (k == items.size()) {
       Cycles max_load = 0;
       for (Cycles l : load) max_load = std::max(max_load, l);
-      if (max_load < best) {
-        best = max_load;
-        best_item_bus = item_bus;
-      }
+      record_leaf(max_load);
       return;
     }
-    if (bound(k) >= best) return;
+    if (bound(k) >= current_best()) return;
     if (problem.wire_budget >= 0 &&
         wire_used + suffix_min_wire[k] > problem.wire_budget) {
       return;
@@ -257,23 +383,9 @@ struct Search {
     const Item& item = items[k];
     // Candidate buses ordered by resulting load (fail-fast toward good
     // incumbents); symmetry: at most one empty bus per equivalence class.
-    std::vector<std::size_t> candidates;
-    std::vector<char> class_used(static_cast<std::size_t>(problem.num_buses()), 0);
-    for (std::size_t j = 0; j < problem.num_buses(); ++j) {
-      if (item.time[j] == kInfCycles) continue;
-      if (load[j] == 0) {
-        const auto cls = static_cast<std::size_t>(bus_class[j]);
-        if (class_used[cls]) continue;
-        class_used[cls] = 1;
-      }
-      candidates.push_back(j);
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [&](std::size_t a, std::size_t b2) {
-                return load[a] + item.time[a] < load[b2] + item.time[b2];
-              });
+    const std::vector<std::size_t> candidates = makespan_candidates(k);
     for (std::size_t j : candidates) {
-      if (load[j] + item.time[j] >= best) continue;
+      if (load[j] + item.time[j] >= current_best()) continue;
       if (problem.wire_budget >= 0 &&
           wire_used + item.wire[j] + suffix_min_wire[k + 1] >
               problem.wire_budget) {
@@ -297,10 +409,167 @@ struct Search {
         bus_max_power[j] = saved_max;
         power_sum = saved_sum;
       }
-      if (aborted) return;
+      if (aborted || stop_now) return;
     }
   }
 };
+
+/// Exclusive pruning threshold implied by the options and the problem's ATE
+/// depth limit (the depth limit caps every bus load, hence the makespan).
+Cycles initial_pruning_bound(const TamProblem& problem,
+                             const ExactSolverOptions& options) {
+  Cycles best = kInfCycles;
+  if (options.initial_upper_bound >= 0) {
+    // Warm start: anything >= this bound is pruned; +1 keeps equal-cost
+    // solutions reachable so a feasible assignment is still produced.
+    best = options.initial_upper_bound + 1;
+  }
+  if (problem.bus_depth_limit >= 0) {
+    best = std::min(best, problem.bus_depth_limit + 1);
+  }
+  return best;
+}
+
+TamSolveResult assemble_result(const TamProblem& problem,
+                               const std::vector<Item>& items,
+                               const std::vector<int>& item_bus,
+                               long long nodes, bool proved_optimal) {
+  TamSolveResult result;
+  result.nodes = nodes;
+  result.feasible = true;
+  result.proved_optimal = proved_optimal;
+  result.assignment.core_to_bus.assign(problem.num_cores(), -1);
+  for (std::size_t k = 0; k < items.size(); ++k) {
+    for (std::size_t core : items[k].cores) {
+      result.assignment.core_to_bus[core] = item_bus[k];
+    }
+  }
+  result.assignment.makespan = problem.makespan(result.assignment.core_to_bus);
+  return result;
+}
+
+/// Root-splitting parallel branch-and-bound. The first few levels of the
+/// assignment tree are enumerated into independent subtree prefixes, which a
+/// thread pool searches with a shared atomic incumbent (a bound found in one
+/// subtree prunes all others). Exactness: the prefix enumeration prunes only
+/// against the *initial* bound, so every assignment better than that bound
+/// lives in exactly one subtree. Determinism: after the parallel phase
+/// proves the optimal makespan T*, the witness assignment is re-derived by a
+/// serial search capped at T*+1 stopping at its first incumbent — which is
+/// provably the same leaf the plain serial solver returns (optimal leaves
+/// survive every incumbent-pruning schedule, and DFS order is fixed).
+TamSolveResult solve_exact_parallel(const TamProblem& problem,
+                                    const ExactSolverOptions& options,
+                                    int threads) {
+  const std::size_t b = problem.num_buses();
+  Search proto(problem, options);
+  proto.build_items();
+  proto.build_bus_classes();
+  proto.setup(b);
+
+  const Cycles initial_best = initial_pruning_bound(problem, options);
+
+  // Enumerate root prefixes breadth-first until there is enough independent
+  // work to keep the pool busy.
+  const std::size_t target = std::min<std::size_t>(
+      4096, std::max<std::size_t>(static_cast<std::size_t>(threads) * 8, 16));
+  std::vector<std::vector<int>> frontier(1);
+  std::size_t depth = 0;
+  long long enum_nodes = 0;
+  while (depth < proto.items.size() && !frontier.empty() &&
+         frontier.size() < target) {
+    std::vector<std::vector<int>> next;
+    for (const auto& prefix : frontier) {
+      ++enum_nodes;
+      proto.setup(b);
+      proto.replay_prefix(prefix);
+      if (proto.bound(depth) >= initial_best) continue;
+      if (problem.wire_budget >= 0 &&
+          proto.wire_used + proto.suffix_min_wire[depth] > problem.wire_budget) {
+        continue;
+      }
+      const Item& item = proto.items[depth];
+      for (std::size_t j : proto.makespan_candidates(depth)) {
+        if (proto.load[j] + item.time[j] >= initial_best) continue;
+        if (problem.wire_budget >= 0 &&
+            proto.wire_used + item.wire[j] + proto.suffix_min_wire[depth + 1] >
+                problem.wire_budget) {
+          continue;
+        }
+        if (!proto.power_ok(j, item)) continue;
+        std::vector<int> extended = prefix;
+        extended.push_back(static_cast<int>(j));
+        next.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+
+  TamSolveResult result;
+  if (frontier.empty()) {
+    // Every branch is pruned by the initial bound / structural constraints:
+    // proven infeasible (within the warm-start bound, matching the serial
+    // solver's contract).
+    result.feasible = false;
+    result.proved_optimal = true;
+    result.nodes = enum_nodes;
+    return result;
+  }
+
+  SharedSearchState shared;
+  shared.best.store(initial_best, std::memory_order_relaxed);
+  {
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    for (const auto& prefix : frontier) {
+      pool.post([&problem, &options, &shared, prefix, b] {
+        Search search(problem, options);
+        search.build_items();
+        search.build_bus_classes();
+        search.setup(b);
+        search.shared = &shared;
+        search.cancel = options.cancel;
+        search.replay_prefix(prefix);
+        search.dfs(prefix.size());
+      });
+    }
+    pool.wait_all();
+  }
+
+  const bool aborted = shared.aborted.load(std::memory_order_relaxed);
+  result.nodes = enum_nodes + shared.nodes.load(std::memory_order_relaxed);
+  if (shared.best_item_bus.empty()) {
+    // Either truly infeasible or the node budget / cancellation expired
+    // before any leaf.
+    result.feasible = false;
+    result.proved_optimal = !aborted;
+    return result;
+  }
+  if (aborted) {
+    // Best-effort incumbent; which subtree supplied it is timing-dependent,
+    // exactly like an aborted serial search is cutoff-dependent.
+    return assemble_result(problem, proto.items, shared.best_item_bus,
+                           result.nodes, false);
+  }
+
+  // Deterministic witness pass (see function comment).
+  ExactSolverOptions witness_options = options;
+  witness_options.max_nodes = -1;  // the proof already fit the budget
+  witness_options.threads = 1;
+  witness_options.cancel = nullptr;
+  Search witness(problem, witness_options);
+  witness.build_items();
+  witness.build_bus_classes();
+  witness.setup(b);
+  witness.best = shared.best_value + 1;
+  witness.stop_on_first_incumbent = true;
+  witness.dfs(0);
+  result.nodes += witness.nodes;
+  const std::vector<int>& item_bus = witness.best_item_bus.empty()
+                                         ? shared.best_item_bus
+                                         : witness.best_item_bus;
+  return assemble_result(problem, proto.items, item_bus, result.nodes, true);
+}
 
 }  // namespace
 
@@ -314,9 +583,8 @@ TamSolveResult solve_exact_min_wire(const TamProblem& problem,
   Search search(problem, options);
   search.build_items();
   search.build_bus_classes();
-  search.load.assign(problem.num_buses(), 0);
-  search.bus_max_power.assign(problem.num_buses(), 0.0);
-  search.item_bus.assign(search.items.size(), -1);
+  search.setup(problem.num_buses());
+  search.cancel = options.cancel;
   search.makespan_cap = makespan_cap;
   if (problem.bus_depth_limit >= 0) {
     search.makespan_cap = std::min(search.makespan_cap, problem.bus_depth_limit);
@@ -329,16 +597,8 @@ TamSolveResult solve_exact_min_wire(const TamProblem& problem,
     result.proved_optimal = !search.aborted;
     return result;
   }
-  result.feasible = true;
-  result.proved_optimal = !search.aborted;
-  result.assignment.core_to_bus.assign(problem.num_cores(), -1);
-  for (std::size_t k = 0; k < search.items.size(); ++k) {
-    for (std::size_t core : search.items[k].cores) {
-      result.assignment.core_to_bus[core] = search.best_item_bus[k];
-    }
-  }
-  result.assignment.makespan = problem.makespan(result.assignment.core_to_bus);
-  return result;
+  return assemble_result(problem, search.items, search.best_item_bus,
+                         search.nodes, !search.aborted);
 }
 
 TamSolveResult solve_exact_lex(const TamProblem& problem,
@@ -356,22 +616,17 @@ TamSolveResult solve_exact_lex(const TamProblem& problem,
 
 TamSolveResult solve_exact(const TamProblem& problem,
                            const ExactSolverOptions& options) {
+  const int threads =
+      options.threads == 1 ? 1 : resolve_thread_count(options.threads);
+  if (threads > 1) return solve_exact_parallel(problem, options, threads);
+
   TamSolveResult result;
   Search search(problem, options);
   search.build_items();
   search.build_bus_classes();
-  search.load.assign(problem.num_buses(), 0);
-  search.bus_max_power.assign(problem.num_buses(), 0.0);
-  search.item_bus.assign(search.items.size(), -1);
-  if (options.initial_upper_bound >= 0) {
-    // Warm start: anything >= this bound is pruned; +1 keeps equal-cost
-    // solutions reachable so a feasible assignment is still produced.
-    search.best = options.initial_upper_bound + 1;
-  }
-  if (problem.bus_depth_limit >= 0) {
-    // The ATE depth limit caps every bus load, hence the makespan.
-    search.best = std::min(search.best, problem.bus_depth_limit + 1);
-  }
+  search.setup(problem.num_buses());
+  search.cancel = options.cancel;
+  search.best = initial_pruning_bound(problem, options);
   search.dfs(0);
 
   result.nodes = search.nodes;
@@ -381,16 +636,8 @@ TamSolveResult solve_exact(const TamProblem& problem,
     result.proved_optimal = !search.aborted;
     return result;
   }
-  result.feasible = true;
-  result.proved_optimal = !search.aborted;
-  result.assignment.core_to_bus.assign(problem.num_cores(), -1);
-  for (std::size_t k = 0; k < search.items.size(); ++k) {
-    for (std::size_t core : search.items[k].cores) {
-      result.assignment.core_to_bus[core] = search.best_item_bus[k];
-    }
-  }
-  result.assignment.makespan = problem.makespan(result.assignment.core_to_bus);
-  return result;
+  return assemble_result(problem, search.items, search.best_item_bus,
+                         search.nodes, !search.aborted);
 }
 
 }  // namespace soctest

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "common/parallel.hpp"
 #include "tam/tam_problem.hpp"
 
 namespace soctest {
@@ -23,12 +24,24 @@ enum class BoundMode {
 
 struct ExactSolverOptions {
   /// Search-node budget; < 0 means unlimited. When exhausted, the best
-  /// incumbent found so far is returned with proved_optimal = false.
+  /// incumbent found so far is returned with proved_optimal = false. In
+  /// parallel mode the budget is enforced globally across all subtrees.
   long long max_nodes = -1;
   /// Optional warm-start upper bound (exclusive pruning threshold); < 0 if
   /// none. A known heuristic makespan tightens pruning substantially.
   Cycles initial_upper_bound = -1;
   BoundMode bound_mode = BoundMode::kFull;
+  /// Worker threads for the branch-and-bound. 1 (default) = the classic
+  /// serial search; 0 = auto (default_thread_count()); N > 1 = root-splitting
+  /// parallel search. Any thread count returns the identical (makespan,
+  /// assignment, proved_optimal) result when the search completes: the
+  /// parallel phase only proves the optimal value, and the witness assignment
+  /// is re-derived by a deterministic capped serial pass.
+  int threads = 1;
+  /// Optional cooperative cancellation (portfolio racing). When the token
+  /// fires the solver unwinds and returns its best incumbent with
+  /// proved_optimal = false.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Exact branch-and-bound solver for the constrained TAM assignment problem.

@@ -245,6 +245,7 @@ TamSolveResult solve_sa(const TamProblem& problem, const SaSolverOptions& option
                            : std::max(1.0, cost * 0.05);
   long long moves = 0;
   for (int it = 0; it < options.iterations; ++it) {
+    if (options.cancel && options.cancel->cancelled()) break;
     std::vector<int> candidate = item_bus;
     if (items.size() >= 2 && rng.bernoulli(0.3)) {
       // Swap the buses of two items (when mutually allowed).

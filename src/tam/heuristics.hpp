@@ -21,6 +21,9 @@ struct SaSolverOptions {
   std::uint64_t seed = 1;
   /// Penalty per wiring-budget overflow unit, in cycles.
   double wire_penalty = 1000.0;
+  /// Optional cooperative cancellation (portfolio racing): checked every
+  /// iteration; on cancel the best assignment seen so far is returned.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Simulated-annealing baseline: starts from greedy LPT, perturbs by moving

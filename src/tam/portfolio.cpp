@@ -1,0 +1,88 @@
+#include "tam/portfolio.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace soctest {
+
+PortfolioResult solve_portfolio(const TamProblem& problem,
+                                const PortfolioOptions& options) {
+  PortfolioResult out;
+
+  // Stage 1: greedy-LPT is orders of magnitude cheaper than either racer, so
+  // it runs synchronously and its incumbent warm-starts the exact search.
+  const TamSolveResult greedy = solve_greedy_lpt(problem);
+  Cycles upper_bound = options.initial_upper_bound;
+  if (greedy.feasible) {
+    out.heuristic_bound = greedy.assignment.makespan;
+    upper_bound = upper_bound < 0
+                      ? greedy.assignment.makespan
+                      : std::min(upper_bound, greedy.assignment.makespan);
+  }
+
+  // Stage 2: race the exact branch-and-bound against simulated annealing.
+  ExactSolverOptions exact_options;
+  exact_options.max_nodes = options.max_nodes;
+  exact_options.initial_upper_bound = upper_bound;
+  exact_options.bound_mode = options.bound_mode;
+  exact_options.threads = options.exact_threads;
+
+  SaSolverOptions sa_options = options.sa;
+  CancellationToken cancel_sa;
+  sa_options.cancel = &cancel_sa;
+
+  TamSolveResult exact;
+  TamSolveResult sa;
+  {
+    const int threads = std::max(2, resolve_thread_count(options.threads));
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    auto exact_future =
+        pool.submit([&] { return solve_exact(problem, exact_options); });
+    auto sa_future = pool.submit([&] { return solve_sa(problem, sa_options); });
+    exact = exact_future.get();
+    if (exact.proved_optimal) {
+      // The exact racer won outright: the SA incumbent can no longer matter.
+      cancel_sa.cancel();
+      out.sa_cancelled = true;
+    }
+    sa = sa_future.get();
+  }
+  out.exact_nodes = exact.nodes;
+  out.sa_moves = sa.nodes;
+
+  // Stage 3: deterministic selection. A completed exact solve dominates —
+  // its warm start was an upper bound on the optimum, so "infeasible with
+  // proof" really means no assignment beats the heuristics either.
+  if (exact.proved_optimal && exact.feasible) {
+    out.best = exact;
+    out.winner = "exact";
+    return out;
+  }
+  if (exact.proved_optimal && !greedy.feasible && !sa.feasible) {
+    out.best = exact;  // proven infeasible
+    out.winner = "exact";
+    return out;
+  }
+  // Aborted/cancelled exact: keep the best feasible incumbent, preferring
+  // exact, then greedy, then SA on ties (a fixed order keeps the choice
+  // deterministic for equal makespans).
+  out.best = exact;
+  out.winner = "exact";
+  auto consider = [&](const TamSolveResult& candidate, const char* name) {
+    if (!candidate.feasible) return;
+    if (!out.best.feasible ||
+        candidate.assignment.makespan < out.best.assignment.makespan) {
+      const long long nodes = out.best.nodes;
+      out.best = candidate;
+      out.best.nodes = nodes;  // keep the aggregate search-effort figure
+      out.winner = name;
+    }
+  };
+  consider(greedy, "greedy");
+  consider(sa, "sa");
+  out.best.proved_optimal = false;
+  return out;
+}
+
+}  // namespace soctest

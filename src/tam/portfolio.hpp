@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
+
+namespace soctest {
+
+struct PortfolioOptions {
+  /// Worker threads for the race; 0 = auto (default_thread_count()),
+  /// clamped to at least 2 so both racers make progress.
+  int threads = 0;
+  /// Node budget for the exact racer; < 0 unlimited.
+  long long max_nodes = -1;
+  /// Threads handed to the exact solver's own root-splitting search
+  /// (1 = serial exact inside the race).
+  int exact_threads = 1;
+  /// Optional externally known upper bound, combined with the greedy
+  /// incumbent (the tighter wins) before seeding the exact solver.
+  Cycles initial_upper_bound = -1;
+  BoundMode bound_mode = BoundMode::kFull;
+  SaSolverOptions sa;
+};
+
+struct PortfolioResult {
+  TamSolveResult best;
+  /// Which racer supplied `best`: "exact", "greedy", or "sa".
+  std::string winner;
+  /// The heuristic incumbent fed into the exact solver's warm start
+  /// (-1 when greedy found nothing feasible).
+  Cycles heuristic_bound = -1;
+  long long exact_nodes = 0;
+  long long sa_moves = 0;
+  /// True when the SA racer was cancelled because the exact solver proved
+  /// optimality first.
+  bool sa_cancelled = false;
+};
+
+/// Solver portfolio racing (the parallel-execution layer's front end):
+/// greedy-LPT runs first and its makespan seeds the exact solver's warm
+/// start (`ExactSolverOptions::initial_upper_bound`); the exact
+/// branch-and-bound and simulated annealing then race on a thread pool, and
+/// the SA racer is cancelled as soon as optimality is proved. The returned
+/// assignment is deterministic whenever the exact racer completes: warm
+/// starts do not change the exact solver's witness (see DESIGN.md).
+PortfolioResult solve_portfolio(const TamProblem& problem,
+                                const PortfolioOptions& options = {});
+
+}  // namespace soctest

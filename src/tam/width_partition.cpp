@@ -5,6 +5,7 @@
 
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
+#include "tam/portfolio.hpp"
 
 namespace soctest {
 
@@ -38,6 +39,7 @@ TamSolveResult run_inner(const TamProblem& problem,
       ExactSolverOptions exact;
       exact.max_nodes = options.max_nodes_per_solve;
       exact.initial_upper_bound = incumbent;
+      exact.threads = options.threads;
       return solve_exact(problem, exact);
     }
     case InnerSolver::kIlp:
@@ -46,6 +48,13 @@ TamSolveResult run_inner(const TamProblem& problem,
       return solve_greedy_lpt(problem);
     case InnerSolver::kSa:
       return solve_sa(problem);
+    case InnerSolver::kPortfolio: {
+      PortfolioOptions portfolio;
+      portfolio.max_nodes = options.max_nodes_per_solve;
+      portfolio.initial_upper_bound = incumbent;
+      portfolio.threads = options.threads;
+      return solve_portfolio(problem, portfolio).best;
+    }
   }
   throw std::logic_error("unknown inner solver");
 }

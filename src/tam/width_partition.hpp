@@ -8,11 +8,15 @@
 namespace soctest {
 
 /// Which inner assignment solver the width-partition search runs per
-/// candidate width vector.
-enum class InnerSolver { kExact, kIlp, kGreedy, kSa };
+/// candidate width vector. kPortfolio races greedy-LPT, SA, and the exact
+/// solver concurrently (see tam/portfolio.hpp).
+enum class InnerSolver { kExact, kIlp, kGreedy, kSa, kPortfolio };
 
 struct WidthPartitionOptions {
   InnerSolver solver = InnerSolver::kExact;
+  /// Worker threads for the exact solver's root-splitting search and the
+  /// portfolio race. 1 = serial, 0 = auto (default_thread_count()).
+  int threads = 1;
   /// Try every distinct permutation of each width multiset onto the buses.
   /// Only meaningful when buses are distinguishable (layout constraints make
   /// them so); forced on automatically in that case.

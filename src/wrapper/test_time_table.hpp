@@ -49,4 +49,15 @@ class TestTimeTable {
   std::vector<std::vector<int>> eff_width_;    // argmin width
 };
 
+/// Process-wide memoized table construction for sweep workloads: benchmark
+/// grids and the report path rebuild the identical table for every (SOC,
+/// max_width) cell, and each build re-runs wrapper design for every core and
+/// width. Tables are keyed by a fingerprint of the SOC's test structure (not
+/// just its name, so regenerated/mutated SOCs never alias), plus max_width
+/// and the partition heuristic. Thread-safe; entries live for the process
+/// lifetime (tables are small: num_cores × max_width integers).
+const TestTimeTable& cached_test_time_table(
+    const Soc& soc, int max_width,
+    PartitionHeuristic heuristic = PartitionHeuristic::kBestFitDecreasing);
+
 }  // namespace soctest
