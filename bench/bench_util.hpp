@@ -17,6 +17,7 @@
 
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace soctest::benchutil {
 
@@ -111,6 +112,15 @@ class JsonRecord {
  private:
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Copies the current obs counter values into a bench record (one field per
+/// counter, keyed by the counter's dotted name). Call inside a live
+/// TraceSession, after the instrumented work and before the next reset.
+inline void attach_counters(JsonRecord& record) {
+  for (const auto& c : obs::counter_values()) {
+    record.set(c.name, c.value);
+  }
+}
 
 /// Accumulates the records of one bench binary and merges them into a shared
 /// JSON file. The file is an array with one record object per line; on

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -61,11 +62,17 @@ int main() {
   std::vector<Cell> cells(sizes.size());
   benchutil::JsonLog log("table6_runtime");
 
+  // The machine's thread count is a property of the run, not of a cell;
+  // sample it once here (cells run inside the sweep pool, where the
+  // library-level default can be overridden down to 1).
+  const long long hardware_threads =
+      static_cast<long long>(std::max(1u, std::thread::hardware_concurrency()));
+
   std::vector<std::function<void()>> tasks;
   std::vector<benchutil::JsonRecord*> records;
   for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
     records.push_back(&log.record());
-    tasks.push_back([idx, &sizes, &cells, &records] {
+    tasks.push_back([idx, &sizes, &cells, &records, hardware_threads] {
       const int n = sizes[idx];
       Cell& cell = cells[idx];
       cell.n = n;
@@ -137,8 +144,7 @@ int main() {
           .set("winner", cell.winner)
           .set("assignment_match", cell.match)
           .set("threads_mt", 8)
-          .set("hardware_threads",
-               static_cast<long long>(default_thread_count()))
+          .set("hardware_threads", hardware_threads)
           .set("ms_exact_mt", cell.ms_mt)
           .set("nodes_mt", cell.mt_nodes)
           .set("speedup_mt", cell.ms_mt > 0.0 ? cell.ms_exact / cell.ms_mt : 0.0)
@@ -187,6 +193,31 @@ int main() {
             << race.to_ascii() << "\n";
 
   log.write("BENCH_solvers.json");
+
+  // Serial instrumented pass: counters are process-global, so they cannot be
+  // attributed per cell inside the threaded sweep above. Re-run a few sizes
+  // one at a time under a trace session and log the solver counters as
+  // separate table6_obs rows.
+  benchutil::JsonLog obs_log("table6_obs");
+  for (const int n : {10, 18, 26}) {
+    Rng rng(static_cast<std::uint64_t>(n) * 7919);
+    SocGeneratorOptions gen;
+    gen.num_cores = n;
+    gen.place = false;
+    const Soc soc = generate_soc(gen, rng);
+    const TestTimeTable table(soc, 16);
+    const TamProblem problem = make_tam_problem(soc, table, {16, 8, 8});
+
+    obs::TraceSink sink;
+    obs::TraceSession session(&sink);
+    const auto portfolio = solve_portfolio(problem);
+    benchutil::JsonRecord& record = obs_log.record();
+    record.set("cell", "N=" + std::to_string(n))
+        .set("winner", portfolio.winner)
+        .set("trace_events", static_cast<long long>(sink.num_events()));
+    benchutil::attach_counters(record);
+  }
+  obs_log.write("BENCH_solvers.json");
   std::cout << "wrote BENCH_solvers.json\n";
   return 0;
 }

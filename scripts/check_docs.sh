@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Keeps the docs honest against the source tree. Run from anywhere:
+#
+#   scripts/check_docs.sh [repo-root]
+#
+# Checks:
+#   1. every src/<module> directory is named in docs/architecture.md;
+#   2. every `soctest --flag` shown in a fenced code block of README.md,
+#      DESIGN.md, or docs/*.md is actually recognized by the CLI parser
+#      (src/cli/options.cpp).
+#
+# Wired into ctest as the `docs` label: ctest -L docs
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+fail=0
+
+for dir in "$root"/src/*/; do
+  mod=$(basename "$dir")
+  if ! grep -q "src/$mod" "$root/docs/architecture.md"; then
+    echo "FAIL: src/$mod is not mentioned in docs/architecture.md"
+    fail=1
+  fi
+done
+
+# Fenced code blocks only, with backslash continuations joined, lines that
+# invoke soctest, their --flags.
+soctest_flags() {
+  awk '/^```/ { inblock = !inblock; next } inblock { print }' "$1" |
+    sed -e ':a' -e '/\\$/N; s/\\\n/ /; ta' |
+    grep -E '(^|[ /])soctest( |$)' |
+    grep -oE '\-\-[a-z][a-z-]*' |
+    sort -u
+}
+
+for doc in "$root"/README.md "$root"/DESIGN.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  for flag in $(soctest_flags "$doc"); do
+    if ! grep -qF "\"$flag\"" "$root/src/cli/options.cpp"; then
+      echo "FAIL: $(basename "$doc") documents soctest flag '$flag'," \
+           "which src/cli/options.cpp does not parse"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"

@@ -119,6 +119,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.svg_path = value(arg);
     } else if (arg == "--idle-insertion") {
       options.idle_insertion = true;
+    } else if (arg == "--trace") {
+      options.trace_path = value(arg);
+    } else if (arg == "--trace-chrome") {
+      options.trace_chrome_path = value(arg);
+    } else if (arg == "--metrics") {
+      options.metrics = true;
     } else {
       fail("unknown argument '" + arg + "'");
     }
@@ -161,6 +167,14 @@ Solving:
   --json                emit a machine-readable JSON design report
   --svg FILE            write an SVG floorplan (cores, trunks, stubs);
                         requires a placed SOC
+
+Observability:
+  --trace FILE          record solver spans/counters and write a
+                        soctest-trace-v1 JSON trace to FILE
+  --trace-chrome FILE   also write the trace in Chrome trace_event format
+                        (load via chrome://tracing or ui.perfetto.dev)
+  --metrics             append run counters/histograms to the output (a table,
+                        or a JSON object with --json)
   --help                this text
 )";
 }

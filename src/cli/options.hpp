@@ -32,8 +32,16 @@ struct CliOptions {
   bool json = false;
   /// When non-empty, write an SVG floorplan (die, cores, trunks, stubs) to
   /// this path. Requires a placed SOC.
-  std::string svg_path;  ///< schedule-level power handling instead of
-                                ///< pairwise serialization
+  std::string svg_path;
+  /// When non-empty, record a trace of the run and write it to this path in
+  /// the soctest-trace-v1 JSON format (--trace).
+  std::string trace_path;
+  /// When non-empty, also write the trace in Chrome trace_event format for
+  /// chrome://tracing / Perfetto (--trace-chrome).
+  std::string trace_chrome_path;
+  /// Collect solver counters/histograms and append them to the output
+  /// (--metrics). Implied collection also happens whenever tracing is on.
+  bool metrics = false;
 };
 
 /// Parses argv-style arguments (without argv[0]). Throws

@@ -6,7 +6,9 @@
 #include <fstream>
 
 #include "layout/stub_router.hpp"
+#include "obs/obs.hpp"
 #include "report/design_report.hpp"
+#include "report/run_report.hpp"
 #include "report/svg.hpp"
 #include "sched/gantt.hpp"
 #include "sched/power_profile.hpp"
@@ -28,15 +30,10 @@ Soc load_soc(const std::string& name) {
   return read_soc_file(name);
 }
 
-}  // namespace
-
-CliResult run_cli(const CliOptions& options) {
+/// The actual design flow; run_cli wraps it with the observability session.
+CliResult run_design(const CliOptions& options) {
   CliResult result;
   std::ostringstream out;
-  if (options.help) {
-    result.output = cli_usage();
-    return result;
-  }
   try {
     const Soc soc = load_soc(options.soc);
 
@@ -131,6 +128,50 @@ CliResult run_cli(const CliOptions& options) {
     result.exit_code = 2;
   }
   result.output = out.str();
+  return result;
+}
+
+}  // namespace
+
+CliResult run_cli(const CliOptions& options) {
+  if (options.help) {
+    CliResult result;
+    result.output = cli_usage();
+    return result;
+  }
+
+  const bool tracing =
+      !options.trace_path.empty() || !options.trace_chrome_path.empty();
+  if (!tracing && !options.metrics) return run_design(options);
+
+  // One sink/session per CLI run; a null sink collects counters only.
+  obs::TraceSink sink;
+  obs::TraceSession session(tracing ? &sink : nullptr);
+  CliResult result;
+  {
+    obs::Span root("cli.run", {{"soc", options.soc}});
+    result = run_design(options);
+    if (root.active()) root.arg({"exit_code", result.exit_code});
+  }
+
+  auto write_file = [&](const std::string& path, const std::string& body) {
+    std::ofstream file(path);
+    if (!file) {
+      result.output += "error: cannot write " + path + "\n";
+      result.exit_code = 2;
+      return;
+    }
+    file << body << "\n";
+  };
+  if (!options.trace_path.empty()) {
+    write_file(options.trace_path, trace_json(sink));
+  }
+  if (!options.trace_chrome_path.empty()) {
+    write_file(options.trace_chrome_path, chrome_trace_json(sink));
+  }
+  if (options.metrics) {
+    result.output += options.json ? metrics_json() + "\n" : metrics_text();
+  }
   return result;
 }
 

@@ -4,9 +4,25 @@
 #include <limits>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace soctest {
 
 namespace {
+
+const char* mip_status_name(MipStatus status) {
+  switch (status) {
+    case MipStatus::kOptimal:
+      return "optimal";
+    case MipStatus::kInfeasible:
+      return "infeasible";
+    case MipStatus::kNodeLimit:
+      return "node_limit";
+    case MipStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "unknown";
+}
 
 struct Node {
   double lp_bound;                 // LP relaxation objective (lower bound)
@@ -36,9 +52,16 @@ int pick_branch_variable(const LinearProgram& lp, const std::vector<double>& x,
   return best;
 }
 
-}  // namespace
+/// Per-solve search tallies, batched into the obs counters once per call so
+/// the per-node path stays plain integer increments.
+struct MipTally {
+  long long pruned_bound = 0;
+  long long pruned_infeasible = 0;
+  long long incumbents = 0;
+};
 
-MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
+MipResult solve_mip_impl(const LinearProgram& lp, const MipOptions& options,
+                         MipTally& tally) {
   MipResult result;
   LinearProgram work = lp;  // bounds are mutated per node, then restored
 
@@ -137,6 +160,13 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
         incumbent_obj = completed.objective;
         incumbent_x = completed.x;
         publish_incumbent(incumbent_obj);
+        ++tally.incumbents;
+        if (obs::enabled()) {
+          obs::instant("ilp.bb.incumbent",
+                       {{"objective", incumbent_obj},
+                        {"node", result.nodes_explored},
+                        {"source", "root_rounding"}});
+        }
       }
     }
   }
@@ -158,6 +188,7 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
     const double prune_at = pruning_bound();
     if (node.lp_bound >= prune_at - options.absolute_gap) {
       // Best-first: all remaining nodes are at least as bad.
+      tally.pruned_bound += static_cast<long long>(open.size()) + 1;
       if (!have_incumbent) shared_pruned = true;
       break;
     }
@@ -170,6 +201,11 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
         incumbent_obj = node.lp_bound;
         incumbent_x = node.x;
         publish_incumbent(incumbent_obj);
+        ++tally.incumbents;
+        if (obs::enabled()) {
+          obs::instant("ilp.bb.incumbent", {{"objective", incumbent_obj},
+                                            {"node", result.nodes_explored}});
+        }
       }
       continue;
     }
@@ -189,8 +225,12 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
       }
       const LpResult child = solve_node(lower, upper);
       ++result.nodes_explored;
-      if (child.status != LpStatus::kOptimal) continue;  // infeasible/limit: prune
+      if (child.status != LpStatus::kOptimal) {
+        ++tally.pruned_infeasible;
+        continue;
+      }
       if (child.objective >= pruning_bound() - options.absolute_gap) {
+        ++tally.pruned_bound;
         if (!have_incumbent) shared_pruned = true;
         continue;
       }
@@ -208,6 +248,31 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
     // only shows someone else's solution is at least as good — it does not
     // prove infeasibility.
     result.status = shared_pruned ? MipStatus::kNodeLimit : MipStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace
+
+MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
+  obs::Span span("ilp.solve_mip",
+                 {{"vars", lp.num_variables()}, {"rows", lp.num_rows()}});
+  MipTally tally;
+  MipResult result = solve_mip_impl(lp, options, tally);
+  if (obs::enabled()) {
+    obs::counter("ilp.bb.solves").add(1);
+    obs::counter("ilp.bb.nodes").add(result.nodes_explored);
+    obs::counter("ilp.bb.pruned_bound").add(tally.pruned_bound);
+    obs::counter("ilp.bb.pruned_infeasible").add(tally.pruned_infeasible);
+    obs::counter("ilp.bb.incumbents").add(tally.incumbents);
+    obs::histogram("ilp.bb.nodes_per_solve")
+        .observe(static_cast<double>(result.nodes_explored));
+  }
+  if (span.active()) {
+    span.arg({"status", mip_status_name(result.status)});
+    span.arg({"nodes", result.nodes_explored});
+    span.arg({"objective", result.objective});
+    span.arg({"best_bound", result.best_bound});
   }
   return result;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace soctest {
 
 namespace {
@@ -285,7 +287,14 @@ class Tableau {
 
 LpResult solve_lp(const LinearProgram& lp, const SimplexOptions& options) {
   Tableau tableau(lp, options);
-  return tableau.solve();
+  LpResult result = tableau.solve();
+  // One guarded batch per solve (never per pivot): the observability layer
+  // must stay invisible on this kernel when disabled.
+  if (obs::enabled()) {
+    obs::counter("ilp.simplex.solves").add(1);
+    obs::counter("ilp.simplex.pivots").add(result.iterations);
+  }
+  return result;
 }
 
 }  // namespace soctest

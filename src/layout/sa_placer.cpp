@@ -1,8 +1,11 @@
 #include "layout/sa_placer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace soctest {
 
@@ -71,10 +74,35 @@ void sa_place(Soc& soc, const SaPlacerOptions& options, Rng& rng) {
   // only *new* positions are margin-checked, so cost never regresses below
   // a legal state.
   long long cost = placement_cost(soc);
+  obs::Span span("layout.sa.place", {{"cores", soc.num_cores()},
+                                     {"iterations", options.iterations},
+                                     {"initial_cost", cost}});
+  // Per-run tallies, batched into the obs counters after the loop so the
+  // per-move path stays plain increments. Progress instants sample the
+  // acceptance rate over a window when tracing is live.
+  long long proposed = 0;
+  long long accepted = 0;
+  long long rejected_illegal = 0;
+  long long window_proposed = 0;
+  long long window_accepted = 0;
+  const int progress_stride =
+      span.active() ? std::max(1, options.iterations / 32) : 0;
   std::vector<Placement> best = placements;
   long long best_cost = cost;
   double temperature = options.initial_temperature;
   for (int it = 0; it < options.iterations; ++it) {
+    if (progress_stride > 0 && it > 0 && it % progress_stride == 0) {
+      const double rate = window_proposed > 0
+                              ? static_cast<double>(window_accepted) /
+                                    static_cast<double>(window_proposed)
+                              : 0.0;
+      obs::instant("layout.sa.progress", {{"iteration", it},
+                                          {"temperature", temperature},
+                                          {"cost", cost},
+                                          {"acceptance", rate}});
+      window_proposed = 0;
+      window_accepted = 0;
+    }
     const std::size_t i = rng.index(soc.num_cores());
     const auto& c = soc.core(i);
     const int max_x = soc.die_width() - c.width - options.margin;
@@ -83,11 +111,18 @@ void sa_place(Soc& soc, const SaPlacerOptions& options, Rng& rng) {
     const Point candidate{
         static_cast<int>(rng.uniform_int(options.margin, max_x)),
         static_cast<int>(rng.uniform_int(options.margin, max_y))};
-    if (!legal(soc, i, candidate, options.margin, placements)) continue;
+    if (!legal(soc, i, candidate, options.margin, placements)) {
+      ++rejected_illegal;
+      continue;
+    }
+    ++proposed;
+    ++window_proposed;
     const long long delta =
         core_cost(soc, i, candidate) - core_cost(soc, i, placements[i].origin);
     if (delta <= 0 ||
         rng.uniform01() < std::exp(-static_cast<double>(delta) / temperature)) {
+      ++accepted;
+      ++window_accepted;
       placements[i].origin = candidate;
       cost += delta;
       if (cost < best_cost) {
@@ -96,6 +131,16 @@ void sa_place(Soc& soc, const SaPlacerOptions& options, Rng& rng) {
       }
     }
     temperature *= options.cooling;
+  }
+  if (obs::enabled()) {
+    obs::counter("layout.sa.places").add(1);
+    obs::counter("layout.sa.proposed").add(proposed);
+    obs::counter("layout.sa.accepted").add(accepted);
+    obs::counter("layout.sa.rejected_illegal").add(rejected_illegal);
+  }
+  if (span.active()) {
+    span.arg({"final_cost", best_cost});
+    span.arg({"accepted", accepted});
   }
   soc.set_placements(std::move(best));
 }

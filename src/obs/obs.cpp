@@ -1,0 +1,217 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace soctest::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+/// Open-span stack of the current thread (ids); the back is the parent of
+/// any span/instant created next on this thread.
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+struct Registry {
+  std::mutex mu;
+  // std::map: node-based, so value addresses are stable across inserts and
+  // the snapshot comes out name-sorted for free.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: counters outlive every user
+  return *r;
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  int bucket = 0;
+  if (value >= 1.0) {
+    bucket = std::min(kNumBuckets - 1,
+                      1 + static_cast<int>(std::floor(std::log2(value))));
+  }
+  ++buckets_[bucket];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  int last = -1;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] != 0) last = i;
+  }
+  snap.buckets.assign(buckets_, buckets_ + last + 1);
+  return snap;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  std::fill(std::begin(buckets_), std::end(buckets_), 0);
+}
+
+Counter& counter(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counters.find(name);
+  if (it == r.counters.end()) {
+    it = r.counters.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.histograms.find(name);
+  if (it == r.histograms.end()) {
+    it = r.histograms.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+std::vector<CounterValue> counter_values() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<CounterValue> out;
+  out.reserve(r.counters.size());
+  for (const auto& [name, c] : r.counters) out.push_back({name, c.value()});
+  return out;
+}
+
+std::vector<HistogramValue> histogram_values() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<HistogramValue> out;
+  out.reserve(r.histograms.size());
+  for (const auto& [name, h] : r.histograms) {
+    out.push_back({name, h.snapshot()});
+  }
+  return out;
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, c] : r.counters) c.reset();
+  for (auto& [name, h] : r.histograms) h.reset();
+}
+
+TraceSink::TraceSink() : start_(std::chrono::steady_clock::now()) {}
+
+double TraceSink::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+int TraceSink::thread_index(std::thread::id id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      threads_.try_emplace(id, static_cast<int>(threads_.size()));
+  return it->second;
+}
+
+void TraceSink::append(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceSink::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+TraceSink* current_sink() noexcept {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+TraceSession::TraceSession(TraceSink* sink) {
+  reset_metrics();
+  g_sink.store(sink, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() {
+  detail::g_enabled.store(false, std::memory_order_release);
+  g_sink.store(nullptr, std::memory_order_release);
+}
+
+Span::Span(std::string_view name, std::initializer_list<Arg> args) {
+  TraceSink* sink = current_sink();
+  if (sink == nullptr) return;
+  sink_ = sink;
+  name_ = name;
+  args_ = args;
+  id_ = sink->next_id();
+  parent_ = t_span_stack.empty() ? 0 : t_span_stack.back();
+  t_span_stack.push_back(id_);
+  start_us_ = sink->now_us();
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  if (!t_span_stack.empty() && t_span_stack.back() == id_) {
+    t_span_stack.pop_back();
+  }
+  TraceEvent event;
+  event.id = id_;
+  event.parent = parent_;
+  event.kind = TraceEvent::Kind::kSpan;
+  event.name = std::move(name_);
+  event.thread = sink_->thread_index(std::this_thread::get_id());
+  event.start_us = start_us_;
+  event.dur_us = sink_->now_us() - start_us_;
+  event.args = std::move(args_);
+  sink_->append(std::move(event));
+}
+
+void Span::arg(Arg a) {
+  if (sink_ == nullptr) return;
+  args_.push_back(std::move(a));
+}
+
+void instant(std::string_view name) { instant(name, {}); }
+
+void instant(std::string_view name, std::initializer_list<Arg> args) {
+  TraceSink* sink = current_sink();
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.id = sink->next_id();
+  event.parent = t_span_stack.empty() ? 0 : t_span_stack.back();
+  event.kind = TraceEvent::Kind::kInstant;
+  event.name = name;
+  event.thread = sink->thread_index(std::this_thread::get_id());
+  event.start_us = sink->now_us();
+  event.args = args;
+  sink->append(std::move(event));
+}
+
+}  // namespace soctest::obs

@@ -1,0 +1,237 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace soctest::obs {
+
+// Lightweight solver-observability layer: named counters and histograms,
+// RAII span timers with parent/child nesting, and an in-memory per-run
+// TraceSink. Everything is inert until a TraceSession is live, and the
+// disabled-mode hot path is a single relaxed atomic load — instrumented
+// code guards any work beyond that with `if (obs::enabled())` and batches
+// per-node tallies into one counter add at the end of a search.
+//
+// Serialization lives in src/report/run_report.hpp (this library stays a
+// leaf so every solver layer can link it without cycles). Naming
+// conventions and the trace-file schema are documented in
+// docs/observability.md.
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// True while a TraceSession is live. The one check instrumented code is
+/// allowed to pay on a hot path when observability is off.
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonically increasing named value. add() is lock-free and safe from
+/// any thread; use plain local tallies inside tight search loops and one
+/// add() when the loop exits.
+class Counter {
+ public:
+  void add(long long delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// Summary histogram: count/sum/min/max plus power-of-two magnitude
+/// buckets (bucket k counts observations in [2^(k-1), 2^k), bucket 0 is
+/// everything below 1). Mutex-guarded — meant for per-solve statistics,
+/// not per-node ones.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  struct Snapshot {
+    long long count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<long long> buckets;  ///< trailing all-zero buckets trimmed
+  };
+
+  void observe(double value);
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  long long count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  long long buckets_[kNumBuckets] = {};
+};
+
+/// Registry lookup; the name is interned on first use and the returned
+/// reference stays valid for the process lifetime. The lookup takes a lock,
+/// so hot paths cache it: `static obs::Counter& c = obs::counter("x");`.
+Counter& counter(std::string_view name);
+Histogram& histogram(std::string_view name);
+
+struct CounterValue {
+  std::string name;
+  long long value = 0;
+};
+struct HistogramValue {
+  std::string name;
+  Histogram::Snapshot stats;
+};
+
+/// All registered counters/histograms, sorted by name. Zero-valued entries
+/// are included (a registered counter that never fired is itself a signal).
+std::vector<CounterValue> counter_values();
+std::vector<HistogramValue> histogram_values();
+
+/// Zeroes every registered counter and histogram (the names stay
+/// registered). TraceSession does this on entry so a run's snapshot covers
+/// only that run.
+void reset_metrics();
+
+/// One key/value attachment on a span or instant event. Numeric kinds are
+/// preserved so the JSON serializer can emit them unquoted.
+struct Arg {
+  enum class Kind { kString, kInt, kFloat, kBool };
+
+  Arg(std::string_view key, std::string_view value)
+      : key(key), kind(Kind::kString), text(value) {}
+  Arg(std::string_view key, const char* value)
+      : Arg(key, std::string_view(value)) {}
+  Arg(std::string_view key, const std::string& value)
+      : Arg(key, std::string_view(value)) {}
+  Arg(std::string_view key, long long value)
+      : key(key), kind(Kind::kInt), int_value(value) {}
+  Arg(std::string_view key, int value)
+      : Arg(key, static_cast<long long>(value)) {}
+  Arg(std::string_view key, std::size_t value)
+      : Arg(key, static_cast<long long>(value)) {}
+  Arg(std::string_view key, double value)
+      : key(key), kind(Kind::kFloat), float_value(value) {}
+  Arg(std::string_view key, bool value)
+      : key(key), kind(Kind::kBool), bool_value(value) {}
+
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string text;
+  long long int_value = 0;
+  double float_value = 0.0;
+  bool bool_value = false;
+};
+
+/// One recorded event. Spans carry a duration; instants are points in time.
+/// `parent` is the id of the span that was open on the emitting thread when
+/// the event began (0 = root). Timestamps are microseconds since the sink
+/// was created.
+struct TraceEvent {
+  enum class Kind { kSpan, kInstant };
+
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  Kind kind = Kind::kSpan;
+  std::string name;
+  int thread = 0;  ///< dense per-sink thread index (0 = first seen)
+  double start_us = 0.0;
+  double dur_us = 0.0;  ///< 0 for instants
+  std::vector<Arg> args;
+};
+
+/// Per-run event collector. Thread-safe appends; events are stored in
+/// completion order (a child span finishes before its parent). The sink
+/// must outlive every Span created while it was installed.
+class TraceSink {
+ public:
+  TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  std::vector<TraceEvent> events() const;
+  std::size_t num_events() const;
+
+  /// Microseconds since the sink was created (the event time base).
+  double now_us() const;
+
+  // Internal hooks used by Span/instant.
+  std::uint64_t next_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  int thread_index(std::thread::id id);
+  void append(TraceEvent event);
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> threads_;
+};
+
+/// The sink events currently go to, or nullptr when tracing is off (metrics
+/// may still be enabled — see TraceSession).
+TraceSink* current_sink() noexcept;
+
+/// Scoped enablement of the observability layer. At most one session may be
+/// live at a time (sessions are per-run, created at the CLI/bench top
+/// level). Counters/histograms are reset on entry; with a sink, spans and
+/// instants are recorded too; with nullptr only counters run (--metrics
+/// without --trace).
+class TraceSession {
+ public:
+  explicit TraceSession(TraceSink* sink);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+};
+
+/// RAII span timer. Construction is a no-op (no allocation, no clock read)
+/// unless a sink is installed; destruction records the completed event.
+/// Spans nest per thread: a span opened while another is open on the same
+/// thread records it as its parent. Create and destroy on the same thread.
+class Span {
+ public:
+  explicit Span(std::string_view name) : Span(name, {}) {}
+  Span(std::string_view name, std::initializer_list<Arg> args);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when the span is being recorded (cheaper than enabled() +
+  /// re-checking the sink when attaching result args).
+  bool active() const noexcept { return sink_ != nullptr; }
+
+  /// Attaches a result argument (no-op when inactive).
+  void arg(Arg a);
+
+ private:
+  TraceSink* sink_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  double start_us_ = 0.0;
+  std::string name_;
+  std::vector<Arg> args_;
+};
+
+/// Records a point event under the current thread's open span. Callers with
+/// argument lists should guard with `if (obs::enabled())` so the Arg
+/// construction is not paid when observability is off.
+void instant(std::string_view name);
+void instant(std::string_view name, std::initializer_list<Arg> args);
+
+}  // namespace soctest::obs

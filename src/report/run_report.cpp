@@ -1,0 +1,162 @@
+#include "report/run_report.hpp"
+
+#include <cmath>
+
+#include "common/table.hpp"
+#include "report/json.hpp"
+
+namespace soctest {
+
+namespace {
+
+void write_arg_value(JsonWriter& w, const obs::Arg& arg) {
+  switch (arg.kind) {
+    case obs::Arg::Kind::kString:
+      w.value(arg.text);
+      break;
+    case obs::Arg::Kind::kInt:
+      w.value(arg.int_value);
+      break;
+    case obs::Arg::Kind::kFloat:
+      if (std::isfinite(arg.float_value)) {
+        w.value(arg.float_value);
+      } else {
+        w.value(arg.float_value > 0 ? "inf" : "-inf");
+      }
+      break;
+    case obs::Arg::Kind::kBool:
+      w.value(arg.bool_value);
+      break;
+  }
+}
+
+void write_args_object(JsonWriter& w, const std::vector<obs::Arg>& args) {
+  w.begin_object();
+  for (const obs::Arg& arg : args) {
+    w.key(arg.key);
+    write_arg_value(w, arg);
+  }
+  w.end_object();
+}
+
+void write_metrics_members(JsonWriter& w) {
+  w.key("counters").begin_object();
+  for (const auto& c : obs::counter_values()) {
+    w.key(c.name).value(c.value);
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& h : obs::histogram_values()) {
+    w.key(h.name).begin_object();
+    w.key("count").value(h.stats.count);
+    w.key("sum").value(h.stats.sum);
+    w.key("min").value(h.stats.min);
+    w.key("max").value(h.stats.max);
+    w.key("buckets").begin_array();
+    for (long long b : h.stats.buckets) w.value(b);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+std::string trace_json(const obs::TraceSink& sink) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("soctest-trace-v1");
+  w.key("events").begin_array();
+  for (const obs::TraceEvent& e : sink.events()) {
+    w.begin_object();
+    w.key("id").value(static_cast<long long>(e.id));
+    w.key("parent").value(static_cast<long long>(e.parent));
+    w.key("kind").value(e.kind == obs::TraceEvent::Kind::kSpan ? "span"
+                                                               : "instant");
+    w.key("name").value(e.name);
+    w.key("thread").value(e.thread);
+    w.key("ts_us").value(e.start_us);
+    w.key("dur_us").value(e.dur_us);
+    if (!e.args.empty()) {
+      w.key("args");
+      write_args_object(w, e.args);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  write_metrics_members(w);
+  w.end_object();
+  return w.str();
+}
+
+std::string chrome_trace_json(const obs::TraceSink& sink) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const obs::TraceEvent& e : sink.events()) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("soctest");
+    w.key("ph").value(e.kind == obs::TraceEvent::Kind::kSpan ? "X" : "i");
+    if (e.kind == obs::TraceEvent::Kind::kInstant) {
+      w.key("s").value("t");  // thread-scoped instant
+    }
+    w.key("ts").value(e.start_us);
+    if (e.kind == obs::TraceEvent::Kind::kSpan) {
+      w.key("dur").value(e.dur_us);
+    }
+    w.key("pid").value(1);
+    w.key("tid").value(e.thread);
+    w.key("args").begin_object();
+    w.key("id").value(static_cast<long long>(e.id));
+    w.key("parent").value(static_cast<long long>(e.parent));
+    for (const obs::Arg& arg : e.args) {
+      w.key(arg.key);
+      write_arg_value(w, arg);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string metrics_json() {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("soctest-metrics-v1");
+  write_metrics_members(w);
+  w.end_object();
+  return w.str();
+}
+
+std::string metrics_text() {
+  std::string out = "run metrics:\n";
+  Table counters({"counter", "value"});
+  for (const auto& c : obs::counter_values()) {
+    counters.row().add(c.name).add(c.value);
+  }
+  out += counters.to_ascii();
+  const auto histograms = obs::histogram_values();
+  bool any = false;
+  Table hist({"histogram", "count", "mean", "min", "max"});
+  for (const auto& h : histograms) {
+    if (h.stats.count == 0) continue;
+    any = true;
+    hist.row()
+        .add(h.name)
+        .add(h.stats.count)
+        .add(h.stats.count ? h.stats.sum / static_cast<double>(h.stats.count)
+                           : 0.0,
+             2)
+        .add(h.stats.min, 2)
+        .add(h.stats.max, 2);
+  }
+  if (any) out += hist.to_ascii();
+  return out;
+}
+
+}  // namespace soctest

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace soctest {
+
+/// Serializers for the observability layer (src/obs). They live here, not in
+/// src/obs, so the obs library stays a leaf every solver layer can link;
+/// the JSON goes through the in-repo JsonWriter and validates with
+/// json_check. The trace-file schema is documented in docs/observability.md.
+
+/// The native trace format ("soctest-trace-v1"): one object with the event
+/// list (spans and instants, completion-ordered) plus the counter and
+/// histogram snapshot taken at serialization time.
+std::string trace_json(const obs::TraceSink& sink);
+
+/// The same events in Chrome's trace_event format — load the file at
+/// chrome://tracing (or https://ui.perfetto.dev) for a per-thread timeline.
+/// Spans become complete ("ph":"X") events, instants thread-scoped "i"
+/// events; span ids/parents ride along inside "args".
+std::string chrome_trace_json(const obs::TraceSink& sink);
+
+/// Counter + histogram snapshot alone, as one JSON object
+/// ("soctest-metrics-v1"). This is the RunReport of a solve when no trace
+/// was requested.
+std::string metrics_json();
+
+/// Human-readable counter/histogram tables for terminal output
+/// (`soctest --metrics`).
+std::string metrics_text();
+
+}  // namespace soctest

@@ -4,6 +4,9 @@
 #include <limits>
 #include <map>
 #include <sstream>
+#include <utility>
+
+#include "obs/obs.hpp"
 
 namespace soctest {
 
@@ -16,6 +19,9 @@ constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
 PowerScheduleResult build_power_aware_schedule(
     const TamProblem& problem, const Soc& soc,
     const std::vector<int>& core_to_bus, const PowerScheduleOptions& options) {
+  obs::Span span("sched.power.schedule",
+                 {{"cores", problem.num_cores()},
+                  {"pmax_mw", options.p_max_mw}});
   PowerScheduleResult result;
   if (core_to_bus.size() != problem.num_cores() ||
       soc.num_cores() != problem.num_cores()) {
@@ -89,6 +95,36 @@ PowerScheduleResult build_power_aware_schedule(
     return true;
   };
 
+  // Rejection bookkeeping (only when observability is on). The inner start
+  // loop re-scans the queue heads repeatedly at the same cycle, so a blocked
+  // core would be reported many times per tick; dedup per (core, reason)
+  // until time advances.
+  long long rejected_power = 0;
+  long long rejected_mutex = 0;
+  long long rejected_precedence = 0;
+  std::vector<std::pair<std::size_t, char>> rejected_this_tick;
+  auto note_reject = [&](std::size_t core, char code) {
+    if (!obs::enabled()) return;
+    const std::pair<std::size_t, char> key{core, code};
+    for (const auto& seen : rejected_this_tick) {
+      if (seen == key) return;
+    }
+    rejected_this_tick.push_back(key);
+    const char* reason = "precedence";
+    if (code == 'p') {
+      reason = "power";
+      ++rejected_power;
+    } else if (code == 'm') {
+      reason = "mutex";
+      ++rejected_mutex;
+    } else {
+      ++rejected_precedence;
+    }
+    obs::instant("sched.power.reject", {{"core", core},
+                                        {"reason", reason},
+                                        {"cycle", static_cast<long long>(now)}});
+  };
+
   while (scheduled < problem.num_cores() || !running.empty()) {
     // Retire tests finishing at `now`.
     while (!running.empty() && running.begin()->first <= now) {
@@ -110,11 +146,18 @@ PowerScheduleResult build_power_aware_schedule(
         if (next_in_queue[j] >= queue[j].size()) continue;
         if (busy_until[j] > now) continue;
         const std::size_t core = queue[j][next_in_queue[j]];
-        if (!predecessors_done(core)) continue;
-        if (!mutex_free(core)) continue;
+        if (!predecessors_done(core)) {
+          note_reject(core, 'c');
+          continue;
+        }
+        if (!mutex_free(core)) {
+          note_reject(core, 'm');
+          continue;
+        }
         if (options.p_max_mw >= 0 &&
             power_in_use + soc.core(core).test_power_mw >
                 options.p_max_mw + 1e-9) {
+          note_reject(core, 'p');
           continue;
         }
         if (best_bus < 0 ||
@@ -158,6 +201,7 @@ PowerScheduleResult build_power_aware_schedule(
       return result;
     }
     now = next_event;
+    rejected_this_tick.clear();
   }
 
   for (const auto& t : result.schedule.tests) {
@@ -170,6 +214,19 @@ PowerScheduleResult build_power_aware_schedule(
   result.idle_inserted =
       static_cast<Cycles>(num_buses) * result.schedule.makespan - busy_total;
   result.feasible = true;
+  if (obs::enabled()) {
+    obs::counter("sched.power.schedules").add(1);
+    obs::counter("sched.power.starts").add(static_cast<long long>(scheduled));
+    obs::counter("sched.power.rejected_power").add(rejected_power);
+    obs::counter("sched.power.rejected_mutex").add(rejected_mutex);
+    obs::counter("sched.power.rejected_precedence").add(rejected_precedence);
+    obs::counter("sched.power.idle_cycles")
+        .add(static_cast<long long>(result.idle_inserted));
+  }
+  if (span.active()) {
+    span.arg({"makespan", static_cast<long long>(result.schedule.makespan)});
+    span.arg({"idle_inserted", static_cast<long long>(result.idle_inserted)});
+  }
   return result;
 }
 

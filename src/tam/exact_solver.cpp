@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace soctest {
 
@@ -50,6 +51,11 @@ struct Search {
   long long wire_used = 0;
   long long nodes = 0;
   bool aborted = false;
+  // Per-search observability tallies (plain increments on the node path,
+  // batched into the obs counters by flush_metrics()).
+  long long leaves = 0;
+  long long pruned_bound = 0;
+  long long incumbents = 0;
   // Bus-max-sum power constraint state.
   std::vector<double> bus_max_power;
   double power_sum = 0.0;
@@ -289,12 +295,35 @@ struct Search {
           shared->best_value = max_load;
           shared->best_item_bus = item_bus;
         }
+        note_incumbent(max_load);
       }
     } else if (max_load < best) {
       best = max_load;
       best_item_bus = item_bus;
       if (stop_on_first_incumbent) stop_now = true;
+      note_incumbent(max_load);
     }
+  }
+
+  /// Incumbent improvements are rare, so they may emit trace events from
+  /// the node path (everything else batches). `value` is the objective —
+  /// makespan cycles in dfs(), total wirelength in dfs_wire().
+  void note_incumbent(Cycles value) {
+    ++incumbents;
+    if (obs::enabled()) {
+      obs::instant("tam.exact.incumbent",
+                   {{"value", static_cast<long long>(value)}, {"node", nodes}});
+    }
+  }
+
+  /// Batches the search's tallies into the global counters; call once when
+  /// a dfs/dfs_wire run finishes (per subtree task in parallel mode).
+  void flush_metrics() const {
+    if (!obs::enabled()) return;
+    obs::counter("tam.exact.nodes").add(nodes);
+    obs::counter("tam.exact.leaves").add(leaves);
+    obs::counter("tam.exact.pruned_bound").add(pruned_bound);
+    obs::counter("tam.exact.incumbents").add(incumbents);
   }
 
   // Secondary-objective search: minimize total wire cost subject to
@@ -306,13 +335,18 @@ struct Search {
     if (aborted) return;
     if (!enter_node()) return;
     if (k == items.size()) {
+      ++leaves;
       if (wire_used < best_wire) {
         best_wire = wire_used;
         best_item_bus = item_bus;
+        note_incumbent(static_cast<Cycles>(best_wire));
       }
       return;
     }
-    if (wire_used + suffix_min_wire[k] >= best_wire) return;
+    if (wire_used + suffix_min_wire[k] >= best_wire) {
+      ++pruned_bound;
+      return;
+    }
     if (problem.wire_budget >= 0 &&
         wire_used + suffix_min_wire[k] > problem.wire_budget) {
       return;
@@ -372,10 +406,14 @@ struct Search {
     if (k == items.size()) {
       Cycles max_load = 0;
       for (Cycles l : load) max_load = std::max(max_load, l);
+      ++leaves;
       record_leaf(max_load);
       return;
     }
-    if (bound(k) >= current_best()) return;
+    if (bound(k) >= current_best()) {
+      ++pruned_bound;
+      return;
+    }
     if (problem.wire_budget >= 0 &&
         wire_used + suffix_min_wire[k] > problem.wire_budget) {
       return;
@@ -461,6 +499,8 @@ TamSolveResult assemble_result(const TamProblem& problem,
 TamSolveResult solve_exact_parallel(const TamProblem& problem,
                                     const ExactSolverOptions& options,
                                     int threads) {
+  obs::Span span("tam.exact.parallel",
+                 {{"buses", problem.num_buses()}, {"threads", threads}});
   const std::size_t b = problem.num_buses();
   Search proto(problem, options);
   proto.build_items();
@@ -506,6 +546,9 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
     ++depth;
   }
 
+  if (obs::enabled()) obs::counter("tam.exact.nodes").add(enum_nodes);
+  if (span.active()) span.arg({"subtrees", frontier.size()});
+
   TamSolveResult result;
   if (frontier.empty()) {
     // Every branch is pruned by the initial bound / structural constraints:
@@ -523,6 +566,8 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
     ThreadPool pool(static_cast<std::size_t>(threads));
     for (const auto& prefix : frontier) {
       pool.post([&problem, &options, &shared, prefix, b] {
+        obs::Span subtree_span("tam.exact.subtree",
+                               {{"prefix_depth", prefix.size()}});
         Search search(problem, options);
         search.build_items();
         search.build_bus_classes();
@@ -531,6 +576,8 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
         search.cancel = options.cancel;
         search.replay_prefix(prefix);
         search.dfs(prefix.size());
+        search.flush_metrics();
+        if (subtree_span.active()) subtree_span.arg({"nodes", search.nodes});
       });
     }
     pool.wait_all();
@@ -553,6 +600,7 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
   }
 
   // Deterministic witness pass (see function comment).
+  obs::Span witness_span("tam.exact.witness");
   ExactSolverOptions witness_options = options;
   witness_options.max_nodes = -1;  // the proof already fit the budget
   witness_options.threads = 1;
@@ -564,6 +612,8 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
   witness.best = shared.best_value + 1;
   witness.stop_on_first_incumbent = true;
   witness.dfs(0);
+  witness.flush_metrics();
+  if (witness_span.active()) witness_span.arg({"nodes", witness.nodes});
   result.nodes += witness.nodes;
   const std::vector<int>& item_bus = witness.best_item_bus.empty()
                                          ? shared.best_item_bus
@@ -579,6 +629,9 @@ TamSolveResult solve_exact_min_wire(const TamProblem& problem,
   if (problem.wire_cost.empty()) {
     throw std::invalid_argument("solve_exact_min_wire needs wire costs");
   }
+  obs::Span span("tam.exact.min_wire",
+                 {{"buses", problem.num_buses()},
+                  {"makespan_cap", static_cast<long long>(makespan_cap)}});
   TamSolveResult result;
   Search search(problem, options);
   search.build_items();
@@ -590,6 +643,11 @@ TamSolveResult solve_exact_min_wire(const TamProblem& problem,
     search.makespan_cap = std::min(search.makespan_cap, problem.bus_depth_limit);
   }
   search.dfs_wire(0);
+  search.flush_metrics();
+  if (span.active()) {
+    span.arg({"nodes", search.nodes});
+    span.arg({"proved", !search.aborted});
+  }
 
   result.nodes = search.nodes;
   if (search.best_item_bus.empty()) {
@@ -620,6 +678,7 @@ TamSolveResult solve_exact(const TamProblem& problem,
       options.threads == 1 ? 1 : resolve_thread_count(options.threads);
   if (threads > 1) return solve_exact_parallel(problem, options, threads);
 
+  obs::Span span("tam.exact.solve", {{"buses", problem.num_buses()}});
   TamSolveResult result;
   Search search(problem, options);
   search.build_items();
@@ -628,6 +687,12 @@ TamSolveResult solve_exact(const TamProblem& problem,
   search.cancel = options.cancel;
   search.best = initial_pruning_bound(problem, options);
   search.dfs(0);
+  search.flush_metrics();
+  if (span.active()) {
+    span.arg({"items", search.items.size()});
+    span.arg({"nodes", search.nodes});
+    span.arg({"proved", !search.aborted});
+  }
 
   result.nodes = search.nodes;
   if (search.best_item_bus.empty()) {

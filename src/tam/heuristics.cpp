@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace soctest {
 
 namespace {
@@ -96,6 +98,7 @@ TamSolveResult assemble(const TamProblem& problem,
 }  // namespace
 
 TamSolveResult solve_greedy_lpt(const TamProblem& problem) {
+  if (obs::enabled()) obs::counter("tam.greedy.solves").add(1);
   auto items = contract_items(problem);
   std::sort(items.begin(), items.end(),
             [](const Item& a, const Item& b) { return a.min_time > b.min_time; });
@@ -149,6 +152,7 @@ TamSolveResult solve_greedy_lpt(const TamProblem& problem) {
 }
 
 TamSolveResult solve_sa(const TamProblem& problem, const SaSolverOptions& options) {
+  obs::Span span("tam.sa.solve", {{"iterations", options.iterations}});
   auto items = contract_items(problem);
   std::sort(items.begin(), items.end(),
             [](const Item& a, const Item& b) { return a.min_time > b.min_time; });
@@ -244,6 +248,7 @@ TamSolveResult solve_sa(const TamProblem& problem, const SaSolverOptions& option
                            ? options.initial_temperature
                            : std::max(1.0, cost * 0.05);
   long long moves = 0;
+  long long accepted = 0;
   for (int it = 0; it < options.iterations; ++it) {
     if (options.cancel && options.cancel->cancelled()) break;
     std::vector<int> candidate = item_bus;
@@ -272,6 +277,7 @@ TamSolveResult solve_sa(const TamProblem& problem, const SaSolverOptions& option
     const double cand_cost = evaluate(candidate);
     const double delta = cand_cost - cost;
     if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
+      ++accepted;
       item_bus = std::move(candidate);
       cost = cand_cost;
       if (cost < best_any_cost) {
@@ -284,6 +290,15 @@ TamSolveResult solve_sa(const TamProblem& problem, const SaSolverOptions& option
       }
     }
     temperature *= options.cooling;
+  }
+  if (obs::enabled()) {
+    obs::counter("tam.sa.solves").add(1);
+    obs::counter("tam.sa.moves").add(moves);
+    obs::counter("tam.sa.accepted").add(accepted);
+  }
+  if (span.active()) {
+    span.arg({"moves", moves});
+    span.arg({"accepted", accepted});
   }
   const auto& chosen = best_feasible.empty() ? best_any : best_feasible;
   return assemble(problem, items, chosen, moves);

@@ -3,16 +3,27 @@
 #include <algorithm>
 
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace soctest {
 
 PortfolioResult solve_portfolio(const TamProblem& problem,
                                 const PortfolioOptions& options) {
+  obs::Span race_span("tam.portfolio.race", {{"cores", problem.num_cores()},
+                                             {"buses", problem.num_buses()}});
   PortfolioResult out;
 
   // Stage 1: greedy-LPT is orders of magnitude cheaper than either racer, so
   // it runs synchronously and its incumbent warm-starts the exact search.
-  const TamSolveResult greedy = solve_greedy_lpt(problem);
+  TamSolveResult greedy;
+  {
+    obs::Span greedy_span("tam.portfolio.greedy");
+    greedy = solve_greedy_lpt(problem);
+    if (greedy_span.active() && greedy.feasible) {
+      greedy_span.arg(
+          {"makespan", static_cast<long long>(greedy.assignment.makespan)});
+    }
+  }
   Cycles upper_bound = options.initial_upper_bound;
   if (greedy.feasible) {
     out.heuristic_bound = greedy.assignment.makespan;
@@ -37,19 +48,47 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
   {
     const int threads = std::max(2, resolve_thread_count(options.threads));
     ThreadPool pool(static_cast<std::size_t>(threads));
-    auto exact_future =
-        pool.submit([&] { return solve_exact(problem, exact_options); });
-    auto sa_future = pool.submit([&] { return solve_sa(problem, sa_options); });
+    auto exact_future = pool.submit([&] {
+      obs::Span span("tam.portfolio.exact");
+      TamSolveResult r = solve_exact(problem, exact_options);
+      if (span.active()) {
+        span.arg({"nodes", r.nodes});
+        span.arg({"proved", r.proved_optimal});
+      }
+      return r;
+    });
+    auto sa_future = pool.submit([&] {
+      obs::Span span("tam.portfolio.sa");
+      TamSolveResult r = solve_sa(problem, sa_options);
+      if (span.active()) span.arg({"moves", r.nodes});
+      return r;
+    });
     exact = exact_future.get();
     if (exact.proved_optimal) {
       // The exact racer won outright: the SA incumbent can no longer matter.
       cancel_sa.cancel();
       out.sa_cancelled = true;
+      obs::instant("tam.portfolio.sa_cancel");
     }
     sa = sa_future.get();
   }
   out.exact_nodes = exact.nodes;
   out.sa_moves = sa.nodes;
+  if (obs::enabled()) {
+    obs::counter("tam.portfolio.races").add(1);
+    if (out.sa_cancelled) obs::counter("tam.portfolio.sa_cancelled").add(1);
+  }
+
+  auto note_winner = [&] {
+    if (!obs::enabled()) return;
+    obs::counter(std::string("tam.portfolio.win_") + out.winner).add(1);
+    if (race_span.active()) {
+      race_span.arg({"winner", out.winner});
+      race_span.arg({"heuristic_bound", static_cast<long long>(out.heuristic_bound)});
+      race_span.arg({"exact_nodes", out.exact_nodes});
+      race_span.arg({"sa_moves", out.sa_moves});
+    }
+  };
 
   // Stage 3: deterministic selection. A completed exact solve dominates —
   // its warm start was an upper bound on the optimum, so "infeasible with
@@ -57,11 +96,13 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
   if (exact.proved_optimal && exact.feasible) {
     out.best = exact;
     out.winner = "exact";
+    note_winner();
     return out;
   }
   if (exact.proved_optimal && !greedy.feasible && !sa.feasible) {
     out.best = exact;  // proven infeasible
     out.winner = "exact";
+    note_winner();
     return out;
   }
   // Aborted/cancelled exact: keep the best feasible incumbent, preferring
@@ -82,6 +123,7 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
   consider(greedy, "greedy");
   consider(sa, "sa");
   out.best.proved_optimal = false;
+  note_winner();
   return out;
 }
 

@@ -1,0 +1,232 @@
+// Tests for the src/obs instrumentation layer: counter atomicity under the
+// thread pool, span parent/child nesting, JSON serialization round-trips
+// through the report layer, and the zero-allocation guarantee when tracing
+// is disabled.
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/options.hpp"
+#include "cli/run.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
+#include "report/json.hpp"
+#include "report/run_report.hpp"
+
+namespace {
+
+std::atomic<long long> g_heap_allocations{0};
+
+}  // namespace
+
+// Replacing the global allocator lets DisabledModeAllocatesNothing observe
+// the heap directly. Counting stays cheap enough not to distort other tests.
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace soctest {
+namespace {
+
+TEST(ObsCounter, ExactUnderThreadPoolContention) {
+  obs::reset_metrics();
+  obs::Counter& counter = obs::counter("obs_test.atomic");
+  constexpr int kTasks = 64;
+  constexpr int kIncrementsPerTask = 10000;
+  {
+    ThreadPool pool(8);
+    for (int t = 0; t < kTasks; ++t) {
+      pool.post([&counter] {
+        for (int i = 0; i < kIncrementsPerTask; ++i) counter.add(1);
+      });
+    }
+    pool.wait_all();
+  }
+  EXPECT_EQ(counter.value(),
+            static_cast<long long>(kTasks) * kIncrementsPerTask);
+}
+
+TEST(ObsCounter, RegistryReturnsStableReferencesAndSortedSnapshots) {
+  obs::reset_metrics();
+  obs::Counter& b = obs::counter("obs_test.sort.b");
+  obs::Counter& a = obs::counter("obs_test.sort.a");
+  EXPECT_EQ(&a, &obs::counter("obs_test.sort.a"));
+  a.add(1);
+  b.add(2);
+  const auto values = obs::counter_values();
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    EXPECT_LT(values[i - 1].name, values[i].name);
+  }
+  long long seen_a = -1, seen_b = -1;
+  for (const auto& c : values) {
+    if (c.name == "obs_test.sort.a") seen_a = c.value;
+    if (c.name == "obs_test.sort.b") seen_b = c.value;
+  }
+  EXPECT_EQ(seen_a, 1);
+  EXPECT_EQ(seen_b, 2);
+}
+
+TEST(ObsHistogram, SnapshotStats) {
+  obs::reset_metrics();
+  obs::Histogram& h = obs::histogram("obs_test.hist");
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(3.0);
+  const auto snapshot = h.snapshot();
+  EXPECT_EQ(snapshot.count, 3);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 6.0);
+  EXPECT_DOUBLE_EQ(snapshot.min, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.max, 3.0);
+  long long bucketed = 0;
+  for (long long b : snapshot.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, 3);
+}
+
+TEST(ObsSpan, ParentChildNestingAndInstantLinkage) {
+  obs::TraceSink sink;
+  {
+    obs::TraceSession session(&sink);
+    obs::Span outer("outer", {{"depth", 0}});
+    {
+      obs::Span inner("inner");
+      obs::instant("tick", {{"flag", true}});
+    }
+  }
+  const auto& events = sink.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Instants append at creation, spans at destruction: tick, inner, outer.
+  const obs::TraceEvent& tick = events[0];
+  const obs::TraceEvent& inner = events[1];
+  const obs::TraceEvent& outer = events[2];
+  EXPECT_EQ(tick.name, "tick");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(tick.parent, inner.id);
+  EXPECT_EQ(tick.kind, obs::TraceEvent::Kind::kInstant);
+  EXPECT_EQ(outer.kind, obs::TraceEvent::Kind::kSpan);
+  EXPECT_GE(outer.dur_us, inner.dur_us);
+  EXPECT_LE(outer.start_us, inner.start_us);
+}
+
+TEST(ObsSpan, CrossThreadSpansHaveNoParentAndDistinctThreadIndex) {
+  obs::TraceSink sink;
+  {
+    obs::TraceSession session(&sink);
+    obs::Span root("root");
+    {
+      ThreadPool pool(1);
+      pool.post([] { obs::Span worker("worker"); });
+      pool.wait_all();
+    }
+  }
+  const auto& events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  const obs::TraceEvent& worker = events[0];
+  const obs::TraceEvent& root = events[1];
+  // The span-id stack is thread-local, so a pool-thread span is a root.
+  EXPECT_EQ(worker.parent, 0u);
+  EXPECT_NE(worker.thread, root.thread);
+}
+
+TEST(ObsSession, ResetsMetricsOnEntryAndDisablesOnExit) {
+  obs::counter("obs_test.reset").add(41);
+  {
+    obs::TraceSession session(nullptr);  // counters-only mode
+    EXPECT_TRUE(obs::enabled());
+    EXPECT_EQ(obs::counter("obs_test.reset").value(), 0);
+    obs::counter("obs_test.reset").add(1);
+  }
+  EXPECT_FALSE(obs::enabled());
+  EXPECT_EQ(obs::counter("obs_test.reset").value(), 1);
+}
+
+TEST(ObsReport, TraceJsonRoundTripsThroughJsonCheck) {
+  obs::TraceSink sink;
+  {
+    obs::TraceSession session(&sink);
+    obs::counter("obs_test.json.counter").add(7);
+    obs::histogram("obs_test.json.hist").observe(2.5);
+    obs::Span span("obs_test.json.span",
+                   {{"text", "quote\"and\\slash"}, {"n", 3}, {"x", 1.5}});
+    obs::instant("obs_test.json.instant");
+  }
+  const std::string trace = trace_json(sink);
+  EXPECT_EQ(json_check(trace), "") << trace;
+  EXPECT_NE(trace.find("soctest-trace-v1"), std::string::npos);
+  EXPECT_NE(trace.find("obs_test.json.span"), std::string::npos);
+  EXPECT_NE(trace.find("obs_test.json.counter"), std::string::npos);
+
+  const std::string chrome = chrome_trace_json(sink);
+  EXPECT_EQ(json_check(chrome), "") << chrome;
+  EXPECT_NE(chrome.find("traceEvents"), std::string::npos);
+  EXPECT_NE(chrome.find("obs_test.json.span"), std::string::npos);
+
+  const std::string metrics = metrics_json();
+  EXPECT_EQ(json_check(metrics), "") << metrics;
+  EXPECT_NE(metrics.find("obs_test.json.hist"), std::string::npos);
+}
+
+TEST(ObsOverhead, DisabledModeAllocatesNothing) {
+  ASSERT_FALSE(obs::enabled());
+  // Intern the counter before the measured region; hot code caches the
+  // reference exactly like this.
+  obs::Counter& counter = obs::counter("obs_test.disabled");
+  const long long before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span span("obs_test.disabled.span");
+    counter.add(1);
+    obs::instant("obs_test.disabled.instant");
+  }
+  const long long after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0);
+}
+
+TEST(ObsCli, TraceAndMetricsFlagsProduceValidJson) {
+  const std::string trace_path = "obs_cli_trace.json";
+  const std::string chrome_path = "obs_cli_trace_chrome.json";
+  const CliOptions options =
+      parse_cli({"--soc", "soc1", "--widths", "16,16", "--solver", "portfolio",
+                 "--trace", trace_path, "--trace-chrome", chrome_path,
+                 "--metrics"});
+  EXPECT_EQ(options.trace_path, trace_path);
+  EXPECT_TRUE(options.metrics);
+  const CliResult result = run_cli(options);
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("run metrics:"), std::string::npos);
+  EXPECT_NE(result.output.find("tam.portfolio.races"), std::string::npos);
+
+  for (const std::string& path : {trace_path, chrome_path}) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(json_check(buffer.str()), "") << path;
+  }
+  std::remove(trace_path.c_str());
+  std::remove(chrome_path.c_str());
+}
+
+}  // namespace
+}  // namespace soctest
