@@ -1,0 +1,88 @@
+// Anytime quality: what a wall-clock budget buys. The portfolio race runs
+// on a random SOC big enough that the exact racer needs real time, under
+// --time-limit-ms-style budgets of 10 / 100 / 1000 ms, and each row records
+// the certificate of the returned incumbent: its makespan, the lower bound,
+// and the gap against the unlimited optimum. The unlimited run is the
+// reference row (gap 0, status optimal).
+//
+// Budgets run serially (never inside the sweep pool): a deadline bench
+// measures wall-clock behavior, and pool contention would shrink the work a
+// budget buys.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "soc/generator.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/portfolio.hpp"
+#include "wrapper/test_time_table.hpp"
+
+using namespace soctest;
+
+int main() {
+  std::cout << benchutil::header(
+      "Anytime", "portfolio incumbent quality under wall-clock budgets");
+
+  Rng rng(28 * 7919);
+  SocGeneratorOptions gen;
+  gen.num_cores = 28;
+  gen.place = false;
+  const Soc soc = generate_soc(gen, rng);
+  const TestTimeTable table(soc, 16);
+  const TamProblem problem = make_tam_problem(soc, table, {16, 8, 8});
+
+  benchutil::Stopwatch sw_opt;
+  const TamSolveResult exact = solve_exact(problem);
+  const double ms_opt = sw_opt.ms();
+  const auto t_opt = static_cast<long long>(exact.assignment.makespan);
+
+  benchutil::JsonLog log("anytime_quality");
+  Table out({"budget_ms", "status", "makespan", "lower_bound", "gap_vs_lb",
+             "gap_vs_opt", "ms_used"});
+
+  const std::vector<double> budgets = {10, 100, 1000, -1};
+  for (const double budget : budgets) {
+    PortfolioOptions options;
+    if (budget >= 0) options.deadline = Deadline::after_ms(budget);
+    benchutil::Stopwatch sw;
+    const PortfolioResult race = solve_portfolio(problem, options);
+    const double ms_used = sw.ms();
+    const auto makespan =
+        static_cast<long long>(race.best.assignment.makespan);
+    const double gap_vs_opt =
+        t_opt > 0 ? static_cast<double>(makespan - t_opt) / t_opt : -1.0;
+
+    const std::string label =
+        budget >= 0 ? "anytime_gap_" + std::to_string(static_cast<int>(budget)) + "ms"
+                    : "anytime_gap_unlimited";
+    log.record()
+        .set("cell", label)
+        .set("budget_ms", budget, 0)
+        .set("status", solve_status_name(race.certificate.status))
+        .set("makespan", makespan)
+        .set("lower_bound", race.certificate.lower_bound)
+        .set("gap_vs_lb", race.certificate.gap(), 4)
+        .set("gap_vs_opt", gap_vs_opt, 4)
+        .set("T_opt", t_opt)
+        .set("ms_opt", ms_opt)
+        .set("ms_used", ms_used);
+
+    out.row()
+        .add(budget >= 0 ? std::to_string(static_cast<int>(budget))
+                         : std::string("unlimited"))
+        .add(std::string(solve_status_name(race.certificate.status)))
+        .add(makespan)
+        .add(race.certificate.lower_bound)
+        .add(race.certificate.gap(), 4)
+        .add(gap_vs_opt, 4)
+        .add(ms_used, 3);
+  }
+
+  std::cout << out.to_ascii();
+  log.write("BENCH_solvers.json");
+  std::cout << "wrote BENCH_solvers.json\n";
+  return 0;
+}

@@ -7,7 +7,9 @@
 #   1. every src/<module> directory is named in docs/architecture.md;
 #   2. every `soctest --flag` shown in a fenced code block of README.md,
 #      DESIGN.md, or docs/*.md is actually recognized by the CLI parser
-#      (src/cli/options.cpp).
+#      (src/cli/options.cpp);
+#   3. every failpoint site in src/runtime/failpoint.hpp is documented in
+#      docs/robustness.md (the catalog is the fault-injection contract).
 #
 # Wired into ctest as the `docs` label: ctest -L docs
 
@@ -42,6 +44,16 @@ for doc in "$root"/README.md "$root"/DESIGN.md "$root"/docs/*.md; do
       fail=1
     fi
   done
+done
+
+for site in $(grep -E '^inline constexpr const char\* k' \
+                "$root/src/runtime/failpoint.hpp" |
+                grep -oE '"[a-z.]+"' | tr -d '"' | sort -u); do
+  if ! grep -qF "$site" "$root/docs/robustness.md"; then
+    echo "FAIL: failpoint site '$site' (src/runtime/failpoint.hpp)" \
+         "is not documented in docs/robustness.md"
+    fail=1
+  fi
 done
 
 if [ "$fail" -ne 0 ]; then

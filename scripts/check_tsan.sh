@@ -13,5 +13,5 @@ BUILD_DIR="${1:-build-tsan}"
 cmake -B "$BUILD_DIR" -S . -DSOCTEST_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j \
   --target parallel_test exact_solver_test heuristics_test architect_test \
-           branch_and_bound_test
-ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"
+           branch_and_bound_test deadline_test fault_injection_test
+ctest --test-dir "$BUILD_DIR" -L 'tsan|faults' --output-on-failure -j "$(nproc)"

@@ -125,6 +125,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.trace_chrome_path = value(arg);
     } else if (arg == "--metrics") {
       options.metrics = true;
+    } else if (arg == "--time-limit-ms") {
+      options.time_limit_ms = to_double(value(arg), arg);
+      if (options.time_limit_ms < 0) fail("--time-limit-ms must be >= 0");
+    } else if (arg == "--failpoints") {
+      options.failpoints = value(arg);
+      if (options.failpoints.empty()) fail("--failpoints: empty spec");
     } else {
       fail("unknown argument '" + arg + "'");
     }
@@ -175,6 +181,14 @@ Observability:
                         (load via chrome://tracing or ui.perfetto.dev)
   --metrics             append run counters/histograms to the output (a table,
                         or a JSON object with --json)
+
+Robustness:
+  --time-limit-ms T     wall-clock solve budget; the run becomes anytime and
+                        reports the best incumbent found in time with a
+                        quality certificate (status=... line / JSON fields)
+  --failpoints SPEC     arm fault-injection sites, e.g.
+                        "tam.exact.node=error:100"; comma-separated
+                        site=action[:hit] entries (docs/robustness.md)
   --help                this text
 )";
 }

@@ -42,6 +42,13 @@ struct CliOptions {
   /// Collect solver counters/histograms and append them to the output
   /// (--metrics). Implied collection also happens whenever tracing is on.
   bool metrics = false;
+  /// Wall-clock solve budget in milliseconds (--time-limit-ms); < 0 means
+  /// unlimited. With a budget the run is anytime: it returns the best
+  /// incumbent found in time plus a quality certificate (docs/robustness.md).
+  double time_limit_ms = -1.0;
+  /// Fault-injection spec (--failpoints "site=action[:hit],..."); empty means
+  /// no faults armed. See docs/robustness.md for the site catalog.
+  std::string failpoints;
 };
 
 /// Parses argv-style arguments (without argv[0]). Throws

@@ -10,6 +10,8 @@
 #include "report/design_report.hpp"
 #include "report/run_report.hpp"
 #include "report/svg.hpp"
+#include "runtime/failpoint.hpp"
+#include "runtime/status.hpp"
 #include "sched/gantt.hpp"
 #include "sched/power_profile.hpp"
 #include "sched/power_sched.hpp"
@@ -22,20 +24,50 @@ namespace soctest {
 
 namespace {
 
-Soc load_soc(const std::string& name) {
+StatusOr<Soc> load_soc(const std::string& name) {
   if (name == "soc1") return builtin_soc1();
   if (name == "soc2") return builtin_soc2();
   if (name == "soc3") return builtin_soc3();
   if (name == "soc4") return builtin_soc4();
-  return read_soc_file(name);
+  return parse_soc_file(name);
 }
+
+/// Exit code for a run that ended without a usable result: why it stopped
+/// decides between plain infeasibility and the interruption codes.
+int exit_code_for_stop(StopReason stop) {
+  switch (stop) {
+    case StopReason::kDeadline:
+    case StopReason::kCancelled:
+      return kExitDeadline;
+    case StopReason::kFault:
+      return kExitInternal;
+    default:
+      return kExitInfeasible;
+  }
+}
+
+/// Disarms CLI-requested failpoints when the run ends, whichever path it
+/// takes out of run_cli.
+struct FailpointGuard {
+  bool armed = false;
+  ~FailpointGuard() {
+    if (armed) failpoint::disarm_all();
+  }
+};
 
 /// The actual design flow; run_cli wraps it with the observability session.
 CliResult run_design(const CliOptions& options) {
   CliResult result;
   std::ostringstream out;
   try {
-    const Soc soc = load_soc(options.soc);
+    StatusOr<Soc> loaded = load_soc(options.soc);
+    if (!loaded.ok()) {
+      out << "error: " << loaded.status().to_string() << "\n";
+      result.exit_code = exit_code_for(loaded.status());
+      result.output = out.str();
+      return result;
+    }
+    const Soc soc = loaded.take();
 
     DesignRequest request;
     request.bus_widths = options.widths;
@@ -50,12 +82,17 @@ CliResult run_design(const CliOptions& options) {
     if (!options.idle_insertion) request.p_max_mw = options.p_max;
     request.power_mode = options.power_mode;
     request.ate_depth_limit = options.ate_depth;
+    if (options.time_limit_ms >= 0) {
+      request.deadline = Deadline::after_ms(options.time_limit_ms);
+    }
 
     const DesignResult design = design_architecture(soc, request);
     if (!options.json) out << describe_design(soc, request, design);
     if (!design.feasible) {
       if (options.json) out << design_report_json(soc, request, design) << "\n";
-      result.exit_code = 1;
+      result.exit_code = design.certificate.status == SolveStatus::kError
+                             ? kExitInternal
+                             : exit_code_for_stop(design.stop);
       result.output = out.str();
       return result;
     }
@@ -71,11 +108,14 @@ CliResult run_design(const CliOptions& options) {
     if (options.idle_insertion && options.p_max >= 0) {
       PowerScheduleOptions sched_options;
       sched_options.p_max_mw = options.p_max;
+      // The scheduler shares the run's wall-clock budget (Deadline is an
+      // absolute point in time, so solve time already spent counts).
+      sched_options.deadline = request.deadline;
       const PowerScheduleResult ps = build_power_aware_schedule(
           problem, soc, design.assignment.core_to_bus, sched_options);
       if (!ps.feasible) {
         out << "idle-insertion scheduling failed: " << ps.error << "\n";
-        result.exit_code = 1;
+        result.exit_code = exit_code_for_stop(ps.stop);
         result.output = out.str();
         return result;
       }
@@ -112,10 +152,20 @@ CliResult run_design(const CliOptions& options) {
         plan = design.bus_plan;
         stubs = route_stubs(soc, *plan, design.assignment.core_to_bus);
       }
+      if (failpoint::armed() &&
+          failpoint::hit(failpoint::sites::kReportWrite)) {
+        const Status st =
+            fault_injected_error("injected fault writing " + options.svg_path);
+        out << "error: " << st.to_string() << "\n";
+        result.exit_code = exit_code_for(st);
+        result.output = out.str();
+        return result;
+      }
       std::ofstream svg_file(options.svg_path);
       if (!svg_file) {
-        out << "error: cannot write " << options.svg_path << "\n";
-        result.exit_code = 2;
+        const Status st = io_error("cannot write " + options.svg_path);
+        out << "error: " << st.to_string() << "\n";
+        result.exit_code = exit_code_for(st);
         result.output = out.str();
         return result;
       }
@@ -123,9 +173,20 @@ CliResult run_design(const CliOptions& options) {
                                        stubs ? &*stubs : nullptr);
       if (!options.json) out << "wrote " << options.svg_path << "\n";
     }
+  } catch (const std::invalid_argument& e) {
+    out << "error: " << e.what() << "\n";
+    result.exit_code = kExitUsage;
+  } catch (const std::bad_alloc&) {
+    out << "error: out of memory\n";
+    result.exit_code = kExitInternal;
+  } catch (const std::runtime_error& e) {
+    // The architect throws std::runtime_error for structurally infeasible
+    // constraint sets (unconnectable core, over-budget core power).
+    out << "error: " << e.what() << "\n";
+    result.exit_code = kExitInfeasible;
   } catch (const std::exception& e) {
     out << "error: " << e.what() << "\n";
-    result.exit_code = 2;
+    result.exit_code = kExitInternal;
   }
   result.output = out.str();
   return result;
@@ -138,6 +199,18 @@ CliResult run_cli(const CliOptions& options) {
     CliResult result;
     result.output = cli_usage();
     return result;
+  }
+
+  FailpointGuard failpoint_guard;
+  if (!options.failpoints.empty()) {
+    const Status st = failpoint::arm(options.failpoints);
+    if (!st.ok()) {
+      CliResult result;
+      result.output = "error: " + st.to_string() + "\n" + cli_usage();
+      result.exit_code = kExitUsage;
+      return result;
+    }
+    failpoint_guard.armed = true;
   }
 
   const bool tracing =
@@ -155,13 +228,20 @@ CliResult run_cli(const CliOptions& options) {
   }
 
   auto write_file = [&](const std::string& path, const std::string& body) {
-    std::ofstream file(path);
-    if (!file) {
-      result.output += "error: cannot write " + path + "\n";
-      result.exit_code = 2;
-      return;
+    Status st = Status::Ok();
+    if (failpoint::armed() && failpoint::hit(failpoint::sites::kReportWrite)) {
+      st = fault_injected_error("injected fault writing " + path);
     }
-    file << body << "\n";
+    if (st.ok()) {
+      std::ofstream file(path);
+      if (file) {
+        file << body << "\n";
+        return;
+      }
+      st = io_error("cannot write " + path);
+    }
+    result.output += "error: " + st.to_string() + "\n";
+    result.exit_code = exit_code_for(st);
   };
   if (!options.trace_path.empty()) {
     write_file(options.trace_path, trace_json(sink));

@@ -1,8 +1,17 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace soctest {
+
+namespace {
+std::atomic<void (*)()> g_task_hook{nullptr};
+}  // namespace
+
+void set_thread_pool_task_hook(void (*hook)()) {
+  g_task_hook.store(hook, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
@@ -35,6 +44,10 @@ void ThreadPool::wait_all() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+long long ThreadPool::task_errors() const {
+  return task_errors_.load(std::memory_order_relaxed);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -45,7 +58,14 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      if (auto* hook = g_task_hook.load(std::memory_order_acquire)) hook();
+      task();
+    } catch (...) {
+      // A task failure (including one injected by the hook) must not take
+      // the process down; submit() callers see it as a broken promise.
+      task_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -13,6 +14,14 @@
 #include <vector>
 
 namespace soctest {
+
+/// Hook invoked before every pool task runs, on the worker thread. Installed
+/// by the runtime layer's fault-injection facility (common cannot depend on
+/// runtime, so the coupling is this one function pointer). A throwing hook
+/// makes the task fail: `post` tasks are contained and counted in
+/// `task_errors()`, `submit` tasks surface the failure through the returned
+/// future as a broken promise. Pass nullptr to uninstall.
+void set_thread_pool_task_hook(void (*hook)());
 
 /// Fixed-size thread pool for CPU-bound solver and benchmark work.
 ///
@@ -36,8 +45,9 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues `task`. The task must not throw (an escaping exception
-  /// terminates the process, as with any thread).
+  /// Enqueues `task`. An exception escaping the task (or thrown by the
+  /// installed task hook) is contained by the worker and counted in
+  /// `task_errors()` rather than terminating the process.
   void post(std::function<void()> task);
 
   /// Enqueues `task` and returns a future for its result.
@@ -54,6 +64,10 @@ class ThreadPool {
   /// Blocks until all tasks posted so far have completed.
   void wait_all();
 
+  /// Number of tasks whose exception (own or from the task hook) was
+  /// contained by the worker instead of terminating the process.
+  long long task_errors() const;
+
  private:
   void worker_loop();
 
@@ -63,6 +77,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // queued + currently executing
   bool stopping_ = false;
+  std::atomic<long long> task_errors_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "obs/obs.hpp"
+#include "runtime/failpoint.hpp"
 
 namespace soctest {
 
@@ -171,10 +172,13 @@ MipResult solve_mip_impl(const LinearProgram& lp, const MipOptions& options,
     }
   }
 
+  StopCheck stop_check(options.deadline, options.cancel,
+                       failpoint::sites::kIlpNode);
   while (!open.empty()) {
-    const bool cancelled = options.cancel && options.cancel->cancelled();
-    if (cancelled || result.nodes_explored >= options.max_nodes) {
+    const bool interrupted = stop_check.should_stop();
+    if (interrupted || result.nodes_explored >= options.max_nodes) {
       result.status = MipStatus::kNodeLimit;
+      result.stop = interrupted ? stop_check.reason() : StopReason::kNodeBudget;
       if (have_incumbent) {
         result.objective = incumbent_obj;
         result.x = std::move(incumbent_x);

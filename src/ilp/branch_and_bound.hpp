@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "ilp/linear_program.hpp"
 #include "ilp/simplex.hpp"
+#include "runtime/deadline.hpp"
 
 namespace soctest {
 
@@ -18,6 +19,10 @@ struct MipResult {
   long long nodes_explored = 0;
   /// Best LP bound at termination (== objective when optimal).
   double best_bound = 0.0;
+  /// Why the search stopped early; kNone when it ran to completion. A
+  /// kNodeLimit status with stop == kDeadline/kCancelled was interrupted,
+  /// not node-capped.
+  StopReason stop = StopReason::kNone;
 };
 
 struct MipOptions {
@@ -36,6 +41,10 @@ struct MipOptions {
   /// Optional cooperative cancellation (portfolio racing). When the token
   /// fires mid-search the solver returns kNodeLimit with its incumbent.
   const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline (anytime mode). On expiry the solver
+  /// returns kNodeLimit with its incumbent and stop = kDeadline; best_bound
+  /// stays a valid lower bound for gap reporting.
+  Deadline deadline;
   /// Optional racing incumbent shared with concurrent solvers (minimization
   /// objective value). The solver prunes nodes against min(own incumbent,
   /// shared value) and publishes its own improvements back with a CAS-min,

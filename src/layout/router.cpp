@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "runtime/failpoint.hpp"
+
 namespace soctest {
 
 namespace {
@@ -38,7 +40,10 @@ std::optional<RoutePath> GridRouter::route(Point from, Point to) const {
   frontier.push(from);
   seen[grid_.index(from)] = 1;
   std::vector<Point> nbrs;
+  StopCheck stop_check(control_.deadline, control_.cancel,
+                       failpoint::sites::kRouteStep);
   while (!frontier.empty()) {
+    if (stop_check.should_stop()) return std::nullopt;
     const Point p = frontier.front();
     frontier.pop();
     if (p == to) return backtrack(grid_, prev, from, to);
@@ -71,7 +76,10 @@ std::optional<RoutePath> GridRouter::route_weighted(
   dist[grid_.index(from)] = 0.0;
   heap.push({0.0, grid_.index(from)});
   std::vector<Point> nbrs;
+  StopCheck stop_check(control_.deadline, control_.cancel,
+                       failpoint::sites::kRouteStep);
   while (!heap.empty()) {
+    if (stop_check.should_stop()) return std::nullopt;
     const auto [d, cell] = heap.top();
     heap.pop();
     if (d > dist[cell]) continue;  // stale entry
@@ -122,7 +130,10 @@ std::optional<RoutePath> GridRouter::route_weighted_multi(
     }
   }
   std::vector<Point> nbrs;
+  StopCheck stop_check(control_.deadline, control_.cancel,
+                       failpoint::sites::kRouteStep);
   while (!heap.empty()) {
+    if (stop_check.should_stop()) return std::nullopt;
     const auto [d, cell] = heap.top();
     heap.pop();
     if (d > dist[cell]) continue;
@@ -162,7 +173,11 @@ std::vector<int> GridRouter::distance_map(const std::vector<Point>& sources) con
     frontier.push(s);
   }
   std::vector<Point> nbrs;
+  StopCheck stop_check(control_.deadline, control_.cancel,
+                       failpoint::sites::kRouteStep);
   while (!frontier.empty()) {
+    // On interruption the map stays partial: -1 for unexplored cells.
+    if (stop_check.should_stop()) break;
     const Point p = frontier.front();
     frontier.pop();
     grid_.neighbors(p, nbrs);

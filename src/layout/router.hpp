@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "layout/grid.hpp"
+#include "runtime/deadline.hpp"
 
 namespace soctest {
 
@@ -18,9 +19,15 @@ struct RoutePath {
 
 /// Obstacle-aware maze router on a DieGrid. Stateless; all methods are pure
 /// queries against the grid passed at construction.
+///
+/// An optional SolveControl makes the searches interruptible: when the
+/// deadline expires or the token fires mid-search, route queries return
+/// nullopt (treated by callers as "no route within budget") and distance
+/// maps stay partial (-1 for unexplored cells).
 class GridRouter {
  public:
-  explicit GridRouter(const DieGrid& grid) : grid_(grid) {}
+  explicit GridRouter(const DieGrid& grid, SolveControl control = {})
+      : grid_(grid), control_(control) {}
 
   /// Unit-cost shortest path (BFS / Lee router). Endpoints must be free
   /// cells. Returns nullopt when no route exists.
@@ -48,6 +55,7 @@ class GridRouter {
 
  private:
   const DieGrid& grid_;
+  SolveControl control_;
 };
 
 }  // namespace soctest

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "runtime/failpoint.hpp"
 
 namespace soctest {
 
@@ -90,7 +91,11 @@ void sa_place(Soc& soc, const SaPlacerOptions& options, Rng& rng) {
   std::vector<Placement> best = placements;
   long long best_cost = cost;
   double temperature = options.initial_temperature;
+  StopCheck stop_check(options.deadline, options.cancel,
+                       failpoint::sites::kPlacerIter);
   for (int it = 0; it < options.iterations; ++it) {
+    // Graceful early exit: the best placement found so far is committed.
+    if (stop_check.should_stop()) break;
     if (progress_stride > 0 && it > 0 && it % progress_stride == 0) {
       const double rate = window_proposed > 0
                               ? static_cast<double>(window_accepted) /

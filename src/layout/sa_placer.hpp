@@ -1,6 +1,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "runtime/deadline.hpp"
 #include "soc/soc.hpp"
 
 namespace soctest {
@@ -11,6 +12,11 @@ struct SaPlacerOptions {
   int iterations = 20000;
   double initial_temperature = 50.0;
   double cooling = 0.9995;
+  /// Optional cooperative cancellation: checked every iteration; the best
+  /// placement seen so far is committed on early exit.
+  const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline; same early-exit semantics as `cancel`.
+  Deadline deadline;
 };
 
 /// Simulated-annealing macro placer. Objective: total Manhattan distance

@@ -44,6 +44,14 @@ std::string design_report_json(const Soc& soc, const DesignRequest& request,
   w.end_object();
 
   w.key("feasible").value(result.feasible);
+  w.key("status").value(solve_status_name(result.certificate.status));
+  w.key("stop_reason").value(stop_reason_name(result.certificate.stop));
+  if (result.certificate.lower_bound >= 0) {
+    w.key("lower_bound").value(result.certificate.lower_bound);
+  }
+  if (result.certificate.gap() >= 0) {
+    w.key("gap").value(result.certificate.gap());
+  }
   if (!result.feasible) {
     w.end_object();
     return w.str();

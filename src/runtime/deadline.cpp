@@ -1,0 +1,55 @@
+#include "runtime/deadline.hpp"
+
+#include "obs/obs.hpp"
+#include "runtime/failpoint.hpp"
+
+namespace soctest {
+
+bool StopCheck::should_stop() {
+  if (reason_ != StopReason::kNone) return true;
+
+  // Failpoints first: an armed site must fire deterministically regardless
+  // of wall-clock stride. Disarmed cost is one relaxed atomic load.
+  if (!site_.empty() && failpoint::armed()) {
+    if (const auto action = failpoint::hit(site_)) {
+      switch (*action) {
+        case failpoint::Action::kCancel:
+          reason_ = StopReason::kCancelled;
+          break;
+        case failpoint::Action::kTimeout:
+          reason_ = StopReason::kDeadline;
+          break;
+        case failpoint::Action::kError:
+        case failpoint::Action::kBadAlloc:
+          reason_ = StopReason::kFault;
+          break;
+      }
+      return true;
+    }
+  }
+
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    reason_ = StopReason::kCancelled;
+    return true;
+  }
+
+  if (deadline_.finite()) {
+    if (polls_until_clock_ > 0) {
+      --polls_until_clock_;
+      return false;
+    }
+    polls_until_clock_ = clock_stride_ - 1;
+    if (deadline_.expired()) {
+      reason_ = StopReason::kDeadline;
+      if (obs::enabled()) {
+        obs::counter("runtime.deadline.expired").add(1);
+        obs::instant("runtime.deadline.expire",
+                     {{"site", site_.empty() ? "unknown" : site_}});
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace soctest

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <chrono>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "common/parallel.hpp"
+#include "runtime/status.hpp"
+
+namespace soctest {
+
+/// Wall-clock deadline for anytime solving. A default-constructed Deadline
+/// is infinite (never expires), so every solver option struct can carry one
+/// at zero behavioral cost. Copyable value type; copies share the same
+/// absolute expiry instant, which is what "threading a deadline through the
+/// whole flow" needs: each stage consumes whatever wall-clock time the
+/// earlier stages left.
+class Deadline {
+ public:
+  Deadline() = default;  ///< infinite
+
+  static Deadline after_ms(double ms) {
+    Deadline d;
+    d.finite_ = true;
+    d.when_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms < 0 ? 0 : ms));
+    return d;
+  }
+
+  static Deadline at(std::chrono::steady_clock::time_point when) {
+    Deadline d;
+    d.finite_ = true;
+    d.when_ = when;
+    return d;
+  }
+
+  bool finite() const { return finite_; }
+  bool expired() const {
+    return finite_ && std::chrono::steady_clock::now() >= when_;
+  }
+  /// Milliseconds until expiry; negative once expired, +inf-ish (a large
+  /// sentinel is avoided — callers must check finite()) for infinite.
+  double remaining_ms() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(
+               when_ - std::chrono::steady_clock::now())
+        .count();
+  }
+  std::chrono::steady_clock::time_point when() const { return when_; }
+
+ private:
+  bool finite_ = false;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+/// Uniform stop-condition poller for solver inner loops. Composes, in
+/// priority order: an armed failpoint at `site` (cancel/timeout/error
+/// actions), the cooperative CancellationToken, and the wall-clock Deadline.
+/// The verdict is sticky: once any source fires, should_stop() keeps
+/// returning true with the same reason.
+///
+/// Cost per poll when nothing is armed/cancelled: one relaxed atomic load
+/// for the failpoint check, one for the token, and a clock read every
+/// `clock_stride` polls (deadline checks are strided because steady_clock
+/// reads dwarf a branch-and-bound node).
+class StopCheck {
+ public:
+  StopCheck(const Deadline& deadline, const CancellationToken* cancel,
+            std::string_view site = {}, int clock_stride = 256)
+      : deadline_(deadline),
+        cancel_(cancel),
+        site_(site),
+        clock_stride_(clock_stride < 1 ? 1 : clock_stride) {}
+
+  /// Polls every stop source. Returns true when the solve must unwind and
+  /// return its best incumbent.
+  bool should_stop();
+
+  StopReason reason() const { return reason_; }
+  bool stopped() const { return reason_ != StopReason::kNone; }
+
+ private:
+  Deadline deadline_;
+  const CancellationToken* cancel_ = nullptr;
+  std::string site_;
+  int clock_stride_;
+  int polls_until_clock_ = 0;
+  StopReason reason_ = StopReason::kNone;
+};
+
+/// Shared deadline/cancel pair threaded through the design flow — the
+/// runtime equivalent of "the request's remaining budget".
+struct SolveControl {
+  Deadline deadline;
+  const CancellationToken* cancel = nullptr;
+
+  bool trivial() const { return !deadline.finite() && cancel == nullptr; }
+};
+
+}  // namespace soctest

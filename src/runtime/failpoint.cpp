@@ -1,0 +1,171 @@
+#include "runtime/failpoint.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+
+#include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
+
+namespace soctest::failpoint {
+
+namespace {
+
+struct Arming {
+  Action action = Action::kError;
+  long long fire_from_hit = 1;  // 1-based ordinal of the first firing hit
+  long long hits = 0;           // hits observed so far
+};
+
+std::atomic<bool> g_armed{false};
+std::atomic<long long> g_fired{0};
+std::mutex g_mu;
+std::map<std::string, Arming, std::less<>>& registry() {
+  static std::map<std::string, Arming, std::less<>> r;
+  return r;
+}
+
+std::optional<Action> parse_action(std::string_view text) {
+  if (text == "error") return Action::kError;
+  if (text == "bad_alloc") return Action::kBadAlloc;
+  if (text == "cancel") return Action::kCancel;
+  if (text == "timeout") return Action::kTimeout;
+  return std::nullopt;
+}
+
+/// Installed into the thread pool while common.pool.task is armed; throwing
+/// here exercises the pool's exception containment.
+void pool_task_hook() {
+  const auto action = hit(sites::kPoolTask);
+  if (!action) return;
+  if (*action == Action::kBadAlloc) throw std::bad_alloc();
+  if (*action == Action::kError) {
+    throw std::runtime_error("injected pool task fault");
+  }
+  // cancel/timeout are meaningless for a pool task; ignore.
+}
+
+void sync_pool_hook_locked() {
+  const bool want = registry().count(sites::kPoolTask) > 0;
+  set_thread_pool_task_hook(want ? &pool_task_hook : nullptr);
+}
+
+/// SOCTEST_FAILPOINTS is read once, before main() runs, so a spawned
+/// process is armed without any code path having to remember to call arm().
+const bool g_env_loaded = [] {
+  if (const char* env = std::getenv("SOCTEST_FAILPOINTS")) {
+    const Status status = arm(env);
+    if (!status.ok()) {
+      std::fprintf(stderr, "SOCTEST_FAILPOINTS: %s\n",
+                   status.to_string().c_str());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kError: return "error";
+    case Action::kBadAlloc: return "bad_alloc";
+    case Action::kCancel: return "cancel";
+    case Action::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> catalog() {
+  return {sites::kSocParseOpen, sites::kSocParseLine, sites::kPoolTask,
+          sites::kExactNode,    sites::kSaIter,       sites::kIlpNode,
+          sites::kPlacerIter,   sites::kRouteStep,    sites::kPowerTick,
+          sites::kReportWrite};
+}
+
+bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }
+
+std::optional<Action> hit(std::string_view site) {
+  if (!armed()) return std::nullopt;
+  Action action;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    auto it = registry().find(site);
+    if (it == registry().end()) return std::nullopt;
+    Arming& arming = it->second;
+    ++arming.hits;
+    if (arming.hits < arming.fire_from_hit) return std::nullopt;
+    action = arming.action;
+  }
+  g_fired.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    obs::counter("runtime.failpoint.fired").add(1);
+    obs::instant("runtime.failpoint.fire",
+                 {{"site", site}, {"action", action_name(action)}});
+  }
+  return action;
+}
+
+Status arm(const std::string& spec) {
+  const std::vector<std::string> known = catalog();
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return invalid_argument_error("failpoint entry '" + entry +
+                                    "' is missing '=action'");
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string action_text = entry.substr(eq + 1);
+    long long fire_from = 1;
+    if (const auto colon = action_text.find(':');
+        colon != std::string::npos) {
+      const std::string count = action_text.substr(colon + 1);
+      action_text.resize(colon);
+      try {
+        std::size_t used = 0;
+        fire_from = std::stoll(count, &used);
+        if (used != count.size() || fire_from < 1) throw std::out_of_range("");
+      } catch (const std::exception&) {
+        return invalid_argument_error("failpoint '" + site +
+                                      "': bad hit number '" + count + "'");
+      }
+    }
+    const auto action = parse_action(action_text);
+    if (!action) {
+      return invalid_argument_error(
+          "failpoint '" + site + "': unknown action '" + action_text +
+          "' (expected error|bad_alloc|cancel|timeout)");
+    }
+    bool known_site = false;
+    for (const auto& name : known) known_site = known_site || name == site;
+    if (!known_site) {
+      return invalid_argument_error("unknown failpoint site '" + site + "'");
+    }
+    std::lock_guard<std::mutex> lock(g_mu);
+    registry()[site] = Arming{*action, fire_from, 0};
+    sync_pool_hook_locked();
+    g_armed.store(true, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  registry().clear();
+  sync_pool_hook_locked();
+  g_armed.store(false, std::memory_order_relaxed);
+  g_fired.store(0, std::memory_order_relaxed);
+}
+
+long long fired_count() { return g_fired.load(std::memory_order_relaxed); }
+
+}  // namespace soctest::failpoint

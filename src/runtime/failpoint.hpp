@@ -1,0 +1,76 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runtime/status.hpp"
+
+namespace soctest::failpoint {
+
+// Deterministic fault-injection facility (docs/robustness.md). Sites are
+// compiled in unconditionally; a disarmed process pays one relaxed atomic
+// load per hit. Arming happens through the SOCTEST_FAILPOINTS environment
+// variable (read once at process start) or the CLI --failpoints flag, with
+// the spec grammar
+//
+//   spec     := entry ("," entry)*
+//   entry    := site "=" action (":" hit_number)?
+//   action   := "error" | "bad_alloc" | "cancel" | "timeout"
+//
+// A failpoint fires on every hit whose 1-based ordinal is >= hit_number
+// (default 1). Which actions a site honors is part of the catalog in
+// docs/robustness.md; StopCheck (runtime/deadline.hpp) gives solver inner
+// loops a uniform cancel/timeout/error mapping.
+
+enum class Action {
+  kError,     ///< fail the operation with an injected error
+  kBadAlloc,  ///< simulate an allocation failure (site throws/returns OOM)
+  kCancel,    ///< behave as if the cancellation token fired
+  kTimeout,   ///< behave as if the wall-clock deadline expired
+};
+
+const char* action_name(Action action);
+
+/// The known injection sites. Tests iterate this catalog to guarantee every
+/// site stays exercised; scripts/check_docs.sh diffs it against the
+/// documented catalog. Keep in sync with docs/robustness.md.
+namespace sites {
+inline constexpr const char* kSocParseOpen = "soc.parse.open";
+inline constexpr const char* kSocParseLine = "soc.parse.line";
+inline constexpr const char* kPoolTask = "common.pool.task";
+inline constexpr const char* kExactNode = "tam.exact.node";
+inline constexpr const char* kSaIter = "tam.sa.iter";
+inline constexpr const char* kIlpNode = "ilp.bb.node";
+inline constexpr const char* kPlacerIter = "layout.sa.iter";
+inline constexpr const char* kRouteStep = "layout.route.step";
+inline constexpr const char* kPowerTick = "sched.power.tick";
+inline constexpr const char* kReportWrite = "report.write";
+}  // namespace sites
+
+/// Every site name in the catalog above.
+std::vector<std::string> catalog();
+
+/// True when at least one failpoint is armed. The only cost a disarmed
+/// process pays; instrumented sites guard hit() with this.
+bool armed() noexcept;
+
+/// Records a hit at `site` and returns the armed action when it fires.
+/// Thread-safe; the per-site hit counter is shared across threads. Fires an
+/// obs instant ("runtime.failpoint.fire") and counter when it triggers.
+std::optional<Action> hit(std::string_view site);
+
+/// Arms failpoints from a spec string (see grammar above). Unknown sites
+/// are rejected so typos cannot silently disarm a test. Arming is additive.
+Status arm(const std::string& spec);
+
+/// Disarms everything and resets hit counters (tests call this between
+/// cases; also resets the thread-pool hook installed by arming
+/// common.pool.task).
+void disarm_all();
+
+/// Number of times any failpoint fired since the last disarm_all().
+long long fired_count();
+
+}  // namespace soctest::failpoint

@@ -1,0 +1,171 @@
+#include "runtime/status.hpp"
+
+#include <cstdio>
+
+namespace soctest {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kFaultInjected: return "fault_injected";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  return std::string(status_code_name(code_)) + ": " + message_;
+}
+
+Status invalid_argument_error(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status not_found_error(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status parse_error(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status resource_exhausted_error(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status deadline_exceeded_error(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status cancelled_error(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status io_error(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+Status fault_injected_error(std::string message) {
+  return Status(StatusCode::kFaultInjected, std::move(message));
+}
+Status internal_error(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+int exit_code_for(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return kExitSuccess;
+    case StatusCode::kInvalidArgument:
+      return kExitUsage;
+    case StatusCode::kNotFound:
+    case StatusCode::kParseError:
+    case StatusCode::kResourceExhausted:
+      return kExitInputError;
+    case StatusCode::kIoError:
+      return kExitIoError;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+      return kExitDeadline;
+    case StatusCode::kFaultInjected:
+    case StatusCode::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
+}
+
+const char* stop_reason_name(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone: return "none";
+    case StopReason::kNodeBudget: return "node_budget";
+    case StopReason::kDeadline: return "deadline";
+    case StopReason::kCancelled: return "cancelled";
+    case StopReason::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+const char* solve_status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kFeasibleBounded: return "feasible_bounded";
+    case SolveStatus::kFeasible: return "feasible";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+double SolveCertificate::gap() const {
+  if (lower_bound <= 0 || upper_bound < 0) return -1.0;
+  if (upper_bound <= lower_bound) return 0.0;
+  return static_cast<double>(upper_bound - lower_bound) /
+         static_cast<double>(lower_bound);
+}
+
+std::string SolveCertificate::to_string() const {
+  std::string out = solve_status_name(status);
+  if (status == SolveStatus::kFeasibleBounded) {
+    const double g = gap();
+    if (g >= 0.0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), " gap=%.2f%%", g * 100.0);
+      out += buf;
+      out += " lower_bound=" + std::to_string(lower_bound);
+    }
+  }
+  if (stop != StopReason::kNone) {
+    out += std::string(" stop=") + stop_reason_name(stop);
+  }
+  if (status == SolveStatus::kError && !error.empty()) {
+    out += ": " + error;
+  }
+  return out;
+}
+
+SolveCertificate certify_optimal(long long objective) {
+  SolveCertificate c;
+  c.status = SolveStatus::kOptimal;
+  c.lower_bound = objective;
+  c.upper_bound = objective;
+  return c;
+}
+
+SolveCertificate certify_bounded(long long objective, long long lower_bound,
+                                 StopReason stop) {
+  SolveCertificate c;
+  c.status = SolveStatus::kFeasibleBounded;
+  c.lower_bound = lower_bound;
+  c.upper_bound = objective;
+  c.stop = stop;
+  return c;
+}
+
+SolveCertificate certify_feasible(long long objective, StopReason stop) {
+  SolveCertificate c;
+  c.status = SolveStatus::kFeasible;
+  c.upper_bound = objective;
+  c.stop = stop;
+  return c;
+}
+
+SolveCertificate certify_infeasible(bool proven, StopReason stop) {
+  // `proven` is implied by stop == kNone (an interrupted search that found
+  // nothing has not proven anything); assert the two agree in spirit by
+  // recording an explicit stop reason whenever the proof is missing.
+  SolveCertificate c;
+  c.status = SolveStatus::kInfeasible;
+  c.stop = proven ? StopReason::kNone : stop;
+  return c;
+}
+
+SolveCertificate certify_error(std::string message) {
+  SolveCertificate c;
+  c.status = SolveStatus::kError;
+  c.stop = StopReason::kFault;
+  c.error = std::move(message);
+  return c;
+}
+
+}  // namespace soctest

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace soctest {
+
+/// Error taxonomy of the solver runtime (docs/robustness.md). Every
+/// recoverable failure in the library surfaces as a Status; exceptions are
+/// reserved for programming errors and the CLI boundary, which converts
+/// both into documented process exit codes (see exit_code_for).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed request (bad flag value, bad model)
+  kNotFound,            ///< missing input file
+  kParseError,          ///< malformed input file (line/column in message)
+  kResourceExhausted,   ///< input over the size cap, allocation failure
+  kDeadlineExceeded,    ///< wall-clock budget expired before any result
+  kCancelled,           ///< cooperative cancellation with no usable result
+  kIoError,             ///< output file could not be written
+  kFaultInjected,       ///< an armed failpoint fired (tests only)
+  kInternal,            ///< invariant violation / unexpected exception
+};
+
+const char* status_code_name(StatusCode code);
+
+/// Value-type error carrier: a code plus a one-line human-readable message.
+/// `Status::Ok()` (the default) is success and carries no message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "parse_error: camchip.soc:12:7: expected integer" style rendering.
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+Status invalid_argument_error(std::string message);
+Status not_found_error(std::string message);
+Status parse_error(std::string message);
+Status resource_exhausted_error(std::string message);
+Status deadline_exceeded_error(std::string message);
+Status cancelled_error(std::string message);
+Status io_error(std::string message);
+Status fault_injected_error(std::string message);
+Status internal_error(std::string message);
+
+/// Documented process exit codes (docs/robustness.md):
+///   0 success, 1 infeasible, 2 usage error, 3 input error (not found /
+///   parse / size cap), 4 output I/O error, 5 internal error or injected
+///   fault, 6 deadline or cancellation with no usable result.
+/// Exit codes 0/1 are decided by the CLI from the solve result, not from a
+/// Status; this maps the failure codes.
+int exit_code_for(const Status& status);
+
+inline constexpr int kExitSuccess = 0;
+inline constexpr int kExitInfeasible = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitInputError = 3;
+inline constexpr int kExitIoError = 4;
+inline constexpr int kExitInternal = 5;
+inline constexpr int kExitDeadline = 6;
+
+/// Either a value or the Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T&& take() { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Why a solve stopped before proving its answer. kNone means it ran to
+/// natural completion (which still may be an aborted node budget — that is
+/// kNodeBudget). Recorded in SolveCertificate::stop.
+enum class StopReason {
+  kNone = 0,
+  kNodeBudget,  ///< search-node budget exhausted
+  kDeadline,    ///< wall-clock deadline expired
+  kCancelled,   ///< cooperative cancellation (portfolio loser, Ctrl-C, ...)
+  kFault,       ///< an armed failpoint fired inside the solve
+};
+
+const char* stop_reason_name(StopReason reason);
+
+/// Quality certificate attached to every solve result (docs/robustness.md):
+///   optimal           proven optimal within all limits
+///   feasible_bounded  feasible incumbent plus a valid lower bound (gap known)
+///   feasible          feasible incumbent, no useful bound (pure heuristics)
+///   infeasible        proven infeasible, or nothing found
+///   error             the solve itself failed (injected fault, internal)
+enum class SolveStatus {
+  kOptimal,
+  kFeasibleBounded,
+  kFeasible,
+  kInfeasible,
+  kError,
+};
+
+const char* solve_status_name(SolveStatus status);
+
+struct SolveCertificate {
+  SolveStatus status = SolveStatus::kInfeasible;
+  /// Valid lower bound on the objective (cycles); -1 when unknown.
+  long long lower_bound = -1;
+  /// The incumbent objective value; -1 when no incumbent exists.
+  long long upper_bound = -1;
+  StopReason stop = StopReason::kNone;
+  /// Failure detail when status == kError.
+  std::string error;
+
+  /// Relative optimality gap (upper - lower) / lower, or -1 when either
+  /// bound is missing (lower_bound 0 with a positive upper bound reports
+  /// +inf-like gap as -1 too: no meaningful ratio exists).
+  double gap() const;
+
+  /// "optimal" / "feasible_bounded gap=3.2%" style one-liner.
+  std::string to_string() const;
+};
+
+/// Certificate constructors for the common shapes.
+SolveCertificate certify_optimal(long long objective);
+SolveCertificate certify_bounded(long long objective, long long lower_bound,
+                                 StopReason stop);
+SolveCertificate certify_feasible(long long objective, StopReason stop);
+SolveCertificate certify_infeasible(bool proven, StopReason stop);
+SolveCertificate certify_error(std::string message);
+
+}  // namespace soctest

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "runtime/failpoint.hpp"
 
 namespace soctest {
 
@@ -125,7 +126,17 @@ PowerScheduleResult build_power_aware_schedule(
                                         {"cycle", static_cast<long long>(now)}});
   };
 
+  StopCheck stop_check(options.deadline, options.cancel,
+                       failpoint::sites::kPowerTick);
   while (scheduled < problem.num_cores() || !running.empty()) {
+    if (stop_check.should_stop()) {
+      // A truncated schedule would violate coverage, so drop it entirely.
+      result.error = "power scheduling interrupted at cycle " +
+                     std::to_string(now);
+      result.stop = stop_check.reason();
+      result.schedule = TestSchedule{};
+      return result;
+    }
     // Retire tests finishing at `now`.
     while (!running.empty() && running.begin()->first <= now) {
       const auto [end, core] = *running.begin();

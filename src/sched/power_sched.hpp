@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "runtime/deadline.hpp"
 #include "sched/schedule.hpp"
 #include "soc/soc.hpp"
 
@@ -18,6 +19,11 @@ struct PowerScheduleOptions {
   /// under test simultaneously — e.g. they share a BIST engine, a test
   /// clock, or an analog supply. Order-free (unlike precedences).
   std::vector<std::pair<std::size_t, std::size_t>> mutex_pairs;
+  /// Optional cooperative cancellation / wall-clock deadline, checked once
+  /// per event tick. An interrupted run returns infeasible with
+  /// `stop` recording why (a partial schedule is never returned).
+  const CancellationToken* cancel = nullptr;
+  Deadline deadline;
 };
 
 /// Result of power-aware scheduling.
@@ -28,6 +34,8 @@ struct PowerScheduleResult {
   std::string error;
   TestSchedule schedule;
   Cycles idle_inserted = 0;  ///< total bus-cycles of inserted idle time
+  /// Why the scheduler stopped early; kNone for a run to completion.
+  StopReason stop = StopReason::kNone;
 };
 
 /// Event-driven list scheduler that realizes a TAM assignment while keeping

@@ -1,132 +1,194 @@
 #include "soc/soc_format.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
-#include "common/text.hpp"
+#include "runtime/failpoint.hpp"
 
 namespace soctest {
 
 namespace {
 
-[[noreturn]] void fail(int line_no, const std::string& msg) {
-  throw std::runtime_error("soc format error at line " +
-                           std::to_string(line_no) + ": " + msg);
+/// Internal control-flow exception; converted to a Status at the parse_soc
+/// boundary so the deep recursive-descent helpers stay free of plumbing.
+struct ParseFail {
+  Status status;
+};
+
+/// A token plus the 1-based column where it starts, so every diagnostic can
+/// point at the exact field: "<source>:<line>:<col>: <message>".
+struct Tok {
+  std::string text;
+  int col = 1;
+};
+
+std::vector<Tok> tokenize(const std::string& line) {
+  std::vector<Tok> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > start) {
+      toks.push_back(Tok{line.substr(start, i - start), static_cast<int>(start) + 1});
+    }
+  }
+  return toks;
 }
 
-int parse_int(const std::string& tok, int line_no) {
+struct LineContext {
+  std::string_view source;
+  int line_no = 0;
+};
+
+[[noreturn]] void fail(const LineContext& ctx, int col, const std::string& msg) {
+  throw ParseFail{parse_error(std::string(ctx.source) + ":" +
+                              std::to_string(ctx.line_no) + ":" +
+                              std::to_string(col) + ": " + msg)};
+}
+
+[[noreturn]] void fail(const LineContext& ctx, const std::string& msg) {
+  fail(ctx, 1, msg);
+}
+
+int parse_int(const Tok& tok, const LineContext& ctx) {
   try {
     std::size_t pos = 0;
-    const int v = std::stoi(tok, &pos);
-    if (pos != tok.size()) fail(line_no, "trailing characters in integer '" + tok + "'");
+    const int v = std::stoi(tok.text, &pos);
+    if (pos != tok.text.size())
+      fail(ctx, tok.col, "trailing characters in integer '" + tok.text + "'");
     return v;
   } catch (const std::invalid_argument&) {
-    fail(line_no, "expected integer, got '" + tok + "'");
+    fail(ctx, tok.col, "expected integer, got '" + tok.text + "'");
   } catch (const std::out_of_range&) {
-    fail(line_no, "integer out of range: '" + tok + "'");
+    fail(ctx, tok.col, "integer out of range: '" + tok.text + "'");
   }
 }
 
-double parse_double(const std::string& tok, int line_no) {
+double parse_double(const Tok& tok, const LineContext& ctx) {
   try {
     std::size_t pos = 0;
-    const double v = std::stod(tok, &pos);
-    if (pos != tok.size()) fail(line_no, "trailing characters in number '" + tok + "'");
+    const double v = std::stod(tok.text, &pos);
+    if (pos != tok.text.size())
+      fail(ctx, tok.col, "trailing characters in number '" + tok.text + "'");
     return v;
   } catch (const std::invalid_argument&) {
-    fail(line_no, "expected number, got '" + tok + "'");
+    fail(ctx, tok.col, "expected number, got '" + tok.text + "'");
   } catch (const std::out_of_range&) {
-    fail(line_no, "number out of range: '" + tok + "'");
+    fail(ctx, tok.col, "number out of range: '" + tok.text + "'");
   }
 }
 
-}  // namespace
-
-Soc read_soc(std::istream& in) {
+Soc parse_soc_impl(std::istream& in, std::string_view source,
+                   const SocParseLimits& limits) {
   Soc soc;
   bool saw_soc = false;
   bool saw_end = false;
   std::map<std::string, Placement> placements;
   std::string line;
-  int line_no = 0;
+  std::size_t bytes_read = 0;
+  LineContext ctx{source, 0};
   while (std::getline(in, line)) {
-    ++line_no;
+    ++ctx.line_no;
+    bytes_read += line.size() + 1;
+    if (bytes_read > limits.max_bytes) {
+      throw ParseFail{resource_exhausted_error(
+          std::string(source) + ":" + std::to_string(ctx.line_no) +
+          ": input exceeds " + std::to_string(limits.max_bytes) +
+          "-byte SOC size cap")};
+    }
+    if (failpoint::armed()) {
+      if (const auto action = failpoint::hit(failpoint::sites::kSocParseLine)) {
+        if (*action == failpoint::Action::kBadAlloc) {
+          throw ParseFail{resource_exhausted_error(
+              std::string(source) + ":" + std::to_string(ctx.line_no) +
+              ": injected allocation failure")};
+        }
+        fail(ctx, "injected parse fault");
+      }
+    }
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    const auto toks = split_ws(line);
+    const auto toks = tokenize(line);
     if (toks.empty()) continue;
-    if (saw_end) fail(line_no, "content after 'end'");
-    const std::string& kw = toks[0];
+    if (saw_end) fail(ctx, toks[0].col, "content after 'end'");
+    const std::string& kw = toks[0].text;
     if (kw == "soc") {
-      if (saw_soc) fail(line_no, "duplicate 'soc' line");
-      if (toks.size() != 4) fail(line_no, "expected: soc <name> <w> <h>");
-      soc = Soc(toks[1], parse_int(toks[2], line_no), parse_int(toks[3], line_no));
+      if (saw_soc) fail(ctx, toks[0].col, "duplicate 'soc' line");
+      if (toks.size() != 4) fail(ctx, "expected: soc <name> <w> <h>");
+      soc = Soc(toks[1].text, parse_int(toks[2], ctx), parse_int(toks[3], ctx));
       saw_soc = true;
     } else if (kw == "core") {
-      if (!saw_soc) fail(line_no, "'core' before 'soc'");
+      if (!saw_soc) fail(ctx, toks[0].col, "'core' before 'soc'");
       Core core;
-      if (toks.size() < 2) fail(line_no, "core line missing name");
-      core.name = toks[1];
+      if (toks.size() < 2) fail(ctx, "core line missing name");
+      core.name = toks[1].text;
       std::size_t i = 2;
       while (i < toks.size()) {
-        const std::string& key = toks[i];
+        const Tok& key = toks[i];
         auto need = [&](std::size_t n) {
           if (i + n >= toks.size())
-            fail(line_no, "core attribute '" + key + "' missing value");
+            fail(ctx, key.col, "core attribute '" + key.text + "' missing value");
         };
-        if (key == "inputs") {
-          need(1); core.num_inputs = parse_int(toks[i + 1], line_no); i += 2;
-        } else if (key == "outputs") {
-          need(1); core.num_outputs = parse_int(toks[i + 1], line_no); i += 2;
-        } else if (key == "bidirs") {
-          need(1); core.num_bidirs = parse_int(toks[i + 1], line_no); i += 2;
-        } else if (key == "patterns") {
-          need(1); core.num_patterns = parse_int(toks[i + 1], line_no); i += 2;
-        } else if (key == "power") {
-          need(1); core.test_power_mw = parse_double(toks[i + 1], line_no); i += 2;
-        } else if (key == "size") {
+        if (key.text == "inputs") {
+          need(1); core.num_inputs = parse_int(toks[i + 1], ctx); i += 2;
+        } else if (key.text == "outputs") {
+          need(1); core.num_outputs = parse_int(toks[i + 1], ctx); i += 2;
+        } else if (key.text == "bidirs") {
+          need(1); core.num_bidirs = parse_int(toks[i + 1], ctx); i += 2;
+        } else if (key.text == "patterns") {
+          need(1); core.num_patterns = parse_int(toks[i + 1], ctx); i += 2;
+        } else if (key.text == "power") {
+          need(1); core.test_power_mw = parse_double(toks[i + 1], ctx); i += 2;
+        } else if (key.text == "size") {
           need(2);
-          core.width = parse_int(toks[i + 1], line_no);
-          core.height = parse_int(toks[i + 2], line_no);
+          core.width = parse_int(toks[i + 1], ctx);
+          core.height = parse_int(toks[i + 2], ctx);
           i += 3;
         } else {
-          fail(line_no, "unknown core attribute '" + key + "'");
+          fail(ctx, key.col, "unknown core attribute '" + key.text + "'");
         }
       }
       soc.add_core(std::move(core));
     } else if (kw == "scan") {
-      if (toks.size() < 3) fail(line_no, "expected: scan <core> <len>...");
-      const auto idx = soc.find_core(toks[1]);
-      if (!idx) fail(line_no, "scan line for unknown core '" + toks[1] + "'");
+      if (toks.size() < 3) fail(ctx, "expected: scan <core> <len>...");
+      const auto idx = soc.find_core(toks[1].text);
+      if (!idx)
+        fail(ctx, toks[1].col, "scan line for unknown core '" + toks[1].text + "'");
       std::vector<int> lengths;
       for (std::size_t i = 2; i < toks.size(); ++i) {
-        lengths.push_back(parse_int(toks[i], line_no));
+        lengths.push_back(parse_int(toks[i], ctx));
       }
       soc.mutable_core(*idx).scan_chain_lengths = std::move(lengths);
     } else if (kw == "softscan") {
-      if (toks.size() != 3) fail(line_no, "expected: softscan <core> <flops>");
-      const auto idx = soc.find_core(toks[1]);
-      if (!idx) fail(line_no, "softscan line for unknown core '" + toks[1] + "'");
-      soc.mutable_core(*idx).soft_scan_flops = parse_int(toks[2], line_no);
+      if (toks.size() != 3) fail(ctx, "expected: softscan <core> <flops>");
+      const auto idx = soc.find_core(toks[1].text);
+      if (!idx)
+        fail(ctx, toks[1].col,
+             "softscan line for unknown core '" + toks[1].text + "'");
+      soc.mutable_core(*idx).soft_scan_flops = parse_int(toks[2], ctx);
     } else if (kw == "place") {
-      if (toks.size() != 4) fail(line_no, "expected: place <core> <x> <y>");
-      if (!soc.find_core(toks[1]))
-        fail(line_no, "place line for unknown core '" + toks[1] + "'");
-      placements[toks[1]] = Placement{
-          {parse_int(toks[2], line_no), parse_int(toks[3], line_no)}};
+      if (toks.size() != 4) fail(ctx, "expected: place <core> <x> <y>");
+      if (!soc.find_core(toks[1].text))
+        fail(ctx, toks[1].col,
+             "place line for unknown core '" + toks[1].text + "'");
+      placements[toks[1].text] = Placement{
+          {parse_int(toks[2], ctx), parse_int(toks[3], ctx)}};
     } else if (kw == "end") {
       saw_end = true;
     } else {
-      fail(line_no, "unknown keyword '" + kw + "'");
+      fail(ctx, toks[0].col, "unknown keyword '" + kw + "'");
     }
   }
-  if (!saw_soc) fail(line_no, "missing 'soc' header line");
-  if (!saw_end) fail(line_no, "missing 'end' line");
+  if (!saw_soc) fail(ctx, "missing 'soc' header line");
+  if (!saw_end) fail(ctx, "missing 'end' line");
   if (!placements.empty()) {
     if (placements.size() != soc.num_cores()) {
-      fail(line_no, "placement lines must cover all cores or none");
+      fail(ctx, "placement lines must cover all cores or none");
     }
     std::vector<Placement> ordered(soc.num_cores());
     for (std::size_t i = 0; i < soc.num_cores(); ++i) {
@@ -135,19 +197,71 @@ Soc read_soc(std::istream& in) {
     soc.set_placements(std::move(ordered));
   }
   const std::string err = soc.validate();
-  if (!err.empty()) throw std::runtime_error("invalid SOC: " + err);
+  if (!err.empty()) {
+    throw ParseFail{parse_error(std::string(source) + ": invalid SOC: " + err)};
+  }
   return soc;
 }
 
-Soc read_soc_string(const std::string& text) {
+}  // namespace
+
+StatusOr<Soc> parse_soc(std::istream& in, std::string_view source,
+                        const SocParseLimits& limits) {
+  if (failpoint::armed()) {
+    if (const auto action = failpoint::hit(failpoint::sites::kSocParseOpen)) {
+      if (*action == failpoint::Action::kBadAlloc) {
+        return resource_exhausted_error(std::string(source) +
+                                        ": injected allocation failure");
+      }
+      return io_error(std::string(source) + ": injected open failure");
+    }
+  }
+  try {
+    return parse_soc_impl(in, source, limits);
+  } catch (const ParseFail& pf) {
+    return pf.status;
+  } catch (const std::bad_alloc&) {
+    return resource_exhausted_error(std::string(source) +
+                                    ": out of memory while parsing");
+  } catch (const std::exception& ex) {
+    return internal_error(std::string(source) + ": " + ex.what());
+  }
+}
+
+StatusOr<Soc> parse_soc_string(const std::string& text, std::string_view source,
+                               const SocParseLimits& limits) {
+  if (text.size() > limits.max_bytes) {
+    return resource_exhausted_error(
+        std::string(source) + ": input exceeds " +
+        std::to_string(limits.max_bytes) + "-byte SOC size cap");
+  }
   std::istringstream in(text);
-  return read_soc(in);
+  return parse_soc(in, source, limits);
+}
+
+StatusOr<Soc> parse_soc_file(const std::string& path,
+                             const SocParseLimits& limits) {
+  std::ifstream in(path);
+  if (!in) return not_found_error("cannot open SOC file: " + path);
+  return parse_soc(in, path, limits);
+}
+
+Soc read_soc(std::istream& in) {
+  auto result = parse_soc(in);
+  if (!result.ok()) throw std::runtime_error(result.status().message());
+  return result.take();
+}
+
+Soc read_soc_string(const std::string& text) {
+  auto result = parse_soc_string(text);
+  if (!result.ok()) throw std::runtime_error(result.status().message());
+  return result.take();
 }
 
 Soc read_soc_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open SOC file: " + path);
-  return read_soc(in);
+  auto result = parse_soc_file(path);
+  if (!result.ok()) throw std::runtime_error(result.status().message());
+  return result.take();
 }
 
 std::string write_soc(const Soc& soc) {

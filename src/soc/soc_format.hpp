@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
+#include "runtime/status.hpp"
 #include "soc/soc.hpp"
 
 namespace soctest {
@@ -20,8 +23,30 @@ namespace soctest {
 /// ```
 ///
 /// `scan` and `place` lines refer to previously declared cores. `place` lines
-/// are all-or-nothing: either every core is placed or none is. Parsing errors
-/// throw std::runtime_error with a line number.
+/// are all-or-nothing: either every core is placed or none is.
+
+/// Guard rails applied while parsing untrusted input.
+struct SocParseLimits {
+  /// Inputs larger than this are rejected with kResourceExhausted before
+  /// they can balloon the in-memory model (docs/robustness.md).
+  std::size_t max_bytes = 16u * 1024u * 1024u;
+};
+
+/// Status-returning parser entry points. Failures carry the source name and
+/// the 1-based line:column of the offending token in a single message, e.g.
+/// "camchip.soc:12:7: expected integer, got 'x'". File-open failures map to
+/// kNotFound, oversized inputs to kResourceExhausted, malformed content to
+/// kParseError.
+StatusOr<Soc> parse_soc(std::istream& in, std::string_view source = "<stream>",
+                        const SocParseLimits& limits = {});
+StatusOr<Soc> parse_soc_string(const std::string& text,
+                               std::string_view source = "<string>",
+                               const SocParseLimits& limits = {});
+StatusOr<Soc> parse_soc_file(const std::string& path,
+                             const SocParseLimits& limits = {});
+
+/// Throwing wrappers kept for call sites without a Status channel; they
+/// raise std::runtime_error carrying the same diagnostic message.
 Soc read_soc(std::istream& in);
 Soc read_soc_string(const std::string& text);
 Soc read_soc_file(const std::string& path);

@@ -38,14 +38,24 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
                                                 request.bus_widths.end());
   const TestTimeTable& table = cached_test_time_table(soc, std::max(1, max_width));
 
+  // With a live deadline or cancellation source, kExact alone could expire
+  // with no incumbent at all; the portfolio's greedy floor guarantees a
+  // feasible answer whenever one exists, so it becomes the degradation
+  // chain for anytime requests (docs/robustness.md).
+  const bool anytime = request.deadline.finite() || request.cancel != nullptr;
+  InnerSolver solver = request.solver;
+  if (anytime && solver == InnerSolver::kExact) solver = InnerSolver::kPortfolio;
+
   DesignResult result;
   if (request.bus_widths.empty()) {
     WidthPartitionOptions options;
-    options.solver = request.solver;
+    options.solver = solver;
     options.max_nodes_per_solve = request.max_nodes;
     options.threads = request.threads;
     options.power_mode = request.power_mode;
     options.bus_depth_limit = request.ate_depth_limit;
+    options.cancel = request.cancel;
+    options.deadline = request.deadline;
     const ArchitectureResult arch = optimize_widths(
         soc, table, num_buses, request.total_width,
         layout ? &*layout : nullptr, request.wire_budget, request.p_max_mw,
@@ -56,6 +66,8 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
     result.assignment = arch.assignment;
     result.partitions_tried = arch.partitions_tried;
     result.total_nodes = arch.total_nodes;
+    result.stop = arch.stop;
+    result.certificate = arch.certificate;
   } else {
     const TamProblem problem =
         make_tam_problem(soc, table, request.bus_widths,
@@ -63,28 +75,44 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
                          request.p_max_mw, request.power_mode,
                          request.ate_depth_limit);
     TamSolveResult solved;
-    switch (request.solver) {
+    bool have_certificate = false;
+    switch (solver) {
       case InnerSolver::kExact: {
         ExactSolverOptions options;
         options.max_nodes = request.max_nodes;
         options.threads = request.threads;
+        options.cancel = request.cancel;
+        options.deadline = request.deadline;
         solved = solve_exact(problem, options);
         break;
       }
-      case InnerSolver::kIlp:
-        solved = solve_ilp(problem);
+      case InnerSolver::kIlp: {
+        MipOptions options;
+        options.cancel = request.cancel;
+        options.deadline = request.deadline;
+        solved = solve_ilp(problem, options);
         break;
+      }
       case InnerSolver::kGreedy:
         solved = solve_greedy_lpt(problem);
         break;
-      case InnerSolver::kSa:
-        solved = solve_sa(problem);
+      case InnerSolver::kSa: {
+        SaSolverOptions options;
+        options.cancel = request.cancel;
+        options.deadline = request.deadline;
+        solved = solve_sa(problem, options);
         break;
+      }
       case InnerSolver::kPortfolio: {
         PortfolioOptions options;
         options.max_nodes = request.max_nodes;
         options.threads = request.threads;
-        solved = solve_portfolio(problem, options).best;
+        options.cancel = request.cancel;
+        options.deadline = request.deadline;
+        const PortfolioResult race = solve_portfolio(problem, options);
+        solved = race.best;
+        result.certificate = race.certificate;
+        have_certificate = true;
         break;
       }
     }
@@ -94,6 +122,24 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
     result.assignment = solved.assignment;
     result.partitions_tried = 1;
     result.total_nodes = solved.nodes;
+    result.stop = solved.stop;
+    if (!have_certificate) {
+      if (!result.feasible) {
+        result.certificate = certify_infeasible(
+            /*proven=*/solved.proved_optimal, solved.stop);
+      } else if (result.proved_optimal) {
+        result.certificate = certify_optimal(
+            static_cast<long long>(result.assignment.makespan));
+      } else {
+        const auto makespan =
+            static_cast<long long>(result.assignment.makespan);
+        const Cycles lb = problem.lower_bound();
+        result.certificate =
+            lb > 0 ? certify_bounded(makespan, static_cast<long long>(lb),
+                                     solved.stop)
+                   : certify_feasible(makespan, solved.stop);
+      }
+    }
   }
 
   result.bus_plan = std::move(plan);
@@ -118,10 +164,12 @@ std::string describe_design(const Soc& soc, const DesignRequest& request,
   out << "\n";
   if (!result.feasible) {
     out << "NO FEASIBLE ARCHITECTURE FOUND\n";
+    out << "status=" << result.certificate.to_string() << "\n";
     return out.str();
   }
   out << "system test time: " << result.assignment.makespan << " cycles"
       << (result.proved_optimal ? " (optimal)" : " (heuristic)") << "\n";
+  out << "status=" << result.certificate.to_string() << "\n";
   for (std::size_t j = 0; j < result.bus_widths.size(); ++j) {
     out << "  bus " << j << " (width " << result.bus_widths[j] << "):";
     Cycles load = 0;

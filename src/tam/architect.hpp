@@ -46,6 +46,13 @@ struct DesignRequest {
   /// value yields identical results for solves that complete (the exact
   /// solver's determinism guarantee).
   int threads = 1;
+  /// Optional cooperative cancellation observed by every long-running stage.
+  const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline (anytime mode, --time-limit-ms). With a
+  /// finite deadline the kExact solver is routed through the portfolio so a
+  /// greedy floor incumbent always exists; the result's certificate reports
+  /// the achieved optimality gap.
+  Deadline deadline;
 };
 
 struct DesignResult {
@@ -59,6 +66,10 @@ struct DesignResult {
   long long stub_wirelength = 0;
   long long partitions_tried = 0;
   long long total_nodes = 0;
+  /// Why the solve stopped early; kNone for a run to completion.
+  StopReason stop = StopReason::kNone;
+  /// Quality certificate for the returned architecture (docs/robustness.md).
+  SolveCertificate certificate;
 };
 
 /// Runs the full TAM architecture design flow on `soc`.

@@ -9,6 +9,7 @@
 
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
+#include "runtime/failpoint.hpp"
 
 namespace soctest {
 
@@ -34,6 +35,8 @@ struct SharedSearchState {
   std::atomic<Cycles> best{kInfCycles};
   std::atomic<long long> nodes{0};
   std::atomic<bool> aborted{false};
+  /// StopReason of the first subtree that aborted (int-encoded).
+  std::atomic<int> stop_reason{0};
   std::mutex mu;
   Cycles best_value = kInfCycles;     // guarded by mu
   std::vector<int> best_item_bus;     // guarded by mu
@@ -64,7 +67,10 @@ struct Search {
   // Search explores one root subtree: incumbent reads/updates and the node
   // budget go through the shared state instead of the local fields.
   SharedSearchState* shared = nullptr;
-  const CancellationToken* cancel = nullptr;
+  // Composes the options' deadline, cancellation token, and the
+  // tam.exact.node failpoint into one sticky per-node poll.
+  StopCheck stop_check;
+  StopReason stop_reason = StopReason::kNone;
   // Witness mode: unwind as soon as one incumbent is recorded (used to
   // re-derive the deterministic optimal assignment after a parallel proof).
   bool stop_on_first_incumbent = false;
@@ -86,37 +92,54 @@ struct Search {
   std::vector<int> best_item_bus;
 
   explicit Search(const TamProblem& p, const ExactSolverOptions& o)
-      : problem(p), options(o) {}
+      : problem(p),
+        options(o),
+        stop_check(o.deadline, o.cancel, failpoint::sites::kExactNode) {}
 
   /// Incumbent used for pruning: the racing shared bound in parallel mode.
   Cycles current_best() const {
     return shared ? shared->best.load(std::memory_order_relaxed) : best;
   }
 
+  /// Records why this search is unwinding; in parallel mode the first
+  /// aborter's reason wins globally.
+  void abort_with(StopReason reason) {
+    aborted = true;
+    if (stop_reason == StopReason::kNone) stop_reason = reason;
+    if (shared) {
+      int expected = 0;
+      shared->stop_reason.compare_exchange_strong(
+          expected, static_cast<int>(reason), std::memory_order_relaxed);
+      shared->aborted.store(true, std::memory_order_relaxed);
+    }
+  }
+
   /// Per-node bookkeeping: node counting, the node budget (global in
-  /// parallel mode), and cancellation. Returns false when the search must
-  /// unwind.
+  /// parallel mode), and the deadline/cancellation/failpoint stop check.
+  /// Returns false when the search must unwind.
   bool enter_node() {
     ++nodes;
     if (shared) {
       const long long total =
           shared->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options.max_nodes >= 0 && total > options.max_nodes) {
-        shared->aborted.store(true, std::memory_order_relaxed);
-        aborted = true;
+        abort_with(StopReason::kNodeBudget);
         return false;
       }
       if (shared->aborted.load(std::memory_order_relaxed)) {
         aborted = true;
+        if (stop_reason == StopReason::kNone) {
+          stop_reason = static_cast<StopReason>(
+              shared->stop_reason.load(std::memory_order_relaxed));
+        }
         return false;
       }
     } else if (options.max_nodes >= 0 && nodes > options.max_nodes) {
-      aborted = true;
+      abort_with(StopReason::kNodeBudget);
       return false;
     }
-    if (cancel && cancel->cancelled()) {
-      aborted = true;
-      if (shared) shared->aborted.store(true, std::memory_order_relaxed);
+    if (stop_check.should_stop()) {
+      abort_with(stop_check.reason());
       return false;
     }
     return true;
@@ -573,7 +596,6 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
         search.build_bus_classes();
         search.setup(b);
         search.shared = &shared;
-        search.cancel = options.cancel;
         search.replay_prefix(prefix);
         search.dfs(prefix.size());
         search.flush_metrics();
@@ -584,19 +606,24 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
   }
 
   const bool aborted = shared.aborted.load(std::memory_order_relaxed);
+  const auto shared_stop = static_cast<StopReason>(
+      shared.stop_reason.load(std::memory_order_relaxed));
   result.nodes = enum_nodes + shared.nodes.load(std::memory_order_relaxed);
   if (shared.best_item_bus.empty()) {
-    // Either truly infeasible or the node budget / cancellation expired
-    // before any leaf.
+    // Either truly infeasible or the node budget / deadline / cancellation
+    // expired before any leaf.
     result.feasible = false;
     result.proved_optimal = !aborted;
+    result.stop = shared_stop;
     return result;
   }
   if (aborted) {
     // Best-effort incumbent; which subtree supplied it is timing-dependent,
     // exactly like an aborted serial search is cutoff-dependent.
-    return assemble_result(problem, proto.items, shared.best_item_bus,
-                           result.nodes, false);
+    TamSolveResult partial = assemble_result(
+        problem, proto.items, shared.best_item_bus, result.nodes, false);
+    partial.stop = shared_stop;
+    return partial;
   }
 
   // Deterministic witness pass (see function comment).
@@ -605,6 +632,9 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
   witness_options.max_nodes = -1;  // the proof already fit the budget
   witness_options.threads = 1;
   witness_options.cancel = nullptr;
+  // The witness pass must run to completion for determinism; it is bounded
+  // work (first incumbent at the proven optimum), so it ignores the deadline.
+  witness_options.deadline = Deadline();
   Search witness(problem, witness_options);
   witness.build_items();
   witness.build_bus_classes();
@@ -637,7 +667,6 @@ TamSolveResult solve_exact_min_wire(const TamProblem& problem,
   search.build_items();
   search.build_bus_classes();
   search.setup(problem.num_buses());
-  search.cancel = options.cancel;
   search.makespan_cap = makespan_cap;
   if (problem.bus_depth_limit >= 0) {
     search.makespan_cap = std::min(search.makespan_cap, problem.bus_depth_limit);
@@ -653,10 +682,14 @@ TamSolveResult solve_exact_min_wire(const TamProblem& problem,
   if (search.best_item_bus.empty()) {
     result.feasible = false;
     result.proved_optimal = !search.aborted;
+    result.stop = search.stop_reason;
     return result;
   }
-  return assemble_result(problem, search.items, search.best_item_bus,
-                         search.nodes, !search.aborted);
+  TamSolveResult found = assemble_result(problem, search.items,
+                                         search.best_item_bus, search.nodes,
+                                         !search.aborted);
+  found.stop = search.stop_reason;
+  return found;
 }
 
 TamSolveResult solve_exact_lex(const TamProblem& problem,
@@ -669,6 +702,7 @@ TamSolveResult solve_exact_lex(const TamProblem& problem,
   secondary.nodes += primary.nodes;
   secondary.proved_optimal =
       primary.proved_optimal && secondary.proved_optimal;
+  if (secondary.stop == StopReason::kNone) secondary.stop = primary.stop;
   return secondary;
 }
 
@@ -684,7 +718,6 @@ TamSolveResult solve_exact(const TamProblem& problem,
   search.build_items();
   search.build_bus_classes();
   search.setup(problem.num_buses());
-  search.cancel = options.cancel;
   search.best = initial_pruning_bound(problem, options);
   search.dfs(0);
   search.flush_metrics();
@@ -699,10 +732,14 @@ TamSolveResult solve_exact(const TamProblem& problem,
     // Either truly infeasible or the node budget expired before any leaf.
     result.feasible = false;
     result.proved_optimal = !search.aborted;
+    result.stop = search.stop_reason;
     return result;
   }
-  return assemble_result(problem, search.items, search.best_item_bus,
-                         search.nodes, !search.aborted);
+  TamSolveResult found = assemble_result(problem, search.items,
+                                         search.best_item_bus, search.nodes,
+                                         !search.aborted);
+  found.stop = search.stop_reason;
+  return found;
 }
 
 }  // namespace soctest

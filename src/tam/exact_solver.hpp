@@ -1,6 +1,7 @@
 #pragma once
 
 #include "common/parallel.hpp"
+#include "runtime/deadline.hpp"
 #include "tam/tam_problem.hpp"
 
 namespace soctest {
@@ -12,6 +13,9 @@ struct TamSolveResult {
   bool proved_optimal = false;
   TamAssignment assignment;
   long long nodes = 0;  ///< search nodes / LP nodes / SA moves, solver-defined
+  /// Why the search unwound early (StopReason::kNone when it ran to
+  /// completion). An aborted solve still carries the best incumbent found.
+  StopReason stop = StopReason::kNone;
 };
 
 /// Lower-bound strength used for pruning (ablation A2). All modes are
@@ -42,6 +46,10 @@ struct ExactSolverOptions {
   /// fires the solver unwinds and returns its best incumbent with
   /// proved_optimal = false.
   const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline (anytime mode). Default is infinite; when
+  /// it expires mid-search the solver unwinds and returns its best incumbent
+  /// with proved_optimal = false and stop = StopReason::kDeadline.
+  Deadline deadline;
 };
 
 /// Exact branch-and-bound solver for the constrained TAM assignment problem.

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "obs/obs.hpp"
+#include "runtime/failpoint.hpp"
 
 namespace soctest {
 
@@ -249,8 +250,10 @@ TamSolveResult solve_sa(const TamProblem& problem, const SaSolverOptions& option
                            : std::max(1.0, cost * 0.05);
   long long moves = 0;
   long long accepted = 0;
+  StopCheck stop_check(options.deadline, options.cancel,
+                       failpoint::sites::kSaIter);
   for (int it = 0; it < options.iterations; ++it) {
-    if (options.cancel && options.cancel->cancelled()) break;
+    if (stop_check.should_stop()) break;
     std::vector<int> candidate = item_bus;
     if (items.size() >= 2 && rng.bernoulli(0.3)) {
       // Swap the buses of two items (when mutually allowed).
@@ -301,7 +304,9 @@ TamSolveResult solve_sa(const TamProblem& problem, const SaSolverOptions& option
     span.arg({"accepted", accepted});
   }
   const auto& chosen = best_feasible.empty() ? best_any : best_feasible;
-  return assemble(problem, items, chosen, moves);
+  TamSolveResult result = assemble(problem, items, chosen, moves);
+  result.stop = stop_check.reason();
+  return result;
 }
 
 }  // namespace soctest

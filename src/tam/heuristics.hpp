@@ -24,6 +24,9 @@ struct SaSolverOptions {
   /// Optional cooperative cancellation (portfolio racing): checked every
   /// iteration; on cancel the best assignment seen so far is returned.
   const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline (anytime mode): the annealing loop stops
+  /// when it expires and returns the best assignment seen so far.
+  Deadline deadline;
 };
 
 /// Simulated-annealing baseline: starts from greedy LPT, perturbs by moving

@@ -91,6 +91,7 @@ TamSolveResult solve_ilp(const TamProblem& problem, const MipOptions& options) {
   const MipResult mip = solve_mip(lp, options);
   TamSolveResult result;
   result.nodes = mip.nodes_explored;
+  result.stop = mip.stop;
   if (mip.status == MipStatus::kInfeasible || mip.x.empty()) {
     result.feasible = false;
     result.proved_optimal = mip.status == MipStatus::kInfeasible;

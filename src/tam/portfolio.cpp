@@ -1,6 +1,8 @@
 #include "tam/portfolio.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
 
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
@@ -38,13 +40,18 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
   exact_options.initial_upper_bound = upper_bound;
   exact_options.bound_mode = options.bound_mode;
   exact_options.threads = options.exact_threads;
+  exact_options.cancel = options.cancel;
+  exact_options.deadline = options.deadline;
 
   SaSolverOptions sa_options = options.sa;
   CancellationToken cancel_sa;
   sa_options.cancel = &cancel_sa;
+  sa_options.deadline = options.deadline;
 
   TamSolveResult exact;
   TamSolveResult sa;
+  bool exact_faulted = false;
+  bool sa_faulted = false;
   {
     const int threads = std::max(2, resolve_thread_count(options.threads));
     ThreadPool pool(static_cast<std::size_t>(threads));
@@ -63,14 +70,35 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
       if (span.active()) span.arg({"moves", r.nodes});
       return r;
     });
-    exact = exact_future.get();
+    // Relay the caller's cancellation to the SA racer while the exact racer
+    // runs (the exact racer observes the token directly).
+    while (exact_future.wait_for(std::chrono::milliseconds(2)) !=
+           std::future_status::ready) {
+      if (options.cancel && options.cancel->cancelled()) cancel_sa.cancel();
+    }
+    // A racer can die outright (injected pool fault, OOM): its future breaks
+    // instead of returning. The portfolio degrades to the surviving results
+    // rather than propagating the exception.
+    try {
+      exact = exact_future.get();
+    } catch (const std::exception&) {
+      exact_faulted = true;
+      exact = TamSolveResult{};
+      exact.stop = StopReason::kFault;
+    }
     if (exact.proved_optimal) {
       // The exact racer won outright: the SA incumbent can no longer matter.
       cancel_sa.cancel();
       out.sa_cancelled = true;
       obs::instant("tam.portfolio.sa_cancel");
     }
-    sa = sa_future.get();
+    try {
+      sa = sa_future.get();
+    } catch (const std::exception&) {
+      sa_faulted = true;
+      sa = TamSolveResult{};
+      sa.stop = StopReason::kFault;
+    }
   }
   out.exact_nodes = exact.nodes;
   out.sa_moves = sa.nodes;
@@ -90,18 +118,25 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
     }
   };
 
+  // The reason the race (if anything) was cut short, for the certificate.
+  const StopReason race_stop =
+      exact.stop != StopReason::kNone ? exact.stop : sa.stop;
+
   // Stage 3: deterministic selection. A completed exact solve dominates —
   // its warm start was an upper bound on the optimum, so "infeasible with
   // proof" really means no assignment beats the heuristics either.
   if (exact.proved_optimal && exact.feasible) {
     out.best = exact;
     out.winner = "exact";
+    out.certificate =
+        certify_optimal(static_cast<long long>(exact.assignment.makespan));
     note_winner();
     return out;
   }
   if (exact.proved_optimal && !greedy.feasible && !sa.feasible) {
     out.best = exact;  // proven infeasible
     out.winner = "exact";
+    out.certificate = certify_infeasible(/*proven=*/true, StopReason::kNone);
     note_winner();
     return out;
   }
@@ -123,6 +158,27 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
   consider(greedy, "greedy");
   consider(sa, "sa");
   out.best.proved_optimal = false;
+  if (out.best.stop == StopReason::kNone) out.best.stop = race_stop;
+  if (out.best.feasible) {
+    const long long makespan =
+        static_cast<long long>(out.best.assignment.makespan);
+    const Cycles lb = problem.lower_bound();
+    if (lb > 0 && makespan <= static_cast<long long>(lb)) {
+      // The incumbent meets the combinatorial lower bound: optimal after
+      // all, even though the exact racer never finished its proof.
+      out.best.proved_optimal = true;
+      out.certificate = certify_optimal(makespan);
+    } else if (lb > 0) {
+      out.certificate =
+          certify_bounded(makespan, static_cast<long long>(lb), race_stop);
+    } else {
+      out.certificate = certify_feasible(makespan, race_stop);
+    }
+  } else if (exact_faulted && sa_faulted) {
+    out.certificate = certify_error("all portfolio racers faulted");
+  } else {
+    out.certificate = certify_infeasible(/*proven=*/false, race_stop);
+  }
   note_winner();
   return out;
 }

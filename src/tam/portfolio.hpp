@@ -21,6 +21,13 @@ struct PortfolioOptions {
   Cycles initial_upper_bound = -1;
   BoundMode bound_mode = BoundMode::kFull;
   SaSolverOptions sa;
+  /// Optional cooperative cancellation from the caller (Ctrl-C, an outer
+  /// race). Both racers observe it; the greedy floor still runs.
+  const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline (anytime mode). The portfolio is the
+  /// degradation chain: greedy always supplies a floor incumbent, the racers
+  /// honor the deadline, and the certificate reports the achieved gap.
+  Deadline deadline;
 };
 
 struct PortfolioResult {
@@ -35,6 +42,10 @@ struct PortfolioResult {
   /// True when the SA racer was cancelled because the exact solver proved
   /// optimality first.
   bool sa_cancelled = false;
+  /// Quality certificate for `best`: optimal when the exact racer completed,
+  /// feasible_bounded with a gap against the problem's combinatorial lower
+  /// bound when the solve was interrupted, error when every racer faulted.
+  SolveCertificate certificate;
 };
 
 /// Solver portfolio racing (the parallel-execution layer's front end):

@@ -40,23 +40,54 @@ TamSolveResult run_inner(const TamProblem& problem,
       exact.max_nodes = options.max_nodes_per_solve;
       exact.initial_upper_bound = incumbent;
       exact.threads = options.threads;
+      exact.cancel = options.cancel;
+      exact.deadline = options.deadline;
       return solve_exact(problem, exact);
     }
-    case InnerSolver::kIlp:
-      return solve_ilp(problem);
+    case InnerSolver::kIlp: {
+      MipOptions mip;
+      mip.cancel = options.cancel;
+      mip.deadline = options.deadline;
+      return solve_ilp(problem, mip);
+    }
     case InnerSolver::kGreedy:
       return solve_greedy_lpt(problem);
-    case InnerSolver::kSa:
-      return solve_sa(problem);
+    case InnerSolver::kSa: {
+      SaSolverOptions sa;
+      sa.cancel = options.cancel;
+      sa.deadline = options.deadline;
+      return solve_sa(problem, sa);
+    }
     case InnerSolver::kPortfolio: {
       PortfolioOptions portfolio;
       portfolio.max_nodes = options.max_nodes_per_solve;
       portfolio.initial_upper_bound = incumbent;
       portfolio.threads = options.threads;
+      portfolio.cancel = options.cancel;
+      portfolio.deadline = options.deadline;
       return solve_portfolio(problem, portfolio).best;
     }
   }
   throw std::logic_error("unknown inner solver");
+}
+
+/// Global lower bound for the whole width search: every core could at best
+/// run at the widest bus any partition can offer (total - (buses-1) wires),
+/// and B buses cannot beat the average of that relaxed workload.
+Cycles width_search_lower_bound(const TestTimeTable& table, int num_buses,
+                                int total_width) {
+  const int w_max =
+      std::min(table.max_width(), total_width - (num_buses - 1));
+  if (w_max < 1) return 0;
+  Cycles max_single = 0;
+  Cycles total = 0;
+  for (std::size_t i = 0; i < table.num_cores(); ++i) {
+    const Cycles t = table.time(i, w_max);
+    max_single = std::max(max_single, t);
+    total += t;
+  }
+  const auto b = static_cast<Cycles>(num_buses);
+  return std::max(max_single, (total + b - 1) / b);
 }
 
 }  // namespace
@@ -81,14 +112,27 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
   ArchitectureResult best;
   best.proved_optimal = true;
   const bool permute = options.permute_widths || layout != nullptr;
+  // Between-partition stop polling: the per-node/iteration checks live in
+  // the inner solvers; this one stops the enumeration itself.
+  StopCheck stop_check(options.deadline, options.cancel);
+  const bool anytime =
+      options.deadline.finite() || options.cancel != nullptr;
+  bool stopped = false;
 
   for (const auto& partition : width_partitions(total_width, num_buses)) {
+    if (stopped) break;
     std::vector<int> widths = partition;
     // next_permutation over the non-increasing vector enumerates each
     // distinct arrangement exactly once starting from the sorted-ascending
     // order.
     std::sort(widths.begin(), widths.end());
     do {
+      if (stop_check.should_stop()) {
+        best.proved_optimal = false;
+        if (best.stop == StopReason::kNone) best.stop = stop_check.reason();
+        stopped = true;
+        break;
+      }
       ++best.partitions_tried;
       TamProblem problem;
       try {
@@ -106,9 +150,25 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
         continue;
       }
       const Cycles incumbent = best.feasible ? best.assignment.makespan : -1;
-      const TamSolveResult result = run_inner(problem, options, incumbent);
+      TamSolveResult result = run_inner(problem, options, incumbent);
       best.total_nodes += result.nodes;
       if (!result.proved_optimal) best.proved_optimal = false;
+      if (result.stop != StopReason::kNone && best.stop == StopReason::kNone) {
+        best.stop = result.stop;
+      }
+      // Graceful degradation: an interrupted inner solve that found nothing
+      // must not silently skip the partition — greedy-LPT is cheap enough to
+      // always supply a floor incumbent.
+      if (anytime && !result.feasible &&
+          result.stop != StopReason::kNone &&
+          options.solver != InnerSolver::kGreedy) {
+        TamSolveResult fallback = solve_greedy_lpt(problem);
+        if (fallback.feasible) {
+          fallback.stop = result.stop;
+          fallback.proved_optimal = false;
+          result = std::move(fallback);
+        }
+      }
       if (result.feasible &&
           (!best.feasible || result.assignment.makespan < best.assignment.makespan)) {
         best.feasible = true;
@@ -119,6 +179,54 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
     } while (permute && std::next_permutation(widths.begin(), widths.end()));
   }
   if (!best.feasible) best.proved_optimal = false;
+
+  // Anytime floor: even a budget that expired before the first partition
+  // still returns *an* architecture when one exists. Greedy-LPT on the
+  // balanced width split mirrors the portfolio's greedy floor; it ignores
+  // the already-expired deadline (greedy is O(n log n), not a search).
+  if (anytime && !best.feasible && best.stop != StopReason::kNone) {
+    std::vector<int> widths(static_cast<std::size_t>(num_buses),
+                            total_width / num_buses);
+    for (int r = 0; r < total_width % num_buses; ++r) ++widths[static_cast<std::size_t>(r)];
+    try {
+      const TamProblem problem =
+          make_tam_problem(soc, table, widths, layout, wire_budget, p_max_mw,
+                           options.power_mode, options.bus_depth_limit);
+      const TamSolveResult fallback = solve_greedy_lpt(problem);
+      if (fallback.feasible) {
+        best.feasible = true;
+        best.proved_optimal = false;
+        best.bus_widths = widths;
+        best.assignment = fallback.assignment;
+        ++best.partitions_tried;
+      }
+    } catch (const std::runtime_error&) {
+      // The balanced split cannot host some core under the constraints;
+      // the run stays infeasible-with-stop-reason.
+    }
+  }
+
+  // Certificate: gap against the width-relaxed global lower bound.
+  if (!best.feasible) {
+    best.certificate =
+        certify_infeasible(/*proven=*/best.stop == StopReason::kNone,
+                           best.stop);
+  } else {
+    const auto makespan = static_cast<long long>(best.assignment.makespan);
+    const Cycles lb = width_search_lower_bound(table, num_buses, total_width);
+    if (best.proved_optimal && best.stop == StopReason::kNone) {
+      best.certificate = certify_optimal(makespan);
+    } else if (lb > 0 && makespan <= static_cast<long long>(lb)) {
+      // Meeting the relaxation bound proves optimality even mid-search.
+      best.proved_optimal = true;
+      best.certificate = certify_optimal(makespan);
+    } else if (lb > 0) {
+      best.certificate =
+          certify_bounded(makespan, static_cast<long long>(lb), best.stop);
+    } else {
+      best.certificate = certify_feasible(makespan, best.stop);
+    }
+  }
   return best;
 }
 

@@ -27,6 +27,15 @@ struct WidthPartitionOptions {
   PowerConstraintMode power_mode = PowerConstraintMode::kPairwiseSerialization;
   /// ATE vector-memory depth limit per bus; -1 disables.
   Cycles bus_depth_limit = -1;
+  /// Optional cooperative cancellation: checked between partitions and
+  /// inside every inner solve.
+  const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline shared by the whole width search. On
+  /// expiry the enumeration stops and the best architecture found so far is
+  /// returned with a certificate bounding its gap. Partitions whose exact
+  /// solve was cut short fall back to a greedy assignment so a deadline
+  /// never turns a solvable partition into a silent skip.
+  Deadline deadline;
 };
 
 /// The output of architecture-level optimization: the chosen bus widths and
@@ -38,6 +47,12 @@ struct ArchitectureResult {
   TamAssignment assignment;
   long long partitions_tried = 0;
   long long total_nodes = 0;
+  /// Why the search stopped early; kNone when every partition was examined.
+  StopReason stop = StopReason::kNone;
+  /// Quality certificate: optimal when the enumeration completed with every
+  /// inner solve proven, feasible_bounded (gap vs the width-relaxed lower
+  /// bound) when interrupted, infeasible when nothing was found.
+  SolveCertificate certificate;
 };
 
 /// Enumerates all partitions of `total_width` into `num_buses` positive

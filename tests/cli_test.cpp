@@ -167,8 +167,9 @@ TEST(CliRun, LoadsShippedSampleSoc) {
 
 TEST(CliRun, MissingSocFileReportsError) {
   const CliResult r = run_cli(parse_cli({"--soc", "/no/such/file.soc"}));
-  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.exit_code, 3);  // input error (docs/robustness.md exit codes)
   EXPECT_NE(r.output.find("error:"), std::string::npos);
+  EXPECT_NE(r.output.find("not_found"), std::string::npos);
 }
 
 TEST(CliRun, InfeasiblePowerBudgetExitsNonzero) {
@@ -204,7 +205,58 @@ TEST(CliRun, SvgOutputWritesWellFormedFile) {
 TEST(CliRun, SvgToUnwritablePathFails) {
   const CliResult r = run_cli(parse_cli(
       {"--soc", "soc1", "--widths", "16,16", "--svg", "/no/such/dir/x.svg"}));
-  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_EQ(r.exit_code, 4);  // output I/O error
+  EXPECT_NE(r.output.find("io_error"), std::string::npos);
+}
+
+TEST(CliParse, RobustnessFlags) {
+  const CliOptions o = parse_cli(
+      {"--time-limit-ms", "250", "--failpoints", "tam.exact.node=error"});
+  EXPECT_DOUBLE_EQ(o.time_limit_ms, 250.0);
+  EXPECT_EQ(o.failpoints, "tam.exact.node=error");
+  EXPECT_THROW(parse_cli({"--time-limit-ms", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--time-limit-ms"}), std::invalid_argument);
+  EXPECT_THROW(parse_cli({"--failpoints", ""}), std::invalid_argument);
+}
+
+TEST(CliRun, TimeLimitReportsCertificate) {
+  // A zero budget expires before the first search node; the degradation
+  // chain (portfolio greedy floor) must still deliver an architecture with
+  // an honest gap report and a success exit.
+#ifdef SOCTEST_REPO_ROOT
+  const std::string path = std::string(SOCTEST_REPO_ROOT) + "/data/camchip.soc";
+  const CliResult r = run_cli(
+      parse_cli({"--soc", path, "--buses", "2", "--width", "24",
+                 "--time-limit-ms", "0"}));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("system test time"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("status=feasible_bounded"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("gap="), std::string::npos) << r.output;
+#else
+  GTEST_SKIP() << "SOCTEST_REPO_ROOT not defined";
+#endif
+}
+
+TEST(CliRun, NoTimeLimitMatchesGoldenOutput) {
+  // Without --time-limit-ms the anytime machinery must stay fully inert:
+  // two runs (and the pre-deadline code path) give byte-identical reports.
+  const std::vector<std::string> args{"--soc", "soc2", "--widths", "16,16"};
+  const CliResult a = run_cli(parse_cli(args));
+  const CliResult b = run_cli(parse_cli(args));
+  EXPECT_EQ(a.exit_code, 0);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_NE(a.output.find("status=optimal"), std::string::npos) << a.output;
+}
+
+TEST(CliRun, JsonReportCarriesCertificate) {
+  const CliResult r = run_cli(parse_cli(
+      {"--soc", "soc2", "--widths", "16,16", "--json"}));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("\"status\":\"optimal\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"stop_reason\":\"none\""), std::string::npos)
+      << r.output;
 }
 
 TEST(CliRun, Soc3Solves) {

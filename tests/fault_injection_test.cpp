@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "cli/run.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "layout/router.hpp"
+#include "layout/sa_placer.hpp"
+#include "runtime/failpoint.hpp"
+#include "sched/power_sched.hpp"
+#include "soc/builtin.hpp"
+#include "soc/soc_format.hpp"
+#include "tam/architect.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
+#include "tam/ilp_solver.hpp"
+#include "tam/portfolio.hpp"
+#include "test_util.hpp"
+
+namespace soctest {
+namespace {
+
+// Every failpoint in the catalog is armed at least once here, and every
+// test asserts graceful degradation: no crash, no hang, no exception past
+// the component boundary, and an honest status/stop-reason on the result.
+
+constexpr const char* kMinimalSoc =
+    "soc faulty 20 20\n"
+    "core a inputs 8 outputs 8 patterns 20 power 100 size 4 4\n"
+    "core b inputs 6 outputs 6 patterns 30 power 150 size 4 4\n"
+    "end\n";
+
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+// ------------------------------------------------------------ soc.parse.* --
+
+TEST_F(FaultInjection, ParserOpenFaultBecomesIoError) {
+  ASSERT_TRUE(failpoint::arm("soc.parse.open=error").ok());
+  const StatusOr<Soc> result = parse_soc_string(kMinimalSoc, "mem.soc");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("injected"), std::string::npos);
+}
+
+TEST_F(FaultInjection, ParserOpenBadAllocBecomesResourceExhausted) {
+  ASSERT_TRUE(failpoint::arm("soc.parse.open=bad_alloc").ok());
+  const StatusOr<Soc> result = parse_soc_string(kMinimalSoc, "mem.soc");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultInjection, ParserLineFaultReportsLocation) {
+  ASSERT_TRUE(failpoint::arm("soc.parse.line=error:2").ok());
+  const StatusOr<Soc> result = parse_soc_string(kMinimalSoc, "mem.soc");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("mem.soc:2"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("injected"), std::string::npos);
+}
+
+TEST_F(FaultInjection, ParserRecoversOnceDisarmed) {
+  ASSERT_TRUE(failpoint::arm("soc.parse.line=error").ok());
+  ASSERT_FALSE(parse_soc_string(kMinimalSoc, "mem.soc").ok());
+  failpoint::disarm_all();
+  EXPECT_TRUE(parse_soc_string(kMinimalSoc, "mem.soc").ok());
+}
+
+// -------------------------------------------------------- common.pool.task --
+
+TEST_F(FaultInjection, PoolContainsInjectedTaskFault) {
+  ASSERT_TRUE(failpoint::arm("common.pool.task=error").ok());
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.post([] {});
+  }
+  pool.wait_all();
+  EXPECT_GT(pool.task_errors(), 0);
+  // The workers survive: once disarmed the pool keeps executing tasks.
+  failpoint::disarm_all();
+  std::atomic<int> ran{0};
+  pool.post([&] { ran.fetch_add(1); });
+  pool.wait_all();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_F(FaultInjection, PoolContainsInjectedBadAlloc) {
+  ASSERT_TRUE(failpoint::arm("common.pool.task=bad_alloc").ok());
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) {
+    pool.post([] {});
+  }
+  pool.wait_all();
+  EXPECT_GT(pool.task_errors(), 0);
+}
+
+// -------------------------------------------------------------- solvers --
+
+TamProblem small_problem() {
+  Rng rng(3);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 8;
+  options.num_buses = 2;
+  return testutil::random_problem(rng, options);
+}
+
+TEST_F(FaultInjection, ExactSolverStopsWithFault) {
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=error").ok());
+  const TamSolveResult result = solve_exact(small_problem(), {});
+  EXPECT_EQ(result.stop, StopReason::kFault);
+  EXPECT_FALSE(result.proved_optimal);
+}
+
+TEST_F(FaultInjection, ExactSolverFaultDeepInTheSearch) {
+  // Let the search run 50 nodes before the fault: the incumbent found so
+  // far must survive the abort. Needs a problem whose search tree outlives
+  // the ordinal — 12 cores over 3 buses visits thousands of nodes.
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=error:50").ok());
+  Rng rng(7);
+  testutil::RandomProblemOptions options;
+  options.num_cores = 12;
+  options.num_buses = 3;
+  const TamSolveResult result =
+      solve_exact(testutil::random_problem(rng, options), {});
+  EXPECT_EQ(result.stop, StopReason::kFault);
+  EXPECT_TRUE(result.feasible);  // 50 nodes is plenty to find an incumbent
+}
+
+TEST_F(FaultInjection, SaSolverKeepsIncumbentOnFault) {
+  ASSERT_TRUE(failpoint::arm("tam.sa.iter=error:10").ok());
+  const TamSolveResult result = solve_sa(small_problem(), {});
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.stop, StopReason::kFault);
+}
+
+TEST_F(FaultInjection, IlpSolverStopsWithFault) {
+  ASSERT_TRUE(failpoint::arm("ilp.bb.node=error").ok());
+  const TamSolveResult result = solve_ilp(small_problem(), {});
+  EXPECT_EQ(result.stop, StopReason::kFault);
+  EXPECT_FALSE(result.proved_optimal);
+}
+
+TEST_F(FaultInjection, PortfolioDegradesWhenExactRacerFaults) {
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=error").ok());
+  const PortfolioResult race = solve_portfolio(small_problem(), {});
+  // SA and the greedy floor survive, so the race still yields an incumbent.
+  ASSERT_TRUE(race.best.feasible);
+  EXPECT_NE(race.certificate.status, SolveStatus::kError)
+      << race.certificate.to_string();
+}
+
+TEST_F(FaultInjection, PortfolioSurvivesPoolTaskFaults) {
+  // Both racers die before running (their pool tasks throw); the greedy
+  // floor computed on the calling thread still yields an architecture.
+  ASSERT_TRUE(failpoint::arm("common.pool.task=error").ok());
+  const PortfolioResult race = solve_portfolio(small_problem(), {});
+  ASSERT_TRUE(race.best.feasible);
+  EXPECT_EQ(race.best.stop, StopReason::kFault);
+}
+
+// ---------------------------------------------------------------- layout --
+
+TEST_F(FaultInjection, PlacerCommitsBestOnFault) {
+  ASSERT_TRUE(failpoint::arm("layout.sa.iter=error:100").ok());
+  Soc soc = builtin_soc1();
+  ASSERT_TRUE(soc.has_placement());
+  Rng rng(1);
+  sa_place(soc, {}, rng);
+  EXPECT_TRUE(soc.has_placement());
+  EXPECT_GT(placement_cost(soc), 0);
+}
+
+TEST_F(FaultInjection, RouterReturnsNoRouteOnFault) {
+  ASSERT_TRUE(failpoint::arm("layout.route.step=error").ok());
+  DieGrid grid(8, 8);
+  const GridRouter router(grid);
+  EXPECT_FALSE(router.route({0, 0}, {7, 7}).has_value());
+  failpoint::disarm_all();
+  EXPECT_TRUE(router.route({0, 0}, {7, 7}).has_value());
+}
+
+// -------------------------------------------------------- sched.power.tick --
+
+TEST_F(FaultInjection, PowerSchedulerFailsCleanOnTimeoutFault) {
+  ASSERT_TRUE(failpoint::arm("sched.power.tick=timeout").ok());
+  const Soc soc = builtin_soc1();
+  DesignRequest request;
+  request.bus_widths = {16, 16};
+  const DesignResult design = design_architecture(soc, request);
+  ASSERT_TRUE(design.feasible);
+  const TestTimeTable& table = cached_test_time_table(soc, 16);
+  const TamProblem problem = make_tam_problem(soc, table, design.bus_widths);
+  PowerScheduleOptions options;
+  options.p_max_mw = 2000;
+  const PowerScheduleResult ps = build_power_aware_schedule(
+      problem, soc, design.assignment.core_to_bus, options);
+  EXPECT_FALSE(ps.feasible);
+  EXPECT_EQ(ps.stop, StopReason::kDeadline);
+  EXPECT_TRUE(ps.schedule.tests.empty());
+}
+
+// ------------------------------------------------------------ report.write --
+
+TEST_F(FaultInjection, TraceWriterFaultSetsInternalExit) {
+  const std::string path = ::testing::TempDir() + "/fault_trace.json";
+  const CliResult r = run_cli(parse_cli(
+      {"--soc", "soc1", "--widths", "16,16", "--trace", path, "--failpoints",
+       "report.write=error"}));
+  EXPECT_EQ(r.exit_code, kExitInternal) << r.output;
+  EXPECT_NE(r.output.find("injected fault writing"), std::string::npos)
+      << r.output;
+}
+
+// ------------------------------------------------------------ CLI arming --
+
+TEST_F(FaultInjection, CliRejectsBadFailpointSpec) {
+  const CliResult r =
+      run_cli(parse_cli({"--soc", "soc1", "--failpoints", "no.such=error"}));
+  EXPECT_EQ(r.exit_code, kExitUsage);
+  EXPECT_NE(r.output.find("unknown failpoint site"), std::string::npos);
+}
+
+TEST_F(FaultInjection, CliDisarmsAfterTheRun) {
+  const CliResult r = run_cli(parse_cli(
+      {"--soc", "soc1", "--widths", "16,16", "--failpoints",
+       "tam.sa.iter=error"}));
+  EXPECT_EQ(r.exit_code, 0) << r.output;  // exact path: SA site never hit
+  EXPECT_FALSE(failpoint::armed());
+}
+
+TEST_F(FaultInjection, CliSolverFaultDegradesGracefully) {
+  // Exact solver faults on node 1; the run must still terminate cleanly
+  // (infeasible-with-reason or a degraded incumbent, never a crash).
+  const CliResult r = run_cli(parse_cli(
+      {"--soc", "soc1", "--widths", "16,16", "--failpoints",
+       "tam.exact.node=error"}));
+  EXPECT_NE(r.output.find("status="), std::string::npos) << r.output;
+  EXPECT_TRUE(r.exit_code == kExitSuccess || r.exit_code == kExitInternal)
+      << r.exit_code << "\n" << r.output;
+}
+
+// Catalog completeness: every site must be exercised by this suite. This
+// meta-test fails when a new site is added without a matching fault test.
+TEST_F(FaultInjection, EverySiteIsCovered) {
+  const std::vector<std::string> covered = {
+      failpoint::sites::kSocParseOpen, failpoint::sites::kSocParseLine,
+      failpoint::sites::kPoolTask,     failpoint::sites::kExactNode,
+      failpoint::sites::kSaIter,       failpoint::sites::kIlpNode,
+      failpoint::sites::kPlacerIter,   failpoint::sites::kRouteStep,
+      failpoint::sites::kPowerTick,    failpoint::sites::kReportWrite,
+  };
+  for (const std::string& site : failpoint::catalog()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), site), covered.end())
+        << "failpoint site " << site
+        << " has no test in fault_injection_test.cpp";
+  }
+}
+
+}  // namespace
+}  // namespace soctest

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.hpp"
+#include "runtime/deadline.hpp"
+#include "runtime/failpoint.hpp"
+#include "runtime/status.hpp"
+
+namespace soctest {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, RendersCodeAndMessage) {
+  const Status s = parse_error("camchip.soc:12:7: expected integer");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.to_string(), "parse_error: camchip.soc:12:7: expected integer");
+}
+
+TEST(Status, ExitCodeMapping) {
+  EXPECT_EQ(exit_code_for(Status::Ok()), kExitSuccess);
+  EXPECT_EQ(exit_code_for(invalid_argument_error("x")), kExitUsage);
+  EXPECT_EQ(exit_code_for(not_found_error("x")), kExitInputError);
+  EXPECT_EQ(exit_code_for(parse_error("x")), kExitInputError);
+  EXPECT_EQ(exit_code_for(resource_exhausted_error("x")), kExitInputError);
+  EXPECT_EQ(exit_code_for(io_error("x")), kExitIoError);
+  EXPECT_EQ(exit_code_for(deadline_exceeded_error("x")), kExitDeadline);
+  EXPECT_EQ(exit_code_for(cancelled_error("x")), kExitDeadline);
+  EXPECT_EQ(exit_code_for(fault_injected_error("x")), kExitInternal);
+  EXPECT_EQ(exit_code_for(internal_error("x")), kExitInternal);
+}
+
+TEST(Status, StatusOrCarriesValueOrStatus) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  StatusOr<int> bad(not_found_error("no file"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------- certificate --
+
+TEST(Certificate, OptimalHasZeroGap) {
+  const SolveCertificate c = certify_optimal(1234);
+  EXPECT_EQ(c.status, SolveStatus::kOptimal);
+  EXPECT_EQ(c.lower_bound, 1234);
+  EXPECT_EQ(c.upper_bound, 1234);
+  EXPECT_DOUBLE_EQ(c.gap(), 0.0);
+  EXPECT_EQ(c.to_string(), "optimal");
+}
+
+TEST(Certificate, BoundedReportsGap) {
+  const SolveCertificate c = certify_bounded(110, 100, StopReason::kDeadline);
+  EXPECT_EQ(c.status, SolveStatus::kFeasibleBounded);
+  EXPECT_NEAR(c.gap(), 0.10, 1e-12);
+  const std::string text = c.to_string();
+  EXPECT_NE(text.find("feasible_bounded"), std::string::npos) << text;
+  EXPECT_NE(text.find("gap=10.00%"), std::string::npos) << text;
+  EXPECT_NE(text.find("lower_bound=100"), std::string::npos) << text;
+  EXPECT_NE(text.find("stop=deadline"), std::string::npos) << text;
+}
+
+TEST(Certificate, FeasibleHasNoGap) {
+  const SolveCertificate c = certify_feasible(99, StopReason::kNone);
+  EXPECT_EQ(c.status, SolveStatus::kFeasible);
+  EXPECT_DOUBLE_EQ(c.gap(), -1.0);  // no lower bound -> no meaningful gap
+}
+
+TEST(Certificate, InfeasibleProvenVsInterrupted) {
+  const SolveCertificate proven =
+      certify_infeasible(/*proven=*/true, StopReason::kDeadline);
+  EXPECT_EQ(proven.stop, StopReason::kNone);  // proof implies a full search
+  const SolveCertificate interrupted =
+      certify_infeasible(/*proven=*/false, StopReason::kDeadline);
+  EXPECT_EQ(interrupted.stop, StopReason::kDeadline);
+  EXPECT_NE(interrupted.to_string().find("stop=deadline"), std::string::npos);
+}
+
+TEST(Certificate, ErrorCarriesMessage) {
+  const SolveCertificate c = certify_error("all portfolio racers faulted");
+  EXPECT_EQ(c.status, SolveStatus::kError);
+  EXPECT_EQ(c.stop, StopReason::kFault);
+  EXPECT_NE(c.to_string().find("all portfolio racers faulted"),
+            std::string::npos);
+}
+
+TEST(Certificate, GapUndefinedWithoutBounds) {
+  SolveCertificate c;
+  EXPECT_DOUBLE_EQ(c.gap(), -1.0);
+  c.lower_bound = 0;
+  c.upper_bound = 10;
+  EXPECT_DOUBLE_EQ(c.gap(), -1.0);  // lb 0 -> no meaningful ratio
+}
+
+// -------------------------------------------------------------- deadline --
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline d;
+  EXPECT_FALSE(d.finite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_ms()));
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::after_ms(0);
+  EXPECT_TRUE(d.finite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_LE(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  const Deadline d = Deadline::after_ms(60000);
+  EXPECT_TRUE(d.finite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+}
+
+TEST(DeadlineTest, CopiesShareTheExpiryInstant) {
+  const Deadline a = Deadline::after_ms(60000);
+  const Deadline b = a;
+  EXPECT_EQ(a.when(), b.when());
+}
+
+TEST(SolveControlTest, TrivialWhenNoSources) {
+  SolveControl control;
+  EXPECT_TRUE(control.trivial());
+  control.deadline = Deadline::after_ms(5);
+  EXPECT_FALSE(control.trivial());
+}
+
+// ------------------------------------------------------------- StopCheck --
+
+TEST(StopCheckTest, NeverStopsWithoutSources) {
+  StopCheck check(Deadline(), nullptr);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(check.should_stop());
+  }
+  EXPECT_EQ(check.reason(), StopReason::kNone);
+  EXPECT_FALSE(check.stopped());
+}
+
+TEST(StopCheckTest, ObservesCancellationToken) {
+  CancellationToken token;
+  StopCheck check(Deadline(), &token);
+  EXPECT_FALSE(check.should_stop());
+  token.cancel();
+  EXPECT_TRUE(check.should_stop());
+  EXPECT_EQ(check.reason(), StopReason::kCancelled);
+}
+
+TEST(StopCheckTest, ObservesExpiredDeadline) {
+  StopCheck check(Deadline::after_ms(0), nullptr);
+  EXPECT_TRUE(check.should_stop());
+  EXPECT_EQ(check.reason(), StopReason::kDeadline);
+}
+
+TEST(StopCheckTest, StridedDeadlineEventuallyFires) {
+  // With a stride of 64 the clock is read on polls 0, 64, 128, ... — the
+  // expired deadline must be noticed within one stride of polls.
+  StopCheck check(Deadline::after_ms(0), nullptr, {}, 64);
+  bool stopped = false;
+  for (int i = 0; i < 65 && !stopped; ++i) stopped = check.should_stop();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(check.reason(), StopReason::kDeadline);
+}
+
+TEST(StopCheckTest, VerdictIsSticky) {
+  CancellationToken token;
+  token.cancel();
+  StopCheck check(Deadline(), &token);
+  EXPECT_TRUE(check.should_stop());
+  EXPECT_TRUE(check.should_stop());
+  EXPECT_EQ(check.reason(), StopReason::kCancelled);
+}
+
+// ------------------------------------------------------------ failpoints --
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedHitIsSilent) {
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(failpoint::hit(failpoint::sites::kExactNode).has_value());
+  EXPECT_EQ(failpoint::fired_count(), 0);
+}
+
+TEST_F(FailpointTest, CatalogListsEverySite) {
+  const auto sites = failpoint::catalog();
+  EXPECT_EQ(sites.size(), 10u);
+  for (const char* site :
+       {failpoint::sites::kSocParseOpen, failpoint::sites::kSocParseLine,
+        failpoint::sites::kPoolTask, failpoint::sites::kExactNode,
+        failpoint::sites::kSaIter, failpoint::sites::kIlpNode,
+        failpoint::sites::kPlacerIter, failpoint::sites::kRouteStep,
+        failpoint::sites::kPowerTick, failpoint::sites::kReportWrite}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << site;
+  }
+}
+
+TEST_F(FailpointTest, ArmAndFire) {
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=error").ok());
+  EXPECT_TRUE(failpoint::armed());
+  const auto action = failpoint::hit(failpoint::sites::kExactNode);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(*action, failpoint::Action::kError);
+  EXPECT_EQ(failpoint::fired_count(), 1);
+  // An unrelated site stays quiet.
+  EXPECT_FALSE(failpoint::hit(failpoint::sites::kSaIter).has_value());
+}
+
+TEST_F(FailpointTest, HitNumberDelaysFiring) {
+  ASSERT_TRUE(failpoint::arm("tam.sa.iter=cancel:3").ok());
+  EXPECT_FALSE(failpoint::hit(failpoint::sites::kSaIter).has_value());
+  EXPECT_FALSE(failpoint::hit(failpoint::sites::kSaIter).has_value());
+  // Fires on the 3rd hit and on every later one.
+  EXPECT_TRUE(failpoint::hit(failpoint::sites::kSaIter).has_value());
+  EXPECT_TRUE(failpoint::hit(failpoint::sites::kSaIter).has_value());
+  EXPECT_EQ(failpoint::fired_count(), 2);
+}
+
+TEST_F(FailpointTest, CommaSeparatedSpecArmsMultipleSites) {
+  ASSERT_TRUE(
+      failpoint::arm("tam.exact.node=timeout,ilp.bb.node=bad_alloc").ok());
+  EXPECT_EQ(*failpoint::hit(failpoint::sites::kExactNode),
+            failpoint::Action::kTimeout);
+  EXPECT_EQ(*failpoint::hit(failpoint::sites::kIlpNode),
+            failpoint::Action::kBadAlloc);
+}
+
+TEST_F(FailpointTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(failpoint::arm("tam.exact.node").ok());        // missing action
+  EXPECT_FALSE(failpoint::arm("tam.exact.node=frob").ok());   // bad action
+  EXPECT_FALSE(failpoint::arm("no.such.site=error").ok());    // unknown site
+  EXPECT_FALSE(failpoint::arm("tam.exact.node=error:0").ok());  // bad ordinal
+  EXPECT_FALSE(failpoint::arm("tam.exact.node=error:x").ok());
+  EXPECT_FALSE(failpoint::armed());
+}
+
+TEST_F(FailpointTest, DisarmAllResets) {
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=error").ok());
+  ASSERT_TRUE(failpoint::hit(failpoint::sites::kExactNode).has_value());
+  failpoint::disarm_all();
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(failpoint::hit(failpoint::sites::kExactNode).has_value());
+  EXPECT_EQ(failpoint::fired_count(), 0);
+}
+
+TEST_F(FailpointTest, ActionNames) {
+  EXPECT_STREQ(failpoint::action_name(failpoint::Action::kError), "error");
+  EXPECT_STREQ(failpoint::action_name(failpoint::Action::kBadAlloc),
+               "bad_alloc");
+  EXPECT_STREQ(failpoint::action_name(failpoint::Action::kCancel), "cancel");
+  EXPECT_STREQ(failpoint::action_name(failpoint::Action::kTimeout), "timeout");
+}
+
+TEST_F(FailpointTest, StopCheckMapsActionsToReasons) {
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=cancel").ok());
+  StopCheck cancel_check(Deadline(), nullptr, failpoint::sites::kExactNode);
+  EXPECT_TRUE(cancel_check.should_stop());
+  EXPECT_EQ(cancel_check.reason(), StopReason::kCancelled);
+
+  failpoint::disarm_all();
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=timeout").ok());
+  StopCheck timeout_check(Deadline(), nullptr, failpoint::sites::kExactNode);
+  EXPECT_TRUE(timeout_check.should_stop());
+  EXPECT_EQ(timeout_check.reason(), StopReason::kDeadline);
+
+  failpoint::disarm_all();
+  ASSERT_TRUE(failpoint::arm("tam.exact.node=error").ok());
+  StopCheck fault_check(Deadline(), nullptr, failpoint::sites::kExactNode);
+  EXPECT_TRUE(fault_check.should_stop());
+  EXPECT_EQ(fault_check.reason(), StopReason::kFault);
+}
+
+}  // namespace
+}  // namespace soctest
