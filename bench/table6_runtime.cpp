@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "soc/generator.hpp"
 #include "tam/exact_solver.hpp"
@@ -124,6 +125,12 @@ int main() {
 
       ExactSolverOptions mt_options;
       mt_options.threads = 8;
+      // The solver spawns the configured worker count regardless of the
+      // machine (threads != 0 skips the hardware_concurrency default), so
+      // configured and effective only differ when a future cell opts into
+      // auto sizing. Record both: a BENCH row must say what actually ran.
+      const long long mt_effective =
+          static_cast<long long>(resolve_thread_count(mt_options.threads));
       benchutil::Stopwatch sw_mt;
       const auto mt = solve_exact(problem, mt_options);
       cell.ms_mt = sw_mt.ms();
@@ -143,7 +150,8 @@ int main() {
           .set("speedup_warm", speedup)
           .set("winner", cell.winner)
           .set("assignment_match", cell.match)
-          .set("threads_mt", 8)
+          .set("threads_mt_configured", mt_options.threads)
+          .set("threads_mt_effective", mt_effective)
           .set("hardware_threads", hardware_threads)
           .set("ms_exact_mt", cell.ms_mt)
           .set("nodes_mt", cell.mt_nodes)

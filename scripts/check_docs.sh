@@ -9,7 +9,12 @@
 #      DESIGN.md, or docs/*.md is actually recognized by the CLI parser
 #      (src/cli/options.cpp);
 #   3. every failpoint site in src/runtime/failpoint.hpp is documented in
-#      docs/robustness.md (the catalog is the fault-injection contract).
+#      docs/robustness.md (the catalog is the fault-injection contract);
+#   4. every pinned ledger counter (kLedgerCounters in src/obs/ledger.hpp)
+#      is documented in docs/observability.md AND actually emitted by the
+#      instrumentation (an exact obs::counter("...") literal in src);
+#   5. every `layer.component` metric prefix the instrumentation emits is
+#      listed in docs/observability.md's naming table.
 #
 # Wired into ctest as the `docs` label: ctest -L docs
 
@@ -52,6 +57,37 @@ for site in $(grep -E '^inline constexpr const char\* k' \
   if ! grep -qF "$site" "$root/docs/robustness.md"; then
     echo "FAIL: failpoint site '$site' (src/runtime/failpoint.hpp)" \
          "is not documented in docs/robustness.md"
+    fail=1
+  fi
+done
+
+# The ledger's pinned counter set is a cross-run schema: each name must be
+# documented AND must match a literal the instrumentation really emits, or
+# ledger records silently fill with zeros.
+emitted_names=$(grep -rhoE 'obs::(counter|histogram)\("[a-z_.]+' \
+                  "$root"/src/*/*.cpp |
+                  sed -E 's/obs::(counter|histogram)\("//' | sort -u)
+for name in $(sed -n '/kLedgerCounters\[\]/,/};/p' "$root/src/obs/ledger.hpp" |
+                grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u); do
+  if ! grep -qF "$name" "$root/docs/observability.md"; then
+    echo "FAIL: ledger counter '$name' (src/obs/ledger.hpp)" \
+         "is not documented in docs/observability.md"
+    fail=1
+  fi
+  if ! printf '%s\n' "$emitted_names" | grep -qxF "$name"; then
+    echo "FAIL: ledger counter '$name' (src/obs/ledger.hpp) is not emitted" \
+         "by any obs::counter(...) literal in src — records would pin zeros"
+    fail=1
+  fi
+done
+
+# Every emitted layer.component prefix must be in the naming table, so the
+# metric catalog cannot rot as instrumentation grows.
+for prefix in $(printf '%s\n' "$emitted_names" |
+                  sed -E 's/^([a-z]+\.[a-z_]+)\..*/\1/' | sort -u); do
+  if ! grep -qF "$prefix." "$root/docs/observability.md"; then
+    echo "FAIL: metric prefix '$prefix.*' is emitted by src but missing" \
+         "from docs/observability.md's naming table"
     fail=1
   fi
 done

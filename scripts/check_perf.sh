@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Noise-aware perf regression gate. Run from anywhere:
+#
+#   scripts/check_perf.sh [repo-root] [soctest-perf-binary]
+#
+# Two passes over the pinned quick-bench suite (tools/soctest_perf.cpp):
+#   1. gate against the checked-in baseline bench/baselines/quick_gate.json —
+#      deterministic counters must match exactly, median wall times must stay
+#      inside the relative tolerance + absolute floor;
+#   2. the same gate with an injected 400 ms slowdown MUST fail — a gate that
+#      cannot catch a regression is worse than no gate.
+#
+# SOCTEST_PERF_COUNTERS_ONLY=1 skips the wall-time comparison in pass 1
+# (sanitizer builds run 5-20x slower); pass 2 then clears the env so the
+# negative test still proves the wall gate trips.
+#
+# After an intentional algorithm change, re-baseline deliberately:
+#   build/tools/soctest-perf gate --baseline bench/baselines/quick_gate.json --update
+#
+# Wired into ctest as the `perf` label (RUN_SERIAL — wall times must not race
+# the rest of the suite for cores): ctest -L perf
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+perf_bin="${2:-$root/build/tools/soctest-perf}"
+baseline="$root/bench/baselines/quick_gate.json"
+
+if [ ! -x "$perf_bin" ]; then
+  echo "check_perf: FAILED ($perf_bin not built)"
+  exit 1
+fi
+
+echo "== pass 1: gate vs $baseline =="
+if ! "$perf_bin" gate --baseline "$baseline"; then
+  echo "check_perf: FAILED (regression against baseline)"
+  exit 1
+fi
+
+echo "== pass 2: injected 400 ms slowdown must trip the gate =="
+if SOCTEST_PERF_COUNTERS_ONLY=0 "$perf_bin" gate --baseline "$baseline" \
+     --repeats 1 --inject-slowdown-ms 400 >/dev/null; then
+  echo "check_perf: FAILED (gate did not catch an injected slowdown)"
+  exit 1
+fi
+
+echo "check_perf: OK"

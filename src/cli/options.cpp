@@ -125,6 +125,17 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       options.trace_chrome_path = value(arg);
     } else if (arg == "--metrics") {
       options.metrics = true;
+    } else if (arg == "--profile") {
+      options.profile = true;
+    } else if (arg == "--profile-top") {
+      options.profile_top = to_int(value(arg), arg);
+    } else if (arg == "--profile-json") {
+      options.profile_json_path = value(arg);
+    } else if (arg == "--profile-folded") {
+      options.profile_folded_path = value(arg);
+    } else if (arg == "--ledger") {
+      options.ledger_path = value(arg);
+      if (options.ledger_path.empty()) fail("--ledger: empty path");
     } else if (arg == "--time-limit-ms") {
       options.time_limit_ms = to_double(value(arg), arg);
       if (options.time_limit_ms < 0) fail("--time-limit-ms must be >= 0");
@@ -181,6 +192,15 @@ Observability:
                         (load via chrome://tracing or ui.perfetto.dev)
   --metrics             append run counters/histograms to the output (a table,
                         or a JSON object with --json)
+  --profile             append the span-profile table (per-span call count,
+                        total/self time, p50/p95) folded from the run's trace
+  --profile-top N       row limit of the --profile table (default 20; 0 = all)
+  --profile-json FILE   write the full profile as soctest-profile-v1 JSON
+  --profile-folded FILE write collapsed stacks ("a;b;c self_us" lines) for
+                        flamegraph.pl or speedscope
+  --ledger FILE         append one soctest-ledger-v1 JSONL record per solve
+                        (soc, widths, solver, threads, certificate, wall ms,
+                        pinned counters); SOCTEST_LEDGER sets a default path
 
 Robustness:
   --time-limit-ms T     wall-clock solve budget; the run becomes anytime and

@@ -42,6 +42,20 @@ struct CliOptions {
   /// Collect solver counters/histograms and append them to the output
   /// (--metrics). Implied collection also happens whenever tracing is on.
   bool metrics = false;
+  /// Append the span-profile table (per-span-name count/total/self/
+  /// percentiles, folded from the run's trace) to the output (--profile).
+  bool profile = false;
+  /// Row limit of the --profile table (--profile-top N; <= 0 shows all).
+  int profile_top = 20;
+  /// When non-empty, write the full profile as soctest-profile-v1 JSON to
+  /// this path (--profile-json).
+  std::string profile_json_path;
+  /// When non-empty, write the collapsed-stack export (flamegraph.pl /
+  /// speedscope format) to this path (--profile-folded).
+  std::string profile_folded_path;
+  /// When non-empty, append one soctest-ledger-v1 JSONL record describing
+  /// this solve to the file (--ledger; SOCTEST_LEDGER is the env fallback).
+  std::string ledger_path;
   /// Wall-clock solve budget in milliseconds (--time-limit-ms); < 0 means
   /// unlimited. With a budget the run is anytime: it returns the best
   /// incumbent found in time plus a quality certificate (docs/robustness.md).

@@ -1,12 +1,16 @@
 #include "cli/run.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 #include <fstream>
 
+#include "common/parallel.hpp"
 #include "layout/stub_router.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "report/design_report.hpp"
 #include "report/run_report.hpp"
 #include "report/svg.hpp"
@@ -55,8 +59,19 @@ struct FailpointGuard {
   }
 };
 
+/// What the run ledger needs to know about the solve, filled by run_design
+/// as a side channel (the CliResult itself is exit code + text only).
+struct SolveSummary {
+  std::vector<int> widths;
+  bool feasible = false;
+  std::string status = "error";  ///< overwritten once a certificate exists
+  double gap = -1.0;
+  long long t_cycles = -1;
+};
+
 /// The actual design flow; run_cli wraps it with the observability session.
-CliResult run_design(const CliOptions& options) {
+CliResult run_design(const CliOptions& options,
+                     SolveSummary* summary = nullptr) {
   CliResult result;
   std::ostringstream out;
   try {
@@ -87,6 +102,15 @@ CliResult run_design(const CliOptions& options) {
     }
 
     const DesignResult design = design_architecture(soc, request);
+    if (summary != nullptr) {
+      summary->widths = design.bus_widths;
+      summary->feasible = design.feasible;
+      summary->status = solve_status_name(design.certificate.status);
+      summary->gap = design.certificate.gap();
+      summary->t_cycles =
+          design.feasible ? static_cast<long long>(design.assignment.makespan)
+                          : -1;
+    }
     if (!options.json) out << describe_design(soc, request, design);
     if (!design.feasible) {
       if (options.json) out << design_report_json(soc, request, design) << "\n";
@@ -213,19 +237,35 @@ CliResult run_cli(const CliOptions& options) {
     failpoint_guard.armed = true;
   }
 
-  const bool tracing =
-      !options.trace_path.empty() || !options.trace_chrome_path.empty();
-  if (!tracing && !options.metrics) return run_design(options);
+  // Profiles fold the trace, so any --profile* flag implies a live sink;
+  // the ledger only needs counters, so on its own it runs a null-sink
+  // session (same as --metrics without --trace).
+  const std::string ledger_path = options.ledger_path.empty()
+                                      ? obs::ledger_path_from_env()
+                                      : options.ledger_path;
+  const bool profiling = options.profile ||
+                         !options.profile_json_path.empty() ||
+                         !options.profile_folded_path.empty();
+  const bool tracing = profiling || !options.trace_path.empty() ||
+                       !options.trace_chrome_path.empty();
+  if (!tracing && !options.metrics && ledger_path.empty()) {
+    return run_design(options);
+  }
 
   // One sink/session per CLI run; a null sink collects counters only.
   obs::TraceSink sink;
   obs::TraceSession session(tracing ? &sink : nullptr);
   CliResult result;
+  SolveSummary summary;
+  const auto wall_start = std::chrono::steady_clock::now();
   {
     obs::Span root("cli.run", {{"soc", options.soc}});
-    result = run_design(options);
+    result = run_design(options, &summary);
     if (root.active()) root.arg({"exit_code", result.exit_code});
   }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
 
   auto write_file = [&](const std::string& path, const std::string& body) {
     Status st = Status::Ok();
@@ -249,8 +289,50 @@ CliResult run_cli(const CliOptions& options) {
   if (!options.trace_chrome_path.empty()) {
     write_file(options.trace_chrome_path, chrome_trace_json(sink));
   }
+  if (profiling) {
+    const obs::Profile profile = obs::build_profile(sink);
+    if (options.profile) {
+      result.output += profile_text(profile, options.profile_top);
+    }
+    if (!options.profile_json_path.empty()) {
+      write_file(options.profile_json_path, profile_json(profile));
+    }
+    if (!options.profile_folded_path.empty()) {
+      // folded_stacks already ends each line with '\n'; avoid a blank tail.
+      std::string folded = obs::folded_stacks(sink);
+      if (!folded.empty() && folded.back() == '\n') folded.pop_back();
+      write_file(options.profile_folded_path, folded);
+    }
+  }
   if (options.metrics) {
     result.output += options.json ? metrics_json() + "\n" : metrics_text();
+  }
+  if (!ledger_path.empty()) {
+    obs::LedgerRecord record;
+    record.soc = options.soc;
+    record.widths = summary.widths;
+    record.solver = inner_solver_name(options.solver);
+    record.threads_configured = options.threads;
+    record.threads_effective = resolve_thread_count(options.threads);
+    record.feasible = summary.feasible;
+    record.status = summary.status;
+    record.gap = summary.gap;
+    record.t_cycles = summary.t_cycles;
+    record.wall_ms = wall_ms;
+    record.exit_code = result.exit_code;
+    obs::fill_ledger_counters(record);
+    Status st = Status::Ok();
+    if (failpoint::armed() && failpoint::hit(failpoint::sites::kReportWrite)) {
+      st = fault_injected_error("injected fault writing " + ledger_path);
+    }
+    std::string io_message;
+    if (st.ok() && !obs::append_ledger_record(ledger_path, record, &io_message)) {
+      st = io_error("cannot append ledger record: " + io_message);
+    }
+    if (!st.ok()) {
+      result.output += "error: " + st.to_string() + "\n";
+      result.exit_code = exit_code_for(st);
+    }
   }
   return result;
 }

@@ -1,0 +1,85 @@
+#include "obs/ledger.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "report/json.hpp"
+
+namespace soctest::obs {
+
+void fill_ledger_counters(LedgerRecord& record) {
+  record.counters.clear();
+  // counter_values() is name-sorted and kLedgerCounters is kept sorted, so
+  // one merge pass pins the set; a pinned name that was never registered
+  // this run records as 0 (absence is itself a signal worth diffing).
+  const auto values = counter_values();
+  for (const char* name : kLedgerCounters) {
+    long long value = 0;
+    for (const auto& c : values) {
+      if (c.name == name) {
+        value = c.value;
+        break;
+      }
+    }
+    record.counters.emplace_back(name, value);
+  }
+}
+
+std::string ledger_record_json(const LedgerRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("soctest-ledger-v1");
+  w.key("soc").value(record.soc);
+  w.key("widths").begin_array();
+  for (int width : record.widths) w.value(width);
+  w.end_array();
+  w.key("solver").value(record.solver);
+  w.key("seed").value(static_cast<long long>(record.seed));
+  w.key("threads_configured").value(record.threads_configured);
+  w.key("threads_effective").value(record.threads_effective);
+  w.key("feasible").value(record.feasible);
+  w.key("status").value(record.status);
+  w.key("gap").value(record.gap);
+  w.key("t_cycles").value(record.t_cycles);
+  w.key("wall_ms").value(record.wall_ms);
+  w.key("exit_code").value(record.exit_code);
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : record.counters) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool append_ledger_record(const std::string& path, const LedgerRecord& record,
+                          std::string* error) {
+  const std::string line = ledger_record_json(record) + "\n";
+  // "a" opens O_APPEND: concurrent writers interleave whole lines, not
+  // bytes, for writes this size on POSIX filesystems.
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const bool ok =
+      std::fwrite(line.data(), 1, line.size(), file) == line.size() &&
+      std::fflush(file) == 0;
+  if (!ok && error != nullptr) {
+    *error = path + ": " + std::strerror(errno);
+  }
+  std::fclose(file);
+  return ok;
+}
+
+std::string ledger_path_from_env() {
+  const char* env = std::getenv("SOCTEST_LEDGER");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+}  // namespace soctest::obs

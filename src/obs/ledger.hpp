@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace soctest::obs {
+
+// Cross-run solve ledger: one append-only JSONL record per solve
+// ("soctest-ledger-v1"), written to the file named by --ledger or the
+// SOCTEST_LEDGER environment variable. The ledger is what turns single-run
+// observability into a trajectory: `soctest-perf report` folds it into
+// per-soc×solver percentiles, and `soctest-perf diff` compares ledgers
+// across PRs. Schema is documented in docs/observability.md.
+
+/// The pinned counter set every ledger record carries (name-sorted). Keep
+/// each name on its own line: scripts/check_docs.sh greps this array and
+/// cross-checks it against docs/observability.md and against the names the
+/// instrumentation actually emits. Only deterministic, serial-solve-stable
+/// counters belong here — the ledger is diffed across runs.
+inline constexpr const char* kLedgerCounters[] = {
+    "ilp.bb.nodes",
+    "ilp.simplex.pivots",
+    "sched.power.idle_cycles",
+    "tam.exact.nodes",
+    "tam.exact.pruned_bound",
+    "tam.portfolio.races",
+    "tam.sa.moves",
+};
+
+/// One solve, as the ledger records it. Counter values are filled from the
+/// live metrics registry by fill_ledger_counters(); everything else comes
+/// from the caller (the CLI driver, a bench harness, a service loop).
+struct LedgerRecord {
+  std::string soc;
+  std::vector<int> widths;
+  std::string solver;
+  /// Generator/heuristic seed when the workload is synthetic; 0 for solves
+  /// of concrete .soc inputs (which are seedless).
+  std::uint64_t seed = 0;
+  /// Requested worker threads (--threads as given, 0 = auto) and the count
+  /// the run actually resolved to.
+  int threads_configured = 1;
+  int threads_effective = 1;
+  bool feasible = false;
+  /// solve_status_name() of the certificate, e.g. "optimal".
+  std::string status;
+  /// Certificate gap; -1 when unknown (see SolveCertificate::gap).
+  double gap = -1.0;
+  /// Makespan in cycles; -1 when the solve produced no architecture.
+  long long t_cycles = -1;
+  double wall_ms = 0.0;
+  int exit_code = 0;
+  /// Pinned counters, in kLedgerCounters order.
+  std::vector<std::pair<std::string, long long>> counters;
+};
+
+/// Snapshots the kLedgerCounters set from the metrics registry into
+/// `record`. Call inside the run's TraceSession, after the solve.
+void fill_ledger_counters(LedgerRecord& record);
+
+/// The record as one soctest-ledger-v1 JSON line (no trailing newline).
+std::string ledger_record_json(const LedgerRecord& record);
+
+/// Appends `record` as one line to the JSONL file at `path`. Crash-safe by
+/// construction: the line is serialized first and handed to the OS as a
+/// single O_APPEND write, so a crash can only ever truncate the *last*
+/// line — readers skip a torn tail and every earlier record stays intact.
+/// Returns false (with the OS error in `error` when non-null) on I/O
+/// failure.
+bool append_ledger_record(const std::string& path, const LedgerRecord& record,
+                          std::string* error = nullptr);
+
+/// The ledger path from SOCTEST_LEDGER, or empty when unset.
+std::string ledger_path_from_env();
+
+}  // namespace soctest::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace soctest::obs {
 
@@ -92,12 +93,21 @@ Histogram& histogram(std::string_view name) {
   return it->second;
 }
 
+// Name-sorted order is a documented contract, not a container accident:
+// `--metrics` golden tests and `soctest-perf diff` line up snapshots from
+// different runs by position. The sort below stays correct even if the
+// registry ever moves to an unordered container.
+
 std::vector<CounterValue> counter_values() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
   std::vector<CounterValue> out;
   out.reserve(r.counters.size());
   for (const auto& [name, c] : r.counters) out.push_back({name, c.value()});
+  std::sort(out.begin(), out.end(),
+            [](const CounterValue& a, const CounterValue& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 
@@ -109,6 +119,10 @@ std::vector<HistogramValue> histogram_values() {
   for (const auto& [name, h] : r.histograms) {
     out.push_back({name, h.snapshot()});
   }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramValue& a, const HistogramValue& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 
@@ -119,9 +133,16 @@ void reset_metrics() {
   for (auto& [name, h] : r.histograms) h.reset();
 }
 
-TraceSink::TraceSink() : start_(std::chrono::steady_clock::now()) {}
+TraceSink::TraceSink() : start_(std::chrono::steady_clock::now()) {
+  const char* fake = std::getenv("SOCTEST_OBS_FAKE_CLOCK");
+  fake_clock_ = fake != nullptr && std::string_view(fake) != "0";
+}
 
 double TraceSink::now_us() const {
+  if (fake_clock_) {
+    return static_cast<double>(
+        fake_ticks_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - start_)
       .count();

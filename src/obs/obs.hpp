@@ -156,6 +156,13 @@ struct TraceEvent {
 /// Per-run event collector. Thread-safe appends; events are stored in
 /// completion order (a child span finishes before its parent). The sink
 /// must outlive every Span created while it was installed.
+///
+/// Setting the SOCTEST_OBS_FAKE_CLOCK environment variable (any value but
+/// "0") at sink construction replaces the steady clock with a per-sink tick
+/// counter: every now_us() call returns the next integer microsecond. A
+/// serial fixed-seed run then produces bit-identical traces — and therefore
+/// byte-identical `--profile` tables — across invocations, which is what
+/// the profile golden tests pin.
 class TraceSink {
  public:
   TraceSink();
@@ -177,6 +184,8 @@ class TraceSink {
 
  private:
   std::chrono::steady_clock::time_point start_;
+  bool fake_clock_ = false;
+  mutable std::atomic<std::uint64_t> fake_ticks_{0};
   std::atomic<std::uint64_t> next_id_{1};
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;

@@ -1,0 +1,137 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace soctest::obs {
+
+namespace {
+
+/// Nearest-rank percentile of a sorted sample (q in [0, 1]).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const std::size_t idx = rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct NameAccumulator {
+  long long count = 0;
+  double total_us = 0.0;
+  double child_us = 0.0;  ///< same-thread children of this name's spans
+  std::vector<double> durations;
+  std::map<std::string, double> children;  ///< map: deterministic iteration
+};
+
+}  // namespace
+
+Profile build_profile(const std::vector<TraceEvent>& events) {
+  // Pass 1: index span events by id so children can attribute upward.
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  by_id.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kSpan) by_id.emplace(e.id, &e);
+  }
+
+  std::map<std::string, NameAccumulator> names;
+  Profile profile;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
+    ++profile.num_spans;
+    NameAccumulator& acc = names[e.name];
+    ++acc.count;
+    acc.total_us += e.dur_us;
+    acc.durations.push_back(e.dur_us);
+    const auto parent = by_id.find(e.parent);
+    if (parent != by_id.end()) {
+      NameAccumulator& up = names[parent->second->name];
+      up.child_us += e.dur_us;
+      up.children[e.name] += e.dur_us;
+    } else {
+      profile.wall_us += e.dur_us;
+    }
+  }
+
+  profile.spans.reserve(names.size());
+  for (auto& [name, acc] : names) {
+    SpanProfile span;
+    span.name = name;
+    span.count = acc.count;
+    span.total_us = acc.total_us;
+    span.self_us = acc.total_us - acc.child_us;
+    std::sort(acc.durations.begin(), acc.durations.end());
+    span.min_us = acc.durations.front();
+    span.max_us = acc.durations.back();
+    span.p50_us = percentile(acc.durations, 0.50);
+    span.p95_us = percentile(acc.durations, 0.95);
+    span.children.assign(acc.children.begin(), acc.children.end());
+    std::sort(span.children.begin(), span.children.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    profile.spans.push_back(std::move(span));
+  }
+  std::sort(profile.spans.begin(), profile.spans.end(),
+            [](const SpanProfile& a, const SpanProfile& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.name < b.name;
+            });
+  return profile;
+}
+
+Profile build_profile(const TraceSink& sink) {
+  return build_profile(sink.events());
+}
+
+std::string folded_stacks(const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_id;
+  std::unordered_map<std::uint64_t, double> child_us;
+  by_id.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
+    by_id.emplace(e.id, &e);
+  }
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
+    if (by_id.count(e.parent) != 0) child_us[e.parent] += e.dur_us;
+  }
+
+  // Aggregate self time per name path; std::map keys the output order.
+  std::map<std::string, long long> stacks;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
+    std::vector<const TraceEvent*> chain{&e};
+    for (auto it = by_id.find(e.parent); it != by_id.end();
+         it = by_id.find(it->second->parent)) {
+      chain.push_back(it->second);
+      if (chain.size() > events.size()) break;  // corrupt parent cycle guard
+    }
+    std::string path;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      if (!path.empty()) path += ';';
+      path += (*it)->name;
+    }
+    const auto child = child_us.find(e.id);
+    const double self =
+        e.dur_us - (child != child_us.end() ? child->second : 0.0);
+    stacks[path] += std::llround(std::max(0.0, self));
+  }
+
+  std::string out;
+  for (const auto& [path, value] : stacks) {
+    out += path;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string folded_stacks(const TraceSink& sink) {
+  return folded_stacks(sink.events());
+}
+
+}  // namespace soctest::obs

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace soctest::obs {
+
+// Span-profile aggregation: folds the event list of a completed
+// TraceSession into a per-span-name profile with self-time attribution,
+// plus a collapsed-stack ("folded") export loadable by flamegraph.pl and
+// speedscope. Pure post-processing — nothing here runs while a solve is
+// being traced, so it adds zero cost to the instrumented hot paths.
+// Serializers (text table, soctest-profile-v1 JSON) live in
+// src/report/run_report.hpp with the other obs serializers.
+
+/// Aggregated statistics of every span that shared one name.
+struct SpanProfile {
+  std::string name;
+  long long count = 0;
+  /// Wall time summed over all calls (children included).
+  double total_us = 0.0;
+  /// Wall time minus the time spent in same-thread child spans. Spans
+  /// started on other threads are roots (the nesting stack is
+  /// thread-local), so cross-thread work attributes to its own root, never
+  /// double-counted here.
+  double self_us = 0.0;
+  /// Per-call duration distribution (nearest-rank percentiles; with one
+  /// call all four collapse to that call's duration).
+  double min_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double max_us = 0.0;
+  /// Child attribution: wall time of direct children by child span name,
+  /// sorted by attributed time descending (ties: name ascending).
+  std::vector<std::pair<std::string, double>> children;
+};
+
+/// A whole trace folded per span name. Ordering is deterministic: spans
+/// sorted by self time descending, ties broken by name ascending, so equal
+/// inputs always render byte-identical tables.
+struct Profile {
+  std::vector<SpanProfile> spans;
+  /// Sum of root-span durations (the traced wall clock).
+  double wall_us = 0.0;
+  /// Total span events folded (instants are not part of the profile).
+  long long num_spans = 0;
+};
+
+/// Folds completed span events into a Profile. Events from a still-open
+/// parent fold as roots (their parent id has no recorded event).
+Profile build_profile(const std::vector<TraceEvent>& events);
+Profile build_profile(const TraceSink& sink);
+
+/// Collapsed-stack export: one line per unique same-thread stack,
+/// "root;child;leaf <self-microseconds>", lines sorted lexicographically.
+/// Feed to flamegraph.pl or drop into speedscope. Values are integer
+/// microseconds of *self* time, so the flame graph's widths add up.
+std::string folded_stacks(const std::vector<TraceEvent>& events);
+std::string folded_stacks(const TraceSink& sink);
+
+}  // namespace soctest::obs

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace soctest {
@@ -329,8 +330,277 @@ class Checker {
   std::string error_;
 };
 
+/// Recursive-descent materializing parser; shares the grammar with Checker
+/// but builds a JsonValue tree and decodes string escapes.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    skip_ws();
+    JsonValue root;
+    if (!value(root)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content");
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return root;
+  }
+
+ private:
+  bool value(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.text);
+    }
+    if (c == 't' || c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = c == 't';
+      return literal(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return number(out);
+    }
+    fail("unexpected character");
+    return false;
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') {
+        fail("expected object key");
+        return false;
+      }
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (peek() != ':') {
+        fail("expected ':'");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!value(member)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue item;
+      if (!value(item)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            if (!hex4(code)) return false;
+            append_utf8(out, code);
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("control character in string");
+        return false;
+      } else {
+        out += c;
+      }
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool hex4(unsigned& code) {
+    code = 0;
+    for (int k = 1; k <= 4; ++k) {
+      const std::size_t at = pos_ + static_cast<std::size_t>(k);
+      if (at >= text_.size() ||
+          !std::isxdigit(static_cast<unsigned char>(text_[at]))) {
+        fail("bad \\u escape");
+        return false;
+      }
+      const char h = text_[at];
+      code = code * 16 +
+             static_cast<unsigned>(
+                 std::isdigit(static_cast<unsigned char>(h))
+                     ? h - '0'
+                     : std::tolower(static_cast<unsigned char>(h)) - 'a' + 10);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  /// BMP code points only (no surrogate-pair recombination): the writer
+  /// never emits surrogates, and lone ones decode to U+FFFD-style bytes.
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("bad number");
+      return false;
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                             nullptr);
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      fail("bad literal");
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
 }  // namespace
 
 std::string json_check(std::string_view text) { return Checker(text).run(); }
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->text : fallback;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
 
 }  // namespace soctest

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace soctest {
@@ -53,5 +55,41 @@ class JsonWriter {
 /// Returns an empty string when `text` is a single well-formed JSON value,
 /// else a description of the first error with its offset.
 std::string json_check(std::string_view text);
+
+/// Materialized JSON document tree for the tools that *read* JSON (ledger
+/// reports, bench diffs, baseline gates). Numbers are stored as double —
+/// counter values fit exactly up to 2^53, far beyond anything the solvers
+/// emit. Object members keep document order; `find` is linear, which is
+/// fine for the record-sized objects this repo produces.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Member's number/string with a fallback when absent or mistyped.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+};
+
+/// Parses one JSON document into a JsonValue tree. On failure returns
+/// std::nullopt and, when `error` is non-null, stores a message with the
+/// byte offset of the first problem.
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error = nullptr);
 
 }  // namespace soctest

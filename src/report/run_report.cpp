@@ -1,5 +1,6 @@
 #include "report/run_report.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/table.hpp"
@@ -157,6 +158,68 @@ std::string metrics_text() {
   }
   if (any) out += hist.to_ascii();
   return out;
+}
+
+std::string profile_text(const obs::Profile& profile, int top_n) {
+  std::string out = "span profile (self-time order):\n";
+  Table table({"span", "calls", "total_ms", "self_ms", "self_%", "min_ms",
+               "p50_ms", "p95_ms", "max_ms"});
+  const std::size_t limit =
+      top_n <= 0 ? profile.spans.size()
+                 : std::min(profile.spans.size(),
+                            static_cast<std::size_t>(top_n));
+  for (std::size_t i = 0; i < limit; ++i) {
+    const obs::SpanProfile& span = profile.spans[i];
+    table.row()
+        .add(span.name)
+        .add(span.count)
+        .add(span.total_us / 1000.0, 3)
+        .add(span.self_us / 1000.0, 3)
+        .add(profile.wall_us > 0.0 ? 100.0 * span.self_us / profile.wall_us
+                                   : 0.0,
+             1)
+        .add(span.min_us / 1000.0, 3)
+        .add(span.p50_us / 1000.0, 3)
+        .add(span.p95_us / 1000.0, 3)
+        .add(span.max_us / 1000.0, 3);
+  }
+  out += table.to_ascii();
+  if (limit < profile.spans.size()) {
+    out += "(" + std::to_string(profile.spans.size() - limit) +
+           " more span names below the top " + std::to_string(limit) + ")\n";
+  }
+  return out;
+}
+
+std::string profile_json(const obs::Profile& profile) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("soctest-profile-v1");
+  w.key("wall_us").value(profile.wall_us);
+  w.key("num_spans").value(profile.num_spans);
+  w.key("spans").begin_array();
+  for (const obs::SpanProfile& span : profile.spans) {
+    w.begin_object();
+    w.key("name").value(span.name);
+    w.key("count").value(span.count);
+    w.key("total_us").value(span.total_us);
+    w.key("self_us").value(span.self_us);
+    w.key("min_us").value(span.min_us);
+    w.key("p50_us").value(span.p50_us);
+    w.key("p95_us").value(span.p95_us);
+    w.key("max_us").value(span.max_us);
+    if (!span.children.empty()) {
+      w.key("children").begin_object();
+      for (const auto& [name, us] : span.children) {
+        w.key(name).value(us);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace soctest

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 
 namespace soctest {
 
@@ -30,5 +31,16 @@ std::string metrics_json();
 /// Human-readable counter/histogram tables for terminal output
 /// (`soctest --metrics`).
 std::string metrics_text();
+
+/// Top-N span-profile table for terminal output (`soctest --profile`):
+/// per-name call count, total/self milliseconds, self share of the traced
+/// wall clock, and the per-call min/p50/p95/max. Rows follow the profile's
+/// deterministic order (self time descending, name ascending); top_n <= 0
+/// prints every span.
+std::string profile_text(const obs::Profile& profile, int top_n = 20);
+
+/// The whole profile as one JSON object ("soctest-profile-v1"), child
+/// attribution included. Schema in docs/observability.md.
+std::string profile_json(const obs::Profile& profile);
 
 }  // namespace soctest

@@ -9,6 +9,17 @@
 
 namespace soctest {
 
+const char* inner_solver_name(InnerSolver solver) {
+  switch (solver) {
+    case InnerSolver::kExact: return "exact";
+    case InnerSolver::kIlp: return "ilp";
+    case InnerSolver::kGreedy: return "greedy";
+    case InnerSolver::kSa: return "sa";
+    case InnerSolver::kPortfolio: return "portfolio";
+  }
+  return "unknown";
+}
+
 namespace {
 
 void enumerate(int remaining, int parts, int max_part, std::vector<int>& prefix,

@@ -12,6 +12,10 @@ namespace soctest {
 /// solver concurrently (see tam/portfolio.hpp).
 enum class InnerSolver { kExact, kIlp, kGreedy, kSa, kPortfolio };
 
+/// CLI-facing name of an inner solver ("exact", "ilp", ...), matching the
+/// --solver flag values; used by reports and the run ledger.
+const char* inner_solver_name(InnerSolver solver);
+
 struct WidthPartitionOptions {
   InnerSolver solver = InnerSolver::kExact;
   /// Worker threads for the exact solver's root-splitting search and the

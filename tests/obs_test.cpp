@@ -16,6 +16,7 @@
 #include "cli/options.hpp"
 #include "cli/run.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "report/json.hpp"
 #include "report/run_report.hpp"
@@ -226,6 +227,106 @@ TEST(ObsCli, TraceAndMetricsFlagsProduceValidJson) {
   }
   std::remove(trace_path.c_str());
   std::remove(chrome_path.c_str());
+}
+
+TEST(ObsLedger, RecordJsonIsValidAndCarriesThePinnedCounterSet) {
+  obs::LedgerRecord record;
+  record.soc = "soc1";
+  record.widths = {16, 8, 8};
+  record.solver = "exact";
+  record.threads_configured = 0;
+  record.threads_effective = 8;
+  record.feasible = true;
+  record.status = "optimal";
+  record.gap = 0.0;
+  record.t_cycles = 1234;
+  record.wall_ms = 1.5;
+  {
+    obs::TraceSession session(nullptr);
+    obs::counter("tam.exact.nodes").add(26);
+    obs::fill_ledger_counters(record);
+  }
+  const std::string line = ledger_record_json(record);
+  EXPECT_EQ(json_check(line), "") << line;
+  const auto doc = parse_json(line);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("schema", ""), "soctest-ledger-v1");
+  EXPECT_EQ(doc->string_or("solver", ""), "exact");
+  EXPECT_DOUBLE_EQ(doc->number_or("threads_configured", -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(doc->number_or("threads_effective", -1.0), 8.0);
+  const JsonValue* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  // Every pinned counter is present even when it never fired this run —
+  // the set, not the run, decides the schema.
+  for (const char* name : obs::kLedgerCounters) {
+    EXPECT_NE(counters->find(name), nullptr) << name;
+  }
+  EXPECT_DOUBLE_EQ(counters->number_or("tam.exact.nodes", -1.0), 26.0);
+  EXPECT_DOUBLE_EQ(counters->number_or("ilp.bb.nodes", -1.0), 0.0);
+}
+
+TEST(ObsLedger, AppendIsOneLinePerRecordAndReadersSkipATornTail) {
+  const std::string path = "obs_ledger_test.jsonl";
+  std::remove(path.c_str());
+  obs::LedgerRecord record;
+  record.soc = "soc2";
+  record.solver = "sa";
+  record.status = "feasible";
+  ASSERT_TRUE(obs::append_ledger_record(path, record));
+  ASSERT_TRUE(obs::append_ledger_record(path, record));
+  // Simulate a crash mid-write: a torn half-record as the final line.
+  {
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"schema\":\"soctest-led";
+  }
+  std::ifstream in(path);
+  std::string line;
+  int valid = 0, torn = 0;
+  while (std::getline(in, line)) {
+    if (parse_json(line).has_value()) {
+      ++valid;
+    } else {
+      ++torn;
+    }
+  }
+  EXPECT_EQ(valid, 2);
+  EXPECT_EQ(torn, 1);  // only the tail can tear; earlier records are whole
+  std::remove(path.c_str());
+}
+
+TEST(ObsLedger, CliLedgerFlagAppendsOneRecordPerRun) {
+  const std::string path = "obs_cli_ledger_test.jsonl";
+  std::remove(path.c_str());
+  const CliOptions options = parse_cli(
+      {"--soc", "soc1", "--widths", "16,16", "--ledger", path});
+  EXPECT_EQ(run_cli(options).exit_code, 0);
+  EXPECT_EQ(run_cli(options).exit_code, 0);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int records = 0;
+  while (std::getline(in, line)) {
+    const auto doc = parse_json(line);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_EQ(doc->string_or("schema", ""), "soctest-ledger-v1");
+    EXPECT_EQ(doc->string_or("soc", ""), "soc1");
+    EXPECT_EQ(doc->string_or("solver", ""), "exact");
+    EXPECT_EQ(doc->string_or("status", ""), "optimal");
+    EXPECT_DOUBLE_EQ(doc->number_or("threads_configured", -1.0), 1.0);
+    EXPECT_DOUBLE_EQ(doc->number_or("threads_effective", -1.0), 1.0);
+    EXPECT_GE(doc->number_or("wall_ms", -1.0), 0.0);
+    ++records;
+  }
+  EXPECT_EQ(records, 2);
+  std::remove(path.c_str());
+}
+
+TEST(ObsLedger, EnvVarNamesTheDefaultLedgerPath) {
+  EXPECT_EQ(obs::ledger_path_from_env(), "");
+  ::setenv("SOCTEST_LEDGER", "from_env.jsonl", 1);
+  EXPECT_EQ(obs::ledger_path_from_env(), "from_env.jsonl");
+  ::unsetenv("SOCTEST_LEDGER");
 }
 
 }  // namespace

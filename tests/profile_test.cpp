@@ -1,0 +1,196 @@
+// Tests for span-profile aggregation (src/obs/profile): self-time
+// attribution over nested and cross-thread spans, nearest-rank percentile
+// edge cases, the collapsed-stack export, and the byte-identical --profile
+// guarantee under the deterministic fake clock.
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/options.hpp"
+#include "cli/run.hpp"
+#include "obs/obs.hpp"
+#include "obs/profile.hpp"
+#include "report/json.hpp"
+#include "report/run_report.hpp"
+
+namespace soctest {
+namespace {
+
+obs::TraceEvent span_event(std::uint64_t id, std::uint64_t parent,
+                           std::string name, double start_us, double dur_us,
+                           int thread = 0) {
+  obs::TraceEvent event;
+  event.id = id;
+  event.parent = parent;
+  event.kind = obs::TraceEvent::Kind::kSpan;
+  event.name = std::move(name);
+  event.thread = thread;
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  return event;
+}
+
+/// root(100us) -> child(30us) -> leaf(5us), plus a second child(20us) call
+/// and an instant that must not fold into the profile.
+std::vector<obs::TraceEvent> nested_events() {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span_event(4, 2, "leaf", 12.0, 5.0));
+  events.push_back(span_event(2, 1, "child", 10.0, 30.0));
+  events.push_back(span_event(3, 1, "child", 50.0, 20.0));
+  obs::TraceEvent instant;
+  instant.id = 5;
+  instant.parent = 1;
+  instant.kind = obs::TraceEvent::Kind::kInstant;
+  instant.name = "tick";
+  instant.start_us = 60.0;
+  events.push_back(instant);
+  events.push_back(span_event(1, 0, "root", 0.0, 100.0));
+  return events;
+}
+
+const obs::SpanProfile* find_span(const obs::Profile& profile,
+                                  const std::string& name) {
+  for (const auto& span : profile.spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(Profile, SelfTimeIsTotalMinusChildrenAndOrderIsSelfDescending) {
+  const obs::Profile profile = obs::build_profile(nested_events());
+  EXPECT_EQ(profile.num_spans, 4);
+  EXPECT_DOUBLE_EQ(profile.wall_us, 100.0);  // instants and children excluded
+
+  const obs::SpanProfile* root = find_span(profile, "root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->count, 1);
+  EXPECT_DOUBLE_EQ(root->total_us, 100.0);
+  EXPECT_DOUBLE_EQ(root->self_us, 50.0);  // 100 - (30 + 20)
+  ASSERT_EQ(root->children.size(), 1u);
+  EXPECT_EQ(root->children[0].first, "child");
+  EXPECT_DOUBLE_EQ(root->children[0].second, 50.0);
+
+  const obs::SpanProfile* child = find_span(profile, "child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->count, 2);
+  EXPECT_DOUBLE_EQ(child->total_us, 50.0);
+  EXPECT_DOUBLE_EQ(child->self_us, 45.0);  // 50 - leaf's 5
+
+  const obs::SpanProfile* leaf = find_span(profile, "leaf");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_DOUBLE_EQ(leaf->total_us, 5.0);
+  EXPECT_DOUBLE_EQ(leaf->self_us, 5.0);
+
+  // Deterministic ordering: self-time descending (root 50, child 45, leaf 5).
+  ASSERT_EQ(profile.spans.size(), 3u);
+  EXPECT_EQ(profile.spans[0].name, "root");
+  EXPECT_EQ(profile.spans[1].name, "child");
+  EXPECT_EQ(profile.spans[2].name, "leaf");
+}
+
+TEST(Profile, CrossThreadSpansAreRootsAndAddToWall) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span_event(1, 0, "main", 0.0, 40.0, /*thread=*/0));
+  // A worker span is a root (the nesting stack is thread-local), so its
+  // time lands in wall_us and is NOT a child of "main".
+  events.push_back(span_event(2, 0, "worker", 5.0, 30.0, /*thread=*/1));
+  const obs::Profile profile = obs::build_profile(events);
+  EXPECT_DOUBLE_EQ(profile.wall_us, 70.0);
+  const obs::SpanProfile* main_span = find_span(profile, "main");
+  ASSERT_NE(main_span, nullptr);
+  EXPECT_DOUBLE_EQ(main_span->self_us, 40.0);
+  EXPECT_TRUE(main_span->children.empty());
+}
+
+TEST(Profile, PercentilesSingleSampleAndTies) {
+  std::vector<obs::TraceEvent> events;
+  events.push_back(span_event(1, 0, "once", 0.0, 7.0));
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    events.push_back(span_event(2 + i, 0, "tied", 10.0 * double(i), 4.0));
+  }
+  events.push_back(span_event(10, 0, "pair", 0.0, 20.0));
+  events.push_back(span_event(11, 0, "pair", 30.0, 30.0));
+  const obs::Profile profile = obs::build_profile(events);
+
+  const obs::SpanProfile* once = find_span(profile, "once");
+  ASSERT_NE(once, nullptr);  // one sample: all four stats collapse to it
+  EXPECT_DOUBLE_EQ(once->min_us, 7.0);
+  EXPECT_DOUBLE_EQ(once->p50_us, 7.0);
+  EXPECT_DOUBLE_EQ(once->p95_us, 7.0);
+  EXPECT_DOUBLE_EQ(once->max_us, 7.0);
+
+  const obs::SpanProfile* tied = find_span(profile, "tied");
+  ASSERT_NE(tied, nullptr);
+  EXPECT_DOUBLE_EQ(tied->p50_us, 4.0);
+  EXPECT_DOUBLE_EQ(tied->p95_us, 4.0);
+
+  // Nearest-rank on two samples: p50 is the lower one, p95 the upper.
+  const obs::SpanProfile* pair = find_span(profile, "pair");
+  ASSERT_NE(pair, nullptr);
+  EXPECT_DOUBLE_EQ(pair->p50_us, 20.0);
+  EXPECT_DOUBLE_EQ(pair->p95_us, 30.0);
+}
+
+TEST(Profile, FoldedStacksRoundTripToSelfTimes) {
+  const std::string folded = obs::folded_stacks(nested_events());
+  // One line per unique stack, sorted, integer self-us values.
+  EXPECT_EQ(folded,
+            "root 50\n"
+            "root;child 45\n"
+            "root;child;leaf 5\n");
+  // Round-trip: parsed self times add back up to the traced wall clock.
+  std::istringstream in(folded);
+  std::string line;
+  long long total = 0;
+  while (std::getline(in, line)) {
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    total += std::stoll(line.substr(space + 1));
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(Profile, TextAndJsonSerializers) {
+  const obs::Profile profile = obs::build_profile(nested_events());
+  const std::string text = profile_text(profile, 2);
+  EXPECT_NE(text.find("span profile"), std::string::npos);
+  EXPECT_NE(text.find("root"), std::string::npos);
+  // top_n=2 hides the leaf row but says so.
+  EXPECT_NE(text.find("1 more span names below the top 2"), std::string::npos)
+      << text;
+
+  const std::string json = profile_json(profile);
+  EXPECT_EQ(json_check(json), "") << json;
+  const auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("schema", ""), "soctest-profile-v1");
+  EXPECT_DOUBLE_EQ(doc->number_or("wall_us", 0.0), 100.0);
+  const JsonValue* spans = doc->find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  EXPECT_EQ(spans->items.size(), 3u);
+  EXPECT_EQ(spans->items[0].string_or("name", ""), "root");
+  EXPECT_DOUBLE_EQ(spans->items[0].number_or("self_us", 0.0), 50.0);
+}
+
+TEST(ProfileCli, FakeClockMakesProfileOutputByteIdentical) {
+  ::setenv("SOCTEST_OBS_FAKE_CLOCK", "1", 1);
+  const CliOptions options = parse_cli(
+      {"--soc", "soc1", "--widths", "16,16", "--solver", "exact", "--profile"});
+  const CliResult first = run_cli(options);
+  const CliResult second = run_cli(options);
+  ::unsetenv("SOCTEST_OBS_FAKE_CLOCK");
+  EXPECT_EQ(first.exit_code, 0) << first.output;
+  EXPECT_NE(first.output.find("span profile"), std::string::npos);
+  EXPECT_NE(first.output.find("cli.run"), std::string::npos);
+  // Fixed seed + serial solve + tick clock: the whole report, profile table
+  // included, must not drift by a byte between runs.
+  EXPECT_EQ(first.output, second.output);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -136,5 +136,59 @@ TEST(DesignReport, LayoutRunIncludesWirelength) {
   EXPECT_NE(json.find("\"d_max\":30"), std::string::npos);
 }
 
+TEST(ParseJson, MaterializesNestedValuesWithEscapes) {
+  const std::string text =
+      R"({"name":"a\"b\\cA","n":-2.5e2,"ok":true,"none":null,)"
+      R"("list":[1,2,3],"obj":{"k":7}})";
+  ASSERT_EQ(json_check(text), "");
+  std::string error;
+  const auto doc = parse_json(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->string_or("name", ""), "a\"b\\cA");
+  EXPECT_DOUBLE_EQ(doc->number_or("n", 0.0), -250.0);
+  const JsonValue* ok = doc->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->is_bool());
+  EXPECT_TRUE(ok->boolean);
+  const JsonValue* none = doc->find("none");
+  ASSERT_NE(none, nullptr);
+  EXPECT_TRUE(none->is_null());
+  const JsonValue* list = doc->find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(list->items[2].number, 3.0);
+  const JsonValue* obj = doc->find("obj");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_DOUBLE_EQ(obj->number_or("k", 0.0), 7.0);
+  EXPECT_EQ(doc->find("absent"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->number_or("absent", -1.0), -1.0);
+}
+
+TEST(ParseJson, RejectsMalformedInputWithAMessage) {
+  for (const char* bad :
+       {"", "{", "[1,2", "{\"a\":}", "{\"a\":1}trailing", "nul"}) {
+    std::string error;
+    EXPECT_FALSE(parse_json(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ParseJson, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("round-trip");
+  w.key("values").begin_array();
+  w.value(1.5).value(true).value("x");
+  w.end_array();
+  w.end_object();
+  const auto doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value()) << w.str();
+  EXPECT_EQ(doc->string_or("schema", ""), "round-trip");
+  const JsonValue* values = doc->find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_EQ(values->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(values->items[0].number, 1.5);
+}
+
 }  // namespace
 }  // namespace soctest
