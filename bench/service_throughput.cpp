@@ -1,0 +1,104 @@
+// Service throughput: serial requests/s cold (every solve computed) vs warm
+// (duplicate-heavy stream answered from the result cache). Runs the request
+// batch through an in-process SolveService in deterministic serial mode —
+// no transport, so the row measures queue + cache + solve, not socket I/O.
+//
+// Cold pass: every request distinct (cache fills, never hits). Warm pass:
+// the same key count but each repeated, modeling the duplicate-heavy batch
+// shape of scripts/check_service.sh's fixture.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "service/server.hpp"
+
+using namespace soctest;
+
+namespace {
+
+std::string request_line(const std::string& id, int seed) {
+  return "{\"schema\":\"soctest-req-v1\",\"id\":\"" + id +
+         "\",\"soc\":\"soc1\",\"widths\":[16,8,8],\"seed\":" +
+         std::to_string(seed) + "}";
+}
+
+/// Runs `lines` through a fresh serial service, returning wall ms.
+double run_batch(const std::vector<std::string>& lines,
+                 ServiceStats* stats) {
+  ServiceConfig config;
+  config.serial = true;
+  SolveService service(config);
+  benchutil::Stopwatch sw;
+  for (const std::string& line : lines) {
+    service.submit(line, [](std::string) {});
+  }
+  service.drain();
+  const double ms = sw.ms();
+  *stats = service.stats();
+  return ms;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << benchutil::header(
+      "Service", "serial solve-service throughput, cold vs warm cache");
+
+  // 16 distinct solve keys; the warm stream repeats each 16 times. Distinct
+  // seeds make distinct cache keys out of one cheap underlying solve, so the
+  // bench measures service overhead rather than solver scaling.
+  constexpr int kKeys = 16;
+  constexpr int kRepeats = 16;
+  std::vector<std::string> cold;
+  for (int k = 0; k < kKeys; ++k) {
+    cold.push_back(request_line("cold-" + std::to_string(k), k));
+  }
+  std::vector<std::string> warm;
+  for (int r = 0; r < kRepeats; ++r) {
+    for (int k = 0; k < kKeys; ++k) {
+      warm.push_back(request_line("warm-" + std::to_string(k), k));
+    }
+  }
+
+  ServiceStats cold_stats;
+  const double cold_ms = run_batch(cold, &cold_stats);
+  ServiceStats warm_stats;
+  const double warm_ms = run_batch(warm, &warm_stats);
+
+  const double cold_rps =
+      cold_ms > 0 ? 1000.0 * static_cast<double>(cold.size()) / cold_ms : 0;
+  const double warm_rps =
+      warm_ms > 0 ? 1000.0 * static_cast<double>(warm.size()) / warm_ms : 0;
+
+  Table out({"pass", "requests", "ms", "req_per_s", "cache_hits"});
+  out.row()
+      .add(std::string("cold"))
+      .add(static_cast<long long>(cold.size()))
+      .add(cold_ms, 3)
+      .add(cold_rps, 1)
+      .add(cold_stats.cache_hits);
+  out.row()
+      .add(std::string("warm"))
+      .add(static_cast<long long>(warm.size()))
+      .add(warm_ms, 3)
+      .add(warm_rps, 1)
+      .add(warm_stats.cache_hits);
+  std::cout << out.to_ascii();
+
+  benchutil::JsonLog log("service_throughput");
+  log.record()
+      .set("cell", "serial soc1 16,8,8")
+      .set("requests_cold", static_cast<long long>(cold.size()))
+      .set("requests_warm", static_cast<long long>(warm.size()))
+      .set("ms_cold", cold_ms)
+      .set("ms_warm", warm_ms)
+      .set("req_per_s_cold", cold_rps, 1)
+      .set("req_per_s_warm", warm_rps, 1)
+      .set("cache_hits_warm", warm_stats.cache_hits);
+  log.write("BENCH_solvers.json");
+  std::cout << "wrote BENCH_solvers.json\n";
+  return 0;
+}

@@ -24,7 +24,7 @@
 #include "tam/portfolio.hpp"
 #include "tam/width_dp.hpp"
 #include "tam/width_partition.hpp"
-#include "wrapper/test_time_table.hpp"
+#include "tam/timing.hpp"
 
 using namespace soctest;
 

@@ -81,6 +81,36 @@ for name in $(sed -n '/kLedgerCounters\[\]/,/};/p' "$root/src/obs/ledger.hpp" |
   fi
 done
 
+# The service metric catalog (docs/service.md) is bidirectional: every
+# emitted service.* counter/histogram must be documented there, and every
+# documented service.* name must still be emitted (spans count — they are
+# instrumentation too, via obs::Span literals).
+service_doc="$root/docs/service.md"
+if [ -f "$service_doc" ]; then
+  service_emitted=$( { printf '%s\n' "$emitted_names" | grep -E '^service\.';
+                       grep -rhoE 'obs::Span[^"]*"service\.[a-z_.]+' \
+                         "$root"/src/*/*.cpp | grep -oE 'service\.[a-z_.]+'; } |
+                     sort -u )
+  for name in $service_emitted; do
+    if ! grep -qF "\`$name\`" "$service_doc"; then
+      echo "FAIL: service metric '$name' is emitted by src/service but not" \
+           "documented in docs/service.md"
+      fail=1
+    fi
+  done
+  for name in $(grep -oE '\`service\.[a-z_.]+\`' "$service_doc" |
+                  tr -d '\`' | sort -u); do
+    if ! printf '%s\n' "$service_emitted" | grep -qxF "$name"; then
+      echo "FAIL: docs/service.md documents service metric '$name', which" \
+           "no obs::counter/histogram/Span literal in src emits"
+      fail=1
+    fi
+  done
+else
+  echo "FAIL: docs/service.md is missing (the service metric catalog)"
+  fail=1
+fi
+
 # Every emitted layer.component prefix must be in the naming table, so the
 # metric catalog cannot rot as instrumentation grows.
 for prefix in $(printf '%s\n' "$emitted_names" |

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the solve service (docs/service.md). Run from
+# anywhere:
+#
+#   scripts/check_service.sh [repo-root] [soctest-serve-binary] [soctest-binary]
+#
+# Pass 1 (stdio, serial): fires the 50-request duplicate-heavy fixture
+#   data/service_batch.jsonl through `soctest-serve --stdio --serial` twice
+#   and asserts every line gets a valid soctest-resp-v1 response, the cache
+#   hit share clears 40%, and the two response streams are byte-identical
+#   (the serial determinism contract).
+# Pass 2 (socket): starts a concurrent socket server, runs the same batch
+#   through `soctest --client --batch`, then SIGTERMs the server and asserts
+#   a clean drain (exit 0, every request answered).
+#
+# Wired into ctest as the `service` label: ctest -L service
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+serve_bin="${2:-$root/build/tools/soctest-serve}"
+cli_bin="${3:-$root/build/tools/soctest}"
+fixture="$root/data/service_batch.jsonl"
+
+for bin in "$serve_bin" "$cli_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_service: FAILED ($bin not built)"
+    exit 1
+  fi
+done
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+requests=$(wc -l < "$fixture")
+
+echo "== pass 1: stdio serial batch ($requests requests) =="
+"$serve_bin" --stdio --serial < "$fixture" > "$workdir/resp1.jsonl" \
+  2> "$workdir/stats1.txt"
+code=$?
+if [ "$code" -ne 0 ]; then
+  echo "check_service: FAILED (serial server exited $code)"
+  exit 1
+fi
+responses=$(grep -c '"schema":"soctest-resp-v1"' "$workdir/resp1.jsonl")
+if [ "$responses" -ne "$requests" ]; then
+  echo "check_service: FAILED ($responses of $requests requests got a" \
+       "valid soctest-resp-v1 response)"
+  exit 1
+fi
+hits=$(grep -c '"cached":true' "$workdir/resp1.jsonl")
+# >= 40% of the whole batch must be cache hits (the fixture is
+# duplicate-heavy by construction; threshold = requests * 2 / 5).
+want=$((requests * 2 / 5))
+if [ "$hits" -lt "$want" ]; then
+  echo "check_service: FAILED (cache hits $hits < $want of $requests)"
+  exit 1
+fi
+echo "   $responses/$requests responses valid, $hits cache hits"
+
+echo "== pass 1b: serial responses are byte-identical across runs =="
+"$serve_bin" --stdio --serial < "$fixture" > "$workdir/resp2.jsonl" \
+  2> /dev/null
+if ! cmp -s "$workdir/resp1.jsonl" "$workdir/resp2.jsonl"; then
+  echo "check_service: FAILED (serial mode response streams differ)"
+  diff "$workdir/resp1.jsonl" "$workdir/resp2.jsonl" | head -5
+  exit 1
+fi
+echo "   identical"
+
+echo "== pass 2: socket server, client batch, SIGTERM drain =="
+sock="$workdir/soctest.sock"
+"$serve_bin" --socket "$sock" --workers 2 --ledger "$workdir/runs.jsonl" \
+  2> "$workdir/stats2.txt" &
+server_pid=$!
+for _ in $(seq 50); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+if [ ! -S "$sock" ]; then
+  echo "check_service: FAILED (socket never appeared)"
+  kill "$server_pid" 2>/dev/null
+  exit 1
+fi
+"$cli_bin" --client "$sock" --batch "$fixture" > "$workdir/resp3.jsonl"
+client_code=$?
+responses=$(grep -c '"schema":"soctest-resp-v1"' "$workdir/resp3.jsonl")
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_code=$?
+if [ "$client_code" -ne 0 ]; then
+  echo "check_service: FAILED (client exited $client_code)"
+  exit 1
+fi
+if [ "$responses" -ne "$requests" ]; then
+  echo "check_service: FAILED (socket pass: $responses of $requests" \
+       "requests answered)"
+  exit 1
+fi
+if [ "$server_code" -ne 0 ]; then
+  echo "check_service: FAILED (server exited $server_code after SIGTERM;" \
+       "expected a clean drain)"
+  exit 1
+fi
+if [ ! -s "$workdir/runs.jsonl" ]; then
+  echo "check_service: FAILED (drained server flushed no ledger records)"
+  exit 1
+fi
+echo "   $responses/$requests answered over the socket, clean drain," \
+     "$(wc -l < "$workdir/runs.jsonl") ledger records"
+
+echo "check_service: OK"

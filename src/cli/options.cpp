@@ -142,12 +142,21 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
     } else if (arg == "--failpoints") {
       options.failpoints = value(arg);
       if (options.failpoints.empty()) fail("--failpoints: empty spec");
+    } else if (arg == "--client") {
+      options.client_socket = value(arg);
+      if (options.client_socket.empty()) fail("--client: empty socket path");
+    } else if (arg == "--batch") {
+      options.batch_path = value(arg);
+      if (options.batch_path.empty()) fail("--batch: empty path");
     } else {
       fail("unknown argument '" + arg + "'");
     }
   }
   if (options.widths.empty() && options.total_width < options.buses) {
     fail("--width must be at least --buses (one wire per bus)");
+  }
+  if (!options.batch_path.empty() && options.client_socket.empty()) {
+    fail("--batch requires --client");
   }
   return options;
 }
@@ -209,6 +218,13 @@ Robustness:
   --failpoints SPEC     arm fault-injection sites, e.g.
                         "tam.exact.node=error:100"; comma-separated
                         site=action[:hit] entries (docs/robustness.md)
+
+Service client (docs/service.md):
+  --client SOCKET       send the request to a running soctest-serve over its
+                        Unix socket and print the soctest-resp-v1 responses
+  --batch FILE          with --client: send FILE's soctest-req-v1 lines
+                        verbatim instead of one request built from the flags
+                        above ("-" reads stdin)
   --help                this text
 )";
 }

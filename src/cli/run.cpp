@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iostream>
 #include <sstream>
 
 #include <fstream>
@@ -20,9 +21,12 @@
 #include "sched/power_profile.hpp"
 #include "sched/power_sched.hpp"
 #include "sched/schedule.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
 #include "soc/builtin.hpp"
 #include "soc/soc_format.hpp"
 #include "tam/architect.hpp"
+#include "tam/timing.hpp"
 
 namespace soctest {
 
@@ -216,6 +220,66 @@ CliResult run_design(const CliOptions& options,
   return result;
 }
 
+/// Client mode: ship the work to a running soctest-serve over its Unix
+/// socket and relay the soctest-resp-v1 lines (docs/service.md).
+CliResult run_client(const CliOptions& options) {
+  CliResult result;
+  std::vector<std::string> lines;
+  if (!options.batch_path.empty()) {
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (options.batch_path != "-") {
+      file.open(options.batch_path);
+      if (!file) {
+        const Status st = io_error("cannot read " + options.batch_path);
+        result.output = "error: " + st.to_string() + "\n";
+        result.exit_code = exit_code_for(st);
+        return result;
+      }
+      in = &file;
+    }
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  } else {
+    ServiceRequest request;
+    request.id = "cli";
+    request.soc = options.soc;
+    request.widths = options.widths;
+    request.buses = options.buses;
+    request.total_width = options.total_width;
+    request.d_max = options.d_max;
+    request.wire_budget = options.wire_budget;
+    request.p_max = options.p_max;
+    request.power_mode = options.power_mode;
+    request.ate_depth = options.ate_depth;
+    request.solver = options.solver;
+    request.threads = options.threads;
+    request.time_limit_ms = options.time_limit_ms;
+    lines.push_back(request_json(request));
+  }
+
+  StatusOr<std::vector<std::string>> responses =
+      client_roundtrip(options.client_socket, lines);
+  if (!responses.ok()) {
+    result.output = "error: " + responses.status().to_string() + "\n";
+    result.exit_code = exit_code_for(responses.status());
+    return result;
+  }
+  std::ostringstream out;
+  for (const std::string& line : responses.value()) out << line << "\n";
+  if (responses.value().size() < lines.size()) {
+    const Status st = io_error(
+        "server answered " + std::to_string(responses.value().size()) +
+        " of " + std::to_string(lines.size()) + " requests");
+    out << "error: " << st.to_string() << "\n";
+    result.exit_code = exit_code_for(st);
+  }
+  result.output = out.str();
+  return result;
+}
+
 }  // namespace
 
 CliResult run_cli(const CliOptions& options) {
@@ -224,6 +288,7 @@ CliResult run_cli(const CliOptions& options) {
     result.output = cli_usage();
     return result;
   }
+  if (!options.client_socket.empty()) return run_client(options);
 
   FailpointGuard failpoint_guard;
   if (!options.failpoints.empty()) {

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace soctest {
+
+/// Thread-safe sharded LRU cache / memo, shared by the service result cache
+/// and the process-wide TestTimeTable memo (src/tam/timing.hpp).
+///
+/// Locking contract:
+///   - The key space is split across `num_shards` independent shards by a
+///     hash of the key; every operation takes exactly one shard mutex, so
+///     operations on different shards never contend and no operation ever
+///     holds two locks (no lock-order cycles are possible).
+///   - `get_or_create` runs the factory *outside* any lock. Concurrent
+///     misses on the same key may therefore build redundantly; the first
+///     insert wins and later builders receive the already-stored value.
+///     This is the same "redundant work beats holding a lock through an
+///     expensive build" trade the old TestTimeTable memo made.
+///   - Values are handed out as shared_ptr: eviction drops the cache's
+///     reference but never invalidates a value a caller still holds. With
+///     `capacity == 0` (unbounded memo mode) nothing is ever evicted, so
+///     `*get_or_create(...)` references stay valid for the cache's lifetime.
+///   - Stats counters are relaxed atomics; they are monotonic and may lag
+///     a concurrent operation by a moment, which is fine for metrics.
+template <typename Value>
+class ShardedLruCache {
+ public:
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long evictions = 0;
+    std::size_t size = 0;  ///< current entry count across all shards
+  };
+
+  /// `capacity` is the total entry budget across shards (0 = unbounded);
+  /// each shard gets an equal slice, rounded up.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t num_shards = 8)
+      : capacity_(capacity), shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  /// Looks up `key`; returns nullptr on miss. A hit refreshes LRU order.
+  std::shared_ptr<const Value> get(const std::string& key) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least-recently-used
+  /// entries beyond its capacity slice. Returns the stored pointer — when
+  /// another thread inserted the key first, that earlier value is kept and
+  /// returned, so every caller agrees on one canonical value per key.
+  std::shared_ptr<const Value> put(const std::string& key,
+                                   std::shared_ptr<const Value> value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->second;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    if (capacity_ > 0) {
+      const std::size_t slice =
+          (capacity_ + shards_.size() - 1) / shards_.size();
+      while (shard.lru.size() > (slice == 0 ? 1 : slice)) {
+        shard.index.erase(shard.lru.back().first);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return shard.lru.front().second;
+  }
+
+  /// get() falling back to building the value with `make` (called without
+  /// any lock held — see the locking contract above).
+  template <typename Factory>
+  std::shared_ptr<const Value> get_or_create(const std::string& key,
+                                             Factory&& make) {
+    if (auto hit = get(key)) return hit;
+    return put(key, std::shared_ptr<const Value>(
+                        std::make_shared<Value>(make())));
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.size = size();
+    return s;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.lru.size();
+    }
+    return total;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.lru.clear();
+      shard.index.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used. The list owns key copies so eviction can
+    /// erase the index entry without a second lookup structure.
+    std::list<std::pair<std::string, std::shared_ptr<const Value>>> lru;
+    std::unordered_map<
+        std::string,
+        typename std::list<
+            std::pair<std::string, std::shared_ptr<const Value>>>::iterator>
+        index;
+  };
+
+  Shard& shard_for(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  std::size_t capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> evictions_{0};
+};
+
+/// FNV-1a 64-bit content hash, used for cache keys built from canonical
+/// text (serialized SOC models, request parameter strings).
+inline std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace soctest

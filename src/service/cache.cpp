@@ -1,0 +1,33 @@
+#include "service/cache.hpp"
+
+#include <sstream>
+
+#include "soc/soc_format.hpp"
+
+namespace soctest {
+
+std::string solve_cache_key(const ServiceRequest& request, const Soc& soc) {
+  std::ostringstream key;
+  key << "v1|soc:" << std::hex << fnv1a64(write_soc(soc)) << std::dec;
+  if (!request.widths.empty()) {
+    key << "|w:";
+    for (int width : request.widths) key << width << ',';
+  } else {
+    key << "|b:" << request.buses << "/" << request.total_width;
+  }
+  key << "|s:" << inner_solver_name(request.solver)
+      << "|seed:" << request.seed << "|p:" << request.p_max << '/'
+      << power_mode_name(request.power_mode) << "|d:" << request.d_max
+      << "|wb:" << request.wire_budget << "|ate:" << request.ate_depth;
+  return key.str();
+}
+
+bool cacheable_request(const ServiceRequest& request) {
+  return !request.no_cache && request.time_limit_ms < 0;
+}
+
+bool cacheable_outcome(const SolveOutcome& outcome) {
+  return outcome.ok && outcome.stop == "none";
+}
+
+}  // namespace soctest

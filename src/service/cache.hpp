@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+
+#include "common/sharded_cache.hpp"
+#include "service/protocol.hpp"
+#include "soc/soc.hpp"
+
+namespace soctest {
+
+/// Sharded LRU cache of solve outcomes, so repeated sweep points return
+/// their certificate in microseconds instead of re-running the solver.
+/// Built on the same ShardedLruCache primitive as the TestTimeTable memo
+/// (src/tam/timing.hpp) — one locking contract for both.
+using ResultCache = ShardedLruCache<SolveOutcome>;
+
+/// Cache key of a request against a parsed SOC (docs/service.md):
+///
+///   "v1|soc:<fnv1a64 of write_soc(soc)>|<solve parameters>"
+///
+/// The SOC is identified by a content hash of its *canonical serialized
+/// form*, so the same model reached via a builtin name, a file path, or
+/// inline soc_text shares entries, and byte-level formatting differences
+/// of equivalent .soc files never split the cache. Parameters cover
+/// everything that changes the answer: widths (or buses+total width when
+/// searching), solver, seed, and the power/layout limits (pmax, power
+/// mode, dmax, wire budget, ATE depth). Thread count is deliberately
+/// absent — solver results are thread-count invariant by the parallel
+/// engine's determinism guarantee. Deadline-limited requests are never
+/// cached at all (anytime results depend on wall-clock luck), so
+/// time_limit_ms is absent too.
+std::string solve_cache_key(const ServiceRequest& request, const Soc& soc);
+
+/// Whether this request/outcome pair may use the cache: the request must
+/// not opt out (`no_cache`) or carry a deadline, and — on the fill side —
+/// the outcome must be a completed solve (ok, not stopped early).
+bool cacheable_request(const ServiceRequest& request);
+bool cacheable_outcome(const SolveOutcome& outcome);
+
+}  // namespace soctest

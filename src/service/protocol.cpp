@@ -1,0 +1,249 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+
+#include "report/json.hpp"
+
+namespace soctest {
+
+namespace {
+
+/// Integer-valued JSON number, rejecting fractions ("widths":[16.5] is a
+/// client bug worth a loud error, not a silent truncation).
+bool as_int(const JsonValue& value, long long* out) {
+  if (!value.is_number()) return false;
+  if (value.number != std::floor(value.number)) return false;
+  *out = static_cast<long long>(value.number);
+  return true;
+}
+
+Status bad_field(const std::string& name, const std::string& why) {
+  return invalid_argument_error("request field '" + name + "': " + why);
+}
+
+}  // namespace
+
+const char* power_mode_name(PowerConstraintMode mode) {
+  switch (mode) {
+    case PowerConstraintMode::kPairwiseSerialization:
+      return "pairwise";
+    case PowerConstraintMode::kBusMaxSum:
+      return "busmax";
+  }
+  return "pairwise";
+}
+
+StatusOr<ServiceRequest> parse_request(const std::string& line) {
+  std::string error;
+  const auto doc = parse_json(line, &error);
+  if (!doc) return parse_error("request is not valid JSON: " + error);
+  if (!doc->is_object()) return parse_error("request must be a JSON object");
+  const std::string schema = doc->string_or("schema", "");
+  if (schema != kRequestSchema) {
+    return invalid_argument_error(
+        schema.empty() ? "request has no \"schema\" member"
+                       : "unsupported request schema '" + schema +
+                             "' (this server speaks " + kRequestSchema + ")");
+  }
+
+  ServiceRequest request;
+  for (const auto& [name, value] : doc->members) {
+    long long n = 0;
+    if (name == "schema") {
+      continue;
+    } else if (name == "id") {
+      if (!value.is_string()) return bad_field(name, "expected a string");
+      request.id = value.text;
+    } else if (name == "soc") {
+      if (!value.is_string()) return bad_field(name, "expected a string");
+      request.soc = value.text;
+    } else if (name == "soc_text") {
+      if (!value.is_string()) return bad_field(name, "expected a string");
+      request.soc_text = value.text;
+    } else if (name == "widths") {
+      if (!value.is_array()) return bad_field(name, "expected an array");
+      for (const JsonValue& w : value.items) {
+        if (!as_int(w, &n) || n < 1) {
+          return bad_field(name, "widths must be positive integers");
+        }
+        request.widths.push_back(static_cast<int>(n));
+      }
+      if (request.widths.empty()) return bad_field(name, "empty list");
+    } else if (name == "buses") {
+      if (!as_int(value, &n) || n < 1) {
+        return bad_field(name, "expected a positive integer");
+      }
+      request.buses = static_cast<int>(n);
+    } else if (name == "width") {
+      if (!as_int(value, &n) || n < 1) {
+        return bad_field(name, "expected a positive integer");
+      }
+      request.total_width = static_cast<int>(n);
+    } else if (name == "dmax") {
+      if (!as_int(value, &n)) return bad_field(name, "expected an integer");
+      request.d_max = static_cast<int>(n);
+    } else if (name == "wire_budget") {
+      if (!as_int(value, &n)) return bad_field(name, "expected an integer");
+      request.wire_budget = n;
+    } else if (name == "pmax") {
+      if (!value.is_number()) return bad_field(name, "expected a number");
+      request.p_max = value.number;
+    } else if (name == "power_mode") {
+      if (!value.is_string()) return bad_field(name, "expected a string");
+      if (value.text == "pairwise") {
+        request.power_mode = PowerConstraintMode::kPairwiseSerialization;
+      } else if (value.text == "busmax") {
+        request.power_mode = PowerConstraintMode::kBusMaxSum;
+      } else {
+        return bad_field(name, "expected pairwise or busmax");
+      }
+    } else if (name == "ate_depth") {
+      if (!as_int(value, &n)) return bad_field(name, "expected an integer");
+      request.ate_depth = n;
+    } else if (name == "solver") {
+      if (!value.is_string()) return bad_field(name, "expected a string");
+      if (value.text == "exact") {
+        request.solver = InnerSolver::kExact;
+      } else if (value.text == "ilp") {
+        request.solver = InnerSolver::kIlp;
+      } else if (value.text == "greedy") {
+        request.solver = InnerSolver::kGreedy;
+      } else if (value.text == "sa") {
+        request.solver = InnerSolver::kSa;
+      } else if (value.text == "portfolio") {
+        request.solver = InnerSolver::kPortfolio;
+      } else {
+        return bad_field(name, "unknown solver '" + value.text + "'");
+      }
+    } else if (name == "seed") {
+      if (!as_int(value, &n) || n < 0) {
+        return bad_field(name, "expected a non-negative integer");
+      }
+      request.seed = static_cast<std::uint64_t>(n);
+    } else if (name == "threads") {
+      if (!as_int(value, &n) || n < 0) {
+        return bad_field(name, "expected an integer >= 0 (0 = auto)");
+      }
+      request.threads = static_cast<int>(n);
+    } else if (name == "time_limit_ms") {
+      if (!value.is_number()) return bad_field(name, "expected a number");
+      request.time_limit_ms = value.number;
+    } else if (name == "no_cache") {
+      if (!value.is_bool()) return bad_field(name, "expected a boolean");
+      request.no_cache = value.boolean;
+    } else {
+      return invalid_argument_error("unknown request field '" + name + "'");
+    }
+  }
+  if (request.widths.empty() && request.total_width < request.buses) {
+    return invalid_argument_error(
+        "width must be at least buses (one wire per bus)");
+  }
+  return request;
+}
+
+std::string request_json(const ServiceRequest& request) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kRequestSchema);
+  if (!request.id.empty()) w.key("id").value(request.id);
+  w.key("soc").value(request.soc);
+  if (!request.soc_text.empty()) w.key("soc_text").value(request.soc_text);
+  if (!request.widths.empty()) {
+    w.key("widths").begin_array();
+    for (int width : request.widths) w.value(width);
+    w.end_array();
+  } else {
+    w.key("buses").value(request.buses);
+    w.key("width").value(request.total_width);
+  }
+  if (request.d_max >= 0) w.key("dmax").value(request.d_max);
+  if (request.wire_budget >= 0) w.key("wire_budget").value(request.wire_budget);
+  if (request.p_max >= 0) w.key("pmax").value(request.p_max);
+  if (request.power_mode != PowerConstraintMode::kPairwiseSerialization) {
+    w.key("power_mode").value(power_mode_name(request.power_mode));
+  }
+  if (request.ate_depth >= 0) {
+    w.key("ate_depth").value(static_cast<long long>(request.ate_depth));
+  }
+  w.key("solver").value(inner_solver_name(request.solver));
+  if (request.seed != 0) {
+    w.key("seed").value(static_cast<long long>(request.seed));
+  }
+  if (request.threads != 1) w.key("threads").value(request.threads);
+  if (request.time_limit_ms >= 0) {
+    w.key("time_limit_ms").value(request.time_limit_ms);
+  }
+  if (request.no_cache) w.key("no_cache").value(true);
+  w.end_object();
+  return w.str();
+}
+
+std::string response_json(const SolveOutcome& outcome,
+                          const ResponseMeta& meta) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kResponseSchema);
+  w.key("id").value(meta.id);
+  w.key("ok").value(outcome.ok);
+  if (!outcome.ok) {
+    w.key("error").begin_object();
+    w.key("code").value(outcome.error_code);
+    w.key("message").value(outcome.error_message);
+    w.end_object();
+  }
+  w.key("cached").value(meta.cached);
+  if (outcome.ok) {
+    w.key("feasible").value(outcome.feasible);
+    w.key("status").value(outcome.status);
+    w.key("stop").value(outcome.stop);
+    w.key("widths").begin_array();
+    for (int width : outcome.widths) w.value(width);
+    w.end_array();
+    w.key("t_cycles").value(outcome.t_cycles);
+    w.key("lower_bound").value(outcome.lower_bound);
+    w.key("gap").value(outcome.gap);
+  }
+  if (meta.include_timing) {
+    w.key("queue_ms").value(meta.queue_ms);
+    w.key("wall_ms").value(meta.wall_ms);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string error_response_json(const std::string& id, const Status& status,
+                                bool include_timing, double wall_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kResponseSchema);
+  w.key("id").value(id);
+  w.key("ok").value(false);
+  w.key("error").begin_object();
+  w.key("code").value(status_code_name(status.code()));
+  w.key("message").value(status.message());
+  w.end_object();
+  w.key("cached").value(false);
+  if (include_timing) w.key("wall_ms").value(wall_ms);
+  w.end_object();
+  return w.str();
+}
+
+std::string rejection_json(const std::string& id, double retry_after_ms,
+                           const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kResponseSchema);
+  w.key("id").value(id);
+  w.key("ok").value(false);
+  w.key("error").begin_object();
+  w.key("code").value(status_code_name(StatusCode::kResourceExhausted));
+  w.key("message").value(message);
+  w.end_object();
+  w.key("cached").value(false);
+  w.key("retry_after_ms").value(retry_after_ms);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace soctest

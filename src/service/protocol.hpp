@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/status.hpp"
+#include "tam/tam_problem.hpp"
+#include "tam/width_partition.hpp"
+
+namespace soctest {
+
+// Versioned JSON-lines solve protocol (docs/service.md):
+//   request  = one "soctest-req-v1" JSON object per line
+//   response = one "soctest-resp-v1" JSON object per line
+// Responses carry the request's `id`, so a pipelined client can match them
+// even when a concurrent server completes jobs out of order. The serial
+// (deterministic) server mode additionally preserves request order and
+// omits timing fields, making response streams byte-identical across runs.
+
+inline constexpr const char* kRequestSchema = "soctest-req-v1";
+inline constexpr const char* kResponseSchema = "soctest-resp-v1";
+
+/// One parsed solve request. Defaults mirror the CLI's: a request only
+/// states what it wants to override.
+struct ServiceRequest {
+  std::string id;
+  /// Builtin name (soc1..soc4) or a .soc file path, like `soctest --soc`.
+  std::string soc = "soc1";
+  /// Inline .soc source; when non-empty it overrides `soc` (the server
+  /// never touches the filesystem for such requests).
+  std::string soc_text;
+  std::vector<int> widths;  ///< explicit bus widths (skips width search)
+  int buses = 2;
+  int total_width = 32;
+  int d_max = -1;
+  long long wire_budget = -1;
+  double p_max = -1.0;
+  PowerConstraintMode power_mode = PowerConstraintMode::kPairwiseSerialization;
+  long long ate_depth = -1;
+  InnerSolver solver = InnerSolver::kExact;
+  /// Sweep-point seed: not interpreted by the solve (concrete SOCs are
+  /// seedless) but part of the cache key and the ledger record, so synthetic
+  /// sweeps that regenerate SOCs per seed never alias cache entries.
+  std::uint64_t seed = 0;
+  int threads = 1;
+  /// Per-request wall-clock budget; < 0 means unlimited. Deadline-limited
+  /// results are anytime (timing-dependent) and therefore bypass the cache.
+  double time_limit_ms = -1.0;
+  bool no_cache = false;  ///< skip cache lookup AND fill for this request
+};
+
+/// Parses one request line. Unknown members are rejected (they are most
+/// likely typos of a knob the caller believes it set); a malformed line is
+/// a kParseError, a structurally valid object with bad field values is a
+/// kInvalidArgument. Never throws.
+StatusOr<ServiceRequest> parse_request(const std::string& line);
+
+/// The request back as its canonical soctest-req-v1 line (used by the CLI
+/// client to build requests from flags).
+std::string request_json(const ServiceRequest& request);
+
+/// The cacheable part of a solve response: everything except per-delivery
+/// fields (id, cached, timing). This is the value the result cache stores.
+struct SolveOutcome {
+  bool ok = false;            ///< false = the solve itself failed
+  std::string error_code;     ///< status_code_name() when !ok
+  std::string error_message;  ///< human-readable detail when !ok
+  bool feasible = false;
+  std::string status;  ///< solve_status_name() of the certificate
+  std::string stop;    ///< stop_reason_name() of the certificate
+  std::vector<int> widths;
+  long long t_cycles = -1;
+  long long lower_bound = -1;
+  double gap = -1.0;
+};
+
+/// Per-delivery envelope around an outcome.
+struct ResponseMeta {
+  std::string id;
+  bool cached = false;
+  /// Timing fields are omitted when include_timing is false (serial mode's
+  /// determinism contract).
+  bool include_timing = true;
+  double queue_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// Serializes a completed solve as one soctest-resp-v1 line (no newline).
+std::string response_json(const SolveOutcome& outcome,
+                          const ResponseMeta& meta);
+
+/// Serializes a request-level failure (malformed line, bad field, server
+/// error) as one soctest-resp-v1 line with ok=false and an error object.
+std::string error_response_json(const std::string& id, const Status& status,
+                                bool include_timing = true,
+                                double wall_ms = 0.0);
+
+/// Serializes an admission-control rejection: ok=false, error code
+/// resource_exhausted, plus retry_after_ms backpressure advice.
+std::string rejection_json(const std::string& id, double retry_after_ms,
+                           const std::string& message);
+
+const char* power_mode_name(PowerConstraintMode mode);
+
+}  // namespace soctest

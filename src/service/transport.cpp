@@ -1,0 +1,271 @@
+#include "service/transport.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace soctest {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void shutdown_signal_handler(int) {
+  g_shutdown.store(true, std::memory_order_relaxed);
+}
+
+/// Writes one response line to a shared fd. Lines are written whole under a
+/// mutex so concurrent workers cannot interleave bytes.
+class LineWriter {
+ public:
+  explicit LineWriter(int fd) : fd_(fd) {}
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string buffer = line;
+    buffer.push_back('\n');
+    std::size_t off = 0;
+    while (off < buffer.size()) {
+      const ssize_t n =
+          ::write(fd_, buffer.data() + off, buffer.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        failed_ = true;
+        return;  // reader went away; keep draining jobs regardless
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+  bool failed_ = false;
+};
+
+/// Incremental line reader over a raw fd, polling so a shutdown signal is
+/// noticed between reads (C++ streams retry on EINTR, which would make a
+/// blocked getline ignore SIGTERM until the next byte arrives).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Reads the next line (without the newline). Returns false on EOF, on a
+  /// read error, or once shutdown was requested and the buffer is empty.
+  bool next(std::string* line) {
+    while (true) {
+      const auto nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line->assign(buffer_, 0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      if (eof_) {
+        if (buffer_.empty()) return false;
+        line->swap(buffer_);  // unterminated final line
+        buffer_.clear();
+        return true;
+      }
+      if (shutdown_requested()) return false;
+      struct pollfd pfd;
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready < 0 && errno != EINTR) return false;
+      if (ready <= 0) continue;  // timeout or EINTR: re-check shutdown
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (n == 0) {
+        eof_ = true;
+        continue;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Tracks submitted vs answered so a connection (or the stdio stream) can
+/// wait until every accepted request has delivered its response before
+/// closing — the "no lost jobs" half of graceful drain.
+class ResponseBarrier {
+ public:
+  void submitted() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++submitted_;
+  }
+  void answered() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++answered_;
+    cv_.notify_all();
+  }
+  void wait_all_answered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return answered_ >= submitted_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  long long submitted_ = 0;
+  long long answered_ = 0;
+};
+
+/// Pumps one request stream into the service and responses back out.
+void pump(SolveService& service, int in_fd, int out_fd) {
+  LineReader reader(in_fd);
+  LineWriter writer(out_fd);
+  ResponseBarrier barrier;
+  std::string line;
+  while (reader.next(&line)) {
+    if (line.empty()) continue;
+    barrier.submitted();
+    service.submit(line, [&writer, &barrier](std::string response) {
+      writer.write_line(response);
+      barrier.answered();
+    });
+  }
+  barrier.wait_all_answered();
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = shutdown_signal_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_relaxed);
+}
+
+void request_shutdown() { g_shutdown.store(true, std::memory_order_relaxed); }
+
+int serve_stdio(SolveService& service, int in_fd, int out_fd) {
+  pump(service, in_fd, out_fd);
+  service.drain();
+  return 0;
+}
+
+int serve_unix_socket(SolveService& service, const std::string& path) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) return kExitIoError;
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) return kExitIoError;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    ::close(listen_fd);
+    return kExitIoError;
+  }
+
+  while (!shutdown_requested()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) continue;
+    // One connection at a time: read it to EOF (the client half-closes),
+    // answer everything it submitted, then close. A shutdown signal during
+    // the connection stops the reader, but every request already submitted
+    // still gets its response before the close.
+    pump(service, conn_fd, conn_fd);
+    ::close(conn_fd);
+  }
+
+  service.drain();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+StatusOr<std::vector<std::string>> client_roundtrip(
+    const std::string& path, const std::vector<std::string>& request_lines) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return invalid_argument_error("socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return io_error("cannot create socket");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return io_error("cannot connect to " + path + ": " +
+                    std::strerror(errno));
+  }
+
+  std::string out;
+  for (const std::string& line : request_lines) {
+    out += line;
+    out.push_back('\n');
+  }
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return io_error("write failed: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return io_error("read failed: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  std::vector<std::string> responses;
+  std::size_t start = 0;
+  while (start < buffer.size()) {
+    std::size_t nl = buffer.find('\n', start);
+    if (nl == std::string::npos) nl = buffer.size();
+    if (nl > start) responses.push_back(buffer.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return responses;
+}
+
+}  // namespace soctest

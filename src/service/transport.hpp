@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/status.hpp"
+#include "service/server.hpp"
+
+namespace soctest {
+
+/// Transports for the solve service (docs/service.md): newline-delimited
+/// JSON over stdio or a Unix domain socket. Both drain gracefully — on
+/// input EOF or a shutdown signal they stop admitting work, finish every
+/// accepted job, deliver its response, and return.
+
+/// Installs SIGTERM/SIGINT handlers that flip the transport shutdown flag
+/// (async-signal-safe: one relaxed atomic store). Call once per process,
+/// before serving.
+void install_shutdown_handlers();
+
+/// True once a shutdown signal arrived (or request_shutdown() ran).
+bool shutdown_requested();
+
+/// Programmatic equivalent of SIGTERM, for tests.
+void request_shutdown();
+
+/// Serves requests from file descriptor `in_fd` to `out_fd` until EOF or
+/// shutdown. Responses are written one per line in completion order (use a
+/// serial service for arrival order); writes are serialized internally.
+/// Returns the process exit code (0 = clean, including signal-drain).
+int serve_stdio(SolveService& service, int in_fd, int out_fd);
+
+/// Binds, listens on, and serves a Unix domain socket at `path` until
+/// shutdown. Connections are accepted one at a time (each is read to EOF
+/// and answered before the next accept); a shutdown signal stops new
+/// accepts, finishes the live connection, drains, unlinks the socket, and
+/// returns 0. Returns kExitIoError when the socket cannot be set up.
+int serve_unix_socket(SolveService& service, const std::string& path);
+
+/// Client side: connects to the Unix socket at `path`, sends every line of
+/// `request_lines`, half-closes, and collects response lines until the
+/// server closes. Used by `soctest --client`.
+StatusOr<std::vector<std::string>> client_roundtrip(
+    const std::string& path, const std::vector<std::string>& request_lines);
+
+}  // namespace soctest

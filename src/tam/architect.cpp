@@ -8,6 +8,7 @@
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
 #include "tam/portfolio.hpp"
+#include "tam/timing.hpp"
 
 namespace soctest {
 

@@ -1,10 +1,28 @@
 #include "tam/timing.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace soctest {
+
+TestTimeTableMemo& test_time_table_memo() {
+  // Unbounded (capacity 0): entries are pinned so the references
+  // cached_test_time_table hands out stay valid for the process lifetime.
+  static TestTimeTableMemo memo(/*capacity=*/0, /*num_shards=*/8);
+  return memo;
+}
+
+const TestTimeTable& cached_test_time_table(const Soc& soc, int max_width,
+                                            PartitionHeuristic heuristic) {
+  std::ostringstream key;
+  key << max_width << '|' << static_cast<int>(heuristic) << '|'
+      << soc_table_fingerprint(soc);
+  return *test_time_table_memo().get_or_create(key.str(), [&] {
+    return TestTimeTable(soc, max_width, heuristic);
+  });
+}
 
 std::vector<double> bus_clock_periods_ns(const BusPlan& plan,
                                          const std::vector<int>& assignment,

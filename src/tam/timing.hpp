@@ -2,10 +2,38 @@
 
 #include <vector>
 
+#include "common/sharded_cache.hpp"
 #include "layout/bus_planner.hpp"
 #include "tam/tam_problem.hpp"
+#include "wrapper/test_time_table.hpp"
 
 namespace soctest {
+
+/// Process-wide (SOC, max_width, heuristic) → TestTimeTable memo, shared by
+/// sweep workloads (bench grids, the report path) and the solve service:
+/// each table build re-runs wrapper design for every core and width, and a
+/// Chakrabarty-style sweep rebuilds the identical table for every grid cell.
+///
+/// Implemented on ShardedLruCache (src/common/sharded_cache.hpp) in
+/// unbounded memo mode, the same primitive the service result cache uses.
+/// Locking contract (see ShardedLruCache for the full statement): one shard
+/// mutex per operation, table construction runs outside any lock (racing
+/// threads may build the same table redundantly; the first insert wins),
+/// and — because the memo is unbounded — returned references stay valid for
+/// the process lifetime. Tables are small (num_cores × max_width integers),
+/// so pinning them is the right trade for sweeps.
+using TestTimeTableMemo = ShardedLruCache<TestTimeTable>;
+
+/// The process-wide memo instance (also consulted for cache introspection:
+/// hits/misses/size — see docs/service.md).
+TestTimeTableMemo& test_time_table_memo();
+
+/// Memoized table lookup. Keyed by a fingerprint of the SOC's test
+/// structure (not just its name, so regenerated/mutated SOCs never alias),
+/// plus max_width and the partition heuristic. Thread-safe.
+const TestTimeTable& cached_test_time_table(
+    const Soc& soc, int max_width,
+    PartitionHeuristic heuristic = PartitionHeuristic::kBestFitDecreasing);
 
 /// First-order wire-delay model for TAM clocking: a bus's scan clock must
 /// accommodate its longest wire path, so the achievable period grows with

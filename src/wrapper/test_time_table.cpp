@@ -1,19 +1,10 @@
 #include "wrapper/test_time_table.hpp"
 
-#include <functional>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
 namespace soctest {
 
-namespace {
-
-/// Fingerprint of everything TestTimeTable construction reads from a SOC:
-/// the per-core test structure. Two SOCs with equal fingerprints produce
-/// bit-identical tables.
 std::string soc_table_fingerprint(const Soc& soc) {
   std::ostringstream key;
   key << soc.name() << '|' << soc.num_cores();
@@ -26,8 +17,6 @@ std::string soc_table_fingerprint(const Soc& soc) {
   }
   return key.str();
 }
-
-}  // namespace
 
 TestTimeTable::TestTimeTable(const Soc& soc, int max_width,
                              PartitionHeuristic heuristic)
@@ -89,28 +78,6 @@ Cycles TestTimeTable::total_time(int width) const {
   Cycles total = 0;
   for (std::size_t i = 0; i < times_.size(); ++i) total += time(i, width);
   return total;
-}
-
-const TestTimeTable& cached_test_time_table(const Soc& soc, int max_width,
-                                            PartitionHeuristic heuristic) {
-  static std::mutex mu;
-  // unique_ptr values keep returned references stable across rehash/insert.
-  static std::map<std::string, std::unique_ptr<TestTimeTable>> cache;
-
-  std::ostringstream key;
-  key << max_width << '|' << static_cast<int>(heuristic) << '|'
-      << soc_table_fingerprint(soc);
-
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(key.str());
-    if (it != cache.end()) return *it->second;
-  }
-  // Build outside the lock: construction is the expensive part and two
-  // threads racing on the same key just do redundant work once.
-  auto table = std::make_unique<TestTimeTable>(soc, max_width, heuristic);
-  std::lock_guard<std::mutex> lock(mu);
-  return *cache.emplace(key.str(), std::move(table)).first->second;
 }
 
 }  // namespace soctest

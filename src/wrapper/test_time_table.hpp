@@ -49,15 +49,11 @@ class TestTimeTable {
   std::vector<std::vector<int>> eff_width_;    // argmin width
 };
 
-/// Process-wide memoized table construction for sweep workloads: benchmark
-/// grids and the report path rebuild the identical table for every (SOC,
-/// max_width) cell, and each build re-runs wrapper design for every core and
-/// width. Tables are keyed by a fingerprint of the SOC's test structure (not
-/// just its name, so regenerated/mutated SOCs never alias), plus max_width
-/// and the partition heuristic. Thread-safe; entries live for the process
-/// lifetime (tables are small: num_cores × max_width integers).
-const TestTimeTable& cached_test_time_table(
-    const Soc& soc, int max_width,
-    PartitionHeuristic heuristic = PartitionHeuristic::kBestFitDecreasing);
+/// Fingerprint of everything TestTimeTable construction reads from a SOC:
+/// the per-core test structure. Two SOCs with equal fingerprints produce
+/// bit-identical tables. This is the identity the process-wide memo
+/// (cached_test_time_table, src/tam/timing.hpp) and the service result
+/// cache key off.
+std::string soc_table_fingerprint(const Soc& soc);
 
 }  // namespace soctest

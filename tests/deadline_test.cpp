@@ -9,6 +9,7 @@
 #include "layout/sa_placer.hpp"
 #include "sched/power_sched.hpp"
 #include "soc/builtin.hpp"
+#include "tam/timing.hpp"
 #include "tam/architect.hpp"
 #include "tam/exact_solver.hpp"
 #include "tam/heuristics.hpp"

@@ -20,6 +20,7 @@
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
 #include "tam/portfolio.hpp"
+#include "tam/timing.hpp"
 #include "test_util.hpp"
 
 namespace soctest {

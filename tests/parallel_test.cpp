@@ -19,7 +19,7 @@
 #include "tam/ilp_solver.hpp"
 #include "tam/portfolio.hpp"
 #include "test_util.hpp"
-#include "wrapper/test_time_table.hpp"
+#include "tam/timing.hpp"
 
 namespace soctest {
 namespace {

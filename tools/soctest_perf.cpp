@@ -37,7 +37,7 @@
 #include "tam/exact_solver.hpp"
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
-#include "wrapper/test_time_table.hpp"
+#include "tam/timing.hpp"
 
 using namespace soctest;
 
@@ -49,8 +49,11 @@ commands:
   diff OLD.json NEW.json    per-metric delta table between two metrics/trace
                             JSON objects or two bench JSON arrays
                             (BENCH_solvers.json style)
-  report LEDGER.jsonl       fold a run ledger into per-soc x solver cells
-                            (runs, wall-ms percentiles, optimal share)
+  report LEDGER.jsonl...    fold one or more run ledgers into per-soc x
+                            solver cells (runs, wall-ms percentiles, optimal
+                            share); skipped lines are reported per file, with
+                            a torn final line (interrupted append) called out
+                            explicitly
   gate [options]            run the pinned quick-bench suite and compare it
                             against a checked-in baseline
 
@@ -217,12 +220,7 @@ double percentile(std::vector<double> values, double q) {
   return values[std::min(idx, values.size() - 1)];
 }
 
-int cmd_report(const std::string& ledger_path) {
-  std::ifstream in(ledger_path);
-  if (!in) {
-    std::fprintf(stderr, "soctest-perf: cannot read %s\n", ledger_path.c_str());
-    return 3;
-  }
+int cmd_report(const std::vector<std::string>& ledger_paths) {
   struct CellStats {
     long long runs = 0;
     long long optimal = 0;
@@ -230,36 +228,60 @@ int cmd_report(const std::string& ledger_path) {
     std::vector<double> gaps;
   };
   std::map<std::pair<std::string, std::string>, CellStats> cells;
-  std::string line;
-  long long lines = 0, skipped = 0;
-  bool last_line_torn = false;
-  while (std::getline(in, line)) {
-    ++lines;
-    if (line.empty()) continue;
-    const auto record = parse_json(line);
-    last_line_torn = !record.has_value();
-    if (!record || !record->is_object() ||
-        record->string_or("schema", "") != "soctest-ledger-v1") {
-      ++skipped;
-      continue;
+  for (const std::string& ledger_path : ledger_paths) {
+    std::ifstream in(ledger_path);
+    if (!in) {
+      std::fprintf(stderr, "soctest-perf: cannot read %s\n",
+                   ledger_path.c_str());
+      return 3;
     }
-    CellStats& cell = cells[{record->string_or("soc", "?"),
-                             record->string_or("solver", "?")}];
-    ++cell.runs;
-    cell.wall_ms.push_back(record->number_or("wall_ms", 0.0));
-    if (record->string_or("status", "") == "optimal") ++cell.optimal;
-    const double gap = record->number_or("gap", -1.0);
-    if (gap >= 0.0) cell.gaps.push_back(gap);
-  }
-  // A torn final line is the crash-safety contract working as intended, not
-  // a report error; anything torn earlier is worth a warning.
-  if (skipped > (last_line_torn ? 1 : 0)) {
-    std::fprintf(stderr, "soctest-perf: warning: skipped %lld malformed or "
-                 "foreign line(s) of %lld\n", skipped, lines);
+    std::string line;
+    long long lines = 0, skipped = 0;
+    bool last_line_torn = false;
+    while (std::getline(in, line)) {
+      ++lines;
+      if (line.empty()) continue;
+      const auto record = parse_json(line);
+      last_line_torn = !record.has_value();
+      if (!record || !record->is_object() ||
+          record->string_or("schema", "") != "soctest-ledger-v1") {
+        ++skipped;
+        continue;
+      }
+      CellStats& cell = cells[{record->string_or("soc", "?"),
+                               record->string_or("solver", "?")}];
+      ++cell.runs;
+      cell.wall_ms.push_back(record->number_or("wall_ms", 0.0));
+      if (record->string_or("status", "") == "optimal") ++cell.optimal;
+      const double gap = record->number_or("gap", -1.0);
+      if (gap >= 0.0) cell.gaps.push_back(gap);
+    }
+    // Per-file accounting: a torn final line is the crash-safe append
+    // contract working as intended (a writer died mid-record), so it gets
+    // an explicit note rather than being silently dropped; anything torn
+    // or foreign earlier in the file is worth a warning.
+    const long long torn_tail = last_line_torn ? 1 : 0;
+    if (torn_tail != 0) {
+      std::fprintf(stderr,
+                   "soctest-perf: %s: dropped torn final line (interrupted "
+                   "append); %lld of %lld line(s) skipped\n",
+                   ledger_path.c_str(), skipped, lines);
+    }
+    if (skipped - torn_tail > 0) {
+      std::fprintf(stderr,
+                   "soctest-perf: warning: %s: skipped %lld malformed or "
+                   "foreign line(s) of %lld\n",
+                   ledger_path.c_str(), skipped - torn_tail, lines);
+    }
   }
   if (cells.empty()) {
+    std::string joined;
+    for (const std::string& path : ledger_paths) {
+      if (!joined.empty()) joined += ", ";
+      joined += path;
+    }
     std::fprintf(stderr, "soctest-perf: %s: no soctest-ledger-v1 records\n",
-                 ledger_path.c_str());
+                 joined.c_str());
     return 3;
   }
   Table table({"soc", "solver", "runs", "ms_min", "ms_p50", "ms_p95", "ms_max",
@@ -280,7 +302,12 @@ int cmd_report(const std::string& ledger_path) {
                                : gap_sum / static_cast<double>(cell.gaps.size()),
              4);
   }
-  std::printf("ledger report: %s\n%s", ledger_path.c_str(),
+  std::string joined;
+  for (const std::string& path : ledger_paths) {
+    if (!joined.empty()) joined += ", ";
+    joined += path;
+  }
+  std::printf("ledger report: %s\n%s", joined.c_str(),
               table.to_ascii().c_str());
   return 0;
 }
@@ -587,11 +614,11 @@ int main(int argc, char** argv) {
     return cmd_diff(args[1], args[2]);
   }
   if (command == "report") {
-    if (args.size() != 2) {
+    if (args.size() < 2) {
       std::fputs(kUsage, stderr);
       return 2;
     }
-    return cmd_report(args[1]);
+    return cmd_report({args.begin() + 1, args.end()});
   }
   if (command == "gate") {
     return cmd_gate({args.begin() + 1, args.end()});

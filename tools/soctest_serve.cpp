@@ -1,0 +1,151 @@
+// soctest-serve: long-running solve server speaking the soctest-req-v1 /
+// soctest-resp-v1 JSON-lines protocol (docs/service.md).
+//
+//   $ soctest-serve --stdio --serial < batch.jsonl > responses.jsonl
+//   $ soctest-serve --socket /tmp/soctest.sock --workers 4 &
+//   $ soctest --client /tmp/soctest.sock --batch batch.jsonl
+//
+// SIGTERM/SIGINT drain gracefully: admission stops, every accepted job
+// still delivers its response, the ledger is flushed, and the process
+// exits 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace {
+
+const char kUsage[] = R"(usage: soctest-serve [options]
+
+Transport (pick one):
+  --stdio               serve requests from stdin to stdout (default)
+  --socket PATH         listen on a Unix domain socket at PATH
+
+Execution:
+  --serial              deterministic mode: in-order execution, responses
+                        omit timing fields (byte-identical streams)
+  --workers N           worker threads (0 = auto; default auto)
+  --queue N             admission bound: max queued-or-running jobs before
+                        requests are rejected with backpressure (default 64)
+  --max-time-limit-ms T cap every request's solve budget at T ms
+
+Result cache:
+  --cache N             result-cache entry budget (default 512; 0 = unbounded)
+  --cache-shards N      cache shard count (default 8)
+
+Observability:
+  --ledger FILE         append one soctest-ledger-v1 record per completed
+                        solve (SOCTEST_LEDGER is the env fallback)
+  --retry-after-ms T    backpressure advice in rejections (default 50)
+  --help                this text
+)";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+long long to_ll(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected an integer, got '" + value + "'");
+  }
+}
+
+double to_dbl(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected a number, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using soctest::ServiceConfig;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  ServiceConfig config;
+  std::string socket_path;
+  bool stdio = true;
+
+  std::size_t i = 0;
+  auto value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) usage_error(flag + " requires a value");
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--socket") {
+      socket_path = value(arg);
+      stdio = false;
+      if (socket_path.empty()) usage_error("--socket: empty path");
+    } else if (arg == "--serial") {
+      config.serial = true;
+    } else if (arg == "--workers") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 0) usage_error("--workers must be >= 0 (0 = auto)");
+      config.workers = static_cast<int>(n);
+    } else if (arg == "--queue") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 1) usage_error("--queue must be positive");
+      config.queue_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--cache") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 0) usage_error("--cache must be >= 0 (0 = unbounded)");
+      config.cache_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--cache-shards") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 1) usage_error("--cache-shards must be positive");
+      config.cache_shards = static_cast<std::size_t>(n);
+    } else if (arg == "--ledger") {
+      config.ledger_path = value(arg);
+      if (config.ledger_path.empty()) usage_error("--ledger: empty path");
+    } else if (arg == "--retry-after-ms") {
+      config.retry_after_ms = to_dbl(value(arg), arg);
+      if (config.retry_after_ms < 0) usage_error("--retry-after-ms must be >= 0");
+    } else if (arg == "--max-time-limit-ms") {
+      config.max_time_limit_ms = to_dbl(value(arg), arg);
+      if (config.max_time_limit_ms < 0) {
+        usage_error("--max-time-limit-ms must be >= 0");
+      }
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+
+  if (config.ledger_path.empty()) {
+    const char* env = std::getenv("SOCTEST_LEDGER");
+    if (env != nullptr) config.ledger_path = env;
+  }
+
+  soctest::install_shutdown_handlers();
+  soctest::SolveService service(config);
+  const int exit_code =
+      stdio ? soctest::serve_stdio(service, /*in_fd=*/0, /*out_fd=*/1)
+            : soctest::serve_unix_socket(service, socket_path);
+
+  const soctest::ServiceStats stats = service.stats();
+  std::fprintf(stderr,
+               "soctest-serve: %lld received, %lld accepted, %lld completed, "
+               "%lld rejected, %lld errors, cache %lld/%lld hit/miss\n",
+               stats.received, stats.accepted, stats.completed, stats.rejected,
+               stats.errors, stats.cache_hits, stats.cache_misses);
+  return exit_code;
+}
