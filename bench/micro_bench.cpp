@@ -16,6 +16,8 @@
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
 #include "tam/portfolio.hpp"
+#include "tam/search_core.hpp"
+#include "tam/staircase.hpp"
 #include "wrapper/test_time_table.hpp"
 
 namespace soctest {
@@ -104,6 +106,54 @@ void BM_PortfolioSolver(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PortfolioSolver)->Arg(8)->Arg(12)->Arg(16);
+
+// Branch-free staircase row reduction (sum + max over one contiguous
+// width-major row) — the bound kernel of the width search and the width DP.
+// Items/second counts staircase cells evaluated.
+void BM_StaircaseEval(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(static_cast<std::uint64_t>(n));
+  SocGeneratorOptions gen;
+  gen.num_cores = n;
+  gen.place = false;
+  const Soc soc = generate_soc(gen, rng);
+  const TestTimeTable table(soc, 32);
+  const Staircase stairs(table);
+  int w = 1;
+  long long cells = 0;
+  for (auto _ : state) {
+    const Staircase::RowStats stats = stairs.row_stats(w);
+    benchmark::DoNotOptimize(stats.total + stats.max_single);
+    w = w % stairs.max_width() + 1;  // sweep all rows, defeat caching of one
+    cells += static_cast<long long>(stairs.num_cores());
+  }
+  state.SetItemsProcessed(cells);
+}
+BENCHMARK(BM_StaircaseEval)->Arg(16)->Arg(64)->Arg(256);
+
+// Bitset candidate kernel of the exact search: allowed-mask AND symmetry
+// drop (`e & (e - 1)` per bus class) replacing the old per-bus scan.
+// Items/second counts candidate masks produced.
+void BM_PruneMask(benchmark::State& state) {
+  const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));
+  const exactcore::CoreTables t = exactcore::build_core_tables(problem);
+  const std::uint64_t full =
+      t.num_buses >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << t.num_buses) - 1;
+  std::uint64_t empty = full;
+  long long masks = 0;
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < t.num_items; ++k) {
+      acc ^= exactcore::candidate_mask(t, t.allowed[k], empty);
+    }
+    benchmark::DoNotOptimize(acc);
+    empty = empty == 0 ? full : empty >> 1;  // vary the empty-bus pattern
+    masks += static_cast<long long>(t.num_items);
+  }
+  state.SetItemsProcessed(masks);
+}
+BENCHMARK(BM_PruneMask)->Arg(16)->Arg(64);
 
 void BM_GreedyLpt(benchmark::State& state) {
   const TamProblem problem = sized_problem(static_cast<int>(state.range(0)));

@@ -71,6 +71,8 @@ struct SolveSummary {
   std::string status = "error";  ///< overwritten once a certificate exists
   double gap = -1.0;
   long long t_cycles = -1;
+  /// search_mode_name() of the winning solve ("serial", "parallel", "-").
+  std::string solve_mode = "-";
 };
 
 /// The actual design flow; run_cli wraps it with the observability session.
@@ -114,6 +116,7 @@ CliResult run_design(const CliOptions& options,
       summary->t_cycles =
           design.feasible ? static_cast<long long>(design.assignment.makespan)
                           : -1;
+      summary->solve_mode = search_mode_name(design.search_mode);
     }
     if (!options.json) out << describe_design(soc, request, design);
     if (!design.feasible) {
@@ -383,6 +386,7 @@ CliResult run_cli(const CliOptions& options) {
     record.status = summary.status;
     record.gap = summary.gap;
     record.t_cycles = summary.t_cycles;
+    record.solve_mode = summary.solve_mode;
     record.wall_ms = wall_ms;
     record.exit_code = result.exit_code;
     obs::fill_ledger_counters(record);

@@ -1,8 +1,11 @@
 #include "ilp/branch_and_bound.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <queue>
+#include <string>
+#include <unordered_map>
 
 #include "obs/obs.hpp"
 #include "runtime/failpoint.hpp"
@@ -59,6 +62,9 @@ struct MipTally {
   long long pruned_bound = 0;
   long long pruned_infeasible = 0;
   long long incumbents = 0;
+  long long bound_cache_hits = 0;  ///< child box already in the bound cache
+  long long bound_reused = 0;      ///< cached bound alone pruned the child
+  long long bound_tightened = 0;   ///< child LP strictly beat the parent bound
 };
 
 MipResult solve_mip_impl(const LinearProgram& lp, const MipOptions& options,
@@ -98,6 +104,38 @@ MipResult solve_mip_impl(const LinearProgram& lp, const MipOptions& options,
 
   std::priority_queue<Node> open;
   open.push(Node{root.objective, root_lower, root_upper, root.x});
+
+  // Bound cache: one entry per bound box ever generated as a child, keyed on
+  // the integer variables' (lower, upper) overrides — the only bounds
+  // branching mutates. Different branching paths reach identical boxes
+  // (x<=1 then y>=2 vs y>=2 then x<=1); a hit means the box's subtree is
+  // already in the tree or its cached bound already prunes it, so the LP
+  // re-solve is skipped. Sound for exactness because the pruning threshold
+  // only decreases over the run: a box prunable at first sight stays
+  // prunable, and a duplicate subtree cannot change the optimum. Infeasible
+  // boxes are cached with an infinite bound and an infeasibility marker so a
+  // re-encounter is tallied as the same kind of prune as the first.
+  struct CachedBound {
+    double bound;
+    bool infeasible;
+  };
+  std::unordered_map<std::string, CachedBound> bound_cache;
+  std::vector<int> cache_vars;
+  for (int i = 0; i < lp.num_variables(); ++i) {
+    if (lp.variable(i).kind != VarKind::kContinuous) cache_vars.push_back(i);
+  }
+  const auto box_key = [&](const std::vector<double>& lower,
+                           const std::vector<double>& upper) {
+    std::string key(cache_vars.size() * 2 * sizeof(double), '\0');
+    char* out = key.data();
+    for (const int i : cache_vars) {
+      std::memcpy(out, &lower[static_cast<std::size_t>(i)], sizeof(double));
+      out += sizeof(double);
+      std::memcpy(out, &upper[static_cast<std::size_t>(i)], sizeof(double));
+      out += sizeof(double);
+    }
+    return key;
+  };
 
   bool have_incumbent = false;
   double incumbent_obj = 0.0;
@@ -227,11 +265,32 @@ MipResult solve_mip_impl(const LinearProgram& lp, const MipOptions& options,
           upper[static_cast<std::size_t>(branch_var)] + 1e-9) {
         continue;
       }
+      const std::string key = box_key(lower, upper);
+      if (const auto it = bound_cache.find(key); it != bound_cache.end()) {
+        ++tally.bound_cache_hits;
+        if (it->second.infeasible) {
+          ++tally.pruned_infeasible;
+        } else if (it->second.bound >= pruning_bound() - options.absolute_gap) {
+          ++tally.bound_reused;
+          ++tally.pruned_bound;
+          if (!have_incumbent) shared_pruned = true;
+        }
+        // Otherwise the identical box is already queued elsewhere in the
+        // tree: exploring the duplicate could only repeat work.
+        continue;
+      }
       const LpResult child = solve_node(lower, upper);
       ++result.nodes_explored;
       if (child.status != LpStatus::kOptimal) {
         ++tally.pruned_infeasible;
+        bound_cache.emplace(
+            key,
+            CachedBound{std::numeric_limits<double>::infinity(), true});
         continue;
+      }
+      bound_cache.emplace(key, CachedBound{child.objective, false});
+      if (child.objective > node.lp_bound + options.absolute_gap) {
+        ++tally.bound_tightened;
       }
       if (child.objective >= pruning_bound() - options.absolute_gap) {
         ++tally.pruned_bound;
@@ -269,6 +328,9 @@ MipResult solve_mip(const LinearProgram& lp, const MipOptions& options) {
     obs::counter("ilp.bb.pruned_bound").add(tally.pruned_bound);
     obs::counter("ilp.bb.pruned_infeasible").add(tally.pruned_infeasible);
     obs::counter("ilp.bb.incumbents").add(tally.incumbents);
+    obs::counter("ilp.bb.bound.cache_hits").add(tally.bound_cache_hits);
+    obs::counter("ilp.bb.bound.reused").add(tally.bound_reused);
+    obs::counter("ilp.bb.bound.tightened").add(tally.bound_tightened);
     obs::histogram("ilp.bb.nodes_per_solve")
         .observe(static_cast<double>(result.nodes_explored));
   }

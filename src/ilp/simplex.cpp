@@ -106,15 +106,20 @@ class Tableau {
       if (rr.sense != RowSense::kLe) ++num_artificial_;
     }
     cols_ = n_ + m_ + num_artificial_;
-    body_.assign(static_cast<std::size_t>(m_),
-                 std::vector<double>(static_cast<std::size_t>(cols_), 0.0));
+    // One contiguous buffer, row-major: row r lives at body_[r*cols_ ..).
+    // The row operations below run over whole rows in index order, so the
+    // flat layout changes neither an FP operation nor its sequence — pivots
+    // stay bit-identical to the old vector-of-vectors tableau — while every
+    // row walk becomes a linear scan the compiler can vectorize.
+    body_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(cols_),
+                 0.0);
     rhs_.assign(static_cast<std::size_t>(m_), 0.0);
     basis_.assign(static_cast<std::size_t>(m_), -1);
     is_artificial_.assign(static_cast<std::size_t>(cols_), false);
 
     int next_art = n_ + m_;
     for (int r = 0; r < m_; ++r) {
-      auto& row = body_[static_cast<std::size_t>(r)];
+      double* row = row_ptr(r);
       const auto& rr = raw[static_cast<std::size_t>(r)];
       for (int i = 0; i < n_; ++i) row[static_cast<std::size_t>(i)] = rr.a[static_cast<std::size_t>(i)];
       rhs_[static_cast<std::size_t>(r)] = rr.rhs;
@@ -160,8 +165,8 @@ class Tableau {
   void price_out(std::vector<double>& cost, double& cost_rhs, int r, int col) {
     const double factor = cost[static_cast<std::size_t>(col)];
     if (factor == 0.0) return;
-    const auto& row = body_[static_cast<std::size_t>(r)];
-    for (int c = 0; c < cols_; ++c) cost[static_cast<std::size_t>(c)] -= factor * row[static_cast<std::size_t>(c)];
+    const double* row = row_ptr(r);
+    for (int c = 0; c < cols_; ++c) cost[static_cast<std::size_t>(c)] -= factor * row[c];
     cost_rhs -= factor * rhs_[static_cast<std::size_t>(r)];
   }
 
@@ -189,7 +194,7 @@ class Tableau {
       int leave = -1;
       double best_ratio = 0.0;
       for (int r = 0; r < m_; ++r) {
-        const double a = body_[static_cast<std::size_t>(r)][static_cast<std::size_t>(enter)];
+        const double a = at(r, enter);
         if (a > opt_.tolerance) {
           const double ratio = rhs_[static_cast<std::size_t>(r)] / a;
           if (leave < 0 || ratio < best_ratio - opt_.tolerance ||
@@ -214,22 +219,22 @@ class Tableau {
   }
 
   void pivot(int r, int enter) {
-    auto& prow = body_[static_cast<std::size_t>(r)];
-    const double p = prow[static_cast<std::size_t>(enter)];
-    for (auto& v : prow) v /= p;
+    double* prow = row_ptr(r);
+    const double p = prow[enter];
+    for (int c = 0; c < cols_; ++c) prow[c] /= p;
     rhs_[static_cast<std::size_t>(r)] /= p;
     for (int rr = 0; rr < m_; ++rr) {
       if (rr == r) continue;
-      auto& row = body_[static_cast<std::size_t>(rr)];
-      const double f = row[static_cast<std::size_t>(enter)];
+      double* row = row_ptr(rr);
+      const double f = row[enter];
       if (f == 0.0) continue;
-      for (int c = 0; c < cols_; ++c) row[static_cast<std::size_t>(c)] -= f * prow[static_cast<std::size_t>(c)];
+      for (int c = 0; c < cols_; ++c) row[c] -= f * prow[c];
       rhs_[static_cast<std::size_t>(rr)] -= f * rhs_[static_cast<std::size_t>(r)];
     }
     for (auto* cost : {&cost1_, &cost2_}) {
       const double f = (*cost)[static_cast<std::size_t>(enter)];
       if (f == 0.0) continue;
-      for (int c = 0; c < cols_; ++c) (*cost)[static_cast<std::size_t>(c)] -= f * prow[static_cast<std::size_t>(c)];
+      for (int c = 0; c < cols_; ++c) (*cost)[static_cast<std::size_t>(c)] -= f * prow[c];
       (cost == &cost1_ ? cost1_rhs_ : cost2_rhs_) -= f * rhs_[static_cast<std::size_t>(r)];
     }
     basis_[static_cast<std::size_t>(r)] = enter;
@@ -241,9 +246,9 @@ class Tableau {
   void pivot_out_basic_artificials() {
     for (int r = 0; r < m_; ++r) {
       if (!is_artificial_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])]) continue;
-      const auto& row = body_[static_cast<std::size_t>(r)];
+      const double* row = row_ptr(r);
       for (int c = 0; c < n_ + m_; ++c) {
-        if (std::abs(row[static_cast<std::size_t>(c)]) > 1e-7) {
+        if (std::abs(row[c]) > 1e-7) {
           pivot(r, c);
           break;
         }
@@ -270,10 +275,20 @@ class Tableau {
     return r;
   }
 
+  double* row_ptr(int r) {
+    return body_.data() +
+           static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+  const double* row_ptr(int r) const {
+    return body_.data() +
+           static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+  double at(int r, int c) const { return row_ptr(r)[c]; }
+
   const LinearProgram& lp_;
   const SimplexOptions& opt_;
   int n_ = 0, m_ = 0, cols_ = 0, num_artificial_ = 0;
-  std::vector<std::vector<double>> body_;
+  std::vector<double> body_;  ///< row-major m_ x cols_ tableau body
   std::vector<double> rhs_;
   std::vector<int> basis_;
   std::vector<bool> is_artificial_;

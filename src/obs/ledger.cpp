@@ -44,6 +44,7 @@ std::string ledger_record_json(const LedgerRecord& record) {
   w.key("status").value(record.status);
   w.key("gap").value(record.gap);
   w.key("t_cycles").value(record.t_cycles);
+  w.key("solve_mode").value(record.solve_mode);
   w.key("wall_ms").value(record.wall_ms);
   w.key("exit_code").value(record.exit_code);
   w.key("counters").begin_object();

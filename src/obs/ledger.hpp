@@ -50,6 +50,9 @@ struct LedgerRecord {
   double gap = -1.0;
   /// Makespan in cycles; -1 when the solve produced no architecture.
   long long t_cycles = -1;
+  /// Execution strategy of the winning solve: "serial" / "parallel" for the
+  /// exact search (see SearchMode), "-" for heuristic solvers.
+  std::string solve_mode = "-";
   double wall_ms = 0.0;
   int exit_code = 0;
   /// Pinned counters, in kLedgerCounters order.

@@ -73,6 +73,9 @@ struct SolveOutcome {
   long long t_cycles = -1;
   long long lower_bound = -1;
   double gap = -1.0;
+  /// search_mode_name() of the winning solve; feeds the ledger record only
+  /// (not the response line, whose key set is pinned by the protocol).
+  std::string solve_mode = "-";
 };
 
 /// Per-delivery envelope around an outcome.

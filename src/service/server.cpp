@@ -85,6 +85,7 @@ SolveOutcome solve_request(const ServiceRequest& request, const Soc& soc,
                         : -1;
     outcome.lower_bound = design.certificate.lower_bound;
     outcome.gap = design.certificate.gap();
+    outcome.solve_mode = search_mode_name(design.search_mode);
   } catch (const std::invalid_argument& e) {
     outcome.ok = false;
     outcome.error_code = status_code_name(StatusCode::kInvalidArgument);
@@ -279,6 +280,7 @@ void SolveService::append_service_ledger(const ServiceRequest& request,
   record.status = outcome.ok ? outcome.status : "error";
   record.gap = outcome.gap;
   record.t_cycles = outcome.t_cycles;
+  record.solve_mode = outcome.solve_mode;
   record.wall_ms = wall_ms;
   record.exit_code = outcome.ok ? (outcome.feasible ? 0 : 1) : kExitInternal;
   // Deliberately no counter snapshot: the registry is cumulative across the

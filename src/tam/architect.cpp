@@ -68,6 +68,7 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
     result.partitions_tried = arch.partitions_tried;
     result.total_nodes = arch.total_nodes;
     result.stop = arch.stop;
+    result.search_mode = arch.search_mode;
     result.certificate = arch.certificate;
   } else {
     const TamProblem problem =
@@ -124,6 +125,7 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
     result.partitions_tried = 1;
     result.total_nodes = solved.nodes;
     result.stop = solved.stop;
+    result.search_mode = solved.search_mode;
     if (!have_certificate) {
       if (!result.feasible) {
         result.certificate = certify_infeasible(

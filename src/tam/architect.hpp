@@ -68,6 +68,9 @@ struct DesignResult {
   long long total_nodes = 0;
   /// Why the solve stopped early; kNone for a run to completion.
   StopReason stop = StopReason::kNone;
+  /// Execution strategy of the solve that produced the winning assignment
+  /// (serial/parallel for exact searches, kNone for heuristics).
+  SearchMode search_mode = SearchMode::kNone;
   /// Quality certificate for the returned architecture (docs/robustness.md).
   SolveCertificate certificate;
 };

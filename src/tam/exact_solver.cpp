@@ -2,31 +2,48 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdint>
 #include <limits>
 #include <mutex>
-#include <numeric>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
 #include "runtime/failpoint.hpp"
+#include "tam/search_core.hpp"
 
 namespace soctest {
 
+const char* search_mode_name(SearchMode mode) {
+  switch (mode) {
+    case SearchMode::kSerial:
+      return "serial";
+    case SearchMode::kParallel:
+      return "parallel";
+    case SearchMode::kNone:
+      break;
+  }
+  return "-";
+}
+
 namespace {
 
-constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max();
+using exactcore::CoreTables;
+using exactcore::kInfCycles;
 
-/// A unit of assignment: either a single unconstrained core or a contracted
-/// power co-assignment group.
-struct Item {
-  std::vector<std::size_t> cores;
-  std::vector<Cycles> time;       // per bus; kInfCycles when not allowed
-  std::vector<long long> wire;    // per bus
-  Cycles min_time = 0;            // over allowed buses
-  long long min_wire = 0;         // over allowed buses
-  double max_power = 0.0;         // max member power (bus-max-sum constraint)
-};
+/// Parallel crossover default: with threads > 1 the serial probe runs first,
+/// capped at this many nodes; instances that finish inside the cap skip the
+/// root-splitting machinery (whose setup + witness overhead used to make
+/// speedup_mt < 1 on small table6 cells).
+constexpr long long kDefaultSerialThreshold = 200'000;
+/// Discrepancy budget of the incumbent probe (see Search::lds).
+constexpr int kProbeDiscrepancies = 2;
+/// Unbudgeted subtree searches batch their shared node-counter updates to
+/// keep the hot path off a contended atomic.
+constexpr long long kSharedNodeBatch = 64;
 
 /// State shared by the subtree searches of one parallel solve: the incumbent
 /// makespan (read every node for pruning — a bound found in one subtree
@@ -38,62 +55,81 @@ struct SharedSearchState {
   /// StopReason of the first subtree that aborted (int-encoded).
   std::atomic<int> stop_reason{0};
   std::mutex mu;
-  Cycles best_value = kInfCycles;     // guarded by mu
-  std::vector<int> best_item_bus;     // guarded by mu
+  Cycles best_value = kInfCycles;  // guarded by mu
+  std::vector<int> best_item_bus;  // guarded by mu
 };
 
+/// One search over the shared SoA tables. All per-node state is flat and
+/// incrementally maintained (loads, running max, total, the
+/// Lagrangian-weighted load, wire, power), candidate buses come from a
+/// branch-free bitset kernel into preallocated per-depth scratch, and undo
+/// is O(1) via per-depth frames — the node path performs no heap allocation
+/// and no rescan of the partial assignment.
 struct Search {
   const TamProblem& problem;
   const ExactSolverOptions& options;
-  std::vector<Item> items;
-  std::vector<int> bus_class;          // symmetry equivalence class per bus
-  std::vector<Cycles> load;            // current per-bus load
-  std::vector<int> item_bus;           // current assignment (item -> bus)
-  std::vector<Cycles> suffix_min_sum;  // Σ min_time over items [k..)
-  std::vector<long long> suffix_min_wire;
+  const CoreTables& t;
+
+  std::vector<Cycles> load;
+  std::vector<double> bus_max_power;
+  std::vector<int> item_bus;
+  std::uint64_t empty_mask = 0;  // masked mode: bit j = bus j still empty
+  Cycles max_load = 0;
+  Cycles total_load = 0;
+  double lambda_load = 0.0;  // sum_j lambda_j * load_j
   long long wire_used = 0;
+  double power_sum = 0.0;
+
+  /// Per-depth candidate scratch: num_items slices of num_buses
+  /// (resulting-key, bus) pairs, insertion-sorted in place.
+  std::vector<std::pair<long long, int>> cand;
+  struct Frame {
+    Cycles prev_max;
+    double prev_lambda;
+    double prev_bus_power;
+    double prev_power_sum;
+  };
+  std::vector<Frame> frames;             // per depth
+  std::vector<char> class_seen;          // unmasked fallback scratch
+
   long long nodes = 0;
+  long long node_cap = -1;  ///< local budget (options.max_nodes by default)
   bool aborted = false;
   // Per-search observability tallies (plain increments on the node path,
-  // batched into the obs counters by flush_metrics()).
+  // batched into the obs counters by finish()).
   long long leaves = 0;
   long long pruned_bound = 0;
+  long long pruned_lagrangian = 0;
   long long incumbents = 0;
-  // Bus-max-sum power constraint state.
-  std::vector<double> bus_max_power;
-  double power_sum = 0.0;
 
   // Parallel / cooperative-cancellation hooks. When `shared` is set this
   // Search explores one root subtree: incumbent reads/updates and the node
   // budget go through the shared state instead of the local fields.
   SharedSearchState* shared = nullptr;
+  long long shared_pending = 0;
   // Composes the options' deadline, cancellation token, and the
   // tam.exact.node failpoint into one sticky per-node poll.
   StopCheck stop_check;
   StopReason stop_reason = StopReason::kNone;
   // Witness mode: unwind as soon as one incumbent is recorded (used to
-  // re-derive the deterministic optimal assignment after a parallel proof).
+  // re-derive the deterministic optimal assignment after the proof phase).
   bool stop_on_first_incumbent = false;
   bool stop_now = false;
-
-  bool power_constrained() const { return problem.bus_power_budget >= 0; }
-
-  /// Increase of Σ_j max power if `item` joins bus j.
-  double power_delta(std::size_t j, const Item& item) const {
-    return std::max(bus_max_power[j], item.max_power) - bus_max_power[j];
-  }
-
-  bool power_ok(std::size_t j, const Item& item) const {
-    return !power_constrained() ||
-           power_sum + power_delta(j, item) <= problem.bus_power_budget + 1e-9;
-  }
+  // True while the LDS probe is running; record_leaf() uses it to remember
+  // where the final incumbent came from. When the exhaustive DFS made the
+  // last strict improvement, its leaf is already the canonical witness (the
+  // DFS visits leaves in canonical order), so the witness pass is skipped.
+  bool in_probe = false;
+  bool best_from_probe = false;
 
   Cycles best = kInfCycles;
   std::vector<int> best_item_bus;
 
-  explicit Search(const TamProblem& p, const ExactSolverOptions& o)
+  Search(const TamProblem& p, const ExactSolverOptions& o, const CoreTables& c)
       : problem(p),
         options(o),
+        t(c),
+        node_cap(o.max_nodes),
         stop_check(o.deadline, o.cancel, failpoint::sites::kExactNode) {}
 
   /// Incumbent used for pruning: the racing shared bound in parallel mode.
@@ -115,17 +151,12 @@ struct Search {
   }
 
   /// Per-node bookkeeping: node counting, the node budget (global in
-  /// parallel mode), and the deadline/cancellation/failpoint stop check.
-  /// Returns false when the search must unwind.
+  /// parallel mode, batched when unbudgeted), and the
+  /// deadline/cancellation/failpoint stop check. Returns false when the
+  /// search must unwind.
   bool enter_node() {
     ++nodes;
     if (shared) {
-      const long long total =
-          shared->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (options.max_nodes >= 0 && total > options.max_nodes) {
-        abort_with(StopReason::kNodeBudget);
-        return false;
-      }
       if (shared->aborted.load(std::memory_order_relaxed)) {
         aborted = true;
         if (stop_reason == StopReason::kNone) {
@@ -134,7 +165,19 @@ struct Search {
         }
         return false;
       }
-    } else if (options.max_nodes >= 0 && nodes > options.max_nodes) {
+      ++shared_pending;
+      if (node_cap >= 0 || shared_pending >= kSharedNodeBatch) {
+        const long long total =
+            shared->nodes.fetch_add(shared_pending,
+                                    std::memory_order_relaxed) +
+            shared_pending;
+        shared_pending = 0;
+        if (node_cap >= 0 && total > node_cap) {
+          abort_with(StopReason::kNodeBudget);
+          return false;
+        }
+      }
+    } else if (node_cap >= 0 && nodes > node_cap) {
       abort_with(StopReason::kNodeBudget);
       return false;
     }
@@ -145,168 +188,161 @@ struct Search {
     return true;
   }
 
-  void setup(std::size_t num_buses) {
-    load.assign(num_buses, 0);
-    bus_max_power.assign(num_buses, 0.0);
-    item_bus.assign(items.size(), -1);
+  void setup() {
+    load.assign(t.num_buses, 0);
+    bus_max_power.assign(t.num_buses, 0.0);
+    item_bus.assign(t.num_items, -1);
+    cand.resize(t.num_items * t.num_buses);
+    frames.resize(t.num_items);
+    if (!t.masked) {
+      class_seen.resize(t.num_items *
+                        static_cast<std::size_t>(t.num_classes));
+    }
+    empty_mask = !t.masked ? 0
+                 : t.num_buses == 64
+                     ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << t.num_buses) - 1;
+    max_load = 0;
+    total_load = 0;
+    lambda_load = 0.0;
     wire_used = 0;
     power_sum = 0.0;
   }
 
-  void build_items() {
-    const std::size_t n = problem.num_cores();
-    const std::size_t b = problem.num_buses();
-    std::vector<char> grouped(n, 0);
-    auto make_item = [&](std::vector<std::size_t> cores) {
-      Item item;
-      item.cores = std::move(cores);
-      item.time.assign(b, 0);
-      item.wire.assign(b, 0);
-      for (std::size_t j = 0; j < b; ++j) {
-        bool ok = true;
-        for (std::size_t core : item.cores) {
-          if (!problem.allowed[core][j]) {
-            ok = false;
-            break;
-          }
-          item.time[j] += problem.time[core][j];
-          if (!problem.wire_cost.empty()) {
-            item.wire[j] += problem.wire_cost[core][j];
-          }
-        }
-        if (!ok) item.time[j] = kInfCycles;
-      }
-      item.min_time = kInfCycles;
-      item.min_wire = std::numeric_limits<long long>::max();
-      for (std::size_t j = 0; j < b; ++j) {
-        if (item.time[j] == kInfCycles) continue;
-        item.min_time = std::min(item.min_time, item.time[j]);
-        item.min_wire = std::min(item.min_wire, item.wire[j]);
-      }
-      if (!problem.core_power_mw.empty()) {
-        for (std::size_t core : item.cores) {
-          item.max_power = std::max(item.max_power, problem.core_power_mw[core]);
-        }
-      }
-      return item;
-    };
-    for (const auto& group : problem.co_groups) {
-      for (std::size_t core : group) grouped[core] = 1;
-      items.push_back(make_item(group));
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!grouped[i]) items.push_back(make_item({i}));
-    }
-    // Big items first: decisions with the largest impact near the root.
-    std::sort(items.begin(), items.end(), [](const Item& a, const Item& b2) {
-      return a.min_time > b2.min_time;
-    });
-
-    suffix_min_sum.assign(items.size() + 1, 0);
-    suffix_min_wire.assign(items.size() + 1, 0);
-    for (std::size_t k = items.size(); k-- > 0;) {
-      suffix_min_sum[k] = suffix_min_sum[k + 1] +
-                          (items[k].min_time == kInfCycles ? 0 : items[k].min_time);
-      suffix_min_wire[k] =
-          suffix_min_wire[k + 1] +
-          (items[k].min_wire == std::numeric_limits<long long>::max()
-               ? 0
-               : items[k].min_wire);
-    }
+  double power_delta(std::size_t j, std::size_t k) const {
+    return std::max(bus_max_power[j], t.max_power[k]) - bus_max_power[j];
   }
 
-  void build_bus_classes() {
-    const std::size_t b = problem.num_buses();
-    bus_class.assign(b, -1);
-    int next_class = 0;
-    for (std::size_t j = 0; j < b; ++j) {
-      if (bus_class[j] >= 0) continue;
-      bus_class[j] = next_class;
-      for (std::size_t j2 = j + 1; j2 < b; ++j2) {
-        if (bus_class[j2] >= 0) continue;
-        bool same = true;
-        for (const auto& item : items) {
-          if (item.time[j] != item.time[j2] || item.wire[j] != item.wire[j2]) {
-            same = false;
-            break;
-          }
-        }
-        if (same) bus_class[j2] = next_class;
-      }
-      ++next_class;
-    }
+  bool power_ok(std::size_t j, std::size_t k) const {
+    return !t.has_power ||
+           power_sum + power_delta(j, k) <= problem.bus_power_budget + 1e-9;
   }
 
-  /// Lower bound on the final makespan from a partial assignment of the
-  /// first `k` items. Strength depends on options.bound_mode (ablation A2).
-  Cycles bound(std::size_t k) const {
-    if (options.bound_mode == BoundMode::kNone) return 0;
-    Cycles max_load = 0;
-    Cycles total_load = 0;
-    for (Cycles l : load) {
-      max_load = std::max(max_load, l);
-      total_load += l;
+  void apply(std::size_t k, std::size_t j) {
+    Frame& f = frames[k];
+    f.prev_max = max_load;
+    f.prev_lambda = lambda_load;
+    if (t.has_power) {
+      f.prev_power_sum = power_sum;
+      f.prev_bus_power = bus_max_power[j];
+      power_sum += power_delta(j, k);
+      bus_max_power[j] = std::max(bus_max_power[j], t.max_power[k]);
     }
-    if (options.bound_mode == BoundMode::kLoadOnly) return max_load;
-    const auto b = static_cast<Cycles>(problem.num_buses());
-    const Cycles spread = (total_load + suffix_min_sum[k] + b - 1) / b;
-    Cycles item_min = 0;
-    if (k < items.size() && items[k].min_time != kInfCycles) {
-      item_min = items[k].min_time;  // items sorted desc: first is largest
-    }
-    return std::max({max_load, spread, item_min});
-  }
-
-  /// Candidate buses for item `k` in the makespan search: allowed buses,
-  /// at most one empty bus per symmetry class, ordered by resulting load.
-  /// A pure function of the current partial assignment, so the serial DFS,
-  /// the root-prefix enumeration, and the subtree searches all branch
-  /// identically.
-  std::vector<std::size_t> makespan_candidates(std::size_t k) const {
-    const Item& item = items[k];
-    std::vector<std::size_t> candidates;
-    std::vector<char> class_used(static_cast<std::size_t>(problem.num_buses()), 0);
-    for (std::size_t j = 0; j < problem.num_buses(); ++j) {
-      if (item.time[j] == kInfCycles) continue;
-      if (load[j] == 0) {
-        const auto cls = static_cast<std::size_t>(bus_class[j]);
-        if (class_used[cls]) continue;
-        class_used[cls] = 1;
-      }
-      candidates.push_back(j);
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [&](std::size_t a, std::size_t b2) {
-                return load[a] + item.time[a] < load[b2] + item.time[b2];
-              });
-    return candidates;
-  }
-
-  /// Applies one assignment step without the save/restore bookkeeping (used
-  /// to replay a root prefix into a fresh Search).
-  void apply_assignment(std::size_t k, std::size_t j) {
-    const Item& item = items[k];
-    if (power_constrained()) {
-      power_sum += power_delta(j, item);
-      bus_max_power[j] = std::max(bus_max_power[j], item.max_power);
-    }
-    load[j] += item.time[j];
-    wire_used += item.wire[j];
+    const Cycles cycles = t.time_at(k, j);
+    if (t.masked && load[j] == 0) empty_mask &= ~(std::uint64_t{1} << j);
+    load[j] += cycles;
+    max_load = std::max(max_load, load[j]);
+    total_load += cycles;
+    lambda_load += t.lambda_time[k * t.num_buses + j];
+    wire_used += t.wire_at(k, j);
     item_bus[k] = static_cast<int>(j);
+  }
+
+  void undo(std::size_t k, std::size_t j) {
+    const Frame& f = frames[k];
+    item_bus[k] = -1;
+    wire_used -= t.wire_at(k, j);
+    lambda_load = f.prev_lambda;  // restore by value: no FP drift
+    const Cycles cycles = t.time_at(k, j);
+    total_load -= cycles;
+    max_load = f.prev_max;
+    load[j] -= cycles;
+    if (t.masked && load[j] == 0) empty_mask |= std::uint64_t{1} << j;
+    if (t.has_power) {
+      bus_max_power[j] = f.prev_bus_power;
+      power_sum = f.prev_power_sum;
+    }
   }
 
   void replay_prefix(const std::vector<int>& prefix) {
     for (std::size_t k = 0; k < prefix.size(); ++k) {
-      apply_assignment(k, static_cast<std::size_t>(prefix[k]));
+      apply(k, static_cast<std::size_t>(prefix[k]));
     }
   }
 
-  void record_leaf(Cycles max_load) {
+  /// The bound hierarchy at depth k, cheapest tier first, all O(1) off the
+  /// incrementally maintained aggregates:
+  ///   1. current max bus load,
+  ///   2. remaining-work spread ceil((total + suffix_min) / B),
+  ///   3. largest remaining single item,
+  ///   4. the Lagrangian relaxation sum_j lambda_j load_j + lambda_suffix[k].
+  /// Returns true when the node is pruned (bound tally updated) or the wire
+  /// budget is already unreachable.
+  bool prune_node(std::size_t k) {
+    if (options.bound_mode != BoundMode::kNone) {
+      const Cycles cur = current_best();
+      Cycles classic = max_load;
+      Cycles lag = 0;
+      if (options.bound_mode == BoundMode::kFull) {
+        const auto b = static_cast<Cycles>(t.num_buses);
+        const Cycles spread = (total_load + t.suffix_min_time[k] + b - 1) / b;
+        const Cycles item_min =
+            t.min_time[k] == kInfCycles ? 0 : t.min_time[k];
+        classic = std::max({classic, spread, item_min});
+        lag = exactcore::lagrangian_ceil(lambda_load + t.lambda_suffix[k]);
+      }
+      if (std::max(classic, lag) >= cur) {
+        ++pruned_bound;
+        if (classic < cur) ++pruned_lagrangian;  // the new tier was binding
+        return true;
+      }
+    }
+    if (problem.wire_budget >= 0 &&
+        wire_used + t.suffix_min_wire[k] > problem.wire_budget) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Fills this depth's candidate slice with (resulting load, bus) pairs —
+  /// allowed buses, at most one empty bus per symmetry class — and
+  /// insertion-sorts it ascending. The (load, bus-index) order is the
+  /// canonical branching order every phase shares; it is a pure function of
+  /// the partial assignment, which is what makes the witness pass
+  /// thread-count invariant.
+  std::size_t build_candidates(std::size_t k) {
+    auto* slice = cand.data() + k * t.num_buses;
+    const Cycles* row = t.time.data() + k * t.num_buses;
+    std::size_t m = 0;
+    if (t.masked) {
+      std::uint64_t mask = exactcore::candidate_mask(t, t.allowed[k], empty_mask);
+      while (mask != 0) {
+        const int j = std::countr_zero(mask);
+        mask &= mask - 1;
+        slice[m++] = {load[static_cast<std::size_t>(j)] + row[j], j};
+      }
+    } else {
+      char* seen =
+          class_seen.data() + k * static_cast<std::size_t>(t.num_classes);
+      std::fill_n(seen, t.num_classes, char{0});
+      for (std::size_t j = 0; j < t.num_buses; ++j) {
+        if (row[j] == kInfCycles) continue;
+        if (load[j] == 0) {
+          const auto cls = static_cast<std::size_t>(t.bus_class[j]);
+          if (seen[cls]) continue;
+          seen[cls] = 1;
+        }
+        slice[m++] = {load[j] + row[j], static_cast<int>(j)};
+      }
+    }
+    for (std::size_t i = 1; i < m; ++i) {
+      const auto key = slice[i];
+      std::size_t p = i;
+      while (p > 0 && key < slice[p - 1]) {
+        slice[p] = slice[p - 1];
+        --p;
+      }
+      slice[p] = key;
+    }
+    return m;
+  }
+
+  void record_leaf(Cycles value) {
     if (shared) {
       Cycles cur = shared->best.load(std::memory_order_relaxed);
       bool improved = false;
-      while (max_load < cur) {
-        if (shared->best.compare_exchange_weak(cur, max_load,
+      while (value < cur) {
+        if (shared->best.compare_exchange_weak(cur, value,
                                                std::memory_order_relaxed)) {
           improved = true;
           break;
@@ -314,17 +350,18 @@ struct Search {
       }
       if (improved) {
         std::lock_guard<std::mutex> lock(shared->mu);
-        if (max_load < shared->best_value) {
-          shared->best_value = max_load;
+        if (value < shared->best_value) {
+          shared->best_value = value;
           shared->best_item_bus = item_bus;
         }
-        note_incumbent(max_load);
+        note_incumbent(value);
       }
-    } else if (max_load < best) {
-      best = max_load;
+    } else if (value < best) {
+      best = value;
       best_item_bus = item_bus;
+      best_from_probe = in_probe;
       if (stop_on_first_incumbent) stop_now = true;
-      note_incumbent(max_load);
+      note_incumbent(value);
     }
   }
 
@@ -339,14 +376,84 @@ struct Search {
     }
   }
 
-  /// Batches the search's tallies into the global counters; call once when
-  /// a dfs/dfs_wire run finishes (per subtree task in parallel mode).
-  void flush_metrics() const {
+  /// Flushes the batched shared node count and the search's tallies into
+  /// the global counters; call once when a dfs/lds/dfs_wire run finishes
+  /// (per subtree task in parallel mode).
+  void finish() {
+    if (shared && shared_pending > 0) {
+      shared->nodes.fetch_add(shared_pending, std::memory_order_relaxed);
+      shared_pending = 0;
+    }
     if (!obs::enabled()) return;
     obs::counter("tam.exact.nodes").add(nodes);
     obs::counter("tam.exact.leaves").add(leaves);
     obs::counter("tam.exact.pruned_bound").add(pruned_bound);
+    obs::counter("tam.exact.pruned_lagrangian").add(pruned_lagrangian);
     obs::counter("tam.exact.incumbents").add(incumbents);
+    nodes = leaves = pruned_bound = pruned_lagrangian = incumbents = 0;
+  }
+
+  void dfs(std::size_t k) {
+    if (aborted || stop_now) return;
+    if (!enter_node()) return;
+    if (k == t.num_items) {
+      ++leaves;
+      record_leaf(max_load);
+      return;
+    }
+    if (prune_node(k)) return;
+    const std::size_t m = build_candidates(k);
+    const auto* slice = cand.data() + k * t.num_buses;
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      // Sorted ascending: once one resulting load reaches the incumbent,
+      // every later candidate does too.
+      if (slice[idx].first >= current_best()) break;
+      const auto j = static_cast<std::size_t>(slice[idx].second);
+      if (problem.wire_budget >= 0 &&
+          wire_used + t.wire_at(k, j) + t.suffix_min_wire[k + 1] >
+              problem.wire_budget) {
+        continue;
+      }
+      if (!power_ok(j, k)) continue;
+      apply(k, j);
+      dfs(k + 1);
+      undo(k, j);
+      if (aborted || stop_now) return;
+    }
+  }
+
+  /// Limited-discrepancy probe: explores only branchings that deviate from
+  /// the greedy (lowest-resulting-load) candidate at most `budget` ranks in
+  /// total, reaching near-greedy leaves — and hence a strong incumbent —
+  /// within O(n^2) nodes before the exhaustive proof starts. Shares every
+  /// pruning rule with dfs(), so probe + proof never revisit work the other
+  /// already cut.
+  void lds(std::size_t k, int budget) {
+    if (aborted || stop_now) return;
+    if (!enter_node()) return;
+    if (k == t.num_items) {
+      ++leaves;
+      record_leaf(max_load);
+      return;
+    }
+    if (prune_node(k)) return;
+    const std::size_t m = build_candidates(k);
+    const auto* slice = cand.data() + k * t.num_buses;
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      if (static_cast<int>(idx) > budget) break;  // discrepancy cost = rank
+      if (slice[idx].first >= current_best()) break;
+      const auto j = static_cast<std::size_t>(slice[idx].second);
+      if (problem.wire_budget >= 0 &&
+          wire_used + t.wire_at(k, j) + t.suffix_min_wire[k + 1] >
+              problem.wire_budget) {
+        continue;
+      }
+      if (!power_ok(j, k)) continue;
+      apply(k, j);
+      lds(k + 1, budget - static_cast<int>(idx));
+      undo(k, j);
+      if (aborted || stop_now) return;
+    }
   }
 
   // Secondary-objective search: minimize total wire cost subject to
@@ -357,7 +464,7 @@ struct Search {
   void dfs_wire(std::size_t k) {
     if (aborted) return;
     if (!enter_node()) return;
-    if (k == items.size()) {
+    if (k == t.num_items) {
       ++leaves;
       if (wire_used < best_wire) {
         best_wire = wire_used;
@@ -366,111 +473,67 @@ struct Search {
       }
       return;
     }
-    if (wire_used + suffix_min_wire[k] >= best_wire) {
+    if (wire_used + t.suffix_min_wire[k] >= best_wire) {
       ++pruned_bound;
       return;
     }
     if (problem.wire_budget >= 0 &&
-        wire_used + suffix_min_wire[k] > problem.wire_budget) {
+        wire_used + t.suffix_min_wire[k] > problem.wire_budget) {
       return;
     }
-    const Item& item = items[k];
-    std::vector<std::size_t> candidates;
-    std::vector<char> class_used(static_cast<std::size_t>(problem.num_buses()), 0);
-    for (std::size_t j = 0; j < problem.num_buses(); ++j) {
-      if (item.time[j] == kInfCycles) continue;
-      if (load[j] + item.time[j] > makespan_cap) continue;
-      if (load[j] == 0) {
-        const auto cls = static_cast<std::size_t>(bus_class[j]);
-        if (class_used[cls]) continue;
-        class_used[cls] = 1;
+    // Candidates keyed by wire cost (cheapest first: reach low-cost
+    // incumbents early), capped by the makespan bound.
+    auto* slice = cand.data() + k * t.num_buses;
+    const Cycles* row = t.time.data() + k * t.num_buses;
+    const long long* wire_row = t.wire.data() + k * t.num_buses;
+    std::size_t m = 0;
+    if (t.masked) {
+      std::uint64_t mask = exactcore::candidate_mask(t, t.allowed[k], empty_mask);
+      while (mask != 0) {
+        const int j = std::countr_zero(mask);
+        mask &= mask - 1;
+        if (load[static_cast<std::size_t>(j)] + row[j] > makespan_cap) continue;
+        slice[m++] = {wire_row[j], j};
       }
-      candidates.push_back(j);
+    } else {
+      char* seen =
+          class_seen.data() + k * static_cast<std::size_t>(t.num_classes);
+      std::fill_n(seen, t.num_classes, char{0});
+      for (std::size_t j = 0; j < t.num_buses; ++j) {
+        if (row[j] == kInfCycles) continue;
+        if (load[j] + row[j] > makespan_cap) continue;
+        if (load[j] == 0) {
+          const auto cls = static_cast<std::size_t>(t.bus_class[j]);
+          if (seen[cls]) continue;
+          seen[cls] = 1;
+        }
+        slice[m++] = {wire_row[j], static_cast<int>(j)};
+      }
     }
-    // Cheapest wire first: reach low-cost incumbents early.
-    std::sort(candidates.begin(), candidates.end(),
-              [&](std::size_t a, std::size_t b2) {
-                return item.wire[a] < item.wire[b2];
-              });
-    for (std::size_t j : candidates) {
-      if (wire_used + item.wire[j] + suffix_min_wire[k + 1] >= best_wire) {
+    for (std::size_t i = 1; i < m; ++i) {
+      const auto key = slice[i];
+      std::size_t p = i;
+      while (p > 0 && key < slice[p - 1]) {
+        slice[p] = slice[p - 1];
+        --p;
+      }
+      slice[p] = key;
+    }
+    for (std::size_t idx = 0; idx < m; ++idx) {
+      const auto j = static_cast<std::size_t>(slice[idx].second);
+      if (wire_used + wire_row[j] + t.suffix_min_wire[k + 1] >= best_wire) {
         continue;
       }
       if (problem.wire_budget >= 0 &&
-          wire_used + item.wire[j] + suffix_min_wire[k + 1] >
+          wire_used + wire_row[j] + t.suffix_min_wire[k + 1] >
               problem.wire_budget) {
         continue;
       }
-      if (!power_ok(j, item)) continue;
-      const double saved_max = power_constrained() ? bus_max_power[j] : 0.0;
-      const double saved_sum = power_sum;
-      if (power_constrained()) {
-        power_sum += power_delta(j, item);
-        bus_max_power[j] = std::max(bus_max_power[j], item.max_power);
-      }
-      load[j] += item.time[j];
-      wire_used += item.wire[j];
-      item_bus[k] = static_cast<int>(j);
+      if (!power_ok(j, k)) continue;
+      apply(k, j);
       dfs_wire(k + 1);
-      item_bus[k] = -1;
-      wire_used -= item.wire[j];
-      load[j] -= item.time[j];
-      if (power_constrained()) {
-        bus_max_power[j] = saved_max;
-        power_sum = saved_sum;
-      }
+      undo(k, j);
       if (aborted) return;
-    }
-  }
-
-  void dfs(std::size_t k) {
-    if (aborted || stop_now) return;
-    if (!enter_node()) return;
-    if (k == items.size()) {
-      Cycles max_load = 0;
-      for (Cycles l : load) max_load = std::max(max_load, l);
-      ++leaves;
-      record_leaf(max_load);
-      return;
-    }
-    if (bound(k) >= current_best()) {
-      ++pruned_bound;
-      return;
-    }
-    if (problem.wire_budget >= 0 &&
-        wire_used + suffix_min_wire[k] > problem.wire_budget) {
-      return;
-    }
-    const Item& item = items[k];
-    // Candidate buses ordered by resulting load (fail-fast toward good
-    // incumbents); symmetry: at most one empty bus per equivalence class.
-    const std::vector<std::size_t> candidates = makespan_candidates(k);
-    for (std::size_t j : candidates) {
-      if (load[j] + item.time[j] >= current_best()) continue;
-      if (problem.wire_budget >= 0 &&
-          wire_used + item.wire[j] + suffix_min_wire[k + 1] >
-              problem.wire_budget) {
-        continue;
-      }
-      if (!power_ok(j, item)) continue;
-      const double saved_max = power_constrained() ? bus_max_power[j] : 0.0;
-      const double saved_sum = power_sum;
-      if (power_constrained()) {
-        power_sum += power_delta(j, item);
-        bus_max_power[j] = std::max(bus_max_power[j], item.max_power);
-      }
-      load[j] += item.time[j];
-      wire_used += item.wire[j];
-      item_bus[k] = static_cast<int>(j);
-      dfs(k + 1);
-      item_bus[k] = -1;
-      wire_used -= item.wire[j];
-      load[j] -= item.time[j];
-      if (power_constrained()) {
-        bus_max_power[j] = saved_max;
-        power_sum = saved_sum;
-      }
-      if (aborted || stop_now) return;
     }
   }
 };
@@ -491,8 +554,7 @@ Cycles initial_pruning_bound(const TamProblem& problem,
   return best;
 }
 
-TamSolveResult assemble_result(const TamProblem& problem,
-                               const std::vector<Item>& items,
+TamSolveResult assemble_result(const TamProblem& problem, const CoreTables& t,
                                const std::vector<int>& item_bus,
                                long long nodes, bool proved_optimal) {
   TamSolveResult result;
@@ -500,8 +562,8 @@ TamSolveResult assemble_result(const TamProblem& problem,
   result.feasible = true;
   result.proved_optimal = proved_optimal;
   result.assignment.core_to_bus.assign(problem.num_cores(), -1);
-  for (std::size_t k = 0; k < items.size(); ++k) {
-    for (std::size_t core : items[k].cores) {
+  for (std::size_t k = 0; k < t.num_items; ++k) {
+    for (std::size_t core : t.item_cores[k]) {
       result.assignment.core_to_bus[core] = item_bus[k];
     }
   }
@@ -509,28 +571,140 @@ TamSolveResult assemble_result(const TamProblem& problem,
   return result;
 }
 
+/// Outcome of one serial probe-then-proof run.
+struct SerialRun {
+  Cycles best = kInfCycles;  ///< best found value, or the initial bound
+  std::vector<int> item_bus;
+  long long nodes = 0;
+  bool completed = false;  ///< exhausted the tree (proof of optimality)
+  /// True when item_bus is already the canonical witness (the exhaustive
+  /// DFS, not the probe, recorded the final incumbent).
+  bool canonical = false;
+  StopReason stop = StopReason::kNone;
+};
+
+/// The serial search: a limited-discrepancy probe dives to a near-greedy
+/// incumbent first (strong pruning bound from node ~n), then the exhaustive
+/// DFS proves optimality. `node_cap` bounds the two phases together (< 0 =
+/// options.max_nodes).
+SerialRun run_serial(const TamProblem& problem,
+                     const ExactSolverOptions& options, const CoreTables& t,
+                     long long node_cap) {
+  Search search(problem, options, t);
+  if (node_cap >= 0) search.node_cap = node_cap;
+  search.setup();
+  search.best = initial_pruning_bound(problem, options);
+  search.in_probe = true;
+  search.lds(0, kProbeDiscrepancies);
+  search.in_probe = false;
+  if (!search.aborted) search.dfs(0);
+  SerialRun run;
+  run.best = search.best;
+  run.item_bus = std::move(search.best_item_bus);
+  run.nodes = search.nodes;
+  run.completed = !search.aborted;
+  run.canonical = !search.best_from_probe;
+  run.stop = search.stop_reason;
+  search.finish();
+  return run;
+}
+
+/// Deterministic witness pass: re-derives the optimal assignment as the
+/// first leaf reaching the proven value T* in the canonical branching
+/// order, by searching with the exclusive cap T* + 1 and stopping at the
+/// first incumbent. Any admissible bound prunes nothing on that leaf's
+/// path, so the witness is independent of bound strength, probe order, and
+/// thread count — and provably equal to what the historical plain serial
+/// DFS returned. Bounded work, so it ignores node budget and deadline.
+std::vector<int> derive_witness(const TamProblem& problem,
+                                const ExactSolverOptions& options,
+                                const CoreTables& t, Cycles proven_best,
+                                long long* nodes_out) {
+  obs::Span witness_span("tam.exact.witness");
+  ExactSolverOptions witness_options = options;
+  witness_options.max_nodes = -1;
+  witness_options.threads = 1;
+  witness_options.cancel = nullptr;
+  witness_options.deadline = Deadline();
+  Search witness(problem, witness_options, t);
+  witness.setup();
+  witness.best = proven_best + 1;
+  witness.stop_on_first_incumbent = true;
+  witness.dfs(0);
+  witness.finish();
+  if (witness_span.active()) witness_span.arg({"nodes", witness.nodes});
+  *nodes_out += witness.nodes;
+  return std::move(witness.best_item_bus);
+}
+
+/// Turns a finished serial run into a TamSolveResult, deriving the witness
+/// assignment when the run proved optimality.
+TamSolveResult finish_serial(const TamProblem& problem,
+                             const ExactSolverOptions& options,
+                             const CoreTables& t, SerialRun run) {
+  TamSolveResult result;
+  result.nodes = run.nodes;
+  result.search_mode = SearchMode::kSerial;
+  if (run.item_bus.empty()) {
+    // Either truly infeasible or the node budget expired before any leaf.
+    result.feasible = false;
+    result.proved_optimal = run.completed;
+    result.stop = run.stop;
+    return result;
+  }
+  if (!run.completed) {
+    // Best-effort incumbent from an aborted search.
+    TamSolveResult partial =
+        assemble_result(problem, t, run.item_bus, run.nodes, false);
+    partial.stop = run.stop;
+    partial.search_mode = SearchMode::kSerial;
+    return partial;
+  }
+  std::vector<int> item_bus;
+  if (run.canonical) {
+    item_bus = std::move(run.item_bus);
+  } else {
+    item_bus = derive_witness(problem, options, t, run.best, &result.nodes);
+    if (item_bus.empty()) item_bus = std::move(run.item_bus);
+  }
+  TamSolveResult found =
+      assemble_result(problem, t, item_bus, result.nodes, true);
+  found.search_mode = SearchMode::kSerial;
+  return found;
+}
+
 /// Root-splitting parallel branch-and-bound. The first few levels of the
 /// assignment tree are enumerated into independent subtree prefixes, which a
 /// thread pool searches with a shared atomic incumbent (a bound found in one
 /// subtree prunes all others). Exactness: the prefix enumeration prunes only
-/// against the *initial* bound, so every assignment better than that bound
+/// against the *initial* bound (tightened by the crossover probe's incumbent,
+/// itself a valid upper bound), so every assignment better than that bound
 /// lives in exactly one subtree. Determinism: after the parallel phase
 /// proves the optimal makespan T*, the witness assignment is re-derived by a
 /// serial search capped at T*+1 stopping at its first incumbent — which is
 /// provably the same leaf the plain serial solver returns (optimal leaves
-/// survive every incumbent-pruning schedule, and DFS order is fixed).
+/// survive every incumbent-pruning schedule, and the canonical branching
+/// order is fixed).
 TamSolveResult solve_exact_parallel(const TamProblem& problem,
                                     const ExactSolverOptions& options,
-                                    int threads) {
+                                    const CoreTables& tables, int threads,
+                                    const SerialRun* probe) {
   obs::Span span("tam.exact.parallel",
                  {{"buses", problem.num_buses()}, {"threads", threads}});
-  const std::size_t b = problem.num_buses();
-  Search proto(problem, options);
-  proto.build_items();
-  proto.build_bus_classes();
-  proto.setup(b);
+  Search proto(problem, options, tables);
+  proto.setup();
 
-  const Cycles initial_best = initial_pruning_bound(problem, options);
+  Cycles initial_best = initial_pruning_bound(problem, options);
+  long long probe_nodes = 0;
+  const bool probe_found = probe != nullptr && !probe->item_bus.empty();
+  if (probe != nullptr) {
+    probe_nodes = probe->nodes;
+    if (probe_found) initial_best = std::min(initial_best, probe->best + 1);
+  }
+  long long remaining_budget = options.max_nodes;
+  if (remaining_budget >= 0) {
+    remaining_budget = std::max<long long>(0, remaining_budget - probe_nodes);
+  }
 
   // Enumerate root prefixes breadth-first until there is enough independent
   // work to keep the pool busy.
@@ -539,27 +713,27 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
   std::vector<std::vector<int>> frontier(1);
   std::size_t depth = 0;
   long long enum_nodes = 0;
-  while (depth < proto.items.size() && !frontier.empty() &&
+  while (depth < tables.num_items && !frontier.empty() &&
          frontier.size() < target) {
     std::vector<std::vector<int>> next;
     for (const auto& prefix : frontier) {
       ++enum_nodes;
-      proto.setup(b);
+      proto.setup();
+      proto.best = initial_best;
       proto.replay_prefix(prefix);
-      if (proto.bound(depth) >= initial_best) continue;
-      if (problem.wire_budget >= 0 &&
-          proto.wire_used + proto.suffix_min_wire[depth] > problem.wire_budget) {
-        continue;
-      }
-      const Item& item = proto.items[depth];
-      for (std::size_t j : proto.makespan_candidates(depth)) {
-        if (proto.load[j] + item.time[j] >= initial_best) continue;
+      if (proto.prune_node(depth)) continue;
+      const std::size_t m = proto.build_candidates(depth);
+      const auto* slice = proto.cand.data() + depth * tables.num_buses;
+      for (std::size_t idx = 0; idx < m; ++idx) {
+        if (slice[idx].first >= initial_best) break;
+        const auto j = static_cast<std::size_t>(slice[idx].second);
         if (problem.wire_budget >= 0 &&
-            proto.wire_used + item.wire[j] + proto.suffix_min_wire[depth + 1] >
+            proto.wire_used + tables.wire_at(depth, j) +
+                    tables.suffix_min_wire[depth + 1] >
                 problem.wire_budget) {
           continue;
         }
-        if (!proto.power_ok(j, item)) continue;
+        if (!proto.power_ok(j, depth)) continue;
         std::vector<int> extended = prefix;
         extended.push_back(static_cast<int>(j));
         next.push_back(std::move(extended));
@@ -573,33 +747,42 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
   if (span.active()) span.arg({"subtrees", frontier.size()});
 
   TamSolveResult result;
+  result.search_mode = SearchMode::kParallel;
   if (frontier.empty()) {
     // Every branch is pruned by the initial bound / structural constraints:
     // proven infeasible (within the warm-start bound, matching the serial
-    // solver's contract).
+    // solver's contract). Unreachable when the probe holds an incumbent.
     result.feasible = false;
     result.proved_optimal = true;
-    result.nodes = enum_nodes;
+    result.nodes = probe_nodes + enum_nodes;
     return result;
   }
 
   SharedSearchState shared;
   shared.best.store(initial_best, std::memory_order_relaxed);
+  if (probe_found) {
+    // Seed the probe's incumbent as the fallback assignment: equal-value
+    // parallel leaves won't displace it, and an aborted parallel phase
+    // still returns it.
+    shared.best_value = probe->best;
+    shared.best_item_bus = probe->item_bus;
+  }
   {
     ThreadPool pool(static_cast<std::size_t>(threads));
     for (const auto& prefix : frontier) {
-      pool.post([&problem, &options, &shared, prefix, b] {
+      pool.post([&problem, &options, &tables, &shared, prefix,
+                 remaining_budget] {
         obs::Span subtree_span("tam.exact.subtree",
                                {{"prefix_depth", prefix.size()}});
-        Search search(problem, options);
-        search.build_items();
-        search.build_bus_classes();
-        search.setup(b);
+        Search search(problem, options, tables);
+        search.node_cap = remaining_budget;
+        search.setup();
         search.shared = &shared;
         search.replay_prefix(prefix);
         search.dfs(prefix.size());
-        search.flush_metrics();
-        if (subtree_span.active()) subtree_span.arg({"nodes", search.nodes});
+        const long long subtree_nodes = search.nodes;
+        search.finish();
+        if (subtree_span.active()) subtree_span.arg({"nodes", subtree_nodes});
       });
     }
     pool.wait_all();
@@ -608,7 +791,8 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
   const bool aborted = shared.aborted.load(std::memory_order_relaxed);
   const auto shared_stop = static_cast<StopReason>(
       shared.stop_reason.load(std::memory_order_relaxed));
-  result.nodes = enum_nodes + shared.nodes.load(std::memory_order_relaxed);
+  result.nodes = probe_nodes + enum_nodes +
+                 shared.nodes.load(std::memory_order_relaxed);
   if (shared.best_item_bus.empty()) {
     // Either truly infeasible or the node budget / deadline / cancellation
     // expired before any leaf.
@@ -621,34 +805,19 @@ TamSolveResult solve_exact_parallel(const TamProblem& problem,
     // Best-effort incumbent; which subtree supplied it is timing-dependent,
     // exactly like an aborted serial search is cutoff-dependent.
     TamSolveResult partial = assemble_result(
-        problem, proto.items, shared.best_item_bus, result.nodes, false);
+        problem, tables, shared.best_item_bus, result.nodes, false);
     partial.stop = shared_stop;
+    partial.search_mode = SearchMode::kParallel;
     return partial;
   }
 
-  // Deterministic witness pass (see function comment).
-  obs::Span witness_span("tam.exact.witness");
-  ExactSolverOptions witness_options = options;
-  witness_options.max_nodes = -1;  // the proof already fit the budget
-  witness_options.threads = 1;
-  witness_options.cancel = nullptr;
-  // The witness pass must run to completion for determinism; it is bounded
-  // work (first incumbent at the proven optimum), so it ignores the deadline.
-  witness_options.deadline = Deadline();
-  Search witness(problem, witness_options);
-  witness.build_items();
-  witness.build_bus_classes();
-  witness.setup(b);
-  witness.best = shared.best_value + 1;
-  witness.stop_on_first_incumbent = true;
-  witness.dfs(0);
-  witness.flush_metrics();
-  if (witness_span.active()) witness_span.arg({"nodes", witness.nodes});
-  result.nodes += witness.nodes;
-  const std::vector<int>& item_bus = witness.best_item_bus.empty()
-                                         ? shared.best_item_bus
-                                         : witness.best_item_bus;
-  return assemble_result(problem, proto.items, item_bus, result.nodes, true);
+  std::vector<int> item_bus = derive_witness(problem, options, tables,
+                                             shared.best_value, &result.nodes);
+  if (item_bus.empty()) item_bus = shared.best_item_bus;
+  TamSolveResult found =
+      assemble_result(problem, tables, item_bus, result.nodes, true);
+  found.search_mode = SearchMode::kParallel;
+  return found;
 }
 
 }  // namespace
@@ -662,33 +831,35 @@ TamSolveResult solve_exact_min_wire(const TamProblem& problem,
   obs::Span span("tam.exact.min_wire",
                  {{"buses", problem.num_buses()},
                   {"makespan_cap", static_cast<long long>(makespan_cap)}});
+  const CoreTables tables = exactcore::build_core_tables(problem);
   TamSolveResult result;
-  Search search(problem, options);
-  search.build_items();
-  search.build_bus_classes();
-  search.setup(problem.num_buses());
+  Search search(problem, options, tables);
+  search.setup();
   search.makespan_cap = makespan_cap;
   if (problem.bus_depth_limit >= 0) {
     search.makespan_cap = std::min(search.makespan_cap, problem.bus_depth_limit);
   }
   search.dfs_wire(0);
-  search.flush_metrics();
+  const long long nodes = search.nodes;
+  const bool aborted = search.aborted;
+  search.finish();
   if (span.active()) {
-    span.arg({"nodes", search.nodes});
-    span.arg({"proved", !search.aborted});
+    span.arg({"nodes", nodes});
+    span.arg({"proved", !aborted});
   }
 
-  result.nodes = search.nodes;
+  result.nodes = nodes;
+  result.search_mode = SearchMode::kSerial;
   if (search.best_item_bus.empty()) {
     result.feasible = false;
-    result.proved_optimal = !search.aborted;
+    result.proved_optimal = !aborted;
     result.stop = search.stop_reason;
     return result;
   }
-  TamSolveResult found = assemble_result(problem, search.items,
-                                         search.best_item_bus, search.nodes,
-                                         !search.aborted);
+  TamSolveResult found = assemble_result(problem, tables,
+                                         search.best_item_bus, nodes, !aborted);
   found.stop = search.stop_reason;
+  found.search_mode = SearchMode::kSerial;
   return found;
 }
 
@@ -703,6 +874,7 @@ TamSolveResult solve_exact_lex(const TamProblem& problem,
   secondary.proved_optimal =
       primary.proved_optimal && secondary.proved_optimal;
   if (secondary.stop == StopReason::kNone) secondary.stop = primary.stop;
+  secondary.search_mode = primary.search_mode;
   return secondary;
 }
 
@@ -710,36 +882,55 @@ TamSolveResult solve_exact(const TamProblem& problem,
                            const ExactSolverOptions& options) {
   const int threads =
       options.threads == 1 ? 1 : resolve_thread_count(options.threads);
-  if (threads > 1) return solve_exact_parallel(problem, options, threads);
+  obs::Span span("tam.exact.solve",
+                 {{"buses", problem.num_buses()}, {"threads", threads}});
+  const CoreTables tables = exactcore::build_core_tables(problem);
 
-  obs::Span span("tam.exact.solve", {{"buses", problem.num_buses()}});
   TamSolveResult result;
-  Search search(problem, options);
-  search.build_items();
-  search.build_bus_classes();
-  search.setup(problem.num_buses());
-  search.best = initial_pruning_bound(problem, options);
-  search.dfs(0);
-  search.flush_metrics();
+  if (threads <= 1) {
+    result = finish_serial(problem, options, tables,
+                           run_serial(problem, options, tables, -1));
+  } else {
+    // Parallel crossover: probe serially under a node cap; small instances
+    // finish there and skip the root-splitting machinery entirely.
+    const long long threshold = options.serial_threshold_nodes >= 0
+                                    ? options.serial_threshold_nodes
+                                    : kDefaultSerialThreshold;
+    long long cap = threshold;
+    if (options.max_nodes >= 0 && options.max_nodes < cap) {
+      cap = options.max_nodes;
+    }
+    SerialRun probe;
+    bool go_parallel = true;
+    if (cap > 0) {
+      probe = run_serial(problem, options, tables, cap);
+      if (probe.completed) {
+        // The whole search fit under the serial threshold.
+        result = finish_serial(problem, options, tables, std::move(probe));
+        go_parallel = false;
+      } else if (probe.stop != StopReason::kNodeBudget) {
+        // Deadline / cancellation / failpoint fired during the probe: a
+        // parallel restart would hit the same wall; return the incumbent.
+        result = finish_serial(problem, options, tables, std::move(probe));
+        go_parallel = false;
+      } else if (options.max_nodes >= 0 && probe.nodes >= options.max_nodes) {
+        // The global node budget (not just the crossover cap) is spent.
+        result = finish_serial(problem, options, tables, std::move(probe));
+        go_parallel = false;
+      }
+    }
+    if (go_parallel) {
+      result = solve_exact_parallel(problem, options, tables, threads,
+                                    cap > 0 ? &probe : nullptr);
+    }
+  }
   if (span.active()) {
-    span.arg({"items", search.items.size()});
-    span.arg({"nodes", search.nodes});
-    span.arg({"proved", !search.aborted});
+    span.arg({"items", tables.num_items});
+    span.arg({"nodes", result.nodes});
+    span.arg({"proved", result.proved_optimal});
+    span.arg({"mode", search_mode_name(result.search_mode)});
   }
-
-  result.nodes = search.nodes;
-  if (search.best_item_bus.empty()) {
-    // Either truly infeasible or the node budget expired before any leaf.
-    result.feasible = false;
-    result.proved_optimal = !search.aborted;
-    result.stop = search.stop_reason;
-    return result;
-  }
-  TamSolveResult found = assemble_result(problem, search.items,
-                                         search.best_item_bus, search.nodes,
-                                         !search.aborted);
-  found.stop = search.stop_reason;
-  return found;
+  return result;
 }
 
 }  // namespace soctest

@@ -6,6 +6,20 @@
 
 namespace soctest {
 
+/// Execution strategy an exact solve actually used (for the ledger and the
+/// table6 rows): kSerial when the whole search ran on one thread — either
+/// because threads == 1 or because the crossover probe finished under the
+/// serial threshold — and kParallel when the root-splitting phase ran.
+/// Non-exact solvers report kNone.
+enum class SearchMode {
+  kNone,
+  kSerial,
+  kParallel,
+};
+
+/// Stable short name for ledger / bench rows ("-", "serial", "parallel").
+const char* search_mode_name(SearchMode mode);
+
 /// Result of any TAM assignment solver.
 struct TamSolveResult {
   bool feasible = false;
@@ -16,6 +30,8 @@ struct TamSolveResult {
   /// Why the search unwound early (StopReason::kNone when it ran to
   /// completion). An aborted solve still carries the best incumbent found.
   StopReason stop = StopReason::kNone;
+  /// How the solve executed (exact solvers only; see SearchMode).
+  SearchMode search_mode = SearchMode::kNone;
 };
 
 /// Lower-bound strength used for pruning (ablation A2). All modes are
@@ -42,6 +58,13 @@ struct ExactSolverOptions {
   /// parallel phase only proves the optimal value, and the witness assignment
   /// is re-derived by a deterministic capped serial pass.
   int threads = 1;
+  /// Parallel crossover: with threads > 1 the solver first runs the serial
+  /// search capped at this many nodes. Small instances finish inside the cap
+  /// and skip the root-splitting machinery entirely (whose setup cost used
+  /// to make speedup_mt < 1 on them); big ones abort the probe and restart
+  /// in parallel, warm-started with the probe's incumbent. 0 forces the
+  /// parallel path; < 0 selects the default.
+  long long serial_threshold_nodes = -1;
   /// Optional cooperative cancellation (portfolio racing). When the token
   /// fires the solver unwinds and returns its best incumbent with
   /// proved_optimal = false.

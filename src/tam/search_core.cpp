@@ -1,0 +1,253 @@
+#include "tam/search_core.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace soctest {
+namespace exactcore {
+
+namespace {
+
+/// Deterministic subgradient fit of the simplex multipliers. Maximizes
+/// L(lambda) = sum_i min_{j allowed} lambda_j t_ij over the probability
+/// simplex by projected subgradient steps with a fixed schedule, keeping the
+/// best iterate. Admissibility never depends on the fit quality — any point
+/// of the simplex yields a valid bound — so a handful of iterations is
+/// enough to adapt the weights to heterogeneous bus widths.
+void fit_lagrangian(CoreTables& t) {
+  const std::size_t n = t.num_items;
+  const std::size_t b = t.num_buses;
+  t.lambda.assign(b, b == 0 ? 0.0 : 1.0 / static_cast<double>(b));
+  if (n == 0 || b == 0) {
+    t.lambda_time.assign(n * b, 0.0);
+    t.lambda_min.assign(n, 0.0);
+    t.lambda_suffix.assign(n + 1, 0.0);
+    return;
+  }
+
+  const auto evaluate = [&](const std::vector<double>& lambda,
+                            std::vector<double>* grad) {
+    if (grad) grad->assign(b, 0.0);
+    double value = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_j = b;
+      for (std::size_t j = 0; j < b; ++j) {
+        const Cycles cycles = t.time[k * b + j];
+        if (cycles == kInfCycles) continue;
+        const double weighted = lambda[j] * static_cast<double>(cycles);
+        if (weighted < best) {  // ties keep the lowest bus: deterministic
+          best = weighted;
+          best_j = j;
+        }
+      }
+      if (best_j == b) continue;  // no allowed bus: contributes nothing
+      value += best;
+      if (grad) (*grad)[best_j] += static_cast<double>(t.time[k * b + best_j]);
+    }
+    return value;
+  };
+
+  std::vector<double> lambda = t.lambda;
+  std::vector<double> best_lambda = lambda;
+  std::vector<double> grad;
+  double best_value = evaluate(lambda, nullptr);
+  constexpr int kIterations = 24;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    evaluate(lambda, &grad);
+    double mean = 0.0;
+    for (double g : grad) mean += g;
+    mean /= static_cast<double>(b);
+    double norm = 0.0;
+    for (double g : grad) norm = std::max(norm, std::abs(g - mean));
+    if (norm <= 0.0) break;  // gradient is radial: lambda is stationary
+    const double step = 0.5 / (norm * static_cast<double>(iter + 1));
+    double sum = 0.0;
+    for (std::size_t j = 0; j < b; ++j) {
+      lambda[j] = std::max(0.0, lambda[j] + step * (grad[j] - mean));
+      sum += lambda[j];
+    }
+    if (sum <= 0.0) break;
+    for (double& l : lambda) l /= sum;
+    const double value = evaluate(lambda, nullptr);
+    if (value > best_value) {
+      best_value = value;
+      best_lambda = lambda;
+    }
+  }
+  t.lambda = best_lambda;
+
+  t.lambda_time.assign(n * b, std::numeric_limits<double>::infinity());
+  t.lambda_min.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < b; ++j) {
+      const Cycles cycles = t.time[k * b + j];
+      if (cycles == kInfCycles) continue;
+      const double weighted = t.lambda[j] * static_cast<double>(cycles);
+      t.lambda_time[k * b + j] = weighted;
+      best = std::min(best, weighted);
+    }
+    t.lambda_min[k] = std::isfinite(best) ? best : 0.0;
+  }
+  t.lambda_suffix.assign(n + 1, 0.0);
+  for (std::size_t k = n; k-- > 0;) {
+    t.lambda_suffix[k] = t.lambda_suffix[k + 1] + t.lambda_min[k];
+  }
+}
+
+}  // namespace
+
+CoreTables build_core_tables(const TamProblem& problem) {
+  CoreTables t;
+  const std::size_t n = problem.num_cores();
+  const std::size_t b = problem.num_buses();
+  t.num_buses = b;
+  t.masked = b <= 64;
+  t.has_wire = !problem.wire_cost.empty();
+  t.has_power =
+      problem.bus_power_budget >= 0 && !problem.core_power_mw.empty();
+
+  // Assemble items (co-assignment groups contracted, then ungrouped cores)
+  // in the same construction order as ever, so the canonical stable sort
+  // below reproduces the historical branching sequence.
+  std::vector<char> grouped(n, 0);
+  std::vector<std::vector<std::size_t>> cores_of;
+  for (const auto& group : problem.co_groups) {
+    for (std::size_t core : group) grouped[core] = 1;
+    cores_of.push_back(group);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!grouped[i]) cores_of.push_back({i});
+  }
+  const std::size_t m = cores_of.size();
+  t.num_items = m;
+
+  std::vector<Cycles> time(m * b, 0);
+  std::vector<long long> wire(m * b, 0);
+  std::vector<Cycles> min_time(m, kInfCycles);
+  std::vector<long long> min_wire(m, kInfWire);
+  std::vector<double> max_power(m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t j = 0; j < b; ++j) {
+      bool ok = true;
+      Cycles cycles = 0;
+      long long wires = 0;
+      for (std::size_t core : cores_of[k]) {
+        if (!problem.allowed[core][j]) {
+          ok = false;
+          break;
+        }
+        cycles += problem.time[core][j];
+        if (t.has_wire) wires += problem.wire_cost[core][j];
+      }
+      time[k * b + j] = ok ? cycles : kInfCycles;
+      wire[k * b + j] = ok ? wires : 0;
+      if (ok) {
+        min_time[k] = std::min(min_time[k], cycles);
+        min_wire[k] = std::min(min_wire[k], wires);
+      }
+    }
+    if (!problem.core_power_mw.empty()) {
+      for (std::size_t core : cores_of[k]) {
+        max_power[k] = std::max(max_power[k], problem.core_power_mw[core]);
+      }
+    }
+  }
+
+  // Big items first; stable on ties so the order is a pure function of the
+  // problem (the witness-pass determinism guarantee leans on this).
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t c) {
+                     return min_time[a] > min_time[c];
+                   });
+
+  t.time.resize(m * b);
+  t.wire.resize(m * b);
+  t.min_time.resize(m);
+  t.min_wire.resize(m);
+  t.max_power.resize(m);
+  t.allowed.assign(m, 0);
+  t.item_cores.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t src = order[k];
+    std::copy_n(time.begin() + static_cast<std::ptrdiff_t>(src * b), b,
+                t.time.begin() + static_cast<std::ptrdiff_t>(k * b));
+    std::copy_n(wire.begin() + static_cast<std::ptrdiff_t>(src * b), b,
+                t.wire.begin() + static_cast<std::ptrdiff_t>(k * b));
+    t.min_time[k] = min_time[src];
+    t.min_wire[k] = min_wire[src];
+    t.max_power[k] = max_power[src];
+    t.item_cores[k] = std::move(cores_of[src]);
+    if (t.masked) {
+      std::uint64_t mask = 0;
+      for (std::size_t j = 0; j < b; ++j) {
+        if (t.time[k * b + j] != kInfCycles) mask |= std::uint64_t{1} << j;
+      }
+      t.allowed[k] = mask;
+    }
+  }
+
+  t.suffix_min_time.assign(m + 1, 0);
+  t.suffix_min_wire.assign(m + 1, 0);
+  for (std::size_t k = m; k-- > 0;) {
+    t.suffix_min_time[k] =
+        t.suffix_min_time[k + 1] +
+        (t.min_time[k] == kInfCycles ? 0 : t.min_time[k]);
+    t.suffix_min_wire[k] = t.suffix_min_wire[k + 1] +
+                           (t.min_wire[k] == kInfWire ? 0 : t.min_wire[k]);
+  }
+
+  // Bus symmetry classes: identical time and wire columns are
+  // interchangeable, so an item may open at most one empty bus per class.
+  t.bus_class.assign(b, -1);
+  int next_class = 0;
+  for (std::size_t j = 0; j < b; ++j) {
+    if (t.bus_class[j] >= 0) continue;
+    t.bus_class[j] = next_class;
+    for (std::size_t j2 = j + 1; j2 < b; ++j2) {
+      if (t.bus_class[j2] >= 0) continue;
+      bool same = true;
+      for (std::size_t k = 0; k < m; ++k) {
+        if (t.time[k * b + j] != t.time[k * b + j2] ||
+            t.wire[k * b + j] != t.wire[k * b + j2]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) t.bus_class[j2] = next_class;
+    }
+    ++next_class;
+  }
+  t.num_classes = next_class;
+  if (t.masked) {
+    t.class_mask.assign(static_cast<std::size_t>(next_class), 0);
+    for (std::size_t j = 0; j < b; ++j) {
+      t.class_mask[static_cast<std::size_t>(t.bus_class[j])] |=
+          std::uint64_t{1} << j;
+    }
+  }
+
+  fit_lagrangian(t);
+  return t;
+}
+
+}  // namespace exactcore
+
+Cycles exact_search_lower_bound(const TamProblem& problem) {
+  const exactcore::CoreTables t = exactcore::build_core_tables(problem);
+  if (t.num_items == 0 || t.num_buses == 0) return 0;
+  const auto b = static_cast<Cycles>(t.num_buses);
+  const Cycles spread = (t.suffix_min_time[0] + b - 1) / b;
+  Cycles item_min = 0;
+  for (std::size_t k = 0; k < t.num_items; ++k) {
+    if (t.min_time[k] == exactcore::kInfCycles) continue;
+    item_min = std::max(item_min, t.min_time[k]);
+  }
+  const Cycles lag = exactcore::lagrangian_ceil(t.lambda_suffix[0]);
+  return std::max({spread, item_min, lag});
+}
+
+}  // namespace soctest

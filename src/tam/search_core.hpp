@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tam/tam_problem.hpp"
+
+namespace soctest {
+namespace exactcore {
+
+constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max();
+constexpr long long kInfWire = std::numeric_limits<long long>::max();
+
+/// Structure-of-arrays tables for the exact TAM branch-and-bound. Built once
+/// per problem (and shared read-only by every subtree worker of a parallel
+/// solve), they replace the per-node vector-of-struct walks of the old
+/// search: flat row-major time/wire matrices, per-item bitset masks of the
+/// allowed buses, bus symmetry classes as bitsets, and the precomputed data
+/// of the Lagrangian lower bound.
+///
+/// Item order is canonical and load-bearing: contracted co-assignment groups
+/// first (in problem order), then ungrouped cores ascending, stably sorted
+/// by descending min_time. Every search phase — serial DFS, LDS probe, root
+/// prefix enumeration, subtree search, witness pass — branches over the same
+/// item sequence, which is what makes the witness assignment thread-count
+/// invariant.
+struct CoreTables {
+  std::size_t num_items = 0;
+  std::size_t num_buses = 0;
+  int num_classes = 0;
+  bool masked = false;  ///< num_buses <= 64: bitset fast paths are valid
+  bool has_wire = false;
+  bool has_power = false;
+
+  std::vector<Cycles> time;       ///< [item * num_buses + bus]; kInfCycles = forbidden
+  std::vector<long long> wire;    ///< same layout
+  std::vector<double> max_power;  ///< per item: max member power (bus-max-sum)
+  std::vector<std::uint64_t> allowed;  ///< per item: bit j = bus j assignable
+  std::vector<Cycles> min_time;        ///< per item, over allowed buses
+  std::vector<long long> min_wire;
+  std::vector<Cycles> suffix_min_time;     ///< [num_items + 1]
+  std::vector<long long> suffix_min_wire;  ///< [num_items + 1]
+
+  std::vector<int> bus_class;              ///< symmetry class per bus
+  std::vector<std::uint64_t> class_mask;   ///< per class: member-bus bits
+
+  /// Lagrangian relaxation of the makespan objective, fit once at the root:
+  /// multipliers lambda_j >= 0 with sum 1, so for any completion with final
+  /// loads L_j,  sum_j lambda_j L_j <= max_j L_j. Each unassigned item i
+  /// contributes at least lambda_min[i] = min_{j allowed} lambda_j t_ij, so
+  ///   bound(k) = sum_j lambda_j load_j + lambda_suffix[k]
+  /// is an admissible makespan lower bound maintainable in O(1) per node.
+  std::vector<double> lambda;         ///< per bus
+  std::vector<double> lambda_time;    ///< [item * num_buses + bus]; +inf = forbidden
+  std::vector<double> lambda_min;     ///< per item
+  std::vector<double> lambda_suffix;  ///< [num_items + 1]
+
+  std::vector<std::vector<std::size_t>> item_cores;  ///< result assembly
+
+  Cycles time_at(std::size_t k, std::size_t j) const {
+    return time[k * num_buses + j];
+  }
+  long long wire_at(std::size_t k, std::size_t j) const {
+    return wire[k * num_buses + j];
+  }
+};
+
+/// Builds the SoA tables (including the Lagrangian fit) from a TamProblem.
+CoreTables build_core_tables(const TamProblem& problem);
+
+/// Branch-free candidate kernel: from the item's allowed-bus mask and the
+/// mask of currently-empty buses, drops every empty bus that is not the
+/// lowest-indexed empty member of its symmetry class. One `e & (e - 1)` per
+/// class — no per-bus scan, no per-node allocation.
+inline std::uint64_t candidate_mask(const CoreTables& t, std::uint64_t allowed,
+                                    std::uint64_t empty_mask) {
+  std::uint64_t drop = 0;
+  for (int c = 0; c < t.num_classes; ++c) {
+    const std::uint64_t e = empty_mask & t.class_mask[static_cast<std::size_t>(c)];
+    drop |= e & (e - 1);  // all but the lowest set bit
+  }
+  return allowed & ~drop;
+}
+
+/// Admissible integer ceiling of a floating-point Lagrangian bound value.
+/// The margin absorbs accumulated rounding error so the integer bound can
+/// never exceed the true bound (over-pruning would break exactness); it can
+/// only weaken it by a cycle in pathological near-integer cases.
+inline Cycles lagrangian_ceil(double value) {
+  if (value <= 0.0) return 0;
+  return static_cast<Cycles>(std::ceil(value - 1e-6));
+}
+
+}  // namespace exactcore
+
+/// Root lower bound of the exact search's bound hierarchy: the classic
+/// width-relaxed bound (max single-item minimum, remaining-work spread)
+/// strengthened by the Lagrangian relaxation of the bus-capacity coupling.
+/// Admissible: never exceeds the optimal makespan of a feasible problem.
+/// Exported for width-partition pruning and for property tests.
+Cycles exact_search_lower_bound(const TamProblem& problem);
+
+}  // namespace soctest

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "tam/heuristics.hpp"
+#include "tam/staircase.hpp"
 
 namespace soctest {
 
@@ -33,20 +34,19 @@ WidthAllocation allocate_widths_dp(const TestTimeTable& table,
   const auto w_total = static_cast<std::size_t>(total_width);
 
   // Per-bus load curves: load[j][w-1] = Σ_{i on j} time(i, w); loads above
-  // the ATE depth limit are treated as unusable widths.
+  // the ATE depth limit are treated as unusable widths. Width-major over
+  // the staircase: each width reads one contiguous row instead of striding
+  // through the per-core envelope vectors. Widths beyond the table only
+  // arise in DP states that cannot be part of a complete allocation (every
+  // other bus still needs a wire); the staircase clamps them to the table
+  // edge, which over-estimates their load (monotone curves) and is sound.
+  const Staircase stairs(table);
   std::vector<std::vector<Cycles>> load(
       b, std::vector<Cycles>(w_total, 0));
-  for (std::size_t i = 0; i < core_to_bus.size(); ++i) {
-    const auto j = static_cast<std::size_t>(core_to_bus[i]);
-    for (std::size_t w = 1; w <= w_total; ++w) {
-      auto& cell = load[j][w - 1];
-      if (cell == kInfCycles) continue;
-      // Widths beyond the table only arise in DP states that cannot be part
-      // of a complete allocation (every other bus still needs a wire);
-      // clamping to the table edge over-estimates their load (monotone
-      // curves), which is sound.
-      const int wq = std::min(static_cast<int>(w), table.max_width());
-      cell += table.time(i, wq);
+  for (std::size_t w = 1; w <= w_total; ++w) {
+    const Cycles* row = stairs.row(static_cast<int>(w));
+    for (std::size_t i = 0; i < core_to_bus.size(); ++i) {
+      load[static_cast<std::size_t>(core_to_bus[i])][w - 1] += row[i];
     }
   }
   if (bus_depth_limit >= 0) {
@@ -126,6 +126,7 @@ ArchitectureResult optimize_alternating(const Soc& soc,
       best.feasible = true;
       best.bus_widths = widths;
       best.assignment = solved.assignment;
+      best.search_mode = solved.search_mode;
     }
     // Re-allocate widths optimally for this assignment.
     const WidthAllocation allocation = allocate_widths_dp(

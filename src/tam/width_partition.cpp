@@ -6,6 +6,7 @@
 #include "tam/heuristics.hpp"
 #include "tam/ilp_solver.hpp"
 #include "tam/portfolio.hpp"
+#include "tam/staircase.hpp"
 
 namespace soctest {
 
@@ -90,15 +91,10 @@ Cycles width_search_lower_bound(const TestTimeTable& table, int num_buses,
   const int w_max =
       std::min(table.max_width(), total_width - (num_buses - 1));
   if (w_max < 1) return 0;
-  Cycles max_single = 0;
-  Cycles total = 0;
-  for (std::size_t i = 0; i < table.num_cores(); ++i) {
-    const Cycles t = table.time(i, w_max);
-    max_single = std::max(max_single, t);
-    total += t;
-  }
+  const Staircase stairs(table);
+  const Staircase::RowStats stats = stairs.row_stats(w_max);
   const auto b = static_cast<Cycles>(num_buses);
-  return std::max(max_single, (total + b - 1) / b);
+  return std::max(stats.max_single, (stats.total + b - 1) / b);
 }
 
 }  // namespace
@@ -185,6 +181,7 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
         best.feasible = true;
         best.bus_widths = widths;
         best.assignment = result.assignment;
+        best.search_mode = result.search_mode;
       }
       if (!permute) break;
     } while (permute && std::next_permutation(widths.begin(), widths.end()));

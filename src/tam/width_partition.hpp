@@ -53,6 +53,9 @@ struct ArchitectureResult {
   long long total_nodes = 0;
   /// Why the search stopped early; kNone when every partition was examined.
   StopReason stop = StopReason::kNone;
+  /// Execution strategy of the inner solve that produced the winning
+  /// assignment (SearchMode::kNone for heuristic inner solvers).
+  SearchMode search_mode = SearchMode::kNone;
   /// Quality certificate: optimal when the enumeration completed with every
   /// inner solve proven, feasible_bounded (gap vs the width-relaxed lower
   /// bound) when interrupted, infeasible when nothing was found.

@@ -1,0 +1,246 @@
+// Tests for the data-oriented search core (tam/search_core.hpp): the
+// Lagrangian-strengthened root lower bound, the staircase tables, and —
+// most load-bearing — a golden regression pinning the exact solver's
+// (makespan, assignment) on every shipped SOC plus generated instances,
+// bit-identical at 1, 2, and 8 threads. These rows were captured from the
+// pre-refactor serial solver; any branching-order, bound, or witness-pass
+// change that alters them is a determinism break, not a tuning choice.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "soc/builtin.hpp"
+#include "soc/generator.hpp"
+#include "tam/exact_solver.hpp"
+#include "tam/search_core.hpp"
+#include "tam/staircase.hpp"
+#include "tam/width_partition.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+namespace {
+
+TamProblem generated_problem(int n, const std::vector<int>& widths) {
+  Rng rng(static_cast<std::uint64_t>(n) * 7919);
+  SocGeneratorOptions gen;
+  gen.num_cores = n;
+  gen.place = false;
+  const Soc soc = generate_soc(gen, rng);
+  const TestTimeTable table(soc, 16);
+  return make_tam_problem(soc, table, widths);
+}
+
+struct GoldenRow {
+  std::string name;
+  Cycles makespan;
+  std::vector<int> core_to_bus;
+};
+
+// Captured from the seed (pre-refactor) solver at threads = 1. The exact
+// search's determinism contract says every thread count reproduces these.
+const std::vector<GoldenRow>& golden_rows() {
+  static const std::vector<GoldenRow> rows = {
+      {"soc1_w16_16", 26179, {1, 1, 1, 0, 1, 0, 1, 1, 1, 0}},
+      {"soc1_w16_16_16", 17897, {1, 0, 2, 2, 1, 0, 0, 1, 2, 2}},
+      {"soc1_pmax1600", 33735, {0, 0, 0, 1, 0, 1, 0, 0, 0, 0}},
+      {"soc2_w16_8", 6816, {0, 0, 1, 0, 1, 0}},
+      {"soc3_w16_8_8", 34267, {0, 0, 0, 2, 0, 1, 0, 1, 2, 1, 1, 0, 2, 2}},
+      {"soc4_w16_8_8",
+       47345,
+       {0, 0, 2, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 1, 1, 1, 1, 2, 2, 2}},
+      {"gen_n12", 36744, {0, 2, 1, 0, 0, 2, 2, 1, 2, 1, 0, 1}},
+      {"gen_n16", 39714, {0, 0, 0, 2, 1, 1, 1, 2, 1, 2, 0, 0, 1, 2, 1, 2}},
+      {"gen_n22",
+       65523,
+       {0, 2, 1, 2, 1, 2, 0, 1, 0, 2, 2, 2, 0, 1, 0, 0, 2, 2, 0, 0, 1, 1}},
+  };
+  return rows;
+}
+
+TamProblem golden_problem(const std::string& name) {
+  if (name == "soc1_w16_16") {
+    const Soc soc = builtin_soc1();
+    return make_tam_problem(soc, TestTimeTable(soc, 16), {16, 16});
+  }
+  if (name == "soc1_w16_16_16") {
+    const Soc soc = builtin_soc1();
+    return make_tam_problem(soc, TestTimeTable(soc, 16), {16, 16, 16});
+  }
+  if (name == "soc1_pmax1600") {
+    const Soc soc = builtin_soc1();
+    return make_tam_problem(soc, TestTimeTable(soc, 16), {16, 16}, nullptr,
+                            -1, 1600.0);
+  }
+  if (name == "soc2_w16_8") {
+    const Soc soc = builtin_soc2();
+    return make_tam_problem(soc, TestTimeTable(soc, 16), {16, 8});
+  }
+  if (name == "soc3_w16_8_8") {
+    const Soc soc = builtin_soc3();
+    return make_tam_problem(soc, TestTimeTable(soc, 16), {16, 8, 8});
+  }
+  if (name == "soc4_w16_8_8") {
+    const Soc soc = builtin_soc4();
+    return make_tam_problem(soc, TestTimeTable(soc, 16), {16, 8, 8});
+  }
+  if (name == "gen_n12") return generated_problem(12, {16, 8, 8});
+  if (name == "gen_n16") return generated_problem(16, {16, 8, 8});
+  if (name == "gen_n22") return generated_problem(22, {16, 8, 8});
+  throw std::logic_error("unknown golden problem " + name);
+}
+
+class GoldenThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenThreads, ExactSolverReproducesSeedGoldensBitIdentically) {
+  const int threads = GetParam();
+  for (const GoldenRow& row : golden_rows()) {
+    const TamProblem problem = golden_problem(row.name);
+    ExactSolverOptions options;
+    options.threads = threads;
+    const TamSolveResult result = solve_exact(problem, options);
+    ASSERT_TRUE(result.feasible) << row.name;
+    EXPECT_TRUE(result.proved_optimal) << row.name;
+    EXPECT_EQ(result.assignment.makespan, row.makespan) << row.name;
+    EXPECT_EQ(result.assignment.core_to_bus, row.core_to_bus) << row.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GoldenThreads, ::testing::Values(1, 2, 8));
+
+// The crossover must label what ran: a forced-parallel solve reports
+// kParallel, a single-thread solve kSerial, and both still match golds.
+TEST(SearchMode, CrossoverLabelsMatchExecutionAndPreserveGoldens) {
+  const GoldenRow& row = golden_rows()[0];  // soc1_w16_16
+  const TamProblem problem = golden_problem(row.name);
+
+  ExactSolverOptions serial;
+  serial.threads = 1;
+  const TamSolveResult s = solve_exact(problem, serial);
+  EXPECT_EQ(s.search_mode, SearchMode::kSerial);
+  EXPECT_EQ(std::string(search_mode_name(s.search_mode)), "serial");
+
+  ExactSolverOptions forced;
+  forced.threads = 4;
+  forced.serial_threshold_nodes = 0;  // 0 forces the root-splitting path
+  const TamSolveResult p = solve_exact(problem, forced);
+  EXPECT_EQ(p.search_mode, SearchMode::kParallel);
+  EXPECT_EQ(std::string(search_mode_name(p.search_mode)), "parallel");
+  EXPECT_EQ(p.assignment.makespan, row.makespan);
+  EXPECT_EQ(p.assignment.core_to_bus, row.core_to_bus);
+
+  // Small instance + default threshold: the probe finishes inside the cap,
+  // so a multi-threaded request still executes (and reports) serial.
+  ExactSolverOptions crossover;
+  crossover.threads = 4;
+  const TamSolveResult c = solve_exact(problem, crossover);
+  EXPECT_EQ(c.search_mode, SearchMode::kSerial);
+  EXPECT_EQ(c.assignment.core_to_bus, row.core_to_bus);
+}
+
+// Property: the exported root bound (classic + Lagrangian) never exceeds
+// the proven optimum — over every shipped SOC and a spread of width
+// budgets. An inadmissible bound here would silently prune optima.
+TEST(LowerBound, NeverExceedsProvenOptimumOnShippedSocs) {
+  const std::vector<Soc> socs = {builtin_soc1(), builtin_soc2(),
+                                 builtin_soc3(), builtin_soc4()};
+  const std::vector<std::vector<int>> width_sets = {
+      {16, 16}, {16, 8}, {16, 8, 8}, {8, 8, 8}, {16, 8, 4, 4}};
+  for (const Soc& soc : socs) {
+    const TestTimeTable table(soc, 16);
+    for (const auto& widths : width_sets) {
+      const TamProblem problem = make_tam_problem(soc, table, widths);
+      const Cycles bound = exact_search_lower_bound(problem);
+      const TamSolveResult exact = solve_exact(problem);
+      ASSERT_TRUE(exact.feasible) << soc.name();
+      ASSERT_TRUE(exact.proved_optimal) << soc.name();
+      EXPECT_LE(bound, exact.assignment.makespan)
+          << soc.name() << " widths=" << widths.size();
+      // And it must dominate the problem's own classic bound (it is a
+      // strengthening, never a replacement).
+      EXPECT_GE(bound, problem.lower_bound()) << soc.name();
+    }
+  }
+}
+
+// Same property on generated instances with power constraints in play.
+TEST(LowerBound, AdmissibleOnGeneratedAndConstrainedInstances) {
+  for (const int n : {8, 12, 16}) {
+    const TamProblem problem = generated_problem(n, {16, 8, 8});
+    const Cycles bound = exact_search_lower_bound(problem);
+    const TamSolveResult exact = solve_exact(problem);
+    ASSERT_TRUE(exact.feasible) << n;
+    EXPECT_LE(bound, exact.assignment.makespan) << n;
+  }
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  const TamProblem constrained =
+      make_tam_problem(soc, table, {16, 16}, nullptr, -1, 1600.0);
+  const Cycles bound = exact_search_lower_bound(constrained);
+  const TamSolveResult exact = solve_exact(constrained);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_LE(bound, exact.assignment.makespan);
+}
+
+TEST(Staircase, MatchesTestTimeTableCellForCell) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 16);
+  const Staircase stairs(table);
+  ASSERT_EQ(stairs.max_width(), table.max_width());
+  ASSERT_EQ(stairs.num_cores(), table.num_cores());
+  for (int w = 1; w <= table.max_width(); ++w) {
+    const Cycles* row = stairs.row(w);
+    for (std::size_t i = 0; i < table.num_cores(); ++i) {
+      EXPECT_EQ(row[i], table.time(i, w)) << "core " << i << " width " << w;
+      EXPECT_EQ(stairs.at(i, w), table.time(i, w));
+    }
+  }
+}
+
+TEST(Staircase, RowStatsEqualScalarReduction) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 16);
+  const Staircase stairs(table);
+  for (int w = 1; w <= table.max_width(); ++w) {
+    Cycles total = 0, max_single = 0;
+    for (std::size_t i = 0; i < table.num_cores(); ++i) {
+      total += table.time(i, w);
+      max_single = std::max(max_single, table.time(i, w));
+    }
+    const Staircase::RowStats stats = stairs.row_stats(w);
+    EXPECT_EQ(stats.total, total) << w;
+    EXPECT_EQ(stats.max_single, max_single) << w;
+  }
+}
+
+TEST(Staircase, ClampsWidthsToTheTableEdge) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 8);
+  const Staircase stairs(table);
+  // Beyond the table: the monotone envelope's edge row.
+  EXPECT_EQ(stairs.row(99), stairs.row(8));
+  EXPECT_EQ(stairs.at(0, 99), table.time(0, 8));
+  // Below 1 clamps up to the narrowest row.
+  EXPECT_EQ(stairs.row(0), stairs.row(1));
+  EXPECT_EQ(stairs.row(-3), stairs.row(1));
+}
+
+TEST(CoreTables, CandidateMaskDropsAllButLowestEmptyBusPerClass) {
+  TamProblem p;
+  p.bus_widths = {8, 8, 8, 4};  // buses 0..2 identical, bus 3 distinct
+  p.time = {{40, 40, 40, 80}, {30, 30, 30, 60}};
+  p.allowed.assign(2, {1, 1, 1, 1});
+  const exactcore::CoreTables t = exactcore::build_core_tables(p);
+  ASSERT_TRUE(t.masked);
+  ASSERT_EQ(t.num_classes, 2);
+  // All four buses empty: only bus 0 represents the {0,1,2} class.
+  EXPECT_EQ(exactcore::candidate_mask(t, t.allowed[0], 0b1111u), 0b1001u);
+  // Bus 0 occupied: bus 1 becomes the class representative.
+  EXPECT_EQ(exactcore::candidate_mask(t, t.allowed[0], 0b1110u), 0b1011u);
+  // No empty buses: nothing is dropped.
+  EXPECT_EQ(exactcore::candidate_mask(t, t.allowed[0], 0u), 0b1111u);
+}
+
+}  // namespace
+}  // namespace soctest

@@ -340,13 +340,27 @@ TamProblem gate_problem(int n, std::vector<int> widths) {
 std::vector<GateCase> gate_suite() {
   std::vector<GateCase> suite;
   suite.push_back({"exact_n12",
-                   {"tam.exact.nodes", "tam.exact.pruned_bound"},
+                   {"tam.exact.nodes", "tam.exact.pruned_bound",
+                    "tam.exact.pruned_lagrangian"},
                    [] { solve_exact(gate_problem(12, {16, 8, 8})); }});
   suite.push_back({"exact_n16",
-                   {"tam.exact.nodes", "tam.exact.pruned_bound"},
+                   {"tam.exact.nodes", "tam.exact.pruned_bound",
+                    "tam.exact.pruned_lagrangian"},
                    [] { solve_exact(gate_problem(16, {16, 8, 8})); }});
+  // The sizes the ISSUE's >=5x node-throughput criterion is measured on:
+  // big enough that the search kernel, not setup, dominates.
+  suite.push_back({"exact_n22",
+                   {"tam.exact.nodes", "tam.exact.pruned_bound",
+                    "tam.exact.pruned_lagrangian"},
+                   [] { solve_exact(gate_problem(22, {16, 8, 8})); }});
+  suite.push_back({"exact_n26",
+                   {"tam.exact.nodes", "tam.exact.pruned_bound",
+                    "tam.exact.pruned_lagrangian"},
+                   [] { solve_exact(gate_problem(26, {16, 8, 8})); }});
   suite.push_back({"ilp_n8",
-                   {"ilp.bb.nodes", "ilp.simplex.pivots"},
+                   {"ilp.bb.nodes", "ilp.simplex.pivots",
+                    "ilp.bb.bound.cache_hits", "ilp.bb.bound.reused",
+                    "ilp.bb.bound.tightened"},
                    [] {
                      MipOptions mip;
                      mip.max_nodes = 50000;
@@ -361,7 +375,8 @@ std::vector<GateCase> gate_suite() {
   // The rectangle-packing-style width-partition search (Chakrabarty DAC
   // 2000) over a builtin SOC: exercises enumeration + exact inner solves.
   suite.push_back({"width_search_soc1",
-                   {"tam.exact.nodes"},
+                   {"tam.exact.nodes", "tam.exact.staircase.builds",
+                    "tam.exact.staircase.cells"},
                    [] {
                      DesignRequest request;
                      request.num_buses = 2;
