@@ -14,7 +14,14 @@
 #      is documented in docs/observability.md AND actually emitted by the
 #      instrumentation (an exact obs::counter("...") literal in src);
 #   5. every `layer.component` metric prefix the instrumentation emits is
-#      listed in docs/observability.md's naming table.
+#      listed in docs/observability.md's naming table;
+#   6. every `soctest-serve`/`soctest-frontdoor`/`soctest-loadgen` flag
+#      shown in a fenced code block is parsed by that tool's source
+#      (tools/soctest_<name>.cpp) — the operations runbook cannot drift
+#      from the binaries it drives;
+#   7. the service.* AND frontdoor.* metric catalogs in docs/service.md are
+#      bidirectional against the emitted literals, and docs/operations.md
+#      (the fleet runbook) exists.
 #
 # Wired into ctest as the `docs` label: ctest -L docs
 
@@ -50,6 +57,35 @@ for doc in "$root"/README.md "$root"/DESIGN.md "$root"/docs/*.md; do
     fi
   done
 done
+
+# Same idea for the fleet binaries: a documented flag the tool does not
+# parse is a runbook that fails at 3am. $2 is the binary name as invoked.
+binary_flags() {
+  awk '/^```/ { inblock = !inblock; next } inblock { print }' "$1" |
+    sed -e ':a' -e '/\\$/N; s/\\\n/ /; ta' |
+    grep -E "(^|[ /])$2( |$)" |
+    grep -oE '\-\-[a-z][a-z-]*' |
+    sort -u
+}
+
+for tool in serve frontdoor loadgen; do
+  tool_src="$root/tools/soctest_${tool}.cpp"
+  for doc in "$root"/README.md "$root"/DESIGN.md "$root"/docs/*.md; do
+    [ -f "$doc" ] || continue
+    for flag in $(binary_flags "$doc" "soctest-$tool"); do
+      if ! grep -qF "\"$flag\"" "$tool_src"; then
+        echo "FAIL: $(basename "$doc") documents soctest-$tool flag" \
+             "'$flag', which tools/soctest_${tool}.cpp does not parse"
+        fail=1
+      fi
+    done
+  done
+done
+
+if [ ! -f "$root/docs/operations.md" ]; then
+  echo "FAIL: docs/operations.md is missing (the fleet runbook)"
+  fail=1
+fi
 
 for site in $(grep -E '^inline constexpr const char\* k' \
                 "$root/src/runtime/failpoint.hpp" |
@@ -103,6 +139,26 @@ if [ -f "$service_doc" ]; then
     if ! printf '%s\n' "$service_emitted" | grep -qxF "$name"; then
       echo "FAIL: docs/service.md documents service metric '$name', which" \
            "no obs::counter/histogram/Span literal in src emits"
+      fail=1
+    fi
+  done
+  # frontdoor.* gets the same bidirectional treatment: the front door's
+  # counters are the fleet's only aggregate view, so the catalog in
+  # docs/service.md must match the emitted set exactly.
+  frontdoor_emitted=$(printf '%s\n' "$emitted_names" |
+                        grep -E '^frontdoor\.' || true)
+  for name in $frontdoor_emitted; do
+    if ! grep -qF "\`$name\`" "$service_doc"; then
+      echo "FAIL: front-door metric '$name' is emitted by src/service but" \
+           "not documented in docs/service.md"
+      fail=1
+    fi
+  done
+  for name in $(grep -oE '\`frontdoor\.[a-z_.]+\`' "$service_doc" |
+                  tr -d '\`' | sort -u); do
+    if ! printf '%s\n' "$frontdoor_emitted" | grep -qxF "$name"; then
+      echo "FAIL: docs/service.md documents front-door metric '$name'," \
+           "which no obs::counter literal in src emits"
       fail=1
     fi
   done

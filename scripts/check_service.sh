@@ -2,7 +2,8 @@
 # End-to-end smoke test of the solve service (docs/service.md). Run from
 # anywhere:
 #
-#   scripts/check_service.sh [repo-root] [soctest-serve-binary] [soctest-binary]
+#   scripts/check_service.sh [repo-root] [soctest-serve-binary] \
+#       [soctest-binary] [soctest-frontdoor-binary]
 #
 # Pass 1 (stdio, serial): fires the 50-request duplicate-heavy fixture
 #   data/service_batch.jsonl through `soctest-serve --stdio --serial` twice
@@ -12,6 +13,12 @@
 # Pass 2 (socket): starts a concurrent socket server, runs the same batch
 #   through `soctest --client --batch`, then SIGTERMs the server and asserts
 #   a clean drain (exit 0, every request answered).
+# Pass 3 (TCP front door): starts `soctest-frontdoor` with 2 serial workers,
+#   runs the batch fixture plus the streaming fixture data/service_stream.jsonl
+#   over TCP, asserts at least one soctest-partial-v1 record reaches the
+#   client, that two warm reruns produce identical sorted response sets
+#   (workers interleave, so order is compared after sort), and a clean
+#   SIGTERM drain of the whole fleet.
 #
 # Wired into ctest as the `service` label: ctest -L service
 
@@ -19,9 +26,11 @@ set -u
 root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 serve_bin="${2:-$root/build/tools/soctest-serve}"
 cli_bin="${3:-$root/build/tools/soctest}"
+frontdoor_bin="${4:-$root/build/tools/soctest-frontdoor}"
 fixture="$root/data/service_batch.jsonl"
+stream_fixture="$root/data/service_stream.jsonl"
 
-for bin in "$serve_bin" "$cli_bin"; do
+for bin in "$serve_bin" "$cli_bin" "$frontdoor_bin"; do
   if [ ! -x "$bin" ]; then
     echo "check_service: FAILED ($bin not built)"
     exit 1
@@ -107,5 +116,83 @@ if [ ! -s "$workdir/runs.jsonl" ]; then
 fi
 echo "   $responses/$requests answered over the socket, clean drain," \
      "$(wc -l < "$workdir/runs.jsonl") ledger records"
+
+echo "== pass 3: TCP front door, 2 workers, streamed partials =="
+"$frontdoor_bin" --listen 127.0.0.1:0 --workers 2 --serial-workers \
+  --serve-bin "$serve_bin" --dir "$workdir/fleet" \
+  > "$workdir/fd.out" 2> "$workdir/fd.err" &
+fd_pid=$!
+port=""
+for _ in $(seq 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+         "$workdir/fd.out")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "check_service: FAILED (front door never announced its port)"
+  cat "$workdir/fd.err"
+  kill "$fd_pid" 2>/dev/null
+  exit 1
+fi
+
+"$cli_bin" --client "127.0.0.1:$port" --batch "$fixture" \
+  > "$workdir/tcp1.jsonl"
+client_code=$?
+if [ "$client_code" -ne 0 ]; then
+  echo "check_service: FAILED (TCP client exited $client_code)"
+  kill "$fd_pid" 2>/dev/null
+  exit 1
+fi
+responses=$(grep -c '"schema":"soctest-resp-v1"' "$workdir/tcp1.jsonl")
+if [ "$responses" -ne "$requests" ]; then
+  echo "check_service: FAILED (TCP pass: $responses of $requests answered)"
+  kill "$fd_pid" 2>/dev/null
+  exit 1
+fi
+
+stream_requests=$(wc -l < "$stream_fixture")
+"$cli_bin" --client "127.0.0.1:$port" --batch "$stream_fixture" \
+  > "$workdir/stream.jsonl"
+client_code=$?
+partials=$(grep -c '"schema":"soctest-partial-v1"' "$workdir/stream.jsonl")
+stream_finals=$(grep -c '"schema":"soctest-resp-v1"' "$workdir/stream.jsonl")
+if [ "$client_code" -ne 0 ] || [ "$stream_finals" -ne "$stream_requests" ]; then
+  echo "check_service: FAILED (streaming batch: exit $client_code," \
+       "$stream_finals of $stream_requests finals)"
+  kill "$fd_pid" 2>/dev/null
+  exit 1
+fi
+if [ "$partials" -lt 1 ]; then
+  echo "check_service: FAILED (no soctest-partial-v1 record reached the" \
+       "client through the front door)"
+  kill "$fd_pid" 2>/dev/null
+  exit 1
+fi
+
+# Warm reruns: every outcome is now cached, so two more passes must produce
+# the same response *set*. Workers interleave finals across shards, so sort
+# before comparing.
+"$cli_bin" --client "127.0.0.1:$port" --batch "$fixture" \
+  | sort > "$workdir/warm1.jsonl"
+"$cli_bin" --client "127.0.0.1:$port" --batch "$fixture" \
+  | sort > "$workdir/warm2.jsonl"
+if ! cmp -s "$workdir/warm1.jsonl" "$workdir/warm2.jsonl"; then
+  echo "check_service: FAILED (warm TCP reruns differ as sorted sets)"
+  diff "$workdir/warm1.jsonl" "$workdir/warm2.jsonl" | head -5
+  exit 1
+fi
+
+kill -TERM "$fd_pid"
+wait "$fd_pid"
+fd_code=$?
+if [ "$fd_code" -ne 0 ]; then
+  echo "check_service: FAILED (front door exited $fd_code after SIGTERM;" \
+       "expected a clean fleet drain)"
+  cat "$workdir/fd.err"
+  exit 1
+fi
+echo "   $responses/$requests over TCP, $partials partials streamed," \
+     "warm reruns identical, clean fleet drain"
 
 echo "check_service: OK"

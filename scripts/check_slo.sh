@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Fleet SLO gate (docs/operations.md). Run from anywhere:
+#
+#   scripts/check_slo.sh [repo-root] [soctest-frontdoor-binary] \
+#       [soctest-loadgen-binary]
+#
+# Starts a front door with 2 workers, runs one warm-up pass and one measured
+# soctest-loadgen pass with a fixed seed, and gates on *counters only*:
+# every request must get a final response and the error, backpressure, and
+# transport-failure counts must be zero. Latency percentiles and throughput
+# are recorded in the service_slo row of BENCH_solvers.json for trending but
+# are deliberately not thresholds — CI machines are too small and too noisy
+# to gate on wall-clock (see scripts/check_perf.sh for the calibrated
+# wall-time gate).
+#
+# Wired into ctest as the `perf` label: ctest -L perf
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+frontdoor_bin="${2:-$root/build/tools/soctest-frontdoor}"
+loadgen_bin="${3:-$root/build/tools/soctest-loadgen}"
+
+for bin in "$frontdoor_bin" "$loadgen_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_slo: FAILED ($bin not built)"
+    exit 1
+  fi
+done
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+"$frontdoor_bin" --listen 127.0.0.1:0 --workers 2 --dir "$workdir/fleet" \
+  > "$workdir/fd.out" 2> "$workdir/fd.err" &
+fd_pid=$!
+port=""
+for _ in $(seq 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+         "$workdir/fd.out")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "check_slo: FAILED (front door never announced its port)"
+  cat "$workdir/fd.err"
+  kill "$fd_pid" 2>/dev/null
+  exit 1
+fi
+
+echo "== warm-up pass (fills every worker cache) =="
+"$loadgen_bin" --connect "127.0.0.1:$port" --mode closed --connections 2 \
+  --requests 100 --seed 1 > "$workdir/warmup.txt" 2>&1
+if [ $? -ne 0 ]; then
+  echo "check_slo: FAILED (warm-up pass lost requests)"
+  cat "$workdir/warmup.txt"
+  kill "$fd_pid" 2>/dev/null
+  exit 1
+fi
+
+echo "== measured pass (fixed seed, counters-only gate) =="
+"$loadgen_bin" --connect "127.0.0.1:$port" --mode closed --connections 4 \
+  --requests 400 --seed 42 --json-out "$workdir/slo.json" \
+  > "$workdir/measured.txt" 2>&1
+code=$?
+cat "$workdir/measured.txt"
+kill -TERM "$fd_pid"
+wait "$fd_pid"
+fd_code=$?
+if [ "$code" -ne 0 ]; then
+  echo "check_slo: FAILED (measured pass: loadgen exited $code — a request" \
+       "went unanswered or a connection broke)"
+  exit 1
+fi
+if [ "$fd_code" -ne 0 ]; then
+  echo "check_slo: FAILED (front door exited $fd_code after SIGTERM)"
+  exit 1
+fi
+if grep -q '"errors":0' "$workdir/slo.json" \
+  && grep -q '"rejected":0' "$workdir/slo.json" \
+  && grep -q '"transport_errors":0' "$workdir/slo.json"; then
+  :
+else
+  echo "check_slo: FAILED (non-zero error/backpressure counters)"
+  cat "$workdir/slo.json"
+  exit 1
+fi
+
+echo "check_slo: OK"

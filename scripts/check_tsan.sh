@@ -14,7 +14,8 @@ cmake -B "$BUILD_DIR" -S . -DSOCTEST_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j \
   --target parallel_test exact_solver_test heuristics_test architect_test \
            branch_and_bound_test deadline_test fault_injection_test \
-           soctest_perf_tool
+           frontdoor_test soctest_perf_tool soctest_serve_tool \
+           soctest_frontdoor_tool soctest_loadgen_tool
 # TSan runs 5-20x slower, so the perf gate compares deterministic counters
 # only; the injected-slowdown negative pass still exercises the wall gate.
 SOCTEST_PERF_COUNTERS_ONLY=1 \

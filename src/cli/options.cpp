@@ -144,10 +144,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       if (options.failpoints.empty()) fail("--failpoints: empty spec");
     } else if (arg == "--client") {
       options.client_socket = value(arg);
-      if (options.client_socket.empty()) fail("--client: empty socket path");
+      if (options.client_socket.empty()) fail("--client: empty endpoint");
     } else if (arg == "--batch") {
       options.batch_path = value(arg);
       if (options.batch_path.empty()) fail("--batch: empty path");
+    } else if (arg == "--stream") {
+      options.stream = true;
     } else {
       fail("unknown argument '" + arg + "'");
     }
@@ -157,6 +159,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   if (!options.batch_path.empty() && options.client_socket.empty()) {
     fail("--batch requires --client");
+  }
+  if (options.stream && options.client_socket.empty()) {
+    fail("--stream requires --client");
   }
   return options;
 }
@@ -220,11 +225,14 @@ Robustness:
                         site=action[:hit] entries (docs/robustness.md)
 
 Service client (docs/service.md):
-  --client SOCKET       send the request to a running soctest-serve over its
-                        Unix socket and print the soctest-resp-v1 responses
+  --client ENDPOINT     send the request to a running soctest-serve or
+                        soctest-frontdoor (Unix socket path or HOST:PORT)
+                        and print the soctest-resp-v1 responses
   --batch FILE          with --client: send FILE's soctest-req-v1 lines
                         verbatim instead of one request built from the flags
                         above ("-" reads stdin)
+  --stream              with --client: stream soctest-partial-v1 incumbent
+                        lines before the final response
   --help                this text
 )";
 }

@@ -63,14 +63,18 @@ struct CliOptions {
   /// Fault-injection spec (--failpoints "site=action[:hit],..."); empty means
   /// no faults armed. See docs/robustness.md for the site catalog.
   std::string failpoints;
-  /// Client mode (--client SOCKET): send the request to a running
-  /// soctest-serve over its Unix socket instead of solving in-process, and
-  /// print the soctest-resp-v1 response lines (docs/service.md).
+  /// Client mode (--client ENDPOINT): send the request to a running
+  /// soctest-serve or soctest-frontdoor — ENDPOINT is a Unix socket path
+  /// or HOST:PORT — instead of solving in-process, and print the response
+  /// lines (docs/service.md).
   std::string client_socket;
   /// Batch file of soctest-req-v1 lines to send in client mode (--batch
   /// FILE; "-" reads stdin). Without it, client mode sends one request
   /// built from the solve flags above.
   std::string batch_path;
+  /// Client mode: set "stream":true on the flag-built request, printing
+  /// soctest-partial-v1 incumbent lines before the final response.
+  bool stream = false;
 };
 
 /// Parses argv-style arguments (without argv[0]). Throws

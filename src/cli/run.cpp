@@ -223,8 +223,12 @@ CliResult run_design(const CliOptions& options,
   return result;
 }
 
-/// Client mode: ship the work to a running soctest-serve over its Unix
-/// socket and relay the soctest-resp-v1 lines (docs/service.md).
+/// Client mode: ship the work to a running soctest-serve or
+/// soctest-frontdoor (Unix socket or HOST:PORT) and relay the response
+/// lines (docs/service.md). Streamed soctest-partial-v1 records may
+/// interleave with finals, and a concurrent server answers out of order,
+/// so completeness is judged by matching final ids against request ids —
+/// never by comparing line counts.
 CliResult run_client(const CliOptions& options) {
   CliResult result;
   std::vector<std::string> lines;
@@ -260,6 +264,7 @@ CliResult run_client(const CliOptions& options) {
     request.solver = options.solver;
     request.threads = options.threads;
     request.time_limit_ms = options.time_limit_ms;
+    request.stream = options.stream;
     lines.push_back(request_json(request));
   }
 
@@ -272,10 +277,12 @@ CliResult run_client(const CliOptions& options) {
   }
   std::ostringstream out;
   for (const std::string& line : responses.value()) out << line << "\n";
-  if (responses.value().size() < lines.size()) {
+  const ClientBatchSummary summary =
+      summarize_client_batch(lines, responses.value());
+  if (!summary.missing_ids.empty()) {
     const Status st = io_error(
-        "server answered " + std::to_string(responses.value().size()) +
-        " of " + std::to_string(lines.size()) + " requests");
+        "server answered " + std::to_string(summary.finals) + " of " +
+        std::to_string(summary.requests) + " requests");
     out << "error: " << st.to_string() << "\n";
     result.exit_code = exit_code_for(st);
   }

@@ -1,0 +1,686 @@
+#include "service/frontdoor.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/net.hpp"
+#include "common/sharded_cache.hpp"
+#include "obs/obs.hpp"
+#include "report/json.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+
+namespace soctest {
+
+namespace {
+
+std::uint64_t fingerprint_of(const JsonValue* doc) {
+  if (doc == nullptr || !doc->is_object()) return 0;
+  const std::string text = doc->string_or("soc_text", "");
+  if (!text.empty()) return fnv1a64(text);
+  // Default mirrors parse_request: a request with no soc field solves the
+  // built-in "soc1".
+  return fnv1a64(doc->string_or("soc", "soc1"));
+}
+
+/// Writes as much of `buf` as the fd accepts right now; keeps the
+/// remainder for the next POLLOUT. False once the peer is gone.
+bool flush_some(int fd, std::string* buf) {
+  while (!buf->empty()) {
+    const ssize_t n = ::write(fd, buf->data(), buf->size());
+    if (n > 0) {
+      buf->erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  return true;
+}
+
+/// Appends newly readable bytes to `inbuf`. Returns false on EOF or a
+/// hard error (the caller retires the fd); true while the peer lives.
+bool read_some(int fd, std::string* inbuf) {
+  char chunk[65536];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      inbuf->append(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) return true;
+      continue;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;
+  }
+}
+
+/// Pops one complete line from `inbuf` into `line`.
+bool next_line(std::string* inbuf, std::string* line) {
+  const auto pos = inbuf->find('\n');
+  if (pos == std::string::npos) return false;
+  line->assign(*inbuf, 0, pos);
+  inbuf->erase(0, pos + 1);
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t request_fingerprint(const std::string& line) {
+  const auto doc = parse_json(line);
+  return fingerprint_of(doc ? &*doc : nullptr);
+}
+
+int shard_for_line(const std::string& line, int num_workers) {
+  if (num_workers <= 1) return 0;
+  return static_cast<int>(request_fingerprint(line) %
+                          static_cast<std::uint64_t>(num_workers));
+}
+
+struct FrontDoor::Impl {
+  /// One request shipped to a worker and not yet finally answered. The
+  /// line is kept verbatim so a crash-retry resends exactly what the
+  /// client sent.
+  struct Pending {
+    std::string id;
+    std::string line;
+  };
+
+  /// One (client connection, worker shard) pipe. Lazily connected: a
+  /// client that only ever hits shard 2 holds no fd to the others.
+  struct Link {
+    int fd = -1;
+    bool was_connected = false;  ///< distinguishes reconnect (retry) from first use
+    std::string inbuf;
+    std::string outbuf;
+    std::deque<Pending> pending;
+  };
+
+  struct Client {
+    int fd = -1;
+    bool eof = false;   ///< client half-closed; finish pending, then close
+    bool dead = false;  ///< write failed; drop responses, keep accounting
+    std::string inbuf;
+    std::string outbuf;
+    std::vector<Link> links;
+  };
+
+  struct Worker {
+    pid_t pid = -1;
+    std::string socket_path;
+    int restarts = 0;
+    bool broken = false;  ///< restart budget exhausted; shard answers errors
+  };
+
+  explicit Impl(FrontDoorConfig cfg) : config(std::move(cfg)) {}
+
+  ~Impl() { cleanup(); }
+
+  FrontDoorConfig config;
+  std::string work_dir;
+  bool owns_work_dir = false;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::string bound_host;
+  std::vector<Worker> workers;
+  std::vector<std::unique_ptr<Client>> clients;
+  std::size_t total_inflight = 0;
+  bool draining = false;
+  std::atomic<bool> stop_flag{false};
+
+  mutable std::mutex mutex;  ///< guards worker pids + stat snapshots
+  std::atomic<long long> st_received{0};
+  std::atomic<long long> st_forwarded{0};
+  std::atomic<long long> st_rejected{0};
+  std::atomic<long long> st_completed{0};
+  std::atomic<long long> st_partials{0};
+  std::atomic<long long> st_errors{0};
+  std::atomic<long long> st_restarts{0};
+  std::atomic<long long> st_retried{0};
+
+  std::vector<std::string> worker_argv(std::size_t idx) const {
+    std::vector<std::string> argv;
+    argv.push_back(config.serve_binary);
+    argv.push_back("--socket");
+    argv.push_back(workers[idx].socket_path);
+    argv.push_back("--queue");
+    argv.push_back(std::to_string(config.worker_queue));
+    argv.push_back("--cache");
+    argv.push_back(std::to_string(config.worker_cache));
+    argv.push_back("--retry-after-ms");
+    argv.push_back(std::to_string(config.retry_after_ms));
+    if (config.serial_workers) {
+      argv.push_back("--serial");
+    } else if (config.worker_threads > 0) {
+      argv.push_back("--workers");
+      argv.push_back(std::to_string(config.worker_threads));
+    }
+    if (config.max_time_limit_ms >= 0) {
+      argv.push_back("--max-time-limit-ms");
+      argv.push_back(std::to_string(config.max_time_limit_ms));
+    }
+    if (config.worker_ledgers) {
+      argv.push_back("--ledger");
+      argv.push_back(work_dir + "/worker-" + std::to_string(idx) +
+                     ".ledger.jsonl");
+    }
+    return argv;
+  }
+
+  Status spawn_worker(std::size_t idx) {
+    const auto pid = net::spawn_process(worker_argv(idx));
+    if (!pid.ok()) return pid.status();
+    std::lock_guard<std::mutex> lock(mutex);
+    workers[idx].pid = pid.value();
+    return Status::Ok();
+  }
+
+  /// Blocks until worker `idx` accepts connections (its serve loop is
+  /// up). 10 s deadline — a worker that cannot bind its socket is a
+  /// configuration error worth failing fast on.
+  Status wait_worker_ready(std::size_t idx) {
+    const net::Endpoint ep{false, "", 0, workers[idx].socket_path};
+    for (int attempt = 0; attempt < 500; ++attempt) {
+      const auto fd = net::connect_endpoint(ep);
+      if (fd.ok()) {
+        ::close(fd.value());
+        return Status::Ok();
+      }
+      int status = 0;
+      if (net::try_reap(workers[idx].pid, &status)) {
+        std::lock_guard<std::mutex> lock(mutex);
+        workers[idx].pid = -1;
+        return internal_error("frontdoor: worker " + std::to_string(idx) +
+                              " exited during startup (" + config.serve_binary +
+                              ")");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return internal_error("frontdoor: worker " + std::to_string(idx) +
+                          " never came up at " + workers[idx].socket_path);
+  }
+
+  Status start() {
+    if (config.serve_binary.empty())
+      return invalid_argument_error("frontdoor: serve_binary not set");
+    if (config.workers < 1)
+      return invalid_argument_error("frontdoor: need at least one worker");
+    const auto parsed = net::parse_endpoint(config.listen);
+    if (!parsed.ok()) return parsed.status();
+    if (!parsed.value().tcp)
+      return invalid_argument_error(
+          "frontdoor: listen endpoint must be HOST:PORT, got '" +
+          config.listen + "'");
+
+    if (config.work_dir.empty()) {
+      char tmpl[] = "/tmp/soctest-frontdoor-XXXXXX";
+      if (::mkdtemp(tmpl) == nullptr)
+        return io_error(std::string("frontdoor: mkdtemp: ") +
+                        std::strerror(errno));
+      work_dir = tmpl;
+      owns_work_dir = true;
+    } else {
+      work_dir = config.work_dir;
+      ::mkdir(work_dir.c_str(), 0755);  // best effort; bind will complain
+    }
+
+    workers.resize(static_cast<std::size_t>(config.workers));
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      workers[i].socket_path =
+          work_dir + "/worker-" + std::to_string(i) + ".sock";
+      if (auto s = spawn_worker(i); !s.ok()) return s;
+    }
+    for (std::size_t i = 0; i < workers.size(); ++i)
+      if (auto s = wait_worker_ready(i); !s.ok()) return s;
+
+    const auto fd = net::listen_endpoint(parsed.value(), &bound_port);
+    if (!fd.ok()) return fd.status();
+    listen_fd = fd.value();
+    bound_host =
+        parsed.value().host.empty() ? "127.0.0.1" : parsed.value().host;
+    if (auto s = net::set_nonblocking(listen_fd); !s.ok()) return s;
+    return Status::Ok();
+  }
+
+  void forward_to_client(Client& client, const std::string& line) {
+    if (client.dead) return;
+    client.outbuf.append(line);
+    client.outbuf.push_back('\n');
+  }
+
+  void answer_locally(Client& client, const std::string& line) {
+    forward_to_client(client, line);
+  }
+
+  void handle_request(Client& client, const std::string& line) {
+    if (line.empty()) return;
+    st_received.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("frontdoor.requests.received").add();
+
+    const auto doc = parse_json(line);
+    const std::string id =
+        doc && doc->is_object() ? doc->string_or("id", "") : "";
+
+    if (total_inflight >= config.max_inflight) {
+      st_rejected.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("frontdoor.requests.rejected").add();
+      answer_locally(client,
+                     rejection_json(id, config.retry_after_ms,
+                                    "front door at capacity (" +
+                                        std::to_string(total_inflight) +
+                                        " requests in flight)"));
+      return;
+    }
+
+    const std::uint64_t fp = fingerprint_of(doc ? &*doc : nullptr);
+    const auto shard = static_cast<std::size_t>(
+        fp % static_cast<std::uint64_t>(workers.size()));
+    if (workers[shard].broken) {
+      st_errors.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("frontdoor.requests.error").add();
+      answer_locally(client,
+                     error_response_json(
+                         id,
+                         internal_error("worker shard " +
+                                        std::to_string(shard) +
+                                        " unavailable (restart budget spent)"),
+                         /*include_timing=*/false));
+      return;
+    }
+
+    Link& link = client.links[shard];
+    link.pending.push_back(Pending{id, line});
+    if (link.fd >= 0) {
+      link.outbuf.append(line);
+      link.outbuf.push_back('\n');
+    }
+    ++total_inflight;
+    st_forwarded.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("frontdoor.requests.forwarded").add();
+  }
+
+  void handle_worker_line(Client& client, std::size_t shard,
+                          const std::string& line) {
+    if (line.empty()) return;
+    const auto doc = parse_json(line);
+    const std::string schema =
+        doc && doc->is_object() ? doc->string_or("schema", "") : "";
+    if (schema == kPartialSchema) {
+      st_partials.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("frontdoor.stream.partials").add();
+      forward_to_client(client, line);
+      return;
+    }
+    // Final response: settle the oldest outstanding request with this id.
+    const std::string id =
+        doc && doc->is_object() ? doc->string_or("id", "") : "";
+    Link& link = client.links[shard];
+    for (auto it = link.pending.begin(); it != link.pending.end(); ++it) {
+      if (it->id == id) {
+        link.pending.erase(it);
+        if (total_inflight > 0) --total_inflight;
+        st_completed.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("frontdoor.requests.completed").add();
+        break;
+      }
+    }
+    forward_to_client(client, line);
+  }
+
+  /// Answers every request pending on a broken shard with an internal
+  /// error — accepted work is never silently dropped, even past the
+  /// restart budget.
+  void fail_shard_pending(std::size_t shard) {
+    for (auto& client : clients) {
+      Link& link = client->links[shard];
+      for (const Pending& p : link.pending) {
+        st_errors.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("frontdoor.requests.error").add();
+        answer_locally(*client,
+                       error_response_json(
+                           p.id,
+                           internal_error("worker shard " +
+                                          std::to_string(shard) +
+                                          " unavailable (restart budget "
+                                          "spent)"),
+                           /*include_timing=*/false));
+        if (total_inflight > 0) --total_inflight;
+      }
+      link.pending.clear();
+      link.outbuf.clear();
+      link.inbuf.clear();
+      if (link.fd >= 0) {
+        ::close(link.fd);
+        link.fd = -1;
+      }
+    }
+  }
+
+  void close_links_to(std::size_t shard) {
+    for (auto& client : clients) {
+      Link& link = client->links[shard];
+      if (link.fd >= 0) {
+        ::close(link.fd);
+        link.fd = -1;
+      }
+      // Bytes in flight to or from the dead process are void; `pending`
+      // alone is the source of truth for the resend.
+      link.inbuf.clear();
+      link.outbuf.clear();
+    }
+  }
+
+  void reap_workers() {
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      Worker& w = workers[i];
+      if (w.pid < 0 || w.broken) continue;
+      int status = 0;
+      if (!net::try_reap(w.pid, &status)) continue;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        w.pid = -1;
+      }
+      close_links_to(i);
+      ++w.restarts;
+      if (w.restarts > config.max_restarts) {
+        w.broken = true;
+        fail_shard_pending(i);
+        continue;
+      }
+      st_restarts.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("frontdoor.workers.restarts").add();
+      // listen_endpoint unlinks the stale socket path, so the respawn
+      // reuses it; links reconnect lazily once the socket accepts again.
+      spawn_worker(i);  // spawn failure leaves pid=-1; links keep retrying
+    }
+  }
+
+  /// Opens (or reopens) worker links that have work queued. After a
+  /// reconnect the outbuf is rebuilt from `pending` — everything the dead
+  /// process never answered goes again, in original order.
+  void ensure_links() {
+    for (auto& client : clients) {
+      for (std::size_t shard = 0; shard < client->links.size(); ++shard) {
+        Link& link = client->links[shard];
+        if (link.fd >= 0 || link.pending.empty()) continue;
+        const Worker& w = workers[shard];
+        if (w.broken || w.pid < 0) continue;
+        const net::Endpoint ep{false, "", 0, w.socket_path};
+        const auto fd = net::connect_endpoint(ep);
+        if (!fd.ok()) continue;  // worker still restarting; next tick
+        link.fd = fd.value();
+        net::set_nonblocking(link.fd);
+        link.inbuf.clear();
+        link.outbuf.clear();
+        for (const Pending& p : link.pending) {
+          link.outbuf.append(p.line);
+          link.outbuf.push_back('\n');
+        }
+        if (link.was_connected) {
+          const auto n = static_cast<long long>(link.pending.size());
+          st_retried.fetch_add(n, std::memory_order_relaxed);
+          obs::counter("frontdoor.workers.retried").add(n);
+        }
+        link.was_connected = true;
+      }
+    }
+  }
+
+  static std::size_t pending_total(const Client& client) {
+    std::size_t n = 0;
+    for (const Link& link : client.links) n += link.pending.size();
+    return n;
+  }
+
+  void close_client(Client& client) {
+    for (Link& link : client.links)
+      if (link.fd >= 0) {
+        ::close(link.fd);
+        link.fd = -1;
+      }
+    if (client.fd >= 0) {
+      ::close(client.fd);
+      client.fd = -1;
+    }
+  }
+
+  void sweep_clients() {
+    for (auto it = clients.begin(); it != clients.end();) {
+      Client& c = **it;
+      const std::size_t pending = pending_total(c);
+      bool done = c.dead || (c.eof && pending == 0 && c.outbuf.empty());
+      if (draining) done = done || (pending == 0 && c.outbuf.empty());
+      if (!done) {
+        ++it;
+        continue;
+      }
+      if (c.dead && pending > 0) {
+        // Responses for a vanished client still count down in-flight.
+        ++it;
+        continue;
+      }
+      close_client(c);
+      it = clients.erase(it);
+    }
+  }
+
+  void accept_clients() {
+    while (true) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN, EINTR (next tick), or shutdown
+      net::set_nonblocking(fd);
+      net::set_tcp_nodelay(fd);
+      auto client = std::make_unique<Client>();
+      client->fd = fd;
+      client->links.resize(workers.size());
+      clients.push_back(std::move(client));
+    }
+  }
+
+  int serve() {
+    while (true) {
+      if (!draining &&
+          (shutdown_requested() ||
+           stop_flag.load(std::memory_order_acquire)))
+        draining = true;
+
+      reap_workers();
+      ensure_links();
+      sweep_clients();
+      if (draining && clients.empty()) break;
+
+      // One pollfd table per tick; `slots` maps entries back to owners.
+      struct Slot {
+        enum Kind { kListener, kClient, kLink } kind;
+        std::size_t client;
+        std::size_t shard;
+      };
+      std::vector<pollfd> pfds;
+      std::vector<Slot> slots;
+      if (!draining) {
+        pfds.push_back(pollfd{listen_fd, POLLIN, 0});
+        slots.push_back(Slot{Slot::kListener, 0, 0});
+      }
+      for (std::size_t ci = 0; ci < clients.size(); ++ci) {
+        Client& c = *clients[ci];
+        short events = 0;
+        if (!draining && !c.eof && !c.dead) events |= POLLIN;
+        if (!c.dead && !c.outbuf.empty()) events |= POLLOUT;
+        if (events != 0 && c.fd >= 0) {
+          pfds.push_back(pollfd{c.fd, events, 0});
+          slots.push_back(Slot{Slot::kClient, ci, 0});
+        }
+        for (std::size_t shard = 0; shard < c.links.size(); ++shard) {
+          Link& link = c.links[shard];
+          if (link.fd < 0) continue;
+          short ev = POLLIN;
+          if (!link.outbuf.empty()) ev |= POLLOUT;
+          pfds.push_back(pollfd{link.fd, ev, 0});
+          slots.push_back(Slot{Slot::kLink, ci, shard});
+        }
+      }
+
+      if (pfds.empty()) {
+        // Draining with dead clients whose pendings await worker answers
+        // cannot happen (their links are polled); nothing to wait on means
+        // nothing left to do this tick.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+
+      const int rc = ::poll(pfds.data(), pfds.size(), 100);
+      if (rc < 0 && errno != EINTR) break;
+      if (rc <= 0) continue;
+
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        if (pfds[i].revents == 0) continue;
+        const Slot slot = slots[i];
+        if (slot.kind == Slot::kListener) {
+          accept_clients();
+          continue;
+        }
+        Client& c = *clients[slot.client];
+        if (slot.kind == Slot::kClient) {
+          if (pfds[i].revents & POLLOUT) {
+            if (!flush_some(c.fd, &c.outbuf)) {
+              c.dead = true;
+              continue;
+            }
+          }
+          if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+            const bool alive = read_some(c.fd, &c.inbuf);
+            std::string line;
+            while (next_line(&c.inbuf, &line)) handle_request(c, line);
+            if (!alive) {
+              if (!c.inbuf.empty()) {
+                handle_request(c, c.inbuf);  // unterminated final line
+                c.inbuf.clear();
+              }
+              c.eof = true;
+            }
+          }
+        } else {
+          Link& link = c.links[slot.shard];
+          if (link.fd < 0) continue;  // closed earlier this tick by a reap
+          if (pfds[i].revents & POLLOUT) {
+            if (!flush_some(link.fd, &link.outbuf)) {
+              ::close(link.fd);
+              link.fd = -1;  // reap/ensure_links recovers via pending
+              link.inbuf.clear();
+              link.outbuf.clear();
+              continue;
+            }
+          }
+          if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+            const bool alive = read_some(link.fd, &link.inbuf);
+            std::string line;
+            while (next_line(&link.inbuf, &line))
+              handle_worker_line(c, slot.shard, line);
+            if (!alive) {
+              ::close(link.fd);
+              link.fd = -1;
+              link.inbuf.clear();
+              link.outbuf.clear();
+            }
+          }
+        }
+      }
+    }
+
+    shutdown_workers();
+    cleanup();
+    return 0;
+  }
+
+  void shutdown_workers() {
+    for (Worker& w : workers) {
+      pid_t pid;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        pid = w.pid;
+        w.pid = -1;
+      }
+      if (pid > 0) net::terminate_and_wait(pid);
+    }
+  }
+
+  void cleanup() {
+    for (auto& client : clients) close_client(*client);
+    clients.clear();
+    shutdown_workers();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    for (Worker& w : workers) {
+      if (!w.socket_path.empty()) ::unlink(w.socket_path.c_str());
+    }
+    if (owns_work_dir && !work_dir.empty()) {
+      if (config.worker_ledgers) {
+        for (std::size_t i = 0; i < workers.size(); ++i)
+          ::unlink((work_dir + "/worker-" + std::to_string(i) +
+                    ".ledger.jsonl")
+                       .c_str());
+      }
+      ::rmdir(work_dir.c_str());
+      owns_work_dir = false;
+    }
+  }
+};
+
+FrontDoor::FrontDoor(FrontDoorConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+FrontDoor::~FrontDoor() = default;
+
+Status FrontDoor::start() { return impl_->start(); }
+
+int FrontDoor::serve() { return impl_->serve(); }
+
+void FrontDoor::stop() {
+  impl_->stop_flag.store(true, std::memory_order_release);
+}
+
+int FrontDoor::port() const { return impl_->bound_port; }
+
+std::string FrontDoor::endpoint() const {
+  return impl_->bound_host + ":" + std::to_string(impl_->bound_port);
+}
+
+std::vector<pid_t> FrontDoor::worker_pids() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<pid_t> pids;
+  pids.reserve(impl_->workers.size());
+  for (const auto& w : impl_->workers) pids.push_back(w.pid);
+  return pids;
+}
+
+FrontDoorStats FrontDoor::stats() const {
+  FrontDoorStats s;
+  s.received = impl_->st_received.load(std::memory_order_relaxed);
+  s.forwarded = impl_->st_forwarded.load(std::memory_order_relaxed);
+  s.rejected = impl_->st_rejected.load(std::memory_order_relaxed);
+  s.completed = impl_->st_completed.load(std::memory_order_relaxed);
+  s.partials = impl_->st_partials.load(std::memory_order_relaxed);
+  s.errors = impl_->st_errors.load(std::memory_order_relaxed);
+  s.restarts = impl_->st_restarts.load(std::memory_order_relaxed);
+  s.retried = impl_->st_retried.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace soctest

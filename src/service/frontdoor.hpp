@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "runtime/status.hpp"
+
+namespace soctest {
+
+/// The scale-out front door (docs/service.md, docs/operations.md): one
+/// poll-driven proxy process that listens on TCP, spawns N `soctest-serve`
+/// worker processes on private Unix sockets, and shards every request to
+/// a worker keyed by the SOC content fingerprint — the same fnv1a64 the
+/// result cache keys on, so identical SOCs always land on the same worker
+/// and its LRU shard stays hot (cache affinity for free).
+///
+/// Forwarding is verbatim in both directions: the front door never
+/// rewrites request or response bytes. It demultiplexes by connection —
+/// each client connection gets its own lazily-opened connection per
+/// worker — so client-chosen ids never collide across clients. Within one
+/// client connection, finals are matched to outstanding requests by id
+/// (first match wins), which is also the crash-retry bookkeeping;
+/// clients that reuse ids with different request bodies should expect
+/// retry accounting to treat same-id requests as interchangeable.
+///
+/// Fault handling: a worker that exits is detected by waitpid, respawned
+/// (up to `max_restarts` times), and every request that was in flight on
+/// it is resent to the fresh process — no request accepted by the front
+/// door is ever silently lost. Past the restart budget the shard is
+/// declared broken and its requests are answered with internal errors.
+///
+/// Backpressure: beyond `max_inflight` outstanding requests the front
+/// door rejects with `retry_after_ms` itself (before any worker sees the
+/// request); worker-level queue-full rejections pass through verbatim, so
+/// the advice reaches the client end to end either way.
+struct FrontDoorConfig {
+  /// TCP listen endpoint, HOST:PORT; port 0 binds an ephemeral port
+  /// (read it back via port()).
+  std::string listen = "127.0.0.1:0";
+  int workers = 2;
+  /// Path to the soctest-serve binary to spawn.
+  std::string serve_binary;
+  /// Directory for worker sockets (and ledgers); empty = private mkdtemp,
+  /// removed on shutdown.
+  std::string work_dir;
+  /// Run workers with --serial (deterministic per-shard streams).
+  bool serial_workers = false;
+  int worker_threads = 0;           ///< --workers passed to each worker
+  std::size_t worker_queue = 64;    ///< --queue per worker
+  std::size_t worker_cache = 512;   ///< --cache per worker
+  double max_time_limit_ms = -1.0;  ///< --max-time-limit-ms when >= 0
+  /// Give each worker its own ledger file in work_dir
+  /// (worker-<i>.ledger.jsonl) for fleet-wide SLO analysis.
+  bool worker_ledgers = false;
+  /// Front-door admission bound across all clients and workers.
+  std::size_t max_inflight = 256;
+  double retry_after_ms = 50.0;
+  /// Respawn budget per worker before its shard is declared broken.
+  int max_restarts = 3;
+};
+
+struct FrontDoorStats {
+  long long received = 0;   ///< request lines read from clients
+  long long forwarded = 0;  ///< shipped to a worker
+  long long rejected = 0;   ///< refused by front-door admission control
+  long long completed = 0;  ///< final responses relayed back
+  long long partials = 0;   ///< soctest-partial-v1 records relayed back
+  long long errors = 0;     ///< answered by the front door with an error
+  long long restarts = 0;   ///< worker processes respawned after a crash
+  long long retried = 0;    ///< in-flight requests resent after a respawn
+};
+
+class FrontDoor {
+ public:
+  explicit FrontDoor(FrontDoorConfig config);
+  ~FrontDoor();
+
+  FrontDoor(const FrontDoor&) = delete;
+  FrontDoor& operator=(const FrontDoor&) = delete;
+
+  /// Spawns the workers, waits until each accepts connections, and binds
+  /// the TCP listener. Call once, before serve().
+  Status start();
+
+  /// Runs the poll loop until shutdown_requested() or stop(). Returns the
+  /// process exit code (0 = clean drain: every in-flight request answered,
+  /// workers SIGTERMed and reaped).
+  int serve();
+
+  /// Asks a serve() running on another thread to drain and return; unlike
+  /// request_shutdown() it is scoped to this instance (tests).
+  void stop();
+
+  int port() const;               ///< bound TCP port after start()
+  std::string endpoint() const;   ///< "host:port" after start()
+  std::vector<pid_t> worker_pids() const;
+  FrontDoorStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The sharding contract, exposed pure for tests and capacity planning:
+/// fnv1a64 of the request's `soc_text` when present, else of its `soc`
+/// name (defaulting like the parser does). Unparseable lines fingerprint
+/// to 0 — they shard to worker 0, which answers them with parse errors.
+std::uint64_t request_fingerprint(const std::string& line);
+
+/// request_fingerprint(line) % num_workers (0 when num_workers <= 1).
+int shard_for_line(const std::string& line, int num_workers);
+
+}  // namespace soctest

@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
+#include <map>
 
 #include "report/json.hpp"
 
@@ -131,6 +132,9 @@ StatusOr<ServiceRequest> parse_request(const std::string& line) {
     } else if (name == "no_cache") {
       if (!value.is_bool()) return bad_field(name, "expected a boolean");
       request.no_cache = value.boolean;
+    } else if (name == "stream") {
+      if (!value.is_bool()) return bad_field(name, "expected a boolean");
+      request.stream = value.boolean;
     } else {
       return invalid_argument_error("unknown request field '" + name + "'");
     }
@@ -175,8 +179,67 @@ std::string request_json(const ServiceRequest& request) {
     w.key("time_limit_ms").value(request.time_limit_ms);
   }
   if (request.no_cache) w.key("no_cache").value(true);
+  if (request.stream) w.key("stream").value(true);
   w.end_object();
   return w.str();
+}
+
+std::string partial_json(const PartialRecord& partial) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kPartialSchema);
+  w.key("id").value(partial.id);
+  w.key("seq").value(partial.seq);
+  w.key("widths").begin_array();
+  for (int width : partial.widths) w.value(width);
+  w.end_array();
+  w.key("t_cycles").value(partial.t_cycles);
+  w.key("lower_bound").value(partial.lower_bound);
+  w.key("gap").value(partial.gap);
+  w.end_object();
+  return w.str();
+}
+
+ClientBatchSummary summarize_client_batch(
+    const std::vector<std::string>& request_lines,
+    const std::vector<std::string>& response_lines) {
+  ClientBatchSummary summary;
+  summary.requests = request_lines.size();
+
+  // Multiset of outstanding request ids. Unparseable request lines still
+  // occupy a slot under the id the server would recover for them ("" when
+  // nothing is recoverable) — the server answers those with an error
+  // response carrying that id.
+  std::map<std::string, std::size_t> outstanding;
+  for (const std::string& line : request_lines) {
+    std::string id;
+    if (const auto doc = parse_json(line); doc && doc->is_object()) {
+      id = doc->string_or("id", "");
+    }
+    ++outstanding[id];
+  }
+
+  for (const std::string& line : response_lines) {
+    const auto doc = parse_json(line);
+    if (!doc || !doc->is_object()) continue;
+    const std::string schema = doc->string_or("schema", "");
+    if (schema == kPartialSchema) {
+      ++summary.partials;
+      continue;
+    }
+    if (schema != kResponseSchema) continue;
+    ++summary.finals;
+    const std::string id = doc->string_or("id", "");
+    const auto it = outstanding.find(id);
+    if (it != outstanding.end() && it->second > 0) {
+      if (--it->second == 0) outstanding.erase(it);
+    }
+  }
+
+  for (const auto& [id, count] : outstanding) {
+    for (std::size_t i = 0; i < count; ++i) summary.missing_ids.push_back(id);
+  }
+  return summary;
 }
 
 std::string response_json(const SolveOutcome& outcome,

@@ -13,13 +13,22 @@ namespace soctest {
 // Versioned JSON-lines solve protocol (docs/service.md):
 //   request  = one "soctest-req-v1" JSON object per line
 //   response = one "soctest-resp-v1" JSON object per line
+//   partial  = zero or more "soctest-partial-v1" JSON objects per
+//              streaming request, before its final response
 // Responses carry the request's `id`, so a pipelined client can match them
 // even when a concurrent server completes jobs out of order. The serial
 // (deterministic) server mode additionally preserves request order and
 // omits timing fields, making response streams byte-identical across runs.
+//
+// Streaming: a request with `"stream":true` opts into partial records —
+// one per improving incumbent the anytime solver finds, gap monotonically
+// non-increasing, always terminated by the ordinary final response on the
+// same connection. Clients that never set `stream` never see a partial, so
+// strict non-streaming parsers keep working unchanged.
 
 inline constexpr const char* kRequestSchema = "soctest-req-v1";
 inline constexpr const char* kResponseSchema = "soctest-resp-v1";
+inline constexpr const char* kPartialSchema = "soctest-partial-v1";
 
 /// One parsed solve request. Defaults mirror the CLI's: a request only
 /// states what it wants to override.
@@ -48,6 +57,10 @@ struct ServiceRequest {
   /// results are anytime (timing-dependent) and therefore bypass the cache.
   double time_limit_ms = -1.0;
   bool no_cache = false;  ///< skip cache lookup AND fill for this request
+  /// Opt into soctest-partial-v1 incumbent streaming for this request.
+  /// Delivery-only: it never affects the solve or the cache key (a cache
+  /// hit simply answers with the final response and no partials).
+  bool stream = false;
 };
 
 /// Parses one request line. Unknown members are rejected (they are most
@@ -105,5 +118,38 @@ std::string rejection_json(const std::string& id, double retry_after_ms,
                            const std::string& message);
 
 const char* power_mode_name(PowerConstraintMode mode);
+
+/// One streamed incumbent improvement (soctest-partial-v1). `seq` starts
+/// at 1 and increments per partial of the same request; `t_cycles` is
+/// strictly decreasing and `gap` non-increasing across a request's
+/// partials (the emitter enforces it). No timing fields: partial streams
+/// from a serial server stay byte-identical across runs.
+struct PartialRecord {
+  std::string id;
+  long long seq = 1;
+  std::vector<int> widths;
+  long long t_cycles = -1;
+  long long lower_bound = -1;  ///< -1 when no useful bound exists
+  double gap = -1.0;           ///< (t - lb) / lb, or -1 without a bound
+};
+
+/// Serializes one partial as a soctest-partial-v1 line (no newline).
+std::string partial_json(const PartialRecord& partial);
+
+/// What a pipelined client saw, summarized for the "did every request get
+/// answered" check. Final responses are matched to request ids as a
+/// multiset (duplicate ids allowed, arbitrary response order); partial
+/// records are counted but never consume a request slot.
+struct ClientBatchSummary {
+  std::size_t requests = 0;
+  std::size_t finals = 0;    ///< soctest-resp-v1 lines seen
+  std::size_t partials = 0;  ///< soctest-partial-v1 lines seen
+  /// Request ids (one entry per unanswered request) with no matching final.
+  std::vector<std::string> missing_ids;
+};
+
+ClientBatchSummary summarize_client_batch(
+    const std::vector<std::string>& request_lines,
+    const std::vector<std::string>& response_lines);
 
 }  // namespace soctest

@@ -49,10 +49,12 @@ std::string recover_id(const std::string& line) {
 /// every failure becomes an ok=false outcome.
 SolveOutcome solve_request(const ServiceRequest& request, const Soc& soc,
                            const CancellationToken* cancel,
-                           double effective_time_limit_ms) {
+                           double effective_time_limit_ms,
+                           const ProgressFn& progress) {
   SolveOutcome outcome;
   try {
     DesignRequest design_request;
+    design_request.progress = progress;
     design_request.bus_widths = request.widths;
     design_request.num_buses = request.buses;
     design_request.total_width = request.total_width;
@@ -110,6 +112,7 @@ SolveOutcome solve_request(const ServiceRequest& request, const Soc& soc,
 struct SolveService::Job {
   ServiceRequest request;
   std::function<void(std::string)> done;
+  std::function<void(std::string)> partial;
   Clock::time_point enqueued;
 };
 
@@ -126,7 +129,8 @@ SolveService::SolveService(const ServiceConfig& config)
 SolveService::~SolveService() { drain(); }
 
 void SolveService::submit(const std::string& line,
-                          std::function<void(std::string)> done) {
+                          std::function<void(std::string)> done,
+                          std::function<void(std::string)> partial) {
   received_.fetch_add(1, std::memory_order_relaxed);
   obs::counter("service.requests.received").add();
 
@@ -150,6 +154,7 @@ void SolveService::submit(const std::string& line,
   auto job = std::make_shared<Job>();
   job->request = parsed.take();
   job->done = std::move(done);
+  if (job->request.stream) job->partial = std::move(partial);
   job->enqueued = Clock::now();
 
   if (config_.serial) {
@@ -196,15 +201,16 @@ void SolveService::run_job(const std::shared_ptr<Job>& job) {
                                        {"solver",
                                         inner_solver_name(
                                             job->request.solver)}});
-    response = execute(job->request, &cached);
+    response = execute(job->request, &cached, job->partial);
     if (span.active()) span.arg({"cached", cached});
   }
   completed_.fetch_add(1, std::memory_order_relaxed);
   job->done(std::move(response));
 }
 
-std::string SolveService::execute(const ServiceRequest& request,
-                                  bool* cached) {
+std::string SolveService::execute(
+    const ServiceRequest& request, bool* cached,
+    const std::function<void(std::string)>& partial) {
   const auto start = Clock::now();
   ResponseMeta meta;
   meta.id = request.id;
@@ -246,8 +252,38 @@ std::string SolveService::execute(const ServiceRequest& request,
     limit_ms = config_.max_time_limit_ms;
   }
 
+  // Streaming: translate incumbent improvements into soctest-partial-v1
+  // lines. The callback runs on this job's thread, so the sequence state
+  // needs no lock; the strictly-better filter here is the protocol's
+  // monotonic-gap guarantee (the lower bound is fixed per request, so
+  // decreasing t_cycles implies non-increasing gap).
+  ProgressFn progress;
+  long long partial_seq = 0;
+  long long partial_best = -1;
+  if (partial && request.stream) {
+    progress = [&](const SolveProgress& snapshot) {
+      if (snapshot.t_cycles < 0) return;
+      if (partial_best >= 0 && snapshot.t_cycles >= partial_best) return;
+      partial_best = snapshot.t_cycles;
+      PartialRecord record;
+      record.id = request.id;
+      record.seq = ++partial_seq;
+      record.widths = snapshot.bus_widths;
+      record.t_cycles = snapshot.t_cycles;
+      record.lower_bound = snapshot.lower_bound;
+      record.gap = snapshot.lower_bound > 0
+                       ? static_cast<double>(snapshot.t_cycles -
+                                             snapshot.lower_bound) /
+                             static_cast<double>(snapshot.lower_bound)
+                       : -1.0;
+      obs::counter("service.stream.partials").add();
+      partial(partial_json(record));
+    };
+  }
+
   CancellationToken cancel;
-  SolveOutcome outcome = solve_request(request, soc, &cancel, limit_ms);
+  SolveOutcome outcome =
+      solve_request(request, soc, &cancel, limit_ms, progress);
   if (outcome.ok) {
     obs::counter("service.requests.ok").add();
   } else {

@@ -72,8 +72,14 @@ class SolveService {
 
   /// Parses and either runs/enqueues one request line or responds
   /// immediately (parse error, admission rejection, draining server).
-  void submit(const std::string& line,
-              std::function<void(std::string)> done);
+  ///
+  /// `partial`, when provided, receives zero or more soctest-partial-v1
+  /// lines for a `"stream":true` request — one per improving incumbent,
+  /// gap non-increasing — all delivered before the final `done` line and
+  /// on the same thread that will run `done`. Non-streaming requests,
+  /// cache hits, rejections, and errors never invoke it.
+  void submit(const std::string& line, std::function<void(std::string)> done,
+              std::function<void(std::string)> partial = nullptr);
 
   /// Stops admission and blocks until every accepted job has delivered its
   /// response. Idempotent; submit() after drain() responds with a
@@ -96,7 +102,8 @@ class SolveService {
  private:
   struct Job;
   void run_job(const std::shared_ptr<Job>& job);
-  std::string execute(const ServiceRequest& request, bool* cached);
+  std::string execute(const ServiceRequest& request, bool* cached,
+                      const std::function<void(std::string)>& partial);
   void append_service_ledger(const ServiceRequest& request,
                              const SolveOutcome& outcome, double wall_ms);
 

@@ -1,16 +1,19 @@
 #include "service/transport.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
-#include <atomic>
-#include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <condition_variable>
 
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
+
+#include "common/net.hpp"
 
 namespace soctest {
 
@@ -23,25 +26,19 @@ extern "C" void shutdown_signal_handler(int) {
 }
 
 /// Writes one response line to a shared fd. Lines are written whole under a
-/// mutex so concurrent workers cannot interleave bytes.
+/// mutex so concurrent workers cannot interleave bytes; net::write_all
+/// tolerates EINTR and nonblocking fds.
 class LineWriter {
  public:
   explicit LineWriter(int fd) : fd_(fd) {}
 
   void write_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return;
     std::string buffer = line;
     buffer.push_back('\n');
-    std::size_t off = 0;
-    while (off < buffer.size()) {
-      const ssize_t n =
-          ::write(fd_, buffer.data() + off, buffer.size() - off);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        failed_ = true;
-        return;  // reader went away; keep draining jobs regardless
-      }
-      off += static_cast<std::size_t>(n);
+    if (!net::write_all(fd_, buffer.data(), buffer.size())) {
+      failed_ = true;  // reader went away; keep draining jobs regardless
     }
   }
 
@@ -138,12 +135,152 @@ void pump(SolveService& service, int in_fd, int out_fd) {
   while (reader.next(&line)) {
     if (line.empty()) continue;
     barrier.submitted();
-    service.submit(line, [&writer, &barrier](std::string response) {
-      writer.write_line(response);
-      barrier.answered();
-    });
+    service.submit(
+        line,
+        [&writer, &barrier](std::string response) {
+          writer.write_line(response);
+          barrier.answered();
+        },
+        [&writer](std::string partial) { writer.write_line(partial); });
   }
   barrier.wait_all_answered();
+}
+
+/// One multiplexed connection. The poll loop owns reads; whichever worker
+/// thread finishes a job writes its response (partials first, then the
+/// final line) through the shared LineWriter. The connection closes only
+/// once the client half-closed (or the server is draining) AND every
+/// submitted request has been answered — per-connection graceful drain.
+struct MuxConn {
+  explicit MuxConn(int fd) : fd(fd), writer(fd) {}
+  int fd;
+  LineWriter writer;
+  std::string inbuf;
+  bool eof = false;
+  std::atomic<long long> submitted{0};
+  std::atomic<long long> answered{0};
+
+  bool finished() const {
+    return eof && answered.load(std::memory_order_acquire) >=
+                      submitted.load(std::memory_order_relaxed);
+  }
+};
+
+void submit_conn_line(SolveService& service,
+                      const std::shared_ptr<MuxConn>& conn,
+                      const std::string& line) {
+  if (line.empty()) return;
+  conn->submitted.fetch_add(1, std::memory_order_relaxed);
+  service.submit(
+      line,
+      [conn](std::string response) {
+        conn->writer.write_line(response);
+        conn->answered.fetch_add(1, std::memory_order_release);
+      },
+      [conn](std::string partial) { conn->writer.write_line(partial); });
+}
+
+/// One read() worth of bytes from a ready connection, split into complete
+/// lines and submitted. Level-triggered poll re-arms for any remainder.
+void read_conn(SolveService& service, const std::shared_ptr<MuxConn>& conn) {
+  char chunk[65536];
+  const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+  if (n < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn->eof = true;
+  } else if (n == 0) {
+    conn->eof = true;
+  } else {
+    conn->inbuf.append(chunk, static_cast<std::size_t>(n));
+  }
+  std::size_t nl;
+  while ((nl = conn->inbuf.find('\n')) != std::string::npos) {
+    const std::string line = conn->inbuf.substr(0, nl);
+    conn->inbuf.erase(0, nl + 1);
+    submit_conn_line(service, conn, line);
+  }
+  if (conn->eof && !conn->inbuf.empty()) {
+    const std::string line = conn->inbuf;  // unterminated final line
+    conn->inbuf.clear();
+    submit_conn_line(service, conn, line);
+  }
+}
+
+/// The shared poll loop behind the Unix-socket and TCP servers: accepts
+/// connections, reads request lines from every live one, and retires each
+/// connection once it is answered out. On shutdown (signal or `stop`) it
+/// stops accepting and reading, lets outstanding jobs answer, drains the
+/// service, and returns 0. Takes ownership of `listen_fd`.
+int serve_listener(SolveService& service, int listen_fd,
+                   const std::atomic<bool>* stop) {
+  net::set_nonblocking(listen_fd);
+  std::vector<std::shared_ptr<MuxConn>> conns;
+  bool draining = false;
+
+  while (true) {
+    if (!draining &&
+        (shutdown_requested() ||
+         (stop != nullptr && stop->load(std::memory_order_relaxed)))) {
+      draining = true;
+    }
+    // Retire connections whose every request has been answered. While
+    // draining, unread input is deliberately dropped — the contract is
+    // "everything submitted gets answered", not "everything buffered".
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [draining](const std::shared_ptr<MuxConn>& c) {
+                                 const bool done =
+                                     draining
+                                         ? c->answered.load(
+                                               std::memory_order_acquire) >=
+                                               c->submitted.load(
+                                                   std::memory_order_relaxed)
+                                         : c->finished();
+                                 if (done) ::close(c->fd);
+                                 return done;
+                               }),
+                conns.end());
+    if (draining && conns.empty()) break;
+
+    std::vector<struct pollfd> pfds;
+    std::vector<std::shared_ptr<MuxConn>> polled;
+    if (!draining) {
+      pfds.push_back({listen_fd, POLLIN, 0});
+    }
+    for (const auto& conn : conns) {
+      if (conn->eof || draining) continue;
+      pfds.push_back({conn->fd, POLLIN, 0});
+      polled.push_back(conn);
+    }
+    const int ready =
+        ::poll(pfds.empty() ? nullptr : pfds.data(),
+               static_cast<nfds_t>(pfds.size()), /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    std::size_t base = 0;
+    if (!draining) {
+      if ((pfds[0].revents & (POLLIN | POLLERR)) != 0) {
+        while (true) {
+          const int conn_fd =
+              ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+          if (conn_fd < 0) break;  // EAGAIN: accepted everything pending
+          net::set_tcp_nodelay(conn_fd);
+          conns.push_back(std::make_shared<MuxConn>(conn_fd));
+        }
+      }
+      base = 1;
+    }
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      if ((pfds[base + i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        read_conn(service, polled[i]);
+      }
+    }
+  }
+
+  for (const auto& conn : conns) ::close(conn->fd);
+  service.drain();
+  ::close(listen_fd);
+  return 0;
 }
 
 }  // namespace
@@ -155,6 +292,9 @@ void install_shutdown_handlers() {
   sigemptyset(&action.sa_mask);
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
+  // A client that disconnects mid-response must not kill the server with
+  // SIGPIPE; writes fail with EPIPE and the connection is retired.
+  ::signal(SIGPIPE, SIG_IGN);
 }
 
 bool shutdown_requested() {
@@ -170,76 +310,45 @@ int serve_stdio(SolveService& service, int in_fd, int out_fd) {
 }
 
 int serve_unix_socket(SolveService& service, const std::string& path) {
-  struct sockaddr_un addr;
-  if (path.size() >= sizeof(addr.sun_path)) return kExitIoError;
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) return kExitIoError;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  net::Endpoint endpoint;
+  endpoint.path = path;
+  StatusOr<int> listener = net::listen_endpoint(endpoint);
+  if (!listener.ok()) return kExitIoError;
+  const int code = serve_listener(service, listener.value(), nullptr);
   ::unlink(path.c_str());
-  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(listen_fd, 16) < 0) {
-    ::close(listen_fd);
-    return kExitIoError;
-  }
+  return code;
+}
 
-  while (!shutdown_requested()) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd;
-    pfd.events = POLLIN;
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) continue;
-    // One connection at a time: read it to EOF (the client half-closes),
-    // answer everything it submitted, then close. A shutdown signal during
-    // the connection stops the reader, but every request already submitted
-    // still gets its response before the close.
-    pump(service, conn_fd, conn_fd);
-    ::close(conn_fd);
+int serve_tcp(SolveService& service, const std::string& endpoint,
+              std::atomic<int>* bound_port, const std::atomic<bool>* stop) {
+  StatusOr<net::Endpoint> parsed = net::parse_endpoint(endpoint);
+  if (!parsed.ok() || !parsed.value().tcp) return kExitIoError;
+  int port = 0;
+  StatusOr<int> listener = net::listen_endpoint(parsed.value(), &port);
+  if (!listener.ok()) return kExitIoError;
+  if (bound_port != nullptr) {
+    bound_port->store(port, std::memory_order_release);
   }
-
-  service.drain();
-  ::close(listen_fd);
-  ::unlink(path.c_str());
-  return 0;
+  return serve_listener(service, listener.value(), stop);
 }
 
 StatusOr<std::vector<std::string>> client_roundtrip(
-    const std::string& path, const std::vector<std::string>& request_lines) {
-  struct sockaddr_un addr;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    return invalid_argument_error("socket path too long: " + path);
-  }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return io_error("cannot create socket");
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
-    ::close(fd);
-    return io_error("cannot connect to " + path + ": " +
-                    std::strerror(errno));
-  }
+    const std::string& endpoint,
+    const std::vector<std::string>& request_lines) {
+  StatusOr<net::Endpoint> parsed = net::parse_endpoint(endpoint);
+  if (!parsed.ok()) return parsed.status();
+  StatusOr<int> connected = net::connect_endpoint(parsed.value());
+  if (!connected.ok()) return connected.status();
+  const int fd = connected.value();
 
   std::string out;
   for (const std::string& line : request_lines) {
     out += line;
     out.push_back('\n');
   }
-  std::size_t off = 0;
-  while (off < out.size()) {
-    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return io_error("write failed: " + std::string(std::strerror(errno)));
-    }
-    off += static_cast<std::size_t>(n);
+  if (!net::write_all(fd, out.data(), out.size())) {
+    ::close(fd);
+    return io_error("write failed: " + std::string(std::strerror(errno)));
   }
   ::shutdown(fd, SHUT_WR);
 

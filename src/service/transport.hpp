@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -9,9 +10,12 @@
 namespace soctest {
 
 /// Transports for the solve service (docs/service.md): newline-delimited
-/// JSON over stdio or a Unix domain socket. Both drain gracefully — on
-/// input EOF or a shutdown signal they stop admitting work, finish every
-/// accepted job, deliver its response, and return.
+/// JSON over stdio, a Unix domain socket, or TCP. All drain gracefully —
+/// on input EOF or a shutdown signal they stop admitting work, finish
+/// every accepted job, deliver its response, and return. The socket
+/// transports multiplex: one poll loop reads every live connection, and
+/// responses (and streamed partials) are written back to the connection
+/// that submitted the request, whole lines at a time.
 
 /// Installs SIGTERM/SIGINT handlers that flip the transport shutdown flag
 /// (async-signal-safe: one relaxed atomic store). Call once per process,
@@ -31,16 +35,28 @@ void request_shutdown();
 int serve_stdio(SolveService& service, int in_fd, int out_fd);
 
 /// Binds, listens on, and serves a Unix domain socket at `path` until
-/// shutdown. Connections are accepted one at a time (each is read to EOF
-/// and answered before the next accept); a shutdown signal stops new
-/// accepts, finishes the live connection, drains, unlinks the socket, and
-/// returns 0. Returns kExitIoError when the socket cannot be set up.
+/// shutdown: concurrent connections are multiplexed in one poll loop. A
+/// shutdown signal stops accepts and reads, answers everything already
+/// submitted, drains, unlinks the socket, and returns 0. Returns
+/// kExitIoError when the socket cannot be set up.
 int serve_unix_socket(SolveService& service, const std::string& path);
 
-/// Client side: connects to the Unix socket at `path`, sends every line of
-/// `request_lines`, half-closes, and collects response lines until the
-/// server closes. Used by `soctest --client`.
+/// Same poll-multiplexed server over TCP. `endpoint` is HOST:PORT (IPv4;
+/// port 0 = ephemeral). When non-null, `bound_port` receives the actual
+/// port once the listener is up — tests and scripts bind port 0 and read
+/// it back. `stop` is an optional per-server stop flag checked alongside
+/// the process-wide shutdown_requested() (tests stop one server without
+/// poisoning the global flag).
+int serve_tcp(SolveService& service, const std::string& endpoint,
+              std::atomic<int>* bound_port = nullptr,
+              const std::atomic<bool>* stop = nullptr);
+
+/// Client side: connects to `endpoint` (Unix path or HOST:PORT), sends
+/// every line of `request_lines`, half-closes, and collects response lines
+/// (finals and partials alike, in arrival order) until the server closes.
+/// Used by `soctest --client`.
 StatusOr<std::vector<std::string>> client_roundtrip(
-    const std::string& path, const std::vector<std::string>& request_lines);
+    const std::string& endpoint,
+    const std::vector<std::string>& request_lines);
 
 }  // namespace soctest

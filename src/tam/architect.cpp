@@ -57,6 +57,7 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
     options.bus_depth_limit = request.ate_depth_limit;
     options.cancel = request.cancel;
     options.deadline = request.deadline;
+    options.progress = request.progress;
     const ArchitectureResult arch = optimize_widths(
         soc, table, num_buses, request.total_width,
         layout ? &*layout : nullptr, request.wire_budget, request.p_max_mw,
@@ -76,6 +77,28 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
                          layout ? &*layout : nullptr, request.wire_budget,
                          request.p_max_mw, request.power_mode,
                          request.ate_depth_limit);
+    // Streaming requests get the greedy floor as a first incumbent before
+    // the real solve starts: even a single-partition request then produces
+    // at least one partial whenever a feasible assignment exists. The
+    // greedy result is reported only — it never warm-starts the solver, so
+    // a progress callback cannot change the solve itself.
+    long long progress_best = -1;
+    const auto report_progress = [&](const TamSolveResult& incumbent) {
+      if (!request.progress || !incumbent.feasible) return;
+      const auto makespan =
+          static_cast<long long>(incumbent.assignment.makespan);
+      if (progress_best >= 0 && makespan >= progress_best) return;
+      progress_best = makespan;
+      SolveProgress snapshot;
+      snapshot.bus_widths = request.bus_widths;
+      snapshot.t_cycles = makespan;
+      const Cycles lb = problem.lower_bound();
+      snapshot.lower_bound = lb > 0 ? static_cast<long long>(lb) : -1;
+      request.progress(snapshot);
+    };
+    if (request.progress && solver != InnerSolver::kGreedy) {
+      report_progress(solve_greedy_lpt(problem));
+    }
     TamSolveResult solved;
     bool have_certificate = false;
     switch (solver) {
@@ -118,6 +141,7 @@ DesignResult design_architecture(const Soc& soc, const DesignRequest& request) {
         break;
       }
     }
+    report_progress(solved);
     result.feasible = solved.feasible;
     result.proved_optimal = solved.proved_optimal;
     result.bus_widths = request.bus_widths;

@@ -53,6 +53,11 @@ struct DesignRequest {
   /// greedy floor incumbent always exists; the result's certificate reports
   /// the achieved optimality gap.
   Deadline deadline;
+  /// Optional incumbent-improvement callback (tam/width_partition.hpp).
+  /// The width search reports each improving architecture; an explicit
+  /// bus_widths request reports the greedy floor first and the solved
+  /// assignment when it improves on it. Runs on the solving thread.
+  ProgressFn progress;
 };
 
 struct DesignResult {

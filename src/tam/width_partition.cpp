@@ -118,6 +118,20 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
   }
   ArchitectureResult best;
   best.proved_optimal = true;
+  // The width-relaxed global bound is cheap and fixed for the whole
+  // search, so it doubles as the per-incumbent gap reference streamed to
+  // progress callbacks.
+  const Cycles global_lb =
+      width_search_lower_bound(table, num_buses, total_width);
+  const auto report_progress = [&] {
+    if (!options.progress) return;
+    SolveProgress snapshot;
+    snapshot.bus_widths = best.bus_widths;
+    snapshot.t_cycles = static_cast<long long>(best.assignment.makespan);
+    snapshot.lower_bound =
+        global_lb > 0 ? static_cast<long long>(global_lb) : -1;
+    options.progress(snapshot);
+  };
   const bool permute = options.permute_widths || layout != nullptr;
   // Between-partition stop polling: the per-node/iteration checks live in
   // the inner solvers; this one stops the enumeration itself.
@@ -182,6 +196,7 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
         best.bus_widths = widths;
         best.assignment = result.assignment;
         best.search_mode = result.search_mode;
+        report_progress();
       }
       if (!permute) break;
     } while (permute && std::next_permutation(widths.begin(), widths.end()));
@@ -207,6 +222,7 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
         best.bus_widths = widths;
         best.assignment = fallback.assignment;
         ++best.partitions_tried;
+        report_progress();
       }
     } catch (const std::runtime_error&) {
       // The balanced split cannot host some core under the constraints;
@@ -221,7 +237,7 @@ ArchitectureResult optimize_widths(const Soc& soc, const TestTimeTable& table,
                            best.stop);
   } else {
     const auto makespan = static_cast<long long>(best.assignment.makespan);
-    const Cycles lb = width_search_lower_bound(table, num_buses, total_width);
+    const Cycles lb = global_lb;
     if (best.proved_optimal && best.stop == StopReason::kNone) {
       best.certificate = certify_optimal(makespan);
     } else if (lb > 0 && makespan <= static_cast<long long>(lb)) {

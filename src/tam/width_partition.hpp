@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+
 #include "layout/constraints.hpp"
 #include "tam/exact_solver.hpp"
 #include "tam/tam_problem.hpp"
@@ -15,6 +17,20 @@ enum class InnerSolver { kExact, kIlp, kGreedy, kSa, kPortfolio };
 /// CLI-facing name of an inner solver ("exact", "ilp", ...), matching the
 /// --solver flag values; used by reports and the run ledger.
 const char* inner_solver_name(InnerSolver solver);
+
+/// Snapshot of an improving incumbent, pushed through the optional
+/// progress callback as the anytime search finds better architectures
+/// (the solve service streams these as soctest-partial-v1 records).
+struct SolveProgress {
+  std::vector<int> bus_widths;
+  long long t_cycles = -1;
+  /// Valid global lower bound for the whole search; -1 when none exists.
+  long long lower_bound = -1;
+};
+
+/// Called on the solving thread, zero or more times per solve, each call
+/// with a strictly better (smaller t_cycles) incumbent than the last.
+using ProgressFn = std::function<void(const SolveProgress&)>;
 
 struct WidthPartitionOptions {
   InnerSolver solver = InnerSolver::kExact;
@@ -40,6 +56,10 @@ struct WidthPartitionOptions {
   /// solve was cut short fall back to a greedy assignment so a deadline
   /// never turns a solvable partition into a silent skip.
   Deadline deadline;
+  /// Optional incumbent-improvement callback (see ProgressFn). Invoked
+  /// between inner solves on the calling thread; an empty function (the
+  /// default) costs nothing.
+  ProgressFn progress;
 };
 
 /// The output of architecture-level optimization: the chosen bus widths and

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "report/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace soctest {
+namespace {
+
+// Streamed anytime results (docs/service.md): soctest-partial-v1 records
+// carry every improving incumbent before the final response; gap is
+// monotonically non-increasing; non-streaming requests never see one.
+
+std::string req(const std::string& body) {
+  return "{\"schema\":\"soctest-req-v1\"," + body + "}";
+}
+
+struct StreamedRun {
+  std::vector<std::string> partials;
+  std::string final_line;
+};
+
+/// Runs one line through a service synchronously, capturing partials.
+StreamedRun streamed_roundtrip(SolveService& service,
+                               const std::string& line) {
+  StreamedRun run;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  service.submit(
+      line,
+      [&](std::string response) {
+        std::lock_guard<std::mutex> lock(mu);
+        run.final_line = std::move(response);
+        done = true;
+        cv.notify_one();
+      },
+      [&](std::string partial) {
+        std::lock_guard<std::mutex> lock(mu);
+        run.partials.push_back(std::move(partial));
+      });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return run;
+}
+
+ServiceConfig serial_config() {
+  ServiceConfig config;
+  config.serial = true;
+  return config;
+}
+
+TEST(Streaming, PartialJsonCarriesTheSchemaAndNoTimingFields) {
+  PartialRecord record;
+  record.id = "p-1";
+  record.seq = 3;
+  record.widths = {6, 26};
+  record.t_cycles = 7056;
+  record.lower_bound = 6317;
+  record.gap = 0.117;
+  const std::string line = partial_json(record);
+
+  const auto doc = parse_json(line);
+  ASSERT_TRUE(doc && doc->is_object()) << line;
+  EXPECT_EQ(doc->string_or("schema", ""), kPartialSchema);
+  EXPECT_EQ(doc->string_or("id", ""), "p-1");
+  EXPECT_EQ(doc->number_or("seq", -1), 3);
+  EXPECT_EQ(doc->number_or("t_cycles", -1), 7056);
+  // No per-delivery timing: partial streams from a serial server must be
+  // byte-identical across runs.
+  EXPECT_EQ(doc->find("wall_ms"), nullptr);
+  EXPECT_EQ(doc->find("queue_ms"), nullptr);
+}
+
+TEST(Streaming, WidthSearchStreamsMonotonePartialsBeforeTheFinal) {
+  SolveService service(serial_config());
+  const StreamedRun run = streamed_roundtrip(
+      service, req("\"id\":\"s\",\"soc\":\"soc2\",\"stream\":true,"
+                   "\"time_limit_ms\":5000"));
+
+  ASSERT_FALSE(run.final_line.empty());
+  ASSERT_GE(run.partials.size(), 1u)
+      << "anytime width search found no incumbent to stream";
+
+  long long prev_seq = 0;
+  long long prev_t = -1;
+  double prev_gap = -1.0;
+  for (const std::string& line : run.partials) {
+    const auto doc = parse_json(line);
+    ASSERT_TRUE(doc && doc->is_object()) << line;
+    EXPECT_EQ(doc->string_or("schema", ""), kPartialSchema);
+    EXPECT_EQ(doc->string_or("id", ""), "s");
+    const auto seq = static_cast<long long>(doc->number_or("seq", -1));
+    const auto t = static_cast<long long>(doc->number_or("t_cycles", -1));
+    const double gap = doc->number_or("gap", -2.0);
+    EXPECT_EQ(seq, prev_seq + 1) << "seq must increment per partial";
+    if (prev_t >= 0) {
+      EXPECT_LT(t, prev_t) << "each partial must improve the incumbent";
+    }
+    if (prev_gap >= 0 && gap >= 0) {
+      EXPECT_LE(gap, prev_gap) << "gap must be monotonically non-increasing";
+    }
+    prev_seq = seq;
+    prev_t = t;
+    prev_gap = gap;
+  }
+
+  // The final response reports a result at least as good as the last
+  // streamed incumbent.
+  const auto final_doc = parse_json(run.final_line);
+  ASSERT_TRUE(final_doc && final_doc->is_object());
+  EXPECT_EQ(final_doc->string_or("schema", ""), kResponseSchema);
+  const auto final_t =
+      static_cast<long long>(final_doc->number_or("t_cycles", -1));
+  EXPECT_LE(final_t, prev_t);
+}
+
+TEST(Streaming, ExplicitWidthsStreamAtLeastTheGreedyFloor) {
+  SolveService service(serial_config());
+  const StreamedRun run = streamed_roundtrip(
+      service, req("\"id\":\"w\",\"soc\":\"soc2\",\"widths\":[6,26],"
+                   "\"stream\":true,\"time_limit_ms\":5000"));
+  ASSERT_FALSE(run.final_line.empty());
+  EXPECT_GE(run.partials.size(), 1u)
+      << "explicit-widths requests stream the greedy floor first";
+  const auto doc = parse_json(run.partials.front());
+  ASSERT_TRUE(doc && doc->is_object());
+  EXPECT_EQ(static_cast<long long>(doc->number_or("seq", -1)), 1);
+}
+
+TEST(Streaming, NonStreamingRequestNeverInvokesThePartialCallback) {
+  SolveService service(serial_config());
+  const StreamedRun run = streamed_roundtrip(
+      service, req("\"id\":\"q\",\"soc\":\"soc2\",\"time_limit_ms\":5000"));
+  ASSERT_FALSE(run.final_line.empty());
+  EXPECT_TRUE(run.partials.empty())
+      << "a request without \"stream\":true saw a partial";
+}
+
+TEST(Streaming, CacheHitAnswersWithoutPartials) {
+  SolveService service(serial_config());
+  // Cold solve (no deadline, so the outcome is cacheable) ...
+  const StreamedRun cold = streamed_roundtrip(
+      service, req("\"id\":\"c1\",\"soc\":\"soc2\",\"stream\":true"));
+  ASSERT_FALSE(cold.final_line.empty());
+  // ... and the warm repeat answers from the cache with no stream.
+  const StreamedRun warm = streamed_roundtrip(
+      service, req("\"id\":\"c2\",\"soc\":\"soc2\",\"stream\":true"));
+  ASSERT_NE(warm.final_line.find("\"cached\":true"), std::string::npos)
+      << warm.final_line;
+  EXPECT_TRUE(warm.partials.empty()) << "cache hits must not stream";
+}
+
+TEST(Streaming, StreamFlagIsDeliveryOnlyAndNotPartOfTheCacheKey) {
+  SolveService service(serial_config());
+  const StreamedRun plain = streamed_roundtrip(
+      service, req("\"id\":\"k1\",\"soc\":\"soc3\",\"solver\":\"greedy\""));
+  const StreamedRun streamed = streamed_roundtrip(
+      service, req("\"id\":\"k2\",\"soc\":\"soc3\",\"solver\":\"greedy\","
+                   "\"stream\":true"));
+  ASSERT_NE(streamed.final_line.find("\"cached\":true"), std::string::npos)
+      << "identical request with stream:true must hit the cache entry "
+      << "filled by the non-streaming run, got: " << streamed.final_line;
+  (void)plain;
+}
+
+TEST(Streaming, SerialStreamedBatchIsByteIdenticalAcrossRuns) {
+  const auto run_batch = [] {
+    SolveService service(serial_config());
+    std::vector<std::string> lines;
+    for (const char* body :
+         {"\"id\":\"b1\",\"soc\":\"soc2\",\"stream\":true,"
+          "\"time_limit_ms\":5000",
+          "\"id\":\"b2\",\"soc\":\"soc3\",\"solver\":\"greedy\","
+          "\"stream\":true"}) {
+      const StreamedRun run = streamed_roundtrip(service, req(body));
+      for (const auto& p : run.partials) lines.push_back(p);
+      lines.push_back(run.final_line);
+    }
+    return lines;
+  };
+  // Partials carry no timing fields and serial mode omits them from the
+  // final, so the full streamed transcript is reproducible byte for byte.
+  EXPECT_EQ(run_batch(), run_batch());
+}
+
+// -------------------------------------------------- client batch summary --
+
+TEST(ClientSummary, CountsFinalsAndPartialsAndFindsMissingIds) {
+  const std::vector<std::string> requests = {
+      req("\"id\":\"a\",\"soc\":\"soc1\""),
+      req("\"id\":\"b\",\"soc\":\"soc2\",\"stream\":true"),
+      req("\"id\":\"c\",\"soc\":\"soc3\""),
+  };
+  const std::vector<std::string> responses = {
+      // Partials interleave and arrive before b's final; a and b answer
+      // out of request order. c never answers.
+      "{\"schema\":\"soctest-partial-v1\",\"id\":\"b\",\"seq\":1,"
+      "\"widths\":[1,31],\"t_cycles\":10,\"lower_bound\":5,\"gap\":1.0}",
+      "{\"schema\":\"soctest-resp-v1\",\"id\":\"b\",\"ok\":true}",
+      "{\"schema\":\"soctest-resp-v1\",\"id\":\"a\",\"ok\":true}",
+  };
+  const ClientBatchSummary summary =
+      summarize_client_batch(requests, responses);
+  EXPECT_EQ(summary.requests, 3u);
+  EXPECT_EQ(summary.finals, 2u);
+  EXPECT_EQ(summary.partials, 1u);
+  ASSERT_EQ(summary.missing_ids.size(), 1u);
+  EXPECT_EQ(summary.missing_ids[0], "c");
+}
+
+TEST(ClientSummary, DuplicateIdsAreMatchedAsAMultiset) {
+  const std::vector<std::string> requests = {
+      req("\"id\":\"dup\",\"soc\":\"soc1\""),
+      req("\"id\":\"dup\",\"soc\":\"soc1\""),
+  };
+  const std::vector<std::string> one_answer = {
+      "{\"schema\":\"soctest-resp-v1\",\"id\":\"dup\",\"ok\":true}",
+  };
+  ClientBatchSummary summary = summarize_client_batch(requests, one_answer);
+  EXPECT_EQ(summary.finals, 1u);
+  ASSERT_EQ(summary.missing_ids.size(), 1u);
+  EXPECT_EQ(summary.missing_ids[0], "dup");
+
+  const std::vector<std::string> both = {
+      "{\"schema\":\"soctest-resp-v1\",\"id\":\"dup\",\"ok\":true}",
+      "{\"schema\":\"soctest-resp-v1\",\"id\":\"dup\",\"ok\":true}",
+  };
+  summary = summarize_client_batch(requests, both);
+  EXPECT_EQ(summary.finals, 2u);
+  EXPECT_TRUE(summary.missing_ids.empty());
+}
+
+}  // namespace
+}  // namespace soctest

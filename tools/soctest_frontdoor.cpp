@@ -1,0 +1,189 @@
+// soctest-frontdoor: TCP front door for a sharded soctest-serve fleet
+// (docs/service.md, docs/operations.md).
+//
+//   $ soctest-frontdoor --listen 127.0.0.1:0 --workers 2 &
+//   # stdout: "soctest-frontdoor: listening on 127.0.0.1:43117"
+//   $ soctest --client 127.0.0.1:43117 --batch batch.jsonl
+//
+// Spawns N soctest-serve workers on private Unix sockets, shards each
+// request by SOC content fingerprint (cache affinity), restarts crashed
+// workers and resends their in-flight requests, and rejects with
+// retry_after_ms once max_inflight requests are outstanding. SIGTERM
+// drains: in-flight requests finish, workers are SIGTERMed, exit 0.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "service/frontdoor.hpp"
+#include "service/transport.hpp"
+
+namespace {
+
+const char kUsage[] = R"(usage: soctest-frontdoor [options]
+
+Fleet:
+  --listen HOST:PORT    TCP listen endpoint (default 127.0.0.1:0; port 0 =
+                        ephemeral, announced on stdout)
+  --workers N           soctest-serve worker processes (default 2)
+  --serve-bin PATH      worker binary (default: soctest-serve next to this
+                        executable)
+  --dir PATH            directory for worker sockets and ledgers (default:
+                        private temp dir, removed on exit)
+
+Worker configuration (forwarded to each soctest-serve):
+  --serial-workers      run workers with --serial (deterministic per-shard
+                        response streams)
+  --worker-threads N    threads per worker (0 = auto)
+  --queue N             per-worker admission bound (default 64)
+  --cache N             per-worker result-cache entries (default 512)
+  --max-time-limit-ms T cap every request's solve budget at T ms
+  --worker-ledgers      one soctest-ledger-v1 file per worker in --dir
+
+Admission and fault handling:
+  --max-inflight N      front-door bound on outstanding requests across all
+                        clients (default 256)
+  --retry-after-ms T    backpressure advice in rejections (default 50)
+  --max-restarts N      respawns per crashed worker before its shard is
+                        declared broken (default 3)
+  --help                this text
+)";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+long long to_ll(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected an integer, got '" + value + "'");
+  }
+}
+
+double to_dbl(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected a number, got '" + value + "'");
+  }
+}
+
+/// soctest-serve sitting next to this binary — the common layout in both
+/// the build tree and an installed prefix.
+std::string sibling_serve_binary(const char* argv0) {
+  std::string self(argv0);
+  const auto slash = self.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  return dir + "/soctest-serve";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  soctest::FrontDoorConfig config;
+
+  std::size_t i = 0;
+  auto value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) usage_error(flag + " requires a value");
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--listen") {
+      config.listen = value(arg);
+      if (config.listen.empty()) usage_error("--listen: empty endpoint");
+    } else if (arg == "--workers") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 1) usage_error("--workers must be positive");
+      config.workers = static_cast<int>(n);
+    } else if (arg == "--serve-bin") {
+      config.serve_binary = value(arg);
+      if (config.serve_binary.empty()) usage_error("--serve-bin: empty path");
+    } else if (arg == "--dir") {
+      config.work_dir = value(arg);
+      if (config.work_dir.empty()) usage_error("--dir: empty path");
+    } else if (arg == "--serial-workers") {
+      config.serial_workers = true;
+    } else if (arg == "--worker-threads") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 0) usage_error("--worker-threads must be >= 0 (0 = auto)");
+      config.worker_threads = static_cast<int>(n);
+    } else if (arg == "--queue") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 1) usage_error("--queue must be positive");
+      config.worker_queue = static_cast<std::size_t>(n);
+    } else if (arg == "--cache") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 0) usage_error("--cache must be >= 0 (0 = unbounded)");
+      config.worker_cache = static_cast<std::size_t>(n);
+    } else if (arg == "--max-time-limit-ms") {
+      config.max_time_limit_ms = to_dbl(value(arg), arg);
+      if (config.max_time_limit_ms < 0) {
+        usage_error("--max-time-limit-ms must be >= 0");
+      }
+    } else if (arg == "--worker-ledgers") {
+      config.worker_ledgers = true;
+    } else if (arg == "--max-inflight") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 1) usage_error("--max-inflight must be positive");
+      config.max_inflight = static_cast<std::size_t>(n);
+    } else if (arg == "--retry-after-ms") {
+      config.retry_after_ms = to_dbl(value(arg), arg);
+      if (config.retry_after_ms < 0) {
+        usage_error("--retry-after-ms must be >= 0");
+      }
+    } else if (arg == "--max-restarts") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 0) usage_error("--max-restarts must be >= 0");
+      config.max_restarts = static_cast<int>(n);
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+
+  if (config.serve_binary.empty())
+    config.serve_binary = sibling_serve_binary(argv[0]);
+  if (::access(config.serve_binary.c_str(), X_OK) != 0) {
+    std::fprintf(stderr,
+                 "error: worker binary '%s' is not executable "
+                 "(set --serve-bin)\n",
+                 config.serve_binary.c_str());
+    return 2;
+  }
+
+  soctest::install_shutdown_handlers();
+  soctest::FrontDoor door(config);
+  if (const soctest::Status s = door.start(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("soctest-frontdoor: listening on %s\n", door.endpoint().c_str());
+  std::fflush(stdout);
+
+  const int exit_code = door.serve();
+
+  const soctest::FrontDoorStats stats = door.stats();
+  std::fprintf(stderr,
+               "soctest-frontdoor: %lld received, %lld forwarded, "
+               "%lld completed, %lld partials, %lld rejected, %lld errors, "
+               "%lld restarts, %lld retried\n",
+               stats.received, stats.forwarded, stats.completed,
+               stats.partials, stats.rejected, stats.errors, stats.restarts,
+               stats.retried);
+  return exit_code;
+}

@@ -1,0 +1,533 @@
+// soctest-loadgen: traffic generator and SLO probe for the solve service
+// (docs/operations.md).
+//
+//   $ soctest-loadgen --connect 127.0.0.1:43117 --requests 500
+//   $ soctest-loadgen --connect /tmp/soctest.sock --batch batch.jsonl \
+//         --mode open --rate 200 --json-out BENCH_solvers.json
+//
+// Closed loop: each connection keeps exactly one request outstanding —
+// latency under no queueing. Open loop: requests are sent on a fixed
+// schedule regardless of completions — latency under the arrival rate you
+// chose, including queueing and backpressure. Results print as a summary
+// line plus p50/p95/p99, and --json-out merges a `service_slo` row into
+// the shared bench table the regression gate reads.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench_util.hpp"
+#include "common/net.hpp"
+#include "report/json.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char kUsage[] = R"(usage: soctest-loadgen --connect ENDPOINT [options]
+
+Target:
+  --connect EP          server endpoint: HOST:PORT or a Unix socket path
+                        (a soctest-serve or soctest-frontdoor listener)
+
+Traffic mix (pick at most one; default: builtin SOCs soc1..soc4 with the
+greedy solver — fully cacheable, so warm runs probe service overhead):
+  --batch FILE          replay soctest-req-v1 lines (ids are rewritten)
+  --from-ledger FILE    derive the mix from a soctest-ledger-v1 file
+                        (each record's soc/solver/seed becomes a template)
+
+Load shape:
+  --mode closed|open    closed = one outstanding request per connection,
+                        open = fixed-rate schedule (default closed)
+  --connections N       concurrent connections (default 4)
+  --rate R              open-loop target requests/second (default 200)
+  --requests N          total requests to send (default 200)
+  --seed S              mix-sampling RNG seed (default 1)
+  --stream              request soctest-partial-v1 incumbent streaming
+  --time-limit-ms T     set time_limit_ms on every generated request
+
+Output:
+  --json-out FILE       merge the SLO row into this bench table
+  --tag NAME            bench tag for the row (default service_slo)
+  --help                this text
+)";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+long long to_ll(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected an integer, got '" + value + "'");
+  }
+}
+
+double to_dbl(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected a number, got '" + value + "'");
+  }
+}
+
+struct Options {
+  std::string connect;
+  std::string batch_path;
+  std::string ledger_path;
+  bool open_loop = false;
+  int connections = 4;
+  double rate = 200.0;
+  long long requests = 200;
+  std::uint64_t seed = 1;
+  bool stream = false;
+  double time_limit_ms = -1.0;
+  std::string json_out;
+  std::string tag = "service_slo";
+};
+
+/// xorshift64* — deterministic across platforms, no <random> distribution
+/// quirks; good enough to sample a request mix.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  }
+};
+
+std::vector<soctest::ServiceRequest> load_templates(const Options& opt) {
+  using soctest::ServiceRequest;
+  std::vector<ServiceRequest> pool;
+  if (!opt.batch_path.empty()) {
+    std::ifstream in(opt.batch_path);
+    if (!in) usage_error("--batch: cannot open " + opt.batch_path);
+    std::string line;
+    long long lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty()) continue;
+      auto parsed = soctest::parse_request(line);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "loadgen: %s:%lld skipped: %s\n",
+                     opt.batch_path.c_str(), lineno,
+                     parsed.status().message().c_str());
+        continue;
+      }
+      pool.push_back(std::move(parsed).value());
+    }
+  } else if (!opt.ledger_path.empty()) {
+    std::ifstream in(opt.ledger_path);
+    if (!in) usage_error("--from-ledger: cannot open " + opt.ledger_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto doc = soctest::parse_json(line);
+      if (!doc || !doc->is_object()) continue;
+      const std::string soc = doc->string_or("soc", "");
+      // Inline-SOC records carry no reproducible input; skip them.
+      if (soc.empty() || soc == "<inline>") continue;
+      // Round-trip through the parser so solver names and field ranges are
+      // validated exactly like a real request would be.
+      soctest::JsonWriter w;
+      w.begin_object();
+      w.key("schema").value(soctest::kRequestSchema);
+      w.key("soc").value(soc);
+      w.key("solver").value(doc->string_or("solver", "exact"));
+      w.key("seed").value(
+          static_cast<long long>(doc->number_or("seed", 0.0)));
+      w.end_object();
+      auto parsed = soctest::parse_request(w.str());
+      if (parsed.ok()) pool.push_back(std::move(parsed).value());
+    }
+  } else {
+    // Greedy solves terminate with stop="none", so every outcome is
+    // cacheable: warm-cache runs with the default mix measure transport
+    // and service overhead, not solver time.
+    for (const char* soc : {"soc1", "soc2", "soc3", "soc4"}) {
+      ServiceRequest request;
+      request.soc = soc;
+      request.solver = soctest::InnerSolver::kGreedy;
+      pool.push_back(request);
+    }
+  }
+  if (pool.empty()) usage_error("request mix is empty");
+  return pool;
+}
+
+std::vector<std::string> build_request_lines(
+    const Options& opt, const std::vector<soctest::ServiceRequest>& pool) {
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<std::size_t>(opt.requests));
+  Rng rng{opt.seed ? opt.seed : 1};
+  for (long long n = 0; n < opt.requests; ++n) {
+    soctest::ServiceRequest request =
+        pool[static_cast<std::size_t>(rng.next() % pool.size())];
+    request.id = "lg-" + std::to_string(n);
+    if (opt.stream) request.stream = true;
+    if (opt.time_limit_ms >= 0) request.time_limit_ms = opt.time_limit_ms;
+    lines.push_back(soctest::request_json(request));
+  }
+  return lines;
+}
+
+/// Shared tally across connection threads.
+struct Tally {
+  std::mutex mutex;
+  std::vector<double> latencies_ms;  ///< finals that arrived, any outcome
+  long long sent = 0;
+  long long finals = 0;
+  long long partials = 0;
+  long long ok = 0;
+  long long rejected = 0;  ///< resource_exhausted (backpressure)
+  long long errors = 0;    ///< every other ok=false final
+  long long transport_errors = 0;
+};
+
+void classify_final(const std::string& line, Tally& tally, double latency_ms) {
+  std::lock_guard<std::mutex> lock(tally.mutex);
+  ++tally.finals;
+  tally.latencies_ms.push_back(latency_ms);
+  const auto doc = soctest::parse_json(line);
+  bool is_ok = false;
+  std::string code;
+  if (doc && doc->is_object()) {
+    if (const auto* flag = doc->find("ok")) is_ok = flag->boolean;
+    if (const auto* error = doc->find("error"))
+      code = error->string_or("code", "");
+  }
+  if (is_ok) {
+    ++tally.ok;
+  } else if (code == "resource_exhausted") {
+    ++tally.rejected;
+  } else {
+    ++tally.errors;
+  }
+}
+
+/// One closed-loop connection: at most one request outstanding; the next
+/// request goes out only once the previous final arrived.
+void run_closed(const std::string& endpoint,
+                const std::vector<std::string>& lines, Tally& tally) {
+  const auto parsed = soctest::net::parse_endpoint(endpoint);
+  if (!parsed.ok()) return;
+  const auto fd_or = soctest::net::connect_endpoint(parsed.value());
+  if (!fd_or.ok()) {
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    tally.transport_errors += static_cast<long long>(lines.size());
+    return;
+  }
+  const int fd = fd_or.value();
+  std::string inbuf;
+  char chunk[65536];
+  for (const std::string& line : lines) {
+    const std::string wire = line + "\n";
+    const auto t0 = Clock::now();
+    if (!soctest::net::write_all(fd, wire.data(), wire.size())) {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.transport_errors;
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      ++tally.sent;
+    }
+    bool final_seen = false;
+    while (!final_seen) {
+      std::string response;
+      auto pos = inbuf.find('\n');
+      if (pos == std::string::npos) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0) {
+          std::lock_guard<std::mutex> lock(tally.mutex);
+          ++tally.transport_errors;
+          ::close(fd);
+          return;
+        }
+        inbuf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      response.assign(inbuf, 0, pos);
+      inbuf.erase(0, pos + 1);
+      const auto doc = soctest::parse_json(response);
+      const std::string schema =
+          doc && doc->is_object() ? doc->string_or("schema", "") : "";
+      if (schema == soctest::kPartialSchema) {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        ++tally.partials;
+        continue;
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count();
+      classify_final(response, tally, ms);
+      final_seen = true;
+    }
+  }
+  ::shutdown(fd, SHUT_WR);
+  ::close(fd);
+}
+
+/// One open-loop connection: its share of the schedule is sent on time
+/// whether or not responses came back; finals are matched by id.
+void run_open(const std::string& endpoint,
+              const std::vector<std::string>& lines, double interval_ms,
+              Tally& tally) {
+  const auto parsed = soctest::net::parse_endpoint(endpoint);
+  if (!parsed.ok()) return;
+  const auto fd_or = soctest::net::connect_endpoint(parsed.value());
+  if (!fd_or.ok()) {
+    std::lock_guard<std::mutex> lock(tally.mutex);
+    tally.transport_errors += static_cast<long long>(lines.size());
+    return;
+  }
+  const int fd = fd_or.value();
+  std::map<std::string, Clock::time_point> outstanding;
+  std::string inbuf;
+  char chunk[65536];
+  const auto start = Clock::now();
+  std::size_t next = 0;
+  bool half_closed = false;
+  bool peer_gone = false;
+
+  while (!peer_gone && (next < lines.size() || !outstanding.empty())) {
+    const auto now = Clock::now();
+    // Send everything whose schedule slot has passed.
+    while (next < lines.size()) {
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          interval_ms * static_cast<double>(next)));
+      if (due > now) break;
+      const std::string wire = lines[next] + "\n";
+      if (!soctest::net::write_all(fd, wire.data(), wire.size())) {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        tally.transport_errors +=
+            static_cast<long long>(lines.size() - next);
+        next = lines.size();
+        peer_gone = outstanding.empty();
+        break;
+      }
+      const auto doc = soctest::parse_json(lines[next]);
+      const std::string id =
+          doc && doc->is_object() ? doc->string_or("id", "") : "";
+      outstanding.emplace(id, Clock::now());
+      {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        ++tally.sent;
+      }
+      ++next;
+    }
+    if (next >= lines.size() && !half_closed) {
+      ::shutdown(fd, SHUT_WR);
+      half_closed = true;
+    }
+
+    int wait_ms = 10;
+    if (next < lines.size()) {
+      const auto due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          interval_ms * static_cast<double>(next)));
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             due - Clock::now())
+                             .count();
+      wait_ms = static_cast<int>(std::max<long long>(0, std::min<long long>(until, 10)));
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc <= 0) continue;
+
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      std::lock_guard<std::mutex> lock(tally.mutex);
+      tally.transport_errors += static_cast<long long>(outstanding.size());
+      break;
+    }
+    inbuf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = inbuf.find('\n')) != std::string::npos) {
+      const std::string response = inbuf.substr(0, pos);
+      inbuf.erase(0, pos + 1);
+      const auto doc = soctest::parse_json(response);
+      const std::string schema =
+          doc && doc->is_object() ? doc->string_or("schema", "") : "";
+      if (schema == soctest::kPartialSchema) {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        ++tally.partials;
+        continue;
+      }
+      const std::string id =
+          doc && doc->is_object() ? doc->string_or("id", "") : "";
+      double ms = 0.0;
+      if (const auto it = outstanding.find(id); it != outstanding.end()) {
+        ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                       it->second)
+                 .count();
+        outstanding.erase(it);
+      }
+      classify_final(response, tally, ms);
+    }
+  }
+  ::close(fd);
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  Options opt;
+
+  std::size_t i = 0;
+  auto value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) usage_error(flag + " requires a value");
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--connect") {
+      opt.connect = value(arg);
+    } else if (arg == "--batch") {
+      opt.batch_path = value(arg);
+    } else if (arg == "--from-ledger") {
+      opt.ledger_path = value(arg);
+    } else if (arg == "--mode") {
+      const std::string mode = value(arg);
+      if (mode == "closed") {
+        opt.open_loop = false;
+      } else if (mode == "open") {
+        opt.open_loop = true;
+      } else {
+        usage_error("--mode must be 'closed' or 'open'");
+      }
+    } else if (arg == "--connections") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 1) usage_error("--connections must be positive");
+      opt.connections = static_cast<int>(n);
+    } else if (arg == "--rate") {
+      opt.rate = to_dbl(value(arg), arg);
+      if (opt.rate <= 0) usage_error("--rate must be positive");
+    } else if (arg == "--requests") {
+      opt.requests = to_ll(value(arg), arg);
+      if (opt.requests < 1) usage_error("--requests must be positive");
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(to_ll(value(arg), arg));
+    } else if (arg == "--stream") {
+      opt.stream = true;
+    } else if (arg == "--time-limit-ms") {
+      opt.time_limit_ms = to_dbl(value(arg), arg);
+      if (opt.time_limit_ms < 0) usage_error("--time-limit-ms must be >= 0");
+    } else if (arg == "--json-out") {
+      opt.json_out = value(arg);
+    } else if (arg == "--tag") {
+      opt.tag = value(arg);
+      if (opt.tag.empty()) usage_error("--tag: empty name");
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (opt.connect.empty()) usage_error("--connect is required");
+  if (!opt.batch_path.empty() && !opt.ledger_path.empty())
+    usage_error("--batch and --from-ledger are mutually exclusive");
+
+  const auto pool = load_templates(opt);
+  const auto lines = build_request_lines(opt, pool);
+
+  // Round-robin split keeps each connection's share in send order.
+  std::vector<std::vector<std::string>> shares(
+      static_cast<std::size_t>(opt.connections));
+  for (std::size_t n = 0; n < lines.size(); ++n)
+    shares[n % shares.size()].push_back(lines[n]);
+
+  Tally tally;
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shares.size());
+    const double interval_ms =
+        1000.0 / (opt.rate / static_cast<double>(opt.connections));
+    for (auto& share : shares) {
+      if (share.empty()) continue;
+      if (opt.open_loop) {
+        threads.emplace_back(
+            [&] { run_open(opt.connect, share, interval_ms, tally); });
+      } else {
+        threads.emplace_back([&] { run_closed(opt.connect, share, tally); });
+      }
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+  const double p50 = percentile(tally.latencies_ms, 0.50);
+  const double p95 = percentile(tally.latencies_ms, 0.95);
+  const double p99 = percentile(tally.latencies_ms, 0.99);
+  const double rps =
+      wall_ms > 0 ? 1000.0 * static_cast<double>(tally.finals) / wall_ms : 0;
+
+  std::printf(
+      "soctest-loadgen: mode=%s connections=%d sent=%lld finals=%lld "
+      "ok=%lld rejected=%lld errors=%lld partials=%lld transport_errors=%lld\n"
+      "soctest-loadgen: wall=%.1fms throughput=%.1f req/s "
+      "p50=%.2fms p95=%.2fms p99=%.2fms\n",
+      opt.open_loop ? "open" : "closed", opt.connections, tally.sent,
+      tally.finals, tally.ok, tally.rejected, tally.errors, tally.partials,
+      tally.transport_errors, wall_ms, rps, p50, p95, p99);
+
+  if (!opt.json_out.empty()) {
+    soctest::benchutil::JsonLog log(opt.tag);
+    auto& row = log.record();
+    row.set("mode", opt.open_loop ? "open" : "closed");
+    row.set("connections", opt.connections);
+    row.set("sent", tally.sent);
+    row.set("finals", tally.finals);
+    row.set("ok", tally.ok);
+    row.set("rejected", tally.rejected);
+    row.set("errors", tally.errors);
+    row.set("partials", tally.partials);
+    row.set("transport_errors", tally.transport_errors);
+    row.set("wall_ms", wall_ms, 1);
+    row.set("rps", rps, 1);
+    row.set("p50_ms", p50, 3);
+    row.set("p95_ms", p95, 3);
+    row.set("p99_ms", p99, 3);
+    log.write(opt.json_out);
+  }
+
+  const bool clean = tally.finals == tally.sent && tally.transport_errors == 0;
+  return clean ? 0 : 1;
+}

@@ -9,9 +9,12 @@
 // still delivers its response, the ledger is flushed, and the process
 // exits 0.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/server.hpp"
@@ -24,6 +27,8 @@ const char kUsage[] = R"(usage: soctest-serve [options]
 Transport (pick one):
   --stdio               serve requests from stdin to stdout (default)
   --socket PATH         listen on a Unix domain socket at PATH
+  --tcp HOST:PORT       listen on TCP (port 0 = ephemeral; the bound
+                        address is printed as "listening on HOST:PORT")
 
 Execution:
   --serial              deterministic mode: in-order execution, responses
@@ -78,6 +83,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   ServiceConfig config;
   std::string socket_path;
+  std::string tcp_endpoint;
   bool stdio = true;
 
   std::size_t i = 0;
@@ -94,8 +100,14 @@ int main(int argc, char** argv) {
       stdio = true;
     } else if (arg == "--socket") {
       socket_path = value(arg);
+      tcp_endpoint.clear();
       stdio = false;
       if (socket_path.empty()) usage_error("--socket: empty path");
+    } else if (arg == "--tcp") {
+      tcp_endpoint = value(arg);
+      socket_path.clear();
+      stdio = false;
+      if (tcp_endpoint.empty()) usage_error("--tcp: empty endpoint");
     } else if (arg == "--serial") {
       config.serial = true;
     } else if (arg == "--workers") {
@@ -137,9 +149,33 @@ int main(int argc, char** argv) {
 
   soctest::install_shutdown_handlers();
   soctest::SolveService service(config);
-  const int exit_code =
-      stdio ? soctest::serve_stdio(service, /*in_fd=*/0, /*out_fd=*/1)
-            : soctest::serve_unix_socket(service, socket_path);
+  int exit_code = 0;
+  if (stdio) {
+    exit_code = soctest::serve_stdio(service, /*in_fd=*/0, /*out_fd=*/1);
+  } else if (!tcp_endpoint.empty()) {
+    // Scripts bind port 0 and read the announced port back; the announcer
+    // thread waits for the listener before printing.
+    std::atomic<int> bound_port{-1};
+    std::atomic<bool> serve_done{false};
+    std::thread announcer([&] {
+      while (bound_port.load(std::memory_order_acquire) < 0 &&
+             !serve_done.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      const int port = bound_port.load(std::memory_order_acquire);
+      if (port >= 0) {
+        std::string host = tcp_endpoint.substr(0, tcp_endpoint.rfind(':'));
+        if (host.empty()) host = "127.0.0.1";
+        std::printf("soctest-serve: listening on %s:%d\n", host.c_str(), port);
+        std::fflush(stdout);
+      }
+    });
+    exit_code = soctest::serve_tcp(service, tcp_endpoint, &bound_port);
+    serve_done.store(true, std::memory_order_release);
+    announcer.join();
+  } else {
+    exit_code = soctest::serve_unix_socket(service, socket_path);
+  }
 
   const soctest::ServiceStats stats = service.stats();
   std::fprintf(stderr,
