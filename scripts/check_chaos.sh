@@ -1,0 +1,252 @@
+#!/usr/bin/env bash
+# Chaos soak gate (docs/robustness.md). Run from anywhere:
+#
+#   scripts/check_chaos.sh [repo-root] [soctest-serve-binary] \
+#       [soctest-frontdoor-binary] [soctest-chaos-binary] \
+#       [soctest-loadgen-binary] [soctest-binary]
+#
+# Four passes, all through the deterministic fault-injecting soctest-chaos
+# proxy:
+#
+#   0. fault-free wire fidelity — a batch through an all-probabilities-zero
+#      proxy must be byte-identical to a direct connection (the proxy, and
+#      the retrying client behind it, are invisible when nothing breaks)
+#   1. full-fault soak — drops, torn writes, delays, garbage lines, and
+#      half-open connections against a 2-worker fleet; every request must
+#      be answered exactly once and the client must never give up
+#   2. streaming monotonicity — soctest-partial-v1 streams replayed through
+#      connection drops must stay strictly seq-increasing with
+#      non-increasing t_cycles per id (resends erase stale partials)
+#   3. hung-worker liveness — SIGSTOP a worker mid-soak; the front door's
+#      heartbeat must detect it, SIGKILL + respawn the shard, retry the
+#      in-flight work, and report `hung >= 1` in its drain stats line
+#
+# Wired into ctest as the `chaos` label: ctest -L chaos
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+serve_bin="${2:-$root/build/tools/soctest-serve}"
+frontdoor_bin="${3:-$root/build/tools/soctest-frontdoor}"
+chaos_bin="${4:-$root/build/tools/soctest-chaos}"
+loadgen_bin="${5:-$root/build/tools/soctest-loadgen}"
+soctest_bin="${6:-$root/build/tools/soctest}"
+
+for bin in "$serve_bin" "$frontdoor_bin" "$chaos_bin" "$loadgen_bin" \
+           "$soctest_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_chaos: FAILED ($bin not built)"
+    exit 1
+  fi
+done
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+  for pid in $pids; do
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# Waits for "listening on 127.0.0.1:PORT" on $1's stdout; echoes the port.
+await_port() {
+  local out="$1" port=""
+  for _ in $(seq 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$out")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+
+fail() {
+  echo "check_chaos: FAILED ($1)"
+  shift
+  for f in "$@"; do
+    echo "---- $f ----"
+    cat "$f"
+  done
+  exit 1
+}
+
+# ------------------------------------------------------------------------
+echo "== pass 0: fault-free proxy is a byte-identical wire =="
+# no_cache pins "cached":false so the direct (cold) and proxied (warm)
+# runs against the same serial server compare byte-for-byte.
+for i in $(seq 0 7); do
+  soc="soc$(( (i % 3) + 1 ))"
+  printf '{"schema":"soctest-req-v1","id":"wire-%d","soc":"%s","solver":"greedy","no_cache":true}\n' \
+    "$i" "$soc"
+done > "$workdir/wire.jsonl"
+
+"$serve_bin" --tcp 127.0.0.1:0 --serial > "$workdir/serve0.out" \
+  2> "$workdir/serve0.err" &
+serve_pid=$!
+pids="$serve_pid"
+serve_port=$(await_port "$workdir/serve0.out")
+[ -n "$serve_port" ] || fail "serve never announced its port" \
+  "$workdir/serve0.err"
+
+"$chaos_bin" --listen 127.0.0.1:0 --connect "127.0.0.1:$serve_port" \
+  --seed 1 > "$workdir/chaos0.out" 2> "$workdir/chaos0.err" &
+chaos_pid=$!
+pids="$pids $chaos_pid"
+chaos_port=$(await_port "$workdir/chaos0.out")
+[ -n "$chaos_port" ] || fail "fault-free chaos proxy never announced" \
+  "$workdir/chaos0.err"
+
+"$soctest_bin" --client "127.0.0.1:$serve_port" --batch "$workdir/wire.jsonl" \
+  > "$workdir/direct.out" 2> "$workdir/direct.err" \
+  || fail "direct batch failed" "$workdir/direct.err"
+"$soctest_bin" --client "127.0.0.1:$chaos_port" --batch "$workdir/wire.jsonl" \
+  > "$workdir/proxied.out" 2> "$workdir/proxied.err" \
+  || fail "proxied batch failed" "$workdir/proxied.err"
+cmp -s "$workdir/direct.out" "$workdir/proxied.out" \
+  || fail "fault-free proxy altered the response stream" \
+          "$workdir/direct.out" "$workdir/proxied.out"
+
+kill -TERM "$chaos_pid"; wait "$chaos_pid"
+kill -TERM "$serve_pid"; wait "$serve_pid" \
+  || fail "serve exited non-zero after pass 0" "$workdir/serve0.err"
+pids=""
+
+# ------------------------------------------------------------------------
+echo "== pass 1: full-fault soak against a 2-worker fleet =="
+"$frontdoor_bin" --listen 127.0.0.1:0 --workers 2 --serial-workers \
+  --dir "$workdir/fleet1" --heartbeat-ms 200 --heartbeat-timeout-ms 4000 \
+  > "$workdir/fd1.out" 2> "$workdir/fd1.err" &
+fd_pid=$!
+pids="$fd_pid"
+fd_port=$(await_port "$workdir/fd1.out")
+[ -n "$fd_port" ] || fail "front door never announced its port" \
+  "$workdir/fd1.err"
+
+"$chaos_bin" --listen 127.0.0.1:0 --connect "127.0.0.1:$fd_port" --seed 7 \
+  --drop-prob 0.25 --tear-prob 0.3 --delay-prob 0.3 --garbage-prob 0.2 \
+  --halfopen-prob 0.1 --stall-ms 5 --delay-ms 2 \
+  > "$workdir/chaos1.out" 2> "$workdir/chaos1.err" &
+chaos_pid=$!
+pids="$pids $chaos_pid"
+chaos_port=$(await_port "$workdir/chaos1.out")
+[ -n "$chaos_port" ] || fail "soak chaos proxy never announced" \
+  "$workdir/chaos1.err"
+
+"$loadgen_bin" --connect "127.0.0.1:$chaos_port" --mode closed \
+  --connections 4 --requests 300 --seed 42 --retries 8 \
+  --retry-backoff-ms 5 --response-timeout-ms 2000 \
+  --json-out "$workdir/soak.json" > "$workdir/soak.txt" 2>&1
+code=$?
+cat "$workdir/soak.txt"
+[ "$code" -eq 0 ] \
+  || fail "soak loadgen exited $code — a request was lost or duplicated" \
+          "$workdir/soak.txt" "$workdir/chaos1.err" "$workdir/fd1.err"
+grep -q '"retry_gave_up":0' "$workdir/soak.json" \
+  || fail "client gave up under the fault mix" "$workdir/soak.json"
+grep -q '"transport_errors":0' "$workdir/soak.json" \
+  || fail "soak saw transport errors" "$workdir/soak.json"
+
+kill -TERM "$chaos_pid"; wait "$chaos_pid"
+cat "$workdir/chaos1.err"
+kill -TERM "$fd_pid"; wait "$fd_pid" \
+  || fail "front door exited non-zero after the soak" "$workdir/fd1.err"
+pids=""
+
+# ------------------------------------------------------------------------
+echo "== pass 2: partial streams stay monotone through drops =="
+"$serve_bin" --tcp 127.0.0.1:0 --serial > "$workdir/serve2.out" \
+  2> "$workdir/serve2.err" &
+serve_pid=$!
+pids="$serve_pid"
+serve_port=$(await_port "$workdir/serve2.out")
+[ -n "$serve_port" ] || fail "stream serve never announced" \
+  "$workdir/serve2.err"
+
+"$chaos_bin" --listen 127.0.0.1:0 --connect "127.0.0.1:$serve_port" --seed 5 \
+  --drop-prob 0.5 --tear-prob 0.5 --garbage-prob 0.5 --stall-ms 5 \
+  > "$workdir/chaos2.out" 2> "$workdir/chaos2.err" &
+chaos_pid=$!
+pids="$pids $chaos_pid"
+chaos_port=$(await_port "$workdir/chaos2.out")
+[ -n "$chaos_port" ] || fail "stream chaos proxy never announced" \
+  "$workdir/chaos2.err"
+
+"$soctest_bin" --client "127.0.0.1:$chaos_port" \
+  --batch "$root/data/chaos_stream.jsonl" --retries 12 \
+  --retry-backoff-ms 5 --response-timeout-ms 4000 \
+  > "$workdir/stream.out" 2> "$workdir/stream.err" \
+  || fail "streaming batch failed through chaos" "$workdir/stream.err" \
+          "$workdir/chaos2.err"
+
+finals=$(grep -c '"schema":"soctest-resp-v1"' "$workdir/stream.out")
+[ "$finals" -eq 5 ] \
+  || fail "expected 5 finals, got $finals" "$workdir/stream.out"
+partials=$(grep -c '"schema":"soctest-partial-v1"' "$workdir/stream.out")
+[ "$partials" -ge 1 ] \
+  || fail "no partials survived the chaos run" "$workdir/stream.out"
+
+# Per id: seq strictly increasing, t_cycles (incumbent cost) non-increasing.
+# A replay after a drop must not leak the previous attempt's stale stream.
+grep '"schema":"soctest-partial-v1"' "$workdir/stream.out" \
+  | sed -n 's/.*"id":"\([^"]*\)".*"seq":\([0-9]*\).*"t_cycles":\([0-9]*\).*/\1 \2 \3/p' \
+  | awk '
+      ($1 in seq) && $2 <= seq[$1] {
+        print "seq regression for " $1 ": " seq[$1] " -> " $2; bad = 1 }
+      ($1 in tc) && $3 > tc[$1] {
+        print "t_cycles regression for " $1 ": " tc[$1] " -> " $3; bad = 1 }
+      { seq[$1] = $2; tc[$1] = $3 }
+      END { exit bad }' \
+  || fail "partial stream lost monotonicity" "$workdir/stream.out"
+
+kill -TERM "$chaos_pid"; wait "$chaos_pid"
+kill -TERM "$serve_pid"; wait "$serve_pid" \
+  || fail "serve exited non-zero after pass 2" "$workdir/serve2.err"
+pids=""
+
+# ------------------------------------------------------------------------
+echo "== pass 3: SIGSTOP'd worker is detected, replaced, and drained =="
+"$frontdoor_bin" --listen 127.0.0.1:0 --workers 2 --serial-workers \
+  --dir "$workdir/fleet3" --heartbeat-ms 200 --heartbeat-timeout-ms 1000 \
+  > "$workdir/fd3.out" 2> "$workdir/fd3.err" &
+fd_pid=$!
+pids="$fd_pid"
+fd_port=$(await_port "$workdir/fd3.out")
+[ -n "$fd_port" ] || fail "liveness front door never announced" \
+  "$workdir/fd3.err"
+
+# Freeze a worker BEFORE the load starts: every request hashed to its
+# shard is in flight against a hung process until the heartbeat notices,
+# SIGKILLs it, respawns the shard, and retries the stranded work.
+worker_pid=$(pgrep -P "$fd_pid" | head -n 1)
+[ -n "$worker_pid" ] || fail "no worker process found to stop" \
+  "$workdir/fd3.err"
+kill -STOP "$worker_pid"
+
+"$loadgen_bin" --connect "127.0.0.1:$fd_port" --mode closed \
+  --connections 4 --requests 400 --seed 9 --retries 8 \
+  --retry-backoff-ms 5 --response-timeout-ms 3000 \
+  > "$workdir/liveness.txt" 2>&1
+code=$?
+cat "$workdir/liveness.txt"
+[ "$code" -eq 0 ] \
+  || fail "loadgen exited $code with a worker frozen — in-flight work lost" \
+          "$workdir/liveness.txt" "$workdir/fd3.err"
+
+# Give the heartbeat a chance to flag the frozen worker even if the load
+# finished before the silence threshold elapsed.
+for _ in $(seq 50); do
+  if ! kill -0 "$worker_pid" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+
+kill -TERM "$fd_pid"; wait "$fd_pid" \
+  || fail "front door exited non-zero after the liveness drain" \
+          "$workdir/fd3.err"
+pids=""
+hung=$(sed -n 's/.* \([0-9][0-9]*\) hung$/\1/p' "$workdir/fd3.err" | tail -n 1)
+[ -n "$hung" ] && [ "$hung" -ge 1 ] \
+  || fail "front door never counted the frozen worker as hung" \
+          "$workdir/fd3.err"
+
+echo "check_chaos: OK"

@@ -68,7 +68,7 @@ binary_flags() {
     sort -u
 }
 
-for tool in serve frontdoor loadgen; do
+for tool in serve frontdoor loadgen chaos; do
   tool_src="$root/tools/soctest_${tool}.cpp"
   for doc in "$root"/README.md "$root"/DESIGN.md "$root"/docs/*.md; do
     [ -f "$doc" ] || continue
@@ -164,6 +164,35 @@ if [ -f "$service_doc" ]; then
   done
 else
   echo "FAIL: docs/service.md is missing (the service metric catalog)"
+  fail=1
+fi
+
+# The chaos-engineering contract (docs/robustness.md) is bidirectional the
+# same way: the fault-injection counters (chaos.faults.*) and the resilient
+# client's counters (client.retry.*) are what a soak run is judged by, so
+# the doc and the instrumentation must agree exactly in both directions.
+robustness_doc="$root/docs/robustness.md"
+if [ -f "$robustness_doc" ]; then
+  for pat in '^chaos\.faults\.' '^client\.retry\.'; do
+    pat_emitted=$(printf '%s\n' "$emitted_names" | grep -E "$pat" || true)
+    for name in $pat_emitted; do
+      if ! grep -qF "\`$name\`" "$robustness_doc"; then
+        echo "FAIL: metric '$name' is emitted by src/service but not" \
+             "documented in docs/robustness.md"
+        fail=1
+      fi
+    done
+    for name in $(grep -oE "\`${pat#^}[a-z_.]+\`" "$robustness_doc" |
+                    tr -d '\`' | sort -u); do
+      if ! printf '%s\n' "$pat_emitted" | grep -qxF "$name"; then
+        echo "FAIL: docs/robustness.md documents metric '$name', which no" \
+             "obs::counter literal in src emits"
+        fail=1
+      fi
+    done
+  done
+else
+  echo "FAIL: docs/robustness.md is missing (the chaos/retry contract)"
   fail=1
 fi
 

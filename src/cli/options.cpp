@@ -150,6 +150,19 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       if (options.batch_path.empty()) fail("--batch: empty path");
     } else if (arg == "--stream") {
       options.stream = true;
+    } else if (arg == "--retries") {
+      options.retries = to_int(value(arg), arg);
+      if (options.retries < 0) fail("--retries must be >= 0");
+    } else if (arg == "--retry-backoff-ms") {
+      options.retry_backoff_ms = to_double(value(arg), arg);
+      if (options.retry_backoff_ms < 0) {
+        fail("--retry-backoff-ms must be >= 0");
+      }
+    } else if (arg == "--response-timeout-ms") {
+      options.response_timeout_ms = to_double(value(arg), arg);
+      if (options.response_timeout_ms <= 0) {
+        fail("--response-timeout-ms must be positive");
+      }
     } else {
       fail("unknown argument '" + arg + "'");
     }
@@ -162,6 +175,12 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   }
   if (options.stream && options.client_socket.empty()) {
     fail("--stream requires --client");
+  }
+  if (options.client_socket.empty() &&
+      (options.retries != 0 || options.retry_backoff_ms != 10.0 ||
+       options.response_timeout_ms > 0)) {
+    fail("--retries/--retry-backoff-ms/--response-timeout-ms require "
+         "--client");
   }
   return options;
 }
@@ -233,6 +252,14 @@ Service client (docs/service.md):
                         above ("-" reads stdin)
   --stream              with --client: stream soctest-partial-v1 incumbent
                         lines before the final response
+  --retries N           with --client: resend budget per request — reconnect
+                        on drops, replay unanswered requests, honor
+                        retry_after_ms on rejections (default 0 = fail fast;
+                        docs/robustness.md)
+  --retry-backoff-ms T  with --client: reconnect backoff base (default 10)
+  --response-timeout-ms T
+                        with --client: drop + reconnect when responses are
+                        outstanding and the server is silent for T ms
   --help                this text
 )";
 }

@@ -75,6 +75,18 @@ struct CliOptions {
   /// Client mode: set "stream":true on the flag-built request, printing
   /// soctest-partial-v1 incumbent lines before the final response.
   bool stream = false;
+  /// Client mode: per-request retry budget beyond the first attempt
+  /// (--retries N). 0 keeps the old fail-fast behavior; with retries the
+  /// client reconnects on drops, replays unanswered requests, and honors
+  /// retry_after_ms on rejections (docs/robustness.md).
+  int retries = 0;
+  /// Client mode: base of the exponential reconnect backoff
+  /// (--retry-backoff-ms; docs/robustness.md has the formula).
+  double retry_backoff_ms = 10.0;
+  /// Client mode: silence watchdog — drop and re-establish the connection
+  /// when responses are outstanding and the server has been quiet this
+  /// long (--response-timeout-ms; <= 0 disables).
+  double response_timeout_ms = -1.0;
 };
 
 /// Parses argv-style arguments (without argv[0]). Throws

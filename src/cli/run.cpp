@@ -22,6 +22,7 @@
 #include "sched/power_sched.hpp"
 #include "sched/schedule.hpp"
 #include "service/protocol.hpp"
+#include "service/retry.hpp"
 #include "service/transport.hpp"
 #include "soc/builtin.hpp"
 #include "soc/soc_format.hpp"
@@ -268,8 +269,12 @@ CliResult run_client(const CliOptions& options) {
     lines.push_back(request_json(request));
   }
 
-  StatusOr<std::vector<std::string>> responses =
-      client_roundtrip(options.client_socket, lines);
+  RetryPolicy policy;
+  policy.max_attempts = options.retries + 1;
+  policy.base_backoff_ms = options.retry_backoff_ms;
+  policy.response_timeout_ms = options.response_timeout_ms;
+  RetryingClient client(options.client_socket, policy);
+  StatusOr<std::vector<std::string>> responses = client.run_batch(lines);
   if (!responses.ok()) {
     result.output = "error: " + responses.status().to_string() + "\n";
     result.exit_code = exit_code_for(responses.status());
@@ -279,10 +284,29 @@ CliResult run_client(const CliOptions& options) {
   for (const std::string& line : responses.value()) out << line << "\n";
   const ClientBatchSummary summary =
       summarize_client_batch(lines, responses.value());
+  const RetryStats& rs = client.stats();
+  if (!options.batch_path.empty()) {
+    // Batch summary: answered counts plus what the retry layer did to get
+    // them. Fault-free this line is deterministic (attempts = requests,
+    // everything else 0), so byte-compare gates stay byte-identical.
+    out << "client: " << summary.finals << "/" << summary.requests
+        << " answered, " << summary.partials << " partials, attempts="
+        << rs.attempts << " retries=" << rs.retries << " reconnects="
+        << rs.reconnects << " backoff_ms="
+        << static_cast<long long>(rs.backoff_ms + 0.5) << " gave_up="
+        << rs.gave_up << "\n";
+  }
   if (!summary.missing_ids.empty()) {
     const Status st = io_error(
         "server answered " + std::to_string(summary.finals) + " of " +
         std::to_string(summary.requests) + " requests");
+    out << "error: " << st.to_string() << "\n";
+    result.exit_code = exit_code_for(st);
+  } else if (rs.gave_up > 0) {
+    // Every request has *a* final, but gave_up of them are synthesized
+    // retry-budget errors; the exit code must not claim success.
+    const Status st = io_error("client gave up on " +
+                               std::to_string(rs.gave_up) + " request(s)");
     out << "error: " << st.to_string() << "\n";
     result.exit_code = exit_code_for(st);
   }

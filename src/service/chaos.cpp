@@ -1,0 +1,428 @@
+#include "service/chaos.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <deque>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/net.hpp"
+#include "common/rng.hpp"
+#include "obs/obs.hpp"
+#include "service/transport.hpp"
+
+namespace soctest {
+
+namespace {
+
+double chaos_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// One forwarding direction's in-flight bytes. Segments are FIFO: a
+/// segment is only written once every earlier one has fully left, so
+/// delays and tears add latency but never reorder bytes.
+struct Seg {
+  double due_ms = 0;
+  std::string data;
+};
+
+constexpr std::size_t kMaxBuffered = 1u << 20;  ///< per-direction backpressure
+
+}  // namespace
+
+struct ChaosProxy::Conn {
+  int client_fd = -1;
+  int up_fd = -1;  ///< -1 for half-open connections
+  bool client_eof = false;
+  bool up_eof = false;
+  bool client_shut = false;  ///< SHUT_WR already propagated to client
+  bool up_shut = false;
+  bool dead = false;
+  std::deque<Seg> to_client;
+  std::deque<Seg> to_up;
+
+  // The per-connection fault plan, sampled once at accept.
+  bool halfopen = false;
+  bool tear = false;
+  bool delay = false;
+  long long drop_after_bytes = -1;  ///< total relayed bytes; -1 = never
+  bool dropping = false;  ///< budget cut; close once the queues flush
+  long long garbage_after_bytes = -1;
+  bool garbage_injected = false;
+  bool at_line_boundary = true;  ///< last byte queued toward client was '\n'
+  long long relayed = 0;
+  std::string garbage_line;
+  Rng rng;
+
+  explicit Conn(std::uint64_t seed) : rng(seed) {}
+};
+
+struct ChaosProxy::Impl {
+  ChaosConfig config;
+  int listen_fd = -1;
+  long long accepted = 0;
+  std::vector<std::unique_ptr<Conn>> conns;
+
+  std::atomic<long long> st_connections{0};
+  std::atomic<long long> st_drops{0};
+  std::atomic<long long> st_tears{0};
+  std::atomic<long long> st_delays{0};
+  std::atomic<long long> st_garbage{0};
+  std::atomic<long long> st_halfopen{0};
+  std::atomic<long long> st_bytes_up{0};
+  std::atomic<long long> st_bytes_down{0};
+};
+
+ChaosProxy::ChaosProxy(const ChaosConfig& config)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->config = config;
+}
+
+ChaosProxy::~ChaosProxy() {
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  for (const auto& conn : impl_->conns) {
+    if (conn->client_fd >= 0) ::close(conn->client_fd);
+    if (conn->up_fd >= 0) ::close(conn->up_fd);
+  }
+}
+
+Status ChaosProxy::start() {
+  StatusOr<net::Endpoint> parsed = net::parse_endpoint(impl_->config.listen);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed.value().tcp) {
+    return invalid_argument_error("chaos proxy listens on TCP only: " +
+                                  impl_->config.listen);
+  }
+  StatusOr<net::Endpoint> up = net::parse_endpoint(impl_->config.upstream);
+  if (!up.ok()) return up.status();
+  int port = 0;
+  StatusOr<int> listener = net::listen_endpoint(parsed.value(), &port);
+  if (!listener.ok()) return listener.status();
+  impl_->listen_fd = listener.value();
+  net::set_nonblocking(impl_->listen_fd);
+  port_ = port;
+  return Status();
+}
+
+std::string ChaosProxy::endpoint() const {
+  StatusOr<net::Endpoint> parsed = net::parse_endpoint(impl_->config.listen);
+  if (!parsed.ok()) return impl_->config.listen;
+  return net::endpoint_name(parsed.value(), port_);
+}
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats s;
+  s.connections = impl_->st_connections.load(std::memory_order_relaxed);
+  s.drops = impl_->st_drops.load(std::memory_order_relaxed);
+  s.tears = impl_->st_tears.load(std::memory_order_relaxed);
+  s.delays = impl_->st_delays.load(std::memory_order_relaxed);
+  s.garbage = impl_->st_garbage.load(std::memory_order_relaxed);
+  s.halfopen = impl_->st_halfopen.load(std::memory_order_relaxed);
+  s.bytes_to_upstream = impl_->st_bytes_up.load(std::memory_order_relaxed);
+  s.bytes_to_client = impl_->st_bytes_down.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+std::size_t buffered(const std::deque<Seg>& segs) {
+  std::size_t total = 0;
+  for (const Seg& seg : segs) total += seg.data.size();
+  return total;
+}
+
+/// Flushes due segments; returns false on a hard write error.
+bool flush_segs(int fd, std::deque<Seg>& segs, double now,
+                std::atomic<long long>& byte_counter) {
+  while (!segs.empty()) {
+    Seg& head = segs.front();
+    if (head.due_ms > now) return true;
+    const ssize_t n = ::write(fd, head.data.data(), head.data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    byte_counter.fetch_add(n, std::memory_order_relaxed);
+    if (static_cast<std::size_t>(n) < head.data.size()) {
+      head.data.erase(0, static_cast<std::size_t>(n));
+      return true;
+    }
+    segs.pop_front();
+  }
+  return true;
+}
+
+}  // namespace
+
+int ChaosProxy::serve(const std::atomic<bool>* stop) {
+  Impl& im = *impl_;
+  const ChaosConfig& cfg = im.config;
+  StatusOr<net::Endpoint> up_parsed = net::parse_endpoint(cfg.upstream);
+  if (!up_parsed.ok()) return kExitIoError;
+
+  const auto kill_conn = [&](Conn& c) {
+    if (c.client_fd >= 0) ::close(c.client_fd);
+    if (c.up_fd >= 0) ::close(c.up_fd);
+    c.client_fd = -1;
+    c.up_fd = -1;
+    c.dead = true;
+  };
+
+  // Queues freshly read bytes onto a direction, applying the connection's
+  // delay/tear plan and (downstream only) garbage injection and the drop
+  // byte budget.
+  const auto forward = [&](Conn& c, std::deque<Seg>& segs, std::string bytes,
+                           bool toward_client) {
+    if (c.dropping) return;  // budget already cut; discard stragglers
+    const double now = chaos_now_ms();
+    if (c.drop_after_bytes >= 0 &&
+        c.relayed + static_cast<long long>(bytes.size()) >=
+            c.drop_after_bytes) {
+      // The budget cuts mid-chunk: relay exactly the bytes that fit, then
+      // close once they have flushed. Killing on the spot would discard
+      // the whole tripping chunk — a peer that answers in one burst (a
+      // slow serial server flushing its backlog at once) would then never
+      // land a single byte across any dropped connection, starving the
+      // client instead of exercising its replay path.
+      bytes.resize(static_cast<std::size_t>(
+          std::max<long long>(0, c.drop_after_bytes - c.relayed)));
+      c.dropping = true;
+      im.st_drops.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("chaos.faults.drops").add();
+    }
+    c.relayed += static_cast<long long>(bytes.size());
+    double due = now + (c.delay ? cfg.delay_ms : 0.0);
+    if (toward_client) {
+      if (!c.dropping && !c.garbage_injected && c.garbage_after_bytes >= 0 &&
+          c.relayed >= c.garbage_after_bytes && c.at_line_boundary) {
+        segs.push_back({due, c.garbage_line});
+        c.garbage_injected = true;
+        im.st_garbage.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("chaos.faults.garbage").add();
+      }
+      if (!bytes.empty()) c.at_line_boundary = bytes.back() == '\n';
+    }
+    if (bytes.empty()) return;
+    if (c.tear && bytes.size() >= 2) {
+      const std::size_t cut = static_cast<std::size_t>(c.rng.uniform_int(
+          1, static_cast<long long>(bytes.size()) - 1));
+      segs.push_back({due, bytes.substr(0, cut)});
+      segs.push_back({due + cfg.stall_ms, bytes.substr(cut)});
+      im.st_tears.fetch_add(1, std::memory_order_relaxed);
+      obs::counter("chaos.faults.tears").add();
+    } else {
+      segs.push_back({due, std::move(bytes)});
+    }
+  };
+
+  const auto accept_conns = [&]() {
+    while (true) {
+      const int client_fd = ::accept4(im.listen_fd, nullptr, nullptr,
+                                      SOCK_CLOEXEC | SOCK_NONBLOCK);
+      if (client_fd < 0) break;
+      net::set_tcp_nodelay(client_fd);
+      auto conn =
+          std::make_unique<Conn>(mix64(cfg.seed ^ mix64(im.accepted + 1)));
+      ++im.accepted;
+      im.st_connections.fetch_add(1, std::memory_order_relaxed);
+      conn->client_fd = client_fd;
+      // Sample the whole plan up front, in a fixed order, so the schedule
+      // for connection N depends only on (seed, N).
+      conn->halfopen = conn->rng.bernoulli(cfg.halfopen_prob);
+      const bool drop = conn->rng.bernoulli(cfg.drop_prob);
+      conn->drop_after_bytes = conn->rng.uniform_int(1, 6000);
+      if (!drop) conn->drop_after_bytes = -1;
+      conn->tear = conn->rng.bernoulli(cfg.tear_prob);
+      conn->delay = conn->rng.bernoulli(cfg.delay_prob);
+      const bool garbage = conn->rng.bernoulli(cfg.garbage_prob);
+      conn->garbage_after_bytes = conn->rng.uniform_int(0, 2000);
+      if (!garbage) conn->garbage_after_bytes = -1;
+      switch (conn->rng.uniform_int(0, 2)) {
+        case 0:
+          conn->garbage_line = "{\"schema\":\"soctest-resp-v1\",\"id\":\"\n";
+          break;  // truncated-but-terminated JSON
+        case 1:
+          conn->garbage_line = "\x01\x02garbage\x7f\xff\n";
+          break;
+        default:
+          conn->garbage_line = "{\"schema\":\"no-such-schema-v9\"}\n";
+          break;
+      }
+      if (conn->halfopen) {
+        im.st_halfopen.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("chaos.faults.halfopen").add();
+      } else {
+        StatusOr<int> up = net::connect_endpoint(up_parsed.value());
+        if (!up.ok()) {
+          ::close(client_fd);
+          continue;
+        }
+        conn->up_fd = up.value();
+        net::set_nonblocking(conn->up_fd);
+        if (conn->delay) {
+          im.st_delays.fetch_add(1, std::memory_order_relaxed);
+          obs::counter("chaos.faults.delays").add();
+        }
+      }
+      im.conns.push_back(std::move(conn));
+    }
+  };
+
+  while (true) {
+    if (shutdown_requested() ||
+        (stop != nullptr && stop->load(std::memory_order_relaxed))) {
+      break;
+    }
+    const double now = chaos_now_ms();
+    // Reap finished connections: killed ones, and relays where both sides
+    // hit EOF and every buffered segment has flushed.
+    im.conns.erase(
+        std::remove_if(im.conns.begin(), im.conns.end(),
+                       [&](const std::unique_ptr<Conn>& c) {
+                         if (!c->dead && c->client_eof &&
+                             (c->up_eof || c->up_fd < 0) &&
+                             c->to_client.empty() && c->to_up.empty()) {
+                           kill_conn(*c);
+                         }
+                         // A dropped connection dies only after the bytes
+                         // inside its budget have left the building.
+                         if (!c->dead && c->dropping &&
+                             c->to_client.empty() && c->to_up.empty()) {
+                           kill_conn(*c);
+                         }
+                         return c->dead;
+                       }),
+        im.conns.end());
+
+    std::vector<struct pollfd> pfds;
+    std::vector<std::pair<Conn*, bool>> owners;  // (conn, is_client_fd)
+    pfds.push_back({im.listen_fd, POLLIN, 0});
+    double next_due = now + 100.0;
+    for (const auto& cp : im.conns) {
+      Conn& c = *cp;
+      if (c.client_fd >= 0) {
+        short events = 0;
+        if (!c.client_eof && !c.dropping && buffered(c.to_up) < kMaxBuffered)
+          events |= POLLIN;
+        if (!c.to_client.empty()) {
+          if (c.to_client.front().due_ms <= now) {
+            events |= POLLOUT;
+          } else {
+            next_due = std::min(next_due, c.to_client.front().due_ms);
+          }
+        }
+        if (events != 0) {
+          pfds.push_back({c.client_fd, events, 0});
+          owners.emplace_back(&c, true);
+        }
+      }
+      if (c.up_fd >= 0) {
+        short events = 0;
+        if (!c.up_eof && !c.dropping && buffered(c.to_client) < kMaxBuffered)
+          events |= POLLIN;
+        if (!c.to_up.empty()) {
+          if (c.to_up.front().due_ms <= now) {
+            events |= POLLOUT;
+          } else {
+            next_due = std::min(next_due, c.to_up.front().due_ms);
+          }
+        }
+        if (events != 0) {
+          pfds.push_back({c.up_fd, events, 0});
+          owners.emplace_back(&c, false);
+        }
+      }
+    }
+    const int timeout =
+        std::max(1, static_cast<int>(next_due - now) + 1);
+    const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                             std::min(timeout, 100));
+    if (ready < 0 && errno != EINTR) break;
+    if ((pfds[0].revents & POLLIN) != 0) accept_conns();
+
+    for (std::size_t i = 0; i < owners.size(); ++i) {
+      Conn& c = *owners[i].first;
+      const bool is_client = owners[i].second;
+      const short revents = pfds[1 + i].revents;
+      if (c.dead || revents == 0) continue;
+      const int fd = is_client ? c.client_fd : c.up_fd;
+      const double flush_now = chaos_now_ms();
+      if ((revents & POLLOUT) != 0) {
+        std::deque<Seg>& segs = is_client ? c.to_client : c.to_up;
+        auto& counter = is_client ? im.st_bytes_down : im.st_bytes_up;
+        if (!flush_segs(fd, segs, flush_now, counter)) {
+          kill_conn(c);
+          continue;
+        }
+        // EOF propagation: the source side closed and everything it sent
+        // has now been relayed.
+        if (segs.empty()) {
+          if (is_client && c.up_eof && !c.client_shut) {
+            ::shutdown(fd, SHUT_WR);
+            c.client_shut = true;
+          } else if (!is_client && c.client_eof && !c.up_shut) {
+            ::shutdown(fd, SHUT_WR);
+            c.up_shut = true;
+          }
+        }
+      }
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        char chunk[65536];
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno != EINTR && errno != EAGAIN &&
+            errno != EWOULDBLOCK) {
+          kill_conn(c);
+          continue;
+        }
+        if (n == 0) {
+          if (is_client) {
+            c.client_eof = true;
+            if (c.up_fd >= 0 && c.to_up.empty() && !c.up_shut) {
+              ::shutdown(c.up_fd, SHUT_WR);
+              c.up_shut = true;
+            }
+          } else {
+            c.up_eof = true;
+            if (c.to_client.empty() && !c.client_shut) {
+              ::shutdown(c.client_fd, SHUT_WR);
+              c.client_shut = true;
+            }
+          }
+          continue;
+        }
+        if (n > 0) {
+          std::string bytes(chunk, static_cast<std::size_t>(n));
+          if (is_client) {
+            if (c.up_fd < 0) continue;  // half-open: read and discard
+            forward(c, c.to_up, std::move(bytes), /*toward_client=*/false);
+          } else {
+            forward(c, c.to_client, std::move(bytes), /*toward_client=*/true);
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& cp : im.conns) kill_conn(*cp);
+  im.conns.clear();
+  ::close(im.listen_fd);
+  im.listen_fd = -1;
+  return 0;
+}
+
+}  // namespace soctest

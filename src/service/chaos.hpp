@@ -1,0 +1,78 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/status.hpp"
+
+namespace soctest {
+
+/// Fault schedule for the chaos TCP proxy (docs/robustness.md catalogs the
+/// faults). Every fault decision is drawn from a PRNG seeded with
+/// (seed, connection index), so a fixed seed reproduces the exact same
+/// fault schedule run over run — the chaos gate depends on it.
+struct ChaosConfig {
+  std::string listen = "127.0.0.1:0";  ///< where clients connect
+  std::string upstream;                ///< real server endpoint
+  std::uint64_t seed = 1;
+  /// Per-connection probabilities, each sampled once at accept time.
+  double drop_prob = 0.0;      ///< close both sides after a random byte count
+  double tear_prob = 0.0;      ///< split every downstream write, stall tail
+  double delay_prob = 0.0;     ///< delay all forwarded bytes by delay_ms
+  double garbage_prob = 0.0;   ///< inject one garbage line toward the client
+  double halfopen_prob = 0.0;  ///< accept, read, never connect upstream
+  double stall_ms = 25.0;      ///< tear: extra latency on the torn-off tail
+  double delay_ms = 5.0;       ///< delay: fixed per-chunk forwarding latency
+};
+
+/// What the proxy did, for the tool's exit line and tests. Mirrored into
+/// the obs counters `chaos.faults.*`.
+struct ChaosStats {
+  long long connections = 0;
+  long long drops = 0;
+  long long tears = 0;
+  long long delays = 0;
+  long long garbage = 0;
+  long long halfopen = 0;
+  long long bytes_to_upstream = 0;
+  long long bytes_to_client = 0;
+};
+
+/// A deterministic fault-injecting TCP proxy between JSONL clients and a
+/// solve server (or front door). Faults are byte-level and line-aware:
+/// garbage is injected only at response-line boundaries (and always
+/// newline-terminated), so the proxy corrupts the *stream* — drops, stalls,
+/// junk lines — but never splices bytes into a real response line; torn
+/// writes delay a chunk's tail without reordering. Single-threaded poll
+/// loop; forwarding within each direction is always in order.
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(const ChaosConfig& config);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listen endpoint (resolving port 0) and connects nothing yet.
+  Status start();
+
+  /// Runs the proxy loop until `stop` is set or a shutdown signal arrives
+  /// (transport.hpp handlers). Open connections are dropped on stop — a
+  /// chaos proxy owes its clients nothing. Returns 0 on a clean stop.
+  int serve(const std::atomic<bool>* stop = nullptr);
+
+  int port() const { return port_; }
+  std::string endpoint() const;  ///< canonical listen endpoint text
+  ChaosStats stats() const;
+
+ private:
+  struct Conn;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int port_ = 0;
+};
+
+}  // namespace soctest

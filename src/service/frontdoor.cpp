@@ -12,6 +12,7 @@
 #include <vector>
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -79,6 +80,12 @@ bool next_line(std::string* inbuf, std::string* line) {
   return true;
 }
 
+long long fd_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 std::uint64_t request_fingerprint(const std::string& line) {
@@ -99,6 +106,10 @@ struct FrontDoor::Impl {
   struct Pending {
     std::string id;
     std::string line;
+    /// False until the line has actually been queued to a connected
+    /// worker link: a lazy link that connects for the first time is a
+    /// first send, not a retry, and must not inflate the retried stat.
+    bool sent = false;
   };
 
   /// One (client connection, worker shard) pipe. Lazily connected: a
@@ -115,6 +126,8 @@ struct FrontDoor::Impl {
     int fd = -1;
     bool eof = false;   ///< client half-closed; finish pending, then close
     bool dead = false;  ///< write failed; drop responses, keep accounting
+    bool overflow = false;  ///< discarding an oversized line until newline
+    long long last_activity_ms = 0;
     std::string inbuf;
     std::string outbuf;
     std::vector<Link> links;
@@ -125,6 +138,15 @@ struct FrontDoor::Impl {
     std::string socket_path;
     int restarts = 0;
     bool broken = false;  ///< restart budget exhausted; shard answers errors
+    // Heartbeat liveness (config.heartbeat_ms > 0): a dedicated health
+    // connection carrying only ping/pong, so probe latency measures the
+    // worker's poll loop, not its job queue.
+    int health_fd = -1;
+    std::string health_inbuf;
+    std::string health_outbuf;
+    long long last_ping_ms = 0;
+    long long last_pong_ms = 0;
+    long long ping_seq = 0;
   };
 
   explicit Impl(FrontDoorConfig cfg) : config(std::move(cfg)) {}
@@ -152,6 +174,7 @@ struct FrontDoor::Impl {
   std::atomic<long long> st_errors{0};
   std::atomic<long long> st_restarts{0};
   std::atomic<long long> st_retried{0};
+  std::atomic<long long> st_hung{0};
 
   std::vector<std::string> worker_argv(std::size_t idx) const {
     std::vector<std::string> argv;
@@ -164,6 +187,11 @@ struct FrontDoor::Impl {
     argv.push_back(std::to_string(config.worker_cache));
     argv.push_back("--retry-after-ms");
     argv.push_back(std::to_string(config.retry_after_ms));
+    // Workers talk only to the front door on private sockets; worker-side
+    // idle reaping would just churn the lazily-held links (and the health
+    // connection between pings), so it is disabled outright.
+    argv.push_back("--idle-timeout-ms");
+    argv.push_back("0");
     if (config.serial_workers) {
       argv.push_back("--serial");
     } else if (config.worker_threads > 0) {
@@ -269,6 +297,15 @@ struct FrontDoor::Impl {
 
   void handle_request(Client& client, const std::string& line) {
     if (line.empty()) return;
+    std::string ping_id;
+    if (parse_ping(line, &ping_id)) {
+      // Answered authoritatively, outside the received/forwarded ledger:
+      // a pong proves the front door's poll loop is alive regardless of
+      // worker health, and pings must never occupy admission slots.
+      obs::counter("frontdoor.requests.pings").add();
+      answer_locally(client, pong_json(ping_id));
+      return;
+    }
     st_received.fetch_add(1, std::memory_order_relaxed);
     obs::counter("frontdoor.requests.received").add();
 
@@ -304,7 +341,7 @@ struct FrontDoor::Impl {
     }
 
     Link& link = client.links[shard];
-    link.pending.push_back(Pending{id, line});
+    link.pending.push_back(Pending{id, line, /*sent=*/link.fd >= 0});
     if (link.fd >= 0) {
       link.outbuf.append(line);
       link.outbuf.push_back('\n');
@@ -312,6 +349,60 @@ struct FrontDoor::Impl {
     ++total_inflight;
     st_forwarded.fetch_add(1, std::memory_order_relaxed);
     obs::counter("frontdoor.requests.forwarded").add();
+  }
+
+  /// One oversized line: answered authoritatively with the canonical
+  /// structured error, counted as received + error so the
+  /// received = forwarded + rejected + errors invariant holds.
+  void answer_oversized(Client& c) {
+    st_received.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("frontdoor.requests.received").add();
+    st_errors.fetch_add(1, std::memory_order_relaxed);
+    obs::counter("frontdoor.requests.error").add();
+    obs::counter("frontdoor.requests.oversized").add();
+    answer_locally(c, oversized_line_response_json());
+  }
+
+  /// Splits buffered client bytes into requests, enforcing the protocol
+  /// line cap: an oversized line gets one authoritative structured error
+  /// and is discarded up to the next newline, resynchronizing the stream.
+  void handle_client_bytes(Client& c, bool eof_now) {
+    while (true) {
+      if (c.overflow) {
+        const auto nl = c.inbuf.find('\n');
+        if (nl == std::string::npos) {
+          c.inbuf.clear();
+          break;
+        }
+        c.inbuf.erase(0, nl + 1);
+        c.overflow = false;
+      }
+      std::string line;
+      if (next_line(&c.inbuf, &line)) {
+        // A complete line can still breach the cap when its newline lands
+        // in the same chunk that crossed it — length-check before routing.
+        if (line.size() > kMaxProtocolLineBytes) {
+          answer_oversized(c);
+        } else {
+          handle_request(c, line);
+        }
+        continue;
+      }
+      if (c.inbuf.size() > kMaxProtocolLineBytes) {
+        c.overflow = true;
+        c.inbuf.clear();
+        answer_oversized(c);
+        continue;
+      }
+      break;
+    }
+    if (eof_now) {
+      if (!c.inbuf.empty() && !c.overflow) {
+        handle_request(c, c.inbuf);  // unterminated final line
+      }
+      c.inbuf.clear();
+      c.eof = true;
+    }
   }
 
   void handle_worker_line(Client& client, std::size_t shard,
@@ -385,6 +476,62 @@ struct FrontDoor::Impl {
     }
   }
 
+  void close_health(Worker& w) {
+    if (w.health_fd >= 0) {
+      ::close(w.health_fd);
+      w.health_fd = -1;
+    }
+    w.health_inbuf.clear();
+    w.health_outbuf.clear();
+  }
+
+  long long heartbeat_timeout() const {
+    return static_cast<long long>(config.heartbeat_timeout_ms > 0
+                                      ? config.heartbeat_timeout_ms
+                                      : 5.0 * config.heartbeat_ms);
+  }
+
+  /// Probes each live worker's poll loop. A worker whose health link goes
+  /// silent past the timeout is hung, not crashed — waitpid will never
+  /// fire for it — so it is SIGKILLed here and the ordinary crash path
+  /// (reap, respawn, resend pending) finishes the recovery next tick.
+  void heartbeat_tick() {
+    if (config.heartbeat_ms <= 0 || draining) return;
+    const long long now = fd_now_ms();
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      Worker& w = workers[i];
+      if (w.pid < 0 || w.broken) {
+        close_health(w);
+        continue;
+      }
+      if (w.health_fd < 0) {
+        // (Re)connect lazily; a SIGSTOPped worker still accept()s into its
+        // listen backlog, so connecting is not evidence of liveness —
+        // only pongs are.
+        const net::Endpoint ep{false, "", 0, w.socket_path};
+        const auto fd = net::connect_endpoint(ep);
+        if (!fd.ok()) continue;  // restarting; next tick
+        w.health_fd = fd.value();
+        net::set_nonblocking(w.health_fd);
+        w.last_pong_ms = now;
+        w.last_ping_ms = 0;
+      }
+      if (now - w.last_ping_ms >=
+          static_cast<long long>(config.heartbeat_ms)) {
+        w.health_outbuf.append(ping_json("hb-" + std::to_string(i) + "-" +
+                                         std::to_string(++w.ping_seq)));
+        w.health_outbuf.push_back('\n');
+        w.last_ping_ms = now;
+      }
+      if (now - w.last_pong_ms > heartbeat_timeout()) {
+        st_hung.fetch_add(1, std::memory_order_relaxed);
+        obs::counter("frontdoor.workers.hung_restarts").add();
+        close_health(w);
+        ::kill(w.pid, SIGKILL);
+      }
+    }
+  }
+
   void reap_workers() {
     for (std::size_t i = 0; i < workers.size(); ++i) {
       Worker& w = workers[i];
@@ -395,6 +542,7 @@ struct FrontDoor::Impl {
         std::lock_guard<std::mutex> lock(mutex);
         w.pid = -1;
       }
+      close_health(w);
       close_links_to(i);
       ++w.restarts;
       if (w.restarts > config.max_restarts) {
@@ -431,10 +579,14 @@ struct FrontDoor::Impl {
           link.outbuf.append(p.line);
           link.outbuf.push_back('\n');
         }
-        if (link.was_connected) {
-          const auto n = static_cast<long long>(link.pending.size());
-          st_retried.fetch_add(n, std::memory_order_relaxed);
-          obs::counter("frontdoor.workers.retried").add(n);
+        long long resent = 0;
+        for (Pending& p : link.pending) {
+          if (p.sent) ++resent;
+          p.sent = true;
+        }
+        if (resent > 0) {
+          st_retried.fetch_add(resent, std::memory_order_relaxed);
+          obs::counter("frontdoor.workers.retried").add(resent);
         }
         link.was_connected = true;
       }
@@ -460,11 +612,23 @@ struct FrontDoor::Impl {
   }
 
   void sweep_clients() {
+    const long long now = fd_now_ms();
     for (auto it = clients.begin(); it != clients.end();) {
       Client& c = **it;
       const std::size_t pending = pending_total(c);
       bool done = c.dead || (c.eof && pending == 0 && c.outbuf.empty());
       if (draining) done = done || (pending == 0 && c.outbuf.empty());
+      // Idle reap: no request in flight and no byte moved in either
+      // direction past the deadline means a half-open or byte-dribbling
+      // peer; a client actually waiting on a solve (pending > 0) is never
+      // reaped. last_activity_ms advances on reads and on flush progress,
+      // so slow-but-live readers stay.
+      if (!done && !c.dead && config.idle_timeout_ms > 0 && pending == 0 &&
+          now - c.last_activity_ms >
+              static_cast<long long>(config.idle_timeout_ms)) {
+        obs::counter("frontdoor.clients.idle_reaped").add();
+        done = true;
+      }
       if (!done) {
         ++it;
         continue;
@@ -487,6 +651,7 @@ struct FrontDoor::Impl {
       net::set_tcp_nodelay(fd);
       auto client = std::make_unique<Client>();
       client->fd = fd;
+      client->last_activity_ms = fd_now_ms();
       client->links.resize(workers.size());
       clients.push_back(std::move(client));
     }
@@ -500,13 +665,14 @@ struct FrontDoor::Impl {
         draining = true;
 
       reap_workers();
+      heartbeat_tick();
       ensure_links();
       sweep_clients();
       if (draining && clients.empty()) break;
 
       // One pollfd table per tick; `slots` maps entries back to owners.
       struct Slot {
-        enum Kind { kListener, kClient, kLink } kind;
+        enum Kind { kListener, kClient, kLink, kHealth } kind;
         std::size_t client;
         std::size_t shard;
       };
@@ -515,6 +681,14 @@ struct FrontDoor::Impl {
       if (!draining) {
         pfds.push_back(pollfd{listen_fd, POLLIN, 0});
         slots.push_back(Slot{Slot::kListener, 0, 0});
+      }
+      for (std::size_t wi = 0; wi < workers.size(); ++wi) {
+        Worker& w = workers[wi];
+        if (w.health_fd < 0) continue;
+        short ev = POLLIN;
+        if (!w.health_outbuf.empty()) ev |= POLLOUT;
+        pfds.push_back(pollfd{w.health_fd, ev, 0});
+        slots.push_back(Slot{Slot::kHealth, 0, wi});
       }
       for (std::size_t ci = 0; ci < clients.size(); ++ci) {
         Client& c = *clients[ci];
@@ -554,25 +728,41 @@ struct FrontDoor::Impl {
           accept_clients();
           continue;
         }
-        Client& c = *clients[slot.client];
-        if (slot.kind == Slot::kClient) {
+        if (slot.kind == Slot::kHealth) {
+          Worker& w = workers[slot.shard];
+          if (w.health_fd < 0) continue;  // closed earlier this tick
           if (pfds[i].revents & POLLOUT) {
-            if (!flush_some(c.fd, &c.outbuf)) {
-              c.dead = true;
+            if (!flush_some(w.health_fd, &w.health_outbuf)) {
+              close_health(w);  // reconnect (quietly) next tick
               continue;
             }
           }
           if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-            const bool alive = read_some(c.fd, &c.inbuf);
+            const bool alive = read_some(w.health_fd, &w.health_inbuf);
             std::string line;
-            while (next_line(&c.inbuf, &line)) handle_request(c, line);
-            if (!alive) {
-              if (!c.inbuf.empty()) {
-                handle_request(c, c.inbuf);  // unterminated final line
-                c.inbuf.clear();
-              }
-              c.eof = true;
+            std::string pong_id;
+            while (next_line(&w.health_inbuf, &line)) {
+              if (parse_pong(line, &pong_id)) w.last_pong_ms = fd_now_ms();
             }
+            if (!alive) close_health(w);
+          }
+          continue;
+        }
+        Client& c = *clients[slot.client];
+        if (slot.kind == Slot::kClient) {
+          if (pfds[i].revents & POLLOUT) {
+            const std::size_t before = c.outbuf.size();
+            if (!flush_some(c.fd, &c.outbuf)) {
+              c.dead = true;
+              continue;
+            }
+            if (c.outbuf.size() != before) c.last_activity_ms = fd_now_ms();
+          }
+          if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+            const std::size_t before = c.inbuf.size();
+            const bool alive = read_some(c.fd, &c.inbuf);
+            if (c.inbuf.size() != before) c.last_activity_ms = fd_now_ms();
+            handle_client_bytes(c, /*eof_now=*/!alive);
           }
         } else {
           Link& link = c.links[slot.shard];
@@ -587,10 +777,16 @@ struct FrontDoor::Impl {
             }
           }
           if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-            const bool alive = read_some(link.fd, &link.inbuf);
+            bool alive = read_some(link.fd, &link.inbuf);
             std::string line;
             while (next_line(&link.inbuf, &line))
               handle_worker_line(c, slot.shard, line);
+            if (link.inbuf.size() > kMaxProtocolLineBytes) {
+              // A worker never legitimately emits a line this long; the
+              // stream is corrupt. Drop the link — `pending` resends on
+              // the fresh connection.
+              alive = false;
+            }
             if (!alive) {
               ::close(link.fd);
               link.fd = -1;
@@ -609,6 +805,7 @@ struct FrontDoor::Impl {
 
   void shutdown_workers() {
     for (Worker& w : workers) {
+      close_health(w);
       pid_t pid;
       {
         std::lock_guard<std::mutex> lock(mutex);
@@ -680,6 +877,7 @@ FrontDoorStats FrontDoor::stats() const {
   s.errors = impl_->st_errors.load(std::memory_order_relaxed);
   s.restarts = impl_->st_restarts.load(std::memory_order_relaxed);
   s.retried = impl_->st_retried.load(std::memory_order_relaxed);
+  s.hung_restarts = impl_->st_hung.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -34,6 +34,15 @@ namespace soctest {
 /// it is resent to the fresh process — no request accepted by the front
 /// door is ever silently lost. Past the restart budget the shard is
 /// declared broken and its requests are answered with internal errors.
+/// With heartbeats enabled the same machinery also covers *hung* workers:
+/// a worker that stops answering pings on its health connection is
+/// SIGKILLed and then handled exactly like a crash.
+///
+/// Two request kinds are answered authoritatively instead of relayed:
+/// soctest-ping-v1 (a pong, straight from the poll loop — client health
+/// checks measure the front door, not a worker queue) and lines exceeding
+/// kMaxProtocolLineBytes (a structured error; relaying a line the front
+/// door refused to buffer is impossible by construction).
 ///
 /// Backpressure: beyond `max_inflight` outstanding requests the front
 /// door rejects with `retry_after_ms` itself (before any worker sees the
@@ -62,7 +71,27 @@ struct FrontDoorConfig {
   std::size_t max_inflight = 256;
   double retry_after_ms = 50.0;
   /// Respawn budget per worker before its shard is declared broken.
+  /// Hung-worker kills (heartbeat timeouts) spend the same budget.
   int max_restarts = 3;
+  /// Heartbeat interval for worker liveness probes; 0 disables. Each
+  /// worker gets a dedicated health connection on which the front door
+  /// sends soctest-ping-v1 every interval; the worker's transport answers
+  /// pongs from its poll loop without queuing behind solves. A worker
+  /// silent past heartbeat_timeout_ms is *hung* (SIGSTOP, deadlock,
+  /// runaway) — crash supervision alone never notices it — and is
+  /// SIGKILLed so the ordinary respawn-and-resend machinery takes over.
+  ///
+  /// Caveat: serial workers solve on their poll thread, so the timeout
+  /// must exceed the longest expected single solve; that is why the
+  /// default is off.
+  double heartbeat_ms = 0.0;
+  /// Silence threshold before a worker is declared hung; <= 0 derives
+  /// 5 * heartbeat_ms.
+  double heartbeat_timeout_ms = 0.0;
+  /// Reap a client connection with no request in flight, nothing
+  /// buffered, and no bytes read for this long (half-open peers must not
+  /// hold slots forever); <= 0 disables.
+  double idle_timeout_ms = 60000.0;
 };
 
 struct FrontDoorStats {
@@ -74,6 +103,7 @@ struct FrontDoorStats {
   long long errors = 0;     ///< answered by the front door with an error
   long long restarts = 0;   ///< worker processes respawned after a crash
   long long retried = 0;    ///< in-flight requests resent after a respawn
+  long long hung_restarts = 0;  ///< workers killed for heartbeat silence
 };
 
 class FrontDoor {

@@ -63,21 +63,28 @@ StatusOr<ServiceRequest> parse_request(const std::string& line) {
       request.soc_text = value.text;
     } else if (name == "widths") {
       if (!value.is_array()) return bad_field(name, "expected an array");
+      if (value.items.size() > static_cast<std::size_t>(kMaxRequestBuses)) {
+        return bad_field(name, "more than " + std::to_string(kMaxRequestBuses) +
+                                   " buses");
+      }
       for (const JsonValue& w : value.items) {
-        if (!as_int(w, &n) || n < 1) {
-          return bad_field(name, "widths must be positive integers");
+        if (!as_int(w, &n) || n < 1 || n > kMaxRequestWidth) {
+          return bad_field(name, "widths must be integers in [1, " +
+                                     std::to_string(kMaxRequestWidth) + "]");
         }
         request.widths.push_back(static_cast<int>(n));
       }
       if (request.widths.empty()) return bad_field(name, "empty list");
     } else if (name == "buses") {
-      if (!as_int(value, &n) || n < 1) {
-        return bad_field(name, "expected a positive integer");
+      if (!as_int(value, &n) || n < 1 || n > kMaxRequestBuses) {
+        return bad_field(name, "expected an integer in [1, " +
+                                   std::to_string(kMaxRequestBuses) + "]");
       }
       request.buses = static_cast<int>(n);
     } else if (name == "width") {
-      if (!as_int(value, &n) || n < 1) {
-        return bad_field(name, "expected a positive integer");
+      if (!as_int(value, &n) || n < 1 || n > kMaxRequestWidth) {
+        return bad_field(name, "expected an integer in [1, " +
+                                   std::to_string(kMaxRequestWidth) + "]");
       }
       request.total_width = static_cast<int>(n);
     } else if (name == "dmax") {
@@ -122,8 +129,10 @@ StatusOr<ServiceRequest> parse_request(const std::string& line) {
       }
       request.seed = static_cast<std::uint64_t>(n);
     } else if (name == "threads") {
-      if (!as_int(value, &n) || n < 0) {
-        return bad_field(name, "expected an integer >= 0 (0 = auto)");
+      if (!as_int(value, &n) || n < 0 || n > kMaxRequestThreads) {
+        return bad_field(name, "expected an integer in [0, " +
+                                   std::to_string(kMaxRequestThreads) +
+                                   "] (0 = auto)");
       }
       request.threads = static_cast<int>(n);
     } else if (name == "time_limit_ms") {
@@ -290,6 +299,57 @@ std::string error_response_json(const std::string& id, const Status& status,
   if (include_timing) w.key("wall_ms").value(wall_ms);
   w.end_object();
   return w.str();
+}
+
+namespace {
+
+/// Shared shape of ping and pong: {"schema":...,"id":...}.
+std::string probe_json(const char* schema, const std::string& id) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(schema);
+  w.key("id").value(id);
+  w.end_object();
+  return w.str();
+}
+
+bool parse_probe(const char* schema, const std::string& line,
+                 std::string* id) {
+  if (line.find(schema) == std::string::npos) return false;
+  const auto doc = parse_json(line);
+  if (!doc || !doc->is_object()) return false;
+  if (doc->string_or("schema", "") != schema) return false;
+  *id = doc->string_or("id", "");
+  return true;
+}
+
+}  // namespace
+
+std::string ping_json(const std::string& id) {
+  return probe_json(kPingSchema, id);
+}
+
+std::string pong_json(const std::string& id) {
+  return probe_json(kPongSchema, id);
+}
+
+bool parse_ping(const std::string& line, std::string* id) {
+  return parse_probe(kPingSchema, line, id);
+}
+
+bool parse_pong(const std::string& line, std::string* id) {
+  return parse_probe(kPongSchema, line, id);
+}
+
+std::string oversized_line_response_json() {
+  return error_response_json(
+      "",
+      resource_exhausted_error(
+          "request line exceeds the " +
+          std::to_string(kMaxProtocolLineBytes) +
+          "-byte protocol cap (docs/service.md); bytes up to the next "
+          "newline were discarded"),
+      /*include_timing=*/false);
 }
 
 std::string rejection_json(const std::string& id, double retry_after_ms,

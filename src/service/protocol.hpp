@@ -29,6 +29,25 @@ namespace soctest {
 inline constexpr const char* kRequestSchema = "soctest-req-v1";
 inline constexpr const char* kResponseSchema = "soctest-resp-v1";
 inline constexpr const char* kPartialSchema = "soctest-partial-v1";
+inline constexpr const char* kPingSchema = "soctest-ping-v1";
+inline constexpr const char* kPongSchema = "soctest-pong-v1";
+
+/// Hard cap on one protocol line, enforced by every poll-based line reader
+/// (server transport, front door, clients). Sized to hold a request whose
+/// soc_text is at the .soc parser's own 16 MiB input cap even after JSON
+/// escaping doubles it; anything longer is a broken or hostile peer, and a
+/// newline-less byte stream must never grow a read buffer without bound.
+/// Readers answer one structured resource_exhausted error per oversized
+/// line and discard bytes until the next newline resynchronizes the stream.
+inline constexpr std::size_t kMaxProtocolLineBytes = 32u << 20;
+
+/// Sanity bounds on request fields, enforced by parse_request. They exist
+/// for robustness, not modeling: a fuzzer (or a hostile client) can write
+/// "width": 99999999 and the per-width staircase tables would try to
+/// allocate it. Real designs sit orders of magnitude below these.
+inline constexpr long long kMaxRequestWidth = 1 << 16;
+inline constexpr int kMaxRequestBuses = 4096;
+inline constexpr int kMaxRequestThreads = 4096;
 
 /// One parsed solve request. Defaults mirror the CLI's: a request only
 /// states what it wants to override.
@@ -116,6 +135,27 @@ std::string error_response_json(const std::string& id, const Status& status,
 /// resource_exhausted, plus retry_after_ms backpressure advice.
 std::string rejection_json(const std::string& id, double retry_after_ms,
                            const std::string& message);
+
+/// Liveness probe: a soctest-ping-v1 line is answered with a matching
+/// soctest-pong-v1 line by the transport layer itself — never queued behind
+/// solve jobs, so a responsive poll loop answers even when every worker
+/// thread is busy. The front door answers client pings authoritatively and
+/// uses pings on its own health links to detect hung (not crashed) workers.
+std::string ping_json(const std::string& id);
+std::string pong_json(const std::string& id);
+
+/// True iff `line` is a soctest-ping-v1 request; fills `*id` (may be empty).
+/// Cheap on non-ping traffic: a substring probe gates the JSON parse.
+bool parse_ping(const std::string& line, std::string* id);
+
+/// True iff `line` is a soctest-pong-v1 reply; fills `*id`.
+bool parse_pong(const std::string& line, std::string* id);
+
+/// The structured error a reader sends for a line that exceeded
+/// kMaxProtocolLineBytes (resource_exhausted; no timing fields, so serial
+/// streams stay deterministic). The offender's id is unknowable — the line
+/// was discarded unparsed — so the id is empty.
+std::string oversized_line_response_json();
 
 const char* power_mode_name(PowerConstraintMode mode);
 

@@ -1,0 +1,355 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/net.hpp"
+#include "obs/obs.hpp"
+#include "report/json.hpp"
+#include "service/protocol.hpp"
+
+namespace soctest {
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::string extract_id(const std::string& line) {
+  std::optional<JsonValue> doc = parse_json(line);
+  if (!doc || !doc->is_object()) return std::string();
+  return doc->string_or("id", "");
+}
+
+/// What one received line means to the retry layer.
+struct Classified {
+  enum Kind { kIgnore, kPartial, kFinal } kind = kIgnore;
+  std::string id;
+  bool rejection = false;     ///< admission rejection with retry advice
+  double retry_after_ms = 0;  ///< valid when rejection
+};
+
+Classified classify_line(const std::string& line) {
+  Classified c;
+  std::optional<JsonValue> doc = parse_json(line);
+  if (!doc || !doc->is_object()) return c;  // garbage: ignore
+  const std::string schema = doc->string_or("schema", "");
+  if (schema == kPartialSchema) {
+    c.kind = Classified::kPartial;
+    c.id = doc->string_or("id", "");
+    return c;
+  }
+  if (schema != kResponseSchema) return c;  // pong or foreign: ignore
+  c.kind = Classified::kFinal;
+  c.id = doc->string_or("id", "");
+  const JsonValue* ok = doc->find("ok");
+  const JsonValue* error = doc->find("error");
+  if (ok != nullptr && ok->is_bool() && !ok->boolean && error != nullptr &&
+      error->is_object() &&
+      error->string_or("code", "") == "resource_exhausted") {
+    // rejection_json puts the advice at the top level of the response.
+    const JsonValue* advice = doc->find("retry_after_ms");
+    if (advice != nullptr && advice->is_number()) {
+      c.rejection = true;
+      c.retry_after_ms = advice->number;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+double retry_backoff_ms(const RetryPolicy& policy, int attempt) {
+  if (attempt < 1) attempt = 1;
+  double raw = policy.base_backoff_ms;
+  for (int i = 1; i < attempt && raw < policy.max_backoff_ms; ++i) {
+    raw *= policy.backoff_multiplier;
+  }
+  raw = std::min(raw, policy.max_backoff_ms);
+  raw = std::max(raw, 0.0);
+  const std::uint64_t bits =
+      splitmix64(policy.jitter_seed ^ static_cast<std::uint64_t>(attempt));
+  const double frac =
+      static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  return raw * (0.5 + 0.5 * frac);
+}
+
+struct RetryingClient::Req {
+  std::string line;
+  std::string id;
+  int attempts = 0;
+  bool outstanding = false;   ///< sent, awaiting its final
+  bool done = false;
+  double resend_due_ms = -1;  ///< >= 0: resend scheduled (retry_after_ms)
+};
+
+RetryingClient::RetryingClient(std::string endpoint, RetryPolicy policy)
+    : endpoint_(std::move(endpoint)), policy_(std::move(policy)) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+  // A dropped connection raises SIGPIPE on the next send; the whole point
+  // of this layer is to survive that as an EPIPE write failure and
+  // reconnect, so the default kill-the-process disposition is useless.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+RetryingClient::~RetryingClient() { close_fd(); }
+
+void RetryingClient::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::vector<std::string>> RetryingClient::run_batch(
+    const std::vector<std::string>& request_lines) {
+  std::vector<Req> reqs;
+  reqs.reserve(request_lines.size());
+  for (const std::string& line : request_lines) {
+    Req r;
+    r.line = line;
+    r.id = extract_id(line);
+    reqs.push_back(std::move(r));
+  }
+  // (req index, line) in arrival order; a resend first erases the previous
+  // attempt's buffered partials so the delivered stream stays monotone.
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::size_t remaining = reqs.size();
+  if (remaining == 0) return std::vector<std::string>();
+
+  std::string inbuf;
+  double last_rx_ms = now_ms();
+  int consecutive_connect_failures = 0;
+
+  const auto give_up = [&](std::size_t idx) {
+    Req& r = reqs[idx];
+    r.done = true;
+    r.outstanding = false;
+    r.resend_due_ms = -1;
+    ++stats_.gave_up;
+    obs::counter("client.retry.gave_up").add();
+    out.emplace_back(
+        idx, error_response_json(
+                 r.id,
+                 io_error("client: retry budget exhausted after " +
+                          std::to_string(r.attempts) + " attempts"),
+                 /*include_timing=*/false));
+    --remaining;
+  };
+
+  const auto disconnect = [&]() {
+    close_fd();
+    inbuf.clear();
+    for (Req& r : reqs) {
+      if (r.outstanding) r.outstanding = false;  // resent after reconnect
+    }
+  };
+
+  // false only when the write itself failed (peer gone mid-send).
+  const auto send_req = [&](std::size_t idx) -> bool {
+    Req& r = reqs[idx];
+    if (r.attempts > 0) {
+      out.erase(std::remove_if(out.begin(), out.end(),
+                               [idx](const auto& e) { return e.first == idx; }),
+                out.end());
+      ++stats_.retries;
+    }
+    ++r.attempts;
+    ++stats_.attempts;
+    obs::counter("client.retry.attempts").add();
+    r.resend_due_ms = -1;
+    std::string buf = r.line;
+    buf.push_back('\n');
+    if (!net::write_all(fd_, buf.data(), buf.size())) return false;
+    r.outstanding = true;
+    return true;
+  };
+
+  const auto handle_line = [&](const std::string& line) {
+    const Classified c = classify_line(line);
+    if (c.kind == Classified::kIgnore) return;
+    // Oldest live request with this id; prefer outstanding ones, but a
+    // final may also answer a request parked on a retry_after_ms schedule
+    // (the earlier transmission's response arriving late).
+    std::size_t match = reqs.size();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const Req& r = reqs[i];
+      if (r.done || r.id != c.id) continue;
+      if (r.outstanding) {
+        match = i;
+        break;
+      }
+      if (match == reqs.size() && c.kind == Classified::kFinal &&
+          r.attempts > 0) {
+        match = i;  // scheduled-resend request; keep scanning for outstanding
+      }
+    }
+    if (match == reqs.size()) {
+      if (c.kind == Classified::kFinal) {
+        for (const Req& r : reqs) {
+          if (r.done && r.id == c.id) {
+            ++stats_.duplicate_finals;
+            break;
+          }
+        }
+      }
+      return;  // duplicate or unmatched: drop
+    }
+    Req& r = reqs[match];
+    if (c.kind == Classified::kPartial) {
+      out.emplace_back(match, line);
+      return;
+    }
+    if (c.rejection && r.attempts < policy_.max_attempts) {
+      r.outstanding = false;
+      r.resend_due_ms = now_ms() + std::max(c.retry_after_ms, 0.0);
+      ++stats_.rejections_honored;
+      return;
+    }
+    r.done = true;
+    r.outstanding = false;
+    r.resend_due_ms = -1;
+    out.emplace_back(match, line);
+    --remaining;
+  };
+
+  while (remaining > 0) {
+    if (fd_ < 0) {
+      if (ever_connected_) {
+        const double sleep_ms = retry_backoff_ms(policy_, ++backoff_events_);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+        stats_.backoff_ms += sleep_ms;
+        obs::counter("client.retry.backoff_ms")
+            .add(static_cast<long long>(std::llround(sleep_ms)));
+      }
+      StatusOr<net::Endpoint> parsed = net::parse_endpoint(endpoint_);
+      if (!parsed.ok()) return parsed.status();
+      StatusOr<int> connected = net::connect_endpoint(parsed.value());
+      if (!connected.ok()) {
+        ++consecutive_connect_failures;
+        if (consecutive_connect_failures <= policy_.max_connect_failures) {
+          if (!ever_connected_) {
+            const double sleep_ms =
+                retry_backoff_ms(policy_, ++backoff_events_);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(sleep_ms));
+            stats_.backoff_ms += sleep_ms;
+            obs::counter("client.retry.backoff_ms")
+                .add(static_cast<long long>(std::llround(sleep_ms)));
+          }
+          continue;
+        }
+        if (!ever_connected_) return connected.status();
+        // Mid-batch: server stayed down past the budget. Fail the
+        // still-open requests individually so the caller sees per-request
+        // errors and the answered ones keep their real responses.
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          if (!reqs[i].done) give_up(i);
+        }
+        break;
+      }
+      fd_ = connected.value();
+      consecutive_connect_failures = 0;
+      if (ever_connected_) ++stats_.reconnects;
+      ever_connected_ = true;
+      last_rx_ms = now_ms();
+    }
+
+    // Send everything due: fresh requests, replays after a drop, and
+    // scheduled rejection resends whose retry_after_ms advice has elapsed.
+    const double now = now_ms();
+    bool io_failed = false;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      Req& r = reqs[i];
+      if (r.done || r.outstanding) continue;
+      if (r.resend_due_ms >= 0 && r.resend_due_ms > now) continue;
+      if (r.attempts >= policy_.max_attempts) {
+        give_up(i);
+        continue;
+      }
+      if (!send_req(i)) {
+        io_failed = true;
+        break;
+      }
+    }
+    if (io_failed) {
+      disconnect();
+      continue;
+    }
+    if (remaining == 0) break;
+
+    double timeout_ms = 100.0;
+    for (const Req& r : reqs) {
+      if (r.done || r.resend_due_ms < 0) continue;
+      timeout_ms = std::min(timeout_ms, std::max(r.resend_due_ms - now, 1.0));
+    }
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (ready < 0 && errno != EINTR) {
+      disconnect();
+      continue;
+    }
+    if (ready > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      char chunk[65536];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        disconnect();
+        continue;
+      }
+      last_rx_ms = now_ms();
+      inbuf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      while (true) {
+        const std::size_t nl = inbuf.find('\n', start);
+        if (nl == std::string::npos) break;
+        if (nl > start) handle_line(inbuf.substr(start, nl - start));
+        start = nl + 1;
+      }
+      inbuf.erase(0, start);
+      if (inbuf.size() > kMaxProtocolLineBytes) {
+        // The server never emits a line this long; the stream is broken.
+        disconnect();
+        continue;
+      }
+    } else {
+      bool any_outstanding = false;
+      for (const Req& r : reqs) any_outstanding |= r.outstanding;
+      if (policy_.response_timeout_ms > 0 && any_outstanding &&
+          now_ms() - last_rx_ms > policy_.response_timeout_ms) {
+        ++stats_.timeouts;
+        disconnect();
+      }
+    }
+  }
+
+  std::vector<std::string> result;
+  result.reserve(out.size());
+  for (auto& entry : out) result.push_back(std::move(entry.second));
+  return result;
+}
+
+}  // namespace soctest

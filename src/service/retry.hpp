@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/status.hpp"
+
+namespace soctest {
+
+/// Client-side retry knobs, shared by `soctest --client` and
+/// `soctest-loadgen` (docs/robustness.md documents the contract).
+struct RetryPolicy {
+  /// Per-request transmission budget: 1 = send once, never retry. A retry
+  /// is safe because responses are matched by id and the server's result
+  /// cache makes a resent solve idempotent (same request key → same
+  /// outcome; a cache hit differs only in the `cached`/timing envelope,
+  /// which serial mode omits).
+  int max_attempts = 1;
+  /// Exponential backoff between reconnect attempts:
+  ///   backoff(k) = min(max_backoff_ms, base_backoff_ms * multiplier^(k-1))
+  ///                * (0.5 + 0.5 * jitter(k))
+  /// where jitter(k) in [0,1) is splitmix64(jitter_seed ^ k) scaled — fully
+  /// deterministic for a fixed seed, so chaos-gate runs reproduce. A
+  /// server's explicit `retry_after_ms` advice on an admission rejection
+  /// takes precedence over the computed backoff for that resend.
+  double base_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  /// Silence watchdog: with requests outstanding and no bytes from the
+  /// server for this long, the connection is presumed half-open (or the
+  /// worker hung) and is dropped + re-established; <= 0 disables. Must
+  /// exceed the longest expected solve wall time.
+  double response_timeout_ms = -1.0;
+  std::uint64_t jitter_seed = 1;
+  /// Consecutive failed connect() attempts before the batch as a whole
+  /// gives up (server genuinely down, not just flaky).
+  int max_connect_failures = 10;
+};
+
+/// What the retry layer did for one batch (cumulative across run_batch
+/// calls on one client). Mirrored into obs counters `client.retry.*`.
+struct RetryStats {
+  long long attempts = 0;      ///< request transmissions, first sends included
+  long long retries = 0;       ///< transmissions beyond a request's first
+  long long reconnects = 0;    ///< connections re-established after the first
+  double backoff_ms = 0.0;     ///< total time slept in reconnect backoff
+  long long rejections_honored = 0;  ///< resends scheduled per retry_after_ms
+  long long timeouts = 0;            ///< silence-watchdog connection drops
+  long long duplicate_finals = 0;    ///< redundant finals dropped (id matched)
+  long long gave_up = 0;  ///< requests that exhausted max_attempts
+};
+
+/// The deterministic backoff formula above, exposed pure for tests.
+/// `attempt` is 1-based (the k-th backoff event).
+double retry_backoff_ms(const RetryPolicy& policy, int attempt);
+
+/// A pipelined JSONL client that survives the fault catalog in
+/// docs/robustness.md: reconnects on connection drops and replays
+/// unanswered requests, honors retry_after_ms on admission rejections,
+/// ignores garbage lines, drops duplicate finals, and bounds every request
+/// by the policy's attempt budget. Fault-free behavior is byte-compatible
+/// with client_roundtrip(): responses are returned in arrival order, so a
+/// serial server yields an identical stream. Single-threaded; the
+/// connection persists across run_batch() calls.
+class RetryingClient {
+ public:
+  RetryingClient(std::string endpoint, RetryPolicy policy);
+  ~RetryingClient();
+
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+
+  /// Sends every line, returns all response lines (partials + finals) in
+  /// arrival order. A request whose attempt budget is exhausted yields a
+  /// synthesized ok=false final (code io_error) in place of the server's —
+  /// counted in stats().gave_up; run_batch itself fails only when the
+  /// server was never reachable at all.
+  StatusOr<std::vector<std::string>> run_batch(
+      const std::vector<std::string>& request_lines);
+
+  const RetryStats& stats() const { return stats_; }
+
+ private:
+  struct Req;
+  void close_fd();
+
+  std::string endpoint_;
+  RetryPolicy policy_;
+  RetryStats stats_;
+  int fd_ = -1;
+  int backoff_events_ = 0;  ///< k for retry_backoff_ms, client lifetime
+  bool ever_connected_ = false;
+};
+
+}  // namespace soctest

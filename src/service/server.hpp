@@ -37,6 +37,12 @@ struct ServiceConfig {
   /// solve (docs/observability.md; service records carry no counter set —
   /// the registry is cumulative across a server's lifetime).
   std::string ledger_path;
+  /// Socket transports reap a connection that has no request in flight,
+  /// nothing buffered in either direction, and no bytes read for this long
+  /// (half-open peers and byte-dribbling clients must not hold a slot
+  /// forever); <= 0 disables. The stdio transport ignores it. Enforced by
+  /// serve_unix_socket/serve_tcp, not the service itself.
+  double idle_timeout_ms = -1.0;
 };
 
 /// Aggregate service state, from the service's own atomics (the obs

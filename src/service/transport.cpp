@@ -3,17 +3,21 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <condition_variable>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "common/net.hpp"
+#include "obs/obs.hpp"
+#include "service/protocol.hpp"
 
 namespace soctest {
 
@@ -25,9 +29,18 @@ extern "C" void shutdown_signal_handler(int) {
   g_shutdown.store(true, std::memory_order_relaxed);
 }
 
+long long steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Writes one response line to a shared fd. Lines are written whole under a
 /// mutex so concurrent workers cannot interleave bytes; net::write_all
-/// tolerates EINTR and nonblocking fds.
+/// tolerates EINTR and nonblocking fds. Only the stdio transport uses this
+/// (its peer is the parent process' pipe); socket connections buffer and
+/// flush from the poll loop instead, so a stalled peer can never park a
+/// worker thread inside write().
 class LineWriter {
  public:
   explicit LineWriter(int fd) : fd_(fd) {}
@@ -52,22 +65,44 @@ class LineWriter {
 
 /// Incremental line reader over a raw fd, polling so a shutdown signal is
 /// noticed between reads (C++ streams retry on EINTR, which would make a
-/// blocked getline ignore SIGTERM until the next byte arrives).
+/// blocked getline ignore SIGTERM until the next byte arrives). Enforces
+/// kMaxProtocolLineBytes: a line that outgrows the cap is discarded up to
+/// its terminating newline and surfaced once with *oversized = true.
 class LineReader {
  public:
   explicit LineReader(int fd) : fd_(fd) {}
 
   /// Reads the next line (without the newline). Returns false on EOF, on a
   /// read error, or once shutdown was requested and the buffer is empty.
-  bool next(std::string* line) {
+  bool next(std::string* line, bool* oversized) {
+    *oversized = false;
     while (true) {
       const auto nl = buffer_.find('\n');
       if (nl != std::string::npos) {
+        if (discarding_) {
+          buffer_.erase(0, nl + 1);
+          discarding_ = false;
+          line->clear();
+          *oversized = true;
+          return true;
+        }
         line->assign(buffer_, 0, nl);
         buffer_.erase(0, nl + 1);
         return true;
       }
+      if (!discarding_ && buffer_.size() > kMaxProtocolLineBytes) {
+        buffer_.clear();
+        discarding_ = true;
+        continue;
+      }
+      if (discarding_) buffer_.clear();  // bound the discard buffer too
       if (eof_) {
+        if (discarding_) {
+          discarding_ = false;
+          line->clear();
+          *oversized = true;
+          return true;
+        }
         if (buffer_.empty()) return false;
         line->swap(buffer_);  // unterminated final line
         buffer_.clear();
@@ -98,6 +133,7 @@ class LineReader {
   int fd_;
   std::string buffer_;
   bool eof_ = false;
+  bool discarding_ = false;  ///< swallowing the rest of an oversized line
 };
 
 /// Tracks submitted vs answered so a connection (or the stdio stream) can
@@ -132,8 +168,20 @@ void pump(SolveService& service, int in_fd, int out_fd) {
   LineWriter writer(out_fd);
   ResponseBarrier barrier;
   std::string line;
-  while (reader.next(&line)) {
+  bool oversized = false;
+  while (reader.next(&line, &oversized)) {
+    if (oversized) {
+      obs::counter("service.transport.oversized").add();
+      writer.write_line(oversized_line_response_json());
+      continue;
+    }
     if (line.empty()) continue;
+    std::string ping_id;
+    if (parse_ping(line, &ping_id)) {
+      obs::counter("service.transport.pings").add();
+      writer.write_line(pong_json(ping_id));
+      continue;
+    }
     barrier.submitted();
     service.submit(
         line,
@@ -146,23 +194,83 @@ void pump(SolveService& service, int in_fd, int out_fd) {
   barrier.wait_all_answered();
 }
 
-/// One multiplexed connection. The poll loop owns reads; whichever worker
-/// thread finishes a job writes its response (partials first, then the
-/// final line) through the shared LineWriter. The connection closes only
-/// once the client half-closed (or the server is draining) AND every
-/// submitted request has been answered — per-connection graceful drain.
+/// One multiplexed connection. The poll loop owns both reads and the
+/// socket writes: a worker thread that finishes a job appends its whole
+/// response line to `outbuf` under the mutex (so lines never interleave)
+/// and pokes the wake pipe; the poll loop flushes on POLLOUT. A peer that
+/// stops reading therefore stalls only its own buffer, never a worker
+/// thread. The connection closes only once the client half-closed (or the
+/// server is draining) AND every submitted request has been answered and
+/// flushed — per-connection graceful drain.
 struct MuxConn {
-  explicit MuxConn(int fd) : fd(fd), writer(fd) {}
+  MuxConn(int fd, int wake_fd)
+      : fd(fd), wake_fd(wake_fd), last_activity_ms(steady_now_ms()) {}
+
   int fd;
-  LineWriter writer;
+  int wake_fd;  ///< write end of the poll loop's self-pipe
   std::string inbuf;
   bool eof = false;
+  bool overflow = false;  ///< discarding an oversized line until newline
   std::atomic<long long> submitted{0};
   std::atomic<long long> answered{0};
+  std::atomic<long long> last_activity_ms;
 
-  bool finished() const {
-    return eof && answered.load(std::memory_order_acquire) >=
-                      submitted.load(std::memory_order_relaxed);
+  std::mutex out_mu;
+  std::string outbuf;        ///< guarded by out_mu
+  bool write_failed = false;  ///< guarded by out_mu
+
+  /// Queues one whole line (callable from any thread) and wakes the poll
+  /// loop if the buffer was idle.
+  void queue_line(const std::string& line) {
+    bool was_empty = false;
+    {
+      std::lock_guard<std::mutex> lock(out_mu);
+      if (write_failed) return;
+      was_empty = outbuf.empty();
+      outbuf.append(line);
+      outbuf.push_back('\n');
+    }
+    last_activity_ms.store(steady_now_ms(), std::memory_order_relaxed);
+    if (was_empty) {
+      const char byte = 0;
+      [[maybe_unused]] const ssize_t n = ::write(wake_fd, &byte, 1);
+      // EAGAIN (pipe full) is fine: a wake byte is already pending.
+    }
+  }
+
+  bool has_output() {
+    std::lock_guard<std::mutex> lock(out_mu);
+    return !outbuf.empty();
+  }
+
+  bool failed() {
+    std::lock_guard<std::mutex> lock(out_mu);
+    return write_failed;
+  }
+
+  /// Nonblocking flush from the poll loop. Returns false once the peer is
+  /// gone (the connection keeps accounting, drops output).
+  bool flush() {
+    std::lock_guard<std::mutex> lock(out_mu);
+    while (!outbuf.empty()) {
+      const ssize_t n = ::write(fd, outbuf.data(), outbuf.size());
+      if (n > 0) {
+        outbuf.erase(0, static_cast<std::size_t>(n));
+        last_activity_ms.store(steady_now_ms(), std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      write_failed = true;
+      outbuf.clear();
+      return false;
+    }
+    return true;
+  }
+
+  bool answered_out() const {
+    return answered.load(std::memory_order_acquire) >=
+           submitted.load(std::memory_order_relaxed);
   }
 };
 
@@ -170,18 +278,26 @@ void submit_conn_line(SolveService& service,
                       const std::shared_ptr<MuxConn>& conn,
                       const std::string& line) {
   if (line.empty()) return;
+  std::string ping_id;
+  if (parse_ping(line, &ping_id)) {
+    obs::counter("service.transport.pings").add();
+    conn->queue_line(pong_json(ping_id));
+    return;
+  }
   conn->submitted.fetch_add(1, std::memory_order_relaxed);
   service.submit(
       line,
       [conn](std::string response) {
-        conn->writer.write_line(response);
+        conn->queue_line(response);
         conn->answered.fetch_add(1, std::memory_order_release);
       },
-      [conn](std::string partial) { conn->writer.write_line(partial); });
+      [conn](std::string partial) { conn->queue_line(partial); });
 }
 
 /// One read() worth of bytes from a ready connection, split into complete
 /// lines and submitted. Level-triggered poll re-arms for any remainder.
+/// Lines beyond kMaxProtocolLineBytes are answered with one structured
+/// error and discarded up to the next newline (stream resync).
 void read_conn(SolveService& service, const std::shared_ptr<MuxConn>& conn) {
   char chunk[65536];
   const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
@@ -192,14 +308,43 @@ void read_conn(SolveService& service, const std::shared_ptr<MuxConn>& conn) {
     conn->eof = true;
   } else {
     conn->inbuf.append(chunk, static_cast<std::size_t>(n));
+    conn->last_activity_ms.store(steady_now_ms(), std::memory_order_relaxed);
   }
-  std::size_t nl;
-  while ((nl = conn->inbuf.find('\n')) != std::string::npos) {
-    const std::string line = conn->inbuf.substr(0, nl);
-    conn->inbuf.erase(0, nl + 1);
-    submit_conn_line(service, conn, line);
+  while (true) {
+    if (conn->overflow) {
+      const auto nl = conn->inbuf.find('\n');
+      if (nl == std::string::npos) {
+        conn->inbuf.clear();
+        break;
+      }
+      conn->inbuf.erase(0, nl + 1);
+      conn->overflow = false;
+    }
+    const auto nl = conn->inbuf.find('\n');
+    if (nl != std::string::npos) {
+      // A complete line can still breach the cap when its newline lands in
+      // the same chunk that crossed it — length-check before submitting.
+      if (nl > kMaxProtocolLineBytes) {
+        conn->inbuf.erase(0, nl + 1);
+        obs::counter("service.transport.oversized").add();
+        conn->queue_line(oversized_line_response_json());
+        continue;
+      }
+      const std::string line = conn->inbuf.substr(0, nl);
+      conn->inbuf.erase(0, nl + 1);
+      submit_conn_line(service, conn, line);
+      continue;
+    }
+    if (conn->inbuf.size() > kMaxProtocolLineBytes) {
+      conn->overflow = true;
+      conn->inbuf.clear();
+      obs::counter("service.transport.oversized").add();
+      conn->queue_line(oversized_line_response_json());
+      continue;
+    }
+    break;
   }
-  if (conn->eof && !conn->inbuf.empty()) {
+  if (conn->eof && !conn->inbuf.empty() && !conn->overflow) {
     const std::string line = conn->inbuf;  // unterminated final line
     conn->inbuf.clear();
     submit_conn_line(service, conn, line);
@@ -207,13 +352,20 @@ void read_conn(SolveService& service, const std::shared_ptr<MuxConn>& conn) {
 }
 
 /// The shared poll loop behind the Unix-socket and TCP servers: accepts
-/// connections, reads request lines from every live one, and retires each
-/// connection once it is answered out. On shutdown (signal or `stop`) it
-/// stops accepting and reading, lets outstanding jobs answer, drains the
+/// connections, reads request lines from every live one, flushes queued
+/// responses, reaps idle peers, and retires each connection once it is
+/// answered out and flushed. On shutdown (signal or `stop`) it stops
+/// accepting and reading, lets outstanding jobs answer, drains the
 /// service, and returns 0. Takes ownership of `listen_fd`.
 int serve_listener(SolveService& service, int listen_fd,
                    const std::atomic<bool>* stop) {
   net::set_nonblocking(listen_fd);
+  int wake[2] = {-1, -1};
+  if (::pipe2(wake, O_CLOEXEC | O_NONBLOCK) != 0) {
+    ::close(listen_fd);
+    return kExitIoError;
+  }
+  const double idle_timeout_ms = service.config().idle_timeout_ms;
   std::vector<std::shared_ptr<MuxConn>> conns;
   bool draining = false;
 
@@ -223,62 +375,87 @@ int serve_listener(SolveService& service, int listen_fd,
          (stop != nullptr && stop->load(std::memory_order_relaxed)))) {
       draining = true;
     }
-    // Retire connections whose every request has been answered. While
-    // draining, unread input is deliberately dropped — the contract is
-    // "everything submitted gets answered", not "everything buffered".
-    conns.erase(std::remove_if(conns.begin(), conns.end(),
-                               [draining](const std::shared_ptr<MuxConn>& c) {
-                                 const bool done =
-                                     draining
-                                         ? c->answered.load(
-                                               std::memory_order_acquire) >=
-                                               c->submitted.load(
-                                                   std::memory_order_relaxed)
-                                         : c->finished();
-                                 if (done) ::close(c->fd);
-                                 return done;
-                               }),
-                conns.end());
+    const long long now_ms = steady_now_ms();
+    // Retire connections whose every request has been answered AND whose
+    // responses have left the buffer. While draining, unread input is
+    // deliberately dropped — the contract is "everything submitted gets
+    // answered", not "everything buffered". Idle peers (no request in
+    // flight, nothing buffered, silent past the deadline) are reaped so a
+    // half-open or byte-dribbling client cannot hold a slot forever; a
+    // stalled reader is reaped on the same deadline once draining, or the
+    // drain could never finish.
+    conns.erase(
+        std::remove_if(
+            conns.begin(), conns.end(),
+            [&](const std::shared_ptr<MuxConn>& c) {
+              const bool failed = c->failed();
+              const bool flushed = failed || !c->has_output();
+              bool done = c->answered_out() &&
+                          (draining ? flushed : flushed && (c->eof || failed));
+              if (!done && idle_timeout_ms > 0 &&
+                  now_ms - c->last_activity_ms.load(
+                               std::memory_order_relaxed) >
+                      static_cast<long long>(idle_timeout_ms)) {
+                if (c->answered_out() && (draining || !c->eof)) {
+                  obs::counter("service.transport.idle_reaped").add();
+                  done = true;
+                }
+              }
+              if (done) ::close(c->fd);
+              return done;
+            }),
+        conns.end());
     if (draining && conns.empty()) break;
 
     std::vector<struct pollfd> pfds;
     std::vector<std::shared_ptr<MuxConn>> polled;
+    pfds.push_back({wake[0], POLLIN, 0});
     if (!draining) {
       pfds.push_back({listen_fd, POLLIN, 0});
     }
     for (const auto& conn : conns) {
-      if (conn->eof || draining) continue;
-      pfds.push_back({conn->fd, POLLIN, 0});
+      short events = 0;
+      if (!conn->eof && !draining) events |= POLLIN;
+      if (conn->has_output()) events |= POLLOUT;
+      if (events == 0) continue;
+      pfds.push_back({conn->fd, events, 0});
       polled.push_back(conn);
     }
-    const int ready =
-        ::poll(pfds.empty() ? nullptr : pfds.data(),
-               static_cast<nfds_t>(pfds.size()), /*timeout_ms=*/100);
+    const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                             /*timeout_ms=*/100);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
 
-    std::size_t base = 0;
+    std::size_t base = 1;
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char sink[256];
+      while (::read(wake[0], sink, sizeof(sink)) > 0) {
+      }
+    }
     if (!draining) {
-      if ((pfds[0].revents & (POLLIN | POLLERR)) != 0) {
+      if ((pfds[1].revents & (POLLIN | POLLERR)) != 0) {
         while (true) {
-          const int conn_fd =
-              ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+          const int conn_fd = ::accept4(listen_fd, nullptr, nullptr,
+                                        SOCK_CLOEXEC | SOCK_NONBLOCK);
           if (conn_fd < 0) break;  // EAGAIN: accepted everything pending
           net::set_tcp_nodelay(conn_fd);
-          conns.push_back(std::make_shared<MuxConn>(conn_fd));
+          conns.push_back(std::make_shared<MuxConn>(conn_fd, wake[1]));
         }
       }
-      base = 1;
+      base = 2;
     }
     for (std::size_t i = 0; i < polled.size(); ++i) {
-      if ((pfds[base + i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const short revents = pfds[base + i].revents;
+      if ((revents & POLLOUT) != 0) polled[i]->flush();
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !draining) {
         read_conn(service, polled[i]);
       }
     }
   }
 
-  for (const auto& conn : conns) ::close(conn->fd);
   service.drain();
+  ::close(wake[0]);
+  ::close(wake[1]);
   ::close(listen_fd);
   return 0;
 }
@@ -335,6 +512,9 @@ int serve_tcp(SolveService& service, const std::string& endpoint,
 StatusOr<std::vector<std::string>> client_roundtrip(
     const std::string& endpoint,
     const std::vector<std::string>& request_lines) {
+  // Fail fast means a status, not a signal: a peer that closes mid-batch
+  // must surface as an EPIPE write failure, never a SIGPIPE death.
+  ::signal(SIGPIPE, SIG_IGN);
   StatusOr<net::Endpoint> parsed = net::parse_endpoint(endpoint);
   if (!parsed.ok()) return parsed.status();
   StatusOr<int> connected = net::connect_endpoint(parsed.value());

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/chaos.hpp"
+#include "service/protocol.hpp"
+#include "service/retry.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace soctest {
+namespace {
+
+// The chaos proxy itself (docs/robustness.md): a fault-free proxy is an
+// invisible wire, faults are deterministic per (seed, connection), and
+// every fault respects the line-boundary contract — the proxy corrupts
+// the stream, never the bytes inside a real response line.
+
+struct RunningTcp {
+  explicit RunningTcp(const ServiceConfig& config) : service(config) {
+    thread = std::thread(
+        [this] { serve_tcp(service, "127.0.0.1:0", &port, &stop); });
+    for (int i = 0; i < 500 && port.load() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GT(port.load(), 0);
+  }
+  ~RunningTcp() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+  }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(port.load());
+  }
+
+  SolveService service;
+  std::atomic<int> port{0};
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+struct RunningChaos {
+  explicit RunningChaos(const ChaosConfig& config) : proxy(config) {
+    const Status st = proxy.start();
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    thread = std::thread([this] { proxy.serve(&stop); });
+  }
+  ~RunningChaos() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+  }
+
+  ChaosProxy proxy;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+std::vector<std::string> no_cache_batch(const std::string& prefix, int n) {
+  std::vector<std::string> lines;
+  const char* socs[] = {"soc1", "soc2", "soc3", "soc4"};
+  for (int i = 0; i < n; ++i) {
+    lines.push_back("{\"schema\":\"soctest-req-v1\",\"id\":\"" + prefix +
+                    "-" + std::to_string(i) + "\",\"soc\":\"" +
+                    socs[i % 4] +
+                    "\",\"solver\":\"greedy\",\"no_cache\":true}");
+  }
+  return lines;
+}
+
+std::size_t count_finals(const std::vector<std::string>& lines) {
+  std::size_t n = 0;
+  for (const auto& line : lines) {
+    if (line.find("\"schema\":\"soctest-resp-v1\"") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+// ----------------------------------------------------------- fault free --
+
+TEST(ChaosProxyTest, FaultFreeProxyIsAByteIdenticalWire) {
+  ServiceConfig config;
+  config.serial = true;
+  RunningTcp server(config);
+
+  ChaosConfig chaos;  // all probabilities zero
+  chaos.upstream = server.endpoint();
+  RunningChaos proxy(chaos);
+
+  const auto lines = no_cache_batch("wire", 6);
+  const auto direct = client_roundtrip(server.endpoint(), lines);
+  ASSERT_TRUE(direct.ok()) << direct.status().to_string();
+  const auto proxied = client_roundtrip(proxy.proxy.endpoint(), lines);
+  ASSERT_TRUE(proxied.ok()) << proxied.status().to_string();
+
+  EXPECT_EQ(proxied.value(), direct.value());
+
+  const ChaosStats stats = proxy.proxy.stats();
+  EXPECT_EQ(stats.connections, 1);
+  EXPECT_EQ(stats.drops + stats.tears + stats.delays + stats.garbage +
+                stats.halfopen,
+            0);
+  EXPECT_GT(stats.bytes_to_upstream, 0);
+  EXPECT_GT(stats.bytes_to_client, 0);
+}
+
+TEST(ChaosProxyTest, FaultScheduleIsDeterministicPerSeed) {
+  ServiceConfig config;
+  config.serial = true;
+  RunningTcp server(config);
+
+  // Same seed, same connection sequence -> identical per-connection fault
+  // plan. The census counts accept-time decisions (delay assignment) —
+  // per-write events like tear counts depend on kernel chunking and are
+  // deterministic per plan, not per byte.
+  const auto census = [&](std::uint64_t seed) {
+    ChaosConfig chaos;
+    chaos.upstream = server.endpoint();
+    chaos.seed = seed;
+    chaos.delay_prob = 0.5;
+    chaos.delay_ms = 1.0;
+    RunningChaos proxy(chaos);
+    for (int c = 0; c < 8; ++c) {
+      const auto r = client_roundtrip(proxy.proxy.endpoint(),
+                                      no_cache_batch("det", 2));
+      EXPECT_TRUE(r.ok());
+    }
+    return proxy.proxy.stats().delays;
+  };
+  const long long a = census(99);
+  const long long b = census(99);
+  EXPECT_EQ(a, b);
+  // And the schedule is non-trivial: with p=0.5 over 8 connections this
+  // seed assigns the delay fault to some but not all of them.
+  EXPECT_GT(a, 0);
+  EXPECT_LT(a, 8);
+}
+
+// ------------------------------------------------------- delays + tears --
+
+TEST(ChaosProxyTest, TearsAndDelaysNeverCorruptOrReorderResponses) {
+  ServiceConfig config;
+  config.serial = true;
+  RunningTcp server(config);
+
+  ChaosConfig chaos;
+  chaos.upstream = server.endpoint();
+  chaos.seed = 5;
+  chaos.tear_prob = 1.0;
+  chaos.delay_prob = 1.0;
+  chaos.stall_ms = 3.0;
+  chaos.delay_ms = 2.0;
+  RunningChaos proxy(chaos);
+
+  const auto lines = no_cache_batch("slow", 6);
+  const auto direct = client_roundtrip(server.endpoint(), lines);
+  ASSERT_TRUE(direct.ok());
+  const auto proxied = client_roundtrip(proxy.proxy.endpoint(), lines);
+  ASSERT_TRUE(proxied.ok());
+
+  // Latency faults are invisible to a patient client: same bytes, same
+  // order — segments within a direction are FIFO by construction.
+  EXPECT_EQ(proxied.value(), direct.value());
+  EXPECT_GE(proxy.proxy.stats().tears, 1);
+  EXPECT_GE(proxy.proxy.stats().delays, 1);
+}
+
+// --------------------------------------------------------------- garbage --
+
+TEST(ChaosProxyTest, GarbageArrivesOnItsOwnLineAndRealResponsesSurvive) {
+  ServiceConfig config;
+  config.serial = true;
+  RunningTcp server(config);
+
+  ChaosConfig chaos;
+  chaos.upstream = server.endpoint();
+  chaos.seed = 11;
+  chaos.garbage_prob = 1.0;
+  RunningChaos proxy(chaos);
+
+  const auto lines = no_cache_batch("junk", 10);
+  const auto direct = client_roundtrip(server.endpoint(), lines);
+  ASSERT_TRUE(direct.ok());
+  const auto proxied = client_roundtrip(proxy.proxy.endpoint(), lines);
+  ASSERT_TRUE(proxied.ok());
+  ASSERT_GE(proxy.proxy.stats().garbage, 1)
+      << "seed 11 should cross the garbage byte threshold on this batch";
+
+  // Filtering out lines that are not real finals must recover the direct
+  // stream exactly: garbage never splices into a real line.
+  std::vector<std::string> real;
+  for (const auto& line : proxied.value()) {
+    if (count_finals({line}) == 1 &&
+        line.find("\"id\":\"junk-") != std::string::npos) {
+      real.push_back(line);
+    }
+  }
+  EXPECT_EQ(real, direct.value());
+  EXPECT_GT(proxied.value().size(), direct.value().size())
+      << "garbage line missing from the client-visible stream";
+}
+
+TEST(ChaosProxyTest, RetryingClientShrugsOffGarbage) {
+  ServiceConfig config;
+  config.serial = true;
+  RunningTcp server(config);
+
+  ChaosConfig chaos;
+  chaos.upstream = server.endpoint();
+  chaos.seed = 11;
+  chaos.garbage_prob = 1.0;
+  RunningChaos proxy(chaos);
+
+  const auto lines = no_cache_batch("shrug", 10);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingClient client(proxy.proxy.endpoint(), policy);
+  const auto responses = client.run_batch(lines);
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+  // The retrying client classifies lines: garbage is ignored, so exactly
+  // the real finals come back — no retries burned, nothing synthesized.
+  EXPECT_EQ(count_finals(responses.value()), lines.size());
+  EXPECT_EQ(responses.value().size(), lines.size());
+  EXPECT_EQ(client.stats().gave_up, 0);
+}
+
+// -------------------------------------------------------------- half-open --
+
+TEST(ChaosProxyTest, HalfOpenConnectionsNeverReachTheUpstream) {
+  ServiceConfig config;
+  config.serial = true;
+  RunningTcp server(config);
+
+  ChaosConfig chaos;
+  chaos.upstream = server.endpoint();
+  chaos.seed = 2;
+  chaos.halfopen_prob = 1.0;
+  RunningChaos proxy(chaos);
+
+  // client_roundtrip sends, half-closes, and waits for the server to
+  // close; a half-open proxy connection reads-and-discards, then closes
+  // on our EOF — so the call returns (no hang) with zero responses.
+  const auto responses = client_roundtrip(proxy.proxy.endpoint(),
+                                          no_cache_batch("void", 2));
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+  EXPECT_TRUE(responses.value().empty());
+  EXPECT_GE(proxy.proxy.stats().halfopen, 1);
+  EXPECT_EQ(proxy.proxy.stats().bytes_to_upstream, 0);
+  EXPECT_EQ(server.service.stats().received, 0);
+}
+
+}  // namespace
+}  // namespace soctest

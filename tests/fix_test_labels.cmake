@@ -1,0 +1,15 @@
+# gtest_discover_tests flattens a multi-element LABELS list into separate
+# set_tests_properties arguments ("LABELS service tsan"), which CTest then
+# parses as one label plus a stray valueless property — every label after
+# the first silently stops matching `ctest -L`. Run as a POST_BUILD step
+# after discovery, this rewrites the generated tests file so the labels
+# are one bracket-quoted ;-list again.
+#
+# Inputs: TESTS_FILE (the generated <target>[1]_tests.cmake),
+#         FLAT (labels joined by spaces, as discovery wrote them),
+#         CSV  (labels joined by commas — commas survive -D forwarding).
+file(READ "${TESTS_FILE}" content)
+string(REPLACE "," ";" labels "${CSV}")
+string(REPLACE "LABELS ${FLAT})" "LABELS [==[${labels}]==])"
+       content "${content}")
+file(WRITE "${TESTS_FILE}" "${content}")

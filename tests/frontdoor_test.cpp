@@ -217,6 +217,87 @@ TEST(FrontDoorFaults, AdmissionBoundRejectsWithRetryAdvice) {
             static_cast<long long>(rejected));
 }
 
+TEST(FrontDoorFaults, AnswersPingsAuthoritatively) {
+  RunningDoor running(test_config(1));
+
+  const auto responses =
+      client_roundtrip(running.door.endpoint(), {ping_json("fd-live")});
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+  ASSERT_EQ(responses.value().size(), 1u);
+  std::string id;
+  ASSERT_TRUE(parse_pong(responses.value()[0], &id))
+      << responses.value()[0];
+  EXPECT_EQ(id, "fd-live");
+  // A ping is transport traffic: it is never forwarded and never counted
+  // as a request.
+  EXPECT_EQ(running.door.stats().received, 0);
+  EXPECT_EQ(running.door.stats().forwarded, 0);
+}
+
+TEST(FrontDoorFaults, OversizedLineIsAnsweredAuthoritativelyAndResyncs) {
+  RunningDoor running(test_config(1));
+
+  // The front door must answer the oversized line itself — workers never
+  // see it — and keep the connection usable for the next request.
+  std::string big(kMaxProtocolLineBytes + 1, 'x');
+  const auto responses = client_roundtrip(
+      running.door.endpoint(),
+      {big, req("\"id\":\"after\",\"soc\":\"soc1\",\"solver\":\"greedy\"")});
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+  ASSERT_EQ(responses.value().size(), 2u);
+  EXPECT_EQ(responses.value()[0], oversized_line_response_json());
+  EXPECT_NE(responses.value()[1].find("\"id\":\"after\""), std::string::npos);
+  EXPECT_NE(responses.value()[1].find("\"ok\":true"), std::string::npos);
+
+  const FrontDoorStats stats = running.door.stats();
+  EXPECT_EQ(stats.received, 2);
+  EXPECT_EQ(stats.forwarded, 1);
+  EXPECT_EQ(stats.errors, 1);
+}
+
+TEST(FrontDoorFaults, HungWorkerIsDetectedKilledAndItsJobRetried) {
+  // A SIGSTOP'd worker is the nasty case: its process exists, its listen
+  // backlog still accepts, but nothing answers. Only heartbeat silence
+  // identifies it; the front door must SIGKILL it and let the ordinary
+  // crash machinery respawn and retry the in-flight job.
+  FrontDoorConfig config = test_config(1);
+  config.heartbeat_ms = 100.0;
+  config.heartbeat_timeout_ms = 600.0;
+  RunningDoor running(config);
+
+  const std::vector<std::string> lines = {
+      req("\"id\":\"hung\",\"soc\":\"soc4\",\"buses\":4,\"width\":64,"
+          "\"time_limit_ms\":2000,\"no_cache\":true")};
+
+  StatusOr<std::vector<std::string>> responses =
+      io_error("client never ran");
+  std::thread client([&] {
+    responses = client_roundtrip(running.door.endpoint(), lines);
+  });
+
+  for (int i = 0; i < 200 && running.door.stats().forwarded < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::vector<pid_t> pids = running.door.worker_pids();
+  ASSERT_EQ(pids.size(), 1u);
+  ASSERT_GT(pids[0], 0);
+  ::kill(pids[0], SIGSTOP);
+
+  client.join();
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+  ASSERT_EQ(count_finals(responses.value()), 1u)
+      << "the in-flight request was lost on the hung worker";
+  EXPECT_NE(responses.value().back().find("\"ok\":true"), std::string::npos)
+      << responses.value().back();
+
+  const FrontDoorStats stats = running.door.stats();
+  EXPECT_GE(stats.hung_restarts, 1);
+  EXPECT_GE(stats.restarts, 1);
+  EXPECT_GE(stats.retried, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
 TEST(FrontDoorFaults, StartFailsFastOnAMissingWorkerBinary) {
   FrontDoorConfig config = test_config(1);
   config.serve_binary = "/nonexistent/soctest-serve";

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/net.hpp"
+
+namespace soctest {
+namespace {
+
+// Error paths of the shared networking layer (src/common/net.cpp): every
+// fleet component — server transport, front door, chaos proxy, retrying
+// client — leans on these primitives to fail cleanly instead of crashing
+// or leaking, so the failure behavior is contract, not accident.
+
+// ------------------------------------------------------------ endpoints --
+
+TEST(NetEndpoint, ParsesTcpAndUnixForms) {
+  const auto tcp = net::parse_endpoint("127.0.0.1:8347");
+  ASSERT_TRUE(tcp.ok()) << tcp.status().to_string();
+  EXPECT_TRUE(tcp.value().tcp);
+  EXPECT_EQ(tcp.value().host, "127.0.0.1");
+  EXPECT_EQ(tcp.value().port, 8347);
+
+  const auto unix_ep = net::parse_endpoint("/tmp/soctest-test.sock");
+  ASSERT_TRUE(unix_ep.ok()) << unix_ep.status().to_string();
+  EXPECT_FALSE(unix_ep.value().tcp);
+  EXPECT_EQ(unix_ep.value().path, "/tmp/soctest-test.sock");
+}
+
+TEST(NetEndpoint, EndpointNameReportsTheBoundPort) {
+  const auto tcp = net::parse_endpoint("127.0.0.1:0");
+  ASSERT_TRUE(tcp.ok());
+  // A listener bound to port 0 reports the kernel-assigned port through
+  // the override; without it the parsed (placeholder) port is kept.
+  EXPECT_EQ(net::endpoint_name(tcp.value(), 41234), "127.0.0.1:41234");
+  EXPECT_EQ(net::endpoint_name(tcp.value()), "127.0.0.1:0");
+}
+
+// -------------------------------------------------------------- connect --
+
+TEST(NetConnect, RefusedConnectionFailsFastWithAStatus) {
+  // Bind an ephemeral port, then close the listener: connecting to that
+  // port is now deterministically refused (nothing else can have grabbed
+  // it between close and connect in practice, and even then we only
+  // require *an* outcome, never a hang).
+  const auto ep = net::parse_endpoint("127.0.0.1:0");
+  ASSERT_TRUE(ep.ok());
+  int port = 0;
+  const auto listener = net::listen_endpoint(ep.value(), &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  ASSERT_GT(port, 0);
+  ::close(listener.value());
+
+  auto target = ep.value();
+  target.port = port;
+  const auto fd = net::connect_endpoint(target);
+  EXPECT_FALSE(fd.ok()) << "connect to a closed port must fail fast";
+}
+
+TEST(NetConnect, MissingUnixSocketFailsFast) {
+  const auto ep = net::parse_endpoint("/nonexistent/soctest-no-such.sock");
+  ASSERT_TRUE(ep.ok());
+  const auto fd = net::connect_endpoint(ep.value());
+  EXPECT_FALSE(fd.ok());
+}
+
+// ------------------------------------------------------------- write_all --
+
+TEST(NetWriteAll, ReportsPeerGoneInsteadOfRaisingSigpipe) {
+  ::signal(SIGPIPE, SIG_IGN);
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);  // peer gone
+  const std::string line(4096, 'x');
+  EXPECT_FALSE(net::write_all(sv[0], line.data(), line.size()));
+  ::close(sv[0]);
+}
+
+TEST(NetWriteAll, CompletesShortWritesOnANonblockingSocket) {
+  // A nonblocking socket with a slow reader forces EAGAIN mid-buffer;
+  // write_all must poll for POLLOUT and finish the write rather than
+  // letting a short write escape (satellite: short-write audit).
+  int sv[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_TRUE(net::set_nonblocking(sv[0]).ok());
+
+  const std::string payload(4u << 20, 'y');  // beats any socket buffer
+  std::string received;
+  std::thread reader([&] {
+    char chunk[65536];
+    ssize_t n;
+    while ((n = ::read(sv[1], chunk, sizeof(chunk))) > 0) {
+      received.append(chunk, static_cast<std::size_t>(n));
+    }
+  });
+  EXPECT_TRUE(net::write_all(sv[0], payload.data(), payload.size()));
+  ::shutdown(sv[0], SHUT_WR);
+  reader.join();
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// ----------------------------------------------------------------- spawn --
+
+TEST(NetSpawn, MissingBinaryExitsWithCommandNotFound) {
+  const auto pid = net::spawn_process({"/nonexistent/soctest-no-such-bin"});
+  ASSERT_TRUE(pid.ok()) << pid.status().to_string();  // fork itself succeeds
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid.value(), &status, 0), pid.value());
+  ASSERT_TRUE(WIFEXITED(status));
+  // 127 is the shell convention for "command not found"; the front door
+  // relies on it to fail start() fast instead of respawning forever.
+  EXPECT_EQ(WEXITSTATUS(status), 127);
+}
+
+TEST(NetSpawn, EmptyArgvIsRejected) {
+  const auto pid = net::spawn_process({});
+  EXPECT_FALSE(pid.ok());
+}
+
+TEST(NetSpawn, ChildInheritsNoFdsPastTheStandardStreams) {
+  // A leaked accepted-connection fd in a worker keeps the peer's read()
+  // blocked after the parent closes its copy — spawn_process close_range()s
+  // everything past stderr. Observable from the child: our pipe fd must
+  // not exist in its /proc/self/fd.
+  int pipe_fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  const std::string probe =
+      "test ! -e /proc/self/fd/" + std::to_string(pipe_fds[0]);
+  const auto pid = net::spawn_process({"/bin/sh", "-c", probe});
+  ASSERT_TRUE(pid.ok()) << pid.status().to_string();
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid.value(), &status, 0), pid.value());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0)
+      << "fd " << pipe_fds[0] << " leaked into the spawned child";
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+}
+
+TEST(NetSpawn, TryReapIsNonblockingAndTerminateWaits) {
+  const auto pid = net::spawn_process({"/bin/sleep", "30"});
+  ASSERT_TRUE(pid.ok()) << pid.status().to_string();
+  int status = 0;
+  EXPECT_FALSE(net::try_reap(pid.value(), &status))
+      << "try_reap must not block on a live child";
+  const int raw = net::terminate_and_wait(pid.value());
+  EXPECT_TRUE(WIFSIGNALED(raw));
+  EXPECT_EQ(WTERMSIG(raw), SIGTERM);
+}
+
+}  // namespace
+}  // namespace soctest

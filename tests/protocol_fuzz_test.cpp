@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "report/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace soctest {
+namespace {
+
+// Deterministic mutational fuzzing of the soctest-req-v1 wire surface: a
+// hostile or corrupted peer (the chaos proxy manufactures both) may hand
+// the parser any byte salad, and the contract is a structured error —
+// never a crash, never a hang, never a second response. Seeds are fixed,
+// so a failure here is a plain reproducible test failure.
+
+std::vector<std::string> seed_corpus() {
+  std::vector<std::string> corpus;
+  {
+    ServiceRequest r;
+    r.id = "f-1";
+    corpus.push_back(request_json(r));
+  }
+  {
+    ServiceRequest r;
+    r.id = "f-2";
+    r.soc = "soc3";
+    r.widths = {16, 8, 8};
+    r.solver = InnerSolver::kGreedy;
+    r.p_max = 1200.0;
+    r.time_limit_ms = 50.0;
+    corpus.push_back(request_json(r));
+  }
+  {
+    ServiceRequest r;
+    r.id = "f-3";
+    r.soc_text = "soc fuzz\ncore c1 10 20 5 1.0\nend";
+    r.stream = true;
+    r.no_cache = true;
+    corpus.push_back(request_json(r));
+  }
+  corpus.push_back(ping_json("f-ping"));
+  corpus.push_back(pong_json("f-pong"));
+  corpus.push_back(rejection_json("f-rej", 25.0, "busy"));
+  corpus.push_back(oversized_line_response_json());
+  return corpus;
+}
+
+/// One mutation step: splice, flip, truncate, duplicate, or inject a
+/// token. Mutations compose — the fuzzer applies 1..4 per line.
+std::string mutate(std::string line, Rng& rng) {
+  static const char* kTokens[] = {
+      "\"", "{", "}", "[", "]", ":", ",", "null", "true", "false",
+      "1e308", "-0", "\\u0000", "\"id\"", "\"schema\"", "\"soc_text\"",
+      "\xff\xfe", "\\u", "9999999999999999999999",
+  };
+  const int op = static_cast<int>(rng.uniform_int(0, 4));
+  switch (op) {
+    case 0: {  // flip one byte
+      if (line.empty()) return line;
+      const std::size_t at = rng.index(line.size());
+      line[at] = static_cast<char>(rng.uniform_int(1, 255));
+      return line;
+    }
+    case 1: {  // truncate
+      if (line.empty()) return line;
+      line.resize(rng.index(line.size()));
+      return line;
+    }
+    case 2: {  // duplicate a slice in place
+      if (line.size() < 2) return line;
+      const std::size_t a = rng.index(line.size());
+      const std::size_t b = a + rng.index(line.size() - a);
+      line.insert(a, line.substr(a, b - a));
+      return line;
+    }
+    case 3: {  // inject a structural token
+      const std::size_t at = line.empty() ? 0 : rng.index(line.size());
+      line.insert(at, kTokens[rng.index(std::size(kTokens))]);
+      return line;
+    }
+    default: {  // swap two halves
+      if (line.size() < 2) return line;
+      const std::size_t cut = 1 + rng.index(line.size() - 1);
+      return line.substr(cut) + line.substr(0, cut);
+    }
+  }
+}
+
+TEST(ProtocolFuzz, ParseRequestNeverCrashesAndRoundTripsSurvivors) {
+  const auto corpus = seed_corpus();
+  Rng rng(20260808);
+  int survivors = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string line = corpus[rng.index(corpus.size())];
+    const int steps = static_cast<int>(rng.uniform_int(1, 4));
+    for (int s = 0; s < steps; ++s) line = mutate(std::move(line), rng);
+
+    const auto parsed = parse_request(line);
+    if (!parsed.ok()) continue;  // structured rejection: the common case
+    ++survivors;
+    // A line the parser accepts must serialize back to a line it accepts
+    // again, with an identical canonical form (idempotent round trip) —
+    // otherwise the front door's fingerprint and the result cache key
+    // could disagree about the same request.
+    const std::string canonical = request_json(parsed.value());
+    const auto reparsed = parse_request(canonical);
+    ASSERT_TRUE(reparsed.ok())
+        << "round trip rejected its own output for: " << line;
+    EXPECT_EQ(request_json(reparsed.value()), canonical);
+  }
+  // The mutator must not be so destructive that nothing survives — a few
+  // byte flips inside string values stay valid JSON.
+  EXPECT_GT(survivors, 0);
+}
+
+TEST(ProtocolFuzz, PingAndPongProbesTolerateMutation) {
+  Rng rng(77);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line = iter % 2 == 0 ? ping_json("p-" + std::to_string(iter))
+                                     : pong_json("p-" + std::to_string(iter));
+    const int steps = static_cast<int>(rng.uniform_int(1, 3));
+    for (int s = 0; s < steps; ++s) line = mutate(std::move(line), rng);
+    std::string id;
+    // Either outcome is fine; crashing or misclassifying a non-ping as a
+    // ping with phantom state is not. parse_* must also agree with a
+    // second call (no hidden state).
+    const bool ping1 = parse_ping(line, &id);
+    std::string id2;
+    const bool ping2 = parse_ping(line, &id2);
+    EXPECT_EQ(ping1, ping2);
+    EXPECT_EQ(id, id2);
+    std::string pid;
+    parse_pong(line, &pid);
+  }
+}
+
+TEST(ProtocolFuzz, MalformedLinesGetExactlyOneStructuredResponse) {
+  // End to end through the serial service: every submitted line — however
+  // mangled — must produce exactly one response, and a failed parse must
+  // answer with ok=false plus an error object, not silence.
+  ServiceConfig config;
+  config.serial = true;
+  SolveService service(config);
+
+  const auto corpus = seed_corpus();
+  Rng rng(4242);
+  int checked = 0;
+  for (int iter = 0; iter < 600; ++iter) {
+    std::string line = corpus[rng.index(corpus.size())];
+    const int steps = static_cast<int>(rng.uniform_int(1, 4));
+    for (int s = 0; s < steps; ++s) line = mutate(std::move(line), rng);
+    if (parse_request(line).ok()) continue;  // might be a real (slow) solve
+    std::string ping_id;
+    if (parse_ping(line, &ping_id)) continue;  // transport answers these
+    ++checked;
+
+    int responses = 0;
+    service.submit(line, [&](std::string response) {
+      ++responses;
+      const auto doc = parse_json(response);
+      ASSERT_TRUE(doc && doc->is_object()) << response;
+      EXPECT_EQ(doc->string_or("schema", ""), kResponseSchema);
+      const JsonValue* ok = doc->find("ok");
+      ASSERT_NE(ok, nullptr);
+      EXPECT_FALSE(ok->boolean);
+      EXPECT_NE(doc->find("error"), nullptr) << response;
+    });
+    EXPECT_EQ(responses, 1) << "line answered " << responses
+                            << " times: " << line;
+  }
+  EXPECT_GT(checked, 100);
+  service.drain();
+}
+
+}  // namespace
+}  // namespace soctest

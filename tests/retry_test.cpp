@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/chaos.hpp"
+#include "service/protocol.hpp"
+#include "service/retry.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace soctest {
+namespace {
+
+// The resilient client layer (docs/robustness.md): deterministic jittered
+// backoff, retry_after_ms honoring, reconnect-with-replay through dropped
+// connections, and a bounded attempt budget that fails loudly instead of
+// retrying forever.
+
+struct RunningTcp {
+  explicit RunningTcp(const ServiceConfig& config) : service(config) {
+    thread = std::thread(
+        [this] { serve_tcp(service, "127.0.0.1:0", &port, &stop); });
+    for (int i = 0; i < 500 && port.load() == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GT(port.load(), 0);
+  }
+  ~RunningTcp() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+  }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(port.load());
+  }
+
+  SolveService service;
+  std::atomic<int> port{0};
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+struct RunningChaos {
+  explicit RunningChaos(const ChaosConfig& config) : proxy(config) {
+    const Status st = proxy.start();
+    EXPECT_TRUE(st.ok()) << st.to_string();
+    thread = std::thread([this] { proxy.serve(&stop); });
+  }
+  ~RunningChaos() {
+    stop.store(true);
+    if (thread.joinable()) thread.join();
+  }
+
+  ChaosProxy proxy;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+};
+
+std::string greedy_req(const std::string& id, const std::string& soc) {
+  return "{\"schema\":\"soctest-req-v1\",\"id\":\"" + id + "\",\"soc\":\"" +
+         soc + "\",\"solver\":\"greedy\"}";
+}
+
+std::size_t count_finals(const std::vector<std::string>& lines) {
+  std::size_t n = 0;
+  for (const auto& line : lines) {
+    if (line.find("\"schema\":\"soctest-resp-v1\"") != std::string::npos) ++n;
+  }
+  return n;
+}
+
+// -------------------------------------------------------------- backoff --
+
+TEST(RetryBackoff, IsDeterministicJitteredAndClamped) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 100.0;
+  policy.jitter_seed = 7;
+
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double nominal =
+        std::min(100.0, 10.0 * std::pow(2.0, attempt - 1));
+    const double b = retry_backoff_ms(policy, attempt);
+    // Same (policy, attempt) -> same value: chaos soaks reproduce.
+    EXPECT_EQ(b, retry_backoff_ms(policy, attempt));
+    // Jitter keeps the value inside [nominal/2, nominal): desynchronizes
+    // reconnect storms without ever exceeding the clamp.
+    EXPECT_GE(b, nominal * 0.5) << "attempt " << attempt;
+    EXPECT_LT(b, nominal) << "attempt " << attempt;
+  }
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 8;
+  EXPECT_NE(retry_backoff_ms(policy, 3), retry_backoff_ms(other, 3))
+      << "different seeds must jitter differently";
+}
+
+// ----------------------------------------------------------- fault free --
+
+TEST(RetryClient, FaultFreeBatchMatchesClientRoundtripByteForByte) {
+  ServiceConfig config;
+  config.serial = true;
+  RunningTcp server(config);
+
+  // no_cache pins "cached":false in both runs: the comparison must see
+  // identical bytes, not a cold-vs-warm cache difference.
+  std::vector<std::string> lines;
+  for (const char* soc : {"soc1", "soc2", "soc3", "soc1"}) {
+    lines.push_back("{\"schema\":\"soctest-req-v1\",\"id\":\"ff-" +
+                    std::to_string(lines.size()) + "\",\"soc\":\"" +
+                    std::string(soc) +
+                    "\",\"solver\":\"greedy\",\"no_cache\":true}");
+  }
+  const auto direct = client_roundtrip(server.endpoint(), lines);
+  ASSERT_TRUE(direct.ok()) << direct.status().to_string();
+
+  RetryPolicy policy;  // max_attempts=1: pure pass-through
+  RetryingClient client(server.endpoint(), policy);
+  const auto via_client = client.run_batch(lines);
+  ASSERT_TRUE(via_client.ok()) << via_client.status().to_string();
+
+  // Serial mode omits timing and cache markers, so the two response
+  // streams must be byte-identical — the retry layer is invisible when
+  // nothing goes wrong.
+  EXPECT_EQ(via_client.value(), direct.value());
+  EXPECT_EQ(client.stats().attempts,
+            static_cast<long long>(lines.size()));
+  EXPECT_EQ(client.stats().retries, 0);
+  EXPECT_EQ(client.stats().reconnects, 0);
+  EXPECT_EQ(client.stats().gave_up, 0);
+}
+
+// ----------------------------------------------------------- rejections --
+
+TEST(RetryClient, HonorsRetryAfterAdviceUntilAdmitted) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.retry_after_ms = 20.0;
+  RunningTcp server(config);
+
+  // Four slow solves against a single admission slot: all but one bounce
+  // with retry_after_ms advice. The client must park them and resend on
+  // schedule until each is admitted and answered for real.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 4; ++i) {
+    lines.push_back("{\"schema\":\"soctest-req-v1\",\"id\":\"adm-" +
+                    std::to_string(i) +
+                    "\",\"soc\":\"soc4\",\"buses\":4,\"width\":64,"
+                    "\"time_limit_ms\":150,\"no_cache\":true}");
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.base_backoff_ms = 5.0;
+  RetryingClient client(server.endpoint(), policy);
+  const auto responses = client.run_batch(lines);
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+
+  ASSERT_EQ(count_finals(responses.value()), lines.size());
+  for (const auto& line : responses.value()) {
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+  }
+  EXPECT_GE(client.stats().rejections_honored, 1);
+  EXPECT_EQ(client.stats().gave_up, 0);
+}
+
+// ------------------------------------------------------------- reconnect --
+
+TEST(RetryClient, ReplaysUnansweredRequestsThroughConnectionDrops) {
+  ServiceConfig server_config;
+  server_config.serial = true;
+  RunningTcp server(server_config);
+
+  ChaosConfig chaos;
+  chaos.upstream = server.endpoint();
+  chaos.seed = 42;
+  chaos.drop_prob = 1.0;  // every connection dies after 1..6000 bytes
+  RunningChaos proxy(chaos);
+
+  // Enough traffic that every connection's drop byte budget (1..6000
+  // relayed bytes) fires before the batch can finish on it: the client is
+  // forced through several drop -> reconnect -> replay cycles.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 30; ++i) {
+    lines.push_back(greedy_req("drop-" + std::to_string(i), "soc1"));
+  }
+  RetryPolicy policy;
+  policy.max_attempts = 30;
+  policy.base_backoff_ms = 1.0;
+  policy.max_backoff_ms = 20.0;
+  RetryingClient client(proxy.proxy.endpoint(), policy);
+  const auto responses = client.run_batch(lines);
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+
+  // Every request answered exactly once despite the carnage: replays are
+  // idempotent (id-matched, cache-backed) and duplicates are dropped.
+  ASSERT_EQ(count_finals(responses.value()), lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::size_t hits = 0;
+    const std::string needle = "\"id\":\"drop-" + std::to_string(i) + "\"";
+    for (const auto& line : responses.value()) {
+      if (line.find(needle) != std::string::npos) ++hits;
+    }
+    EXPECT_EQ(hits, 1u) << "request " << i << " lost or duplicated";
+  }
+  EXPECT_GE(client.stats().reconnects, 1);
+  EXPECT_EQ(client.stats().gave_up, 0);
+  EXPECT_GE(proxy.proxy.stats().drops, 1);
+  // The drop budget clips bursts instead of discarding them, so response
+  // bytes land on every connection whose budget outlives the replayed
+  // upload — convergence is a property of the byte budgets, not of how
+  // fast the server happens to answer (sanitizer builds run 10-20x slow).
+  EXPECT_GT(proxy.proxy.stats().bytes_to_client, 0);
+}
+
+// ---------------------------------------------------------------- budget --
+
+TEST(RetryClient, GivesUpLoudlyAfterTheAttemptBudget) {
+  // Every connection is half-open: accepted, read, never answered. Only
+  // the silence watchdog can unstick the client, and after max_attempts
+  // it must synthesize a structured failure rather than hang or retry
+  // forever.
+  ServiceConfig server_config;
+  server_config.serial = true;
+  RunningTcp server(server_config);
+
+  ChaosConfig chaos;
+  chaos.upstream = server.endpoint();
+  chaos.seed = 3;
+  chaos.halfopen_prob = 1.0;
+  RunningChaos proxy(chaos);
+
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.base_backoff_ms = 1.0;
+  policy.max_backoff_ms = 5.0;
+  policy.response_timeout_ms = 100.0;
+  RetryingClient client(proxy.proxy.endpoint(), policy);
+  const auto responses =
+      client.run_batch({greedy_req("doomed", "soc1")});
+  ASSERT_TRUE(responses.ok()) << responses.status().to_string();
+
+  ASSERT_EQ(responses.value().size(), 1u);
+  const std::string& final = responses.value()[0];
+  EXPECT_NE(final.find("\"ok\":false"), std::string::npos) << final;
+  EXPECT_NE(final.find("\"id\":\"doomed\""), std::string::npos) << final;
+  EXPECT_NE(final.find("retry budget exhausted"), std::string::npos) << final;
+  EXPECT_EQ(client.stats().gave_up, 1);
+  EXPECT_GE(client.stats().timeouts, 1);
+  EXPECT_GE(proxy.proxy.stats().halfopen, 1);
+}
+
+TEST(RetryClient, UnreachableServerFailsTheBatchWithAStatus) {
+  // Nothing is listening: the client must give up after its connect
+  // budget and surface a status, since not even a synthesized response
+  // can claim an id was "attempted" against a server that never existed.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1.0;
+  policy.max_backoff_ms = 2.0;
+  policy.max_connect_failures = 3;
+  RetryingClient client("127.0.0.1:1", policy);  // port 1: refused
+  const auto responses = client.run_batch({greedy_req("no-server", "soc1")});
+  EXPECT_FALSE(responses.ok());
+}
+
+}  // namespace
+}  // namespace soctest

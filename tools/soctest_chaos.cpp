@@ -1,0 +1,149 @@
+// soctest-chaos: deterministic fault-injecting TCP proxy for robustness
+// soaks (docs/robustness.md).
+//
+//   $ soctest-serve --tcp 127.0.0.1:0 &          # prints its port
+//   $ soctest-chaos --listen 127.0.0.1:0 --connect 127.0.0.1:PORT
+//       --seed 7 --drop-prob 0.25 --tear-prob 0.3 &
+//   # stdout: "soctest-chaos: listening on 127.0.0.1:39251"
+//   $ soctest-loadgen --connect 127.0.0.1:39251 --retries 8 ...
+//
+// Every fault is drawn from a PRNG seeded per (seed, connection index), so
+// the same seed reproduces the same fault schedule exactly. SIGTERM exits
+// 0 after printing a fault census.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "service/chaos.hpp"
+#include "service/transport.hpp"
+
+namespace {
+
+const char kUsage[] = R"(usage: soctest-chaos [options]
+
+Endpoints:
+  --listen HOST:PORT    where clients connect (default 127.0.0.1:0; port 0 =
+                        ephemeral, announced on stdout)
+  --connect HOST:PORT   upstream server or front door (required)
+
+Fault schedule (per-connection probabilities, sampled at accept):
+  --seed N              PRNG seed; fixes the whole schedule (default 1)
+  --drop-prob P         close both sides after a random relayed byte count
+  --tear-prob P         split every server->client write, stalling the tail
+  --delay-prob P        delay all forwarded bytes by a fixed latency
+  --garbage-prob P      inject one garbage line toward the client at a
+                        line boundary (never corrupts a real line)
+  --halfopen-prob P     accept the client but never talk to the upstream
+  --stall-ms T          torn-write tail latency (default 25)
+  --delay-ms T          per-chunk forwarding latency (default 5)
+  --help                this text
+)";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+double to_prob(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    if (v < 0.0 || v > 1.0) usage_error(flag + " must be in [0, 1]");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected a probability, got '" + value + "'");
+  }
+}
+
+double to_dbl(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected a number, got '" + value + "'");
+  }
+}
+
+long long to_ll(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected an integer, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  soctest::ChaosConfig config;
+
+  std::size_t i = 0;
+  auto value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) usage_error(flag + " requires a value");
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--listen") {
+      config.listen = value(arg);
+      if (config.listen.empty()) usage_error("--listen: empty endpoint");
+    } else if (arg == "--connect") {
+      config.upstream = value(arg);
+      if (config.upstream.empty()) usage_error("--connect: empty endpoint");
+    } else if (arg == "--seed") {
+      config.seed = static_cast<std::uint64_t>(to_ll(value(arg), arg));
+    } else if (arg == "--drop-prob") {
+      config.drop_prob = to_prob(value(arg), arg);
+    } else if (arg == "--tear-prob") {
+      config.tear_prob = to_prob(value(arg), arg);
+    } else if (arg == "--delay-prob") {
+      config.delay_prob = to_prob(value(arg), arg);
+    } else if (arg == "--garbage-prob") {
+      config.garbage_prob = to_prob(value(arg), arg);
+    } else if (arg == "--halfopen-prob") {
+      config.halfopen_prob = to_prob(value(arg), arg);
+    } else if (arg == "--stall-ms") {
+      config.stall_ms = to_dbl(value(arg), arg);
+      if (config.stall_ms < 0) usage_error("--stall-ms must be >= 0");
+    } else if (arg == "--delay-ms") {
+      config.delay_ms = to_dbl(value(arg), arg);
+      if (config.delay_ms < 0) usage_error("--delay-ms must be >= 0");
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (config.upstream.empty()) usage_error("--connect is required");
+
+  soctest::install_shutdown_handlers();
+  soctest::ChaosProxy proxy(config);
+  if (const soctest::Status s = proxy.start(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.message().c_str());
+    return 1;
+  }
+  std::printf("soctest-chaos: listening on %s\n", proxy.endpoint().c_str());
+  std::fflush(stdout);
+
+  const int exit_code = proxy.serve();
+
+  const soctest::ChaosStats stats = proxy.stats();
+  std::fprintf(stderr,
+               "soctest-chaos: %lld connections, %lld drops, %lld tears, "
+               "%lld delays, %lld garbage, %lld halfopen, %lld/%lld bytes "
+               "up/down\n",
+               stats.connections, stats.drops, stats.tears, stats.delays,
+               stats.garbage, stats.halfopen, stats.bytes_to_upstream,
+               stats.bytes_to_client);
+  return exit_code;
+}

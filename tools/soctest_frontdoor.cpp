@@ -49,6 +49,14 @@ Admission and fault handling:
   --retry-after-ms T    backpressure advice in rejections (default 50)
   --max-restarts N      respawns per crashed worker before its shard is
                         declared broken (default 3)
+  --heartbeat-ms T      ping each worker's health connection every T ms and
+                        SIGKILL+respawn one silent past the timeout
+                        (default 0 = off; see docs/robustness.md)
+  --heartbeat-timeout-ms T
+                        silence threshold before a worker counts as hung
+                        (default 5 * heartbeat interval)
+  --idle-timeout-ms T   reap a client connection with nothing in flight and
+                        no bytes moved for T ms (default 60000; 0 disables)
   --help                this text
 )";
 
@@ -151,6 +159,21 @@ int main(int argc, char** argv) {
       const long long n = to_ll(value(arg), arg);
       if (n < 0) usage_error("--max-restarts must be >= 0");
       config.max_restarts = static_cast<int>(n);
+    } else if (arg == "--heartbeat-ms") {
+      config.heartbeat_ms = to_dbl(value(arg), arg);
+      if (config.heartbeat_ms < 0) {
+        usage_error("--heartbeat-ms must be >= 0 (0 disables)");
+      }
+    } else if (arg == "--heartbeat-timeout-ms") {
+      config.heartbeat_timeout_ms = to_dbl(value(arg), arg);
+      if (config.heartbeat_timeout_ms < 0) {
+        usage_error("--heartbeat-timeout-ms must be >= 0");
+      }
+    } else if (arg == "--idle-timeout-ms") {
+      config.idle_timeout_ms = to_dbl(value(arg), arg);
+      if (config.idle_timeout_ms < 0) {
+        usage_error("--idle-timeout-ms must be >= 0 (0 disables)");
+      }
     } else {
       usage_error("unknown argument '" + arg + "'");
     }
@@ -181,9 +204,9 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "soctest-frontdoor: %lld received, %lld forwarded, "
                "%lld completed, %lld partials, %lld rejected, %lld errors, "
-               "%lld restarts, %lld retried\n",
+               "%lld restarts, %lld retried, %lld hung\n",
                stats.received, stats.forwarded, stats.completed,
                stats.partials, stats.rejected, stats.errors, stats.restarts,
-               stats.retried);
+               stats.retried, stats.hung_restarts);
   return exit_code;
 }

@@ -31,6 +31,7 @@
 #include "common/net.hpp"
 #include "report/json.hpp"
 #include "service/protocol.hpp"
+#include "service/retry.hpp"
 
 namespace {
 
@@ -57,6 +58,15 @@ Load shape:
   --seed S              mix-sampling RNG seed (default 1)
   --stream              request soctest-partial-v1 incumbent streaming
   --time-limit-ms T     set time_limit_ms on every generated request
+
+Resilience (closed loop only; docs/robustness.md):
+  --retries N           resend budget per request: reconnect on drops,
+                        replay the request, honor retry_after_ms on
+                        rejections (default 0 = fail fast)
+  --retry-backoff-ms T  reconnect backoff base (default 10)
+  --response-timeout-ms T
+                        drop + reconnect when a response is outstanding and
+                        the server is silent for T ms
 
 Output:
   --json-out FILE       merge the SLO row into this bench table
@@ -102,6 +112,9 @@ struct Options {
   std::uint64_t seed = 1;
   bool stream = false;
   double time_limit_ms = -1.0;
+  int retries = 0;
+  double retry_backoff_ms = 10.0;
+  double response_timeout_ms = -1.0;
   std::string json_out;
   std::string tag = "service_slo";
 };
@@ -204,6 +217,15 @@ struct Tally {
   long long rejected = 0;  ///< resource_exhausted (backpressure)
   long long errors = 0;    ///< every other ok=false final
   long long transport_errors = 0;
+  // What the retry layer did (closed loop with --retries; see
+  // soctest::RetryStats). A request the client gave up on is a
+  // transport_error here, not a final — the exit code must not claim a
+  // synthesized error response as an answer.
+  long long retry_attempts = 0;
+  long long retry_retries = 0;
+  long long retry_reconnects = 0;
+  double retry_backoff_ms = 0.0;
+  long long retry_gave_up = 0;
 };
 
 void classify_final(const std::string& line, Tally& tally, double latency_ms) {
@@ -228,49 +250,36 @@ void classify_final(const std::string& line, Tally& tally, double latency_ms) {
 }
 
 /// One closed-loop connection: at most one request outstanding; the next
-/// request goes out only once the previous final arrived.
+/// request goes out only once the previous final arrived. The retrying
+/// client keeps one persistent connection, reconnecting and replaying per
+/// the policy; with max_attempts=1 the behavior degrades to the old
+/// fail-fast loop.
 void run_closed(const std::string& endpoint,
-                const std::vector<std::string>& lines, Tally& tally) {
-  const auto parsed = soctest::net::parse_endpoint(endpoint);
-  if (!parsed.ok()) return;
-  const auto fd_or = soctest::net::connect_endpoint(parsed.value());
-  if (!fd_or.ok()) {
-    std::lock_guard<std::mutex> lock(tally.mutex);
-    tally.transport_errors += static_cast<long long>(lines.size());
-    return;
-  }
-  const int fd = fd_or.value();
-  std::string inbuf;
-  char chunk[65536];
+                const std::vector<std::string>& lines,
+                const soctest::RetryPolicy& policy, Tally& tally) {
+  soctest::RetryingClient client(endpoint, policy);
+  long long prev_gave_up = 0;
+  std::size_t done = 0;
   for (const std::string& line : lines) {
-    const std::string wire = line + "\n";
     const auto t0 = Clock::now();
-    if (!soctest::net::write_all(fd, wire.data(), wire.size())) {
+    auto responses = client.run_batch({line});
+    if (!responses.ok()) {
+      // Never reached the server at all (past max_connect_failures):
+      // everything left on this connection is a transport error.
       std::lock_guard<std::mutex> lock(tally.mutex);
-      ++tally.transport_errors;
+      tally.transport_errors += static_cast<long long>(lines.size() - done);
       break;
     }
+    ++done;
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    const bool gave_up = client.stats().gave_up > prev_gave_up;
+    prev_gave_up = client.stats().gave_up;
     {
       std::lock_guard<std::mutex> lock(tally.mutex);
       ++tally.sent;
     }
-    bool final_seen = false;
-    while (!final_seen) {
-      std::string response;
-      auto pos = inbuf.find('\n');
-      if (pos == std::string::npos) {
-        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-        if (n <= 0) {
-          std::lock_guard<std::mutex> lock(tally.mutex);
-          ++tally.transport_errors;
-          ::close(fd);
-          return;
-        }
-        inbuf.append(chunk, static_cast<std::size_t>(n));
-        continue;
-      }
-      response.assign(inbuf, 0, pos);
-      inbuf.erase(0, pos + 1);
+    for (const std::string& response : responses.value()) {
       const auto doc = soctest::parse_json(response);
       const std::string schema =
           doc && doc->is_object() ? doc->string_or("schema", "") : "";
@@ -279,15 +288,21 @@ void run_closed(const std::string& endpoint,
         ++tally.partials;
         continue;
       }
-      const double ms = std::chrono::duration<double, std::milli>(
-                            Clock::now() - t0)
-                            .count();
+      if (gave_up) {
+        std::lock_guard<std::mutex> lock(tally.mutex);
+        ++tally.transport_errors;
+        continue;  // synthesized budget-exhausted final, not an answer
+      }
       classify_final(response, tally, ms);
-      final_seen = true;
     }
   }
-  ::shutdown(fd, SHUT_WR);
-  ::close(fd);
+  const soctest::RetryStats& rs = client.stats();
+  std::lock_guard<std::mutex> lock(tally.mutex);
+  tally.retry_attempts += rs.attempts;
+  tally.retry_retries += rs.retries;
+  tally.retry_reconnects += rs.reconnects;
+  tally.retry_backoff_ms += rs.backoff_ms;
+  tally.retry_gave_up += rs.gave_up;
 }
 
 /// One open-loop connection: its share of the schedule is sent on time
@@ -449,6 +464,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--time-limit-ms") {
       opt.time_limit_ms = to_dbl(value(arg), arg);
       if (opt.time_limit_ms < 0) usage_error("--time-limit-ms must be >= 0");
+    } else if (arg == "--retries") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 0) usage_error("--retries must be >= 0");
+      opt.retries = static_cast<int>(n);
+    } else if (arg == "--retry-backoff-ms") {
+      opt.retry_backoff_ms = to_dbl(value(arg), arg);
+      if (opt.retry_backoff_ms < 0)
+        usage_error("--retry-backoff-ms must be >= 0");
+    } else if (arg == "--response-timeout-ms") {
+      opt.response_timeout_ms = to_dbl(value(arg), arg);
+      if (opt.response_timeout_ms <= 0)
+        usage_error("--response-timeout-ms must be positive");
     } else if (arg == "--json-out") {
       opt.json_out = value(arg);
     } else if (arg == "--tag") {
@@ -461,6 +488,8 @@ int main(int argc, char** argv) {
   if (opt.connect.empty()) usage_error("--connect is required");
   if (!opt.batch_path.empty() && !opt.ledger_path.empty())
     usage_error("--batch and --from-ledger are mutually exclusive");
+  if (opt.open_loop && (opt.retries > 0 || opt.response_timeout_ms > 0))
+    usage_error("--retries/--response-timeout-ms support the closed loop only");
 
   const auto pool = load_templates(opt);
   const auto lines = build_request_lines(opt, pool);
@@ -478,13 +507,21 @@ int main(int argc, char** argv) {
     threads.reserve(shares.size());
     const double interval_ms =
         1000.0 / (opt.rate / static_cast<double>(opt.connections));
-    for (auto& share : shares) {
+    for (std::size_t t = 0; t < shares.size(); ++t) {
+      auto& share = shares[t];
       if (share.empty()) continue;
       if (opt.open_loop) {
         threads.emplace_back(
             [&] { run_open(opt.connect, share, interval_ms, tally); });
       } else {
-        threads.emplace_back([&] { run_closed(opt.connect, share, tally); });
+        soctest::RetryPolicy policy;
+        policy.max_attempts = opt.retries + 1;
+        policy.base_backoff_ms = opt.retry_backoff_ms;
+        policy.response_timeout_ms = opt.response_timeout_ms;
+        // Distinct jitter per connection so reconnect storms desynchronize.
+        policy.jitter_seed = opt.seed * 0x9E3779B97F4A7C15ULL + t + 1;
+        threads.emplace_back(
+            [&, policy] { run_closed(opt.connect, share, policy, tally); });
       }
     }
     for (auto& t : threads) t.join();
@@ -503,10 +540,14 @@ int main(int argc, char** argv) {
       "soctest-loadgen: mode=%s connections=%d sent=%lld finals=%lld "
       "ok=%lld rejected=%lld errors=%lld partials=%lld transport_errors=%lld\n"
       "soctest-loadgen: wall=%.1fms throughput=%.1f req/s "
-      "p50=%.2fms p95=%.2fms p99=%.2fms\n",
+      "p50=%.2fms p95=%.2fms p99=%.2fms\n"
+      "soctest-loadgen: retry_attempts=%lld retries=%lld reconnects=%lld "
+      "backoff_ms=%.0f gave_up=%lld\n",
       opt.open_loop ? "open" : "closed", opt.connections, tally.sent,
       tally.finals, tally.ok, tally.rejected, tally.errors, tally.partials,
-      tally.transport_errors, wall_ms, rps, p50, p95, p99);
+      tally.transport_errors, wall_ms, rps, p50, p95, p99,
+      tally.retry_attempts, tally.retry_retries, tally.retry_reconnects,
+      tally.retry_backoff_ms, tally.retry_gave_up);
 
   if (!opt.json_out.empty()) {
     soctest::benchutil::JsonLog log(opt.tag);
@@ -520,6 +561,11 @@ int main(int argc, char** argv) {
     row.set("errors", tally.errors);
     row.set("partials", tally.partials);
     row.set("transport_errors", tally.transport_errors);
+    row.set("retry_attempts", tally.retry_attempts);
+    row.set("retry_retries", tally.retry_retries);
+    row.set("retry_reconnects", tally.retry_reconnects);
+    row.set("retry_backoff_ms", tally.retry_backoff_ms, 1);
+    row.set("retry_gave_up", tally.retry_gave_up);
     row.set("wall_ms", wall_ms, 1);
     row.set("rps", rps, 1);
     row.set("p50_ms", p50, 3);

@@ -42,6 +42,11 @@ Result cache:
   --cache N             result-cache entry budget (default 512; 0 = unbounded)
   --cache-shards N      cache shard count (default 8)
 
+Robustness:
+  --idle-timeout-ms T   reap a socket connection with nothing in flight
+                        and no bytes read for T ms (default 60000;
+                        0 disables; ignored by --stdio)
+
 Observability:
   --ledger FILE         append one soctest-ledger-v1 record per completed
                         solve (SOCTEST_LEDGER is the env fallback)
@@ -82,6 +87,9 @@ int main(int argc, char** argv) {
   using soctest::ServiceConfig;
   std::vector<std::string> args(argv + 1, argv + argc);
   ServiceConfig config;
+  // The library default leaves idle reaping off (embedding tests manage
+  // their own connections); the long-running tool defaults it on.
+  config.idle_timeout_ms = 60000.0;
   std::string socket_path;
   std::string tcp_endpoint;
   bool stdio = true;
@@ -136,6 +144,11 @@ int main(int argc, char** argv) {
       config.max_time_limit_ms = to_dbl(value(arg), arg);
       if (config.max_time_limit_ms < 0) {
         usage_error("--max-time-limit-ms must be >= 0");
+      }
+    } else if (arg == "--idle-timeout-ms") {
+      config.idle_timeout_ms = to_dbl(value(arg), arg);
+      if (config.idle_timeout_ms < 0) {
+        usage_error("--idle-timeout-ms must be >= 0 (0 disables)");
       }
     } else {
       usage_error("unknown argument '" + arg + "'");
