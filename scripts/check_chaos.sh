@@ -244,7 +244,9 @@ kill -TERM "$fd_pid"; wait "$fd_pid" \
   || fail "front door exited non-zero after the liveness drain" \
           "$workdir/fd3.err"
 pids=""
-hung=$(sed -n 's/.* \([0-9][0-9]*\) hung$/\1/p' "$workdir/fd3.err" | tail -n 1)
+# The drain stats line is name-sorted, so "hung" sits mid-line: "... N
+# forwarded, N hung, N partials, ...".
+hung=$(sed -n 's/.* \([0-9][0-9]*\) hung,.*/\1/p' "$workdir/fd3.err" | tail -n 1)
 [ -n "$hung" ] && [ "$hung" -ge 1 ] \
   || fail "front door never counted the frozen worker as hung" \
           "$workdir/fd3.err"

@@ -68,7 +68,7 @@ binary_flags() {
     sort -u
 }
 
-for tool in serve frontdoor loadgen chaos; do
+for tool in serve frontdoor loadgen chaos top; do
   tool_src="$root/tools/soctest_${tool}.cpp"
   for doc in "$root"/README.md "$root"/DESIGN.md "$root"/docs/*.md; do
     [ -f "$doc" ] || continue
@@ -134,8 +134,11 @@ if [ -f "$service_doc" ]; then
       fail=1
     fi
   done
-  for name in $(grep -oE '\`service\.[a-z_.]+\`' "$service_doc" |
-                  tr -d '\`' | sort -u); do
+  # NB: the backtick is literal inside single quotes and must NOT be
+  # backslash-escaped — grep -E would read \` as its start-of-input anchor
+  # and the doc-side extraction would silently match nothing.
+  for name in $(grep -oE '`service\.[a-z_.]+`' "$service_doc" |
+                  tr -d '`' | sort -u); do
     if ! printf '%s\n' "$service_emitted" | grep -qxF "$name"; then
       echo "FAIL: docs/service.md documents service metric '$name', which" \
            "no obs::counter/histogram/Span literal in src emits"
@@ -144,9 +147,15 @@ if [ -f "$service_doc" ]; then
   done
   # frontdoor.* gets the same bidirectional treatment: the front door's
   # counters are the fleet's only aggregate view, so the catalog in
-  # docs/service.md must match the emitted set exactly.
-  frontdoor_emitted=$(printf '%s\n' "$emitted_names" |
-                        grep -E '^frontdoor\.' || true)
+  # docs/service.md must match the emitted set exactly. Its relay/queue
+  # spans are emitted at settle time via obs::emit_span (the poll loop
+  # cannot hold Span objects across ticks), so those literals count too.
+  frontdoor_emitted=$( { printf '%s\n' "$emitted_names" |
+                           grep -E '^frontdoor\.' || true;
+                         grep -rhoE 'obs::(Span|emit_span)\("frontdoor\.[a-z_.]+' \
+                           "$root"/src/*/*.cpp |
+                           grep -oE 'frontdoor\.[a-z_.]+' || true; } |
+                       sort -u)
   for name in $frontdoor_emitted; do
     if ! grep -qF "\`$name\`" "$service_doc"; then
       echo "FAIL: front-door metric '$name' is emitted by src/service but" \
@@ -154,11 +163,35 @@ if [ -f "$service_doc" ]; then
       fail=1
     fi
   done
-  for name in $(grep -oE '\`frontdoor\.[a-z_.]+\`' "$service_doc" |
-                  tr -d '\`' | sort -u); do
+  for name in $(grep -oE '`frontdoor\.[a-z_.]+`' "$service_doc" |
+                  tr -d '`' | sort -u); do
     if ! printf '%s\n' "$frontdoor_emitted" | grep -qxF "$name"; then
       echo "FAIL: docs/service.md documents front-door metric '$name'," \
            "which no obs::counter literal in src emits"
+      fail=1
+    fi
+  done
+  # The soctest-stats-v1 field catalog: kStatsFields (the union of probe,
+  # serve-reply, and merged-reply members in src/service/protocol.hpp)
+  # must match the delimited schema table in docs/service.md exactly, in
+  # both directions — soctest-top renders from these names.
+  stats_src=$(sed -n '/kStatsFields\[\]/,/};/p' \
+                "$root/src/service/protocol.hpp" |
+                grep -oE '"[a-z_0-9]+"' | tr -d '"' | sort -u)
+  stats_doc=$(sed -n '/<!-- stats-fields-begin -->/,/<!-- stats-fields-end -->/p' \
+                "$service_doc" | grep -oE '`[a-z_0-9]+`' | tr -d '`' |
+                sort -u)
+  for name in $stats_src; do
+    if ! printf '%s\n' "$stats_doc" | grep -qxF "$name"; then
+      echo "FAIL: soctest-stats-v1 field '$name' (kStatsFields) is missing" \
+           "from the delimited catalog in docs/service.md"
+      fail=1
+    fi
+  done
+  for name in $stats_doc; do
+    if ! printf '%s\n' "$stats_src" | grep -qxF "$name"; then
+      echo "FAIL: docs/service.md documents soctest-stats-v1 field '$name'," \
+           "which kStatsFields (src/service/protocol.hpp) does not list"
       fail=1
     fi
   done

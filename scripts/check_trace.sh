@@ -1,0 +1,240 @@
+#!/usr/bin/env bash
+# Distributed-tracing gate (docs/observability.md). Run from anywhere:
+#
+#   scripts/check_trace.sh [repo-root] [soctest-serve-binary] \
+#       [soctest-frontdoor-binary] [soctest-loadgen-binary] \
+#       [soctest-chaos-binary] [soctest-binary] [soctest-perf-binary] \
+#       [soctest-top-binary]
+#
+# Two passes:
+#
+#   1. waterfall completeness — a fixed-seed fully-sampled loadgen batch
+#      through a front door + 2 workers (every process writing its
+#      soctest-trace-v1 shard into one directory); `soctest-perf
+#      trace-merge` must join the shards with zero dangling parent links,
+#      every sampled trace must carry client, frontdoor, AND worker spans,
+#      and re-merging the same shards must be byte-identical. While the
+#      fleet is still up, `soctest-top --once --json` must return a merged
+#      soctest-stats-v1 reply with one entry per worker shard.
+#   2. tracing under chaos — a sampled `soctest --client` batch through a
+#      dropping soctest-chaos proxy with retries: exactly one final per
+#      request, and the merged timeline shows >= 2 sibling client.attempt
+#      spans under at least one trace (the retry is visible, not hidden).
+#
+# Wired into ctest as the `obs` label: ctest -L obs
+
+set -u
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+serve_bin="${2:-$root/build/tools/soctest-serve}"
+frontdoor_bin="${3:-$root/build/tools/soctest-frontdoor}"
+loadgen_bin="${4:-$root/build/tools/soctest-loadgen}"
+chaos_bin="${5:-$root/build/tools/soctest-chaos}"
+soctest_bin="${6:-$root/build/tools/soctest}"
+perf_bin="${7:-$root/build/tools/soctest-perf}"
+top_bin="${8:-$root/build/tools/soctest-top}"
+
+for bin in "$serve_bin" "$frontdoor_bin" "$loadgen_bin" "$chaos_bin" \
+           "$soctest_bin" "$perf_bin" "$top_bin"; do
+  if [ ! -x "$bin" ]; then
+    echo "check_trace: FAILED ($bin not built)"
+    exit 1
+  fi
+done
+
+workdir=$(mktemp -d)
+pids=""
+cleanup() {
+  for pid in $pids; do
+    kill "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+await_port() {
+  local out="$1" port=""
+  for _ in $(seq 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$out")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+
+fail() {
+  echo "check_trace: FAILED ($1)"
+  shift
+  for f in "$@"; do
+    echo "---- $f ----"
+    cat "$f"
+  done
+  exit 1
+}
+
+# ------------------------------------------------------------------------
+echo "== pass 1: every sampled trace spans client, frontdoor, and worker =="
+mkdir -p "$workdir/traces1"
+"$frontdoor_bin" --listen 127.0.0.1:0 --workers 2 --serial-workers \
+  --dir "$workdir/fleet1" --trace-dir "$workdir/traces1" \
+  > "$workdir/fd1.out" 2> "$workdir/fd1.err" &
+fd_pid=$!
+pids="$fd_pid"
+fd_port=$(await_port "$workdir/fd1.out")
+[ -n "$fd_port" ] || fail "front door never announced its port" \
+  "$workdir/fd1.err"
+
+"$loadgen_bin" --connect "127.0.0.1:$fd_port" --mode closed \
+  --connections 2 --requests 24 --seed 11 --trace-sample 1 \
+  --trace-dir "$workdir/traces1" > "$workdir/lg1.txt" 2>&1 \
+  || fail "traced loadgen batch failed" "$workdir/lg1.txt" "$workdir/fd1.err"
+
+# Live scrape before the drain: the merged reply must cover both shards.
+"$top_bin" --connect "127.0.0.1:$fd_port" --once --json \
+  > "$workdir/top.json" 2> "$workdir/top.err" \
+  || fail "soctest-top scrape failed" "$workdir/top.err" "$workdir/fd1.err"
+grep -q '"schema":"soctest-stats-v1"' "$workdir/top.json" \
+  || fail "soctest-top reply is not soctest-stats-v1" "$workdir/top.json"
+grep -q '"role":"frontdoor"' "$workdir/top.json" \
+  || fail "soctest-top reply is not the front door's merge" "$workdir/top.json"
+for shard in 0 1; do
+  grep -q "\"shard\":$shard" "$workdir/top.json" \
+    || fail "merged stats miss shard $shard" "$workdir/top.json"
+done
+for field in req_rate cache_hit_rate p95_ms queue_depth; do
+  grep -q "\"$field\":" "$workdir/top.json" \
+    || fail "merged stats miss the $field field" "$workdir/top.json"
+done
+# Scrape totals must reconcile with what loadgen actually sent: all 24
+# requests completed inside the 60 s window of a seconds-old fleet.
+grep -q '"completed":24' "$workdir/top.json" \
+  || fail "front door scrape does not report the 24 completed requests" \
+          "$workdir/top.json" "$workdir/lg1.txt"
+
+kill -TERM "$fd_pid"; wait "$fd_pid" \
+  || fail "front door exited non-zero" "$workdir/fd1.err"
+pids=""
+
+shards=$(ls "$workdir/traces1" | wc -l)
+[ "$shards" -eq 4 ] \
+  || fail "expected 4 trace shards (loadgen, frontdoor, 2 workers), got $shards" \
+          "$workdir/fd1.err"
+
+"$perf_bin" trace-merge "$workdir/traces1" --out "$workdir/merged1.json" \
+  > "$workdir/merge1.txt" \
+  || fail "trace-merge found dangling parent links" "$workdir/merge1.txt"
+cat "$workdir/merge1.txt"
+grep -q 'dangling_parents=0' "$workdir/merge1.txt" \
+  || fail "merge summary reports dangling parents" "$workdir/merge1.txt"
+grep -q 'traces=24' "$workdir/merge1.txt" \
+  || fail "expected 24 sampled traces in the merge" "$workdir/merge1.txt"
+
+# Byte-identical re-merge: the timeline is a pure function of the shards.
+"$perf_bin" trace-merge "$workdir/traces1" --out "$workdir/merged1b.json" \
+  > /dev/null
+cmp -s "$workdir/merged1.json" "$workdir/merged1b.json" \
+  || fail "re-merging the same shards changed the output"
+
+# Every trace must be complete: client, frontdoor, and worker each
+# contributed at least one span (cat = the shard's fleet role).
+python3 - "$workdir/merged1.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+roles = {}
+for e in doc["traceEvents"]:
+    if e.get("ph") != "X":
+        continue
+    tid = e.get("args", {}).get("trace_id")
+    if tid:
+        roles.setdefault(tid, set()).add(e.get("cat"))
+bad = {t: sorted(r) for t, r in roles.items()
+       if not {"client", "frontdoor", "serve"} <= r}
+if bad:
+    print("check_trace: incomplete traces:", bad)
+    sys.exit(1)
+print(f"check_trace: {len(roles)} traces complete across client/frontdoor/serve")
+EOF
+[ $? -eq 0 ] || fail "a sampled trace is missing a fleet role" \
+  "$workdir/merge1.txt"
+
+# ------------------------------------------------------------------------
+echo "== pass 2: retries stay visible as sibling attempt spans =="
+mkdir -p "$workdir/traces2"
+"$serve_bin" --tcp 127.0.0.1:0 --serial --trace-dir "$workdir/traces2" \
+  > "$workdir/serve2.out" 2> "$workdir/serve2.err" &
+serve_pid=$!
+pids="$serve_pid"
+serve_port=$(await_port "$workdir/serve2.out")
+[ -n "$serve_port" ] || fail "chaos-pass serve never announced" \
+  "$workdir/serve2.err"
+
+"$chaos_bin" --listen 127.0.0.1:0 --connect "127.0.0.1:$serve_port" --seed 5 \
+  --drop-prob 0.5 --tear-prob 0.5 --stall-ms 5 > "$workdir/chaos2.out" \
+  2> "$workdir/chaos2.err" &
+chaos_pid=$!
+pids="$pids $chaos_pid"
+chaos_port=$(await_port "$workdir/chaos2.out")
+[ -n "$chaos_port" ] || fail "chaos proxy never announced" \
+  "$workdir/chaos2.err"
+
+for i in $(seq 0 7); do
+  soc="soc$(( (i % 3) + 1 ))"
+  printf '{"schema":"soctest-req-v1","id":"tr-%d","soc":"%s","solver":"greedy"}\n' \
+    "$i" "$soc"
+done > "$workdir/batch2.jsonl"
+
+"$soctest_bin" --client "127.0.0.1:$chaos_port" \
+  --batch "$workdir/batch2.jsonl" --trace-sample 1 \
+  --trace "$workdir/traces2/client.trace.json" --retries 10 \
+  --retry-backoff-ms 5 --response-timeout-ms 2000 \
+  > "$workdir/client2.out" 2> "$workdir/client2.err" \
+  || fail "traced batch through chaos failed" "$workdir/client2.err" \
+          "$workdir/chaos2.err"
+
+finals=$(grep -c '"schema":"soctest-resp-v1"' "$workdir/client2.out")
+[ "$finals" -eq 8 ] \
+  || fail "expected exactly 8 finals through chaos, got $finals" \
+          "$workdir/client2.out"
+
+kill -TERM "$chaos_pid"; wait "$chaos_pid"
+kill -TERM "$serve_pid"; wait "$serve_pid" \
+  || fail "serve exited non-zero after the chaos pass" "$workdir/serve2.err"
+pids=""
+
+"$perf_bin" trace-merge "$workdir/traces2" --out "$workdir/merged2.json" \
+  > "$workdir/merge2.txt" \
+  || fail "chaos-pass trace-merge found dangling links" "$workdir/merge2.txt"
+cat "$workdir/merge2.txt"
+
+# One final per trace, and at least one trace with >= 2 sibling attempts:
+# drops force resends, and each resend closes a client.attempt span under
+# the same client.request parent.
+python3 - "$workdir/merged2.json" <<'EOF' || exit 1
+import json, sys
+doc = json.load(open(sys.argv[1]))
+finals, attempts = {}, {}
+for e in doc["traceEvents"]:
+    if e.get("ph") != "X":
+        continue
+    tid = e.get("args", {}).get("trace_id")
+    if not tid:
+        continue
+    if e["name"] == "service.request":
+        finals[tid] = finals.get(tid, 0) + 1
+    if e["name"] == "client.attempt":
+        attempts[tid] = attempts.get(tid, 0) + 1
+dup = {t: n for t, n in finals.items() if n > 1}
+# A dropped-then-replayed request may run on the worker twice; the client
+# settles exactly one final, which is what pass-2's finals count pinned.
+retried = [t for t, n in attempts.items() if n >= 2]
+if not retried:
+    print("check_trace: no trace recorded >= 2 client.attempt spans "
+          f"(attempts: {attempts})")
+    sys.exit(1)
+print(f"check_trace: {len(retried)} of {len(attempts)} traces show retry "
+      "attempts as sibling spans")
+EOF
+[ $? -eq 0 ] || fail "retry attempts are not visible in the merged timeline" \
+  "$workdir/merge2.txt"
+
+echo "check_trace: OK"

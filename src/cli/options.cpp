@@ -163,6 +163,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
       if (options.response_timeout_ms <= 0) {
         fail("--response-timeout-ms must be positive");
       }
+    } else if (arg == "--trace-sample") {
+      options.trace_sample = to_int(value(arg), arg);
+      if (options.trace_sample < 0) fail("--trace-sample must be >= 0");
     } else {
       fail("unknown argument '" + arg + "'");
     }
@@ -181,6 +184,9 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
        options.response_timeout_ms > 0)) {
     fail("--retries/--retry-backoff-ms/--response-timeout-ms require "
          "--client");
+  }
+  if (options.trace_sample != 0 && options.client_socket.empty()) {
+    fail("--trace-sample requires --client");
   }
   return options;
 }
@@ -260,6 +266,11 @@ Service client (docs/service.md):
   --response-timeout-ms T
                         with --client: drop + reconnect when responses are
                         outstanding and the server is silent for T ms
+  --trace-sample N      with --client: stamp a trace context on every Nth
+                        request (1 = all) so the fleet records a
+                        client/frontdoor/worker waterfall; combine with
+                        --trace FILE to write this process's shard for
+                        `soctest-perf trace-merge` (docs/observability.md)
   --help                this text
 )";
 }

@@ -87,6 +87,11 @@ struct CliOptions {
   /// when responses are outstanding and the server has been quiet this
   /// long (--response-timeout-ms; <= 0 disables).
   double response_timeout_ms = -1.0;
+  /// Client mode: stamp a distributed-trace context (trace object with a
+  /// deterministic trace_id) on every Nth request (--trace-sample N; 1 =
+  /// every request, 0 = off). Combine with --trace to write this process's
+  /// soctest-trace-v1 shard for `soctest-perf trace-merge`.
+  int trace_sample = 0;
 };
 
 /// Parses argv-style arguments (without argv[0]). Throws

@@ -224,6 +224,28 @@ CliResult run_design(const CliOptions& options,
   return result;
 }
 
+/// Deterministic trace id for the index-th sampled request of a client
+/// batch: content-derived (same batch position → same id across reruns),
+/// never wall-clock or random, so chaos-gate trace merges byte-compare.
+std::string client_trace_id(std::size_t index) {
+  return trace_span_guid("soctest-client-batch", std::to_string(index));
+}
+
+/// Stamps the trace context for trace_id onto a batch line: the line is
+/// parsed and re-serialized canonically with a `trace` object whose
+/// parent_span names the retry layer's client.request root span. A line
+/// that does not parse (or already carries a trace) passes through
+/// verbatim — the server owns rejecting it.
+std::string stamp_request_line(const std::string& line,
+                               const std::string& trace_id) {
+  StatusOr<ServiceRequest> parsed = parse_request(line);
+  if (!parsed.ok() || !parsed.value().trace_id.empty()) return line;
+  ServiceRequest request = parsed.take();
+  request.trace_id = trace_id;
+  request.trace_parent = trace_span_guid(trace_id, "client.request");
+  return request_json(request);
+}
+
 /// Client mode: ship the work to a running soctest-serve or
 /// soctest-frontdoor (Unix socket or HOST:PORT) and relay the response
 /// lines (docs/service.md). Streamed soctest-partial-v1 records may
@@ -250,6 +272,12 @@ CliResult run_client(const CliOptions& options) {
     while (std::getline(*in, line)) {
       if (!line.empty()) lines.push_back(line);
     }
+    if (options.trace_sample > 0) {
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i % static_cast<std::size_t>(options.trace_sample) != 0) continue;
+        lines[i] = stamp_request_line(lines[i], client_trace_id(i));
+      }
+    }
   } else {
     ServiceRequest request;
     request.id = "cli";
@@ -266,6 +294,11 @@ CliResult run_client(const CliOptions& options) {
     request.threads = options.threads;
     request.time_limit_ms = options.time_limit_ms;
     request.stream = options.stream;
+    if (options.trace_sample > 0) {
+      request.trace_id = client_trace_id(0);
+      request.trace_parent =
+          trace_span_guid(request.trace_id, "client.request");
+    }
     lines.push_back(request_json(request));
   }
 
@@ -322,10 +355,10 @@ CliResult run_cli(const CliOptions& options) {
     result.output = cli_usage();
     return result;
   }
-  if (!options.client_socket.empty()) return run_client(options);
+  const bool client_mode = !options.client_socket.empty();
 
   FailpointGuard failpoint_guard;
-  if (!options.failpoints.empty()) {
+  if (!client_mode && !options.failpoints.empty()) {
     const Status st = failpoint::arm(options.failpoints);
     if (!st.ok()) {
       CliResult result;
@@ -338,17 +371,20 @@ CliResult run_cli(const CliOptions& options) {
 
   // Profiles fold the trace, so any --profile* flag implies a live sink;
   // the ledger only needs counters, so on its own it runs a null-sink
-  // session (same as --metrics without --trace).
-  const std::string ledger_path = options.ledger_path.empty()
-                                      ? obs::ledger_path_from_env()
-                                      : options.ledger_path;
+  // session (same as --metrics without --trace). Client mode never writes
+  // the solve ledger — the solve (and its record) happens server-side.
+  const std::string ledger_path =
+      client_mode ? std::string()
+                  : (options.ledger_path.empty() ? obs::ledger_path_from_env()
+                                                 : options.ledger_path);
   const bool profiling = options.profile ||
                          !options.profile_json_path.empty() ||
                          !options.profile_folded_path.empty();
   const bool tracing = profiling || !options.trace_path.empty() ||
                        !options.trace_chrome_path.empty();
   if (!tracing && !options.metrics && ledger_path.empty()) {
-    return run_design(options);
+    // The untraced fast path: no sink, no session, no span bookkeeping.
+    return client_mode ? run_client(options) : run_design(options);
   }
 
   // One sink/session per CLI run; a null sink collects counters only.
@@ -357,7 +393,12 @@ CliResult run_cli(const CliOptions& options) {
   CliResult result;
   SolveSummary summary;
   const auto wall_start = std::chrono::steady_clock::now();
-  {
+  if (client_mode) {
+    // No cli.run root span: the client's spans (client.request /
+    // client.attempt, recorded by the retry layer) must stay roots so the
+    // cross-process guid links are the only parentage trace-merge sees.
+    result = run_client(options);
+  } else {
     obs::Span root("cli.run", {{"soc", options.soc}});
     result = run_design(options, &summary);
     if (root.active()) root.arg({"exit_code", result.exit_code});
@@ -383,7 +424,8 @@ CliResult run_cli(const CliOptions& options) {
     result.exit_code = exit_code_for(st);
   };
   if (!options.trace_path.empty()) {
-    write_file(options.trace_path, trace_json(sink));
+    write_file(options.trace_path,
+               trace_json(sink, client_mode ? "client" : "cli"));
   }
   if (!options.trace_chrome_path.empty()) {
     write_file(options.trace_chrome_path, chrome_trace_json(sink));

@@ -46,6 +46,7 @@ std::string ledger_record_json(const LedgerRecord& record) {
   w.key("t_cycles").value(record.t_cycles);
   w.key("solve_mode").value(record.solve_mode);
   w.key("wall_ms").value(record.wall_ms);
+  if (!record.trace_id.empty()) w.key("trace_id").value(record.trace_id);
   w.key("exit_code").value(record.exit_code);
   w.key("counters").begin_object();
   for (const auto& [name, value] : record.counters) {
@@ -56,9 +57,10 @@ std::string ledger_record_json(const LedgerRecord& record) {
   return w.str();
 }
 
-bool append_ledger_record(const std::string& path, const LedgerRecord& record,
-                          std::string* error) {
-  const std::string line = ledger_record_json(record) + "\n";
+namespace {
+
+bool append_ledger_line(const std::string& path, const std::string& line,
+                        std::string* error) {
   // "a" opens O_APPEND: concurrent writers interleave whole lines, not
   // bytes, for writes this size on POSIX filesystems.
   std::FILE* file = std::fopen(path.c_str(), "a");
@@ -76,6 +78,33 @@ bool append_ledger_record(const std::string& path, const LedgerRecord& record,
   }
   std::fclose(file);
   return ok;
+}
+
+}  // namespace
+
+bool append_ledger_record(const std::string& path, const LedgerRecord& record,
+                          std::string* error) {
+  return append_ledger_line(path, ledger_record_json(record) + "\n", error);
+}
+
+std::string rejection_record_json(const RejectionRecord& record) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("soctest-ledger-v1");
+  w.key("kind").value("rejected");
+  w.key("id").value(record.id);
+  w.key("shard").value(record.shard);
+  w.key("retry_after_ms").value(record.retry_after_ms);
+  if (!record.trace_id.empty()) w.key("trace_id").value(record.trace_id);
+  w.end_object();
+  return w.str();
+}
+
+bool append_rejection_record(const std::string& path,
+                             const RejectionRecord& record,
+                             std::string* error) {
+  return append_ledger_line(path, rejection_record_json(record) + "\n",
+                            error);
 }
 
 std::string ledger_path_from_env() {

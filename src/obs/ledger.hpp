@@ -54,6 +54,11 @@ struct LedgerRecord {
   /// exact search (see SearchMode), "-" for heuristic solvers.
   std::string solve_mode = "-";
   double wall_ms = 0.0;
+  /// Distributed-trace id of the request that caused this solve (empty =
+  /// untraced; field omitted). Joins ledger rows to soctest-trace-v1
+  /// shards, so `soctest-perf trace-merge` timelines and `soctest-perf
+  /// report` percentiles can be cross-referenced per request.
+  std::string trace_id;
   int exit_code = 0;
   /// Pinned counters, in kLedgerCounters order.
   std::vector<std::pair<std::string, long long>> counters;
@@ -77,5 +82,27 @@ bool append_ledger_record(const std::string& path, const LedgerRecord& record,
 
 /// The ledger path from SOCTEST_LEDGER, or empty when unset.
 std::string ledger_path_from_env();
+
+/// A request refused by admission control before any solve ran. Ordinary
+/// ledger records only exist for completed solves, so backpressured
+/// requests were invisible offline — loadgen's rejected count could not be
+/// reconciled against any ledger. Serialized as a soctest-ledger-v1 line
+/// with `"kind":"rejected"` and a minimal field set; readers that fold
+/// solve records (soctest-perf report/diff) skip rejected lines by kind.
+struct RejectionRecord {
+  std::string id;           ///< request id (may be empty)
+  int shard = -1;           ///< worker shard it would have gone to; -1 n/a
+  double retry_after_ms = 0.0;
+  std::string trace_id;     ///< empty = untraced; field omitted
+};
+
+/// The record as one soctest-ledger-v1 JSON line (no trailing newline).
+std::string rejection_record_json(const RejectionRecord& record);
+
+/// Appends `record` to the JSONL file at `path`; same crash-safe
+/// single-write contract as append_ledger_record.
+bool append_rejection_record(const std::string& path,
+                             const RejectionRecord& record,
+                             std::string* error = nullptr);
 
 }  // namespace soctest::obs

@@ -73,6 +73,134 @@ void Histogram::reset() {
   std::fill(std::begin(buckets_), std::end(buckets_), 0);
 }
 
+RateCounter::RateCounter(int window_seconds)
+    : window_(window_seconds < 1 ? 1 : window_seconds),
+      slots_(static_cast<std::size_t>(window_), 0),
+      slot_sec_(static_cast<std::size_t>(window_), -1),
+      origin_(std::chrono::steady_clock::now()) {}
+
+std::int64_t RateCounter::seconds_now() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void RateCounter::add(long long delta) {
+  const std::int64_t now = seconds_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto idx = static_cast<std::size_t>(now % window_);
+  if (slot_sec_[idx] != now) {  // slot is a stale lap of the ring
+    slot_sec_[idx] = now;
+    slots_[idx] = 0;
+  }
+  slots_[idx] += delta;
+}
+
+long long RateCounter::sum() const {
+  const std::int64_t now = seconds_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  long long total = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slot_sec_[i] >= 0 && now - slot_sec_[i] < window_) total += slots_[i];
+  }
+  return total;
+}
+
+double RateCounter::rate() const {
+  const std::int64_t lived = seconds_now() + 1;  // current partial second
+  const double span = static_cast<double>(
+      lived < window_ ? (lived < 1 ? 1 : lived) : window_);
+  return static_cast<double>(sum()) / span;
+}
+
+void RateCounter::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(slots_.begin(), slots_.end(), 0);
+  std::fill(slot_sec_.begin(), slot_sec_.end(), std::int64_t{-1});
+}
+
+WindowedHistogram::WindowedHistogram(int window_seconds)
+    : window_(window_seconds < 1 ? 1 : window_seconds),
+      slots_(static_cast<std::size_t>(window_)),
+      origin_(std::chrono::steady_clock::now()) {}
+
+std::int64_t WindowedHistogram::seconds_now() const {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+void WindowedHistogram::observe(double value) {
+  const std::int64_t now = seconds_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& slot = slots_[static_cast<std::size_t>(now % window_)];
+  if (slot.sec != now) {
+    slot.sec = now;
+    slot.count = 0;
+    slot.sum = 0.0;
+    std::fill(std::begin(slot.buckets), std::end(slot.buckets), 0);
+  }
+  ++slot.count;
+  slot.sum += value;
+  int bucket = 0;
+  if (value >= 1.0) {
+    bucket = std::min(kNumBuckets - 1,
+                      1 + static_cast<int>(std::floor(std::log2(value))));
+  }
+  ++slot.buckets[bucket];
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::snapshot() const {
+  const std::int64_t now = seconds_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  long long merged[kNumBuckets] = {};
+  Snapshot snap;
+  for (const Slot& slot : slots_) {
+    if (slot.sec < 0 || now - slot.sec >= window_) continue;
+    snap.count += slot.count;
+    snap.sum += slot.sum;
+    for (int i = 0; i < kNumBuckets; ++i) merged[i] += slot.buckets[i];
+  }
+  int last = -1;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (merged[i] != 0) last = i;
+  }
+  snap.buckets.assign(merged, merged + last + 1);
+  return snap;
+}
+
+double WindowedHistogram::percentile_of(const Snapshot& snap, double p) {
+  if (snap.count <= 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // The observation with (1-based) rank ceil(p * count), walked through the
+  // cumulative bucket counts; linear interpolation inside the bucket.
+  const double rank = p * static_cast<double>(snap.count);
+  long long seen = 0;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+    const long long in_bucket = snap.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+    }
+    seen += in_bucket;
+  }
+  return std::ldexp(1.0, static_cast<int>(snap.buckets.size()));
+}
+
+double WindowedHistogram::percentile(double p) const {
+  return percentile_of(snapshot(), p);
+}
+
+void WindowedHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Slot& slot : slots_) slot = Slot{};
+}
+
 Counter& counter(std::string_view name) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mu);
@@ -217,6 +345,28 @@ Span::~Span() {
 void Span::arg(Arg a) {
   if (sink_ == nullptr) return;
   args_.push_back(std::move(a));
+}
+
+void emit_span(std::string_view name, double start_us, double dur_us,
+               std::vector<Arg> args) {
+  TraceSink* sink = current_sink();
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.id = sink->next_id();
+  event.parent = 0;  // the logical parent is in another process's shard
+  event.kind = TraceEvent::Kind::kSpan;
+  event.name = name;
+  event.thread = sink->thread_index(std::this_thread::get_id());
+  event.start_us = start_us;
+  event.dur_us = dur_us;
+  event.args = std::move(args);
+  sink->append(std::move(event));
+}
+
+void emit_span(std::string_view name, double start_us, double dur_us,
+               std::initializer_list<Arg> args) {
+  if (current_sink() == nullptr) return;
+  emit_span(name, start_us, dur_us, std::vector<Arg>(args));
 }
 
 void instant(std::string_view name) { instant(name, {}); }

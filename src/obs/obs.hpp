@@ -87,6 +87,75 @@ class Histogram {
 Counter& counter(std::string_view name);
 Histogram& histogram(std::string_view name);
 
+/// Sliding-window event counter: a ring of per-second slots (default 60)
+/// over an internal steady clock, so rate() answers "events per second,
+/// recently" rather than "since process start". Mutex-guarded; meant for
+/// request-granularity accounting (the soctest-stats-v1 scrape answers),
+/// not per-node tallies. Not registry-interned — owners hold instances
+/// directly because the window semantics are per-owner, not global.
+class RateCounter {
+ public:
+  explicit RateCounter(int window_seconds = 60);
+
+  void add(long long delta = 1);
+  /// Events observed within the trailing window.
+  long long sum() const;
+  /// sum() divided by the lived-in window span: min(window, seconds since
+  /// construction, floored at 1) — a freshly started process reports its
+  /// real short-horizon rate instead of diluting over an empty minute.
+  double rate() const;
+  void reset();
+
+ private:
+  std::int64_t seconds_now() const;
+  mutable std::mutex mu_;
+  int window_;
+  std::vector<long long> slots_;
+  std::vector<std::int64_t> slot_sec_;  ///< second each slot last counted
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Sliding-window histogram: per-second slots each holding count/sum plus
+/// the same power-of-two magnitude buckets as Histogram, merged on
+/// snapshot. percentile() estimates from the merged buckets with linear
+/// interpolation inside the winning bucket — coarse (bucket-resolution)
+/// but windowed, which is what a live p95 needs. Mutex-guarded.
+class WindowedHistogram {
+ public:
+  static constexpr int kNumBuckets = Histogram::kNumBuckets;
+
+  struct Snapshot {
+    long long count = 0;
+    double sum = 0.0;
+    std::vector<long long> buckets;  ///< trailing all-zero buckets trimmed
+  };
+
+  explicit WindowedHistogram(int window_seconds = 60);
+
+  void observe(double value);
+  Snapshot snapshot() const;
+  /// Windowed percentile estimate, p in [0, 1]; 0 when the window is empty.
+  double percentile(double p) const;
+  /// The same estimator over an already-merged snapshot (tests, tools that
+  /// receive buckets over the wire).
+  static double percentile_of(const Snapshot& snap, double p);
+  void reset();
+
+ private:
+  struct Slot {
+    std::int64_t sec = -1;  ///< -1 = never used
+    long long count = 0;
+    double sum = 0.0;
+    long long buckets[kNumBuckets] = {};
+  };
+
+  std::int64_t seconds_now() const;
+  mutable std::mutex mu_;
+  int window_;
+  std::vector<Slot> slots_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
 struct CounterValue {
   std::string name;
   long long value = 0;
@@ -175,6 +244,12 @@ class TraceSink {
   /// Microseconds since the sink was created (the event time base).
   double now_us() const;
 
+  /// True when SOCTEST_OBS_FAKE_CLOCK replaced the steady clock with the
+  /// per-sink tick counter. Trace-shard writers check this to zero the
+  /// realtime clock anchor — a wall-clock stamp would break the
+  /// byte-identical reruns the fake clock exists to provide.
+  bool fake_clock() const noexcept { return fake_clock_; }
+
   // Internal hooks used by Span/instant.
   std::uint64_t next_id() noexcept {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -242,5 +317,18 @@ class Span {
 /// construction is not paid when observability is off.
 void instant(std::string_view name);
 void instant(std::string_view name, std::initializer_list<Arg> args);
+
+/// Appends an already-timed root span (start/duration in the sink's time
+/// base, microseconds). For event-loop code that cannot hold a Span object
+/// across callbacks — the front door's relay/queue spans start when a
+/// request line arrives and end when its final settles, possibly after a
+/// worker respawn. Cross-process links ride in string args (`trace_id`,
+/// `span_guid`, `parent_guid`); `parent` stays 0 because the parent lives
+/// in another process's shard. No-op without a sink. Guard Arg
+/// construction with `if (obs::enabled())`.
+void emit_span(std::string_view name, double start_us, double dur_us,
+               std::vector<Arg> args);
+void emit_span(std::string_view name, double start_us, double dur_us,
+               std::initializer_list<Arg> args);
 
 }  // namespace soctest::obs

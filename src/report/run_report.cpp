@@ -1,6 +1,9 @@
 #include "report/run_report.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/table.hpp"
@@ -64,10 +67,26 @@ void write_metrics_members(JsonWriter& w) {
 
 }  // namespace
 
-std::string trace_json(const obs::TraceSink& sink) {
+std::string trace_json(const obs::TraceSink& sink, const std::string& role) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value("soctest-trace-v1");
+  w.key("anchor").begin_object();
+  double unix_us = 0.0;
+  if (!sink.fake_clock()) {
+    // The realtime microsecond at which the sink's monotonic clock read 0:
+    // realtime-now minus monotonic-elapsed. Computed at write time — the
+    // two clocks are sampled microseconds apart, which bounds the
+    // cross-shard alignment error far below the spans being aligned.
+    unix_us = std::chrono::duration<double, std::micro>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count() -
+              sink.now_us();
+  }
+  w.key("unix_us").value(unix_us);
+  w.key("pid").value(static_cast<long long>(::getpid()));
+  w.key("role").value(role);
+  w.end_object();
   w.key("events").begin_array();
   for (const obs::TraceEvent& e : sink.events()) {
     w.begin_object();

@@ -12,10 +12,20 @@ namespace soctest {
 /// the JSON goes through the in-repo JsonWriter and validates with
 /// json_check. The trace-file schema is documented in docs/observability.md.
 
-/// The native trace format ("soctest-trace-v1"): one object with the event
-/// list (spans and instants, completion-ordered) plus the counter and
-/// histogram snapshot taken at serialization time.
-std::string trace_json(const obs::TraceSink& sink);
+/// The native trace format ("soctest-trace-v1"): one object with a clock
+/// anchor, the event list (spans and instants, completion-ordered), and
+/// the counter and histogram snapshot taken at serialization time.
+///
+/// The anchor is what makes per-process shards mergeable: event timestamps
+/// are CLOCK_MONOTONIC microseconds since the sink was created, so the
+/// header records `unix_us` — the realtime (unix epoch) microsecond the
+/// sink's clock started — plus the writing process's pid and its fleet
+/// `role` ("client", "frontdoor", "serve", ...). `soctest-perf
+/// trace-merge` rebases every shard's events onto the common realtime
+/// axis as ts + unix_us. Under SOCTEST_OBS_FAKE_CLOCK the anchor is 0 (a
+/// wall-clock stamp would break byte-identical reruns).
+std::string trace_json(const obs::TraceSink& sink,
+                       const std::string& role = "");
 
 /// The same events in Chrome's trace_event format — load the file at
 /// chrome://tracing (or https://ui.perfetto.dev) for a per-thread timeline.

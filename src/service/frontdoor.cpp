@@ -1,5 +1,6 @@
 #include "service/frontdoor.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +20,7 @@
 
 #include "common/net.hpp"
 #include "common/sharded_cache.hpp"
+#include "obs/ledger.hpp"
 #include "obs/obs.hpp"
 #include "report/json.hpp"
 #include "service/protocol.hpp"
@@ -86,6 +88,25 @@ long long fd_now_ms() {
       .count();
 }
 
+/// Sink time of "now", or -1 when tracing is off. The front door records
+/// request arrival/queue times in this base so its relay/queue spans can
+/// be emitted at settle time (the poll loop cannot hold a Span object
+/// across ticks).
+double sink_now_us() {
+  obs::TraceSink* sink = obs::current_sink();
+  return sink != nullptr ? sink->now_us() : -1.0;
+}
+
+/// The per-process numeric members a worker's soctest-stats-v1 reply may
+/// carry, re-emitted per shard in the front door's merged reply. A subset
+/// of kStatsFields (protocol.hpp); name-sorted like the replies are.
+constexpr const char* kShardStatsFields[] = {
+    "cache_hit_rate", "cache_hits", "cache_misses", "completed",
+    "errors",         "p50_ms",     "p95_ms",       "queue_depth",
+    "received",       "rejected",   "req_rate",     "uptime_s",
+    "window_s",
+};
+
 }  // namespace
 
 std::uint64_t request_fingerprint(const std::string& line) {
@@ -110,6 +131,22 @@ struct FrontDoor::Impl {
     /// worker link: a lazy link that connects for the first time is a
     /// first send, not a retry, and must not inflate the retried stat.
     bool sent = false;
+    /// A fanned-out soctest-stats-v1 probe riding the link for ordering
+    /// and crash-resend, but outside the inflight/forwarded/retried
+    /// accounting (probes are not requests).
+    bool probe = false;
+    /// Trace context lifted from the request's `trace` member (the line
+    /// itself is still relayed verbatim). Empty = untraced.
+    std::string trace_id;
+    std::string trace_parent;
+    /// Sink-time bookkeeping for the frontdoor.relay / frontdoor.queue
+    /// spans, -1 when tracing is off at arrival. sent_us is the first
+    /// time the line was queued to a connected worker.
+    double arrival_us = -1.0;
+    double sent_us = -1.0;
+    /// Steady-clock arrival, feeding the windowed relay-latency
+    /// histogram the stats scrape reports.
+    long long arrival_ms = 0;
   };
 
   /// One (client connection, worker shard) pipe. Lazily connected: a
@@ -176,6 +213,26 @@ struct FrontDoor::Impl {
   std::atomic<long long> st_retried{0};
   std::atomic<long long> st_hung{0};
 
+  /// Sliding-window telemetry for the stats scrape: fleet req/s and the
+  /// end-to-end relay latency (client arrival to final settled).
+  obs::RateCounter req_rate{60};
+  obs::WindowedHistogram relay_latency_ms{60};
+  std::chrono::steady_clock::time_point started =
+      std::chrono::steady_clock::now();
+
+  /// One in-flight stats fan-out: a client probe waiting for every
+  /// shard's reply (or the deadline). Owned by the poll loop only.
+  struct StatsWait {
+    Client* client = nullptr;
+    std::string probe_id;  ///< echoed in the merged reply
+    long long deadline_ms = 0;
+    std::vector<std::string> shard_ids;    ///< per-shard probe ids
+    std::vector<std::string> shard_lines;  ///< worker replies, "" = none yet
+    std::vector<bool> have;
+  };
+  std::vector<StatsWait> stats_waits;
+  long long stats_token = 0;
+
   std::vector<std::string> worker_argv(std::size_t idx) const {
     std::vector<std::string> argv;
     argv.push_back(config.serve_binary);
@@ -206,6 +263,10 @@ struct FrontDoor::Impl {
       argv.push_back("--ledger");
       argv.push_back(work_dir + "/worker-" + std::to_string(idx) +
                      ".ledger.jsonl");
+    }
+    if (!config.trace_dir.empty()) {
+      argv.push_back("--trace-dir");
+      argv.push_back(config.trace_dir);
     }
     return argv;
   }
@@ -295,6 +356,71 @@ struct FrontDoor::Impl {
     forward_to_client(client, line);
   }
 
+  /// Fans one client stats probe out to every live shard. The per-shard
+  /// probes ride the ordinary links as probe-flagged Pendings (so a worker
+  /// respawn resends them like any queued line) but stay outside the
+  /// inflight/forwarded accounting. stats_tick() assembles the merged
+  /// reply when the last shard answers or the deadline passes.
+  void start_stats_fanout(Client& client, const std::string& probe_id) {
+    StatsWait wait;
+    wait.client = &client;
+    wait.probe_id = probe_id;
+    wait.deadline_ms = fd_now_ms() + 2000;
+    wait.shard_ids.resize(workers.size());
+    wait.shard_lines.resize(workers.size());
+    wait.have.assign(workers.size(), false);
+    const long long token = ++stats_token;
+    for (std::size_t shard = 0; shard < workers.size(); ++shard) {
+      wait.shard_ids[shard] = "stats-" + std::to_string(token) + "-" +
+                              std::to_string(shard);
+      if (workers[shard].broken) continue;  // reported as {"broken":true}
+      Link& link = client.links[shard];
+      Pending pending;
+      pending.id = wait.shard_ids[shard];
+      pending.line = stats_probe_json(wait.shard_ids[shard]);
+      pending.sent = link.fd >= 0;
+      pending.probe = true;
+      pending.arrival_ms = fd_now_ms();
+      if (link.fd >= 0) {
+        link.outbuf.append(pending.line);
+        link.outbuf.push_back('\n');
+      }
+      link.pending.push_back(std::move(pending));
+    }
+    stats_waits.push_back(std::move(wait));
+  }
+
+  /// Emits the front door's two spans for a traced request at settle time:
+  /// frontdoor.relay (arrival to final relayed; sibling of the worker's
+  /// service.request, both children of the client's root span) and
+  /// frontdoor.queue (arrival to first write toward a connected worker,
+  /// child of relay — the admission-queue share of the relay time).
+  void settle_trace(const Pending& p) {
+    if (p.trace_id.empty() || p.arrival_us < 0) return;
+    obs::TraceSink* sink = obs::current_sink();
+    if (sink == nullptr) return;
+    const double now = sink->now_us();
+    const std::string relay_guid =
+        trace_span_guid(p.trace_id, "frontdoor.relay");
+    std::vector<obs::Arg> relay_args;
+    relay_args.emplace_back("trace_id", p.trace_id);
+    relay_args.emplace_back("span_guid", relay_guid);
+    if (!p.trace_parent.empty())
+      relay_args.emplace_back("parent_guid", p.trace_parent);
+    relay_args.emplace_back("req_id", p.id);
+    obs::emit_span("frontdoor.relay", p.arrival_us, now - p.arrival_us,
+                   std::move(relay_args));
+    if (p.sent_us >= p.arrival_us) {
+      std::vector<obs::Arg> queue_args;
+      queue_args.emplace_back("trace_id", p.trace_id);
+      queue_args.emplace_back(
+          "span_guid", trace_span_guid(p.trace_id, "frontdoor.queue"));
+      queue_args.emplace_back("parent_guid", relay_guid);
+      obs::emit_span("frontdoor.queue", p.arrival_us,
+                     p.sent_us - p.arrival_us, std::move(queue_args));
+    }
+  }
+
   void handle_request(Client& client, const std::string& line) {
     if (line.empty()) return;
     std::string ping_id;
@@ -306,27 +432,56 @@ struct FrontDoor::Impl {
       answer_locally(client, pong_json(ping_id));
       return;
     }
+    std::string stats_id;
+    if (parse_stats_probe(line, &stats_id)) {
+      // Like pings, probes live outside the admission accounting; unlike
+      // pings the answer needs every worker's numbers, so the probe is
+      // fanned out and the merged reply is sent when the last shard
+      // answers (or the deadline turns stragglers into broken entries).
+      obs::counter("frontdoor.requests.stats_probes").add();
+      start_stats_fanout(client, stats_id);
+      return;
+    }
     st_received.fetch_add(1, std::memory_order_relaxed);
     obs::counter("frontdoor.requests.received").add();
+    req_rate.add();
 
     const auto doc = parse_json(line);
     const std::string id =
         doc && doc->is_object() ? doc->string_or("id", "") : "";
+    std::string trace_id;
+    std::string trace_parent;
+    if (doc && doc->is_object()) {
+      if (const JsonValue* trace = doc->find("trace");
+          trace != nullptr && trace->is_object()) {
+        trace_id = trace->string_or("trace_id", "");
+        trace_parent = trace->string_or("parent_span", "");
+      }
+    }
+    const std::uint64_t fp = fingerprint_of(doc ? &*doc : nullptr);
+    const auto shard = static_cast<std::size_t>(
+        fp % static_cast<std::uint64_t>(workers.size()));
 
     if (total_inflight >= config.max_inflight) {
       st_rejected.fetch_add(1, std::memory_order_relaxed);
       obs::counter("frontdoor.requests.rejected").add();
+      if (!config.ledger_path.empty()) {
+        obs::RejectionRecord record;
+        record.id = id;
+        record.shard = static_cast<int>(shard);
+        record.retry_after_ms = config.retry_after_ms;
+        record.trace_id = trace_id;
+        obs::append_rejection_record(config.ledger_path, record);
+      }
       answer_locally(client,
                      rejection_json(id, config.retry_after_ms,
                                     "front door at capacity (" +
                                         std::to_string(total_inflight) +
-                                        " requests in flight)"));
+                                        " requests in flight)",
+                                    trace_id));
       return;
     }
 
-    const std::uint64_t fp = fingerprint_of(doc ? &*doc : nullptr);
-    const auto shard = static_cast<std::size_t>(
-        fp % static_cast<std::uint64_t>(workers.size()));
     if (workers[shard].broken) {
       st_errors.fetch_add(1, std::memory_order_relaxed);
       obs::counter("frontdoor.requests.error").add();
@@ -336,16 +491,25 @@ struct FrontDoor::Impl {
                          internal_error("worker shard " +
                                         std::to_string(shard) +
                                         " unavailable (restart budget spent)"),
-                         /*include_timing=*/false));
+                         /*include_timing=*/false, 0.0, trace_id));
       return;
     }
 
     Link& link = client.links[shard];
-    link.pending.push_back(Pending{id, line, /*sent=*/link.fd >= 0});
+    Pending pending;
+    pending.id = id;
+    pending.line = line;
+    pending.sent = link.fd >= 0;
+    pending.trace_id = std::move(trace_id);
+    pending.trace_parent = std::move(trace_parent);
+    pending.arrival_ms = fd_now_ms();
+    if (!pending.trace_id.empty()) pending.arrival_us = sink_now_us();
     if (link.fd >= 0) {
       link.outbuf.append(line);
       link.outbuf.push_back('\n');
+      pending.sent_us = pending.arrival_us;
     }
+    link.pending.push_back(std::move(pending));
     ++total_inflight;
     st_forwarded.fetch_add(1, std::memory_order_relaxed);
     obs::counter("frontdoor.requests.forwarded").add();
@@ -417,12 +581,36 @@ struct FrontDoor::Impl {
       forward_to_client(client, line);
       return;
     }
-    // Final response: settle the oldest outstanding request with this id.
     const std::string id =
         doc && doc->is_object() ? doc->string_or("id", "") : "";
+    if (schema == kStatsSchema) {
+      // A worker's scrape answer: captured for the merged reply, never
+      // relayed raw (the client asked the fleet, not one shard).
+      Link& link = client.links[shard];
+      for (auto it = link.pending.begin(); it != link.pending.end(); ++it) {
+        if (it->probe && it->id == id) {
+          link.pending.erase(it);
+          break;
+        }
+      }
+      for (StatsWait& wait : stats_waits) {
+        if (wait.client != &client) continue;
+        if (shard < wait.shard_ids.size() && wait.shard_ids[shard] == id &&
+            !wait.have[shard]) {
+          wait.have[shard] = true;
+          wait.shard_lines[shard] = line;
+          break;
+        }
+      }
+      return;
+    }
+    // Final response: settle the oldest outstanding request with this id.
     Link& link = client.links[shard];
     for (auto it = link.pending.begin(); it != link.pending.end(); ++it) {
-      if (it->id == id) {
+      if (it->id == id && !it->probe) {
+        relay_latency_ms.observe(
+            static_cast<double>(fd_now_ms() - it->arrival_ms));
+        settle_trace(*it);
         link.pending.erase(it);
         if (total_inflight > 0) --total_inflight;
         st_completed.fetch_add(1, std::memory_order_relaxed);
@@ -440,6 +628,7 @@ struct FrontDoor::Impl {
     for (auto& client : clients) {
       Link& link = client->links[shard];
       for (const Pending& p : link.pending) {
+        if (p.probe) continue;  // stats_tick reports the shard as broken
         st_errors.fetch_add(1, std::memory_order_relaxed);
         obs::counter("frontdoor.requests.error").add();
         answer_locally(*client,
@@ -449,7 +638,7 @@ struct FrontDoor::Impl {
                                           std::to_string(shard) +
                                           " unavailable (restart budget "
                                           "spent)"),
-                           /*include_timing=*/false));
+                           /*include_timing=*/false, 0.0, p.trace_id));
         if (total_inflight > 0) --total_inflight;
       }
       link.pending.clear();
@@ -581,8 +770,11 @@ struct FrontDoor::Impl {
         }
         long long resent = 0;
         for (Pending& p : link.pending) {
-          if (p.sent) ++resent;
+          if (p.sent && !p.probe) ++resent;
           p.sent = true;
+          // First time this line reaches a connected worker closes the
+          // frontdoor.queue span; a crash-resend does not reopen it.
+          if (p.sent_us < 0 && p.arrival_us >= 0) p.sent_us = sink_now_us();
         }
         if (resent > 0) {
           st_retried.fetch_add(resent, std::memory_order_relaxed);
@@ -590,6 +782,110 @@ struct FrontDoor::Impl {
         }
         link.was_connected = true;
       }
+    }
+  }
+
+  /// Emits a worker-reported number preserving integer-ness (counters stay
+  /// unquoted integers through the double-backed parser round trip).
+  static void emit_stat_number(JsonWriter& w, double v) {
+    const auto i = static_cast<long long>(v);
+    if (v == static_cast<double>(i)) {
+      w.value(i);
+    } else {
+      w.value(v);
+    }
+  }
+
+  /// The merged scrape reply: the front door's own name-sorted aggregates
+  /// (same key discipline as serve_stats_json) plus a `shards` array
+  /// re-emitting each worker's numeric fields, or `{"broken":true,...}`
+  /// for a shard that is dead or never answered before the deadline.
+  std::string merged_stats_json(const StatsWait& wait) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("schema").value(kStatsSchema);
+    if (!wait.probe_id.empty()) w.key("id").value(wait.probe_id);
+    w.key("role").value("frontdoor");
+    w.key("completed").value(st_completed.load(std::memory_order_relaxed));
+    w.key("errors").value(st_errors.load(std::memory_order_relaxed));
+    w.key("hung").value(st_hung.load(std::memory_order_relaxed));
+    w.key("p50_ms").value(relay_latency_ms.percentile(0.50));
+    w.key("p95_ms").value(relay_latency_ms.percentile(0.95));
+    w.key("queue_depth").value(static_cast<long long>(total_inflight));
+    w.key("received").value(st_received.load(std::memory_order_relaxed));
+    w.key("rejected").value(st_rejected.load(std::memory_order_relaxed));
+    w.key("req_rate").value(req_rate.rate());
+    w.key("restarts").value(st_restarts.load(std::memory_order_relaxed));
+    w.key("shards").begin_array();
+    for (std::size_t k = 0; k < wait.have.size(); ++k) {
+      w.begin_object();
+      if (!wait.have[k]) {
+        w.key("broken").value(true);
+        w.key("shard").value(static_cast<long long>(k));
+        w.end_object();
+        continue;
+      }
+      const auto doc = parse_json(wait.shard_lines[k]);
+      bool shard_key_emitted = false;
+      for (const char* field : kShardStatsFields) {
+        if (!shard_key_emitted && std::string_view(field) > "shard") {
+          w.key("shard").value(static_cast<long long>(k));
+          shard_key_emitted = true;
+        }
+        const JsonValue* v = doc ? doc->find(field) : nullptr;
+        if (v != nullptr && v->is_number()) {
+          w.key(field);
+          emit_stat_number(w, v->number);
+        }
+      }
+      if (!shard_key_emitted) w.key("shard").value(static_cast<long long>(k));
+      w.end_object();
+    }
+    w.end_array();
+    w.key("uptime_s")
+        .value(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started)
+                   .count());
+    w.key("window_s").value(60);
+    w.key("workers").value(static_cast<long long>(workers.size()));
+    w.end_object();
+    return w.str();
+  }
+
+  /// Resolves stats fan-outs: a wait completes when every live shard has
+  /// answered, or at its deadline (stragglers become broken entries). The
+  /// leftover probe Pendings of a deadline-expired wait are dropped so
+  /// they cannot pin links or stall the drain.
+  void stats_tick() {
+    if (stats_waits.empty()) return;
+    const long long now = fd_now_ms();
+    for (auto it = stats_waits.begin(); it != stats_waits.end();) {
+      StatsWait& wait = *it;
+      bool done = now >= wait.deadline_ms;
+      if (!done) {
+        done = true;
+        for (std::size_t k = 0; k < wait.have.size(); ++k) {
+          if (!wait.have[k] && !workers[k].broken) {
+            done = false;
+            break;
+          }
+        }
+      }
+      if (!done) {
+        ++it;
+        continue;
+      }
+      for (std::size_t k = 0; k < wait.shard_ids.size(); ++k) {
+        auto& pending = wait.client->links[k].pending;
+        for (auto pit = pending.begin(); pit != pending.end(); ++pit) {
+          if (pit->probe && pit->id == wait.shard_ids[k]) {
+            pending.erase(pit);
+            break;
+          }
+        }
+      }
+      forward_to_client(*wait.client, merged_stats_json(wait));
+      it = stats_waits.erase(it);
     }
   }
 
@@ -638,6 +934,13 @@ struct FrontDoor::Impl {
         ++it;
         continue;
       }
+      Client* gone = &c;
+      stats_waits.erase(
+          std::remove_if(stats_waits.begin(), stats_waits.end(),
+                         [gone](const StatsWait& w) {
+                           return w.client == gone;
+                         }),
+          stats_waits.end());
       close_client(c);
       it = clients.erase(it);
     }
@@ -667,6 +970,7 @@ struct FrontDoor::Impl {
       reap_workers();
       heartbeat_tick();
       ensure_links();
+      stats_tick();
       sweep_clients();
       if (draining && clients.empty()) break;
 
@@ -865,6 +1169,32 @@ std::vector<pid_t> FrontDoor::worker_pids() const {
   pids.reserve(impl_->workers.size());
   for (const auto& w : impl_->workers) pids.push_back(w.pid);
   return pids;
+}
+
+std::string frontdoor_stats_line(const FrontDoorStats& stats) {
+  // Name-sorted, the documented CLI metrics contract — same discipline as
+  // `--metrics` tables and serve_stats_json, so log scrapers can binary
+  // search and diffs stay stable as fields are added.
+  const struct {
+    const char* name;
+    long long value;
+  } fields[] = {
+      {"completed", stats.completed}, {"errors", stats.errors},
+      {"forwarded", stats.forwarded}, {"hung", stats.hung_restarts},
+      {"partials", stats.partials},   {"received", stats.received},
+      {"rejected", stats.rejected},   {"restarts", stats.restarts},
+      {"retried", stats.retried},
+  };
+  std::string out = "soctest-frontdoor:";
+  bool first = true;
+  for (const auto& field : fields) {
+    out += first ? " " : ", ";
+    first = false;
+    out += std::to_string(field.value);
+    out += ' ';
+    out += field.name;
+  }
+  return out;
 }
 
 FrontDoorStats FrontDoor::stats() const {

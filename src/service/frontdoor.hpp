@@ -92,6 +92,18 @@ struct FrontDoorConfig {
   /// buffered, and no bytes read for this long (half-open peers must not
   /// hold slots forever); <= 0 disables.
   double idle_timeout_ms = 60000.0;
+  /// When non-empty, each worker is spawned with `--trace-dir` pointing
+  /// here, so every process of the fleet drops its soctest-trace-v1 shard
+  /// (worker-<pid>, frontdoor-<pid>, ...) into one directory for
+  /// `soctest-perf trace-merge`. The front door's own shard is written by
+  /// its driver (tools/soctest_frontdoor.cpp), not by this class.
+  std::string trace_dir;
+  /// When non-empty, append one minimal `"kind":"rejected"` ledger record
+  /// (id, shard, retry_after_ms, trace_id) per admission-control
+  /// rejection, so loadgen's rejected count reconciles offline against
+  /// the solve ledgers. Completed solves are recorded by the workers'
+  /// own ledgers (worker_ledgers), never here.
+  std::string ledger_path;
 };
 
 struct FrontDoorStats {
@@ -145,5 +157,11 @@ std::uint64_t request_fingerprint(const std::string& line);
 
 /// request_fingerprint(line) % num_workers (0 when num_workers <= 1).
 int shard_for_line(const std::string& line, int num_workers);
+
+/// The front door's exit stats line ("soctest-frontdoor: 3 completed,
+/// ... 0 retried"), fields name-sorted like every other CLI metrics dump
+/// (the documented contract `--metrics` and `soctest-perf diff` rely on).
+/// Exposed pure so a test can pin the ordering.
+std::string frontdoor_stats_line(const FrontDoorStats& stats);
 
 }  // namespace soctest

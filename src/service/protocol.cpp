@@ -1,8 +1,10 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <map>
 
+#include "common/sharded_cache.hpp"
 #include "report/json.hpp"
 
 namespace soctest {
@@ -144,6 +146,27 @@ StatusOr<ServiceRequest> parse_request(const std::string& line) {
     } else if (name == "stream") {
       if (!value.is_bool()) return bad_field(name, "expected a boolean");
       request.stream = value.boolean;
+    } else if (name == "trace") {
+      if (!value.is_object()) return bad_field(name, "expected an object");
+      for (const auto& [tname, tvalue] : value.members) {
+        if (tname == "trace_id") {
+          if (!tvalue.is_string() || tvalue.text.empty()) {
+            return bad_field("trace.trace_id", "expected a non-empty string");
+          }
+          request.trace_id = tvalue.text;
+        } else if (tname == "parent_span") {
+          if (!tvalue.is_string()) {
+            return bad_field("trace.parent_span", "expected a string");
+          }
+          request.trace_parent = tvalue.text;
+        } else {
+          return invalid_argument_error("unknown request field 'trace." +
+                                        tname + "'");
+        }
+      }
+      if (request.trace_id.empty()) {
+        return bad_field(name, "trace object requires trace_id");
+      }
     } else {
       return invalid_argument_error("unknown request field '" + name + "'");
     }
@@ -189,6 +212,14 @@ std::string request_json(const ServiceRequest& request) {
   }
   if (request.no_cache) w.key("no_cache").value(true);
   if (request.stream) w.key("stream").value(true);
+  if (!request.trace_id.empty()) {
+    w.key("trace").begin_object();
+    w.key("trace_id").value(request.trace_id);
+    if (!request.trace_parent.empty()) {
+      w.key("parent_span").value(request.trace_parent);
+    }
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -198,6 +229,7 @@ std::string partial_json(const PartialRecord& partial) {
   w.begin_object();
   w.key("schema").value(kPartialSchema);
   w.key("id").value(partial.id);
+  if (!partial.trace_id.empty()) w.key("trace_id").value(partial.trace_id);
   w.key("seq").value(partial.seq);
   w.key("widths").begin_array();
   for (int width : partial.widths) w.value(width);
@@ -257,6 +289,7 @@ std::string response_json(const SolveOutcome& outcome,
   w.begin_object();
   w.key("schema").value(kResponseSchema);
   w.key("id").value(meta.id);
+  if (!meta.trace_id.empty()) w.key("trace_id").value(meta.trace_id);
   w.key("ok").value(outcome.ok);
   if (!outcome.ok) {
     w.key("error").begin_object();
@@ -285,11 +318,13 @@ std::string response_json(const SolveOutcome& outcome,
 }
 
 std::string error_response_json(const std::string& id, const Status& status,
-                                bool include_timing, double wall_ms) {
+                                bool include_timing, double wall_ms,
+                                const std::string& trace_id) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value(kResponseSchema);
   w.key("id").value(id);
+  if (!trace_id.empty()) w.key("trace_id").value(trace_id);
   w.key("ok").value(false);
   w.key("error").begin_object();
   w.key("code").value(status_code_name(status.code()));
@@ -353,11 +388,13 @@ std::string oversized_line_response_json() {
 }
 
 std::string rejection_json(const std::string& id, double retry_after_ms,
-                           const std::string& message) {
+                           const std::string& message,
+                           const std::string& trace_id) {
   JsonWriter w;
   w.begin_object();
   w.key("schema").value(kResponseSchema);
   w.key("id").value(id);
+  if (!trace_id.empty()) w.key("trace_id").value(trace_id);
   w.key("ok").value(false);
   w.key("error").begin_object();
   w.key("code").value(status_code_name(StatusCode::kResourceExhausted));
@@ -365,6 +402,73 @@ std::string rejection_json(const std::string& id, double retry_after_ms,
   w.end_object();
   w.key("cached").value(false);
   w.key("retry_after_ms").value(retry_after_ms);
+  w.end_object();
+  return w.str();
+}
+
+std::string trace_span_guid(std::string_view trace_id,
+                            std::string_view label) {
+  std::string key;
+  key.reserve(trace_id.size() + 1 + label.size());
+  key.append(trace_id);
+  key.push_back('/');
+  key.append(label);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fnv1a64(key)));
+  return std::string(buf, 16);
+}
+
+void stamp_trace(obs::Span& span, const ServiceRequest& request,
+                 std::string_view span_name) {
+  // The untraced fast path: one empty() check, no Arg construction.
+  if (request.trace_id.empty() || !span.active()) return;
+  span.arg({"trace_id", request.trace_id});
+  span.arg({"span_guid", trace_span_guid(request.trace_id, span_name)});
+  if (!request.trace_parent.empty()) {
+    span.arg({"parent_guid", request.trace_parent});
+  }
+}
+
+std::string stats_probe_json(const std::string& id) {
+  return probe_json(kStatsSchema, id);
+}
+
+bool parse_stats_probe(const std::string& line, std::string* id) {
+  if (line.find(kStatsSchema) == std::string::npos) return false;
+  const auto doc = parse_json(line);
+  if (!doc || !doc->is_object()) return false;
+  if (doc->string_or("schema", "") != kStatsSchema) return false;
+  // Replies reuse the schema tag; only a reply carries `role`.
+  if (doc->find("role") != nullptr) return false;
+  *id = doc->string_or("id", "");
+  return true;
+}
+
+std::string serve_stats_json(const ServeStatsSnapshot& snapshot) {
+  const long long lookups = snapshot.cache_hits + snapshot.cache_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(snapshot.cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kStatsSchema);
+  if (!snapshot.id.empty()) w.key("id").value(snapshot.id);
+  w.key("role").value(snapshot.role);
+  w.key("cache_hit_rate").value(hit_rate);
+  w.key("cache_hits").value(snapshot.cache_hits);
+  w.key("cache_misses").value(snapshot.cache_misses);
+  w.key("completed").value(snapshot.completed);
+  w.key("errors").value(snapshot.errors);
+  w.key("p50_ms").value(snapshot.p50_ms);
+  w.key("p95_ms").value(snapshot.p95_ms);
+  w.key("queue_depth").value(snapshot.queue_depth);
+  w.key("received").value(snapshot.received);
+  w.key("rejected").value(snapshot.rejected);
+  w.key("req_rate").value(snapshot.req_rate);
+  w.key("uptime_s").value(snapshot.uptime_s);
+  w.key("window_s").value(snapshot.window_s);
   w.end_object();
   return w.str();
 }

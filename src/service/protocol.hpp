@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "runtime/status.hpp"
 #include "tam/tam_problem.hpp"
 #include "tam/width_partition.hpp"
@@ -31,6 +33,7 @@ inline constexpr const char* kResponseSchema = "soctest-resp-v1";
 inline constexpr const char* kPartialSchema = "soctest-partial-v1";
 inline constexpr const char* kPingSchema = "soctest-ping-v1";
 inline constexpr const char* kPongSchema = "soctest-pong-v1";
+inline constexpr const char* kStatsSchema = "soctest-stats-v1";
 
 /// Hard cap on one protocol line, enforced by every poll-based line reader
 /// (server transport, front door, clients). Sized to hold a request whose
@@ -80,6 +83,14 @@ struct ServiceRequest {
   /// Delivery-only: it never affects the solve or the cache key (a cache
   /// hit simply answers with the final response and no partials).
   bool stream = false;
+  /// Distributed-trace context from the optional `trace` request object
+  /// (docs/observability.md). `trace_id` groups spans recorded in different
+  /// processes; `trace_parent` is the hex span guid (see trace_span_guid)
+  /// of the caller's span, adopted as `parent_guid` by the worker's
+  /// service.request span. Both empty = untraced request; like `stream`,
+  /// delivery-only — never part of the solve or the cache key.
+  std::string trace_id;
+  std::string trace_parent;
 };
 
 /// Parses one request line. Unknown members are rejected (they are most
@@ -113,6 +124,10 @@ struct SolveOutcome {
 /// Per-delivery envelope around an outcome.
 struct ResponseMeta {
   std::string id;
+  /// Echoed request trace_id (empty = untraced request, field omitted) so
+  /// clients and ledgers can attribute a response without keeping their own
+  /// id→trace map across retries.
+  std::string trace_id;
   bool cached = false;
   /// Timing fields are omitted when include_timing is false (serial mode's
   /// determinism contract).
@@ -127,14 +142,17 @@ std::string response_json(const SolveOutcome& outcome,
 
 /// Serializes a request-level failure (malformed line, bad field, server
 /// error) as one soctest-resp-v1 line with ok=false and an error object.
+/// `trace_id`, when non-empty, is echoed like response_json does.
 std::string error_response_json(const std::string& id, const Status& status,
                                 bool include_timing = true,
-                                double wall_ms = 0.0);
+                                double wall_ms = 0.0,
+                                const std::string& trace_id = "");
 
 /// Serializes an admission-control rejection: ok=false, error code
 /// resource_exhausted, plus retry_after_ms backpressure advice.
 std::string rejection_json(const std::string& id, double retry_after_ms,
-                           const std::string& message);
+                           const std::string& message,
+                           const std::string& trace_id = "");
 
 /// Liveness probe: a soctest-ping-v1 line is answered with a matching
 /// soctest-pong-v1 line by the transport layer itself — never queued behind
@@ -166,6 +184,7 @@ const char* power_mode_name(PowerConstraintMode mode);
 /// from a serial server stay byte-identical across runs.
 struct PartialRecord {
   std::string id;
+  std::string trace_id;  ///< echoed request trace_id; empty = omitted
   long long seq = 1;
   std::vector<int> widths;
   long long t_cycles = -1;
@@ -191,5 +210,88 @@ struct ClientBatchSummary {
 ClientBatchSummary summarize_client_batch(
     const std::vector<std::string>& request_lines,
     const std::vector<std::string>& response_lines);
+
+// ---------------------------------------------------------------------------
+// Distributed-trace span linkage (docs/observability.md).
+//
+// Cross-process span links are content-derived hex-string guids, not the
+// sink's integer span ids: integer ids restart at 1 in every process, and
+// JSON numbers travel through a double-backed parser that cannot hold a
+// random 64-bit id exactly. A span's guid is trace_span_guid(trace_id,
+// label); both ends of a parent/child edge can compute it independently,
+// so the frontdoor can name the worker span it is about to cause without a
+// round trip. Spans carry the links as string args (`trace_id`,
+// `span_guid`, `parent_guid`); `soctest-perf trace-merge` joins
+// parent_guid -> span_guid across shards.
+
+/// 16-lowercase-hex-char guid for the span `label` of trace `trace_id`
+/// (fnv1a64 of "trace_id/label").
+std::string trace_span_guid(std::string_view trace_id, std::string_view label);
+
+/// Attaches the cross-process link args to a live span: `trace_id`,
+/// `span_guid` = trace_span_guid(trace_id, span_name), and `parent_guid`
+/// from the request's parent_span when present. A no-op — zero allocations,
+/// zero Arg construction — when the request is untraced or the span is not
+/// recording, which is what keeps tracing free on the untraced hot path.
+void stamp_trace(obs::Span& span, const ServiceRequest& request,
+                 std::string_view span_name);
+
+// ---------------------------------------------------------------------------
+// Live fleet scraping (soctest-stats-v1, docs/service.md).
+//
+// A stats probe is answered by the serve/frontdoor poll loops without
+// queueing, exactly like ping/pong; the reply reuses the same schema tag
+// and is told apart by its `role` member (a probe has none). The frontdoor
+// fans the probe to every worker and returns one merged reply whose
+// `shards` array holds each worker's own reply (plus `shard`, or
+// `{"shard":k,"broken":true}` for a dead shard).
+
+/// Every member name that may appear in a soctest-stats-v1 reply (probe
+/// members included), name-sorted. This is the scrape contract: check_docs
+/// diffs it bidirectionally against the field catalog in docs/service.md,
+/// and soctest-top renders from it.
+inline constexpr const char* kStatsFields[] = {
+    "broken",      "cache_hit_rate", "cache_hits", "cache_misses",
+    "completed",   "errors",         "hung",       "id",
+    "p50_ms",      "p95_ms",         "queue_depth", "received",
+    "rejected",    "req_rate",       "restarts",   "role",
+    "schema",      "shard",          "shards",     "uptime_s",
+    "window_s",    "workers",
+};
+
+/// One process's scrape answer. Counters are cumulative since process
+/// start; req_rate/p50_ms/p95_ms are computed over the trailing
+/// `window_s`-second sliding window (obs::RateCounter /
+/// obs::WindowedHistogram).
+struct ServeStatsSnapshot {
+  std::string id;    ///< echoed probe id (may be empty)
+  std::string role;  ///< "serve" or "frontdoor"
+  long long received = 0;
+  long long completed = 0;
+  long long rejected = 0;
+  long long errors = 0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long queue_depth = 0;
+  double req_rate = 0.0;  ///< requests/second over the window
+  double p50_ms = 0.0;    ///< windowed solve-latency percentiles
+  double p95_ms = 0.0;
+  double uptime_s = 0.0;
+  int window_s = 60;
+};
+
+/// The probe line: {"schema":"soctest-stats-v1"} plus the echo id.
+std::string stats_probe_json(const std::string& id);
+
+/// True iff `line` is a stats *probe* (schema matches and there is no
+/// `role` member — replies reuse the schema tag); fills `*id`. Cheap on
+/// non-probe traffic: a substring probe gates the JSON parse.
+bool parse_stats_probe(const std::string& line, std::string* id);
+
+/// Serializes one process's reply (keys: schema, id when non-empty, role,
+/// then the numeric fields name-sorted — the same contract as the CLI
+/// metrics dump). cache_hit_rate is derived: hits / (hits + misses), 0
+/// when the cache has seen nothing.
+std::string serve_stats_json(const ServeStatsSnapshot& snapshot);
 
 }  // namespace soctest

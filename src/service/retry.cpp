@@ -40,6 +40,26 @@ std::string extract_id(const std::string& line) {
   return doc->string_or("id", "");
 }
 
+/// Lifts the request's trace context (id + the caller-authored root span
+/// guid) so the retry layer can record its attempt spans under it.
+void extract_trace(const std::string& line, std::string* trace_id,
+                   std::string* span_guid) {
+  std::optional<JsonValue> doc = parse_json(line);
+  if (!doc || !doc->is_object()) return;
+  const JsonValue* trace = doc->find("trace");
+  if (trace == nullptr || !trace->is_object()) return;
+  *trace_id = trace->string_or("trace_id", "");
+  if (trace_id->empty()) return;
+  *span_guid = trace->string_or("parent_span", "");
+  if (span_guid->empty())
+    *span_guid = trace_span_guid(*trace_id, "client.request");
+}
+
+double sink_now_us() {
+  obs::TraceSink* sink = obs::current_sink();
+  return sink != nullptr ? sink->now_us() : -1.0;
+}
+
 /// What one received line means to the retry layer.
 struct Classified {
   enum Kind { kIgnore, kPartial, kFinal } kind = kIgnore;
@@ -100,6 +120,15 @@ struct RetryingClient::Req {
   bool outstanding = false;   ///< sent, awaiting its final
   bool done = false;
   double resend_due_ms = -1;  ///< >= 0: resend scheduled (retry_after_ms)
+  /// Trace context lifted from the request line (empty = untraced). The
+  /// retry layer records one client.request root span (first send to
+  /// settle, guid = the line's parent_span) and one client.attempt child
+  /// per transmission, so the merged timeline shows every resend.
+  std::string trace_id;
+  std::string span_guid;
+  double first_send_us = -1;    ///< sink time of the first transmission
+  double attempt_start_us = -1; ///< open attempt's start; -1 = none open
+  int open_attempt = 0;         ///< 1-based number of the open attempt
 };
 
 RetryingClient::RetryingClient(std::string endpoint, RetryPolicy policy)
@@ -128,6 +157,7 @@ StatusOr<std::vector<std::string>> RetryingClient::run_batch(
     Req r;
     r.line = line;
     r.id = extract_id(line);
+    extract_trace(line, &r.trace_id, &r.span_guid);
     reqs.push_back(std::move(r));
   }
   // (req index, line) in arrival order; a resend first erases the previous
@@ -140,11 +170,46 @@ StatusOr<std::vector<std::string>> RetryingClient::run_batch(
   double last_rx_ms = now_ms();
   int consecutive_connect_failures = 0;
 
+  // Closes the open client.attempt span (if any): one span per
+  // transmission, sibling children of the request's client.request root.
+  const auto close_attempt = [](Req& r) {
+    if (r.attempt_start_us < 0) return;
+    const double now = sink_now_us();
+    if (now >= 0) {
+      obs::emit_span(
+          "client.attempt", r.attempt_start_us, now - r.attempt_start_us,
+          {obs::Arg("trace_id", r.trace_id),
+           obs::Arg("span_guid",
+                    trace_span_guid(r.trace_id,
+                                    "client.attempt." +
+                                        std::to_string(r.open_attempt))),
+           obs::Arg("parent_guid", r.span_guid),
+           obs::Arg("attempt", r.open_attempt)});
+    }
+    r.attempt_start_us = -1;
+  };
+
+  // Settles the trace for a finished request: closes the last attempt and
+  // emits the client.request root span (first send to settle) whose guid
+  // the request line already advertised as `trace.parent_span`.
+  const auto finish_trace = [&close_attempt](Req& r) {
+    if (r.trace_id.empty() || r.first_send_us < 0) return;
+    close_attempt(r);
+    const double now = sink_now_us();
+    if (now < 0) return;
+    obs::emit_span("client.request", r.first_send_us, now - r.first_send_us,
+                   {obs::Arg("trace_id", r.trace_id),
+                    obs::Arg("span_guid", r.span_guid),
+                    obs::Arg("req_id", r.id),
+                    obs::Arg("attempts", r.attempts)});
+  };
+
   const auto give_up = [&](std::size_t idx) {
     Req& r = reqs[idx];
     r.done = true;
     r.outstanding = false;
     r.resend_due_ms = -1;
+    finish_trace(r);
     ++stats_.gave_up;
     obs::counter("client.retry.gave_up").add();
     out.emplace_back(
@@ -152,7 +217,7 @@ StatusOr<std::vector<std::string>> RetryingClient::run_batch(
                  r.id,
                  io_error("client: retry budget exhausted after " +
                           std::to_string(r.attempts) + " attempts"),
-                 /*include_timing=*/false));
+                 /*include_timing=*/false, 0.0, r.trace_id));
     --remaining;
   };
 
@@ -176,6 +241,15 @@ StatusOr<std::vector<std::string>> RetryingClient::run_batch(
     ++r.attempts;
     ++stats_.attempts;
     obs::counter("client.retry.attempts").add();
+    if (!r.trace_id.empty()) {
+      close_attempt(r);
+      const double now = sink_now_us();
+      if (now >= 0) {
+        if (r.first_send_us < 0) r.first_send_us = now;
+        r.attempt_start_us = now;
+        r.open_attempt = r.attempts;
+      }
+    }
     r.resend_due_ms = -1;
     std::string buf = r.line;
     buf.push_back('\n');
@@ -228,6 +302,7 @@ StatusOr<std::vector<std::string>> RetryingClient::run_batch(
     r.done = true;
     r.outstanding = false;
     r.resend_due_ms = -1;
+    finish_trace(r);
     out.emplace_back(match, line);
     --remaining;
   };

@@ -133,6 +133,7 @@ void SolveService::submit(const std::string& line,
                           std::function<void(std::string)> partial) {
   received_.fetch_add(1, std::memory_order_relaxed);
   obs::counter("service.requests.received").add();
+  req_rate_.add();
 
   StatusOr<ServiceRequest> parsed = parse_request(line);
   if (!parsed.ok()) {
@@ -147,7 +148,8 @@ void SolveService::submit(const std::string& line,
   if (draining()) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     obs::counter("service.requests.rejected").add();
-    done(rejection_json(id, config_.retry_after_ms, "server draining"));
+    done(rejection_json(id, config_.retry_after_ms, "server draining",
+                        parsed.value().trace_id));
     return;
   }
 
@@ -174,7 +176,8 @@ void SolveService::submit(const std::string& line,
     job->done(rejection_json(id, config_.retry_after_ms,
                              "queue full (" +
                                  std::to_string(config_.queue_capacity) +
-                                 " jobs in flight)"));
+                                 " jobs in flight)",
+                             job->request.trace_id));
     return;
   }
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -201,6 +204,9 @@ void SolveService::run_job(const std::shared_ptr<Job>& job) {
                                        {"solver",
                                         inner_solver_name(
                                             job->request.solver)}});
+    // Adopt the caller's trace context: this span becomes the worker-side
+    // child of the client/frontdoor span named in trace.parent_span.
+    stamp_trace(span, job->request, "service.request");
     response = execute(job->request, &cached, job->partial);
     if (span.active()) span.arg({"cached", cached});
   }
@@ -214,14 +220,17 @@ std::string SolveService::execute(
   const auto start = Clock::now();
   ResponseMeta meta;
   meta.id = request.id;
+  meta.trace_id = request.trace_id;
   meta.include_timing = !config_.serial;
 
   StatusOr<Soc> loaded = load_request_soc(request);
   if (!loaded.ok()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     obs::counter("service.requests.error").add();
+    latency_ms_.observe(ms_since(start));
     return error_response_json(request.id, loaded.status(),
-                               meta.include_timing, ms_since(start));
+                               meta.include_timing, ms_since(start),
+                               request.trace_id);
   }
   const Soc soc = loaded.take();
 
@@ -235,6 +244,7 @@ std::string SolveService::execute(
       *cached = true;
       meta.queue_ms = 0.0;
       meta.wall_ms = ms_since(start);
+      latency_ms_.observe(meta.wall_ms);
       append_service_ledger(request, *hit, meta.wall_ms);
       if (hit->ok) {
         obs::counter("service.requests.ok").add();
@@ -267,6 +277,7 @@ std::string SolveService::execute(
       partial_best = snapshot.t_cycles;
       PartialRecord record;
       record.id = request.id;
+      record.trace_id = request.trace_id;
       record.seq = ++partial_seq;
       record.widths = snapshot.bus_widths;
       record.t_cycles = snapshot.t_cycles;
@@ -297,6 +308,7 @@ std::string SolveService::execute(
   if (obs::enabled()) {
     obs::histogram("service.solve.wall_ms").observe(meta.wall_ms);
   }
+  latency_ms_.observe(meta.wall_ms);
   append_service_ledger(request, outcome, meta.wall_ms);
   return response_json(outcome, meta);
 }
@@ -318,6 +330,7 @@ void SolveService::append_service_ledger(const ServiceRequest& request,
   record.t_cycles = outcome.t_cycles;
   record.solve_mode = outcome.solve_mode;
   record.wall_ms = wall_ms;
+  record.trace_id = request.trace_id;
   record.exit_code = outcome.ok ? (outcome.feasible ? 0 : 1) : kExitInternal;
   // Deliberately no counter snapshot: the registry is cumulative across the
   // server's lifetime, so per-request values would be meaningless.
@@ -340,6 +353,25 @@ ServiceStats SolveService::stats() const {
   s.cache_hits = cache.hits;
   s.cache_misses = cache.misses;
   return s;
+}
+
+ServeStatsSnapshot SolveService::stats_snapshot() const {
+  ServeStatsSnapshot snap;
+  snap.role = "serve";
+  const ServiceStats s = stats();
+  snap.received = s.received;
+  snap.completed = s.completed;
+  snap.rejected = s.rejected;
+  snap.errors = s.errors;
+  snap.cache_hits = s.cache_hits;
+  snap.cache_misses = s.cache_misses;
+  snap.queue_depth = static_cast<long long>(queue_depth());
+  snap.req_rate = req_rate_.rate();
+  snap.p50_ms = latency_ms_.percentile(0.50);
+  snap.p95_ms = latency_ms_.percentile(0.95);
+  snap.uptime_s =
+      std::chrono::duration<double>(Clock::now() - started_).count();
+  return snap;
 }
 
 }  // namespace soctest

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
 
@@ -97,6 +99,10 @@ class SolveService {
 
   ServiceStats stats() const;
   ResultCache::Stats cache_stats() const { return cache_.stats(); }
+  /// The soctest-stats-v1 scrape answer (role "serve"): cumulative
+  /// counters plus the sliding-window req/s and latency percentiles.
+  /// Lock-cheap — safe to call from the transport poll loop per probe.
+  ServeStatsSnapshot stats_snapshot() const;
   const ServiceConfig& config() const { return config_; }
 
   /// Current queued-or-running job count (the admission-control measure).
@@ -116,6 +122,12 @@ class SolveService {
   ServiceConfig config_;
   ResultCache cache_;
   std::unique_ptr<ThreadPool> pool_;  ///< null in serial mode
+  /// Sliding-window telemetry behind stats_snapshot(); direct members (not
+  /// registry-interned) because the window is per-service, not global.
+  obs::RateCounter req_rate_;
+  obs::WindowedHistogram latency_ms_;
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
   std::atomic<bool> draining_{false};
   std::atomic<long long> in_flight_{0};
   std::atomic<long long> received_{0};

@@ -182,6 +182,14 @@ void pump(SolveService& service, int in_fd, int out_fd) {
       writer.write_line(pong_json(ping_id));
       continue;
     }
+    std::string stats_id;
+    if (parse_stats_probe(line, &stats_id)) {
+      obs::counter("service.transport.stats_probes").add();
+      ServeStatsSnapshot snap = service.stats_snapshot();
+      snap.id = stats_id;
+      writer.write_line(serve_stats_json(snap));
+      continue;
+    }
     barrier.submitted();
     service.submit(
         line,
@@ -282,6 +290,16 @@ void submit_conn_line(SolveService& service,
   if (parse_ping(line, &ping_id)) {
     obs::counter("service.transport.pings").add();
     conn->queue_line(pong_json(ping_id));
+    return;
+  }
+  std::string stats_id;
+  if (parse_stats_probe(line, &stats_id)) {
+    // Answered from the poll loop like ping/pong: a scrape must see the
+    // queue, not stand in it.
+    obs::counter("service.transport.stats_probes").add();
+    ServeStatsSnapshot snap = service.stats_snapshot();
+    snap.id = stats_id;
+    conn->queue_line(serve_stats_json(snap));
     return;
   }
   conn->submitted.fetch_add(1, std::memory_order_relaxed);

@@ -306,5 +306,24 @@ TEST(FrontDoorFaults, StartFailsFastOnAMissingWorkerBinary) {
   EXPECT_FALSE(st.ok());
 }
 
+TEST(FrontDoorStats, ExitLineIsNameSortedPerTheCliMetricsContract) {
+  // The documented CLI metrics contract (docs/observability.md) orders
+  // every stats surface by name; the drain line must match it so log
+  // scrapers can pin field positions.
+  FrontDoorStats stats;
+  stats.received = 9;
+  stats.forwarded = 8;
+  stats.rejected = 1;
+  stats.completed = 7;
+  stats.partials = 3;
+  stats.errors = 2;
+  stats.restarts = 4;
+  stats.retried = 5;
+  stats.hung_restarts = 6;
+  EXPECT_EQ(frontdoor_stats_line(stats),
+            "soctest-frontdoor: 7 completed, 2 errors, 8 forwarded, 6 hung, "
+            "3 partials, 9 received, 1 rejected, 4 restarts, 5 retried");
+}
+
 }  // namespace
 }  // namespace soctest

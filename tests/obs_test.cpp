@@ -20,6 +20,7 @@
 #include "obs/obs.hpp"
 #include "report/json.hpp"
 #include "report/run_report.hpp"
+#include "service/protocol.hpp"
 
 namespace {
 
@@ -327,6 +328,92 @@ TEST(ObsLedger, EnvVarNamesTheDefaultLedgerPath) {
   ::setenv("SOCTEST_LEDGER", "from_env.jsonl", 1);
   EXPECT_EQ(obs::ledger_path_from_env(), "from_env.jsonl");
   ::unsetenv("SOCTEST_LEDGER");
+}
+
+TEST(ObsLedger, RejectionRecordIsMinimalAndCarriesTheTraceId) {
+  obs::RejectionRecord record;
+  record.id = "req-9";
+  record.shard = 1;
+  record.retry_after_ms = 50.0;
+  record.trace_id = "deadbeefdeadbeef";
+  const std::string line = obs::rejection_record_json(record);
+  const auto doc = parse_json(line);
+  ASSERT_TRUE(doc.has_value()) << line;
+  EXPECT_EQ(doc->string_or("schema", ""), "soctest-ledger-v1");
+  EXPECT_EQ(doc->string_or("kind", ""), "rejected");
+  EXPECT_EQ(doc->string_or("id", ""), "req-9");
+  EXPECT_DOUBLE_EQ(doc->number_or("shard", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(doc->number_or("retry_after_ms", -1.0), 50.0);
+  EXPECT_EQ(doc->string_or("trace_id", ""), "deadbeefdeadbeef");
+
+  // Untraced rejections omit the field rather than writing an empty string.
+  record.trace_id.clear();
+  EXPECT_EQ(obs::rejection_record_json(record).find("trace_id"),
+            std::string::npos);
+}
+
+TEST(ObsRateCounter, WindowedSumAndShortHorizonRate) {
+  obs::RateCounter rate(60);
+  EXPECT_EQ(rate.sum(), 0);
+  EXPECT_DOUBLE_EQ(rate.rate(), 0.0);
+  rate.add(5);
+  rate.add();
+  EXPECT_EQ(rate.sum(), 6);
+  // A counter younger than its window divides by its lived span (floored
+  // at one second), not the full window: 6 events in <=1s is 6/s, not 0.1.
+  EXPECT_DOUBLE_EQ(rate.rate(), 6.0);
+  rate.reset();
+  EXPECT_EQ(rate.sum(), 0);
+}
+
+TEST(ObsWindowedHistogram, PercentileInterpolatesWithinTheWindow) {
+  obs::WindowedHistogram hist(60);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.95), 0.0);
+  for (int i = 1; i <= 100; ++i) hist.observe(static_cast<double>(i));
+  const auto snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_DOUBLE_EQ(snap.sum, 5050.0);
+  // Power-of-two buckets are coarse; the estimate must land in the right
+  // bucket neighborhood, not exactly on the sample percentile.
+  const double p50 = hist.percentile(0.50);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  const double p95 = hist.percentile(0.95);
+  EXPECT_GE(p95, 64.0);
+  EXPECT_LE(p95, 128.0);
+  // The static estimator over the wire-format snapshot agrees with the
+  // instance one — soctest-top consumes merged buckets this way.
+  EXPECT_DOUBLE_EQ(obs::WindowedHistogram::percentile_of(snap, 0.95), p95);
+}
+
+TEST(ObsEmitSpan, AppendsACompletedRootSpanWithArgs) {
+  obs::TraceSink sink;
+  {
+    obs::TraceSession session(&sink);
+    obs::emit_span("obs_test.emitted", 10.0, 5.0,
+                   {{"trace_id", "feedfacefeedface"}, {"attempt", 2}});
+  }
+  const std::vector<obs::TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  const obs::TraceEvent& e = events[0];
+  EXPECT_EQ(e.name, "obs_test.emitted");
+  EXPECT_EQ(e.parent, 0u);
+  EXPECT_DOUBLE_EQ(e.start_us, 10.0);
+  EXPECT_DOUBLE_EQ(e.dur_us, 5.0);
+  ASSERT_EQ(e.args.size(), 2u);
+  EXPECT_EQ(e.args[0].key, "trace_id");
+}
+
+TEST(ObsOverhead, UntracedRequestStampsNothingAndAllocatesNothing) {
+  ASSERT_FALSE(obs::enabled());
+  ServiceRequest request;  // no trace field on the wire -> trace_id empty
+  obs::Span span("obs_test.untraced");
+  const long long before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    stamp_trace(span, request, "service.request");
+  }
+  const long long after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0);
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/sharded_cache.hpp"
+#include "obs/obs.hpp"
 #include "report/json.hpp"
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
@@ -82,6 +84,92 @@ TEST(ServiceProtocol, RequestRoundTripsThroughItsJson) {
   EXPECT_EQ(back.threads, request.threads);
   EXPECT_EQ(back.time_limit_ms, request.time_limit_ms);
   EXPECT_EQ(back.no_cache, request.no_cache);
+}
+
+TEST(ServiceProtocol, TraceContextRoundTripsAndStampsSpanLinks) {
+  ServiceRequest request;
+  request.id = "tr-1";
+  request.soc = "soc1";
+  request.trace_id = "cafef00dcafef00d";
+  request.trace_parent = trace_span_guid(request.trace_id, "client.request");
+
+  const std::string line = request_json(request);
+  StatusOr<ServiceRequest> parsed = parse_request(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().trace_id, request.trace_id);
+  EXPECT_EQ(parsed.value().trace_parent, request.trace_parent);
+
+  // Untraced requests omit the object entirely — the wire stays identical
+  // to the pre-trace protocol.
+  ServiceRequest untraced;
+  untraced.id = "tr-2";
+  EXPECT_EQ(request_json(untraced).find("trace"), std::string::npos);
+
+  // The guid is a pure function of (trace_id, label): 16 lowercase hex
+  // chars, stable across processes, distinct per label.
+  const std::string guid = trace_span_guid("cafef00dcafef00d", "service.request");
+  EXPECT_EQ(guid.size(), 16u);
+  EXPECT_EQ(guid.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(guid, trace_span_guid("cafef00dcafef00d", "service.request"));
+  EXPECT_NE(guid, trace_span_guid("cafef00dcafef00d", "frontdoor.relay"));
+
+  // stamp_trace attaches the cross-process link args to a live span.
+  obs::TraceSink sink;
+  {
+    obs::TraceSession session(&sink);
+    obs::Span span("service.request");
+    stamp_trace(span, request, "service.request");
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  const auto& args = events[0].args;
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(args[0].key, "trace_id");
+  EXPECT_EQ(args[0].text, request.trace_id);
+  EXPECT_EQ(args[1].key, "span_guid");
+  EXPECT_EQ(args[1].text, trace_span_guid(request.trace_id, "service.request"));
+  EXPECT_EQ(args[2].key, "parent_guid");
+  EXPECT_EQ(args[2].text, request.trace_parent);
+}
+
+TEST(ServiceProtocol, StatsProbeParsesAndReplyIsNameSorted) {
+  const std::string probe = stats_probe_json("top-1");
+  std::string id;
+  EXPECT_TRUE(parse_stats_probe(probe, &id));
+  EXPECT_EQ(id, "top-1");
+  // Requests and replies are not probes.
+  EXPECT_FALSE(parse_stats_probe(req("\"id\":\"x\""), &id));
+
+  ServeStatsSnapshot snapshot;
+  snapshot.id = "top-1";
+  snapshot.role = "serve";
+  snapshot.received = 10;
+  snapshot.completed = 8;
+  snapshot.cache_hits = 3;
+  snapshot.cache_misses = 5;
+  const std::string reply = serve_stats_json(snapshot);
+  // A reply has a role member, so it must not parse as a probe (the serve
+  // loop would otherwise answer its own replies).
+  EXPECT_FALSE(parse_stats_probe(reply, &id));
+
+  const auto doc = parse_json(reply);
+  ASSERT_TRUE(doc.has_value()) << reply;
+  EXPECT_EQ(doc->string_or("schema", ""), std::string(kStatsSchema));
+  EXPECT_DOUBLE_EQ(doc->number_or("cache_hit_rate", -1.0), 3.0 / 8.0);
+  // Every emitted key is in the documented soctest-stats-v1 catalog, and
+  // the keys after schema/id/role are name-sorted like every other stats
+  // surface.
+  std::vector<std::string> keys;
+  for (const auto& [name, value] : doc->members) {
+    EXPECT_NE(std::find(std::begin(kStatsFields), std::end(kStatsFields),
+                        name),
+              std::end(kStatsFields))
+        << name << " missing from kStatsFields";
+    if (name != "schema" && name != "id" && name != "role") {
+      keys.push_back(name);
+    }
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end())) << reply;
 }
 
 TEST(ServiceProtocol, RejectsMalformedAndInvalidLines) {

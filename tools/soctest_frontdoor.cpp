@@ -13,11 +13,15 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "obs/obs.hpp"
+#include "report/run_report.hpp"
 #include "service/frontdoor.hpp"
 #include "service/transport.hpp"
 
@@ -57,6 +61,19 @@ Admission and fault handling:
                         (default 5 * heartbeat interval)
   --idle-timeout-ms T   reap a client connection with nothing in flight and
                         no bytes moved for T ms (default 60000; 0 disables)
+
+Observability:
+  --ledger FILE         append one minimal "kind":"rejected" record (id,
+                        shard, retry_after_ms, trace_id) per admission
+                        rejection; completed solves are recorded by the
+                        workers' own ledgers (--worker-ledgers)
+  --trace-dir DIR       record relay spans and write the soctest-trace-v1
+                        shard DIR/frontdoor-<pid>.trace.json at exit;
+                        workers are spawned with the same --trace-dir, so
+                        one directory collects the whole fleet for
+                        `soctest-perf trace-merge` (docs/observability.md)
+  --metrics             print the name-sorted counter/histogram tables to
+                        stderr at exit
   --help                this text
 )";
 
@@ -101,6 +118,7 @@ std::string sibling_serve_binary(const char* argv0) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   soctest::FrontDoorConfig config;
+  bool metrics = false;
 
   std::size_t i = 0;
   auto value = [&](const std::string& flag) -> std::string {
@@ -174,6 +192,14 @@ int main(int argc, char** argv) {
       if (config.idle_timeout_ms < 0) {
         usage_error("--idle-timeout-ms must be >= 0 (0 disables)");
       }
+    } else if (arg == "--ledger") {
+      config.ledger_path = value(arg);
+      if (config.ledger_path.empty()) usage_error("--ledger: empty path");
+    } else if (arg == "--trace-dir") {
+      config.trace_dir = value(arg);
+      if (config.trace_dir.empty()) usage_error("--trace-dir: empty path");
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else {
       usage_error("unknown argument '" + arg + "'");
     }
@@ -190,6 +216,16 @@ int main(int argc, char** argv) {
   }
 
   soctest::install_shutdown_handlers();
+  // The session must be live before start() so relay spans and counters
+  // cover the whole run; the shard is written after serve() drains.
+  std::unique_ptr<soctest::obs::TraceSink> sink;
+  std::unique_ptr<soctest::obs::TraceSession> session;
+  if (!config.trace_dir.empty()) {
+    sink = std::make_unique<soctest::obs::TraceSink>();
+    session = std::make_unique<soctest::obs::TraceSession>(sink.get());
+  } else if (metrics) {
+    session = std::make_unique<soctest::obs::TraceSession>(nullptr);
+  }
   soctest::FrontDoor door(config);
   if (const soctest::Status s = door.start(); !s.ok()) {
     std::fprintf(stderr, "error: %s\n", s.message().c_str());
@@ -200,13 +236,20 @@ int main(int argc, char** argv) {
 
   const int exit_code = door.serve();
 
-  const soctest::FrontDoorStats stats = door.stats();
-  std::fprintf(stderr,
-               "soctest-frontdoor: %lld received, %lld forwarded, "
-               "%lld completed, %lld partials, %lld rejected, %lld errors, "
-               "%lld restarts, %lld retried, %lld hung\n",
-               stats.received, stats.forwarded, stats.completed,
-               stats.partials, stats.rejected, stats.errors, stats.restarts,
-               stats.retried, stats.hung_restarts);
+  if (sink != nullptr) {
+    const std::string path = config.trace_dir + "/frontdoor-" +
+                             std::to_string(::getpid()) + ".trace.json";
+    std::ofstream out(path);
+    if (out) {
+      out << soctest::trace_json(*sink, "frontdoor") << "\n";
+    } else {
+      std::fprintf(stderr, "soctest-frontdoor: cannot write %s\n",
+                   path.c_str());
+    }
+  }
+  if (metrics) std::fputs(soctest::metrics_text().c_str(), stderr);
+
+  std::fprintf(stderr, "%s\n",
+               soctest::frontdoor_stats_line(door.stats()).c_str());
   return exit_code;
 }

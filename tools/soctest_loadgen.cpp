@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,7 +30,9 @@
 
 #include "bench_util.hpp"
 #include "common/net.hpp"
+#include "obs/obs.hpp"
 #include "report/json.hpp"
+#include "report/run_report.hpp"
 #include "service/protocol.hpp"
 #include "service/retry.hpp"
 
@@ -67,6 +70,15 @@ Resilience (closed loop only; docs/robustness.md):
   --response-timeout-ms T
                         drop + reconnect when a response is outstanding and
                         the server is silent for T ms
+
+Observability (docs/observability.md):
+  --trace-sample N      stamp a trace context (deterministic trace_id) on
+                        every Nth generated request (1 = all, 0 = off), so
+                        the fleet records a client/frontdoor/worker span
+                        waterfall for the sampled requests
+  --trace-dir DIR       record this process's spans and write the
+                        soctest-trace-v1 shard DIR/loadgen-<pid>.trace.json
+                        at exit, for `soctest-perf trace-merge`
 
 Output:
   --json-out FILE       merge the SLO row into this bench table
@@ -115,6 +127,8 @@ struct Options {
   int retries = 0;
   double retry_backoff_ms = 10.0;
   double response_timeout_ms = -1.0;
+  int trace_sample = 0;
+  std::string trace_dir;
   std::string json_out;
   std::string tag = "service_slo";
 };
@@ -201,6 +215,14 @@ std::vector<std::string> build_request_lines(
     request.id = "lg-" + std::to_string(n);
     if (opt.stream) request.stream = true;
     if (opt.time_limit_ms >= 0) request.time_limit_ms = opt.time_limit_ms;
+    if (opt.trace_sample > 0 && n % opt.trace_sample == 0) {
+      // Deterministic trace ids (seed + index, never wall clock) keep
+      // fixed-seed chaos-gate trace merges byte-identical across reruns.
+      request.trace_id = soctest::trace_span_guid(
+          "loadgen-" + std::to_string(opt.seed), std::to_string(n));
+      request.trace_parent =
+          soctest::trace_span_guid(request.trace_id, "client.request");
+    }
     lines.push_back(soctest::request_json(request));
   }
   return lines;
@@ -476,6 +498,13 @@ int main(int argc, char** argv) {
       opt.response_timeout_ms = to_dbl(value(arg), arg);
       if (opt.response_timeout_ms <= 0)
         usage_error("--response-timeout-ms must be positive");
+    } else if (arg == "--trace-sample") {
+      const long long n = to_ll(value(arg), arg);
+      if (n < 0) usage_error("--trace-sample must be >= 0");
+      opt.trace_sample = static_cast<int>(n);
+    } else if (arg == "--trace-dir") {
+      opt.trace_dir = value(arg);
+      if (opt.trace_dir.empty()) usage_error("--trace-dir: empty path");
     } else if (arg == "--json-out") {
       opt.json_out = value(arg);
     } else if (arg == "--tag") {
@@ -493,6 +522,16 @@ int main(int argc, char** argv) {
 
   const auto pool = load_templates(opt);
   const auto lines = build_request_lines(opt, pool);
+
+  // One sink for the process lifetime: the closed-loop RetryingClient
+  // threads record client.request/client.attempt spans into it, and the
+  // shard is written after every thread has joined.
+  std::unique_ptr<soctest::obs::TraceSink> sink;
+  std::unique_ptr<soctest::obs::TraceSession> session;
+  if (!opt.trace_dir.empty()) {
+    sink = std::make_unique<soctest::obs::TraceSink>();
+    session = std::make_unique<soctest::obs::TraceSession>(sink.get());
+  }
 
   // Round-robin split keeps each connection's share in send order.
   std::vector<std::vector<std::string>> shares(
@@ -528,6 +567,17 @@ int main(int argc, char** argv) {
   }
   const double wall_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  if (sink != nullptr) {
+    const std::string path = opt.trace_dir + "/loadgen-" +
+                             std::to_string(::getpid()) + ".trace.json";
+    std::ofstream out(path);
+    if (out) {
+      out << soctest::trace_json(*sink, "client") << "\n";
+    } else {
+      std::fprintf(stderr, "soctest-loadgen: cannot write %s\n", path.c_str());
+    }
+  }
 
   std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
   const double p50 = percentile(tally.latencies_ms, 0.50);

@@ -26,7 +26,11 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
 
 #include "common/table.hpp"
 #include "obs/obs.hpp"
@@ -56,6 +60,20 @@ commands:
                             explicitly
   gate [options]            run the pinned quick-bench suite and compare it
                             against a checked-in baseline
+  trace-merge PATH...       join soctest-trace-v1 shards (files, or
+                            directories scanned for *.trace.json) into one
+                            Chrome-trace timeline: each shard's events are
+                            rebased onto the shared realtime axis via its
+                            clock anchor, grouped into one process row per
+                            trace_id, and cross-process parent links
+                            (span_guid/parent_guid) are checked; prints
+                            "trace-merge: shards=N events=E traces=T
+                            dangling_parents=D" (docs/observability.md)
+
+trace-merge options:
+  --out FILE                write the merged Chrome trace to FILE (default:
+                            stdout, with the summary on stderr); output is
+                            byte-identical across reruns of the same shards
 
 gate options:
   --baseline FILE           baseline JSON (default bench/baselines/quick_gate.json)
@@ -248,6 +266,9 @@ int cmd_report(const std::vector<std::string>& ledger_paths) {
         ++skipped;
         continue;
       }
+      // Frontdoor admission rejections share the ledger schema but carry no
+      // solve; they are not runs and must not dilute the wall-time cells.
+      if (record->string_or("kind", "") == "rejected") continue;
       CellStats& cell = cells[{record->string_or("soc", "?"),
                                record->string_or("solver", "?")}];
       ++cell.runs;
@@ -310,6 +331,311 @@ int cmd_report(const std::vector<std::string>& ledger_paths) {
   std::printf("ledger report: %s\n%s", joined.c_str(),
               table.to_ascii().c_str());
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// trace-merge
+// ---------------------------------------------------------------------------
+
+/// One parsed soctest-trace-v1 shard. `unix_us` is the shard's clock
+/// anchor: the realtime microsecond at which its monotonic event
+/// timestamps read 0 (0.0 under the fake test clock).
+struct TraceShard {
+  std::string path;
+  std::string role;
+  long long pid = 0;
+  double unix_us = 0.0;
+  JsonValue doc;
+};
+
+/// One span from a shard, flattened for merging. `trace_id` is taken from
+/// the event's args or inherited from its in-shard parent chain, so solver
+/// child spans ride along with the service.request span that owns them.
+struct MergedEvent {
+  std::size_t shard = 0;
+  long long id = 0;
+  long long parent = 0;  ///< in-shard parent span id (0 = root)
+  bool span = true;
+  std::string name;
+  long long thread = 0;
+  double abs_us = 0.0;  ///< anchor-rebased start (realtime axis)
+  double dur_us = 0.0;
+  std::string trace_id;
+  std::string parent_guid;
+  const JsonValue* args = nullptr;
+};
+
+/// Re-emits a parsed JSON value verbatim-in-structure (shard args are flat
+/// objects of strings/numbers/bools, but recursion costs nothing).
+void write_json_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      w.null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.boolean);
+      break;
+    case JsonValue::Kind::kNumber:
+      if (v.number == static_cast<double>(static_cast<long long>(v.number))) {
+        w.value(static_cast<long long>(v.number));
+      } else {
+        w.value(v.number);
+      }
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.text);
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.items) write_json_value(w, item);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [name, member] : v.members) {
+        w.key(name);
+        write_json_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Expands each path into shard files: a directory contributes every
+/// *.trace.json inside it (name-sorted — readdir order is not
+/// deterministic), a plain file contributes itself.
+std::vector<std::string> expand_shard_paths(
+    const std::vector<std::string>& paths) {
+  std::vector<std::string> out;
+  for (const std::string& path : paths) {
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      std::vector<std::string> found;
+      if (DIR* dir = ::opendir(path.c_str())) {
+        while (const dirent* entry = ::readdir(dir)) {
+          const std::string name = entry->d_name;
+          const std::string suffix = ".trace.json";
+          if (name.size() > suffix.size() &&
+              name.compare(name.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+            found.push_back(path + "/" + name);
+          }
+        }
+        ::closedir(dir);
+      }
+      std::sort(found.begin(), found.end());
+      out.insert(out.end(), found.begin(), found.end());
+    } else {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+int cmd_trace_merge(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "soctest-perf: --out requires a value\n");
+        return 2;
+      }
+      out_path = args[++i];
+    } else {
+      inputs.push_back(args[i]);
+    }
+  }
+  const std::vector<std::string> shard_paths = expand_shard_paths(inputs);
+  if (shard_paths.empty()) {
+    std::fprintf(stderr, "soctest-perf: trace-merge: no shard files\n%s",
+                 kUsage);
+    return 2;
+  }
+
+  std::vector<TraceShard> shards;
+  for (const std::string& path : shard_paths) {
+    bool ok = false;
+    const std::string text = read_file(path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "soctest-perf: cannot read %s\n", path.c_str());
+      return 3;
+    }
+    std::string error;
+    auto doc = parse_json(text, &error);
+    if (!doc || !doc->is_object() ||
+        doc->string_or("schema", "") != "soctest-trace-v1") {
+      std::fprintf(stderr, "soctest-perf: %s is not a soctest-trace-v1 file%s%s\n",
+                   path.c_str(), error.empty() ? "" : ": ", error.c_str());
+      return 3;
+    }
+    TraceShard shard;
+    shard.path = path;
+    if (const JsonValue* anchor = doc->find("anchor");
+        anchor != nullptr && anchor->is_object()) {
+      shard.role = anchor->string_or("role", "");
+      shard.pid = static_cast<long long>(anchor->number_or("pid", 0.0));
+      shard.unix_us = anchor->number_or("unix_us", 0.0);
+    }
+    shard.doc = std::move(*doc);
+    shards.push_back(std::move(shard));
+  }
+  // Shard order must not depend on argv order for the byte-identical
+  // contract; (role, pid, path) is a total order over real fleets.
+  std::sort(shards.begin(), shards.end(),
+            [](const TraceShard& a, const TraceShard& b) {
+              return std::tie(a.role, a.pid, a.path) <
+                     std::tie(b.role, b.pid, b.path);
+            });
+
+  std::vector<MergedEvent> events;
+  std::map<std::string, int> span_guids;  // guid -> count across all shards
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const JsonValue* shard_events = shards[s].doc.find("events");
+    if (shard_events == nullptr || !shard_events->is_array()) continue;
+    std::vector<MergedEvent> local;
+    for (const JsonValue& e : shard_events->items) {
+      if (!e.is_object()) continue;
+      MergedEvent m;
+      m.shard = s;
+      m.id = static_cast<long long>(e.number_or("id", 0.0));
+      m.parent = static_cast<long long>(e.number_or("parent", 0.0));
+      m.span = e.string_or("kind", "span") == "span";
+      m.name = e.string_or("name", "");
+      m.thread = static_cast<long long>(e.number_or("thread", 0.0));
+      m.abs_us = shards[s].unix_us + e.number_or("ts_us", 0.0);
+      m.dur_us = e.number_or("dur_us", 0.0);
+      m.args = e.find("args");
+      if (m.args != nullptr && m.args->is_object()) {
+        m.trace_id = m.args->string_or("trace_id", "");
+        m.parent_guid = m.args->string_or("parent_guid", "");
+        const std::string guid = m.args->string_or("span_guid", "");
+        if (!guid.empty()) ++span_guids[guid];
+      }
+      local.push_back(std::move(m));
+    }
+    // In-shard trace inheritance: a span opens after its parent, so parent
+    // ids are smaller and one id-ordered pass settles the whole chain.
+    std::sort(local.begin(), local.end(),
+              [](const MergedEvent& a, const MergedEvent& b) {
+                return a.id < b.id;
+              });
+    std::map<long long, std::string> trace_of;  // local span id -> trace_id
+    for (MergedEvent& m : local) {
+      if (m.trace_id.empty()) {
+        const auto it = trace_of.find(m.parent);
+        if (it != trace_of.end()) m.trace_id = it->second;
+      }
+      if (!m.trace_id.empty()) trace_of[m.id] = m.trace_id;
+    }
+    events.insert(events.end(), local.begin(), local.end());
+  }
+
+  long long dangling = 0;
+  for (const MergedEvent& m : events) {
+    if (!m.parent_guid.empty() && span_guids.find(m.parent_guid) == span_guids.end()) {
+      ++dangling;
+    }
+  }
+
+  // Traced events only: the merge is the per-trace waterfall, untraced
+  // background spans stay in their per-process shards.
+  std::vector<const MergedEvent*> traced;
+  std::map<std::string, long long> trace_pid;  // trace_id -> chrome pid
+  for (const MergedEvent& m : events) {
+    if (!m.trace_id.empty()) {
+      traced.push_back(&m);
+      trace_pid.emplace(m.trace_id, 0);
+    }
+  }
+  long long next_pid = 1;
+  for (auto& [trace_id, pid] : trace_pid) pid = next_pid++;
+  std::sort(traced.begin(), traced.end(),
+            [&](const MergedEvent* a, const MergedEvent* b) {
+              return std::tie(trace_pid.at(a->trace_id), a->abs_us, a->shard,
+                              a->id) < std::tie(trace_pid.at(b->trace_id),
+                                                b->abs_us, b->shard, b->id);
+            });
+
+  // Rebase to the earliest traced event so Chrome's timeline starts near 0
+  // instead of at a raw unix microsecond.
+  double t0 = 0.0;
+  if (!traced.empty()) {
+    t0 = traced.front()->abs_us;
+    for (const MergedEvent* m : traced) t0 = std::min(t0, m->abs_us);
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (const auto& [trace_id, pid] : trace_pid) {
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(pid);
+    w.key("tid").value(0);
+    w.key("args").begin_object();
+    w.key("name").value("trace " + trace_id);
+    w.end_object();
+    w.end_object();
+  }
+  // One thread row per (trace, shard) pair in use, labeled by fleet role.
+  std::map<std::pair<long long, long long>, std::string> thread_names;
+  for (const MergedEvent* m : traced) {
+    const TraceShard& shard = shards[m->shard];
+    thread_names.emplace(
+        std::make_pair(trace_pid.at(m->trace_id),
+                       static_cast<long long>(m->shard) + 1),
+        shard.role + "-" + std::to_string(shard.pid));
+  }
+  for (const auto& [key, name] : thread_names) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(key.first);
+    w.key("tid").value(key.second);
+    w.key("args").begin_object();
+    w.key("name").value(name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const MergedEvent* m : traced) {
+    w.begin_object();
+    w.key("name").value(m->name);
+    w.key("cat").value(shards[m->shard].role);
+    w.key("ph").value(m->span ? "X" : "i");
+    w.key("pid").value(trace_pid.at(m->trace_id));
+    w.key("tid").value(static_cast<long long>(m->shard) + 1);
+    w.key("ts").value(m->abs_us - t0);
+    if (m->span) w.key("dur").value(m->dur_us);
+    if (m->args != nullptr) {
+      w.key("args");
+      write_json_value(w, *m->args);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  const std::string summary =
+      "trace-merge: shards=" + std::to_string(shards.size()) +
+      " events=" + std::to_string(traced.size()) +
+      " traces=" + std::to_string(trace_pid.size()) +
+      " dangling_parents=" + std::to_string(dangling) + "\n";
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "soctest-perf: cannot write %s\n", out_path.c_str());
+      return 3;
+    }
+    out << w.str() << "\n";
+    std::fputs(summary.c_str(), stdout);
+  } else {
+    std::printf("%s\n", w.str().c_str());
+    std::fputs(summary.c_str(), stderr);
+  }
+  return dangling == 0 ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -637,6 +963,9 @@ int main(int argc, char** argv) {
   }
   if (command == "gate") {
     return cmd_gate({args.begin() + 1, args.end()});
+  }
+  if (command == "trace-merge") {
+    return cmd_trace_merge({args.begin() + 1, args.end()});
   }
   std::fprintf(stderr, "soctest-perf: unknown command '%s'\n%s",
                command.c_str(), kUsage);

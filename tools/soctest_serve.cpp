@@ -13,10 +13,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include "obs/obs.hpp"
+#include "report/run_report.hpp"
 #include "service/server.hpp"
 #include "service/transport.hpp"
 
@@ -50,6 +56,10 @@ Robustness:
 Observability:
   --ledger FILE         append one soctest-ledger-v1 record per completed
                         solve (SOCTEST_LEDGER is the env fallback)
+  --trace-dir DIR       record spans for the process lifetime and write the
+                        soctest-trace-v1 shard DIR/serve-<pid>.trace.json at
+                        exit, for `soctest-perf trace-merge`
+                        (docs/observability.md)
   --retry-after-ms T    backpressure advice in rejections (default 50)
   --help                this text
 )";
@@ -92,6 +102,7 @@ int main(int argc, char** argv) {
   config.idle_timeout_ms = 60000.0;
   std::string socket_path;
   std::string tcp_endpoint;
+  std::string trace_dir;
   bool stdio = true;
 
   std::size_t i = 0;
@@ -137,6 +148,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--ledger") {
       config.ledger_path = value(arg);
       if (config.ledger_path.empty()) usage_error("--ledger: empty path");
+    } else if (arg == "--trace-dir") {
+      trace_dir = value(arg);
+      if (trace_dir.empty()) usage_error("--trace-dir: empty path");
     } else if (arg == "--retry-after-ms") {
       config.retry_after_ms = to_dbl(value(arg), arg);
       if (config.retry_after_ms < 0) usage_error("--retry-after-ms must be >= 0");
@@ -161,6 +175,15 @@ int main(int argc, char** argv) {
   }
 
   soctest::install_shutdown_handlers();
+  // One sink for the process lifetime: worker threads record their
+  // service.request/service.solve spans into it, and the shard is written
+  // after the transport drains so nothing is still appending.
+  std::unique_ptr<soctest::obs::TraceSink> sink;
+  std::unique_ptr<soctest::obs::TraceSession> session;
+  if (!trace_dir.empty()) {
+    sink = std::make_unique<soctest::obs::TraceSink>();
+    session = std::make_unique<soctest::obs::TraceSession>(sink.get());
+  }
   soctest::SolveService service(config);
   int exit_code = 0;
   if (stdio) {
@@ -188,6 +211,17 @@ int main(int argc, char** argv) {
     announcer.join();
   } else {
     exit_code = soctest::serve_unix_socket(service, socket_path);
+  }
+
+  if (sink != nullptr) {
+    const std::string path =
+        trace_dir + "/serve-" + std::to_string(::getpid()) + ".trace.json";
+    std::ofstream out(path);
+    if (out) {
+      out << soctest::trace_json(*sink, "serve") << "\n";
+    } else {
+      std::fprintf(stderr, "soctest-serve: cannot write %s\n", path.c_str());
+    }
   }
 
   const soctest::ServiceStats stats = service.stats();

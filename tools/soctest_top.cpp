@@ -1,0 +1,224 @@
+// soctest-top: live fleet telemetry viewer (docs/operations.md).
+//
+//   $ soctest-top --connect 127.0.0.1:43117           # refreshing view
+//   $ soctest-top --connect 127.0.0.1:43117 --once --json
+//
+// Each refresh opens one connection, sends a soctest-stats-v1 probe, and
+// renders the merged reply: fleet totals on top, one row per worker shard
+// below (req/s over the sliding window, cache hit rate, queue depth,
+// windowed p50/p95 latency). Probes are answered from the serve and
+// frontdoor poll loops without queueing, so scraping a saturated fleet
+// never competes with solve traffic.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <chrono>
+
+#include "common/table.hpp"
+#include "report/json.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+
+using namespace soctest;
+
+namespace {
+
+const char kUsage[] = R"(usage: soctest-top [options]
+
+Target:
+  --connect ENDPOINT    soctest-frontdoor or soctest-serve endpoint (Unix
+                        socket path or HOST:PORT); required
+
+Sampling:
+  --interval-ms T       refresh period (default 1000)
+  --count N             exit after N refreshes (default 0 = run until ^C)
+  --once                scrape once, print, exit (same as --count 1)
+
+Output:
+  --json                print the raw soctest-stats-v1 reply line instead
+                        of the rendered tables (one JSON line per refresh;
+                        pairs with --once for scripting)
+  --help                this text
+)";
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+long long to_ll(const std::string& value, const std::string& flag) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(value, &pos);
+    if (pos != value.size()) usage_error(flag + ": trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    usage_error(flag + ": expected an integer, got '" + value + "'");
+  }
+}
+
+std::string format_rate(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", v);
+  return buffer;
+}
+
+std::string format_ms(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2f", v);
+  return buffer;
+}
+
+std::string format_pct(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.0f%%", 100.0 * v);
+  return buffer;
+}
+
+/// Renders one merged (frontdoor) or flat (serve) soctest-stats-v1 reply.
+/// Every field read here is listed in the docs/service.md field catalog.
+std::string render(const JsonValue& doc) {
+  std::string out = "soctest-top: role=" + doc.string_or("role", "?") +
+                    " uptime=" + format_rate(doc.number_or("uptime_s", 0.0)) +
+                    "s window=" +
+                    std::to_string(static_cast<long long>(
+                        doc.number_or("window_s", 0.0))) +
+                    "s\n";
+  Table totals({"req/s", "received", "completed", "rejected", "errors",
+                "queue", "p50_ms", "p95_ms", "restarts", "hung"});
+  totals.row()
+      .add(format_rate(doc.number_or("req_rate", 0.0)))
+      .add(static_cast<long long>(doc.number_or("received", 0.0)))
+      .add(static_cast<long long>(doc.number_or("completed", 0.0)))
+      .add(static_cast<long long>(doc.number_or("rejected", 0.0)))
+      .add(static_cast<long long>(doc.number_or("errors", 0.0)))
+      .add(static_cast<long long>(doc.number_or("queue_depth", 0.0)))
+      .add(format_ms(doc.number_or("p50_ms", 0.0)))
+      .add(format_ms(doc.number_or("p95_ms", 0.0)))
+      .add(static_cast<long long>(doc.number_or("restarts", 0.0)))
+      .add(static_cast<long long>(doc.number_or("hung", 0.0)));
+  out += totals.to_ascii();
+
+  const JsonValue* shards = doc.find("shards");
+  if (shards != nullptr && shards->is_array() && !shards->items.empty()) {
+    Table per_shard({"shard", "req/s", "hit_rate", "queue", "p50_ms", "p95_ms",
+                     "completed", "rejected", "errors"});
+    for (const JsonValue& s : shards->items) {
+      if (!s.is_object()) continue;
+      const long long shard = static_cast<long long>(s.number_or("shard", -1));
+      if (s.find("broken") != nullptr) {
+        per_shard.row().add(shard).add(std::string("BROKEN"));
+        for (int i = 0; i < 7; ++i) per_shard.add(std::string("-"));
+        continue;
+      }
+      per_shard.row()
+          .add(shard)
+          .add(format_rate(s.number_or("req_rate", 0.0)))
+          .add(format_pct(s.number_or("cache_hit_rate", 0.0)))
+          .add(static_cast<long long>(s.number_or("queue_depth", 0.0)))
+          .add(format_ms(s.number_or("p50_ms", 0.0)))
+          .add(format_ms(s.number_or("p95_ms", 0.0)))
+          .add(static_cast<long long>(s.number_or("completed", 0.0)))
+          .add(static_cast<long long>(s.number_or("rejected", 0.0)))
+          .add(static_cast<long long>(s.number_or("errors", 0.0)));
+    }
+    out += per_shard.to_ascii();
+  } else {
+    // A bare soctest-serve has no shard fan-out; show its cache line.
+    out += "cache hit rate " +
+           format_pct(doc.number_or("cache_hit_rate", 0.0)) + " (" +
+           std::to_string(
+               static_cast<long long>(doc.number_or("cache_hits", 0.0))) +
+           " hits, " +
+           std::to_string(
+               static_cast<long long>(doc.number_or("cache_misses", 0.0))) +
+           " misses)\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string connect;
+  long long interval_ms = 1000;
+  long long count = 0;
+  bool json = false;
+
+  std::size_t i = 0;
+  auto value = [&](const std::string& flag) -> std::string {
+    if (i + 1 >= args.size()) usage_error(flag + " requires a value");
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--connect") {
+      connect = value(arg);
+      if (connect.empty()) usage_error("--connect: empty endpoint");
+    } else if (arg == "--interval-ms") {
+      interval_ms = to_ll(value(arg), arg);
+      if (interval_ms < 1) usage_error("--interval-ms must be positive");
+    } else if (arg == "--count") {
+      count = to_ll(value(arg), arg);
+      if (count < 0) usage_error("--count must be >= 0 (0 = forever)");
+    } else if (arg == "--once") {
+      count = 1;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      usage_error("unknown argument '" + arg + "'");
+    }
+  }
+  if (connect.empty()) usage_error("--connect is required");
+
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  long long probes = 0;
+  for (long long n = 0; count == 0 || n < count; ++n) {
+    if (n > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const std::string probe_id = "top-" + std::to_string(++probes);
+    const auto replies = client_roundtrip(connect, {stats_probe_json(probe_id)});
+    if (!replies.ok()) {
+      std::fprintf(stderr, "soctest-top: %s\n",
+                   replies.status().message().c_str());
+      return 1;
+    }
+    std::string reply;
+    for (const std::string& line : replies.value()) {
+      if (line.find(kStatsSchema) != std::string::npos) reply = line;
+    }
+    if (reply.empty()) {
+      std::fprintf(stderr, "soctest-top: no soctest-stats-v1 reply from %s\n",
+                   connect.c_str());
+      return 1;
+    }
+    if (json) {
+      std::printf("%s\n", reply.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    std::string error;
+    const auto doc = parse_json(reply, &error);
+    if (!doc || !doc->is_object()) {
+      std::fprintf(stderr, "soctest-top: malformed stats reply: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    // In a terminal, repaint in place; piped output keeps every frame.
+    if (tty) std::fputs("\x1b[H\x1b[2J", stdout);
+    std::fputs(render(*doc).c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
