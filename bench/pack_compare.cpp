@@ -1,0 +1,188 @@
+// Formulation comparison: fixed-bus architectures vs the rectangle-packing
+// formulation on the same wire budget. Table 6 companion (table6_pack) runs
+// every shipped SOC at W_total in {16, 24, 32} — the fixed-bus side is the
+// exact two-bus width search, the packing side the skyline+SA heuristic and
+// the budgeted exact packer, every packing validated by the independent
+// feasibility oracle. Table 8 companion (table8_pack) scales random SOCs.
+//
+// Shape check: pack <= fixed-bus on most cells (any fixed-bus architecture
+// is one particular packing, so the formulation can only help; the solvers
+// are heuristic, hence "most" rather than "all" is asserted downstream).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "pack/exact_pack.hpp"
+#include "pack/skyline.hpp"
+#include "soc/builtin.hpp"
+#include "soc/generator.hpp"
+#include "tam/width_partition.hpp"
+#include "wrapper/test_time_table.hpp"
+
+using namespace soctest;
+
+namespace {
+
+struct Cell {
+  std::string name;
+  int width = 0;
+  Cycles t_fixed = 0;
+  double ms_fixed = 0.0;
+  Cycles t_pack = 0;
+  double ms_pack = 0.0;
+  Cycles t_pack_exact = 0;
+  double ms_pack_exact = 0.0;
+  bool pack_optimal = false;
+  Cycles lower_bound = 0;
+  bool oracle_ok = false;
+  bool pack_wins = false;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << benchutil::header(
+      "Table 6 (pack)",
+      "fixed-bus vs rectangle-packing formulation, shipped SOCs");
+
+  const std::vector<Soc> socs = {builtin_soc1(), builtin_soc2(),
+                                 builtin_soc3(), builtin_soc4()};
+  const std::vector<int> widths = {16, 24, 32};
+  std::vector<Cell> cells(socs.size() * widths.size());
+  benchutil::JsonLog log("table6_pack");
+
+  std::vector<std::function<void()>> tasks;
+  std::vector<benchutil::JsonRecord*> records;
+  for (std::size_t s = 0; s < socs.size(); ++s) {
+    for (std::size_t w = 0; w < widths.size(); ++w) {
+      const std::size_t idx = s * widths.size() + w;
+      records.push_back(&log.record());
+      tasks.push_back([idx, s, w, &socs, &widths, &cells, &records] {
+        const Soc& soc = socs[s];
+        const int width = widths[w];
+        Cell& cell = cells[idx];
+        cell.name = soc.name();
+        cell.width = width;
+
+        const TestTimeTable table(soc, width);
+
+        benchutil::Stopwatch sw_fixed;
+        const ArchitectureResult fixed = optimize_widths(soc, table, 2, width);
+        cell.ms_fixed = sw_fixed.ms();
+        cell.t_fixed = fixed.assignment.makespan;
+
+        const PackProblem problem = make_pack_problem(soc, table, width);
+        cell.lower_bound = problem.lower_bound();
+
+        benchutil::Stopwatch sw_pack;
+        const PackSolveResult pack = solve_pack(problem);
+        cell.ms_pack = sw_pack.ms();
+        cell.t_pack = pack.makespan;
+        cell.oracle_ok =
+            pack.feasible &&
+            check_packing(problem, pack.placements, pack.makespan).empty();
+
+        PackExactOptions budgeted;
+        budgeted.max_nodes = 500000;
+        benchutil::Stopwatch sw_exact;
+        const PackSolveResult exact = solve_pack_exact(problem, budgeted);
+        cell.ms_pack_exact = sw_exact.ms();
+        cell.t_pack_exact = exact.makespan;
+        cell.pack_optimal = exact.proved_optimal;
+        cell.oracle_ok =
+            cell.oracle_ok && exact.feasible &&
+            check_packing(problem, exact.placements, exact.makespan).empty();
+
+        cell.pack_wins = cell.t_pack <= cell.t_fixed;
+        records[idx]
+            ->set("cell", cell.name + "/W=" + std::to_string(width))
+            .set("T_fixed", static_cast<long long>(cell.t_fixed))
+            .set("ms_fixed", cell.ms_fixed)
+            .set("T_pack", static_cast<long long>(cell.t_pack))
+            .set("ms_pack", cell.ms_pack)
+            .set("T_pack_exact", static_cast<long long>(cell.t_pack_exact))
+            .set("ms_pack_exact", cell.ms_pack_exact)
+            .set("pack_proved_optimal", cell.pack_optimal)
+            .set("lower_bound", static_cast<long long>(cell.lower_bound))
+            .set("oracle_ok", cell.oracle_ok)
+            .set("pack_wins", cell.pack_wins);
+      });
+    }
+  }
+  benchutil::run_cells(std::move(tasks));
+
+  Table out({"soc", "W", "T_fixed", "T_pack", "T_pack_exact", "LB",
+             "optimal", "oracle", "winner"});
+  int wins = 0;
+  for (const Cell& cell : cells) {
+    wins += cell.pack_wins ? 1 : 0;
+    out.row()
+        .add(cell.name)
+        .add(cell.width)
+        .add(cell.t_fixed)
+        .add(cell.t_pack)
+        .add(cell.t_pack_exact)
+        .add(cell.lower_bound)
+        .add(cell.pack_optimal ? "yes" : "no")
+        .add(cell.oracle_ok ? "ok" : "FAIL")
+        .add(cell.pack_wins ? "pack" : "fixed");
+  }
+  std::cout << out.to_ascii();
+  std::cout << "\npack wins or ties " << wins << "/" << cells.size()
+            << " cells\n\n";
+  log.write("BENCH_solvers.json");
+
+  // Scaling companion: random SOCs of growing N at W_total = 24.
+  std::cout << benchutil::header(
+      "Table 8 (pack)", "formulation comparison on random SOCs, W=24");
+  benchutil::JsonLog scale_log("table8_pack");
+  Table scale({"N", "T_fixed", "ms_fixed", "T_pack", "ms_pack", "ratio"});
+  for (const int n : {6, 10, 14, 18, 26, 34}) {
+    Rng rng(static_cast<std::uint64_t>(n) * 7919);
+    SocGeneratorOptions gen;
+    gen.num_cores = n;
+    gen.place = false;
+    const Soc soc = generate_soc(gen, rng);
+    const TestTimeTable table(soc, 24);
+
+    benchutil::Stopwatch sw_fixed;
+    const ArchitectureResult fixed = optimize_widths(soc, table, 2, 24);
+    const double ms_fixed = sw_fixed.ms();
+
+    const PackProblem problem = make_pack_problem(soc, table, 24);
+    benchutil::Stopwatch sw_pack;
+    const PackSolveResult pack = solve_pack(problem);
+    const double ms_pack = sw_pack.ms();
+    const bool oracle_ok =
+        pack.feasible &&
+        check_packing(problem, pack.placements, pack.makespan).empty();
+
+    const double ratio =
+        fixed.assignment.makespan > 0
+            ? static_cast<double>(pack.makespan) /
+                  static_cast<double>(fixed.assignment.makespan)
+            : 0.0;
+    scale.row()
+        .add(n)
+        .add(fixed.assignment.makespan)
+        .add(ms_fixed, 2)
+        .add(pack.makespan)
+        .add(ms_pack, 2)
+        .add(ratio, 3);
+    scale_log.record()
+        .set("cell", "N=" + std::to_string(n))
+        .set("T_fixed", static_cast<long long>(fixed.assignment.makespan))
+        .set("ms_fixed", ms_fixed)
+        .set("T_pack", static_cast<long long>(pack.makespan))
+        .set("ms_pack", ms_pack)
+        .set("ratio", ratio)
+        .set("oracle_ok", oracle_ok);
+  }
+  std::cout << scale.to_ascii() << "\n";
+  scale_log.write("BENCH_solvers.json");
+  std::cout << "wrote BENCH_solvers.json\n";
+  return 0;
+}

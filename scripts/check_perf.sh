@@ -43,4 +43,36 @@ if SOCTEST_PERF_COUNTERS_ONLY=0 "$perf_bin" gate --baseline "$baseline" \
   exit 1
 fi
 
+echo "== pass 3: ledger report solver column is open-ended =="
+# The report folds on whatever solver name the ledger carries — no
+# whitelist. New solve modes (pack today, whatever comes next) must render
+# without touching the tool, in deterministic sorted order.
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cat > "$workdir/novel.ledger.jsonl" <<'EOF'
+{"schema":"soctest-ledger-v1","soc":"soc2","solver":"pack","wall_ms":1.5,"status":"optimal","gap":0}
+{"schema":"soctest-ledger-v1","soc":"soc2","solver":"pack","wall_ms":2.5,"status":"feasible_bounded","gap":0.05}
+{"schema":"soctest-ledger-v1","soc":"soc2","solver":"pack-exact","wall_ms":9.0,"status":"optimal","gap":0}
+{"schema":"soctest-ledger-v1","soc":"soc1","solver":"never-heard-of-it","wall_ms":4.0,"status":"feasible","gap":0.2}
+EOF
+report=$("$perf_bin" report "$workdir/novel.ledger.jsonl") || {
+  echo "check_perf: FAILED (report rejected a ledger with novel solver names)"
+  exit 1
+}
+for solver in pack pack-exact never-heard-of-it; do
+  if ! printf '%s\n' "$report" | grep -q "$solver"; then
+    echo "check_perf: FAILED (report dropped solver '$solver')"
+    printf '%s\n' "$report"
+    exit 1
+  fi
+done
+# Rows sort by (soc, solver): the unknown solver's soc1 row must precede
+# the soc2 pack rows.
+if [ "$(printf '%s\n' "$report" | grep -nE 'never-heard-of-it' | cut -d: -f1)" \
+     -gt "$(printf '%s\n' "$report" | grep -nE '^soc2 *pack ' | cut -d: -f1)" ]; then
+  echo "check_perf: FAILED (report rows not sorted by soc/solver)"
+  printf '%s\n' "$report"
+  exit 1
+fi
+
 echo "check_perf: OK"

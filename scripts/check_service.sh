@@ -5,7 +5,7 @@
 #   scripts/check_service.sh [repo-root] [soctest-serve-binary] \
 #       [soctest-binary] [soctest-frontdoor-binary]
 #
-# Pass 1 (stdio, serial): fires the 50-request duplicate-heavy fixture
+# Pass 1 (stdio, serial): fires the 56-request duplicate-heavy fixture
 #   data/service_batch.jsonl through `soctest-serve --stdio --serial` twice
 #   and asserts every line gets a valid soctest-resp-v1 response, the cache
 #   hit share clears 40%, and the two response streams are byte-identical

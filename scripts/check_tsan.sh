@@ -14,7 +14,7 @@ cmake -B "$BUILD_DIR" -S . -DSOCTEST_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j \
   --target parallel_test exact_solver_test heuristics_test architect_test \
            branch_and_bound_test deadline_test fault_injection_test \
-           frontdoor_test transport_test retry_test chaos_test \
+           pack_test frontdoor_test transport_test retry_test chaos_test \
            protocol_fuzz_test net_test soctest_perf_tool soctest_serve_tool \
            soctest_frontdoor_tool soctest_loadgen_tool soctest_chaos_tool \
            soctest_tool
@@ -22,5 +22,5 @@ cmake --build "$BUILD_DIR" -j \
 # only; the injected-slowdown negative pass still exercises the wall gate.
 # The chaos soak rides along: fault injection is where transport races live.
 SOCTEST_PERF_COUNTERS_ONLY=1 \
-  ctest --test-dir "$BUILD_DIR" -L 'tsan|faults|perf|chaos' \
+  ctest --test-dir "$BUILD_DIR" -L 'tsan|faults|perf|chaos|pack' \
         --output-on-failure -j "$(nproc)"

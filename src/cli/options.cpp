@@ -96,6 +96,10 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
         options.solver = InnerSolver::kSa;
       } else if (name == "portfolio") {
         options.solver = InnerSolver::kPortfolio;
+      } else if (name == "pack") {
+        options.solver = InnerSolver::kPack;
+      } else if (name == "pack-exact") {
+        options.solver = InnerSolver::kPackExact;
       } else {
         fail("--solver: unknown solver '" + name + "'");
       }
@@ -173,6 +177,11 @@ CliOptions parse_cli(const std::vector<std::string>& args) {
   if (options.widths.empty() && options.total_width < options.buses) {
     fail("--width must be at least --buses (one wire per bus)");
   }
+  if (options.idle_insertion && (options.solver == InnerSolver::kPack ||
+                                 options.solver == InnerSolver::kPackExact)) {
+    fail("--idle-insertion is not supported with --solver pack/pack-exact "
+         "(the packing formulation schedules power directly)");
+  }
   if (!options.batch_path.empty() && options.client_socket.empty()) {
     fail("--batch requires --client");
   }
@@ -211,9 +220,12 @@ Constraints:
   --ate-depth D         ATE vector-memory depth per TAM channel (cycles)
 
 Solving:
-  --solver S            exact | ilp | greedy | sa | portfolio (default exact);
-                        portfolio races greedy/SA/exact concurrently and
-                        returns the first proven-optimal (or best) result
+  --solver S            exact | ilp | greedy | sa | portfolio | pack |
+                        pack-exact (default exact); portfolio races
+                        greedy/SA/exact concurrently (and, on width
+                        searches, the packing formulation) and returns the
+                        best result; pack / pack-exact solve the rectangle-
+                        packing formulation instead of fixed buses
   --threads N           worker threads for the exact solver's parallel search
                         and the portfolio race; 1 = serial (default), 0 = auto
                         (hardware concurrency, SOCTEST_THREADS override)

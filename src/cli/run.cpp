@@ -100,8 +100,10 @@ CliResult run_design(const CliOptions& options,
     request.solver = options.solver;
     request.threads = options.threads;
     // With idle insertion, power is handled at the schedule level, so the
-    // assignment itself is solved unconstrained in power.
+    // assignment itself is solved unconstrained in power — and a packed
+    // formulation winner would bypass the scheduler, so the race is off.
     if (!options.idle_insertion) request.p_max_mw = options.p_max;
+    request.pack_race = !(options.idle_insertion && options.p_max >= 0);
     request.power_mode = options.power_mode;
     request.ate_depth_limit = options.ate_depth;
     if (options.time_limit_ms >= 0) {
@@ -130,34 +132,59 @@ CliResult run_design(const CliOptions& options,
     }
 
     // Realize the schedule.
-    const int max_width = *std::max_element(design.bus_widths.begin(),
-                                            design.bus_widths.end());
-    const TestTimeTable& table = cached_test_time_table(soc, max_width);
-    const TamProblem problem = make_tam_problem(
-        soc, table, design.bus_widths, nullptr, -1,
-        options.idle_insertion ? -1.0 : options.p_max, options.power_mode);
     TestSchedule schedule;
-    if (options.idle_insertion && options.p_max >= 0) {
-      PowerScheduleOptions sched_options;
-      sched_options.p_max_mw = options.p_max;
-      // The scheduler shares the run's wall-clock budget (Deadline is an
-      // absolute point in time, so solve time already spent counts).
-      sched_options.deadline = request.deadline;
-      const PowerScheduleResult ps = build_power_aware_schedule(
-          problem, soc, design.assignment.core_to_bus, sched_options);
-      if (!ps.feasible) {
-        out << "idle-insertion scheduling failed: " << ps.error << "\n";
-        result.exit_code = exit_code_for_stop(ps.stop);
-        result.output = out.str();
-        return result;
-      }
-      schedule = ps.schedule;
-      if (!options.json) {
-        out << "idle-insertion schedule: makespan " << schedule.makespan
-            << " cycles (" << ps.idle_inserted << " idle bus-cycles inserted)\n";
+    if (!design.pack_placements.empty()) {
+      // Packed formulation: the placements already are the schedule. The
+      // `bus` field only drives gantt lanes, so time-overlapping tests get
+      // distinct lanes by greedy interval coloring (placements arrive
+      // sorted by start).
+      std::vector<Cycles> lane_free;
+      for (const PackPlacement& p : design.pack_placements) {
+        int lane = -1;
+        for (std::size_t l = 0; l < lane_free.size(); ++l) {
+          if (lane_free[l] <= p.start) {
+            lane = static_cast<int>(l);
+            break;
+          }
+        }
+        if (lane < 0) {
+          lane = static_cast<int>(lane_free.size());
+          lane_free.push_back(0);
+        }
+        lane_free[static_cast<std::size_t>(lane)] = p.end;
+        schedule.tests.push_back({p.core, lane, p.start, p.end});
+        schedule.makespan = std::max(schedule.makespan, p.end);
       }
     } else {
-      schedule = build_schedule(problem, design.assignment.core_to_bus);
+      const int max_width = *std::max_element(design.bus_widths.begin(),
+                                              design.bus_widths.end());
+      const TestTimeTable& table = cached_test_time_table(soc, max_width);
+      const TamProblem problem = make_tam_problem(
+          soc, table, design.bus_widths, nullptr, -1,
+          options.idle_insertion ? -1.0 : options.p_max, options.power_mode);
+      if (options.idle_insertion && options.p_max >= 0) {
+        PowerScheduleOptions sched_options;
+        sched_options.p_max_mw = options.p_max;
+        // The scheduler shares the run's wall-clock budget (Deadline is an
+        // absolute point in time, so solve time already spent counts).
+        sched_options.deadline = request.deadline;
+        const PowerScheduleResult ps = build_power_aware_schedule(
+            problem, soc, design.assignment.core_to_bus, sched_options);
+        if (!ps.feasible) {
+          out << "idle-insertion scheduling failed: " << ps.error << "\n";
+          result.exit_code = exit_code_for_stop(ps.stop);
+          result.output = out.str();
+          return result;
+        }
+        schedule = ps.schedule;
+        if (!options.json) {
+          out << "idle-insertion schedule: makespan " << schedule.makespan
+              << " cycles (" << ps.idle_inserted
+              << " idle bus-cycles inserted)\n";
+        }
+      } else {
+        schedule = build_schedule(problem, design.assignment.core_to_bus);
+      }
     }
     if (options.p_max >= 0 && !options.json) {
       const double peak = compute_power_profile(soc, schedule).peak();

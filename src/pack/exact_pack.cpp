@@ -1,0 +1,288 @@
+#include "pack/exact_pack.hpp"
+
+#include <algorithm>
+
+#include "obs/obs.hpp"
+#include "pack/skyline.hpp"
+#include "runtime/failpoint.hpp"
+
+namespace soctest {
+
+namespace {
+
+struct Segment {
+  int x = 0;
+  int width = 0;
+  Cycles h = 0;
+};
+
+void merge_skyline(std::vector<Segment>& skyline) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < skyline.size(); ++i) {
+    if (out > 0 && skyline[out - 1].h == skyline[i].h) {
+      skyline[out - 1].width += skyline[i].width;
+    } else {
+      skyline[out++] = skyline[i];
+    }
+  }
+  skyline.resize(out);
+}
+
+class PackSearch {
+ public:
+  PackSearch(const PackProblem& problem, const PackExactOptions& options,
+             Cycles incumbent)
+      : problem_(problem),
+        options_(options),
+        stop_check_(options.deadline, options.cancel,
+                    failpoint::sites::kPackNode),
+        best_makespan_(incumbent) {
+    const std::size_t n = problem.num_cores();
+    placed_.assign(n, 0);
+    min_area_.resize(n);
+    min_time_.resize(n);
+    // Symmetry: among interchangeable cores (identical menu and power) only
+    // the lowest-index unplaced one is branched on.
+    group_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      long long area = -1;
+      for (const PackRect& r : problem.menu[i]) {
+        const long long a = static_cast<long long>(r.width) * r.time;
+        if (area < 0 || a < area) area = a;
+      }
+      min_area_[i] = area < 0 ? 0 : area;
+      min_time_[i] = problem.menu[i].back().time;
+      remaining_area_ += min_area_[i];
+      group_[i] = i;
+      for (std::size_t j = 0; j < i; ++j) {
+        const bool same_power =
+            problem.power_mw.empty() ||
+            problem.power_mw[i] == problem.power_mw[j];
+        if (same_power && problem.menu[i].size() == problem.menu[j].size() &&
+            std::equal(problem.menu[i].begin(), problem.menu[i].end(),
+                       problem.menu[j].begin(),
+                       [](const PackRect& a, const PackRect& b) {
+                         return a.width == b.width && a.time == b.time;
+                       })) {
+          group_[i] = group_[j];
+          break;
+        }
+      }
+    }
+  }
+
+  void run() {
+    skyline_ = {{0, problem_.total_width, 0}};
+    placements_.clear();
+    placements_.reserve(problem_.num_cores());
+    dfs(0, 0);
+  }
+
+  long long nodes() const { return nodes_; }
+  StopReason stop() const {
+    if (stop_check_stopped_) return stop_check_.reason();
+    return budget_hit_ ? StopReason::kNodeBudget : StopReason::kNone;
+  }
+  bool interrupted() const { return stop_check_stopped_ || budget_hit_; }
+  Cycles best_makespan() const { return best_makespan_; }
+  /// Empty when the warm-start incumbent was never improved.
+  const std::vector<PackPlacement>& best_placements() const {
+    return best_placements_;
+  }
+
+ private:
+  bool should_stop() {
+    if (stop_check_stopped_ || budget_hit_) return true;
+    const long long budget = options_.max_nodes >= 0 ? options_.max_nodes
+                                                     : kPackExactDefaultNodes;
+    if (nodes_ >= budget) {
+      budget_hit_ = true;
+      return true;
+    }
+    if (stop_check_.should_stop()) {
+      stop_check_stopped_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  Cycles bound(std::size_t unplaced, Cycles max_end) const {
+    Cycles min_h = skyline_[0].h;
+    long long skyline_area = 0;
+    for (const Segment& s : skyline_) {
+      min_h = std::min(min_h, s.h);
+      skyline_area += static_cast<long long>(s.width) * s.h;
+    }
+    Cycles b = max_end;
+    if (unplaced > 0) {
+      Cycles tallest = 0;
+      for (std::size_t i = 0; i < placed_.size(); ++i) {
+        if (!placed_[i]) tallest = std::max(tallest, min_time_[i]);
+      }
+      b = std::max(b, min_h + tallest);
+    }
+    const long long area = skyline_area + remaining_area_;
+    b = std::max(b, static_cast<Cycles>((area + problem_.total_width - 1) /
+                                        problem_.total_width));
+    return b;
+  }
+
+  void dfs(std::size_t depth, Cycles max_end) {
+    ++nodes_;
+    if (should_stop()) return;
+    const std::size_t n = problem_.num_cores();
+    if (depth == n) {
+      if (max_end < best_makespan_) {
+        best_makespan_ = max_end;
+        best_placements_ = placements_;
+      }
+      return;
+    }
+    // The warm-start incumbent is already a witness, so pruning may be
+    // strict from the first node.
+    if (bound(n - depth, max_end) >= best_makespan_) return;
+
+    std::size_t seg_at = 0;
+    for (std::size_t s = 1; s < skyline_.size(); ++s) {
+      if (skyline_[s].h < skyline_[seg_at].h) seg_at = s;
+    }
+    const Segment seg = skyline_[seg_at];
+    const std::vector<Segment> saved_skyline = skyline_;
+
+    bool wider_exists = false;   // a remaining shape the segment is too
+                                 // narrow for (raising may merge room)
+    bool power_blocked = false;  // a fitting shape the budget rejected here
+    for (std::size_t core = 0; core < n; ++core) {
+      if (placed_[core]) continue;
+      if (group_[core] != core && !placed_[group_[core]]) continue;
+      const std::vector<PackRect>& shapes = problem_.menu[core];
+      for (auto it = shapes.rbegin(); it != shapes.rend(); ++it) {
+        if (it->width > seg.width) {
+          wider_exists = true;
+          continue;
+        }
+        if (!power_fits(problem_, placements_,
+                        problem_.power_mw.empty() ? 0.0
+                                                  : problem_.power_mw[core],
+                        seg.h, seg.h + it->time)) {
+          power_blocked = true;
+          continue;
+        }
+        PackPlacement placement;
+        placement.core = core;
+        placement.width = it->width;
+        placement.x = seg.x;
+        placement.start = seg.h;
+        placement.end = seg.h + it->time;
+        placements_.push_back(placement);
+        placed_[core] = 1;
+        remaining_area_ -= min_area_[core];
+        skyline_[seg_at].width = it->width;
+        skyline_[seg_at].h = placement.end;
+        if (it->width < seg.width) {
+          skyline_.insert(
+              skyline_.begin() + static_cast<std::ptrdiff_t>(seg_at) + 1,
+              {seg.x + it->width, seg.width - it->width, seg.h});
+        }
+        merge_skyline(skyline_);
+        dfs(depth + 1, std::max(max_end, placement.end));
+        skyline_ = saved_skyline;
+        remaining_area_ += min_area_[core];
+        placed_[core] = 0;
+        placements_.pop_back();
+        if (should_stop()) return;
+      }
+    }
+
+    // Close the lowest segment: raise it to the next active-set change so
+    // deliberately wasted strip area (power gaps, awkward widths) is
+    // reachable. Only branch when closing can enable something a direct
+    // placement cannot — a wider remaining shape (merging makes room) or a
+    // power-rejected one (the active set thins out above) — otherwise the
+    // raise subtree re-derives packings the placement branches already
+    // cover, with strictly more wasted area.
+    if (!wider_exists && !power_blocked) return;
+    Cycles next = -1;
+    if (seg_at > 0 && skyline_[seg_at - 1].h > seg.h) {
+      next = skyline_[seg_at - 1].h;
+    }
+    if (seg_at + 1 < skyline_.size() && skyline_[seg_at + 1].h > seg.h &&
+        (next < 0 || skyline_[seg_at + 1].h < next)) {
+      next = skyline_[seg_at + 1].h;
+    }
+    for (const PackPlacement& p : placements_) {
+      if (p.end > seg.h && (next < 0 || p.end < next)) next = p.end;
+    }
+    if (next >= 0) {
+      skyline_[seg_at].h = next;
+      merge_skyline(skyline_);
+      dfs(depth, max_end);
+      skyline_ = saved_skyline;
+    }
+  }
+
+  const PackProblem& problem_;
+  const PackExactOptions& options_;
+  StopCheck stop_check_;
+  bool stop_check_stopped_ = false;
+  bool budget_hit_ = false;
+  long long nodes_ = 0;
+  std::vector<Segment> skyline_;
+  std::vector<PackPlacement> placements_;
+  std::vector<char> placed_;
+  std::vector<long long> min_area_;
+  std::vector<Cycles> min_time_;
+  std::vector<std::size_t> group_;
+  long long remaining_area_ = 0;
+  Cycles best_makespan_ = 0;
+  std::vector<PackPlacement> best_placements_;
+};
+
+}  // namespace
+
+PackSolveResult solve_pack_exact(const PackProblem& problem,
+                                 const PackExactOptions& options) {
+  obs::Span span("pack.exact.solve",
+                 {{"cores", static_cast<long long>(problem.num_cores())},
+                  {"width", static_cast<long long>(problem.total_width)}});
+  // Warm start: the heuristic incumbent makes the very first bound tight
+  // and guarantees an anytime answer even on node budget 0.
+  PackSolveResult result = solve_pack_skyline(problem);
+  const Cycles lb = problem.lower_bound();
+  if (problem.num_cores() == 0 || result.makespan <= lb) {
+    if (span.active()) span.arg({"nodes", 0});
+    return result;  // already optimal; nothing to search
+  }
+
+  PackSearch search(problem, options, result.makespan);
+  search.run();
+  result.nodes = search.nodes();
+  result.stop = search.stop();
+  if (!search.best_placements().empty() &&
+      search.best_makespan() < result.makespan) {
+    result.placements = search.best_placements();
+    std::sort(result.placements.begin(), result.placements.end(),
+              [](const PackPlacement& a, const PackPlacement& b) {
+                return a.start != b.start ? a.start < b.start : a.x < b.x;
+              });
+    result.makespan = search.best_makespan();
+  }
+  if (search.interrupted()) {
+    result.proved_optimal = false;
+    result.certificate = certify_bounded(result.makespan, lb, result.stop);
+  } else {
+    result.proved_optimal = true;
+    result.certificate = certify_optimal(result.makespan);
+  }
+  if (obs::enabled()) {
+    obs::counter("pack.exact.solves").add(1);
+    obs::counter("pack.exact.nodes").add(search.nodes());
+  }
+  if (span.active()) {
+    span.arg({"nodes", search.nodes()});
+    span.arg({"makespan", static_cast<long long>(result.makespan)});
+  }
+  return result;
+}
+
+}  // namespace soctest

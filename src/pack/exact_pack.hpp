@@ -1,0 +1,40 @@
+#pragma once
+
+#include "common/parallel.hpp"
+#include "pack/pack_problem.hpp"
+#include "runtime/deadline.hpp"
+
+namespace soctest {
+
+/// Default search-node budget of solve_pack_exact. Rectangle packing is
+/// far harder than the fixed-bus assignment (the raise move alone makes
+/// the tree superexponential in N), so unlike the fixed-bus exact solver
+/// the packer always runs under a budget: small instances prove optimality
+/// well inside it, larger ones return the incumbent with stop =
+/// kNodeBudget and a feasible_bounded certificate.
+inline constexpr long long kPackExactDefaultNodes = 2'000'000;
+
+struct PackExactOptions {
+  /// Search-node budget; < 0 selects kPackExactDefaultNodes. On exhaustion
+  /// the incumbent is returned with stop = kNodeBudget.
+  long long max_nodes = -1;
+  /// Optional cooperative cancellation (portfolio racing).
+  const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline (anytime mode).
+  Deadline deadline;
+};
+
+/// Exact branch-and-bound over normalized (bottom-left-justified) packings:
+/// each node either places one remaining core — any menu shape that fits —
+/// at the left edge of the lowest skyline segment, or closes that segment by
+/// raising it to the next active-set change. Pruning uses the running
+/// max-end, a tallest-remaining bound, and the skyline-area bound, all
+/// against an incumbent warm-started from the skyline heuristic, so the
+/// search is anytime by construction: interrupting it (deadline, cancel,
+/// node budget, failpoint `pack.exact.node`) still returns a feasible
+/// packing with a `feasible_bounded` certificate. Serial and therefore
+/// bit-identical at any requested thread count.
+PackSolveResult solve_pack_exact(const PackProblem& problem,
+                                 const PackExactOptions& options = {});
+
+}  // namespace soctest

@@ -1,0 +1,179 @@
+#include "pack/pack_problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace soctest {
+
+std::string PackProblem::validate() const {
+  if (total_width < 1) return "total_width must be positive";
+  if (!power_mw.empty() && power_mw.size() != menu.size()) {
+    return "power_mw size mismatch";
+  }
+  for (std::size_t i = 0; i < menu.size(); ++i) {
+    const std::vector<PackRect>& shapes = menu[i];
+    if (shapes.empty()) {
+      return "core " + std::to_string(i) + " has an empty shape menu";
+    }
+    for (std::size_t k = 0; k < shapes.size(); ++k) {
+      if (shapes[k].width < 1 || shapes[k].width > total_width) {
+        return "core " + std::to_string(i) + " shape width " +
+               std::to_string(shapes[k].width) + " outside the strip";
+      }
+      if (shapes[k].time < 1) {
+        return "core " + std::to_string(i) + " has a non-positive test time";
+      }
+      if (k > 0 && (shapes[k].width <= shapes[k - 1].width ||
+                    shapes[k].time >= shapes[k - 1].time)) {
+        return "core " + std::to_string(i) +
+               " menu is not strictly Pareto-improving";
+      }
+    }
+  }
+  return {};
+}
+
+Cycles PackProblem::lower_bound() const {
+  Cycles tallest = 0;
+  long long min_area = 0;
+  for (const std::vector<PackRect>& shapes : menu) {
+    if (shapes.empty()) continue;
+    // Width-ascending menus put the shortest time last.
+    tallest = std::max(tallest, shapes.back().time);
+    long long area = -1;
+    for (const PackRect& r : shapes) {
+      const long long a = static_cast<long long>(r.width) * r.time;
+      if (area < 0 || a < area) area = a;
+    }
+    if (area > 0) min_area += area;
+  }
+  const Cycles area_bound = static_cast<Cycles>(
+      (min_area + total_width - 1) / std::max(1, total_width));
+  return std::max(tallest, area_bound);
+}
+
+PackProblem make_pack_problem(const Soc& soc, const TestTimeTable& table,
+                              int total_width, double p_max_mw) {
+  if (total_width < 1) {
+    throw std::invalid_argument("pack: total_width must be positive");
+  }
+  PackProblem problem;
+  problem.total_width = total_width;
+  problem.p_max_mw = p_max_mw;
+  problem.menu.resize(soc.num_cores());
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    std::vector<PackRect>& shapes = problem.menu[i];
+    for (const int w : table.pareto_widths(i)) {
+      if (w > total_width) break;  // pareto_widths is ascending
+      shapes.push_back({w, table.time(i, w)});
+    }
+    // pareto_widths always includes width 1, so the menu is never empty.
+  }
+  if (p_max_mw >= 0) {
+    problem.power_mw.reserve(soc.num_cores());
+    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+      problem.power_mw.push_back(soc.core(i).test_power_mw);
+      if (soc.core(i).test_power_mw > p_max_mw) {
+        throw std::runtime_error("core " + soc.core(i).name +
+                                 " alone exceeds the power budget");
+      }
+    }
+  }
+  return problem;
+}
+
+bool power_fits(const PackProblem& problem,
+                const std::vector<PackPlacement>& placed, double power_mw,
+                Cycles start, Cycles end) {
+  if (problem.p_max_mw < 0 || problem.power_mw.empty()) return true;
+  const auto active_at = [&](Cycles tau) {
+    double sum = power_mw;
+    for (const PackPlacement& q : placed) {
+      if (q.start <= tau && tau < q.end) sum += problem.power_mw[q.core];
+    }
+    return sum;
+  };
+  if (active_at(start) > problem.p_max_mw + 1e-9) return false;
+  for (const PackPlacement& q : placed) {
+    if (q.start > start && q.start < end &&
+        active_at(q.start) > problem.p_max_mw + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string check_packing(const PackProblem& problem,
+                          const std::vector<PackPlacement>& placements,
+                          Cycles reported_makespan) {
+  const std::size_t n = problem.num_cores();
+  if (placements.size() != n) {
+    return "expected " + std::to_string(n) + " placements, got " +
+           std::to_string(placements.size());
+  }
+  std::vector<char> seen(n, 0);
+  Cycles max_end = 0;
+  for (const PackPlacement& p : placements) {
+    if (p.core >= n) return "placement names core " + std::to_string(p.core);
+    if (seen[p.core]) {
+      return "core " + std::to_string(p.core) + " placed twice";
+    }
+    seen[p.core] = 1;
+    bool in_menu = false;
+    for (const PackRect& r : problem.menu[p.core]) {
+      if (r.width == p.width && r.time == p.end - p.start) {
+        in_menu = true;
+        break;
+      }
+    }
+    if (!in_menu) {
+      return "core " + std::to_string(p.core) + " shape " +
+             std::to_string(p.width) + "x" + std::to_string(p.end - p.start) +
+             " is not in its menu";
+    }
+    if (p.x < 0 || p.x + p.width > problem.total_width) {
+      return "core " + std::to_string(p.core) + " at x=" + std::to_string(p.x) +
+             " width " + std::to_string(p.width) + " leaves the strip";
+    }
+    if (p.start < 0) {
+      return "core " + std::to_string(p.core) + " starts before time 0";
+    }
+    max_end = std::max(max_end, p.end);
+  }
+  for (std::size_t a = 0; a < placements.size(); ++a) {
+    for (std::size_t b = a + 1; b < placements.size(); ++b) {
+      const PackPlacement& p = placements[a];
+      const PackPlacement& q = placements[b];
+      const bool x_overlap = p.x < q.x + q.width && q.x < p.x + p.width;
+      const bool t_overlap = p.start < q.end && q.start < p.end;
+      if (x_overlap && t_overlap) {
+        return "cores " + std::to_string(p.core) + " and " +
+               std::to_string(q.core) + " overlap";
+      }
+    }
+  }
+  if (problem.p_max_mw >= 0 && !problem.power_mw.empty()) {
+    // Instantaneous power is piecewise constant between rectangle starts, so
+    // checking at every start instant covers every interval.
+    for (const PackPlacement& p : placements) {
+      double active = 0.0;
+      for (const PackPlacement& q : placements) {
+        if (q.start <= p.start && p.start < q.end) {
+          active += problem.power_mw[q.core];
+        }
+      }
+      if (active > problem.p_max_mw + 1e-9) {
+        return "power " + std::to_string(active) + " mW at t=" +
+               std::to_string(p.start) + " exceeds budget " +
+               std::to_string(problem.p_max_mw);
+      }
+    }
+  }
+  if (reported_makespan != max_end) {
+    return "reported makespan " + std::to_string(reported_makespan) +
+           " != max rectangle end " + std::to_string(max_end);
+  }
+  return {};
+}
+
+}  // namespace soctest

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/status.hpp"
+#include "soc/soc.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+
+/// One admissible shape of a core's test rectangle: a Pareto-optimal TAM
+/// width and the core's test time at it. Menus are width-ascending, so
+/// times are strictly descending (pareto_widths keeps only strict
+/// improvements).
+struct PackRect {
+  int width = 0;
+  Cycles time = 0;
+};
+
+/// The rectangle-packing formulation of wrapper/TAM co-optimization (the
+/// follow-on line to the DAC 2000 fixed-bus model, arXiv 1008.4448 /
+/// 1008.3320): every core i is a `width x time` rectangle whose width may
+/// be chosen from its Pareto staircase menu, all rectangles are packed
+/// without overlap into a `total_width x T` strip, and the objective is
+/// the strip height T. A fixed-bus architecture is the special case where
+/// the strip is pre-cut into full-height vertical slabs, so the optimal
+/// packed T is never worse than the optimal fixed-bus T.
+///
+/// Power is the third packing dimension, checked *time-resolved*: at every
+/// instant the sum of the powers of the cores under test must stay within
+/// p_max_mw. This replaces the fixed-bus model's conservative pairwise
+/// `P_i + P_k <= p_max` serialization rule.
+struct PackProblem {
+  int total_width = 0;                      ///< strip width (W_total wires)
+  std::vector<std::vector<PackRect>> menu;  ///< [core] width-ascending shapes
+  std::vector<double> power_mw;             ///< per-core test power; may be empty
+  double p_max_mw = -1.0;                   ///< instantaneous budget; < 0 off
+
+  std::size_t num_cores() const { return menu.size(); }
+
+  /// Structural validation (non-empty menus, widths within the strip,
+  /// strictly improving shapes). Empty string if OK.
+  std::string validate() const;
+
+  /// Lower bound on any feasible strip height:
+  ///   max( max_i t_i(W_total),                       one core alone
+  ///        ceil( Σ_i min_w w * t_i(w) / W_total ) )  area argument
+  /// (both remain valid under the power dimension, which only removes
+  /// packings).
+  Cycles lower_bound() const;
+};
+
+/// Placement of one core's rectangle in the strip.
+struct PackPlacement {
+  std::size_t core = 0;
+  int width = 0;    ///< chosen TAM width (a menu entry of `core`)
+  int x = 0;        ///< leftmost strip wire occupied
+  Cycles start = 0;
+  Cycles end = 0;   ///< start + t_core(width), exclusive
+};
+
+/// Result of any pack solver, mirroring TamSolveResult's contract: an
+/// interrupted solve still carries the best incumbent found, and the
+/// certificate reports the achieved gap against PackProblem::lower_bound.
+struct PackSolveResult {
+  bool feasible = false;
+  bool proved_optimal = false;
+  std::vector<PackPlacement> placements;  ///< sorted by (start, x)
+  Cycles makespan = 0;
+  long long nodes = 0;  ///< solver-defined work measure
+  StopReason stop = StopReason::kNone;
+  SolveCertificate certificate;
+};
+
+/// Lowers a SOC + its test-time table into the packing form: core i's menu
+/// is its Pareto width set clamped to the strip, with `table.time(i, w)` as
+/// the rectangle height; powers come from the cores when p_max_mw >= 0.
+/// Throws std::invalid_argument for a non-positive strip width.
+PackProblem make_pack_problem(const Soc& soc, const TestTimeTable& table,
+                              int total_width, double p_max_mw = -1.0);
+
+/// True when adding one more rectangle drawing `power_mw` over [start, end)
+/// keeps the instantaneous power within problem.p_max_mw, given the
+/// rectangles already placed. Power is piecewise constant between rectangle
+/// starts, so sampling at `start` and at every placed start inside the
+/// interval is exact. Always true when the budget is off.
+bool power_fits(const PackProblem& problem,
+                const std::vector<PackPlacement>& placed, double power_mw,
+                Cycles start, Cycles end);
+
+/// Feasibility oracle for a packed schedule (the differential fuzzer's
+/// contract): every core placed exactly once with a shape from its menu,
+/// every rectangle inside the strip, no two rectangles overlap, the
+/// time-resolved power never exceeds the budget, and the reported makespan
+/// equals the max rectangle end. Returns a description of the first
+/// violation, or empty if the packing is valid.
+std::string check_packing(const PackProblem& problem,
+                          const std::vector<PackPlacement>& placements,
+                          Cycles reported_makespan);
+
+}  // namespace soctest

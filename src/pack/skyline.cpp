@@ -1,0 +1,271 @@
+#include "pack/skyline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "obs/obs.hpp"
+#include "runtime/failpoint.hpp"
+
+namespace soctest {
+
+namespace {
+
+/// One maximal horizontal run of the skyline at height h.
+struct Segment {
+  int x = 0;
+  int width = 0;
+  Cycles h = 0;
+};
+
+struct PackPass {
+  std::vector<PackPlacement> placements;
+  Cycles makespan = 0;
+  long long raised = 0;
+};
+
+void merge_skyline(std::vector<Segment>& skyline) {
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < skyline.size(); ++i) {
+    if (out > 0 && skyline[out - 1].h == skyline[i].h) {
+      skyline[out - 1].width += skyline[i].width;
+    } else {
+      skyline[out++] = skyline[i];
+    }
+  }
+  skyline.resize(out);
+}
+
+/// Deterministic bottom-left skyline pass. `order` is the candidate scan
+/// priority; `cap[core]` limits the width choice (>= 1). Power rejections
+/// raise the blocked segment to the next height at which the active set
+/// changes, so the pass always terminates with every core placed.
+PackPass pack_once(const PackProblem& problem,
+                   const std::vector<std::size_t>& order,
+                   const std::vector<int>& cap) {
+  const std::size_t n = problem.num_cores();
+  PackPass pass;
+  if (n == 0) return pass;
+  std::vector<Segment> skyline{{0, problem.total_width, 0}};
+  std::vector<char> placed_mask(n, 0);
+  pass.placements.reserve(n);
+  std::size_t placed = 0;
+  while (placed < n) {
+    std::size_t seg_at = 0;
+    for (std::size_t s = 1; s < skyline.size(); ++s) {
+      if (skyline[s].h < skyline[seg_at].h) seg_at = s;
+    }
+    const Segment seg = skyline[seg_at];
+    // Best candidate: widest shape fitting the segment, order position
+    // breaking ties; a perfect width fill wins outright.
+    bool found = false;
+    std::size_t best_core = 0;
+    int best_width = 0;
+    Cycles best_time = 0;
+    for (const std::size_t core : order) {
+      if (placed_mask[core]) continue;
+      const int limit = std::min(seg.width, cap[core]);
+      const std::vector<PackRect>& shapes = problem.menu[core];
+      int w = 0;
+      Cycles t = 0;
+      for (auto it = shapes.rbegin(); it != shapes.rend(); ++it) {
+        if (it->width <= limit) {
+          w = it->width;
+          t = it->time;
+          break;
+        }
+      }
+      if (w == 0) continue;  // cap below the narrowest shape
+      if (w <= best_width) continue;
+      if (!power_fits(problem, pass.placements,
+                      problem.power_mw.empty() ? 0.0 : problem.power_mw[core],
+                      seg.h, seg.h + t)) {
+        continue;
+      }
+      found = true;
+      best_core = core;
+      best_width = w;
+      best_time = t;
+      if (w == seg.width) break;  // perfect fill
+    }
+    if (!found) {
+      // Power blocks every remaining core here: raise the segment to the
+      // next height where the active set changes (a neighbouring segment
+      // top or a placed rectangle end), then merge equal heights.
+      Cycles next = -1;
+      if (seg_at > 0 && skyline[seg_at - 1].h > seg.h) {
+        next = skyline[seg_at - 1].h;
+      }
+      if (seg_at + 1 < skyline.size() && skyline[seg_at + 1].h > seg.h &&
+          (next < 0 || skyline[seg_at + 1].h < next)) {
+        next = skyline[seg_at + 1].h;
+      }
+      for (const PackPlacement& p : pass.placements) {
+        if (p.end > seg.h && (next < 0 || p.end < next)) next = p.end;
+      }
+      if (next < 0) {
+        // Unreachable on validated problems (a lone core always fits the
+        // budget); raise by one cycle to guarantee termination regardless.
+        next = seg.h + 1;
+      }
+      skyline[seg_at].h = next;
+      merge_skyline(skyline);
+      ++pass.raised;
+      continue;
+    }
+    PackPlacement placement;
+    placement.core = best_core;
+    placement.width = best_width;
+    placement.x = seg.x;
+    placement.start = seg.h;
+    placement.end = seg.h + best_time;
+    pass.placements.push_back(placement);
+    placed_mask[best_core] = 1;
+    ++placed;
+    pass.makespan = std::max(pass.makespan, placement.end);
+    skyline[seg_at].width = best_width;
+    skyline[seg_at].h = seg.h + best_time;
+    if (best_width < seg.width) {
+      skyline.insert(skyline.begin() + static_cast<std::ptrdiff_t>(seg_at) + 1,
+                     {seg.x + best_width, seg.width - best_width, seg.h});
+    }
+    merge_skyline(skyline);
+  }
+  return pass;
+}
+
+/// Tallest-first scan order: decreasing full-width test time, index ties.
+std::vector<std::size_t> default_order(const PackProblem& problem) {
+  std::vector<std::size_t> order(problem.num_cores());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return problem.menu[a].back().time >
+                            problem.menu[b].back().time;
+                   });
+  return order;
+}
+
+std::vector<int> full_caps(const PackProblem& problem) {
+  return std::vector<int>(problem.num_cores(), problem.total_width);
+}
+
+PackSolveResult assemble(const PackProblem& problem, PackPass best,
+                         long long nodes, StopReason stop) {
+  PackSolveResult result;
+  result.feasible = true;
+  result.makespan = best.makespan;
+  result.nodes = nodes;
+  result.stop = stop;
+  std::sort(best.placements.begin(), best.placements.end(),
+            [](const PackPlacement& a, const PackPlacement& b) {
+              return a.start != b.start ? a.start < b.start : a.x < b.x;
+            });
+  result.placements = std::move(best.placements);
+  const Cycles lb = problem.lower_bound();
+  if (result.makespan <= lb) {
+    result.proved_optimal = true;
+    result.certificate = certify_optimal(result.makespan);
+    result.certificate.stop = stop;
+  } else {
+    result.certificate = certify_bounded(result.makespan, lb, stop);
+  }
+  return result;
+}
+
+}  // namespace
+
+PackSolveResult solve_pack_skyline(const PackProblem& problem) {
+  PackPass pass = pack_once(problem, default_order(problem), full_caps(problem));
+  if (obs::enabled()) {
+    obs::counter("pack.skyline.solves").add(1);
+    obs::counter("pack.skyline.placed")
+        .add(static_cast<long long>(pass.placements.size()));
+    obs::counter("pack.skyline.raised").add(pass.raised);
+  }
+  const long long nodes =
+      static_cast<long long>(pass.placements.size()) + pass.raised;
+  return assemble(problem, std::move(pass), nodes, StopReason::kNone);
+}
+
+PackSolveResult solve_pack(const PackProblem& problem,
+                           const PackSolverOptions& options) {
+  obs::Span span("pack.solve",
+                 {{"cores", static_cast<long long>(problem.num_cores())},
+                  {"width", static_cast<long long>(problem.total_width)}});
+  const std::vector<std::size_t> base_order = default_order(problem);
+  std::vector<std::size_t> order = base_order;
+  std::vector<int> cap = full_caps(problem);
+  PackPass current = pack_once(problem, order, cap);
+  PackPass best = current;
+  long long passes = 1;
+  long long raised_total = current.raised;
+  const Cycles lb = problem.lower_bound();
+  const std::size_t n = problem.num_cores();
+
+  StopCheck stop_check(options.deadline, options.cancel,
+                       failpoint::sites::kPackSaIter);
+  long long moves = 0;
+  long long accepted = 0;
+  if (n >= 2 && best.makespan > lb) {
+    Rng rng(options.seed);
+    double cost = static_cast<double>(current.makespan);
+    double temperature =
+        options.initial_temperature > 0
+            ? options.initial_temperature
+            : std::max(1.0, cost * 0.05);
+    for (int it = 0; it < options.sa_iterations; ++it) {
+      if (stop_check.should_stop()) break;
+      // Perturb the pack inputs, re-pack, Metropolis-accept on makespan.
+      std::size_t undo_a = 0, undo_b = 0;
+      int undo_cap = 0;
+      bool is_swap = rng.bernoulli(0.5);
+      if (is_swap) {
+        undo_a = rng.index(n);
+        undo_b = rng.index(n);
+        if (undo_a == undo_b) undo_b = (undo_b + 1) % n;
+        std::swap(order[undo_a], order[undo_b]);
+      } else {
+        undo_a = rng.index(n);
+        undo_cap = cap[undo_a];
+        const std::vector<PackRect>& shapes = problem.menu[undo_a];
+        cap[undo_a] = shapes[rng.index(shapes.size())].width;
+        if (cap[undo_a] == undo_cap) continue;
+      }
+      ++moves;
+      PackPass candidate = pack_once(problem, order, cap);
+      ++passes;
+      raised_total += candidate.raised;
+      const double cand_cost = static_cast<double>(candidate.makespan);
+      const double delta = cand_cost - cost;
+      if (delta <= 0 || rng.uniform01() < std::exp(-delta / temperature)) {
+        ++accepted;
+        cost = cand_cost;
+        if (candidate.makespan < best.makespan) best = candidate;
+        current = std::move(candidate);
+        if (best.makespan <= lb) break;  // optimal; nothing left to repair
+      } else if (is_swap) {
+        std::swap(order[undo_a], order[undo_b]);
+      } else {
+        cap[undo_a] = undo_cap;
+      }
+      temperature *= options.cooling;
+    }
+  }
+  if (obs::enabled()) {
+    obs::counter("pack.skyline.solves").add(passes);
+    obs::counter("pack.skyline.placed")
+        .add(passes * static_cast<long long>(n));
+    obs::counter("pack.skyline.raised").add(raised_total);
+    obs::counter("pack.sa.moves").add(moves);
+    obs::counter("pack.sa.accepted").add(accepted);
+  }
+  if (span.active()) {
+    span.arg({"moves", moves});
+    span.arg({"makespan", static_cast<long long>(best.makespan)});
+  }
+  return assemble(problem, std::move(best), passes, stop_check.reason());
+}
+
+}  // namespace soctest

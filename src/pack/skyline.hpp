@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/parallel.hpp"
+#include "pack/pack_problem.hpp"
+#include "runtime/deadline.hpp"
+
+namespace soctest {
+
+struct PackSolverOptions {
+  /// SA repair iterations over (placement order, width caps); 0 disables
+  /// the repair pass and returns the raw skyline packing.
+  int sa_iterations = 6000;
+  double initial_temperature = 0.0;  ///< 0 = auto (scaled to makespan)
+  double cooling = 0.9995;
+  std::uint64_t seed = 1;
+  /// Optional cooperative cancellation (portfolio racing): checked every
+  /// iteration; on cancel the best packing seen so far is returned.
+  const CancellationToken* cancel = nullptr;
+  /// Optional wall-clock deadline (anytime mode): the repair loop stops
+  /// when it expires and returns the best packing seen so far.
+  Deadline deadline;
+};
+
+/// One deterministic bottom-left skyline pass: cores sorted by decreasing
+/// full-width test time, each placed on the lowest (leftmost-tie) skyline
+/// segment with the widest menu shape that fits it; when the power budget
+/// rejects every candidate the segment is raised to the next height at
+/// which the active set changes. Never fails on a validated problem.
+PackSolveResult solve_pack_skyline(const PackProblem& problem);
+
+/// The `pack` solver: the skyline pass above plus a simulated-annealing
+/// repair loop that perturbs the placement order and per-core width caps
+/// and re-packs (the SA idiom of src/tam/heuristics applied to packings).
+/// Proves optimality only when the result hits PackProblem::lower_bound.
+PackSolveResult solve_pack(const PackProblem& problem,
+                           const PackSolverOptions& options = {});
+
+}  // namespace soctest

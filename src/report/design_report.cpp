@@ -59,33 +59,55 @@ std::string design_report_json(const Soc& soc, const DesignRequest& request,
   w.key("proved_optimal").value(result.proved_optimal);
   w.key("test_time_cycles").value(static_cast<long long>(result.assignment.makespan));
 
-  w.key("buses").begin_array();
-  const int max_width = result.bus_widths.empty()
-                            ? 1
-                            : *std::max_element(result.bus_widths.begin(),
-                                                result.bus_widths.end());
-  const TestTimeTable table(soc, max_width);
-  for (std::size_t j = 0; j < result.bus_widths.size(); ++j) {
-    w.begin_object();
-    w.key("index").value(j);
-    w.key("width").value(result.bus_widths[j]);
-    Cycles load = 0;
-    w.key("cores").begin_array();
-    for (std::size_t i = 0; i < soc.num_cores(); ++i) {
-      if (result.assignment.core_to_bus[i] != static_cast<int>(j)) continue;
-      const Cycles t = table.time(i, result.bus_widths[j]);
-      load += t;
+  if (!result.pack_placements.empty()) {
+    // Rectangle-packing formulation: no buses exist, so the report carries
+    // the packed placements (strip coordinates) instead of a buses array.
+    w.key("formulation").value("pack");
+    w.key("pack").begin_object();
+    w.key("strip_width")
+        .value(result.bus_widths.empty() ? 0 : result.bus_widths.front());
+    w.key("placements").begin_array();
+    for (const PackPlacement& p : result.pack_placements) {
       w.begin_object();
-      w.key("name").value(soc.core(i).name);
-      w.key("test_time").value(static_cast<long long>(t));
-      w.key("data_volume_bits").value(core_test_data_volume(soc.core(i)));
+      w.key("core").value(soc.core(p.core).name);
+      w.key("x").value(p.x);
+      w.key("width").value(p.width);
+      w.key("start").value(static_cast<long long>(p.start));
+      w.key("end").value(static_cast<long long>(p.end));
       w.end_object();
     }
     w.end_array();
-    w.key("load").value(static_cast<long long>(load));
     w.end_object();
+  } else {
+    w.key("formulation").value("fixed-bus");
+    w.key("buses").begin_array();
+    const int max_width = result.bus_widths.empty()
+                              ? 1
+                              : *std::max_element(result.bus_widths.begin(),
+                                                  result.bus_widths.end());
+    const TestTimeTable table(soc, max_width);
+    for (std::size_t j = 0; j < result.bus_widths.size(); ++j) {
+      w.begin_object();
+      w.key("index").value(j);
+      w.key("width").value(result.bus_widths[j]);
+      Cycles load = 0;
+      w.key("cores").begin_array();
+      for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+        if (result.assignment.core_to_bus[i] != static_cast<int>(j)) continue;
+        const Cycles t = table.time(i, result.bus_widths[j]);
+        load += t;
+        w.begin_object();
+        w.key("name").value(soc.core(i).name);
+        w.key("test_time").value(static_cast<long long>(t));
+        w.key("data_volume_bits").value(core_test_data_volume(soc.core(i)));
+        w.end_object();
+      }
+      w.end_array();
+      w.key("load").value(static_cast<long long>(load));
+      w.end_object();
+    }
+    w.end_array();
   }
-  w.end_array();
 
   if (result.bus_plan) {
     w.key("layout").begin_object();

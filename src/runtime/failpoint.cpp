@@ -82,8 +82,8 @@ const char* action_name(Action action) {
 std::vector<std::string> catalog() {
   return {sites::kSocParseOpen, sites::kSocParseLine, sites::kPoolTask,
           sites::kExactNode,    sites::kSaIter,       sites::kIlpNode,
-          sites::kPlacerIter,   sites::kRouteStep,    sites::kPowerTick,
-          sites::kReportWrite};
+          sites::kPackNode,     sites::kPackSaIter,   sites::kPlacerIter,
+          sites::kRouteStep,    sites::kPowerTick,    sites::kReportWrite};
 }
 
 bool armed() noexcept { return g_armed.load(std::memory_order_relaxed); }

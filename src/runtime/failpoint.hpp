@@ -43,6 +43,8 @@ inline constexpr const char* kPoolTask = "common.pool.task";
 inline constexpr const char* kExactNode = "tam.exact.node";
 inline constexpr const char* kSaIter = "tam.sa.iter";
 inline constexpr const char* kIlpNode = "ilp.bb.node";
+inline constexpr const char* kPackNode = "pack.exact.node";
+inline constexpr const char* kPackSaIter = "pack.sa.iter";
 inline constexpr const char* kPlacerIter = "layout.sa.iter";
 inline constexpr const char* kRouteStep = "layout.route.step";
 inline constexpr const char* kPowerTick = "sched.power.tick";

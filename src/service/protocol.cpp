@@ -122,6 +122,10 @@ StatusOr<ServiceRequest> parse_request(const std::string& line) {
         request.solver = InnerSolver::kSa;
       } else if (value.text == "portfolio") {
         request.solver = InnerSolver::kPortfolio;
+      } else if (value.text == "pack") {
+        request.solver = InnerSolver::kPack;
+      } else if (value.text == "pack-exact") {
+        request.solver = InnerSolver::kPackExact;
       } else {
         return bad_field(name, "unknown solver '" + value.text + "'");
       }

@@ -5,6 +5,7 @@
 
 #include "layout/bus_planner.hpp"
 #include "layout/constraints.hpp"
+#include "pack/pack_problem.hpp"
 #include "tam/width_partition.hpp"
 
 namespace soctest {
@@ -40,6 +41,11 @@ struct DesignRequest {
   Cycles ate_depth_limit = -1;
 
   InnerSolver solver = InnerSolver::kExact;
+  /// Whether a kPortfolio width search may additionally race the
+  /// rectangle-packing formulation (see tam/portfolio.hpp). Callers that
+  /// realize power at the schedule level (--idle-insertion) turn this off:
+  /// a packed winner would bypass the idle-insertion scheduler.
+  bool pack_race = true;
   long long max_nodes = -1;
   /// Worker threads for the exact solver's root-splitting search and the
   /// portfolio race. 1 = serial, 0 = auto (default_thread_count()). Any
@@ -78,6 +84,11 @@ struct DesignResult {
   SearchMode search_mode = SearchMode::kNone;
   /// Quality certificate for the returned architecture (docs/robustness.md).
   SolveCertificate certificate;
+  /// Non-empty when the rectangle-packing formulation produced the result
+  /// (--solver pack / pack-exact, or a portfolio formulation-race win):
+  /// the packed schedule, sorted by (start, x). bus_widths then holds the
+  /// single strip width and every core maps to "bus" 0.
+  std::vector<PackPlacement> pack_placements;
 };
 
 /// Runs the full TAM architecture design flow on `soc`.

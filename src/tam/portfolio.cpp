@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <stdexcept>
 
 #include "common/thread_pool.hpp"
 #include "obs/obs.hpp"
@@ -180,6 +181,65 @@ PortfolioResult solve_portfolio(const TamProblem& problem,
     out.certificate = certify_infeasible(/*proven=*/false, race_stop);
   }
   note_winner();
+  return out;
+}
+
+FormulationRaceResult race_formulations(
+    const std::function<ArchitectureResult()>& solve_fixed,
+    const PackProblem& pack_problem, const PackSolverOptions& pack_options) {
+  obs::Span span("tam.portfolio.formulations",
+                 {{"cores", pack_problem.num_cores()},
+                  {"width", static_cast<long long>(pack_problem.total_width)}});
+  FormulationRaceResult out;
+  bool fixed_faulted = false;
+  {
+    // Both racers run to completion: cancelling the loser would make the
+    // certificate depend on timing, and each racer is deterministic on its
+    // own, so completion is what keeps the race bit-identical at any
+    // thread count.
+    ThreadPool pool(2);
+    auto fixed_future = pool.submit(solve_fixed);
+    auto pack_future =
+        pool.submit([&] { return solve_pack(pack_problem, pack_options); });
+    try {
+      out.fixed = fixed_future.get();
+    } catch (const std::exception&) {
+      fixed_faulted = true;
+      out.fixed = ArchitectureResult{};
+      out.fixed.stop = StopReason::kFault;
+      out.fixed.certificate = certify_error("fixed-bus racer faulted");
+    }
+    try {
+      out.pack = pack_future.get();
+    } catch (const std::exception&) {
+      out.pack = PackSolveResult{};
+      out.pack.stop = StopReason::kFault;
+      out.pack.certificate = certify_error("pack racer faulted");
+    }
+  }
+  if (fixed_faulted && !out.pack.feasible) {
+    // Nothing survived; surface the fixed-bus fault the way a non-racing
+    // solve would have.
+    throw std::runtime_error("formulation race: both racers faulted");
+  }
+  out.pack_won =
+      out.pack.feasible &&
+      (!out.fixed.feasible ||
+       out.pack.makespan < out.fixed.assignment.makespan);
+  if (obs::enabled()) {
+    obs::counter("tam.portfolio.formulation_races").add(1);
+    obs::counter(out.pack_won ? "tam.portfolio.win_pack"
+                              : "tam.portfolio.win_fixed")
+        .add(1);
+  }
+  if (span.active()) {
+    span.arg({"pack_won", out.pack_won});
+    span.arg({"pack_makespan", static_cast<long long>(out.pack.makespan)});
+    if (out.fixed.feasible) {
+      span.arg({"fixed_makespan",
+                static_cast<long long>(out.fixed.assignment.makespan)});
+    }
+  }
   return out;
 }
 

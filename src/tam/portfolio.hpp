@@ -1,9 +1,12 @@
 #pragma once
 
+#include <functional>
 #include <string>
 
+#include "pack/skyline.hpp"
 #include "tam/exact_solver.hpp"
 #include "tam/heuristics.hpp"
+#include "tam/width_partition.hpp"
 
 namespace soctest {
 
@@ -57,5 +60,26 @@ struct PortfolioResult {
 /// starts do not change the exact solver's witness (see DESIGN.md).
 PortfolioResult solve_portfolio(const TamProblem& problem,
                                 const PortfolioOptions& options = {});
+
+struct FormulationRaceResult {
+  /// The fixed-bus racer's architecture (whatever `solve_fixed` returned).
+  ArchitectureResult fixed;
+  /// The rectangle-packing racer's result.
+  PackSolveResult pack;
+  /// True when the packing formulation strictly beat the fixed-bus
+  /// makespan (ties keep the fixed-bus answer, preserving the results of
+  /// every pre-pack run).
+  bool pack_won = false;
+};
+
+/// Formulation-level portfolio: races the fixed-bus width search against
+/// the rectangle-packing solver (src/pack) on a two-worker pool. Both
+/// racers run to completion — each is internally deterministic, so the
+/// combined result is bit-identical at any thread count; the pool only
+/// buys wall-clock overlap. Emits `tam.portfolio.win_pack` /
+/// `tam.portfolio.win_fixed` counters for the scraped stats.
+FormulationRaceResult race_formulations(
+    const std::function<ArchitectureResult()>& solve_fixed,
+    const PackProblem& pack_problem, const PackSolverOptions& pack_options);
 
 }  // namespace soctest

@@ -17,6 +17,8 @@ const char* inner_solver_name(InnerSolver solver) {
     case InnerSolver::kGreedy: return "greedy";
     case InnerSolver::kSa: return "sa";
     case InnerSolver::kPortfolio: return "portfolio";
+    case InnerSolver::kPack: return "pack";
+    case InnerSolver::kPackExact: return "pack-exact";
   }
   return "unknown";
 }
@@ -79,6 +81,11 @@ TamSolveResult run_inner(const TamProblem& problem,
       portfolio.deadline = options.deadline;
       return solve_portfolio(problem, portfolio).best;
     }
+    case InnerSolver::kPack:
+    case InnerSolver::kPackExact:
+      // The packing formulation never reaches the per-partition inner solve
+      // (tam/architect.cpp routes it first); degrade to greedy defensively.
+      return solve_greedy_lpt(problem);
   }
   throw std::logic_error("unknown inner solver");
 }

@@ -11,8 +11,14 @@ namespace soctest {
 
 /// Which inner assignment solver the width-partition search runs per
 /// candidate width vector. kPortfolio races greedy-LPT, SA, and the exact
-/// solver concurrently (see tam/portfolio.hpp).
-enum class InnerSolver { kExact, kIlp, kGreedy, kSa, kPortfolio };
+/// solver concurrently (see tam/portfolio.hpp) — and, on width-search
+/// requests without layout/ATE constraints, additionally races the
+/// rectangle-packing formulation (src/pack). kPack/kPackExact live in the
+/// same enum so one CLI flag / service field names every solver, but they
+/// switch the whole solve to the packing formulation instead of picking an
+/// inner assignment solver (tam/architect.cpp routes them before the width
+/// search).
+enum class InnerSolver { kExact, kIlp, kGreedy, kSa, kPortfolio, kPack, kPackExact };
 
 /// CLI-facing name of an inner solver ("exact", "ilp", ...), matching the
 /// --solver flag values; used by reports and the run ledger.

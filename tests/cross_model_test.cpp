@@ -6,12 +6,16 @@
 
 #include <algorithm>
 
+#include "pack/exact_pack.hpp"
+#include "pack/skyline.hpp"
 #include "sched/power_sched.hpp"
 #include "sched/preemptive.hpp"
 #include "sched/sessions.hpp"
+#include "soc/builtin.hpp"
 #include "soc/generator.hpp"
 #include "tam/daisychain.hpp"
 #include "tam/exact_solver.hpp"
+#include "tam/heuristics.hpp"
 #include "tam/multisite.hpp"
 
 namespace soctest {
@@ -106,6 +110,60 @@ TEST_P(CrossModel, MultisiteThroughputConsistentWithWidthCurve) {
     ASSERT_TRUE(arch.feasible);
     EXPECT_EQ(point.test_time, arch.assignment.makespan)
         << "sites " << point.sites;
+  }
+}
+
+TEST_P(CrossModel, PackSolversAlwaysPassTheFeasibilityOracle) {
+  const PackProblem problem = make_pack_problem(soc_, *table_, 16);
+  const PackSolveResult sky = solve_pack_skyline(problem);
+  const PackSolveResult repaired = solve_pack(problem);
+  PackExactOptions budgeted;
+  budgeted.max_nodes = 100000;  // bounded incumbent is enough for the oracle
+  const PackSolveResult exact = solve_pack_exact(problem, budgeted);
+  for (const PackSolveResult* r : {&sky, &repaired, &exact}) {
+    ASSERT_TRUE(r->feasible);
+    EXPECT_EQ(check_packing(problem, r->placements, r->makespan), "");
+    EXPECT_GE(r->makespan, problem.lower_bound());
+  }
+  EXPECT_LE(repaired.makespan, sky.makespan);
+  // The exact search warm-starts from the raw skyline pass, so even a
+  // budget-truncated run can never be worse than it.
+  EXPECT_LE(exact.makespan, sky.makespan);
+}
+
+TEST_P(CrossModel, PackWithPowerBudgetSatisfiesTimeResolvedOracle) {
+  double tallest = 0;
+  for (const auto& c : soc_.cores()) {
+    tallest = std::max(tallest, c.test_power_mw);
+  }
+  // Tight enough to force serialization decisions, loose enough to stay
+  // feasible (every core fits alone).
+  const double budget = tallest * 1.5;
+  const PackProblem problem = make_pack_problem(soc_, *table_, 16, budget);
+  const PackSolveResult r = solve_pack(problem);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(check_packing(problem, r.placements, r.makespan), "");
+}
+
+// Any fixed-bus architecture over buses summing to W is one particular
+// packing of the W-wide strip (full-height slabs), so the packing
+// formulation should not lose to the fixed-bus greedy on shipped SOCs.
+TEST(PackVsFixedBus, PackNeverWorseThanGreedyOnShippedSocs) {
+  for (const Soc& soc : {builtin_soc1(), builtin_soc2(), builtin_soc3(),
+                         builtin_soc4()}) {
+    for (int width : {16, 24, 32}) {
+      const TestTimeTable table(soc, width);
+      const TamProblem bus =
+          make_tam_problem(soc, table, {width / 2, width - width / 2});
+      const TamSolveResult greedy = solve_greedy_lpt(bus);
+      const PackProblem problem = make_pack_problem(soc, table, width);
+      const PackSolveResult pack = solve_pack(problem);
+      ASSERT_TRUE(greedy.feasible && pack.feasible);
+      EXPECT_LE(pack.makespan, greedy.assignment.makespan)
+          << soc.name() << " width " << width;
+      EXPECT_EQ(check_packing(problem, pack.placements, pack.makespan), "")
+          << soc.name() << " width " << width;
+    }
   }
 }
 

@@ -11,6 +11,8 @@
 #include "common/thread_pool.hpp"
 #include "layout/router.hpp"
 #include "layout/sa_placer.hpp"
+#include "pack/exact_pack.hpp"
+#include "pack/skyline.hpp"
 #include "runtime/failpoint.hpp"
 #include "sched/power_sched.hpp"
 #include "soc/builtin.hpp"
@@ -168,6 +170,53 @@ TEST_F(FaultInjection, PortfolioSurvivesPoolTaskFaults) {
   EXPECT_EQ(race.best.stop, StopReason::kFault);
 }
 
+// ------------------------------------------------------------ pack.*.* --
+
+PackProblem small_pack_problem() {
+  const Soc soc = builtin_soc1();
+  return make_pack_problem(soc, cached_test_time_table(soc, 32), 32);
+}
+
+TEST_F(FaultInjection, PackExactKeepsWarmStartOnFault) {
+  ASSERT_TRUE(failpoint::arm("pack.exact.node=error").ok());
+  const PackProblem problem = small_pack_problem();
+  const PackSolveResult r = solve_pack_exact(problem);
+  // The skyline warm start survives the aborted search as the incumbent.
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stop, StopReason::kFault);
+  EXPECT_FALSE(r.proved_optimal);
+  EXPECT_EQ(r.certificate.status, SolveStatus::kFeasibleBounded);
+  EXPECT_EQ(check_packing(problem, r.placements, r.makespan), "");
+}
+
+TEST_F(FaultInjection, PackExactFaultDeepInTheSearch) {
+  ASSERT_TRUE(failpoint::arm("pack.exact.node=error:200").ok());
+  const PackProblem problem = small_pack_problem();
+  const PackSolveResult r = solve_pack_exact(problem);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stop, StopReason::kFault);
+  EXPECT_EQ(check_packing(problem, r.placements, r.makespan), "");
+}
+
+TEST_F(FaultInjection, PackRepairKeepsBasePassOnFault) {
+  ASSERT_TRUE(failpoint::arm("pack.sa.iter=error:5").ok());
+  const PackProblem problem = small_pack_problem();
+  const PackSolveResult r = solve_pack(problem);
+  // The deterministic base pass is the incumbent; the aborted repair loop
+  // must not lose it or report a dishonest certificate.
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stop, StopReason::kFault);
+  EXPECT_EQ(r.certificate.status, SolveStatus::kFeasibleBounded);
+  EXPECT_EQ(check_packing(problem, r.placements, r.makespan), "");
+}
+
+TEST_F(FaultInjection, PackRepairCancelActionMapsToCancelled) {
+  ASSERT_TRUE(failpoint::arm("pack.sa.iter=cancel").ok());
+  const PackSolveResult r = solve_pack(small_pack_problem());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stop, StopReason::kCancelled);
+}
+
 // ---------------------------------------------------------------- layout --
 
 TEST_F(FaultInjection, PlacerCommitsBestOnFault) {
@@ -258,6 +307,7 @@ TEST_F(FaultInjection, EverySiteIsCovered) {
       failpoint::sites::kSaIter,       failpoint::sites::kIlpNode,
       failpoint::sites::kPlacerIter,   failpoint::sites::kRouteStep,
       failpoint::sites::kPowerTick,    failpoint::sites::kReportWrite,
+      failpoint::sites::kPackNode,     failpoint::sites::kPackSaIter,
   };
   for (const std::string& site : failpoint::catalog()) {
     EXPECT_NE(std::find(covered.begin(), covered.end(), site), covered.end())

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "pack/exact_pack.hpp"
+#include "pack/skyline.hpp"
 #include "report/json.hpp"
 #include "soc/builtin.hpp"
 #include "soc/soc_format.hpp"
@@ -84,6 +86,62 @@ TEST_P(FuzzSeeds, JsonCheckerNeverCrashes) {
   (void)json_check(std::string(1000, '['));
   (void)json_check(std::string(1000, '{'));
   (void)json_check("\"" + std::string(500, '\\'));
+}
+
+// Random PackProblems with adversarial menus (not derived from any SOC):
+// whatever the solvers emit must pass the independent feasibility oracle,
+// and the three solvers must respect their dominance contracts.
+PackProblem random_pack_problem(Rng& rng) {
+  PackProblem p;
+  p.total_width = static_cast<int>(rng.uniform_int(3, 16));
+  const int n = static_cast<int>(rng.uniform_int(1, 8));
+  for (int i = 0; i < n; ++i) {
+    std::vector<PackRect> menu;
+    int width = static_cast<int>(rng.uniform_int(1, p.total_width));
+    Cycles time = rng.uniform_int(5, 200);
+    // Walk widths upward / times strictly downward so the menu is a valid
+    // Pareto staircase by construction.
+    while (true) {
+      menu.push_back({width, time});
+      if (menu.size() >= 4 || rng.bernoulli(0.4)) break;
+      width += static_cast<int>(rng.uniform_int(1, 4));
+      if (width > p.total_width || time <= 1) break;
+      time -= rng.uniform_int(1, std::max<Cycles>(1, time / 2));
+      if (time < 1) break;
+    }
+    p.menu.push_back(std::move(menu));
+  }
+  if (rng.bernoulli(0.5)) {
+    double tallest = 0;
+    for (int i = 0; i < n; ++i) {
+      p.power_mw.push_back(rng.uniform(50.0, 300.0));
+      tallest = std::max(tallest, p.power_mw.back());
+    }
+    p.p_max_mw = tallest * rng.uniform(1.2, 2.5);
+  }
+  return p;
+}
+
+TEST_P(FuzzSeeds, PackSolversSatisfyTheOracleOnRandomProblems) {
+  Rng rng(GetParam() + 13000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const PackProblem problem = random_pack_problem(rng);
+    ASSERT_EQ(problem.validate(), "");
+    const PackSolveResult sky = solve_pack_skyline(problem);
+    PackSolverOptions repair;
+    repair.sa_iterations = 400;
+    const PackSolveResult repaired = solve_pack(problem, repair);
+    PackExactOptions budgeted;
+    budgeted.max_nodes = 20000;
+    const PackSolveResult exact = solve_pack_exact(problem, budgeted);
+    for (const PackSolveResult* r : {&sky, &repaired, &exact}) {
+      ASSERT_TRUE(r->feasible);
+      EXPECT_EQ(check_packing(problem, r->placements, r->makespan), "");
+      EXPECT_GE(r->makespan, problem.lower_bound());
+    }
+    EXPECT_LE(repaired.makespan, sky.makespan);
+    EXPECT_LE(exact.makespan, sky.makespan);  // warm-started from it
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range<std::uint64_t>(0, 8));

@@ -1,0 +1,327 @@
+// The rectangle-packing formulation (src/pack): problem lowering, the
+// feasibility oracle, golden schedules on hand-checkable instances, the
+// anytime contract (deadline/cancel/node-budget interruption), and the
+// formulation-level portfolio race pinned at 1/2/8 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cli/options.hpp"
+#include "cli/run.hpp"
+#include "pack/exact_pack.hpp"
+#include "pack/pack_problem.hpp"
+#include "pack/skyline.hpp"
+#include "soc/builtin.hpp"
+#include "soc/generator.hpp"
+#include "tam/architect.hpp"
+#include "wrapper/test_time_table.hpp"
+
+namespace soctest {
+namespace {
+
+PackProblem two_flexible_cores() {
+  // Two interchangeable cores, each either 1x10 or 2x5, strip width 2.
+  PackProblem p;
+  p.total_width = 2;
+  p.menu = {{{1, 10}, {2, 5}}, {{1, 10}, {2, 5}}};
+  return p;
+}
+
+TEST(PackProblem, LoweringMatchesParetoStaircase) {
+  const Soc soc = builtin_soc2();
+  const TestTimeTable table(soc, 16);
+  const PackProblem problem = make_pack_problem(soc, table, 16, 2000.0);
+  ASSERT_EQ(problem.num_cores(), soc.num_cores());
+  EXPECT_EQ(problem.validate(), "");
+  for (std::size_t i = 0; i < soc.num_cores(); ++i) {
+    const std::vector<int> widths = table.pareto_widths(i);
+    ASSERT_EQ(problem.menu[i].size(), widths.size());
+    for (std::size_t k = 0; k < widths.size(); ++k) {
+      EXPECT_EQ(problem.menu[i][k].width, widths[k]);
+      EXPECT_EQ(problem.menu[i][k].time, table.time(i, widths[k]));
+    }
+  }
+  ASSERT_EQ(problem.power_mw.size(), soc.num_cores());
+  EXPECT_EQ(problem.p_max_mw, 2000.0);
+}
+
+TEST(PackProblem, LowerBoundIsMaxOfTallestAndArea) {
+  PackProblem p = two_flexible_cores();
+  // Tallest = 5 (full width); area = 2 * min(1*10, 2*5) / 2 = 10.
+  EXPECT_EQ(p.lower_bound(), 10);
+  // A narrow 1x100 core: the area bound only rises to (10+10+100)/2 = 60,
+  // but its own minimum time dominates.
+  p.menu.push_back({{1, 100}});
+  EXPECT_EQ(p.lower_bound(), 100);
+}
+
+TEST(PackProblem, OracleCatchesEveryViolationClass) {
+  const PackProblem p = two_flexible_cores();
+  const std::vector<PackPlacement> good = {{0, 1, 0, 0, 10}, {1, 1, 1, 0, 10}};
+  EXPECT_EQ(check_packing(p, good, 10), "");
+  // Overlap.
+  const std::vector<PackPlacement> overlap = {{0, 2, 0, 0, 5}, {1, 2, 0, 4, 9}};
+  EXPECT_NE(check_packing(p, overlap, 9), "");
+  // Outside the strip.
+  const std::vector<PackPlacement> wide = {{0, 2, 1, 0, 5}, {1, 2, 0, 5, 10}};
+  EXPECT_NE(check_packing(p, wide, 10), "");
+  // Shape not in the menu.
+  const std::vector<PackPlacement> shape = {{0, 1, 0, 0, 5}, {1, 2, 0, 5, 10}};
+  EXPECT_NE(check_packing(p, shape, 10), "");
+  // A core missing / doubled.
+  const std::vector<PackPlacement> twice = {{0, 2, 0, 0, 5}, {0, 2, 0, 5, 10}};
+  EXPECT_NE(check_packing(p, twice, 10), "");
+  // Reported makespan disagrees with the geometry.
+  EXPECT_NE(check_packing(p, good, 11), "");
+  // Time-resolved power: both cores active at t=0 exceeds the budget.
+  PackProblem powered = two_flexible_cores();
+  powered.p_max_mw = 150.0;
+  powered.power_mw = {100.0, 100.0};
+  EXPECT_NE(check_packing(powered, good, 10), "");
+}
+
+TEST(PackSkyline, GoldenTwoCoreStack) {
+  const PackSolveResult r = solve_pack_skyline(two_flexible_cores());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 10);
+  EXPECT_TRUE(r.proved_optimal);  // hits the area lower bound
+  EXPECT_EQ(r.certificate.status, SolveStatus::kOptimal);
+  // Golden: both cores take the full strip, stacked.
+  ASSERT_EQ(r.placements.size(), 2u);
+  EXPECT_EQ(r.placements[0].width, 2);
+  EXPECT_EQ(r.placements[0].start, 0);
+  EXPECT_EQ(r.placements[0].end, 5);
+  EXPECT_EQ(r.placements[1].width, 2);
+  EXPECT_EQ(r.placements[1].start, 5);
+  EXPECT_EQ(r.placements[1].end, 10);
+  EXPECT_EQ(check_packing(two_flexible_cores(), r.placements, r.makespan), "");
+}
+
+TEST(PackSkyline, GoldenRaiseOverNarrowGap) {
+  // Two cores that only come 2 wide in a 3-wide strip: after B (2x8, the
+  // taller, placed first) a 1-wide gap remains that A (2x4) cannot use, so
+  // the packer must raise the gap to B's end and stack A on top.
+  PackProblem p;
+  p.total_width = 3;
+  p.menu = {{{2, 4}}, {{2, 8}}};
+  const PackSolveResult r = solve_pack_skyline(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 12);
+  ASSERT_EQ(r.placements.size(), 2u);
+  EXPECT_EQ(r.placements[0].core, 1u);  // B at the bottom
+  EXPECT_EQ(r.placements[0].x, 0);
+  EXPECT_EQ(r.placements[0].start, 0);
+  EXPECT_EQ(r.placements[0].end, 8);
+  EXPECT_EQ(r.placements[1].core, 0u);  // A raised above it, back at x=0
+  EXPECT_EQ(r.placements[1].x, 0);
+  EXPECT_EQ(r.placements[1].start, 8);
+  EXPECT_EQ(r.placements[1].end, 12);
+  EXPECT_EQ(check_packing(p, r.placements, r.makespan), "");
+}
+
+TEST(PackSkyline, TimeResolvedPowerSerializes) {
+  // Two 1x10 cores fit side by side geometrically, but 100+100 mW exceeds
+  // the 150 mW budget at every shared instant: the schedule must serialize
+  // even though no width is shared.
+  PackProblem p;
+  p.total_width = 2;
+  p.menu = {{{1, 10}}, {{1, 10}}};
+  p.power_mw = {100.0, 100.0};
+  p.p_max_mw = 150.0;
+  const PackSolveResult r = solve_pack(p);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.makespan, 20);
+  EXPECT_EQ(check_packing(p, r.placements, r.makespan), "");
+  // Without the budget the same instance runs fully parallel.
+  PackProblem free = p;
+  free.p_max_mw = -1.0;
+  free.power_mw.clear();
+  EXPECT_EQ(solve_pack(free).makespan, 10);
+}
+
+TEST(PackSolve, RepairNeverWorseThanRawSkylineOnBuiltins) {
+  for (const Soc& soc : {builtin_soc1(), builtin_soc2(), builtin_soc3(),
+                         builtin_soc4()}) {
+    for (int width : {16, 32}) {
+      const TestTimeTable table(soc, width);
+      const PackProblem problem = make_pack_problem(soc, table, width);
+      const PackSolveResult raw = solve_pack_skyline(problem);
+      const PackSolveResult repaired = solve_pack(problem);
+      ASSERT_TRUE(raw.feasible && repaired.feasible);
+      EXPECT_LE(repaired.makespan, raw.makespan);
+      EXPECT_GE(repaired.makespan, problem.lower_bound());
+      EXPECT_EQ(check_packing(problem, repaired.placements,
+                              repaired.makespan), "")
+          << soc.name() << " width " << width;
+    }
+  }
+}
+
+TEST(PackExact, ProvesOptimalityOnSmallGeneratedInstances) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    SocGeneratorOptions gen;
+    gen.num_cores = 5;
+    gen.place = false;
+    const Soc soc = generate_soc(gen, rng);
+    const TestTimeTable table(soc, 8);
+    const PackProblem problem = make_pack_problem(soc, table, 8);
+    const PackSolveResult heur = solve_pack(problem);
+    const PackSolveResult exact = solve_pack_exact(problem);
+    ASSERT_TRUE(exact.feasible) << "seed " << seed;
+    EXPECT_TRUE(exact.proved_optimal) << "seed " << seed;
+    EXPECT_EQ(exact.stop, StopReason::kNone) << "seed " << seed;
+    EXPECT_LE(exact.makespan, heur.makespan) << "seed " << seed;
+    EXPECT_GE(exact.makespan, problem.lower_bound()) << "seed " << seed;
+    EXPECT_EQ(check_packing(problem, exact.placements, exact.makespan), "")
+        << "seed " << seed;
+  }
+}
+
+TEST(PackExact, NodeBudgetReturnsBoundedIncumbent) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 32);
+  const PackProblem problem = make_pack_problem(soc, table, 32);
+  PackExactOptions options;
+  options.max_nodes = 50;
+  const PackSolveResult r = solve_pack_exact(problem, options);
+  ASSERT_TRUE(r.feasible);  // the warm start survives the tiny budget
+  EXPECT_FALSE(r.proved_optimal);
+  EXPECT_EQ(r.stop, StopReason::kNodeBudget);
+  EXPECT_EQ(r.certificate.status, SolveStatus::kFeasibleBounded);
+  EXPECT_EQ(r.certificate.upper_bound, r.makespan);
+  EXPECT_EQ(check_packing(problem, r.placements, r.makespan), "");
+}
+
+TEST(PackSolve, ExpiredDeadlineStillAnytime) {
+  const Soc soc = builtin_soc1();
+  const TestTimeTable table(soc, 32);
+  const PackProblem problem = make_pack_problem(soc, table, 32);
+  PackSolverOptions options;
+  options.deadline = Deadline::after_ms(0);
+  const PackSolveResult r = solve_pack(problem, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stop, StopReason::kDeadline);
+  EXPECT_EQ(r.certificate.status, SolveStatus::kFeasibleBounded);
+  EXPECT_EQ(r.certificate.lower_bound, problem.lower_bound());
+  EXPECT_EQ(check_packing(problem, r.placements, r.makespan), "");
+
+  PackExactOptions exact_options;
+  exact_options.deadline = Deadline::after_ms(0);
+  const PackSolveResult e = solve_pack_exact(problem, exact_options);
+  ASSERT_TRUE(e.feasible);
+  EXPECT_EQ(e.stop, StopReason::kDeadline);
+  EXPECT_EQ(e.certificate.status, SolveStatus::kFeasibleBounded);
+  EXPECT_EQ(check_packing(problem, e.placements, e.makespan), "");
+}
+
+TEST(PackSolve, CancellationStopsTheRepairLoop) {
+  const Soc soc = builtin_soc3();
+  const TestTimeTable table(soc, 32);
+  const PackProblem problem = make_pack_problem(soc, table, 32);
+  CancellationToken cancel;
+  cancel.cancel();
+  PackSolverOptions options;
+  options.cancel = &cancel;
+  const PackSolveResult r = solve_pack(problem, options);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.stop, StopReason::kCancelled);
+  EXPECT_EQ(check_packing(problem, r.placements, r.makespan), "");
+}
+
+TEST(PackArchitect, RejectsLayoutAndAteConstraints) {
+  const Soc soc = builtin_soc1();
+  DesignRequest request;
+  request.solver = InnerSolver::kPack;
+  request.d_max = 4;
+  EXPECT_THROW(design_architecture(soc, request), std::invalid_argument);
+  request.d_max = -1;
+  request.ate_depth_limit = 100000;
+  EXPECT_THROW(design_architecture(soc, request), std::invalid_argument);
+  request.ate_depth_limit = -1;
+  request.solver = InnerSolver::kPackExact;
+  request.wire_budget = 100;
+  EXPECT_THROW(design_architecture(soc, request), std::invalid_argument);
+}
+
+TEST(PackArchitect, ExplicitWidthsMergeIntoOneStrip) {
+  const Soc soc = builtin_soc2();
+  DesignRequest request;
+  request.solver = InnerSolver::kPack;
+  request.bus_widths = {8, 8};
+  const DesignResult result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  ASSERT_EQ(result.bus_widths, std::vector<int>{16});
+  ASSERT_FALSE(result.pack_placements.empty());
+  const TestTimeTable table(soc, 16);
+  const PackProblem problem = make_pack_problem(soc, table, 16);
+  EXPECT_EQ(check_packing(problem, result.pack_placements,
+                          result.assignment.makespan), "");
+  EXPECT_TRUE(std::all_of(result.assignment.core_to_bus.begin(),
+                          result.assignment.core_to_bus.end(),
+                          [](int b) { return b == 0; }));
+}
+
+// The formulation race must be bit-identical at any thread count: both
+// racers run to completion and the winner is picked deterministically.
+class PackPortfolioThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackPortfolioThreads, RaceIsThreadCountInvariant) {
+  const Soc soc = builtin_soc2();
+  DesignRequest request;
+  request.solver = InnerSolver::kPortfolio;
+  request.bus_widths.clear();
+  request.num_buses = 2;
+  request.total_width = 16;
+  request.threads = GetParam();
+  const DesignResult result = design_architecture(soc, request);
+  ASSERT_TRUE(result.feasible);
+  // Golden: the packing formulation wins soc2 at W=16 (4507 cycles beats
+  // every fixed two-bus split).
+  EXPECT_EQ(result.assignment.makespan, 4507);
+  ASSERT_FALSE(result.pack_placements.empty());
+  ASSERT_EQ(result.bus_widths, std::vector<int>{16});
+  const TestTimeTable table(soc, 16);
+  const PackProblem problem = make_pack_problem(soc, table, 16);
+  EXPECT_EQ(check_packing(problem, result.pack_placements,
+                          result.assignment.makespan), "");
+  // Pin the exact placements across thread counts against the 1-thread run.
+  DesignRequest serial = request;
+  serial.threads = 1;
+  const DesignResult reference = design_architecture(soc, serial);
+  ASSERT_EQ(result.pack_placements.size(), reference.pack_placements.size());
+  for (std::size_t i = 0; i < result.pack_placements.size(); ++i) {
+    EXPECT_EQ(result.pack_placements[i].core,
+              reference.pack_placements[i].core);
+    EXPECT_EQ(result.pack_placements[i].x, reference.pack_placements[i].x);
+    EXPECT_EQ(result.pack_placements[i].width,
+              reference.pack_placements[i].width);
+    EXPECT_EQ(result.pack_placements[i].start,
+              reference.pack_placements[i].start);
+    EXPECT_EQ(result.pack_placements[i].end,
+              reference.pack_placements[i].end);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PackPortfolioThreads,
+                         ::testing::Values(1, 2, 8));
+
+TEST(PackCli, JsonReportCarriesThePackedSchedule) {
+  const CliResult r = run_cli(parse_cli(
+      {"--soc", "soc2", "--width", "16", "--solver", "pack", "--json"}));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"formulation\":\"pack\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"placements\":["), std::string::npos);
+  EXPECT_NE(r.output.find("\"schedule\":{"), std::string::npos);
+}
+
+TEST(PackCli, IdleInsertionIsRejectedWithPack) {
+  EXPECT_THROW(parse_cli({"--soc", "soc2", "--solver", "pack", "--pmax",
+                          "2000", "--idle-insertion"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace soctest

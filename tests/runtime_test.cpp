@@ -199,11 +199,12 @@ TEST_F(FailpointTest, DisarmedHitIsSilent) {
 
 TEST_F(FailpointTest, CatalogListsEverySite) {
   const auto sites = failpoint::catalog();
-  EXPECT_EQ(sites.size(), 10u);
+  EXPECT_EQ(sites.size(), 12u);
   for (const char* site :
        {failpoint::sites::kSocParseOpen, failpoint::sites::kSocParseLine,
         failpoint::sites::kPoolTask, failpoint::sites::kExactNode,
         failpoint::sites::kSaIter, failpoint::sites::kIlpNode,
+        failpoint::sites::kPackNode, failpoint::sites::kPackSaIter,
         failpoint::sites::kPlacerIter, failpoint::sites::kRouteStep,
         failpoint::sites::kPowerTick, failpoint::sites::kReportWrite}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())

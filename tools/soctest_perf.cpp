@@ -34,6 +34,7 @@
 
 #include "common/table.hpp"
 #include "obs/obs.hpp"
+#include "pack/skyline.hpp"
 #include "report/json.hpp"
 #include "soc/builtin.hpp"
 #include "soc/generator.hpp"
@@ -698,6 +699,21 @@ std::vector<GateCase> gate_suite() {
   suite.push_back({"greedy_n32",
                    {},
                    [] { solve_greedy_lpt(gate_problem(32, {16, 8, 8})); }});
+  // The rectangle-packing formulation's heuristic (skyline base pass + SA
+  // repair): fully serial and fixed-seed, so its counters pin exactly.
+  suite.push_back({"pack_skyline_n20",
+                   {"pack.skyline.placed", "pack.skyline.raised",
+                    "pack.sa.moves", "pack.sa.accepted"},
+                   [] {
+                     Rng rng(20 * 7919);
+                     SocGeneratorOptions gen;
+                     gen.num_cores = 20;
+                     gen.place = false;
+                     const Soc soc = generate_soc(gen, rng);
+                     const PackProblem problem = make_pack_problem(
+                         soc, cached_test_time_table(soc, 24), 24);
+                     solve_pack(problem);
+                   }});
   // The rectangle-packing-style width-partition search (Chakrabarty DAC
   // 2000) over a builtin SOC: exercises enumeration + exact inner solves.
   suite.push_back({"width_search_soc1",
